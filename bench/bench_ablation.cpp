@@ -1,0 +1,118 @@
+//===- bench_ablation.cpp - Design-choice ablations -----------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Ablates the design decisions the paper calls out in §3:
+//
+//  A. Credits (§3.2.1): the Active word's credits let the common-case
+//     malloc skip re-reserving from the anchor. CreditsLimit = 1 disables
+//     batching; 64 is the paper's MAXCREDITS.
+//  B. Partial-list discipline (§3.2.6): FIFO (preferred) vs LIFO.
+//  C. Superblock size (§3.1 "e.g., 16 KB").
+//  D. Hyperblock batching (§3.2.5) vs returning every EMPTY superblock to
+//     the OS directly — trades mmap/munmap rate for retained memory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+#include "lfmalloc/Config.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+namespace {
+
+AllocatorOptions baseOptions() {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = benchScale().MaxThreads;
+  return Opts;
+}
+
+} // namespace
+
+int main() {
+  const BenchScale &Scale = benchScale();
+  const std::uint64_t Pairs = Scale.scaled(500'000);
+  const double Seconds = Scale.Seconds;
+
+  // --- A: credits batching, contention-free Linux scalability. ---
+  std::printf("Ablation A: Active-word credits limit (Linux scalability, "
+              "1 thread, %llu pairs)\n",
+              static_cast<unsigned long long>(Pairs));
+  std::printf("%12s %14s\n", "credits", "pairs/s");
+  for (unsigned Credits : {1u, 2u, 4u, 16u, 64u}) {
+    AllocatorOptions Opts = baseOptions();
+    Opts.CreditsLimit = Credits;
+    auto Alloc = makeLockFreeAllocator(Opts, "new");
+    const WorkloadResult R = runLinuxScalability(*Alloc, 1, Pairs);
+    std::printf("%12u %14.0f\n", Credits, R.throughput());
+  }
+
+  // --- B: FIFO vs LIFO partial lists under Larson churn. ---
+  std::printf("\nAblation B: partial-list policy (Larson, %u threads, "
+              "%.2f s)\n",
+              Scale.MaxThreads, Seconds);
+  std::printf("%12s %14s\n", "policy", "pairs/s");
+  for (PartialListPolicy Policy :
+       {PartialListPolicy::Fifo, PartialListPolicy::Lifo}) {
+    AllocatorOptions Opts = baseOptions();
+    Opts.PartialPolicy = Policy;
+    auto Alloc = makeLockFreeAllocator(
+        Opts, Policy == PartialListPolicy::Fifo ? "fifo" : "lifo");
+    const WorkloadResult R =
+        runLarson(*Alloc, Scale.MaxThreads, 1024, 16, 80, Seconds);
+    std::printf("%12s %14.0f\n",
+                Policy == PartialListPolicy::Fifo ? "fifo" : "lifo",
+                R.throughput());
+  }
+
+  // --- C: superblock size under Threadtest. ---
+  const unsigned TtIters = static_cast<unsigned>(Scale.scaled(20));
+  std::printf("\nAblation C: superblock size (Threadtest, %u threads)\n",
+              Scale.MaxThreads);
+  std::printf("%12s %14s %12s\n", "sb bytes", "pairs/s", "peak MB");
+  for (std::size_t Sb : {4096ul, 8192ul, 16384ul, 32768ul}) {
+    AllocatorOptions Opts = baseOptions();
+    Opts.SuperblockSize = Sb;
+    auto Alloc = makeLockFreeAllocator(Opts, "new");
+    const WorkloadResult R =
+        runThreadtest(*Alloc, Scale.MaxThreads, TtIters, 10'000);
+    std::printf("%12zu %14.0f %12.2f\n", Sb, R.throughput(),
+                static_cast<double>(Alloc->pageStats().PeakBytes) / 1048576);
+  }
+
+  // --- D: hyperblock batching vs direct OS superblocks under Larson. ---
+  std::printf("\nAblation D: hyperblock batching (Larson, %u threads, "
+              "%.2f s)\n",
+              Scale.MaxThreads, Seconds);
+  std::printf("%12s %14s %12s %12s\n", "mode", "pairs/s", "mmap calls",
+              "peak MB");
+  for (std::size_t Hyper : {0ul, 1048576ul}) {
+    AllocatorOptions Opts = baseOptions();
+    Opts.HyperblockSize = Hyper;
+    auto Alloc = makeLockFreeAllocator(Opts, "new");
+    const WorkloadResult R =
+        runLarson(*Alloc, Scale.MaxThreads, 1024, 16, 80, Seconds);
+    const PageStats St = Alloc->pageStats();
+    std::printf("%12s %14.0f %12llu %12.2f\n",
+                Hyper ? "hyper-1MB" : "direct", R.throughput(),
+                static_cast<unsigned long long>(St.MapCalls),
+                static_cast<double>(St.PeakBytes) / 1048576);
+  }
+
+  // --- E: Partial slots per heap (§3.2.6 "multiple slots can be used").
+  std::printf("\nAblation E: MRU Partial slots per heap (Larson, %u "
+              "threads, %.2f s)\n",
+              Scale.MaxThreads, Seconds);
+  std::printf("%12s %14s\n", "slots", "pairs/s");
+  for (unsigned Slots : {1u, 2u, 4u}) {
+    AllocatorOptions Opts = baseOptions();
+    Opts.PartialSlotsPerHeap = Slots;
+    auto Alloc = makeLockFreeAllocator(Opts, "new");
+    const WorkloadResult R =
+        runLarson(*Alloc, Scale.MaxThreads, 1024, 16, 80, Seconds);
+    std::printf("%12u %14.0f\n", Slots, R.throughput());
+  }
+  return 0;
+}

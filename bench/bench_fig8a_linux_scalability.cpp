@@ -1,0 +1,28 @@
+//===- bench_fig8a_linux_scalability.cpp - Paper Fig. 8(a) ----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Regenerates Fig. 8(a): Linux scalability speedup over contention-free
+// libc malloc, threads 1..16, for new / hoard / ptmalloc / libc. Paper
+// parameters: 10 million malloc/free pairs of 8-byte blocks per thread; we
+// default to 200k pairs per thread (scale with LFM_BENCH_SCALE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+int main() {
+  const std::uint64_t Pairs = benchScale().scaled(200'000);
+  std::printf("Fig. 8(a) Linux scalability — %llu malloc/free pairs of 8 B "
+              "per thread (paper: 10M)\n",
+              static_cast<unsigned long long>(Pairs));
+  runStandardFigure("Linux scalability speedup",
+                    [Pairs](MallocInterface &Alloc, unsigned Threads) {
+                      return runLinuxScalability(Alloc, Threads, Pairs);
+                    });
+  return 0;
+}

@@ -1,0 +1,30 @@
+//===- bench_fig8b_threadtest.cpp - Paper Fig. 8(b) -----------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Regenerates Fig. 8(b): Threadtest speedup over contention-free libc.
+// Paper parameters: 100 iterations of allocating 100,000 8-byte blocks and
+// freeing them in order, per thread; we default to 20 x 10,000.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+int main() {
+  const unsigned Iterations =
+      static_cast<unsigned>(benchScale().scaled(20));
+  const unsigned Blocks = 10'000;
+  std::printf("Fig. 8(b) Threadtest — %u iterations x %u 8 B blocks per "
+              "thread (paper: 100 x 100,000)\n",
+              Iterations, Blocks);
+  runStandardFigure("Threadtest speedup",
+                    [=](MallocInterface &Alloc, unsigned Threads) {
+                      return runThreadtest(Alloc, Threads, Iterations,
+                                           Blocks);
+                    });
+  return 0;
+}

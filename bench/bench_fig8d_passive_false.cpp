@@ -1,0 +1,30 @@
+//===- bench_fig8d_passive_false.cpp - Paper Fig. 8(d) --------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Regenerates Fig. 8(d): Passive false sharing — like Active-false, but
+// one thread allocates the initial blocks and hands them to the others,
+// which free them immediately; a placement policy that then re-issues
+// line-sharing blocks across threads gets caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+int main() {
+  const unsigned Pairs = static_cast<unsigned>(benchScale().scaled(500));
+  const unsigned Writes = 1'000;
+  std::printf("Fig. 8(d) Passive-false — %u pairs x %u writes/byte per "
+              "thread (paper: 10,000 x 1,000)\n",
+              Pairs, Writes);
+  runStandardFigure("Passive false sharing speedup",
+                    [=](MallocInterface &Alloc, unsigned Threads) {
+                      return runFalseSharing(Alloc, Threads, Pairs, Writes,
+                                             /*Passive=*/true);
+                    });
+  return 0;
+}

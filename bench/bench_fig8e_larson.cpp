@@ -1,0 +1,29 @@
+//===- bench_fig8e_larson.cpp - Paper Fig. 8(e) ---------------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Regenerates Fig. 8(e): Larson server simulation — random 16-80 byte
+// blocks, 1024 live slots per thread seeded by one thread, then a timed
+// phase where every thread frees a random victim and reallocates. The
+// paper runs 30-second phases; default here is LFM_BENCH_SECONDS (0.4 s).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+int main() {
+  const double Seconds = benchScale().Seconds;
+  std::printf("Fig. 8(e) Larson — 1024 slots/thread, 16-80 B, %.2f s timed "
+              "phase (paper: 30 s)\n",
+              Seconds);
+  runStandardFigure("Larson speedup",
+                    [=](MallocInterface &Alloc, unsigned Threads) {
+                      return runLarson(Alloc, Threads, 1024, 16, 80,
+                                       Seconds);
+                    });
+  return 0;
+}

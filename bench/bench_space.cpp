@@ -1,0 +1,83 @@
+//===- bench_space.cpp - §4.2.5 space efficiency --------------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Reproduces §4.2.5: maximum space used by each allocator on the three
+// allocation-heavy benchmarks (Threadtest, Larson, Producer-consumer) at
+// the full thread count. Paper findings to reproduce:
+//
+//   "The maximum space used by our allocator was consistently slightly
+//    less than that used by Hoard ... The maximum space allocated by
+//    Ptmalloc was consistently more ... The ratio of the maximum space
+//    allocated by Ptmalloc to [ours], on 16 processors, ranged from 1.16
+//    in Threadtest to 3.83 in Larson."
+//
+// Every allocator meters its own PageAllocator, so "space" is exactly the
+// bytes it holds mapped from the OS at peak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+#include "lfmalloc/Config.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace lfm;
+
+int main() {
+  const BenchScale &Scale = benchScale();
+  const unsigned Threads = Scale.MaxThreads;
+  const double Seconds = Scale.Seconds;
+  const unsigned TtIters = static_cast<unsigned>(Scale.scaled(20));
+
+  struct Row {
+    const char *Name;
+    WorkloadFn Fn;
+  } Rows[] = {
+      {"Threadtest",
+       [=](MallocInterface &A, unsigned T) {
+         return runThreadtest(A, T, TtIters, 10'000);
+       }},
+      {"Larson",
+       [=](MallocInterface &A, unsigned T) {
+         return runLarson(A, T, 1024, 16, 80, Seconds);
+       }},
+      {"Producer-consumer",
+       [=](MallocInterface &A, unsigned T) {
+         return runProducerConsumer(A, T, 500, Seconds, 1u << 18);
+       }},
+  };
+
+  std::printf("§4.2.5 Maximum space used (MB at peak), %u threads\n\n",
+              Threads);
+  std::printf("%-20s %10s %10s %10s %16s\n", "", "new", "hoard", "ptmalloc",
+              "ptmalloc/new");
+
+  for (const Row &R : Rows) {
+    double Peak[3] = {};
+    for (unsigned I = 0; I < 3; ++I) {
+      std::unique_ptr<MallocInterface> Alloc;
+      if (I == 0) {
+        // The paper's base design returns every EMPTY superblock to the
+        // OS directly; hyperblock caching (an extension) would quantize
+        // the footprint to 1 MB and obscure the comparison.
+        AllocatorOptions Opts;
+        Opts.NumHeaps = Threads;
+        Opts.HyperblockSize = 0;
+        Alloc = makeLockFreeAllocator(Opts, "new");
+      } else {
+        Alloc = makeAllocator(I == 1 ? AllocatorKind::Hoard
+                                     : AllocatorKind::Ptmalloc,
+                              Threads);
+      }
+      R.Fn(*Alloc, Threads);
+      Peak[I] = static_cast<double>(Alloc->pageStats().PeakBytes) / 1048576;
+    }
+    std::printf("%-20s %10.2f %10.2f %10.2f %16.2f\n", R.Name, Peak[0],
+                Peak[1], Peak[2], Peak[0] > 0 ? Peak[2] / Peak[0] : 0);
+  }
+  std::printf("\nShape to reproduce: new <= hoard < ptmalloc on every "
+              "row.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- bench_substrates.cpp - Lock-free substrate throughput --------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Microbenchmarks for the lock-free building blocks underneath the
+// allocator (and cited by the paper's §5 composition claim): the hazard
+// pointer operations, the Treiber stacks, the Michael-Scott queue, and
+// the Michael list/hash set. Not a paper figure; a performance inventory
+// for users adopting the substrates directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/HazardPointers.h"
+#include "lockfree/LockFreeStack.h"
+#include "lockfree/MSQueue.h"
+#include "lockfree/MichaelHashSet.h"
+#include "lockfree/TreiberStack.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lfm;
+
+namespace {
+
+void BM_HazardProtectClear(benchmark::State &State) {
+  HazardDomain Domain;
+  int Value = 7;
+  std::atomic<int *> Src{&Value};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Domain.protect(0, Src));
+    Domain.clear(0);
+  }
+}
+
+void BM_HazardRetireReclaim(benchmark::State &State) {
+  HazardDomain Domain;
+  struct Victim : HazardErasable {};
+  static Victim Pool[HazardDomain::ScanThreshold + 1];
+  std::size_t Next = 0;
+  for (auto _ : State) {
+    Domain.retire(
+        &Pool[Next], +[](HazardErasable *, void *) {}, nullptr);
+    Next = (Next + 1) % (HazardDomain::ScanThreshold + 1);
+  }
+  Domain.drainAll();
+}
+
+void BM_TaggedTreiberPushPop(benchmark::State &State) {
+  struct Node {
+    Node *Next = nullptr;
+  };
+  Node N;
+  TreiberStack<Node> Stack;
+  for (auto _ : State) {
+    Stack.push(&N);
+    benchmark::DoNotOptimize(Stack.pop());
+  }
+}
+
+void BM_DynamicStackPushPop(benchmark::State &State) {
+  HazardDomain Domain;
+  LockFreeStack<std::uint64_t> Stack(Domain);
+  std::uint64_t V = 0;
+  for (auto _ : State) {
+    Stack.push(1);
+    benchmark::DoNotOptimize(Stack.pop(V));
+  }
+}
+
+void BM_MsQueueEnqueueDequeue(benchmark::State &State) {
+  MSQueue<std::uint64_t> Queue;
+  std::uint64_t V = 0;
+  for (auto _ : State) {
+    Queue.enqueue(1);
+    benchmark::DoNotOptimize(Queue.dequeue(V));
+  }
+}
+
+void BM_MichaelSetInsertRemove(benchmark::State &State) {
+  HazardDomain Domain;
+  MichaelSet<std::uint64_t> Set(Domain);
+  // Pre-populate so operations traverse a realistic short list.
+  for (std::uint64_t K = 0; K < 16; ++K)
+    Set.insert(K * 2);
+  for (auto _ : State) {
+    Set.insert(101);
+    Set.remove(101);
+  }
+}
+
+void BM_MichaelHashSetMixed(benchmark::State &State) {
+  HazardDomain Domain;
+  MichaelHashSet<std::uint64_t> Set(1024, Domain);
+  for (std::uint64_t K = 0; K < 4096; ++K)
+    Set.insert(K);
+  XorShift128 Rng(3);
+  for (auto _ : State) {
+    const std::uint64_t K = Rng.nextBounded(8192);
+    switch (Rng.nextBounded(4)) {
+    case 0:
+      Set.insert(K);
+      break;
+    case 1:
+      Set.remove(K);
+      break;
+    default:
+      benchmark::DoNotOptimize(Set.contains(K));
+    }
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_HazardProtectClear);
+BENCHMARK(BM_HazardRetireReclaim);
+BENCHMARK(BM_TaggedTreiberPushPop);
+BENCHMARK(BM_DynamicStackPushPop);
+BENCHMARK(BM_MsQueueEnqueueDequeue);
+BENCHMARK(BM_MichaelSetInsertRemove);
+BENCHMARK(BM_MichaelHashSetMixed);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+//===- bench_table1_latency.cpp - Paper Table 1 ---------------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Regenerates Table 1: contention-free speedup over libc malloc for the
+// new allocator, Hoard and Ptmalloc on the three latency-bound benchmarks
+// (Linux scalability, Threadtest, Larson). Also prints the absolute
+// nanoseconds per malloc/free pair, the quantity behind the paper's
+// §4.2.1 numbers (282 ns for the new allocator on POWER4, etc.).
+//
+// Paper's Table 1 shape to reproduce: new > ptmalloc > hoard > 1.0 on
+// every row (the lock-free allocator has the lowest contention-free
+// latency; Hoard pays three lock operations per pair, Ptmalloc two).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+namespace {
+
+struct Row {
+  const char *Name;
+  WorkloadFn Fn;
+};
+
+} // namespace
+
+int main() {
+  const BenchScale &Scale = benchScale();
+  const std::uint64_t Pairs = Scale.scaled(500'000);
+  const unsigned TtIters = static_cast<unsigned>(Scale.scaled(40));
+  const double Seconds = Scale.Seconds;
+
+  const Row Rows[] = {
+      {"Linux scalability",
+       [=](MallocInterface &A, unsigned T) {
+         return runLinuxScalability(A, T, Pairs);
+       }},
+      {"Threadtest",
+       [=](MallocInterface &A, unsigned T) {
+         return runThreadtest(A, T, TtIters, 10'000);
+       }},
+      {"Larson",
+       [=](MallocInterface &A, unsigned T) {
+         return runLarson(A, T, 1024, 16, 80, Seconds);
+       }},
+  };
+  const AllocatorKind Kinds[] = {AllocatorKind::LockFree,
+                                 AllocatorKind::Hoard,
+                                 AllocatorKind::Ptmalloc};
+
+  std::printf("Table 1: contention-free speedup over libc malloc\n");
+  std::printf("(single worker thread; a dead thread is spawned first per "
+              "the paper's footnote 4)\n\n");
+  std::printf("%-18s %10s %10s %10s %14s\n", "", "new", "hoard", "ptmalloc",
+              "libc ns/pair");
+
+  for (const Row &R : Rows) {
+    const double Baseline = contentionFreeLibcBaseline(R.Fn);
+    std::printf("%-18s", R.Name);
+    for (AllocatorKind K : Kinds) {
+      spawnDeadThread();
+      auto Alloc = makeAllocator(K, Scale.MaxThreads);
+      const WorkloadResult Res = R.Fn(*Alloc, 1);
+      std::printf(" %10.2f", Baseline > 0 ? Res.throughput() / Baseline : 0);
+      std::fflush(stdout);
+    }
+    std::printf(" %14.0f\n", Baseline > 0 ? 1e9 / Baseline : 0);
+  }
+
+  std::printf("\nAbsolute contention-free latency (ns per malloc/free "
+              "pair, Linux scalability):\n");
+  const WorkloadFn &Ls = Rows[0].Fn;
+  for (AllocatorKind K :
+       {AllocatorKind::LockFree, AllocatorKind::Hoard,
+        AllocatorKind::Ptmalloc, AllocatorKind::SerialLock}) {
+    spawnDeadThread();
+    auto Alloc = makeAllocator(K, Scale.MaxThreads);
+    const WorkloadResult Res = Ls(*Alloc, 1);
+    std::printf("  %-10s %8.1f ns\n", Alloc->name(),
+                Res.throughput() > 0 ? 1e9 / Res.throughput() : 0);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench_traces.cpp - Application-profile trace replays ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Replays the synthetic application traces (web-server, scientific,
+// data-mining — the application classes the paper's introduction names)
+// over every allocator, single-threaded and oversubscribed. Complements
+// the paper's §4.1 microbenchmarks, which each isolate one behaviour,
+// with their superposition.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+#include "harness/TraceWorkload.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+int main() {
+  const BenchScale &Scale = benchScale();
+  const auto NumOps =
+      static_cast<std::uint32_t>(Scale.scaled(200'000));
+  const unsigned Threads = Scale.MaxThreads;
+
+  for (TraceProfile Profile :
+       {TraceProfile::WebServer, TraceProfile::Scientific,
+        TraceProfile::DataMining}) {
+    const Trace T = generateTrace(Profile, 0x7ace, NumOps);
+    std::printf("\nTrace %s — %zu ops/thread, slots=%u\n",
+                traceProfileName(Profile), T.Ops.size(), T.SlotCount);
+    std::printf("%-10s %16s %16s %12s\n", "", "1-thr Mops/s",
+                "16-thr Mops/s", "peak MB");
+    for (AllocatorKind K :
+         {AllocatorKind::LockFree, AllocatorKind::Hoard,
+          AllocatorKind::Ptmalloc, AllocatorKind::SerialLock}) {
+      double OneThr = 0, ManyThr = 0, PeakMb = 0;
+      {
+        auto Alloc = makeAllocator(K, Threads);
+        OneThr = replayTrace(*Alloc, 1, T).throughput() / 1e6;
+      }
+      {
+        auto Alloc = makeAllocator(K, Threads);
+        const TraceResult R = replayTrace(*Alloc, Threads, T);
+        ManyThr = R.throughput() / 1e6;
+        PeakMb =
+            static_cast<double>(Alloc->pageStats().PeakBytes) / 1048576;
+        if (R.Corruptions)
+          std::printf("  !! %llu corruptions\n",
+                      static_cast<unsigned long long>(R.Corruptions));
+      }
+      std::printf("%-10s %16.2f %16.2f %12.2f\n", allocatorKindName(K),
+                  OneThr, ManyThr, PeakMb);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench_uniprocessor.cpp - §4.2.4 uniprocessor optimization ----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Reproduces §4.2.4: "we modified a version of our allocator such that
+// threads use only one heap, and thus when executing malloc, threads do
+// not need to know their id. This optimization achieved 15% increase in
+// contention-free speedup on Linux scalability ... When we used multiple
+// threads on the same processor, performance remained unaffected, as our
+// allocator is preemption-tolerant."
+//
+// Shape to reproduce: new-uni >= new contention-free, and new-uni does
+// not collapse when oversubscribed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+int main() {
+  const std::uint64_t Pairs = benchScale().scaled(500'000);
+  const WorkloadFn Fn = [=](MallocInterface &A, unsigned T) {
+    return runLinuxScalability(A, T, Pairs);
+  };
+
+  std::printf("§4.2.4 Uniprocessor optimization — Linux scalability, %llu "
+              "pairs/thread\n\n",
+              static_cast<unsigned long long>(Pairs));
+
+  // Contention-free comparison (1 thread).
+  double MultiTput = 0, UniTput = 0;
+  {
+    spawnDeadThread();
+    auto Multi = makeAllocator(AllocatorKind::LockFree, 16);
+    MultiTput = Fn(*Multi, 1).throughput();
+    spawnDeadThread();
+    auto Uni = makeAllocator(AllocatorKind::LockFreeUni, 1);
+    UniTput = Fn(*Uni, 1).throughput();
+  }
+  std::printf("contention-free  new(16 heaps): %12.0f pairs/s\n", MultiTput);
+  std::printf("contention-free  new-uni(1 heap): %10.0f pairs/s\n", UniTput);
+  std::printf("uni speedup over multi: %.2fx (paper: ~1.15x)\n\n",
+              MultiTput > 0 ? UniTput / MultiTput : 0);
+
+  // Preemption tolerance: many threads on one heap, oversubscribed.
+  std::printf("%8s %14s %s\n", "threads", "pairs/s", "(new-uni, one heap, "
+                                                     "oversubscribed)");
+  for (unsigned Threads : {1u, 2u, 4u, 8u, 16u}) {
+    auto Uni = makeAllocator(AllocatorKind::LockFreeUni, 1);
+    const WorkloadResult R = Fn(*Uni, Threads);
+    std::printf("%8u %14.0f\n", Threads, R.throughput());
+  }
+  return 0;
+}

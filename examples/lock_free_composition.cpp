@@ -1,0 +1,108 @@
+//===- examples/lock_free_composition.cpp - The paper's §5 payoff ---------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The paper's closing claim (§5): "this work, in combination with recent
+// lock-free methods for safe memory reclamation and ABA prevention ...
+// allows lock-free algorithms including efficient algorithms for
+// important object types such as LIFO stacks, FIFO queues, and linked
+// lists and hash tables to be both completely dynamic and completely
+// lock-free."
+//
+// This example is that composition, end to end: a lock-free hash table
+// (Michael's list-based sets) whose every node is allocated by the
+// lock-free malloc and reclaimed through hazard pointers back into it.
+// No lock anywhere in the stack — not in the table, not in the memory
+// reclamation, not in the allocator.
+//
+// Build & run:  ./build/examples/lock_free_composition [seconds]
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "lockfree/MichaelHashSet.h"
+#include "support/Random.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+void *allocNode(void *Ctx, std::size_t Bytes) {
+  return static_cast<LFAllocator *>(Ctx)->allocate(Bytes);
+}
+
+void freeNode(void *Ctx, void *Ptr) {
+  static_cast<LFAllocator *>(Ctx)->deallocate(Ptr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const double Seconds = Argc > 1 ? std::atof(Argv[1]) : 1.0;
+
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 4;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+
+  // Every hash-table node is an lfmalloc block; removal retires the node
+  // via hazard pointers and only then hands it back to deallocate().
+  MichaelHashSet<std::uint64_t> Table(
+      1024, HazardDomain::global(),
+      NodeMemory{allocNode, freeNode, &Alloc});
+
+  constexpr unsigned Threads = 4;
+  std::atomic<bool> Stop{false};
+  std::vector<std::uint64_t> Ops(Threads, 0);
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      XorShift128 Rng(T + 42);
+      std::uint64_t Count = 0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        const std::uint64_t K = Rng.nextBounded(100'000);
+        switch (Rng.nextBounded(4)) {
+        case 0:
+        case 1:
+          Table.insert(K);
+          break;
+        case 2:
+          Table.remove(K);
+          break;
+        default:
+          Table.contains(K);
+        }
+        ++Count;
+      }
+      Ops[T] = Count;
+    });
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(Seconds));
+  Stop.store(true, std::memory_order_release);
+  for (auto &T : Ts)
+    T.join();
+
+  std::uint64_t Total = 0;
+  for (std::uint64_t C : Ops)
+    Total += C;
+  const OpStats St = Alloc.opStats();
+  std::printf("%u threads, %.1f s of mixed insert/remove/lookup on a "
+              "lock-free hash table\n",
+              Threads, Seconds);
+  std::printf("table ops: %llu (%.0f ops/s), final size %lld\n",
+              static_cast<unsigned long long>(Total), Total / Seconds,
+              static_cast<long long>(Table.size()));
+  std::printf("every node came from the lock-free allocator: %llu mallocs, "
+              "%llu frees so far\n",
+              static_cast<unsigned long long>(St.Mallocs),
+              static_cast<unsigned long long>(St.Frees));
+  std::printf("no locks anywhere: table, reclamation, and allocator are "
+              "all lock-free (paper §5).\n");
+  return 0;
+}

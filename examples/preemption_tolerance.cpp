@@ -1,0 +1,53 @@
+//===- examples/preemption_tolerance.cpp - Locks vs lock-freedom ----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Demonstrates the paper's preemption-tolerance claim (§1): "When a thread
+// is preempted while holding a mutual exclusion lock, other threads
+// waiting for the same lock either spin uselessly ... Lock-free
+// synchronization offers preemption-tolerant performance, regardless of
+// arbitrary thread scheduling."
+//
+// We oversubscribe the machine (many more threads than cores) so the
+// scheduler constantly preempts threads mid-operation. The single-lock
+// allocator's throughput craters — preempted lock holders stall everyone —
+// while the lock-free allocator's throughput barely moves.
+//
+// Build & run:  ./build/examples/preemption_tolerance
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/AllocatorInterface.h"
+#include "harness/Workloads.h"
+
+#include <cstdio>
+#include <thread>
+
+int main() {
+  using namespace lfm;
+  const unsigned Cores = std::thread::hardware_concurrency();
+  const std::uint64_t Pairs = 100'000;
+
+  std::printf("machine has %u core(s); sweeping thread counts well beyond "
+              "that\n\n",
+              Cores);
+  std::printf("%8s %18s %18s %10s\n", "threads", "lock-free pairs/s",
+              "one-lock pairs/s", "ratio");
+
+  for (unsigned Threads : {1u, 4u, 16u, 32u}) {
+    auto LockFree = makeAllocator(AllocatorKind::LockFree, 4);
+    const double LfTput =
+        runLinuxScalability(*LockFree, Threads, Pairs).throughput();
+
+    auto Locked = makeAllocator(AllocatorKind::SerialLock, 1);
+    const double LockTput =
+        runLinuxScalability(*Locked, Threads, Pairs).throughput();
+
+    std::printf("%8u %18.0f %18.0f %9.1fx\n", Threads, LfTput, LockTput,
+                LockTput > 0 ? LfTput / LockTput : 0);
+  }
+  std::printf("\nthe lock-free column stays flat under oversubscription; "
+              "the lock column collapses\n(lock-holder preemption — the "
+              "paper's §4.2.2, where libc hits 331x slower at 16p).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- examples/producer_consumer.cpp - The paper's motivating pattern ----===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The producer-consumer sharing pattern is the paper's running example of
+// why pure per-thread heaps fail ("it can lead to unbounded memory
+// consumption ... even when the program's memory needs are in fact very
+// small", §1) and the workload of Fig. 8(f-h). Here one producer thread
+// allocates task objects and pushes them through a lock-free FIFO; the
+// consumers process and FREE them — every block dies on a different
+// thread than it was born on, and the allocator's space stays bounded.
+//
+// Build & run:  ./build/examples/producer_consumer [seconds]
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/AllocatorInterface.h"
+#include "harness/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+int main(int Argc, char **Argv) {
+  const double Seconds = Argc > 1 ? std::atof(Argv[1]) : 1.0;
+  auto Alloc = lfm::makeAllocator(lfm::AllocatorKind::LockFree, 4);
+
+  std::printf("1 producer + 3 consumers, lock-free FIFO, %.1f s...\n",
+              Seconds);
+  const lfm::WorkloadResult R =
+      lfm::runProducerConsumer(*Alloc, /*Threads=*/4, /*Work=*/500, Seconds,
+                               /*DatabaseSize=*/1u << 18);
+
+  const lfm::PageStats Space = Alloc->pageStats();
+  std::printf("tasks processed: %llu (%.0f tasks/s)\n",
+              static_cast<unsigned long long>(R.Ops), R.throughput());
+  std::printf("every task = 4 cross-thread frees; peak space stayed at "
+              "%.2f MB\n",
+              static_cast<double>(Space.PeakBytes) / 1048576);
+  std::printf("(a pure per-thread-heap allocator grows without bound "
+              "under this pattern)\n");
+  return 0;
+}

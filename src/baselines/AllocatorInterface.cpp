@@ -1,0 +1,88 @@
+//===- baselines/AllocatorInterface.cpp - Uniform malloc interface --------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/AllocatorInterface.h"
+
+#include "baselines/HoardLike.h"
+#include "baselines/PtmallocLike.h"
+#include "baselines/SerialLockMalloc.h"
+#include "lfmalloc/LFAllocator.h"
+
+#include <cassert>
+
+using namespace lfm;
+
+namespace {
+
+/// Adapter putting the lock-free allocator behind the common interface.
+class LockFreeAdapter final : public MallocInterface {
+public:
+  LockFreeAdapter(unsigned NumHeaps, const char *Name)
+      : Name(Name), Alloc(makeOptions(NumHeaps)) {}
+
+  LockFreeAdapter(const AllocatorOptions &Opts, const char *Name)
+      : Name(Name), Alloc(Opts) {}
+
+  void *malloc(std::size_t Bytes) override { return Alloc.allocate(Bytes); }
+  void free(void *Ptr) override { Alloc.deallocate(Ptr); }
+  const char *name() const override { return Name; }
+  PageStats pageStats() const override { return Alloc.pageStats(); }
+  void resetPeak() override { Alloc.resetPeakSpace(); }
+
+  LFAllocator &allocator() { return Alloc; }
+
+private:
+  static AllocatorOptions makeOptions(unsigned NumHeaps) {
+    AllocatorOptions Opts;
+    Opts.NumHeaps = NumHeaps;
+    return Opts;
+  }
+
+  const char *Name;
+  LFAllocator Alloc;
+};
+
+} // namespace
+
+const char *lfm::allocatorKindName(AllocatorKind Kind) {
+  switch (Kind) {
+  case AllocatorKind::LockFree:
+    return "new";
+  case AllocatorKind::LockFreeUni:
+    return "new-uni";
+  case AllocatorKind::SerialLock:
+    return "libc";
+  case AllocatorKind::Hoard:
+    return "hoard";
+  case AllocatorKind::Ptmalloc:
+    return "ptmalloc";
+  }
+  assert(false && "unknown allocator kind");
+  return "?";
+}
+
+std::unique_ptr<MallocInterface> lfm::makeAllocator(AllocatorKind Kind,
+                                                    unsigned NumProcessors) {
+  switch (Kind) {
+  case AllocatorKind::LockFree:
+    return std::make_unique<LockFreeAdapter>(NumProcessors, "new");
+  case AllocatorKind::LockFreeUni:
+    return std::make_unique<LockFreeAdapter>(1u, "new-uni");
+  case AllocatorKind::SerialLock:
+    return std::make_unique<SerialLockMalloc>();
+  case AllocatorKind::Hoard:
+    return std::make_unique<HoardLike>(NumProcessors);
+  case AllocatorKind::Ptmalloc:
+    return std::make_unique<PtmallocLike>(NumProcessors);
+  }
+  assert(false && "unknown allocator kind");
+  return nullptr;
+}
+
+std::unique_ptr<MallocInterface>
+lfm::makeLockFreeAllocator(const AllocatorOptions &Opts, const char *Name) {
+  return std::make_unique<LockFreeAdapter>(Opts, Name);
+}

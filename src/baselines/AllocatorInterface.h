@@ -1,0 +1,75 @@
+//===- baselines/AllocatorInterface.h - Uniform malloc interface -*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark harness drives every contender — the lock-free allocator
+/// and the three lock-based baselines — through this one interface, so a
+/// measured difference is a difference between allocators, not between
+/// harness paths. The virtual-dispatch cost is identical for everyone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_BASELINES_ALLOCATORINTERFACE_H
+#define LFMALLOC_BASELINES_ALLOCATORINTERFACE_H
+
+#include "os/PageAllocator.h"
+
+#include <cstddef>
+#include <memory>
+
+namespace lfm {
+
+/// Abstract malloc/free pair with a space meter.
+class MallocInterface {
+public:
+  virtual ~MallocInterface() = default;
+
+  /// malloc(). \returns at least \p Bytes of storage or nullptr.
+  virtual void *malloc(std::size_t Bytes) = 0;
+
+  /// free(). Accepts null and blocks allocated by any thread.
+  virtual void free(void *Ptr) = 0;
+
+  /// Display name for benchmark tables ("new", "hoard", "ptmalloc",
+  /// "libc").
+  virtual const char *name() const = 0;
+
+  /// Space meter covering everything this allocator mapped (§4.2.5).
+  virtual PageStats pageStats() const = 0;
+
+  /// Resets the peak-space watermark between benchmark phases.
+  virtual void resetPeak() = 0;
+};
+
+/// The contenders of the paper's Section 4.
+enum class AllocatorKind {
+  LockFree,    ///< The paper's allocator ("new" in the tables).
+  LockFreeUni, ///< §4.2.4 uniprocessor variant (one heap, no thread ids).
+  SerialLock,  ///< Global-lock sequential allocator: the libc stand-in.
+  Hoard,       ///< Hoard-like processor-heap allocator (Berger [3]).
+  Ptmalloc,    ///< Ptmalloc-like arena allocator (Gloger [6]).
+};
+
+/// \returns the printable name benchmarks use for \p Kind.
+const char *allocatorKindName(AllocatorKind Kind);
+
+/// Creates a fresh allocator of \p Kind sized for \p NumProcessors
+/// processor heaps / arenas (ignored where not meaningful).
+std::unique_ptr<MallocInterface> makeAllocator(AllocatorKind Kind,
+                                               unsigned NumProcessors);
+
+struct AllocatorOptions;
+
+/// Creates a lock-free allocator with explicit options behind the common
+/// interface (the ablation benches sweep superblock size, partial-list
+/// policy, credits limit, and hyperblock batching this way). \p Name is
+/// the label benches print; it must outlive the allocator.
+std::unique_ptr<MallocInterface>
+makeLockFreeAllocator(const AllocatorOptions &Opts, const char *Name);
+
+} // namespace lfm
+
+#endif // LFMALLOC_BASELINES_ALLOCATORINTERFACE_H

@@ -1,0 +1,287 @@
+//===- baselines/HoardLike.cpp - Hoard-style lock-based baseline ----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/HoardLike.h"
+
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+using namespace lfm;
+
+namespace {
+
+constexpr std::uint64_t LargeBit = 1;
+
+std::uint64_t &blockWord(void *Block) {
+  return *static_cast<std::uint64_t *>(Block);
+}
+
+} // namespace
+
+/// Superblock header, living in the superblock's first bytes. Guarded by
+/// the owner heap's lock (ownership migrates under both heaps' locks).
+struct HoardLike::Superblock {
+  Superblock *Prev;
+  Superblock *Next;
+  std::atomic<Heap *> Owner;
+  std::uint32_t Class;
+  std::uint32_t BlockSize;
+  std::uint32_t MaxCount;
+  std::uint32_t Used;    ///< Allocated blocks.
+  void *FreeHead;        ///< Freed blocks, linked through first words.
+  char *Bump;            ///< Not-yet-carved tail.
+  char *End;
+};
+
+/// One heap: lock, per-class superblock lists, fullness statistics.
+struct alignas(CacheLineSize) HoardLike::Heap {
+  TasLock Lock;
+  Superblock *Partial[NumSizeClasses];
+  Superblock *Full[NumSizeClasses];
+  std::uint64_t UsedBytes;  ///< u(i): bytes in allocated blocks.
+  std::uint64_t AllocBytes; ///< a(i): bytes in owned superblocks.
+  bool IsGlobal;
+};
+
+HoardLike::HoardLike(unsigned NumProcessors)
+    : NumHeaps(NumProcessors ? NumProcessors : 1) {
+  HeapsBytes = sizeof(Heap) * (NumHeaps + 1);
+  void *Raw = Pages.map(HeapsBytes);
+  if (!Raw) {
+    std::fprintf(stderr, "lfmalloc: cannot map Hoard heaps\n");
+    std::abort();
+  }
+  Heaps = static_cast<Heap *>(Raw);
+  for (unsigned I = 0; I <= NumHeaps; ++I) {
+    Heap *H = new (&Heaps[I]) Heap();
+    H->IsGlobal = I == 0;
+  }
+}
+
+HoardLike::~HoardLike() {
+  // Unmap every owned superblock, then the heap array. Quiescent teardown;
+  // outstanding blocks are invalidated.
+  for (unsigned I = 0; I <= NumHeaps; ++I) {
+    for (unsigned C = 0; C < NumSizeClasses; ++C) {
+      for (Superblock *Sb = Heaps[I].Partial[C]; Sb;) {
+        Superblock *Next = Sb->Next;
+        Pages.unmap(Sb, SbBytes);
+        Sb = Next;
+      }
+      for (Superblock *Sb = Heaps[I].Full[C]; Sb;) {
+        Superblock *Next = Sb->Next;
+        Pages.unmap(Sb, SbBytes);
+        Sb = Next;
+      }
+    }
+    Heaps[I].~Heap();
+  }
+  Pages.unmap(Heaps, HeapsBytes);
+}
+
+HoardLike::Heap *HoardLike::myHeap() {
+  return &Heaps[1 + threadIndex() % NumHeaps];
+}
+
+HoardLike::Superblock *HoardLike::newSuperblock(unsigned Class) {
+  void *Raw = Pages.map(SbBytes);
+  if (!Raw)
+    return nullptr;
+  auto *Sb = new (Raw) Superblock();
+  Sb->Class = Class;
+  Sb->BlockSize = classBlockSize(Class);
+  Sb->Bump = static_cast<char *>(Raw) +
+             alignUp(sizeof(Superblock), BlockPrefixSize * 2);
+  Sb->End = static_cast<char *>(Raw) + SbBytes;
+  Sb->MaxCount =
+      static_cast<std::uint32_t>((Sb->End - Sb->Bump) / Sb->BlockSize);
+  return Sb;
+}
+
+void *HoardLike::popBlock(Superblock *Sb) {
+  void *Block = Sb->FreeHead;
+  if (Block) {
+    Sb->FreeHead = *static_cast<void **>(Block);
+  } else {
+    assert(Sb->Bump + Sb->BlockSize <= Sb->End && "pop from full superblock");
+    Block = Sb->Bump;
+    Sb->Bump += Sb->BlockSize;
+  }
+  ++Sb->Used;
+  return Block;
+}
+
+void HoardLike::pushBlock(Superblock *Sb, void *Block) {
+  *static_cast<void **>(Block) = Sb->FreeHead;
+  Sb->FreeHead = Block;
+  --Sb->Used;
+}
+
+void HoardLike::unlink(Heap *H, Superblock *Sb) {
+  Superblock **Head = Sb->Used == Sb->MaxCount ? &H->Full[Sb->Class]
+                                               : &H->Partial[Sb->Class];
+  if (Sb->Prev)
+    Sb->Prev->Next = Sb->Next;
+  else
+    *Head = Sb->Next;
+  if (Sb->Next)
+    Sb->Next->Prev = Sb->Prev;
+  Sb->Prev = Sb->Next = nullptr;
+}
+
+void HoardLike::linkPartial(Heap *H, Superblock *Sb) {
+  Sb->Prev = nullptr;
+  Sb->Next = H->Partial[Sb->Class];
+  if (Sb->Next)
+    Sb->Next->Prev = Sb;
+  H->Partial[Sb->Class] = Sb;
+}
+
+void HoardLike::linkFull(Heap *H, Superblock *Sb) {
+  Sb->Prev = nullptr;
+  Sb->Next = H->Full[Sb->Class];
+  if (Sb->Next)
+    Sb->Next->Prev = Sb;
+  H->Full[Sb->Class] = Sb;
+}
+
+void *HoardLike::malloc(std::size_t Bytes) {
+  const unsigned Class = sizeToClass(Bytes);
+  if (Class == LargeSizeClass) {
+    const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
+    void *Block = Pages.map(Total);
+    if (!Block)
+      return nullptr;
+    blockWord(Block) = Total | LargeBit;
+    return static_cast<char *>(Block) + BlockPrefixSize;
+  }
+
+  Heap *H = myHeap();
+  H->Lock.lock(); // Lock acquisition #1 (the typical malloc's only one).
+  Superblock *Sb = H->Partial[Class];
+  if (!Sb) {
+    // Check the global heap for a superblock of this class before going
+    // to the OS (Hoard's reuse path).
+    Heap *G = &Heaps[0];
+    G->Lock.lock();
+    Sb = G->Partial[Class];
+    if (Sb) {
+      unlink(G, Sb);
+      G->AllocBytes -= SbBytes;
+      G->UsedBytes -=
+          static_cast<std::uint64_t>(Sb->Used) * Sb->BlockSize;
+      // Publish the new owner before releasing the global lock: a racing
+      // free() revalidates Owner under the lock it took, so the handover
+      // must be atomic with the unlink.
+      Sb->Owner.store(H, std::memory_order_relaxed);
+    }
+    G->Lock.unlock();
+    if (!Sb) {
+      Sb = newSuperblock(Class);
+      if (!Sb) {
+        H->Lock.unlock();
+        return nullptr;
+      }
+      Sb->Owner.store(H, std::memory_order_relaxed);
+    }
+    linkPartial(H, Sb);
+    H->AllocBytes += SbBytes;
+    H->UsedBytes += static_cast<std::uint64_t>(Sb->Used) * Sb->BlockSize;
+  }
+
+  void *Block = popBlock(Sb);
+  H->UsedBytes += Sb->BlockSize;
+  if (Sb->Used == Sb->MaxCount) {
+    // Became full: move from the partial list to the full list.
+    if (Sb->Prev)
+      Sb->Prev->Next = Sb->Next;
+    else
+      H->Partial[Class] = Sb->Next;
+    if (Sb->Next)
+      Sb->Next->Prev = Sb->Prev;
+    linkFull(H, Sb);
+  }
+  H->Lock.unlock();
+
+  blockWord(Block) = reinterpret_cast<std::uint64_t>(Sb);
+  return static_cast<char *>(Block) + BlockPrefixSize;
+}
+
+void HoardLike::free(void *Ptr) {
+  if (!Ptr)
+    return;
+  void *Block = static_cast<char *>(Ptr) - BlockPrefixSize;
+  const std::uint64_t Prefix = blockWord(Block);
+  if (Prefix & LargeBit) {
+    Pages.unmap(Block, Prefix & ~LargeBit);
+    return;
+  }
+  auto *Sb = reinterpret_cast<Superblock *>(Prefix);
+
+  // Lock acquisition #1: the superblock's current owner. Ownership can
+  // migrate between our read and the lock, so revalidate under the lock.
+  Heap *Owner;
+  for (;;) {
+    Owner = Sb->Owner.load(std::memory_order_relaxed);
+    Owner->Lock.lock();
+    if (Sb->Owner.load(std::memory_order_relaxed) == Owner)
+      break;
+    Owner->Lock.unlock();
+  }
+
+  const bool WasFull = Sb->Used == Sb->MaxCount;
+  pushBlock(Sb, Block);
+  Owner->UsedBytes -= Sb->BlockSize;
+  if (WasFull) {
+    if (Sb->Prev)
+      Sb->Prev->Next = Sb->Next;
+    else
+      Owner->Full[Sb->Class] = Sb->Next;
+    if (Sb->Next)
+      Sb->Next->Prev = Sb->Prev;
+    linkPartial(Owner, Sb);
+  }
+
+  // Hoard's emptiness invariant: if this processor heap holds more than
+  // EmptyK superblocks of slack AND under (1 - 1/EmptyFracDenom) of its
+  // space is used, shed a mostly-empty superblock to the global heap
+  // (lock acquisition #2 — "free ... two lock acquisitions").
+  if (!Owner->IsGlobal &&
+      Owner->UsedBytes + EmptyK * SbBytes < Owner->AllocBytes &&
+      EmptyFracDenom * Owner->UsedBytes <
+          (EmptyFracDenom - 1) * Owner->AllocBytes) {
+    // Pick the emptiest of the first few partial superblocks of this
+    // class (Hoard's fullness groups make this O(1); a bounded scan is
+    // the honest approximation).
+    Superblock *Emptiest = nullptr;
+    unsigned Scanned = 0;
+    for (Superblock *S = Owner->Partial[Sb->Class]; S && Scanned < 8;
+         S = S->Next, ++Scanned)
+      if (!Emptiest || S->Used < Emptiest->Used)
+        Emptiest = S;
+    if (Emptiest)
+      transferToGlobal(Owner, Emptiest);
+  }
+  Owner->Lock.unlock();
+}
+
+void HoardLike::transferToGlobal(Heap *From, Superblock *Sb) {
+  unlink(From, Sb);
+  From->AllocBytes -= SbBytes;
+  From->UsedBytes -= static_cast<std::uint64_t>(Sb->Used) * Sb->BlockSize;
+  Heap *G = &Heaps[0];
+  G->Lock.lock();
+  Sb->Owner.store(G, std::memory_order_relaxed);
+  linkPartial(G, Sb);
+  G->AllocBytes += SbBytes;
+  G->UsedBytes += static_cast<std::uint64_t>(Sb->Used) * Sb->BlockSize;
+  G->Lock.unlock();
+}

@@ -1,0 +1,78 @@
+//===- baselines/HoardLike.h - Hoard-style lock-based baseline ---*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of Hoard's algorithm (Berger et al. [3]; the paper's
+/// §2.2 summary): per-processor heaps plus a global heap, superblocks of
+/// same-sized blocks, per-superblock and per-heap fullness statistics, and
+/// the emptiness invariant that bounds blowup — when a processor heap has
+/// too much available space, one of its superblocks moves to the global
+/// heap. "Typically, malloc and free require one and two lock
+/// acquisitions, respectively."
+///
+/// Locks are the same lightweight TasLock the paper substituted into Hoard
+/// for its measurements, so the comparison against the lock-free allocator
+/// is the paper's comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_BASELINES_HOARDLIKE_H
+#define LFMALLOC_BASELINES_HOARDLIKE_H
+
+#include "baselines/AllocatorInterface.h"
+#include "lfmalloc/SizeClasses.h"
+#include "support/SpinLock.h"
+
+#include <cstdint>
+
+namespace lfm {
+
+/// Hoard-style allocator: heap 0 is the global heap, heaps 1..P are
+/// processor heaps selected by thread id.
+class HoardLike final : public MallocInterface {
+public:
+  /// \param NumProcessors number of processor heaps (>= 1).
+  explicit HoardLike(unsigned NumProcessors);
+  ~HoardLike() override;
+
+  void *malloc(std::size_t Bytes) override;
+  void free(void *Ptr) override;
+  const char *name() const override { return "hoard"; }
+  PageStats pageStats() const override { return Pages.stats(); }
+  void resetPeak() override { Pages.resetPeak(); }
+
+  /// Emptiness-invariant parameters (Hoard's K and f): a processor heap
+  /// sheds a superblock to the global heap when it holds more than
+  /// EmptyK superblocks' worth of unused space AND less than
+  /// (1 - 1/EmptyFracDenom) of its space is in use.
+  static constexpr std::uint32_t EmptyK = 4;
+  static constexpr std::uint32_t EmptyFracDenom = 4;
+
+  /// Superblock size (matches the lock-free allocator's default).
+  static constexpr std::size_t SbBytes = 16 * 1024;
+
+private:
+  struct Superblock;
+  struct Heap;
+
+  Superblock *newSuperblock(unsigned Class);
+  void *popBlock(Superblock *Sb);
+  static void pushBlock(Superblock *Sb, void *Block);
+  void unlink(Heap *H, Superblock *Sb);
+  void linkPartial(Heap *H, Superblock *Sb);
+  void linkFull(Heap *H, Superblock *Sb);
+  void transferToGlobal(Heap *From, Superblock *Sb);
+  Heap *myHeap();
+
+  PageAllocator Pages;
+  const unsigned NumHeaps; ///< Processor heaps (excluding global).
+  Heap *Heaps = nullptr;   ///< [NumHeaps + 1]; index 0 is global.
+  std::size_t HeapsBytes = 0;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_BASELINES_HOARDLIKE_H

@@ -1,0 +1,149 @@
+//===- baselines/PtmallocLike.cpp - Ptmalloc-style arena baseline ---------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/PtmallocLike.h"
+
+#include "lfmalloc/SizeClasses.h"
+#include "support/ThreadRegistry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+using namespace lfm;
+
+namespace {
+
+constexpr std::uint64_t LargeBit = 1;
+constexpr unsigned ArenaPtrBits = 48;
+constexpr std::uint64_t ArenaPtrMask = (1ULL << ArenaPtrBits) - 1;
+
+std::uint64_t &blockWord(void *Block) {
+  return *static_cast<std::uint64_t *>(Block);
+}
+
+} // namespace
+
+/// One arena: a lock around a sequential segregated-fit engine.
+struct alignas(CacheLineSize) PtmallocLike::Arena {
+  /// glibc arenas reserve memory in large per-arena heaps; 256 KB regions
+  /// model that granularity (the space cost of "22 arenas for 16
+  /// threads", paper §4.2.2/§4.2.5).
+  static constexpr std::size_t ArenaRegionBytes = 256 * 1024;
+
+  explicit Arena(PageAllocator &Pages) : Engine(Pages, ArenaRegionBytes) {}
+
+  TasLock Lock;
+  SeqAlloc Engine;
+  Arena *Next = nullptr;
+};
+
+PtmallocLike::PtmallocLike(unsigned InitialArenas) {
+  if (InitialArenas == 0)
+    InitialArenas = 1;
+  for (unsigned I = 0; I < InitialArenas; ++I)
+    createArena();
+}
+
+PtmallocLike::~PtmallocLike() {
+  Arena *A = Arenas.load(std::memory_order_relaxed);
+  while (A) {
+    Arena *Next = A->Next;
+    A->~Arena(); // Releases the engine's regions.
+    Pages.unmap(A, alignUp(sizeof(Arena), OsPageSize));
+    A = Next;
+  }
+}
+
+PtmallocLike::Arena *PtmallocLike::createArena() {
+  void *Raw = Pages.map(alignUp(sizeof(Arena), OsPageSize));
+  if (!Raw) {
+    std::fprintf(stderr, "lfmalloc: cannot map ptmalloc arena\n");
+    std::abort();
+  }
+  auto *A = new (Raw) Arena(Pages);
+  A->Next = Arenas.load(std::memory_order_relaxed);
+  while (!Arenas.compare_exchange_weak(A->Next, A,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
+  NumArenas.fetch_add(1, std::memory_order_relaxed);
+  return A;
+}
+
+PtmallocLike::Arena *PtmallocLike::lockSomeArena() {
+  // Last-used arena first (ptmalloc's thread-specific hint) ...
+  std::atomic<Arena *> &Hint = Hints[threadIndex() % HintSlots];
+  Arena *Preferred = Hint.load(std::memory_order_relaxed);
+  if (Preferred && Preferred->Lock.tryLock())
+    return Preferred;
+
+  // ... then sweep the arena list ("if a thread finds an arena locked, it
+  // tries the next one") ...
+  for (Arena *A = Arenas.load(std::memory_order_acquire); A; A = A->Next)
+    if (A != Preferred && A->Lock.tryLock()) {
+      Hint.store(A, std::memory_order_relaxed);
+      return A;
+    }
+
+  // ... and if every arena is locked, create a new one (paper: Ptmalloc
+  // "creates more arenas than the number of threads, e.g., 22 arenas for
+  // 16 threads"). Past the cap, block on the preferred arena.
+  if (NumArenas.load(std::memory_order_relaxed) < MaxArenas) {
+    Arena *Fresh = createArena();
+    Fresh->Lock.lock();
+    Hint.store(Fresh, std::memory_order_relaxed);
+    return Fresh;
+  }
+  Arena *Fallback =
+      Preferred ? Preferred : Arenas.load(std::memory_order_acquire);
+  Fallback->Lock.lock();
+  Hint.store(Fallback, std::memory_order_relaxed);
+  return Fallback;
+}
+
+void *PtmallocLike::malloc(std::size_t Bytes) {
+  const unsigned Class = sizeToClass(Bytes);
+  if (Class == LargeSizeClass) {
+    const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
+    void *Block = Pages.map(Total);
+    if (!Block)
+      return nullptr;
+    blockWord(Block) = Total | LargeBit;
+    return static_cast<char *>(Block) + BlockPrefixSize;
+  }
+
+  Arena *A = lockSomeArena();
+  void *Block = A->Engine.allocateBlock(Class);
+  A->Lock.unlock();
+  if (!Block)
+    return nullptr;
+  // Prefix encodes (arena, class): the arena pointer fits 48 bits (it is
+  // page-aligned, so the low bit doubles as the large-block flag = 0).
+  blockWord(Block) = reinterpret_cast<std::uint64_t>(A) |
+                     (static_cast<std::uint64_t>(Class) << ArenaPtrBits);
+  return static_cast<char *>(Block) + BlockPrefixSize;
+}
+
+void PtmallocLike::free(void *Ptr) {
+  if (!Ptr)
+    return;
+  void *Block = static_cast<char *>(Ptr) - BlockPrefixSize;
+  const std::uint64_t Prefix = blockWord(Block);
+  if (Prefix & LargeBit) {
+    Pages.unmap(Block, Prefix & ~LargeBit);
+    return;
+  }
+  // "When a thread frees a chunk, it returns the chunk to the arena from
+  // which the chunk was originally allocated, and the thread must acquire
+  // that arena's lock" — this is the remote-free contention the paper
+  // blames for Ptmalloc's Larson collapse.
+  auto *A = reinterpret_cast<Arena *>(Prefix & ArenaPtrMask);
+  const unsigned Class = static_cast<unsigned>(Prefix >> ArenaPtrBits);
+  A->Lock.lock();
+  A->Engine.freeBlock(Block, Class);
+  A->Lock.unlock();
+}

@@ -1,0 +1,77 @@
+//===- baselines/PtmallocLike.h - Ptmalloc-style arena baseline --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of Ptmalloc's concurrency scheme (Gloger [6]; paper
+/// §2.2): "It uses multiple arenas ... The granularity of locking is the
+/// arena. If a thread executing malloc finds an arena locked, it tries the
+/// next one. If all arenas are found to be locked, the thread creates a
+/// new arena ... each thread keeps thread-specific information about the
+/// arena it used in its last malloc. When a thread frees a chunk, it
+/// returns the chunk to the arena from which the chunk was originally
+/// allocated, and the thread must acquire that arena's lock."
+///
+/// Locks are the lightweight TasLock, matching the paper's optimized
+/// Ptmalloc configuration (it replaced pthread mutexes with hand-coded
+/// lightweight locks and measured >50% latency reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_BASELINES_PTMALLOCLIKE_H
+#define LFMALLOC_BASELINES_PTMALLOCLIKE_H
+
+#include "baselines/AllocatorInterface.h"
+#include "baselines/SeqAlloc.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// Arena-based lock-per-arena allocator.
+class PtmallocLike final : public MallocInterface {
+public:
+  /// \param InitialArenas arenas created up front (ptmalloc grows the set
+  /// on contention; the paper observed 22 arenas for 16 threads under
+  /// Larson).
+  explicit PtmallocLike(unsigned InitialArenas);
+  ~PtmallocLike() override;
+
+  void *malloc(std::size_t Bytes) override;
+  void free(void *Ptr) override;
+  const char *name() const override { return "ptmalloc"; }
+  PageStats pageStats() const override { return Pages.stats(); }
+  void resetPeak() override { Pages.resetPeak(); }
+
+  /// \returns how many arenas exist right now (grows under contention;
+  /// the Larson bench reports this, as the paper does).
+  unsigned arenaCount() const {
+    return NumArenas.load(std::memory_order_relaxed);
+  }
+
+  /// Hard cap on arena creation; beyond it threads block on their arena.
+  static constexpr unsigned MaxArenas = 64;
+
+private:
+  struct Arena;
+
+  Arena *createArena();
+  Arena *lockSomeArena();
+
+  PageAllocator Pages;
+  std::atomic<Arena *> Arenas{nullptr}; ///< Singly linked, newest first.
+  std::atomic<unsigned> NumArenas{0};
+
+  /// Per-thread last-arena hints, indexed by threadIndex() modulo the
+  /// table size. Racy by design (a wrong hint only costs a tryLock miss).
+  static constexpr unsigned HintSlots = 1024;
+  std::atomic<Arena *> Hints[HintSlots] = {};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_BASELINES_PTMALLOCLIKE_H

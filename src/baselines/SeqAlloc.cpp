@@ -1,0 +1,70 @@
+//===- baselines/SeqAlloc.cpp - Sequential segregated-fit engine ----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SeqAlloc.h"
+
+#include <cassert>
+#include <new>
+
+using namespace lfm;
+
+SeqAlloc::~SeqAlloc() {
+  Region *R = Regions;
+  while (R) {
+    Region *Next = R->Next;
+    Pages.unmap(R, RegionBytes);
+    R = Next;
+  }
+}
+
+void *SeqAlloc::allocateBlock(unsigned Class) {
+  assert(Class < NumSizeClasses && "size class out of range");
+  if (FreeBlock *Block = Bins[Class]) {
+    Bins[Class] = Block->Next;
+    --BinCounts[Class];
+    return Block;
+  }
+
+  const std::uint32_t Size = classBlockSize(Class);
+  if (static_cast<std::size_t>(BumpEnd - BumpPtr) < Size) {
+    // The bump remainder is too small for this class; bin it for the
+    // largest class it can still serve so it is not wasted.
+    while (BumpEnd - BumpPtr >= 16) {
+      const std::size_t Left = static_cast<std::size_t>(BumpEnd - BumpPtr);
+      unsigned C = NumSizeClasses - 1;
+      while (classBlockSize(C) > Left)
+        --C; // Largest class that fits the remainder.
+      auto *Scrap = new (BumpPtr) FreeBlock{Bins[C]};
+      Bins[C] = Scrap;
+      ++BinCounts[C];
+      BumpPtr += classBlockSize(C);
+    }
+    void *Raw = Pages.map(RegionBytes);
+    if (!Raw)
+      return nullptr;
+    auto *R = new (Raw) Region{Regions};
+    Regions = R;
+    BumpPtr = static_cast<char *>(Raw) + BlockPrefixSize * 2; // Header pad.
+    BumpEnd = static_cast<char *>(Raw) + RegionBytes;
+  }
+  void *Block = BumpPtr;
+  BumpPtr += Size;
+  return Block;
+}
+
+void SeqAlloc::freeBlock(void *Block, unsigned Class) {
+  assert(Block && Class < NumSizeClasses && "bad free");
+  auto *FB = new (Block) FreeBlock{Bins[Class]};
+  Bins[Class] = FB;
+  ++BinCounts[Class];
+}
+
+std::uint64_t SeqAlloc::freeBlockCount() const {
+  std::uint64_t Total = 0;
+  for (std::uint64_t C : BinCounts)
+    Total += C;
+  return Total;
+}

@@ -1,0 +1,91 @@
+//===- baselines/SeqAlloc.h - Sequential segregated-fit engine ---*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast *single-threaded* segregated-fit allocator in the Doug Lea
+/// lineage (the paper's reference [14] is the substrate under Ptmalloc).
+/// It is the engine inside the lock-based baselines: SerialLockMalloc
+/// wraps one instance behind one lock (the "libc malloc" stand-in), and
+/// each PtmallocLike arena owns one.
+///
+/// Design: per-size-class free lists threaded through the blocks
+/// themselves, a bump region for carving fresh blocks, and no coalescing
+/// (the benchmark block sizes are small and recycled heavily, which is the
+/// regime the paper's workloads exercise). Uses the same size-class table
+/// as the lock-free allocator so internal fragmentation is identical
+/// across all contenders — differences in the experiments then isolate
+/// synchronization design, not class geometry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_BASELINES_SEQALLOC_H
+#define LFMALLOC_BASELINES_SEQALLOC_H
+
+#include "lfmalloc/SizeClasses.h"
+#include "os/PageAllocator.h"
+
+#include <cstdint>
+
+namespace lfm {
+
+/// Not thread-safe; callers serialize externally (that is the point of the
+/// baselines built on it). Handles size-class blocks only; callers route
+/// large requests to the OS themselves.
+class SeqAlloc {
+public:
+  /// \param Pages provider charged for the regions.
+  /// \param RegionBytes granularity of OS requests. SerialLockMalloc uses
+  /// the default; PtmallocLike arenas use a larger value to model glibc's
+  /// per-arena heap reservations, whose granularity is what makes many
+  /// arenas expensive in space (paper §4.2.5).
+  explicit SeqAlloc(PageAllocator &Pages,
+                    std::size_t RegionBytes = DefaultRegionBytes)
+      : Pages(Pages), RegionBytes(RegionBytes) {
+    assert(RegionBytes >= OsPageSize && RegionBytes % OsPageSize == 0 &&
+           "region size must be whole pages");
+  }
+  SeqAlloc(const SeqAlloc &) = delete;
+  SeqAlloc &operator=(const SeqAlloc &) = delete;
+
+  /// Unmaps all regions; outstanding blocks are invalidated.
+  ~SeqAlloc();
+
+  /// \returns a block of classBlockSize(Class) bytes (prefix included;
+  /// the caller owns the prefix byte layout), or nullptr on OS OOM.
+  void *allocateBlock(unsigned Class);
+
+  /// Returns a block previously handed out for \p Class.
+  void freeBlock(void *Block, unsigned Class);
+
+  /// Blocks carved but currently free (for tests).
+  std::uint64_t freeBlockCount() const;
+
+private:
+  /// Free blocks are linked through their first word.
+  struct FreeBlock {
+    FreeBlock *Next;
+  };
+
+  struct Region {
+    Region *Next;
+  };
+
+  /// Default fresh-region size: large enough to amortize mmap, small
+  /// enough that a near-idle engine does not hoard memory.
+  static constexpr std::size_t DefaultRegionBytes = 64 * 1024;
+
+  PageAllocator &Pages;
+  const std::size_t RegionBytes;
+  FreeBlock *Bins[NumSizeClasses] = {};
+  std::uint64_t BinCounts[NumSizeClasses] = {};
+  char *BumpPtr = nullptr;
+  char *BumpEnd = nullptr;
+  Region *Regions = nullptr;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_BASELINES_SEQALLOC_H

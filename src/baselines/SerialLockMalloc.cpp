@@ -1,0 +1,60 @@
+//===- baselines/SerialLockMalloc.cpp - Global-lock baseline --------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SerialLockMalloc.h"
+
+#include "lfmalloc/SizeClasses.h"
+
+#include <cstdint>
+
+using namespace lfm;
+
+namespace {
+
+// Small-block prefix: size class shifted left one; large-block prefix:
+// mapped size with the low bit set (same convention as the lock-free
+// allocator so the harness exercises identical block shapes).
+constexpr std::uint64_t LargeBit = 1;
+
+std::uint64_t &blockWord(void *Block) {
+  return *static_cast<std::uint64_t *>(Block);
+}
+
+} // namespace
+
+void *SerialLockMalloc::malloc(std::size_t Bytes) {
+  const unsigned Class = sizeToClass(Bytes);
+  if (Class == LargeSizeClass) {
+    const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
+    void *Block = Pages.map(Total);
+    if (!Block)
+      return nullptr;
+    blockWord(Block) = Total | LargeBit;
+    return static_cast<char *>(Block) + BlockPrefixSize;
+  }
+  Lock.lock();
+  void *Block = Engine.allocateBlock(Class);
+  Lock.unlock();
+  if (!Block)
+    return nullptr;
+  blockWord(Block) = static_cast<std::uint64_t>(Class) << 1;
+  return static_cast<char *>(Block) + BlockPrefixSize;
+}
+
+void SerialLockMalloc::free(void *Ptr) {
+  if (!Ptr)
+    return;
+  void *Block = static_cast<char *>(Ptr) - BlockPrefixSize;
+  const std::uint64_t Prefix = blockWord(Block);
+  if (Prefix & LargeBit) {
+    Pages.unmap(Block, Prefix & ~LargeBit);
+    return;
+  }
+  const unsigned Class = static_cast<unsigned>(Prefix >> 1);
+  Lock.lock();
+  Engine.freeBlock(Block, Class);
+  Lock.unlock();
+}

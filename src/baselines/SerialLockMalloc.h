@@ -1,0 +1,45 @@
+//===- baselines/SerialLockMalloc.h - Global-lock baseline -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "libc malloc" stand-in: a fast sequential allocator behind a single
+/// lightweight lock — the paper's description of the baseline class of
+/// MT-safe allocators, "ranging from the use of a single lock wrapped
+/// around single-thread malloc and free" (§1). The paper's Fig. 8 shows
+/// this design "does not scale at all"; reproducing that collapse is this
+/// class's entire job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_BASELINES_SERIALLOCKMALLOC_H
+#define LFMALLOC_BASELINES_SERIALLOCKMALLOC_H
+
+#include "baselines/AllocatorInterface.h"
+#include "baselines/SeqAlloc.h"
+#include "support/SpinLock.h"
+
+namespace lfm {
+
+/// Single-lock MT-safe allocator.
+class SerialLockMalloc final : public MallocInterface {
+public:
+  SerialLockMalloc() : Engine(Pages) {}
+
+  void *malloc(std::size_t Bytes) override;
+  void free(void *Ptr) override;
+  const char *name() const override { return "libc"; }
+  PageStats pageStats() const override { return Pages.stats(); }
+  void resetPeak() override { Pages.resetPeak(); }
+
+private:
+  PageAllocator Pages;
+  TasLock Lock;
+  SeqAlloc Engine;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_BASELINES_SERIALLOCKMALLOC_H

@@ -1,0 +1,90 @@
+//===- harness/Driver.cpp - Benchmark driver utilities --------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace lfm;
+
+std::uint64_t BenchScale::scaled(std::uint64_t PaperValue) const {
+  const double V = static_cast<double>(PaperValue) * Scale;
+  return V < 1.0 ? 1 : static_cast<std::uint64_t>(V);
+}
+
+const BenchScale &lfm::benchScale() {
+  static const BenchScale Parsed = [] {
+    BenchScale S;
+    if (const char *E = std::getenv("LFM_BENCH_SCALE"))
+      S.Scale = std::atof(E) > 0 ? std::atof(E) : S.Scale;
+    if (const char *E = std::getenv("LFM_BENCH_SECONDS"))
+      S.Seconds = std::atof(E) > 0 ? std::atof(E) : S.Seconds;
+    if (const char *E = std::getenv("LFM_BENCH_MAXTHREADS"))
+      S.MaxThreads = std::atoi(E) > 0 ? static_cast<unsigned>(std::atoi(E))
+                                      : S.MaxThreads;
+    return S;
+  }();
+  return Parsed;
+}
+
+void lfm::spawnDeadThread() {
+  std::thread([] {}).join();
+}
+
+std::vector<unsigned> lfm::figureThreadCounts() {
+  const unsigned Max = benchScale().MaxThreads;
+  std::vector<unsigned> Counts;
+  for (unsigned N : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u})
+    if (N <= Max)
+      Counts.push_back(N);
+  if (Counts.empty() || Counts.back() != Max)
+    Counts.push_back(Max);
+  return Counts;
+}
+
+double lfm::contentionFreeLibcBaseline(const WorkloadFn &Fn) {
+  spawnDeadThread(); // Footnote 4: force the multithreaded path.
+  auto Libc = makeAllocator(AllocatorKind::SerialLock, 1);
+  const WorkloadResult R = Fn(*Libc, 1);
+  return R.throughput();
+}
+
+void lfm::runFigure(const char *Title,
+                    const std::vector<AllocatorKind> &Kinds,
+                    const std::vector<unsigned> &ThreadCounts,
+                    const WorkloadFn &Fn, double Baseline) {
+  std::printf("\n%s\n", Title);
+  std::printf("(speedup over contention-free libc; libc baseline = %.3g "
+              "ops/s)\n",
+              Baseline);
+  std::printf("%8s", "threads");
+  for (AllocatorKind K : Kinds)
+    std::printf(" %10s", allocatorKindName(K));
+  std::printf("\n");
+
+  for (unsigned Threads : ThreadCounts) {
+    std::printf("%8u", Threads);
+    for (AllocatorKind K : Kinds) {
+      auto Alloc = makeAllocator(K, benchScale().MaxThreads);
+      const WorkloadResult R = Fn(*Alloc, Threads);
+      const double Speedup =
+          Baseline > 0 ? R.throughput() / Baseline : 0.0;
+      std::printf(" %10.2f", Speedup);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+void lfm::runStandardFigure(const char *Title, const WorkloadFn &Fn) {
+  const double Baseline = contentionFreeLibcBaseline(Fn);
+  runFigure(Title,
+            {AllocatorKind::LockFree, AllocatorKind::Hoard,
+             AllocatorKind::Ptmalloc, AllocatorKind::SerialLock},
+            figureThreadCounts(), Fn, Baseline);
+}

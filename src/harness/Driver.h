@@ -1,0 +1,77 @@
+//===- harness/Driver.h - Benchmark driver utilities -------------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the bench binaries: environment-driven scaling, the
+/// paper's contention-free measurement protocol (footnote 4's dead spawn),
+/// and a figure runner that sweeps allocators × thread counts and prints
+/// speedup-over-contention-free-libc rows — the exact shape of the paper's
+/// Table 1 and Fig. 8 series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_HARNESS_DRIVER_H
+#define LFMALLOC_HARNESS_DRIVER_H
+
+#include "baselines/AllocatorInterface.h"
+#include "harness/Workloads.h"
+
+#include <functional>
+#include <vector>
+
+namespace lfm {
+
+/// Wall-clock budget knobs, read from the environment once:
+///  LFM_BENCH_SCALE      multiplies iteration counts   (default 1.0)
+///  LFM_BENCH_SECONDS    timed-phase length in seconds (default 0.4;
+///                       the paper runs 30 s phases)
+///  LFM_BENCH_MAXTHREADS top of every thread sweep     (default 16,
+///                       the paper's POWER3 processor count)
+struct BenchScale {
+  double Scale = 1.0;
+  double Seconds = 0.4;
+  unsigned MaxThreads = 16;
+
+  /// Applies Scale to a paper-sized iteration count, keeping >= 1.
+  std::uint64_t scaled(std::uint64_t PaperValue) const;
+};
+
+/// \returns the process-wide scale (parsed once).
+const BenchScale &benchScale();
+
+/// The paper's footnote 4: spawn a thread that does nothing and exits, so
+/// "contention-free" latency is measured on the true multithreaded path
+/// even for allocators with single-thread bypass tricks.
+void spawnDeadThread();
+
+/// \returns thread counts 1..MaxThreads in the paper's Fig. 8 style
+/// (every processor count on the 16-way machine; we thin the tail to keep
+/// wall clock bounded: 1,2,3,4,6,8,12,16).
+std::vector<unsigned> figureThreadCounts();
+
+/// One workload driven over an allocator at a given thread count.
+using WorkloadFn =
+    std::function<WorkloadResult(MallocInterface &Alloc, unsigned Threads)>;
+
+/// Runs \p Fn single-threaded on a fresh serial-lock allocator — the
+/// contention-free libc baseline every speedup in the paper is relative
+/// to. \returns its throughput.
+double contentionFreeLibcBaseline(const WorkloadFn &Fn);
+
+/// Sweeps \p Kinds x \p ThreadCounts over \p Fn and prints one row per
+/// thread count with speedup-over-\p Baseline per allocator — a Fig. 8
+/// panel. Every cell uses a freshly constructed allocator.
+void runFigure(const char *Title, const std::vector<AllocatorKind> &Kinds,
+               const std::vector<unsigned> &ThreadCounts,
+               const WorkloadFn &Fn, double Baseline);
+
+/// Convenience: baseline + sweep with the standard contender set
+/// (new, hoard, ptmalloc, libc).
+void runStandardFigure(const char *Title, const WorkloadFn &Fn);
+
+} // namespace lfm
+
+#endif // LFMALLOC_HARNESS_DRIVER_H

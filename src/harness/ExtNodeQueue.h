@@ -1,0 +1,171 @@
+//===- harness/ExtNodeQueue.h - MS queue over malloc'd nodes -----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock-free FIFO queue of the paper's Producer-consumer benchmark
+/// (§4.1, citing [19, 20]): a Michael–Scott queue whose nodes are
+/// *allocated and freed through the allocator under test* — the producer
+/// mallocs each queue node (one of its "3 malloc operations") and the
+/// consumer frees it (one of its "4 free operations"). Dequeued nodes pass
+/// through hazard-pointer retirement before the allocator's free() is
+/// invoked, which is precisely the composition of lock-free allocation and
+/// safe memory reclamation the paper's Section 5 advertises.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_HARNESS_EXTNODEQUEUE_H
+#define LFMALLOC_HARNESS_EXTNODEQUEUE_H
+
+#include "baselines/AllocatorInterface.h"
+#include "lockfree/HazardPointers.h"
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+namespace lfm {
+
+/// Lock-free MPMC FIFO whose node storage comes from a MallocInterface.
+class ExtNodeQueue {
+public:
+  /// Queue node; sized by what the allocator under test must serve (the
+  /// paper's node is 16 bytes; the hazard header makes ours larger, the
+  /// allocation pattern is identical).
+  struct Node : HazardErasable {
+    std::atomic<Node *> Next;
+    void *Payload;
+  };
+
+  /// \param Alloc allocator under test; provides and reclaims node memory.
+  /// \param Domain hazard domain for dequeue protection.
+  explicit ExtNodeQueue(MallocInterface &Alloc,
+                        HazardDomain &Domain = HazardDomain::global())
+      : Alloc(Alloc), Domain(Domain) {
+    Node *Dummy = makeNode(nullptr);
+    Head.store(Dummy, std::memory_order_relaxed);
+    Tail.store(Dummy, std::memory_order_relaxed);
+  }
+  ExtNodeQueue(const ExtNodeQueue &) = delete;
+  ExtNodeQueue &operator=(const ExtNodeQueue &) = delete;
+
+  /// Quiescent teardown: drains remaining entries (freeing payload-less
+  /// nodes only; payloads are the caller's) and the dummy.
+  ~ExtNodeQueue() {
+    Domain.drainAll();
+    Node *N = Head.load(std::memory_order_relaxed);
+    while (N) {
+      Node *Next = N->Next.load(std::memory_order_relaxed);
+      Alloc.free(N);
+      N = Next;
+    }
+  }
+
+  /// Allocates a node for \p Payload via the allocator under test (counts
+  /// as one of the producer's mallocs) and enqueues it. Lock-free.
+  /// \returns false if the allocator is out of memory.
+  bool enqueue(void *Payload) {
+    void *Raw = Alloc.malloc(sizeof(Node));
+    if (!Raw)
+      return false;
+    Node *N = makeNodeAt(Raw, Payload);
+    for (;;) {
+      Node *T = Domain.protect(HpSlotTail, Tail);
+      Node *Next = T->Next.load(std::memory_order_acquire);
+      if (T != Tail.load(std::memory_order_acquire))
+        continue;
+      if (Next) {
+        Tail.compare_exchange_weak(T, Next, std::memory_order_release,
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      Node *Expected = nullptr;
+      if (T->Next.compare_exchange_weak(Expected, N,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        Tail.compare_exchange_strong(T, N, std::memory_order_release,
+                                     std::memory_order_relaxed);
+        break;
+      }
+    }
+    Domain.clear(HpSlotTail);
+    ApproxCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Dequeues the oldest payload. The spent node is retired and then freed
+  /// through the allocator under test (the consumer's node free).
+  /// \returns false when empty.
+  bool dequeue(void *&Payload) {
+    for (;;) {
+      Node *H = Domain.protect(HpSlotHead, Head);
+      Node *T = Tail.load(std::memory_order_acquire);
+      Node *Next = Domain.protectWith<Node>(HpSlotNext, [&] {
+        return H->Next.load(std::memory_order_acquire);
+      });
+      if (H != Head.load(std::memory_order_acquire))
+        continue;
+      if (!Next) {
+        Domain.clear(HpSlotHead);
+        Domain.clear(HpSlotNext);
+        return false;
+      }
+      if (H == T) {
+        Tail.compare_exchange_weak(T, Next, std::memory_order_release,
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      void *Value = Next->Payload;
+      if (Head.compare_exchange_weak(H, Next, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+        Payload = Value;
+        Domain.clear(HpSlotHead);
+        Domain.clear(HpSlotNext);
+        Domain.retire(H, reclaimNode, &Alloc);
+        ApproxCount.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// Racy length estimate; the producer throttles on this, matching the
+  /// paper's "when the number of tasks in the queue exceeds 1000".
+  std::int64_t approxSize() const {
+    const std::int64_t N = ApproxCount.load(std::memory_order_relaxed);
+    return N < 0 ? 0 : N;
+  }
+
+private:
+  static constexpr unsigned HpSlotHead = 0;
+  static constexpr unsigned HpSlotTail = 1;
+  static constexpr unsigned HpSlotNext = 2;
+
+  Node *makeNode(void *Payload) {
+    void *Raw = Alloc.malloc(sizeof(Node));
+    assert(Raw && "allocator under test refused a queue node");
+    return makeNodeAt(Raw, Payload);
+  }
+
+  static Node *makeNodeAt(void *Raw, void *Payload) {
+    Node *N = new (Raw) Node();
+    N->Next.store(nullptr, std::memory_order_relaxed);
+    N->Payload = Payload;
+    return N;
+  }
+
+  static void reclaimNode(HazardErasable *Obj, void *Ctx) {
+    static_cast<MallocInterface *>(Ctx)->free(static_cast<Node *>(Obj));
+  }
+
+  MallocInterface &Alloc;
+  HazardDomain &Domain;
+  alignas(CacheLineSize) std::atomic<Node *> Head{nullptr};
+  alignas(CacheLineSize) std::atomic<Node *> Tail{nullptr};
+  alignas(CacheLineSize) std::atomic<std::int64_t> ApproxCount{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_HARNESS_EXTNODEQUEUE_H

@@ -1,0 +1,193 @@
+//===- harness/TraceWorkload.cpp - Synthetic application traces -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/TraceWorkload.h"
+
+#include "support/Barrier.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+using namespace lfm;
+
+const char *lfm::traceProfileName(TraceProfile Profile) {
+  switch (Profile) {
+  case TraceProfile::WebServer:
+    return "web-server";
+  case TraceProfile::Scientific:
+    return "scientific";
+  case TraceProfile::DataMining:
+    return "data-mining";
+  }
+  assert(false && "unknown profile");
+  return "?";
+}
+
+namespace {
+
+/// Rough log-normal-ish size: product of a base and a heavy-tailed
+/// multiplier (occasionally large enough to cross into the large path).
+std::uint32_t heavyTailSize(XorShift128 &Rng) {
+  std::uint32_t Size = 16 + static_cast<std::uint32_t>(Rng.nextBounded(64));
+  while (Rng.nextBounded(4) == 0 && Size < (1u << 16))
+    Size *= 3;
+  return Size;
+}
+
+void generateWebServer(XorShift128 &Rng, Trace &T, std::uint32_t NumOps) {
+  // Slots [0, 64): long-lived "sessions" (160-2000 B), churned rarely.
+  // Slots [64, SlotCount): short-lived "requests" (16-512 B), bursty.
+  const std::uint32_t Sessions = 64;
+  std::uint32_t I = 0;
+  while (I < NumOps) {
+    if (Rng.nextBounded(32) == 0) {
+      // Session churn.
+      T.Ops.push_back(
+          {static_cast<std::uint32_t>(Rng.nextBounded(Sessions)),
+           static_cast<std::uint32_t>(Rng.nextInRange(160, 2000))});
+      ++I;
+      continue;
+    }
+    // A request burst: allocate a handful, then free them in order.
+    const std::uint32_t Burst =
+        static_cast<std::uint32_t>(Rng.nextInRange(2, 12));
+    std::uint32_t Slots[12];
+    for (std::uint32_t B = 0; B < Burst && I < NumOps; ++B, ++I) {
+      Slots[B] = Sessions + static_cast<std::uint32_t>(Rng.nextBounded(
+                                T.SlotCount - Sessions));
+      T.Ops.push_back(
+          {Slots[B],
+           static_cast<std::uint32_t>(Rng.nextInRange(16, 512))});
+    }
+    for (std::uint32_t B = 0; B < Burst && I < NumOps; ++B, ++I)
+      T.Ops.push_back({Slots[B], 0});
+  }
+}
+
+void generateScientific(XorShift128 &Rng, Trace &T, std::uint32_t NumOps) {
+  // Phases: ramp up a working set of medium/large blocks, hold, release
+  // nearly everything, repeat.
+  std::uint32_t I = 0;
+  while (I < NumOps) {
+    const std::uint32_t Working =
+        static_cast<std::uint32_t>(Rng.nextInRange(64, T.SlotCount));
+    for (std::uint32_t S = 0; S < Working && I < NumOps; ++S, ++I)
+      T.Ops.push_back(
+          {S, static_cast<std::uint32_t>(Rng.nextInRange(1024, 12000))});
+    for (std::uint32_t S = 0; S < Working && I < NumOps; ++S, ++I)
+      T.Ops.push_back({S, Rng.nextBounded(16) == 0
+                              ? static_cast<std::uint32_t>(
+                                    Rng.nextInRange(1024, 12000))
+                              : 0});
+  }
+}
+
+void generateDataMining(XorShift128 &Rng, Trace &T, std::uint32_t NumOps) {
+  for (std::uint32_t I = 0; I < NumOps; ++I) {
+    const auto Slot =
+        static_cast<std::uint32_t>(Rng.nextBounded(T.SlotCount));
+    T.Ops.push_back(
+        {Slot, Rng.nextBounded(3) == 0 ? 0 : heavyTailSize(Rng)});
+  }
+}
+
+} // namespace
+
+Trace lfm::generateTrace(TraceProfile Profile, std::uint64_t Seed,
+                         std::uint32_t NumOps) {
+  Trace T;
+  T.Profile = Profile;
+  T.SlotCount = 256;
+  T.Ops.reserve(NumOps + 16);
+  XorShift128 Rng(Seed ^ (static_cast<std::uint64_t>(Profile) << 56));
+  switch (Profile) {
+  case TraceProfile::WebServer:
+    generateWebServer(Rng, T, NumOps);
+    break;
+  case TraceProfile::Scientific:
+    generateScientific(Rng, T, NumOps);
+    break;
+  case TraceProfile::DataMining:
+    generateDataMining(Rng, T, NumOps);
+    break;
+  }
+  return T;
+}
+
+TraceResult lfm::replayTrace(MallocInterface &Alloc, unsigned Threads,
+                             const Trace &T) {
+  struct Rec {
+    unsigned char *Ptr = nullptr;
+    std::uint32_t Bytes = 0;
+    unsigned char Fill = 0;
+  };
+
+  SpinBarrier Start(Threads + 1);
+  std::vector<std::uint64_t> Begin(Threads), End(Threads);
+  std::vector<TraceResult> Partial(Threads);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      std::vector<Rec> Live(T.SlotCount);
+      TraceResult &R = Partial[W];
+      Start.arriveAndWait();
+      Begin[W] = monotonicNanos();
+      for (const TraceOp &Op : T.Ops) {
+        Rec &Slot = Live[Op.Slot];
+        if (Slot.Ptr) {
+          // Verify a sample of the old contents before releasing.
+          const std::uint32_t Step = Slot.Bytes > 64 ? 31 : 7;
+          for (std::uint32_t B = 0; B < Slot.Bytes; B += Step)
+            if (Slot.Ptr[B] != Slot.Fill)
+              ++R.Corruptions;
+          Alloc.free(Slot.Ptr);
+          Slot.Ptr = nullptr;
+          ++R.Frees;
+        }
+        if (Op.Bytes) {
+          // Offset sizes per worker so threads span size classes.
+          const std::uint32_t Bytes = Op.Bytes + W * 8;
+          auto *P = static_cast<unsigned char *>(Alloc.malloc(Bytes));
+          if (!P) {
+            ++R.Corruptions; // OOM counts as a failure in replay.
+            continue;
+          }
+          const auto Fill =
+              static_cast<unsigned char>((Op.Slot * 37 + W) | 1);
+          std::memset(P, Fill, Bytes);
+          Live[Op.Slot] = Rec{P, Bytes, Fill};
+          ++R.Allocs;
+        }
+      }
+      for (Rec &Slot : Live)
+        if (Slot.Ptr) {
+          Alloc.free(Slot.Ptr);
+          ++R.Frees;
+        }
+      End[W] = monotonicNanos();
+    });
+
+  Start.arriveAndWait();
+  for (auto &W : Workers)
+    W.join();
+
+  TraceResult Total;
+  std::uint64_t First = Begin[0], Last = End[0];
+  for (unsigned W = 0; W < Threads; ++W) {
+    First = std::min(First, Begin[W]);
+    Last = std::max(Last, End[W]);
+    Total.Allocs += Partial[W].Allocs;
+    Total.Frees += Partial[W].Frees;
+    Total.Corruptions += Partial[W].Corruptions;
+  }
+  Total.Seconds = static_cast<double>(Last - First) * 1e-9;
+  return Total;
+}

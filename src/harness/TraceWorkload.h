@@ -1,0 +1,90 @@
+//===- harness/TraceWorkload.h - Synthetic application traces ----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic allocation traces modeled on the application
+/// classes the paper's introduction names ("commercial database and web
+/// servers to data mining and scientific applications"). The paper's §4.1
+/// microbenchmarks each isolate one behaviour; a trace replay exercises
+/// their superposition: mixed size distributions, phase changes, and
+/// skewed lifetimes, reproducibly from a seed.
+///
+/// Profiles:
+///  - WebServer:  many small short-lived blocks (requests) over a slowly
+///    churning set of medium long-lived blocks (sessions), bursty.
+///  - Scientific: phase behaviour — allocate a large working set, compute
+///    (touch), release almost everything, repeat.
+///  - DataMining: log-normal-ish sizes with a heavy tail into the large-
+///    block path, random lifetimes.
+///
+/// The same trace (seed + profile + length) drives tests (determinism,
+/// conservation) and `bench_traces` (throughput per allocator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_HARNESS_TRACEWORKLOAD_H
+#define LFMALLOC_HARNESS_TRACEWORKLOAD_H
+
+#include "baselines/AllocatorInterface.h"
+#include "harness/Workloads.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lfm {
+
+/// Application classes a trace can imitate.
+enum class TraceProfile : std::uint8_t {
+  WebServer,
+  Scientific,
+  DataMining,
+};
+
+/// \returns the printable name of \p Profile.
+const char *traceProfileName(TraceProfile Profile);
+
+/// One step of a trace: operate on slot \p Slot of the replayer's live
+/// table. Bytes == 0 frees the slot; otherwise (re)allocate Bytes there
+/// (freeing any previous occupant first).
+struct TraceOp {
+  std::uint32_t Slot;
+  std::uint32_t Bytes;
+};
+
+/// A reproducible allocation trace.
+struct Trace {
+  TraceProfile Profile;
+  std::uint32_t SlotCount; ///< Size of the live table the ops index.
+  std::vector<TraceOp> Ops;
+};
+
+/// Generates a deterministic trace: same (Profile, Seed, NumOps) always
+/// yields the same operations.
+Trace generateTrace(TraceProfile Profile, std::uint64_t Seed,
+                    std::uint32_t NumOps);
+
+/// Replays \p T on \p Threads threads (each thread replays the full op
+/// sequence against its own slot table, offsetting sizes by its id so
+/// threads hit different size classes too). Every block is filled and
+/// verified; a corruption aborts via assert in debug builds and is
+/// reported in the result otherwise.
+struct TraceResult {
+  double Seconds = 0;
+  std::uint64_t Allocs = 0;
+  std::uint64_t Frees = 0;
+  std::uint64_t Corruptions = 0;
+
+  double throughput() const {
+    return Seconds > 0 ? (Allocs + Frees) / Seconds : 0;
+  }
+};
+
+TraceResult replayTrace(MallocInterface &Alloc, unsigned Threads,
+                        const Trace &T);
+
+} // namespace lfm
+
+#endif // LFMALLOC_HARNESS_TRACEWORKLOAD_H

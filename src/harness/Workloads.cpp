@@ -1,0 +1,338 @@
+//===- harness/Workloads.cpp - The paper's six benchmarks -----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Workloads.h"
+
+#include "harness/ExtNodeQueue.h"
+#include "support/Barrier.h"
+#include "support/Platform.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+/// Runs \p Body(tid) on \p Threads threads, releasing them simultaneously
+/// through a barrier. \returns the span from the first worker's start to
+/// the last worker's finish — the paper times only the parallel phase.
+/// Timestamps are taken by the workers themselves: on an oversubscribed
+/// machine the coordinating thread can be descheduled across the whole
+/// run, so its own clock reads would be meaningless.
+template <typename BodyFn>
+double timeParallel(unsigned Threads, BodyFn Body) {
+  assert(Threads > 0 && "need at least one worker");
+  SpinBarrier Start(Threads);
+  std::vector<std::uint64_t> Begin(Threads), End(Threads);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Start.arriveAndWait();
+      Begin[T] = monotonicNanos();
+      Body(T);
+      End[T] = monotonicNanos();
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::uint64_t First = Begin[0], Last = End[0];
+  for (unsigned T = 1; T < Threads; ++T) {
+    First = std::min(First, Begin[T]);
+    Last = std::max(Last, End[T]);
+  }
+  return static_cast<double>(Last - First) * 1e-9;
+}
+
+/// Duration-driven variant: releases the workers, sleeps \p Seconds, sets
+/// \p Stop, then joins. \returns the actual timed-window length (again
+/// from worker-side timestamps).
+template <typename BodyFn>
+double timeParallelFor(unsigned Threads, double Seconds,
+                       std::atomic<bool> &Stop, BodyFn Body) {
+  SpinBarrier Start(Threads + 1);
+  std::vector<std::uint64_t> Begin(Threads), End(Threads);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Start.arriveAndWait();
+      Begin[T] = monotonicNanos();
+      Body(T);
+      End[T] = monotonicNanos();
+    });
+  Start.arriveAndWait();
+  std::this_thread::sleep_for(std::chrono::duration<double>(Seconds));
+  Stop.store(true, std::memory_order_release);
+  for (auto &W : Workers)
+    W.join();
+  std::uint64_t First = Begin[0], Last = End[0];
+  for (unsigned T = 1; T < Threads; ++T) {
+    First = std::min(First, Begin[T]);
+    Last = std::max(Last, End[T]);
+  }
+  return static_cast<double>(Last - First) * 1e-9;
+}
+
+/// Touch an allocated block the way a real program would (defeats any
+/// hypothetical allocator that never produces usable memory).
+void touch(void *Ptr) { *static_cast<volatile char *>(Ptr) = 1; }
+
+} // namespace
+
+WorkloadResult lfm::runLinuxScalability(MallocInterface &Alloc,
+                                        unsigned Threads,
+                                        std::uint64_t PairsPerThread) {
+  const double Seconds = timeParallel(Threads, [&](unsigned) {
+    for (std::uint64_t I = 0; I < PairsPerThread; ++I) {
+      void *P = Alloc.malloc(8);
+      touch(P);
+      Alloc.free(P);
+    }
+  });
+  return WorkloadResult{Seconds, PairsPerThread * Threads};
+}
+
+WorkloadResult lfm::runThreadtest(MallocInterface &Alloc, unsigned Threads,
+                                  unsigned Iterations,
+                                  unsigned BlocksPerIter) {
+  // Pointer slots are pre-created outside the timed region so the harness
+  // itself allocates nothing while the clock runs.
+  std::vector<std::vector<void *>> Slots(Threads);
+  for (auto &S : Slots)
+    S.resize(BlocksPerIter);
+
+  const double Seconds = timeParallel(Threads, [&](unsigned T) {
+    std::vector<void *> &Mine = Slots[T];
+    for (unsigned I = 0; I < Iterations; ++I) {
+      for (unsigned B = 0; B < BlocksPerIter; ++B) {
+        Mine[B] = Alloc.malloc(8);
+        touch(Mine[B]);
+      }
+      for (unsigned B = 0; B < BlocksPerIter; ++B) // "freeing them in order"
+        Alloc.free(Mine[B]);
+    }
+  });
+  return WorkloadResult{Seconds, static_cast<std::uint64_t>(Threads) *
+                                     Iterations * BlocksPerIter};
+}
+
+WorkloadResult lfm::runFalseSharing(MallocInterface &Alloc, unsigned Threads,
+                                    unsigned PairsPerThread,
+                                    unsigned WritesPerByte, bool Passive) {
+  constexpr unsigned BlockBytes = 8;
+
+  // Passive variant: one thread allocates a block per worker up front; the
+  // workers free them immediately, priming cross-thread block reuse so a
+  // placement policy that packs different threads' blocks into one cache
+  // line gets caught (Torrellas et al. [22]).
+  std::vector<void *> HandOff(Threads, nullptr);
+  if (Passive)
+    for (unsigned T = 0; T < Threads; ++T) {
+      HandOff[T] = Alloc.malloc(BlockBytes);
+      touch(HandOff[T]);
+    }
+
+  const double Seconds = timeParallel(Threads, [&](unsigned T) {
+    if (Passive)
+      Alloc.free(HandOff[T]);
+    for (unsigned I = 0; I < PairsPerThread; ++I) {
+      auto *Block = static_cast<volatile char *>(Alloc.malloc(BlockBytes));
+      for (unsigned W = 0; W < WritesPerByte; ++W)
+        for (unsigned B = 0; B < BlockBytes; ++B)
+          Block[B] = static_cast<char>(B + W);
+      Alloc.free(const_cast<char *>(Block));
+    }
+  });
+  return WorkloadResult{Seconds,
+                        static_cast<std::uint64_t>(Threads) * PairsPerThread};
+}
+
+WorkloadResult lfm::runLarson(MallocInterface &Alloc, unsigned Threads,
+                              unsigned SlotsPerThread, unsigned MinSize,
+                              unsigned MaxSize, double Seconds) {
+  XorShift128 SetupRng(0x1a450);
+
+  // Warm-up churn (untimed, per the paper): one thread allocates and frees
+  // random-sized blocks in random order, fragmenting the heap the way a
+  // long-lived server would before the measurement starts.
+  {
+    const std::size_t ChurnCount =
+        static_cast<std::size_t>(Threads) * SlotsPerThread;
+    std::vector<void *> Churn(ChurnCount);
+    for (auto &P : Churn) {
+      P = Alloc.malloc(SetupRng.nextInRange(MinSize, MaxSize));
+      touch(P);
+    }
+    for (std::size_t I = ChurnCount; I > 1; --I)
+      std::swap(Churn[I - 1], Churn[SetupRng.nextBounded(I)]);
+    for (void *P : Churn)
+      Alloc.free(P);
+  }
+
+  // "an equal number of blocks (1024) is handed over to each of the
+  // remaining threads": seed every worker's slots from the setup thread.
+  std::vector<std::vector<void *>> Slots(Threads);
+  for (auto &S : Slots) {
+    S.resize(SlotsPerThread);
+    for (auto &P : S) {
+      P = Alloc.malloc(SetupRng.nextInRange(MinSize, MaxSize));
+      touch(P);
+    }
+  }
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::uint64_t> Pairs(Threads, 0);
+  const double Elapsed =
+      timeParallelFor(Threads, Seconds, Stop, [&](unsigned T) {
+        XorShift128 Rng(0xbeef + T);
+        std::vector<void *> &Mine = Slots[T];
+        std::uint64_t Count = 0;
+        while (!Stop.load(std::memory_order_acquire)) {
+          const std::size_t Victim = Rng.nextBounded(Mine.size());
+          Alloc.free(Mine[Victim]);
+          Mine[Victim] = Alloc.malloc(Rng.nextInRange(MinSize, MaxSize));
+          touch(Mine[Victim]);
+          ++Count;
+        }
+        Pairs[T] = Count;
+      });
+
+  std::uint64_t Total = 0;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Total += Pairs[T];
+    for (void *P : Slots[T])
+      Alloc.free(P);
+  }
+  return WorkloadResult{Elapsed, Total};
+}
+
+namespace {
+
+/// The paper's task: a 32-byte struct carrying a 40-80 byte block of
+/// database indexes.
+struct PcTask {
+  std::uint32_t *Indexes;
+  std::uint32_t Count;
+  std::uint32_t Pad[5]; // Pad the task struct to the paper's 32 bytes.
+};
+static_assert(sizeof(PcTask) == 32, "task struct must be 32 bytes");
+
+/// Consumer work: histogram the database values named by the task (one
+/// malloc), then spend `Work` units of local compute, then release
+/// everything (index block, task, histogram; the queue frees the node) —
+/// "one malloc and 4 free operations on the part of the consumer".
+void consumeTask(MallocInterface &Alloc, PcTask *Task,
+                 const std::uint64_t *Db, unsigned Work) {
+  auto *Hist = static_cast<std::uint32_t *>(Alloc.malloc(64));
+  for (unsigned I = 0; I < 16; ++I)
+    Hist[I] = 0;
+  for (std::uint32_t I = 0; I < Task->Count; ++I)
+    ++Hist[Db[Task->Indexes[I]] & 15];
+  // Local work proportional to the `work` parameter (the knee-position
+  // knob of Fig. 8f-h).
+  volatile std::uint64_t Acc = 0;
+  for (unsigned I = 0; I < Work; ++I)
+    Acc = Acc + Hist[I & 15] + I;
+  Alloc.free(Hist);
+  Alloc.free(Task->Indexes);
+  Alloc.free(Task);
+}
+
+/// Producer work: "selects a random-sized (10 to 20) random set of array
+/// indexes, allocates a block of matching size (40 to 80 bytes) to record
+/// the array indexes, then allocates a fixed size task structure (32
+/// bytes) and a fixed size queue node" — 3 mallocs (the node inside
+/// enqueue).
+PcTask *produceTask(MallocInterface &Alloc, XorShift128 &Rng,
+                    std::uint32_t DbSize) {
+  const std::uint32_t Count =
+      static_cast<std::uint32_t>(Rng.nextInRange(10, 20));
+  auto *Indexes = static_cast<std::uint32_t *>(
+      Alloc.malloc(Count * sizeof(std::uint32_t)));
+  for (std::uint32_t I = 0; I < Count; ++I)
+    Indexes[I] = static_cast<std::uint32_t>(Rng.nextBounded(DbSize));
+  auto *Task = static_cast<PcTask *>(Alloc.malloc(sizeof(PcTask)));
+  Task->Indexes = Indexes;
+  Task->Count = Count;
+  return Task;
+}
+
+} // namespace
+
+WorkloadResult lfm::runProducerConsumer(MallocInterface &Alloc,
+                                        unsigned Threads, unsigned Work,
+                                        double Seconds,
+                                        std::uint32_t DatabaseSize) {
+  assert(Threads >= 1 && "producer-consumer needs at least the producer");
+
+  // "a database of 1 million items is initialized randomly" — application
+  // data, not allocator traffic.
+  std::vector<std::uint64_t> Db(DatabaseSize);
+  XorShift128 DbRng(0xdb);
+  for (auto &V : Db)
+    V = DbRng.next();
+
+  ExtNodeQueue Queue(Alloc);
+  std::atomic<bool> Stop{false};
+  std::vector<std::uint64_t> Done(Threads, 0);
+  constexpr std::int64_t HelpThreshold = 1000;
+
+  const double Elapsed =
+      timeParallelFor(Threads, Seconds, Stop, [&](unsigned T) {
+        std::uint64_t Count = 0;
+        if (T == 0) {
+          // Producer. "When the number of tasks in the queue exceeds 1000,
+          // the producer helps the consumers by dequeuing a task ... and
+          // processing it."
+          XorShift128 Rng(0x9d0d);
+          while (!Stop.load(std::memory_order_acquire)) {
+            if (Queue.approxSize() > HelpThreshold ||
+                (Threads == 1 && Queue.approxSize() > 0)) {
+              void *Payload = nullptr;
+              if (Queue.dequeue(Payload)) {
+                consumeTask(Alloc, static_cast<PcTask *>(Payload), Db.data(),
+                            Work);
+                ++Count;
+              }
+              continue;
+            }
+            Queue.enqueue(produceTask(Alloc, Rng, DatabaseSize));
+          }
+        } else {
+          // Consumer.
+          while (!Stop.load(std::memory_order_acquire)) {
+            void *Payload = nullptr;
+            if (!Queue.dequeue(Payload)) {
+              cpuRelax();
+              continue;
+            }
+            consumeTask(Alloc, static_cast<PcTask *>(Payload), Db.data(),
+                        Work);
+            ++Count;
+          }
+        }
+        Done[T] = Count;
+      });
+
+  // Drain leftovers outside the window (uncounted).
+  void *Payload = nullptr;
+  while (Queue.dequeue(Payload)) {
+    auto *Task = static_cast<PcTask *>(Payload);
+    Alloc.free(Task->Indexes);
+    Alloc.free(Task);
+  }
+
+  std::uint64_t Total = 0;
+  for (std::uint64_t C : Done)
+    Total += C;
+  return WorkloadResult{Elapsed, Total};
+}

@@ -1,0 +1,82 @@
+//===- harness/Workloads.h - The paper's six benchmarks ----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable implementations of the benchmarks in the paper's §4.1:
+/// Linux scalability [15], Threadtest [3], Active-false / Passive-false
+/// [3], Larson [13], and the paper's own lock-free Producer-consumer.
+/// Every workload drives an arbitrary allocator through MallocInterface;
+/// the bench binaries sweep thread counts and allocators to regenerate
+/// Table 1 and Fig. 8, and the test suite runs them small as integration
+/// tests.
+///
+/// Parameters carry the paper's published values as documented defaults,
+/// scaled down by the callers for wall-clock budget; the *shape* of the
+/// results, not their absolute magnitude, is the reproduction target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_HARNESS_WORKLOADS_H
+#define LFMALLOC_HARNESS_WORKLOADS_H
+
+#include "baselines/AllocatorInterface.h"
+
+#include <cstdint>
+
+namespace lfm {
+
+/// Outcome of one workload run.
+struct WorkloadResult {
+  double Seconds = 0;      ///< Wall time of the timed region.
+  std::uint64_t Ops = 0;   ///< Completed units (workload-defined).
+
+  /// Units per second; the basis of every speedup figure.
+  double throughput() const { return Seconds > 0 ? Ops / Seconds : 0; }
+};
+
+/// Linux scalability (Lever & Boreham): "each thread performs 10 million
+/// malloc/free pairs of 8 byte blocks in a tight loop". Ops = pairs.
+WorkloadResult runLinuxScalability(MallocInterface &Alloc, unsigned Threads,
+                                   std::uint64_t PairsPerThread);
+
+/// Threadtest (Hoard suite): "each thread performs 100 iterations of
+/// allocating 100,000 8-byte blocks and then freeing them in order".
+/// Ops = blocks allocated+freed (pairs).
+WorkloadResult runThreadtest(MallocInterface &Alloc, unsigned Threads,
+                             unsigned Iterations, unsigned BlocksPerIter);
+
+/// Active-false / Passive-false (Hoard suite): "each thread performs
+/// 10,000 malloc/free pairs (of 8 byte blocks) and each time it writes
+/// 1,000 times to each byte of the allocated block". In the passive
+/// variant "initially one thread allocates blocks and hands them to the
+/// other threads, which free them immediately" before proceeding.
+/// Ops = pairs. A slow result here means induced false sharing.
+WorkloadResult runFalseSharing(MallocInterface &Alloc, unsigned Threads,
+                               unsigned PairsPerThread,
+                               unsigned WritesPerByte, bool Passive);
+
+/// Larson (server simulation): random-sized blocks in [MinSize, MaxSize],
+/// SlotsPerThread live blocks per thread seeded by one thread and handed
+/// over; during the timed phase each thread repeatedly frees a random
+/// victim and allocates a replacement. Ops = free/malloc pairs completed
+/// in \p Seconds (the paper runs 30 s).
+WorkloadResult runLarson(MallocInterface &Alloc, unsigned Threads,
+                         unsigned SlotsPerThread, unsigned MinSize,
+                         unsigned MaxSize, double Seconds);
+
+/// The paper's Producer-consumer: one producer, Threads-1 consumers, a
+/// lock-free FIFO of tasks over a 1M-entry database. Producer: 3 mallocs
+/// per task (index block 40-80 B, task struct 32 B, queue node); helps
+/// consume when the queue exceeds 1000 tasks. Consumer: builds a
+/// histogram (1 malloc), does \p Work units of local work, 4 frees.
+/// Ops = tasks fully processed in \p Seconds.
+WorkloadResult runProducerConsumer(MallocInterface &Alloc, unsigned Threads,
+                                   unsigned Work, double Seconds,
+                                   std::uint32_t DatabaseSize = 1u << 20);
+
+} // namespace lfm
+
+#endif // LFMALLOC_HARNESS_WORKLOADS_H

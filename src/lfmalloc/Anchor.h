@@ -1,0 +1,118 @@
+//===- lfmalloc/Anchor.h - Single-word superblock anchor ---------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The superblock descriptor's `Anchor` word (paper Fig. 3):
+///
+///     typedef anchor : // fits in one atomic block
+///       unsigned avail:10, count:10, state:2, tag:42;
+///
+/// All four sub-fields update together under a single 64-bit CAS; the `tag`
+/// increments on every pop so a CAS that raced against pop/push of the same
+/// head index fails (the ABA discussion of §3.2.3). We pack explicitly into
+/// a uint64_t rather than relying on compiler bitfield layout, so the
+/// packing is portable and directly unit-testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_ANCHOR_H
+#define LFMALLOC_LFMALLOC_ANCHOR_H
+
+#include "lfmalloc/Config.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// Superblock lifecycle states (paper §3.2.2).
+enum class SbState : std::uint8_t {
+  Active = 0,  ///< Installed (or about to be) as a heap's active superblock.
+  Full = 1,    ///< Every block allocated or reserved.
+  Partial = 2, ///< Not active; has unreserved available blocks.
+  Empty = 3,   ///< All blocks free; safe to return memory to the OS.
+};
+
+/// Decoded view of the anchor word. Plain data; pack()/unpack() round-trip.
+struct Anchor {
+  std::uint32_t Avail = 0; ///< Index of first block in the free list.
+  std::uint32_t Count = 0; ///< Unreserved available blocks.
+  SbState State = SbState::Empty;
+  std::uint64_t Tag = 0;   ///< ABA version; ++ on every pop.
+
+  friend bool operator==(const Anchor &, const Anchor &) = default;
+};
+
+namespace anchor_detail {
+inline constexpr unsigned AvailShift = 0;
+inline constexpr unsigned CountShift = AnchorAvailBits;
+inline constexpr unsigned StateShift = CountShift + AnchorCountBits;
+inline constexpr unsigned TagShift = StateShift + AnchorStateBits;
+inline constexpr std::uint64_t AvailMask = (1ULL << AnchorAvailBits) - 1;
+inline constexpr std::uint64_t CountMask = (1ULL << AnchorCountBits) - 1;
+inline constexpr std::uint64_t StateMask = (1ULL << AnchorStateBits) - 1;
+inline constexpr std::uint64_t TagMask = (1ULL << AnchorTagBits) - 1;
+} // namespace anchor_detail
+
+/// Packs \p A into the single CAS-able word.
+constexpr std::uint64_t packAnchor(const Anchor &A) {
+  using namespace anchor_detail;
+  assert((A.Avail & ~AvailMask) == 0 && "avail overflows its field");
+  assert((A.Count & ~CountMask) == 0 && "count overflows its field");
+  return (static_cast<std::uint64_t>(A.Avail) << AvailShift) |
+         (static_cast<std::uint64_t>(A.Count) << CountShift) |
+         (static_cast<std::uint64_t>(A.State) << StateShift) |
+         ((A.Tag & TagMask) << TagShift);
+}
+
+/// Unpacks the word \p Word into field view.
+constexpr Anchor unpackAnchor(std::uint64_t Word) {
+  using namespace anchor_detail;
+  Anchor A;
+  A.Avail = static_cast<std::uint32_t>((Word >> AvailShift) & AvailMask);
+  A.Count = static_cast<std::uint32_t>((Word >> CountShift) & CountMask);
+  A.State = static_cast<SbState>((Word >> StateShift) & StateMask);
+  A.Tag = (Word >> TagShift) & TagMask;
+  return A;
+}
+
+/// Atomic wrapper with decoded load / encoded CAS, mirroring the paper's
+/// `until CAS(&desc->Anchor, oldanchor, newanchor)` loops.
+class AtomicAnchor {
+public:
+  Anchor load(std::memory_order Order = std::memory_order_acquire) const {
+    return unpackAnchor(Word.load(Order));
+  }
+
+  /// Non-atomic store for descriptor (re)initialization only: the
+  /// descriptor is unpublished at that point (paper Fig. 4 lines 5-11).
+  void storeRelaxed(const Anchor &A) {
+    Word.store(packAnchor(A), std::memory_order_relaxed);
+  }
+
+  /// One CAS attempt. On failure refreshes \p Expected from memory.
+  /// Success order is acq_rel: release publishes the caller's preceding
+  /// writes (e.g. free() linking the block, Fig. 6 line 8 before line 18);
+  /// acquire pairs with other threads' releases (Fig. 6 line 14's
+  /// "instruction fence" — the read of desc->heap cannot sink below a
+  /// successful CAS).
+  bool compareExchange(Anchor &Expected, const Anchor &Desired) {
+    std::uint64_t Want = packAnchor(Expected);
+    if (Word.compare_exchange_strong(Want, packAnchor(Desired),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      return true;
+    Expected = unpackAnchor(Want);
+    return false;
+  }
+
+private:
+  std::atomic<std::uint64_t> Word{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_ANCHOR_H

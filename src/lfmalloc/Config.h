@@ -1,0 +1,133 @@
+//===- lfmalloc/Config.h - Allocator configuration ---------------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time constants and per-instance options for the lock-free
+/// allocator. The defaults mirror the paper's choices (16 KB superblocks,
+/// MAXCREDITS bounded by the 6 credit bits carved from the Active word,
+/// 8-byte block prefix, FIFO partial lists).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_CONFIG_H
+#define LFMALLOC_LFMALLOC_CONFIG_H
+
+#include "support/Platform.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lfm {
+
+class HazardDomain;
+
+/// Every allocated block starts with an 8-byte prefix holding its
+/// superblock's descriptor pointer (small blocks) or its size with the low
+/// bit set (large blocks). Paper: "Each block includes an 8 byte prefix."
+inline constexpr std::size_t BlockPrefixSize = 8;
+
+/// Descriptor alignment. The Active word packs `credits` into the low bits
+/// of a descriptor pointer, so descriptors are aligned to 64 and the low 6
+/// bits carry credits (paper §3.2.1: "addresses of superblock descriptors
+/// can be guaranteed to be aligned to some power of 2 (e.g., 64)").
+inline constexpr std::size_t DescriptorAlignment = 64;
+
+/// Number of credit bits in the Active word (log2 of DescriptorAlignment).
+inline constexpr unsigned CreditBits = 6;
+
+/// MAXCREDITS: the most blocks a thread may reserve into the Active word at
+/// once. `credits = n` encodes n+1 reservable blocks, so 6 bits support
+/// exactly 64 (paper Fig. 4, `min(oldanchor.count, MAXCREDITS)`).
+inline constexpr unsigned MaxCredits = 1u << CreditBits;
+
+/// Anchor sub-field widths. The paper packs avail:10 count:10 state:2
+/// tag:42; we widen avail/count to 12 bits so superblocks of up to 4095
+/// blocks are representable with the same 64-bit single-CAS anchor, and
+/// keep 38 tag bits — wraparound against one stalled thread would need
+/// 2^38 pops of the same anchor, the paper's "full wraparound practically
+/// impossible in a short time" regime.
+inline constexpr unsigned AnchorAvailBits = 12;
+inline constexpr unsigned AnchorCountBits = 12;
+inline constexpr unsigned AnchorStateBits = 2;
+inline constexpr unsigned AnchorTagBits =
+    64 - AnchorAvailBits - AnchorCountBits - AnchorStateBits;
+
+/// Largest number of blocks a superblock may be divided into.
+inline constexpr std::uint32_t MaxBlocksPerSuperblock =
+    (1u << AnchorAvailBits) - 1;
+
+/// Partial-superblock list discipline for each size class (§3.2.6).
+enum class PartialListPolicy : std::uint8_t {
+  Fifo, ///< Michael–Scott queue; the paper's preferred choice (less
+        ///< contention and false sharing).
+  Lifo, ///< Tagged Treiber stack; the simpler variant the paper describes
+        ///< first. Kept for the ablation bench.
+};
+
+/// Per-instance configuration. Default-constructed options reproduce the
+/// paper's allocator.
+struct AllocatorOptions {
+  /// Superblock size in bytes (power of two, multiple of the OS page).
+  /// Paper: "large superblocks (e.g., 16 KB)".
+  std::size_t SuperblockSize = 16 * 1024;
+
+  /// Hyperblock size for batched superblock allocation (§3.2.5: "we
+  /// allocate superblocks ... in batches of (e.g., 1 MB) hyperblocks").
+  std::size_t HyperblockSize = 1024 * 1024;
+
+  /// Processor heaps per size class. 0 means "ask the OS for the processor
+  /// count at initialization" (§4.2.4: "the allocator can determine the
+  /// number of processors in the system at initialization time").
+  /// 1 selects the uniprocessor optimization: threads skip the thread-id
+  /// lookup entirely.
+  unsigned NumHeaps = 0;
+
+  /// Partial-list discipline.
+  PartialListPolicy PartialPolicy = PartialListPolicy::Fifo;
+
+  /// Most-recently-used Partial slots per processor heap, in
+  /// [1, MaxPartialSlots]. The paper uses one and notes "multiple slots
+  /// can be used if desired" (§3.2.6); extra slots keep more partial
+  /// superblocks heap-local before they migrate to the class-wide list.
+  unsigned PartialSlotsPerHeap = 1;
+
+  /// Upper bound on credits taken into the Active word at once, in
+  /// [1, MaxCredits]. The paper's MAXCREDITS is the hardware bound (64);
+  /// lowering it is the ablation knob for the credits mechanism — with 1,
+  /// every malloc exhausts the Active word and pays the refill path.
+  unsigned CreditsLimit = MaxCredits;
+
+  /// Hazard-pointer domain for the descriptor freelist and FIFO partial
+  /// lists. Null selects the process-wide immortal domain.
+  HazardDomain *Domain = nullptr;
+
+  /// Maintain OpStats counters (relaxed atomics). Off by default: the
+  /// latency benches measure the paper's fence-count argument and must not
+  /// carry extra shared-counter traffic.
+  bool EnableStats = false;
+
+  /// Points inside malloc/free where a thread can be delayed arbitrarily.
+  /// The paper's progress argument is precisely that a thread stalled (or
+  /// killed) at ANY such point never blocks others; the chaos tests prove
+  /// it by freezing a thread at each site while the rest of the system
+  /// keeps allocating.
+  enum class ChaosSite : unsigned {
+    AfterCreditReserve, ///< Between Fig. 4 line 6 and the block pop.
+    BeforePopCas,       ///< Inside the Fig. 4 line 8-18 pop loop.
+    BeforeFreeCas,      ///< Inside the Fig. 6 line 7-18 push loop.
+    AfterEmptyTransition, ///< After Fig. 6 line 18 made a superblock EMPTY.
+  };
+
+  /// Test-only delay hook, called at each ChaosSite when non-null (a
+  /// single predicted-null branch per site in production). The hook runs
+  /// on the allocating thread and may block indefinitely.
+  void (*ChaosHook)(ChaosSite Site, void *Ctx) = nullptr;
+  void *ChaosCtx = nullptr;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_CONFIG_H

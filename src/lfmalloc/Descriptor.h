@@ -1,0 +1,137 @@
+//===- lfmalloc/Descriptor.h - Superblock descriptors and heaps --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Fig. 3 structures: the superblock descriptor, the processor
+/// heap with its packed Active word, and the per-size-class runtime record.
+///
+/// Descriptors are type-stable: once minted they are recycled through the
+/// hazard-protected descriptor freelist forever and only unmapped at
+/// allocator teardown ("superblock descriptors are not reused as regular
+/// blocks and cannot be returned to the OS", §3.2.5). That stability is
+/// what makes it safe for free() to chase a block prefix to its descriptor
+/// without synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_DESCRIPTOR_H
+#define LFMALLOC_LFMALLOC_DESCRIPTOR_H
+
+#include "lfmalloc/Anchor.h"
+#include "lfmalloc/Config.h"
+#include "lockfree/HazardPointers.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+struct ProcHeap;
+
+/// Superblock descriptor (paper Fig. 3, `typedef descriptor`).
+///
+/// Field-mutability regimes, which the correctness argument leans on:
+///  - \c AnchorWord mutates constantly via CAS.
+///  - \c Heap changes when a partial superblock is adopted by a heap
+///    (Fig. 4 MallocFromPartial line 3) and may be read concurrently by a
+///    racing free(); hence atomic with relaxed order — any value the race
+///    can observe is a heap that legitimately owned the superblock.
+///  - \c Sb, \c BlockSize, \c MaxCount only change on descriptor reuse,
+///    which requires the superblock to have been EMPTY (no outstanding
+///    blocks), so no loser can still be reading them.
+///  - \c Next links the descriptor freelist; \c PartialNext links LIFO
+///    partial lists. Disjoint lifetimes, separate fields for clarity.
+struct alignas(DescriptorAlignment) Descriptor : HazardErasable {
+  AtomicAnchor AnchorWord;
+  std::atomic<Descriptor *> Next{nullptr};
+  Descriptor *PartialNext = nullptr;
+  void *Sb = nullptr;
+  std::atomic<ProcHeap *> Heap{nullptr};
+  std::uint32_t BlockSize = 0;
+  std::uint32_t MaxCount = 0;
+};
+
+static_assert(sizeof(Descriptor) == 2 * DescriptorAlignment,
+              "descriptor layout drifted; update DESCSBSIZE math");
+static_assert(alignof(Descriptor) == DescriptorAlignment,
+              "Active word credit-packing requires 64-byte alignment");
+
+/// The processor heap's Active word (paper Fig. 3, `typedef active`):
+/// a descriptor pointer with the low CreditBits bits holding `credits`.
+/// credits = n means the active superblock has n+1 blocks reservable
+/// through this word. Zero encodes "no active superblock".
+struct ActiveRef {
+  Descriptor *Desc = nullptr;
+  std::uint32_t Credits = 0;
+
+  friend bool operator==(const ActiveRef &, const ActiveRef &) = default;
+};
+
+constexpr std::uint64_t packActive(const ActiveRef &A) {
+  const std::uint64_t Bits = reinterpret_cast<std::uint64_t>(A.Desc);
+  assert((Bits & (DescriptorAlignment - 1)) == 0 &&
+         "descriptor not aligned; credits would corrupt the pointer");
+  assert(A.Credits < MaxCredits && "credits overflow the packed field");
+  assert((A.Desc != nullptr || A.Credits == 0) &&
+         "null active must carry zero credits");
+  return Bits | A.Credits;
+}
+
+constexpr ActiveRef unpackActive(std::uint64_t Word) {
+  ActiveRef A;
+  A.Desc = reinterpret_cast<Descriptor *>(Word &
+                                          ~std::uint64_t{MaxCredits - 1});
+  A.Credits = static_cast<std::uint32_t>(Word & (MaxCredits - 1));
+  return A;
+}
+
+/// Atomic Active word with decoded CAS, mirroring Fig. 4's
+/// `until CAS(&heap->Active, oldactive, newactive)`.
+class AtomicActive {
+public:
+  ActiveRef load(std::memory_order Order = std::memory_order_acquire) const {
+    return unpackActive(Word.load(Order));
+  }
+
+  bool compareExchange(ActiveRef &Expected, const ActiveRef &Desired) {
+    std::uint64_t Want = packActive(Expected);
+    if (Word.compare_exchange_strong(Want, packActive(Desired),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      return true;
+    Expected = unpackActive(Want);
+    return false;
+  }
+
+private:
+  std::atomic<std::uint64_t> Word{0};
+};
+
+struct SizeClassRuntime;
+
+/// Maximum most-recently-used Partial slots a heap can be configured
+/// with (§3.2.6: "multiple slots can be used if desired"); bounded so a
+/// heap still fits one cache line.
+inline constexpr unsigned MaxPartialSlots = 4;
+
+/// Processor heap (paper Fig. 3, `typedef procheap`). One per
+/// (size class, processor) pair; cache-line sized so heaps of neighbouring
+/// processors never false-share.
+struct alignas(CacheLineSize) ProcHeap {
+  AtomicActive Active; ///< Initially null.
+  /// Most-recently-used PARTIAL superblocks. Slot 0 is the paper's single
+  /// Partial slot; extra slots (AllocatorOptions::PartialSlotsPerHeap)
+  /// buffer more superblocks before demotion to the class-wide list.
+  std::atomic<Descriptor *> Partial[MaxPartialSlots] = {};
+  SizeClassRuntime *Sc = nullptr; ///< Parent size class.
+};
+
+static_assert(sizeof(ProcHeap) == CacheLineSize,
+              "ProcHeap should occupy exactly one cache line");
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_DESCRIPTOR_H

@@ -1,0 +1,161 @@
+//===- lfmalloc/DescriptorAllocator.cpp - Fig. 7 descriptor list ----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/DescriptorAllocator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+using namespace lfm;
+
+namespace {
+
+/// Hazard slot for freelist pops; see HazardDomain's slot convention.
+constexpr unsigned HpSlotFreelist = 3;
+
+} // namespace
+
+DescriptorAllocator::~DescriptorAllocator() {
+  // Flush descriptors parked in hazard retirement back into the freelist
+  // before their storage disappears (quiescent-teardown contract).
+  Domain.drainAll();
+  DescChunk *Chunk = Chunks.load(std::memory_order_relaxed);
+  while (Chunk) {
+    DescChunk *Next = Chunk->Next;
+    Pages.unmap(Chunk, DescSbBytes);
+    Chunk = Next;
+  }
+}
+
+Descriptor *DescriptorAllocator::alloc() {
+  for (;;) {
+    // Fig. 7 lines 1-4: hazard-protected pop. protect() revalidates that
+    // the published pointer is still the head, so reading Next below sees
+    // the link of a descriptor that is currently first in the list.
+    Descriptor *Desc = Domain.protect(HpSlotFreelist, DescAvail);
+    if (Desc) {
+      Descriptor *Next = Desc->Next.load(std::memory_order_relaxed);
+      Descriptor *Expected = Desc;
+      if (DescAvail.compare_exchange_strong(Expected, Next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        Domain.clear(HpSlotFreelist);
+        return Desc;
+      }
+      continue; // Head moved; re-protect and retry.
+    }
+
+    // Fig. 7 lines 5-9: mint a superblock of descriptors. Keep the first
+    // for ourselves and try to install the rest; if some other thread beat
+    // us to stocking the list, return the whole superblock to the OS and
+    // retry the pop — the paper does this "in order to avoid unnecessarily
+    // allocating too many descriptors".
+    void *Raw = Pages.map(DescSbBytes, DescSbBytes);
+    if (!Raw)
+      return nullptr; // Out of memory; the caller surfaces it.
+    auto *Descs = reinterpret_cast<Descriptor *>(
+        static_cast<char *>(Raw) + DescriptorAlignment);
+    for (unsigned I = 0; I < DescsPerChunk; ++I) {
+      Descriptor *D = new (&Descs[I]) Descriptor();
+      D->Next.store(I + 1 < DescsPerChunk ? &Descs[I + 1] : nullptr,
+                    std::memory_order_relaxed);
+    }
+
+    Descriptor *Expected = nullptr;
+    // Release publishes the Next links (the paper's line-7 memory fence).
+    if (DescAvail.compare_exchange_strong(Expected, &Descs[1],
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+      auto *Chunk = new (Raw) DescChunk();
+      Chunk->Next = Chunks.load(std::memory_order_relaxed);
+      while (!Chunks.compare_exchange_weak(Chunk->Next, Chunk,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      }
+      Minted.fetch_add(DescsPerChunk, std::memory_order_relaxed);
+      return &Descs[0];
+    }
+    Pages.unmap(Raw, DescSbBytes);
+  }
+}
+
+void DescriptorAllocator::retire(Descriptor *Desc) {
+  assert(Desc && "retiring null descriptor");
+  // Deferred reinsertion is what makes the pop's CAS ABA-safe: Desc cannot
+  // reappear at the freelist head while any thread still holds a hazard
+  // on it from an earlier pop attempt.
+  Domain.retire(Desc, reclaimDescriptor, this);
+}
+
+void DescriptorAllocator::reclaimDescriptor(HazardErasable *Obj, void *Ctx) {
+  auto *Self = static_cast<DescriptorAllocator *>(Ctx);
+  Self->pushFree(static_cast<Descriptor *>(Obj));
+}
+
+void DescriptorAllocator::pushFree(Descriptor *Desc) {
+  // Fig. 7 DescRetire: the classic freelist push. The release on success
+  // is the paper's line-3 memory fence (publishes Desc->Next).
+  Descriptor *Head = DescAvail.load(std::memory_order_relaxed);
+  do {
+    Desc->Next.store(Head, std::memory_order_relaxed);
+  } while (!DescAvail.compare_exchange_weak(Head, Desc,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed));
+}
+
+std::size_t DescriptorAllocator::trimQuiescent() {
+  // Flush hazard-retired descriptors into the freelist, then take the
+  // whole freelist private (quiescent-state operation).
+  Domain.drainAll();
+  Descriptor *Free = DescAvail.exchange(nullptr, std::memory_order_acquire);
+
+  // Count the free descriptors per chunk.
+  for (DescChunk *C = Chunks.load(std::memory_order_relaxed); C;
+       C = C->Next)
+    C->TrimCount = 0;
+  for (Descriptor *D = Free; D;
+       D = D->Next.load(std::memory_order_relaxed))
+    ++chunkOf(D)->TrimCount;
+
+  // Partition the chunk list: fully free chunks die, the rest survive.
+  DescChunk *Dead = nullptr;
+  DescChunk *Live = nullptr;
+  for (DescChunk *C = Chunks.load(std::memory_order_relaxed); C;) {
+    DescChunk *Next = C->Next;
+    if (C->TrimCount == DescsPerChunk) {
+      C->Next = Dead;
+      Dead = C;
+    } else {
+      C->Next = Live;
+      Live = C;
+    }
+    C = Next;
+  }
+  Chunks.store(Live, std::memory_order_relaxed);
+
+  // Re-stock the freelist with survivors only.
+  while (Free) {
+    Descriptor *Next = Free->Next.load(std::memory_order_relaxed);
+    bool IsDead = false;
+    for (DescChunk *C = Dead; C; C = C->Next)
+      if (chunkOf(Free) == C)
+        IsDead = true;
+    if (!IsDead)
+      pushFree(Free);
+    Free = Next;
+  }
+
+  std::size_t Freed = 0;
+  while (Dead) {
+    DescChunk *Next = Dead->Next;
+    Pages.unmap(Dead, DescSbBytes);
+    Minted.fetch_sub(DescsPerChunk, std::memory_order_relaxed);
+    Freed += DescSbBytes;
+    Dead = Next;
+  }
+  return Freed;
+}

@@ -1,0 +1,105 @@
+//===- lfmalloc/DescriptorAllocator.h - Fig. 7 descriptor list ---*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free allocation and retirement of superblock descriptors — the
+/// paper's Fig. 7 (`DescAlloc` / `DescRetire`).
+///
+/// The freelist is a Treiber list over the descriptors' `Next` fields whose
+/// pop is made ABA-safe with hazard pointers, the paper's "SafeCAS (i.e.,
+/// ABA-safe) ... we use the hazard pointer methodology [17,19]": a popped
+/// descriptor re-enters the list only through hazard retirement, so while a
+/// popping thread holds a hazard on the head, that exact descriptor cannot
+/// reappear at the head with a different Next.
+///
+/// Descriptor storage is minted in superblocks of descriptors (DESCSBSIZE)
+/// and is type-stable for the life of the allocator instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_DESCRIPTORALLOCATOR_H
+#define LFMALLOC_LFMALLOC_DESCRIPTORALLOCATOR_H
+
+#include "lfmalloc/Descriptor.h"
+#include "lockfree/HazardPointers.h"
+#include "os/PageAllocator.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// Mints, recycles, and (at teardown) releases descriptors for one
+/// allocator instance.
+class DescriptorAllocator {
+public:
+  /// Size of one superblock of descriptors (the paper's DESCSBSIZE).
+  static constexpr std::size_t DescSbBytes = 16 * 1024;
+
+  /// \param Domain hazard domain protecting the freelist pop and deferring
+  /// retired descriptors' reinsertion.
+  /// \param Pages page provider charged for descriptor storage.
+  DescriptorAllocator(HazardDomain &Domain, PageAllocator &Pages)
+      : Domain(Domain), Pages(Pages) {}
+  DescriptorAllocator(const DescriptorAllocator &) = delete;
+  DescriptorAllocator &operator=(const DescriptorAllocator &) = delete;
+
+  /// Unmaps every descriptor superblock. Teardown contract: the owning
+  /// allocator is quiescent and the domain has been drained, so no retired
+  /// descriptor still points into the storage being released.
+  ~DescriptorAllocator();
+
+  /// Pops a descriptor from the freelist, minting a fresh batch if empty
+  /// (paper Fig. 7 DescAlloc). The returned descriptor's fields are stale;
+  /// the caller fully reinitializes them before publication.
+  /// \returns nullptr only if the freelist is empty AND the OS refuses a
+  /// fresh batch (out of memory).
+  Descriptor *alloc();
+
+  /// Returns \p Desc to the freelist once no thread holds a hazard on it
+  /// (paper Fig. 7 DescRetire, deferred through the domain).
+  void retire(Descriptor *Desc);
+
+  /// §3.2.5 extension: "if desired, space for descriptors can be reused
+  /// arbitrarily or returned to the OS". Unmaps every descriptor
+  /// superblock whose descriptors are all on the freelist. Quiescent-state
+  /// only. \returns bytes returned to the OS.
+  std::size_t trimQuiescent();
+
+  /// \returns total descriptors minted (for stats/tests; racy).
+  std::uint64_t mintedCount() const {
+    return Minted.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct DescChunk {
+    DescChunk *Next;
+    std::uint32_t TrimCount; ///< Scratch counter used only by trim.
+  };
+
+  static DescChunk *chunkOf(Descriptor *Desc) {
+    // Chunks are DescSbBytes-aligned mappings, so masking finds the header.
+    return reinterpret_cast<DescChunk *>(
+        reinterpret_cast<std::uintptr_t>(Desc) & ~(DescSbBytes - 1));
+  }
+
+  static constexpr unsigned DescsPerChunk = static_cast<unsigned>(
+      (DescSbBytes - DescriptorAlignment) / sizeof(Descriptor));
+  static_assert(DescsPerChunk >= 16, "descriptor chunk too small");
+
+  static void reclaimDescriptor(HazardErasable *Obj, void *Ctx);
+  void pushFree(Descriptor *Desc);
+
+  HazardDomain &Domain;
+  PageAllocator &Pages;
+  std::atomic<Descriptor *> DescAvail{nullptr};
+  std::atomic<DescChunk *> Chunks{nullptr};
+  std::atomic<std::uint64_t> Minted{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_DESCRIPTORALLOCATOR_H

@@ -1,0 +1,759 @@
+//===- lfmalloc/LFAllocator.cpp - The lock-free allocator -----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Implements the paper's Figs. 4 (malloc) and 6 (free) line by line; the
+// comments cite "Fig. N line M" throughout so the code can be audited
+// against the published pseudocode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+
+#include "support/ThreadRegistry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <unistd.h>
+
+using namespace lfm;
+
+namespace {
+
+/// Hazard slot used to pin a descriptor across free()'s EMPTY transition
+/// (shared with the descriptor-freelist pop slot; the two uses never nest).
+constexpr unsigned HpSlotDesc = 3;
+
+/// Atomic load/store of a block's first word. While a block is free this
+/// word is the free-list link (next block index, Fig. 5); while allocated
+/// it is the prefix (descriptor pointer, or size|1 for large blocks).
+/// Relaxed is sufficient: every value read here is validated by a tagged
+/// anchor CAS before being trusted.
+std::uint64_t loadBlockWord(const void *Addr) {
+  return __atomic_load_n(static_cast<const std::uint64_t *>(Addr),
+                         __ATOMIC_RELAXED);
+}
+
+void storeBlockWord(void *Addr, std::uint64_t Value) {
+  __atomic_store_n(static_cast<std::uint64_t *>(Addr), Value,
+                   __ATOMIC_RELAXED);
+}
+
+constexpr std::uint64_t LargePrefixBit = 1;
+
+/// Prefix tag of an aligned-allocation offset marker: low two bits 11.
+/// Distinguishable from both descriptor pointers (64-byte aligned, low
+/// bits 00) and large-block prefixes (page-multiple | 1, bit 1 == 0).
+constexpr std::uint64_t AlignedMarkerBits = 3;
+
+} // namespace
+
+/// Relaxed counters living in the control region; opStats() snapshots them.
+struct LFAllocator::AtomicOpStats {
+  std::atomic<std::uint64_t> Mallocs{0};
+  std::atomic<std::uint64_t> Frees{0};
+  std::atomic<std::uint64_t> FromActive{0};
+  std::atomic<std::uint64_t> FromPartial{0};
+  std::atomic<std::uint64_t> FromNewSb{0};
+  std::atomic<std::uint64_t> LargeMallocs{0};
+  std::atomic<std::uint64_t> LargeFrees{0};
+  std::atomic<std::uint64_t> SbFreed{0};
+};
+
+namespace {
+
+using ChaosSite = AllocatorOptions::ChaosSite;
+
+void bump(std::atomic<std::uint64_t> *Counter) {
+  if (Counter)
+    Counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+LFAllocator::LFAllocator(const AllocatorOptions &O)
+    : Opts(O), Domain(O.Domain ? *O.Domain : HazardDomain::global()),
+      Descs(Domain, Pages),
+      SbCache(Pages, O.SuperblockSize, O.HyperblockSize) {
+  assert(isPowerOf2(Opts.SuperblockSize) &&
+         Opts.SuperblockSize >= OsPageSize &&
+         Opts.SuperblockSize / 16 <= MaxBlocksPerSuperblock &&
+         "superblock size must be a power of two in [4 KB, 32 KB]");
+
+  if (Opts.CreditsLimit < 1 || Opts.CreditsLimit > MaxCredits)
+    Opts.CreditsLimit = MaxCredits;
+  if (Opts.PartialSlotsPerHeap < 1 ||
+      Opts.PartialSlotsPerHeap > MaxPartialSlots)
+    Opts.PartialSlotsPerHeap = 1;
+  PartialSlots = Opts.PartialSlotsPerHeap;
+
+  HeapCount = Opts.NumHeaps;
+  if (HeapCount == 0) {
+    // §4.2.4: "the allocator can determine the number of processors in the
+    // system at initialization time by querying the system environment."
+    const long N = ::sysconf(_SC_NPROCESSORS_ONLN);
+    HeapCount = N > 0 ? static_cast<unsigned>(N) : 1;
+  }
+  // Round up to a power of two so heap selection is a mask, not a divide
+  // (the paper only requires heaps "proportional to the number of
+  // processors").
+  while (!isPowerOf2(HeapCount))
+    ++HeapCount;
+  Opts.NumHeaps = HeapCount;
+  Opts.Domain = &Domain;
+
+  // Classes whose superblocks hold at least two blocks; bigger payloads
+  // take the large-block OS path.
+  ClassCount = NumSizeClasses;
+  while (ClassCount > 0 &&
+         classBlockSize(ClassCount - 1) > Opts.SuperblockSize / 2)
+    --ClassCount;
+  assert(ClassCount > 0 && "superblock too small for any size class");
+
+  // One mapping backs the heap array, the size-class array, and the
+  // optional stats block (paper §3.1: "the static structures for the size
+  // classes and processor heaps ... are allocated and initialized in a
+  // lock-free manner" — here, before the instance is shared).
+  const std::size_t HeapsBytes =
+      sizeof(ProcHeap) * ClassCount * HeapCount;
+  const std::size_t ClassesOffset =
+      alignUp(HeapsBytes, alignof(SizeClassRuntime));
+  const std::size_t StatsOffset = alignUp(
+      ClassesOffset + sizeof(SizeClassRuntime) * ClassCount, CacheLineSize);
+  ControlBytes = StatsOffset + sizeof(AtomicOpStats);
+  ControlRegion = Pages.map(ControlBytes, OsPageSize);
+  if (!ControlRegion) {
+    std::fprintf(stderr, "lfmalloc: cannot map allocator control region\n");
+    std::abort();
+  }
+
+  char *Base = static_cast<char *>(ControlRegion);
+  Heaps = reinterpret_cast<ProcHeap *>(Base);
+  Classes = reinterpret_cast<SizeClassRuntime *>(Base + ClassesOffset);
+  for (unsigned C = 0; C < ClassCount; ++C) {
+    new (&Classes[C]) SizeClassRuntime(
+        classBlockSize(C), static_cast<std::uint32_t>(Opts.SuperblockSize),
+        Opts.PartialPolicy, Domain, Pages);
+    for (unsigned H = 0; H < HeapCount; ++H) {
+      ProcHeap *Heap = new (&Heaps[C * HeapCount + H]) ProcHeap();
+      Heap->Sc = &Classes[C];
+    }
+  }
+  if (Opts.EnableStats)
+    Stats = new (Base + StatsOffset) AtomicOpStats();
+}
+
+LFAllocator::~LFAllocator() {
+  // Sweep superblocks still referenced by heap structures so direct mode
+  // returns them to the OS (EMPTY descriptors already released theirs in
+  // free(), Fig. 6 line 20 — do not release twice).
+  auto releaseIfLive = [&](Descriptor *Desc) {
+    if (Desc && Desc->AnchorWord.load().State != SbState::Empty)
+      SbCache.release(Desc->Sb);
+  };
+  for (unsigned I = 0; I < ClassCount * HeapCount; ++I) {
+    releaseIfLive(Heaps[I].Active.load().Desc);
+    for (unsigned S = 0; S < PartialSlots; ++S)
+      releaseIfLive(Heaps[I].Partial[S].load(std::memory_order_relaxed));
+  }
+  for (unsigned C = 0; C < ClassCount; ++C)
+    while (Descriptor *Desc = Classes[C].Partial.get())
+      releaseIfLive(Desc);
+
+  // Destroy the partial lists (their queue destructors drain the hazard
+  // domain and release node chunks), flush any still-retired descriptors
+  // into the freelist, then tear down storage.
+  for (unsigned C = 0; C < ClassCount; ++C)
+    Classes[C].~SizeClassRuntime();
+  Domain.drainAll();
+  Pages.unmap(ControlRegion, ControlBytes);
+  // Members ~SuperblockCache and ~DescriptorAllocator unmap the rest.
+}
+
+ProcHeap *LFAllocator::findHeap(unsigned Class) {
+  // §3.1: "Malloc starts by identifying the appropriate processor heap,
+  // based on the requested block size and the identity of the calling
+  // thread." With one heap (§4.2.4 uniprocessor mode) the thread id lookup
+  // is skipped entirely.
+  const unsigned H =
+      HeapCount == 1 ? 0 : threadIndex() & (HeapCount - 1);
+  return &Heaps[Class * HeapCount + H];
+}
+
+void *LFAllocator::allocate(std::size_t Bytes) {
+  if (Stats)
+    bump(&Stats->Mallocs);
+  const unsigned Class = sizeToClass(Bytes);
+  if (Class >= ClassCount) // Fig. 4 malloc lines 2-3: large block.
+    return largeMalloc(Bytes);
+
+  ProcHeap *Heap = findHeap(Class);
+  // Fig. 4 malloc lines 4-9: try active, then partial, then a new
+  // superblock; MallocFromNewSB fails only transiently (another thread
+  // installed an active superblock first — then that one serves us).
+  for (;;) {
+    if (void *Addr = mallocFromActive(Heap)) {
+      if (Stats)
+        bump(&Stats->FromActive);
+      return Addr;
+    }
+    if (void *Addr = mallocFromPartial(Heap)) {
+      if (Stats)
+        bump(&Stats->FromPartial);
+      return Addr;
+    }
+    bool OutOfMemory = false;
+    if (void *Addr = mallocFromNewSb(Heap, OutOfMemory)) {
+      if (Stats)
+        bump(&Stats->FromNewSb);
+      return Addr;
+    }
+    if (OutOfMemory)
+      return nullptr;
+  }
+}
+
+void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
+  // Fig. 4 MallocFromActive lines 1-6 — first step: reserve a block by
+  // atomically decrementing the credits in the Active word.
+  ActiveRef OldActive = Heap->Active.load();
+  ActiveRef NewActive;
+  do {
+    if (!OldActive.Desc)
+      return nullptr; // Line 2: no active superblock.
+    if (OldActive.Credits == 0)
+      NewActive = ActiveRef{}; // Line 4: taking the last credit.
+    else
+      NewActive = ActiveRef{OldActive.Desc, OldActive.Credits - 1}; // L5
+  } while (!Heap->Active.compareExchange(OldActive, NewActive));
+
+  // After the CAS succeeds we own one reservation in this specific
+  // superblock: it cannot go EMPTY under us, so its descriptor fields and
+  // memory are stable (see the paper's discussion after Fig. 5).
+  if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+    Opts.ChaosHook(ChaosSite::AfterCreditReserve, Opts.ChaosCtx);
+  Descriptor *Desc = OldActive.Desc; // Line 7: mask_credits(oldactive).
+
+  // Lines 8-18 — second step: lock-free pop from the superblock's list.
+  Anchor OldAnchor = Desc->AnchorWord.load();
+  Anchor NewAnchor;
+  void *Addr;
+  std::uint32_t MoreCredits = 0;
+  do {
+    if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+      Opts.ChaosHook(ChaosSite::BeforePopCas, Opts.ChaosCtx);
+    // State may be ACTIVE, PARTIAL or FULL here — but never EMPTY.
+    assert(OldAnchor.State != SbState::Empty &&
+           "reserved superblock cannot be EMPTY");
+    NewAnchor = OldAnchor;
+    Addr = static_cast<char *>(Desc->Sb) +
+           static_cast<std::size_t>(OldAnchor.Avail) * Desc->BlockSize;
+    // Line 10: read the next-block link out of the block itself. The value
+    // may be stale garbage if we lost a race; the tag CAS below rejects it
+    // (the ABA discussion of §3.2.3), so only mask it into range.
+    const std::uint64_t Next = loadBlockWord(Addr);
+    NewAnchor.Avail =
+        static_cast<std::uint32_t>(Next) & ((1u << AnchorAvailBits) - 1);
+    NewAnchor.Tag = OldAnchor.Tag + 1; // Line 12: defeat ABA.
+    if (OldActive.Credits == 0) {
+      // Lines 13-17: we took the last credit; state must be ACTIVE.
+      if (OldAnchor.Count == 0) {
+        NewAnchor.State = SbState::Full; // Line 15.
+      } else {
+        MoreCredits = std::min(OldAnchor.Count, Opts.CreditsLimit); // L16
+        NewAnchor.Count -= MoreCredits;                      // Line 17.
+      }
+    }
+  } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+
+  if (OldActive.Credits == 0 && OldAnchor.Count > 0)
+    updateActive(Heap, Desc, MoreCredits); // Lines 19-20.
+
+  // Line 21: plant the prefix so free() can find the descriptor.
+  storeBlockWord(Addr, reinterpret_cast<std::uint64_t>(Desc));
+  return static_cast<char *>(Addr) + BlockPrefixSize;
+}
+
+void LFAllocator::updateActive(ProcHeap *Heap, Descriptor *Desc,
+                               std::uint32_t MoreCredits) {
+  assert(MoreCredits >= 1 && MoreCredits <= MaxCredits &&
+         "credits out of range");
+  // Fig. 4 UpdateActive lines 1-3: typically Active is still NULL (only
+  // the thread that took the last credit may refill it) and this installs
+  // the superblock back with fresh credits.
+  ActiveRef Expected{};
+  if (Heap->Active.compareExchange(Expected,
+                                   ActiveRef{Desc, MoreCredits - 1}))
+    return;
+
+  // Lines 4-8: someone installed another superblock; return the reserved
+  // credits to the anchor and surface the superblock as PARTIAL.
+  Anchor OldAnchor = Desc->AnchorWord.load();
+  Anchor NewAnchor;
+  do {
+    NewAnchor = OldAnchor;
+    NewAnchor.Count += MoreCredits;
+    NewAnchor.State = SbState::Partial;
+  } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  heapPutPartial(Desc);
+}
+
+void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
+  for (;;) {
+    // Fig. 4 MallocFromPartial lines 1-3.
+    Descriptor *Desc = heapGetPartial(Heap);
+    if (!Desc)
+      return nullptr;
+    Desc->Heap.store(Heap, std::memory_order_relaxed);
+
+    // Lines 4-10: reserve one block for ourselves plus up to MAXCREDITS
+    // extra, in a single anchor CAS.
+    Anchor OldAnchor = Desc->AnchorWord.load();
+    Anchor NewAnchor;
+    std::uint32_t MoreCredits = 0;
+    bool Retired = false;
+    do {
+      if (OldAnchor.State == SbState::Empty) {
+        // Line 6: raced with the last free; recycle the descriptor (its
+        // superblock is already gone) and try another.
+        Descs.retire(Desc);
+        Retired = true;
+        break;
+      }
+      // "oldanchor state must be PARTIAL, oldanchor count must be > 0".
+      assert(OldAnchor.State == SbState::Partial && OldAnchor.Count > 0 &&
+             "partial-list descriptor in impossible state");
+      NewAnchor = OldAnchor;
+      MoreCredits =
+          std::min(OldAnchor.Count - 1, Opts.CreditsLimit); // Line 7.
+      NewAnchor.Count -= MoreCredits + 1;            // Line 8.
+      NewAnchor.State =
+          MoreCredits > 0 ? SbState::Active : SbState::Full; // Line 9.
+    } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+    if (Retired)
+      continue;
+
+    // Lines 11-15: pop our reserved block.
+    OldAnchor = Desc->AnchorWord.load();
+    void *Addr;
+    do {
+      NewAnchor = OldAnchor;
+      Addr = static_cast<char *>(Desc->Sb) +
+             static_cast<std::size_t>(OldAnchor.Avail) * Desc->BlockSize;
+      const std::uint64_t Next = loadBlockWord(Addr);
+      NewAnchor.Avail =
+          static_cast<std::uint32_t>(Next) & ((1u << AnchorAvailBits) - 1);
+      NewAnchor.Tag = OldAnchor.Tag + 1;
+    } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+
+    if (MoreCredits > 0)
+      updateActive(Heap, Desc, MoreCredits); // Lines 16-17.
+
+    storeBlockWord(Addr, reinterpret_cast<std::uint64_t>(Desc)); // Line 18.
+    return static_cast<char *>(Addr) + BlockPrefixSize;
+  }
+}
+
+Descriptor *LFAllocator::heapGetPartial(ProcHeap *Heap) {
+  // Fig. 4 HeapGetPartial: empty the heap's slot cache, falling back to
+  // the size class's shared list. exchange() is the loop-free form of the
+  // paper's CAS loop (it tolerates a slot already being null).
+  for (unsigned S = 0; S < PartialSlots; ++S)
+    if (Descriptor *Desc =
+            Heap->Partial[S].exchange(nullptr, std::memory_order_acq_rel))
+      return Desc;
+  return Heap->Sc->Partial.get(); // ListGetPartial.
+}
+
+void LFAllocator::heapPutPartial(Descriptor *Desc) {
+  // Fig. 6 HeapPutPartial: park in an empty most-recently-used slot of
+  // the heap that last owned the superblock if one is free; otherwise
+  // swap with slot 0 and demote the previous occupant to the class list.
+  ProcHeap *Heap = Desc->Heap.load(std::memory_order_relaxed);
+  for (unsigned S = 1; S < PartialSlots; ++S) {
+    Descriptor *Expected = nullptr;
+    if (Heap->Partial[S].compare_exchange_strong(
+            Expected, Desc, std::memory_order_acq_rel,
+            std::memory_order_relaxed))
+      return;
+  }
+  Descriptor *Prev =
+      Heap->Partial[0].exchange(Desc, std::memory_order_acq_rel);
+  if (Prev)
+    Heap->Sc->Partial.put(Prev); // ListPutPartial.
+}
+
+void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
+  SizeClassRuntime *Sc = Heap->Sc;
+  // Fig. 4 MallocFromNewSB lines 1-2.
+  Descriptor *Desc = Descs.alloc();
+  if (!Desc) {
+    OutOfMemory = true;
+    return nullptr;
+  }
+  void *Sb = SbCache.acquire();
+  if (!Sb) {
+    Descs.retire(Desc);
+    OutOfMemory = true;
+    return nullptr;
+  }
+
+  // Lines 3-11: initialize the descriptor and thread the blocks into a
+  // linked list starting at index 0 (which we keep for ourselves, so the
+  // list head is 1). The tag continues from the descriptor's previous
+  // incarnation so a zombie CAS from before its retirement still misses.
+  const std::uint32_t MaxCount = Sc->SbSize / Sc->BlockSize;
+  assert(MaxCount >= 2 && MaxCount <= MaxBlocksPerSuperblock &&
+         "size-class geometry violated");
+  Desc->Sb = Sb;
+  Desc->Heap.store(Heap, std::memory_order_relaxed);
+  Desc->BlockSize = Sc->BlockSize;
+  Desc->MaxCount = MaxCount;
+  for (std::uint32_t I = 1; I < MaxCount; ++I)
+    storeBlockWord(static_cast<char *>(Sb) +
+                       static_cast<std::size_t>(I) * Sc->BlockSize,
+                   I + 1);
+
+  ActiveRef NewActive{Desc,
+                      std::min(MaxCount - 1, Opts.CreditsLimit) - 1}; // L9
+  Anchor A;
+  A.Avail = 1;
+  A.Count = (MaxCount - 1) - (NewActive.Credits + 1); // Line 10.
+  A.State = SbState::Active;                          // Line 11.
+  A.Tag = Desc->AnchorWord.load().Tag + 1;
+  Desc->AnchorWord.storeRelaxed(A);
+
+  // Line 12-13: the release semantics of the Active CAS publish every
+  // initialization write above (the paper's explicit memory fence).
+  ActiveRef Expected{};
+  if (Heap->Active.compareExchange(Expected, NewActive)) {
+    storeBlockWord(Sb, reinterpret_cast<std::uint64_t>(Desc)); // Line 15.
+    return static_cast<char *>(Sb) + BlockPrefixSize;
+  }
+
+  // Lines 16-17: another thread installed an active superblock first.
+  // Prefer deallocating ours over keeping it PARTIAL, "to avoid having too
+  // many PARTIAL superblocks and hence cause unnecessary external
+  // fragmentation".
+  SbCache.release(Sb);
+  Descs.retire(Desc);
+  return nullptr;
+}
+
+void LFAllocator::deallocate(void *Ptr) {
+  if (!Ptr) // Fig. 6 line 1.
+    return;
+  if (Stats)
+    bump(&Stats->Frees);
+  void *Block = static_cast<char *>(Ptr) - BlockPrefixSize; // Line 2.
+  const std::uint64_t Prefix = loadBlockWord(Block);        // Line 3.
+  if (LFM_UNLIKELY(Prefix & LargePrefixBit)) {
+    if ((Prefix & AlignedMarkerBits) == AlignedMarkerBits) {
+      // Aligned-allocation marker: redirect to the real block start.
+      deallocate(static_cast<char *>(Ptr) - (Prefix >> 2));
+      return;
+    }
+    largeFree(Block, Prefix); // Line 4/5: large block.
+    return;
+  }
+
+  auto *Desc = reinterpret_cast<Descriptor *>(Prefix);
+  assert(Desc && "freeing a block with a corrupt prefix");
+  void *Sb = Desc->Sb; // Line 6.
+
+  Anchor OldAnchor = Desc->AnchorWord.load();
+  Anchor NewAnchor;
+  ProcHeap *Heap = nullptr;
+  bool Pinned = false;
+  const std::uint32_t BlockIndex = static_cast<std::uint32_t>(
+      (static_cast<char *>(Block) - static_cast<char *>(Sb)) /
+      Desc->BlockSize);
+  assert((static_cast<char *>(Block) - static_cast<char *>(Sb)) %
+                 Desc->BlockSize ==
+             0 &&
+         "pointer does not address a block of its superblock");
+  do {
+    if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+      Opts.ChaosHook(ChaosSite::BeforeFreeCas, Opts.ChaosCtx);
+    NewAnchor = OldAnchor;
+    storeBlockWord(Block, OldAnchor.Avail); // Line 8: link ourselves in.
+    NewAnchor.Avail = BlockIndex;           // Line 9.
+    if (OldAnchor.State == SbState::Full)   // Lines 10-11.
+      NewAnchor.State = SbState::Partial;
+    if (OldAnchor.Count == Desc->MaxCount - 1) {
+      // Lines 12-15: we are freeing the last outstanding block. Pin the
+      // descriptor BEFORE the CAS that makes it EMPTY: the instant the
+      // CAS lands the descriptor is retire-able, and RemoveEmptyDesc
+      // below must not race against its reuse (hazard-pointer ABA armor).
+      // The publication fence is the paper's one common-case memory fence
+      // per free (Fig. 6 line 17) — and here it is even off the common
+      // path, paid only by the free that empties a superblock.
+      if (!Pinned) {
+        Domain.publish(HpSlotDesc, Desc);
+        Pinned = true;
+      }
+      Heap = Desc->Heap.load(std::memory_order_acquire); // Line 13.
+      NewAnchor.State = SbState::Empty;                  // Line 15.
+    } else {
+      NewAnchor.Count += 1; // Line 16.
+    }
+    // The release half of the CAS publishes the link store above no later
+    // than the anchor update (Fig. 6 line 17's fence).
+  } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+
+  if (NewAnchor.State == SbState::Empty) {
+    if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+      Opts.ChaosHook(ChaosSite::AfterEmptyTransition, Opts.ChaosCtx);
+    // Lines 19-21: return the superblock and retire its descriptor.
+    if (Stats)
+      bump(&Stats->SbFreed);
+    SbCache.release(Sb);
+    removeEmptyDesc(Heap, Desc);
+  } else if (OldAnchor.State == SbState::Full) {
+    // Lines 22-23: first free into a FULL superblock re-publishes it.
+    heapPutPartial(Desc);
+  }
+  if (Pinned)
+    Domain.clear(HpSlotDesc);
+}
+
+void LFAllocator::removeEmptyDesc(ProcHeap *Heap, Descriptor *Desc) {
+  // Fig. 6 RemoveEmptyDesc: if the descriptor still sits in the heap's
+  // Partial slot a single CAS retires it; otherwise it may be somewhere in
+  // the class list — retire *some* empty descriptor from there instead.
+  // Our caller's hazard on Desc makes the slot CAS ABA-safe (Desc cannot
+  // be recycled into the slot while we hold the hazard).
+  for (unsigned S = 0; S < PartialSlots; ++S) {
+    Descriptor *Expected = Desc;
+    if (Heap->Partial[S].compare_exchange_strong(
+            Expected, nullptr, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      Descs.retire(Desc);
+      return;
+    }
+  }
+  Heap->Sc->Partial.removeEmpty(Descs); // ListRemoveEmptyDesc.
+}
+
+void *LFAllocator::largeMalloc(std::size_t Bytes) {
+  // Fig. 4 malloc line 3: "Allocate block from OS and return its address";
+  // the prefix records size|1 so free() can route it back (Fig. 6 line 4:
+  // "desc holds sz+1").
+  if (Stats)
+    bump(&Stats->LargeMallocs);
+  if (Bytes > ~std::uint64_t{0} - OsPageSize - BlockPrefixSize)
+    return nullptr;
+  const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
+  void *Block = Pages.map(Total);
+  if (!Block)
+    return nullptr;
+  storeBlockWord(Block, Total | LargePrefixBit);
+  return static_cast<char *>(Block) + BlockPrefixSize;
+}
+
+void LFAllocator::largeFree(void *Block, std::uint64_t Prefix) {
+  if (Stats)
+    bump(&Stats->LargeFrees);
+  Pages.unmap(Block, Prefix & ~LargePrefixBit); // Fig. 6 line 5.
+}
+
+void *LFAllocator::allocateAligned(std::size_t Alignment,
+                                   std::size_t Bytes) {
+  assert(isPowerOf2(Alignment) && "alignment must be a power of two");
+  if (Alignment <= BlockPrefixSize)
+    return allocate(Bytes); // Natural alignment already suffices.
+  if (Bytes > ~std::size_t{0} - Alignment)
+    return nullptr;
+
+  // Over-allocate so some 8-aligned point inside the block reaches the
+  // requested alignment, then plant a marker word just before it. The
+  // marker slot never collides with the block's own prefix: when the
+  // payload start is already aligned we return it directly.
+  char *Raw = static_cast<char *>(allocate(Bytes + Alignment));
+  if (!Raw)
+    return nullptr;
+  const std::uintptr_t Addr = reinterpret_cast<std::uintptr_t>(Raw);
+  if ((Addr & (Alignment - 1)) == 0)
+    return Raw;
+  char *Aligned = reinterpret_cast<char *>(alignUp(Addr, Alignment));
+  const std::uint64_t Offset = static_cast<std::uint64_t>(Aligned - Raw);
+  assert(Offset >= BlockPrefixSize && "no room for the marker word");
+  storeBlockWord(Aligned - BlockPrefixSize,
+                 (Offset << 2) | AlignedMarkerBits);
+  return Aligned;
+}
+
+void *LFAllocator::allocateZeroed(std::size_t Num, std::size_t Size) {
+  if (Size != 0 && Num > ~std::size_t{0} / Size)
+    return nullptr; // Multiplication would overflow.
+  const std::size_t Bytes = Num * Size;
+  void *Ptr = allocate(Bytes);
+  if (Ptr)
+    std::memset(Ptr, 0, Bytes);
+  return Ptr;
+}
+
+void *LFAllocator::reallocate(void *Ptr, std::size_t Bytes) {
+  if (!Ptr)
+    return allocate(Bytes);
+  if (Bytes == 0) {
+    deallocate(Ptr);
+    return nullptr;
+  }
+  const std::size_t OldUsable = usableSize(Ptr);
+  if (Bytes <= OldUsable)
+    return Ptr; // Block already fits; shrink in place for free.
+
+  // Large->large growth: let the kernel move the pages (mremap) instead
+  // of copying them. Only for plain large blocks (not aligned-marker
+  // redirects, whose offset would not survive a move).
+  void *Block = static_cast<char *>(Ptr) - BlockPrefixSize;
+  const std::uint64_t Prefix = loadBlockWord(Block);
+  if ((Prefix & LargePrefixBit) &&
+      (Prefix & AlignedMarkerBits) != AlignedMarkerBits &&
+      sizeToClass(Bytes) == LargeSizeClass) {
+    const std::size_t OldTotal = Prefix & ~LargePrefixBit;
+    const std::size_t NewTotal =
+        alignUp(Bytes + BlockPrefixSize, OsPageSize);
+    if (void *Fresh = Pages.remap(Block, OldTotal, NewTotal)) {
+      storeBlockWord(Fresh, NewTotal | LargePrefixBit);
+      return static_cast<char *>(Fresh) + BlockPrefixSize;
+    }
+    // Fall through to copying on remap failure.
+  }
+
+  void *Fresh = allocate(Bytes);
+  if (!Fresh)
+    return nullptr;
+  std::memcpy(Fresh, Ptr, OldUsable);
+  deallocate(Ptr);
+  return Fresh;
+}
+
+std::size_t LFAllocator::usableSize(const void *Ptr) const {
+  assert(Ptr && "usableSize of null");
+  const void *Block = static_cast<const char *>(Ptr) - BlockPrefixSize;
+  const std::uint64_t Prefix = loadBlockWord(Block);
+  if (Prefix & LargePrefixBit) {
+    if ((Prefix & AlignedMarkerBits) == AlignedMarkerBits) {
+      const std::size_t Offset = Prefix >> 2;
+      const void *Real = static_cast<const char *>(Ptr) - Offset;
+      return usableSize(Real) - Offset;
+    }
+    return (Prefix & ~LargePrefixBit) - BlockPrefixSize;
+  }
+  const auto *Desc = reinterpret_cast<const Descriptor *>(Prefix);
+  return Desc->BlockSize - BlockPrefixSize;
+}
+
+OpStats LFAllocator::opStats() const {
+  OpStats Out;
+  if (!Stats)
+    return Out;
+  Out.Mallocs = Stats->Mallocs.load(std::memory_order_relaxed);
+  Out.Frees = Stats->Frees.load(std::memory_order_relaxed);
+  Out.FromActive = Stats->FromActive.load(std::memory_order_relaxed);
+  Out.FromPartial = Stats->FromPartial.load(std::memory_order_relaxed);
+  Out.FromNewSb = Stats->FromNewSb.load(std::memory_order_relaxed);
+  Out.LargeMallocs = Stats->LargeMallocs.load(std::memory_order_relaxed);
+  Out.LargeFrees = Stats->LargeFrees.load(std::memory_order_relaxed);
+  Out.SbFreed = Stats->SbFreed.load(std::memory_order_relaxed);
+  return Out;
+}
+
+namespace {
+
+const char *stateName(SbState State) {
+  switch (State) {
+  case SbState::Active:
+    return "ACTIVE";
+  case SbState::Full:
+    return "FULL";
+  case SbState::Partial:
+    return "PARTIAL";
+  case SbState::Empty:
+    return "EMPTY";
+  }
+  return "?";
+}
+
+void dumpDescriptor(std::FILE *Out, const char *Label, unsigned HeapIdx,
+                    const Descriptor *Desc, std::uint32_t Credits) {
+  const Anchor A = Desc->AnchorWord.load();
+  std::fprintf(Out,
+               "    heap %2u %-7s desc=%p sb=%p state=%-7s avail=%u "
+               "count=%u tag=%llu",
+               HeapIdx, Label, static_cast<const void *>(Desc), Desc->Sb,
+               stateName(A.State), A.Avail, A.Count,
+               static_cast<unsigned long long>(A.Tag));
+  if (Credits != ~0u)
+    std::fprintf(Out, " credits=%u", Credits);
+  std::fprintf(Out, "\n");
+}
+
+} // namespace
+
+void LFAllocator::dumpState(std::FILE *Out) const {
+  std::fprintf(Out, "LFAllocator@%p: %u heaps x %u classes, sb=%zu B, "
+                    "hyper=%zu B, %s partial lists, %u slot(s), "
+                    "credits<=%u\n",
+               static_cast<const void *>(this), HeapCount, ClassCount,
+               Opts.SuperblockSize, Opts.HyperblockSize,
+               Opts.PartialPolicy == PartialListPolicy::Fifo ? "FIFO"
+                                                             : "LIFO",
+               PartialSlots, Opts.CreditsLimit);
+
+  for (unsigned C = 0; C < ClassCount; ++C) {
+    bool Printed = false;
+    for (unsigned H = 0; H < HeapCount; ++H) {
+      const ProcHeap &Heap = Heaps[C * HeapCount + H];
+      const ActiveRef Active = Heap.Active.load();
+      if (Active.Desc) {
+        if (!Printed) {
+          std::fprintf(Out, "  class %2u (block %u B):\n", C,
+                       classBlockSize(C));
+          Printed = true;
+        }
+        dumpDescriptor(Out, "active", H, Active.Desc, Active.Credits);
+      }
+      for (unsigned S = 0; S < PartialSlots; ++S)
+        if (const Descriptor *Desc =
+                Heap.Partial[S].load(std::memory_order_relaxed)) {
+          if (!Printed) {
+            std::fprintf(Out, "  class %2u (block %u B):\n", C,
+                         classBlockSize(C));
+            Printed = true;
+          }
+          dumpDescriptor(Out, "partial", H, Desc, ~0u);
+        }
+    }
+  }
+
+  const OpStats St = opStats();
+  if (St.Mallocs || St.Frees)
+    std::fprintf(Out,
+                 "  ops: mallocs=%llu frees=%llu fast=%llu partial=%llu "
+                 "newSb=%llu large=%llu/%llu sbFreed=%llu\n",
+                 static_cast<unsigned long long>(St.Mallocs),
+                 static_cast<unsigned long long>(St.Frees),
+                 static_cast<unsigned long long>(St.FromActive),
+                 static_cast<unsigned long long>(St.FromPartial),
+                 static_cast<unsigned long long>(St.FromNewSb),
+                 static_cast<unsigned long long>(St.LargeMallocs),
+                 static_cast<unsigned long long>(St.LargeFrees),
+                 static_cast<unsigned long long>(St.SbFreed));
+  const PageStats Space = Pages.stats();
+  std::fprintf(Out,
+               "  space: %.2f MB mapped, %.2f MB peak, %llu maps, %llu "
+               "unmaps, %llu cached sbs, %llu descs minted\n",
+               static_cast<double>(Space.BytesInUse) / 1048576,
+               static_cast<double>(Space.PeakBytes) / 1048576,
+               static_cast<unsigned long long>(Space.MapCalls),
+               static_cast<unsigned long long>(Space.UnmapCalls),
+               static_cast<unsigned long long>(SbCache.cachedCount()),
+               static_cast<unsigned long long>(Descs.mintedCount()));
+}

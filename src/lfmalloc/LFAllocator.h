@@ -1,0 +1,178 @@
+//===- lfmalloc/LFAllocator.h - The lock-free allocator ----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution: a completely lock-free general-purpose
+/// malloc/free (Michael, PLDI 2004, §3). Every routine maps 1:1 onto the
+/// paper's Figs. 4, 6 and 7; implementation comments cite figure and line
+/// numbers.
+///
+/// Progress guarantee: between any two successful CAS operations system-
+/// wide, some malloc or free has made progress; a thread delayed — or
+/// killed — at ANY point inside allocate()/deallocate() never blocks other
+/// threads. The only waiting in the entire allocator is bounded CAS-retry
+/// against *successful* progress by others. (The OS page provider is the
+/// one external dependency; the kernel may serialize mmap internally,
+/// which the paper accepts and mitigates with hyperblock batching.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_LFALLOCATOR_H
+#define LFMALLOC_LFMALLOC_LFALLOCATOR_H
+
+#include "lfmalloc/Config.h"
+#include "lfmalloc/Descriptor.h"
+#include "lfmalloc/DescriptorAllocator.h"
+#include "lfmalloc/PartialList.h"
+#include "lfmalloc/SizeClasses.h"
+#include "lfmalloc/SuperblockCache.h"
+#include "os/PageAllocator.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+namespace lfm {
+
+/// Per-size-class runtime state: the paper's `typedef sizeclass` (Fig. 3)
+/// — block size, superblock size, and the class-wide partial list.
+struct SizeClassRuntime {
+  SizeClassRuntime(std::uint32_t BlockSize, std::uint32_t SbSize,
+                   PartialListPolicy Policy, HazardDomain &Domain,
+                   PageAllocator &Pages)
+      : BlockSize(BlockSize), SbSize(SbSize), Partial(Policy, Domain, Pages) {}
+
+  const std::uint32_t BlockSize; ///< Includes the 8-byte prefix.
+  const std::uint32_t SbSize;
+  PartialList Partial;
+};
+
+/// Operation counters (all relaxed; enabled per instance via
+/// AllocatorOptions — zero-cost branches when disabled would still dirty
+/// cache lines, so they are only maintained when \c StatsEnabled).
+struct OpStats {
+  std::uint64_t Mallocs = 0;
+  std::uint64_t Frees = 0;
+  std::uint64_t FromActive = 0;   ///< Fast-path mallocs.
+  std::uint64_t FromPartial = 0;  ///< Served from a PARTIAL superblock.
+  std::uint64_t FromNewSb = 0;    ///< Required a fresh superblock.
+  std::uint64_t LargeMallocs = 0;
+  std::uint64_t LargeFrees = 0;
+  std::uint64_t SbFreed = 0;      ///< Superblocks that went EMPTY.
+};
+
+/// The completely lock-free dynamic memory allocator.
+///
+/// Thread-safe for any mix of allocate/deallocate from any threads,
+/// including blocks freed by threads other than their allocator (the
+/// producer-consumer pattern the paper §4.2.3 stresses). Not copyable or
+/// movable. Destruction requires quiescence: no concurrent operations, and
+/// all outstanding blocks are invalidated.
+class LFAllocator {
+public:
+  explicit LFAllocator(const AllocatorOptions &Opts = AllocatorOptions());
+  ~LFAllocator();
+  LFAllocator(const LFAllocator &) = delete;
+  LFAllocator &operator=(const LFAllocator &) = delete;
+
+  /// malloc(). \returns an 8-byte-aligned block of at least \p Bytes
+  /// (a unique pointer for Bytes == 0), or nullptr if the OS is out of
+  /// memory. Lock-free.
+  void *allocate(std::size_t Bytes);
+
+  /// free(). Accepts null. Lock-free. \p Ptr must come from allocate() of
+  /// this instance and not be freed twice.
+  void deallocate(void *Ptr);
+
+  /// aligned_alloc()-style allocation: \returns a block of at least
+  /// \p Bytes aligned to \p Alignment (a power of two). Implemented by
+  /// over-allocating and planting an offset marker in front of the
+  /// returned pointer, so deallocate()/usableSize() work unchanged.
+  void *allocateAligned(std::size_t Alignment, std::size_t Bytes);
+
+  /// calloc()-style zeroed allocation (overflow-checked).
+  void *allocateZeroed(std::size_t Num, std::size_t Size);
+
+  /// realloc()-style resize; contents preserved up to min(old, new).
+  void *reallocate(void *Ptr, std::size_t Bytes);
+
+  /// \returns the usable payload capacity of an allocated block.
+  std::size_t usableSize(const void *Ptr) const;
+
+  /// \returns how many processor heaps each size class has.
+  unsigned numHeaps() const { return HeapCount; }
+
+  /// \returns the number of size classes served from superblocks; payloads
+  /// beyond classPayloadSize(numSizeClassesInUse()-1) take the large path.
+  unsigned numSizeClassesInUse() const { return ClassCount; }
+
+  /// \returns the space meter covering every byte this instance has mapped
+  /// (superblocks, descriptors, large blocks, list nodes) — the paper's
+  /// §4.2.5 "maximum space used" is PageStats::PeakBytes.
+  PageStats pageStats() const { return Pages.stats(); }
+
+  /// Resets the peak-space watermark to current usage (for benchmarks
+  /// measuring per-phase maxima).
+  void resetPeakSpace() { Pages.resetPeak(); }
+
+  /// \returns operation counters (zeros unless options().EnableStats).
+  OpStats opStats() const;
+
+  /// Returns fully-free hyperblocks and fully-free descriptor superblocks
+  /// to the OS (quiescent-state only; §3.2.5 extensions).
+  std::size_t trimQuiescent() {
+    return SbCache.trimQuiescent() + Descs.trimQuiescent();
+  }
+
+  /// Failure injection for tests: after \p Count further OS mappings,
+  /// every mapping request fails. Negative re-arms to "never fail".
+  void debugInjectMapFailuresAfter(std::int64_t Count) {
+    Pages.injectMapFailuresAfter(Count);
+  }
+
+  /// Options actually in effect (NumHeaps resolved).
+  const AllocatorOptions &options() const { return Opts; }
+
+  /// Writes a human-readable report of the allocator's current state to
+  /// \p Out: per-size-class superblock census (active / heap-partial
+  /// descriptors with their anchor fields), operation counters, and the
+  /// space meter. Racy snapshots under concurrency (each word read
+  /// atomically); intended for debugging and tests.
+  void dumpState(std::FILE *Out) const;
+
+private:
+  void *mallocFromActive(ProcHeap *Heap);
+  void *mallocFromPartial(ProcHeap *Heap);
+  void *mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory);
+  void updateActive(ProcHeap *Heap, Descriptor *Desc,
+                    std::uint32_t MoreCredits);
+  Descriptor *heapGetPartial(ProcHeap *Heap);
+  void heapPutPartial(Descriptor *Desc);
+  void removeEmptyDesc(ProcHeap *Heap, Descriptor *Desc);
+  void *largeMalloc(std::size_t Bytes);
+  void largeFree(void *Block, std::uint64_t Prefix);
+  ProcHeap *findHeap(unsigned Class);
+
+  AllocatorOptions Opts;       ///< Resolved options.
+  unsigned HeapCount = 0;      ///< Heaps per size class.
+  unsigned PartialSlots = 1;   ///< MRU Partial slots per heap.
+  unsigned ClassCount = 0;     ///< Size classes usable with this SbSize.
+  PageAllocator Pages;         ///< Meter + source for everything below.
+  HazardDomain &Domain;
+  DescriptorAllocator Descs;
+  SuperblockCache SbCache;
+  SizeClassRuntime *Classes = nullptr; ///< [ClassCount], placement-new'd.
+  ProcHeap *Heaps = nullptr;   ///< [ClassCount * HeapCount].
+  void *ControlRegion = nullptr; ///< Backing mapping for the two arrays.
+  std::size_t ControlBytes = 0;
+  struct AtomicOpStats;
+  AtomicOpStats *Stats = nullptr; ///< Non-null when EnableStats.
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_LFALLOCATOR_H

@@ -1,0 +1,57 @@
+//===- lfmalloc/LFMalloc.cpp - Process-global malloc facade ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFMalloc.h"
+
+#include "lfmalloc/LFAllocator.h"
+
+#include <new>
+
+using namespace lfm;
+
+LFAllocator &lfm::defaultAllocator() {
+  // Immortal storage (constructed on first use, never destroyed): avoids
+  // static-destructor ordering hazards and keeps the allocator usable from
+  // code running during process shutdown.
+  alignas(LFAllocator) static unsigned char Storage[sizeof(LFAllocator)];
+  static LFAllocator *Instance = new (Storage) LFAllocator();
+  return *Instance;
+}
+
+void *lfm::lfMalloc(std::size_t Bytes) {
+  return defaultAllocator().allocate(Bytes);
+}
+
+void lfm::lfFree(void *Ptr) { defaultAllocator().deallocate(Ptr); }
+
+void *lfm::lfCalloc(std::size_t Num, std::size_t Size) {
+  return defaultAllocator().allocateZeroed(Num, Size);
+}
+
+void *lfm::lfRealloc(void *Ptr, std::size_t Bytes) {
+  return defaultAllocator().reallocate(Ptr, Bytes);
+}
+
+void *lfm::lfAlignedAlloc(std::size_t Alignment, std::size_t Bytes) {
+  return defaultAllocator().allocateAligned(Alignment, Bytes);
+}
+
+std::size_t lfm::lfUsableSize(const void *Ptr) {
+  return defaultAllocator().usableSize(Ptr);
+}
+
+void *lf_malloc(size_t Bytes) { return lfm::lfMalloc(Bytes); }
+void lf_free(void *Ptr) { lfm::lfFree(Ptr); }
+void *lf_calloc(size_t Num, size_t Size) { return lfm::lfCalloc(Num, Size); }
+void *lf_realloc(void *Ptr, size_t Bytes) {
+  return lfm::lfRealloc(Ptr, Bytes);
+}
+void *lf_aligned_alloc(size_t Alignment, size_t Bytes) {
+  return lfm::lfAlignedAlloc(Alignment, Bytes);
+}
+size_t lf_malloc_usable_size(const void *Ptr) {
+  return lfm::lfUsableSize(Ptr);
+}

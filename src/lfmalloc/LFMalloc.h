@@ -1,0 +1,65 @@
+//===- lfmalloc/LFMalloc.h - Process-global malloc facade --------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's quickstart surface: malloc/free-shaped functions backed by
+/// one process-wide, immortal LFAllocator configured with the paper's
+/// defaults. Programs needing multiple allocators, custom superblock
+/// geometry, or metered space use LFAllocator directly.
+///
+/// All functions here are lock-free and — after the first call has
+/// initialized the instance — async-signal-safe, the property motivating
+/// the paper's design (§1, "a completely lock-free allocator is capable of
+/// being async-signal-safe without incurring any performance cost").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_LFMALLOC_H
+#define LFMALLOC_LFMALLOC_LFMALLOC_H
+
+#include <cstddef>
+
+namespace lfm {
+
+class LFAllocator;
+
+/// \returns the immortal process-wide allocator (created on first use,
+/// never destroyed — so signal handlers and exiting threads can always
+/// rely on it).
+LFAllocator &defaultAllocator();
+
+/// malloc(): lock-free allocation from the default allocator.
+void *lfMalloc(std::size_t Bytes);
+
+/// free(): lock-free deallocation; accepts null.
+void lfFree(void *Ptr);
+
+/// calloc(): zeroed, overflow-checked.
+void *lfCalloc(std::size_t Num, std::size_t Size);
+
+/// realloc() semantics (Bytes == 0 frees and returns null).
+void *lfRealloc(void *Ptr, std::size_t Bytes);
+
+/// aligned_alloc(): \p Alignment must be a power of two.
+void *lfAlignedAlloc(std::size_t Alignment, std::size_t Bytes);
+
+/// \returns usable payload capacity of an lfMalloc'd block.
+std::size_t lfUsableSize(const void *Ptr);
+
+} // namespace lfm
+
+// C-linkage shim, so C code (or FFI) can link against the allocator
+// without touching C++ headers. Same semantics as the lfm:: functions.
+extern "C" {
+void *lf_malloc(size_t Bytes);
+void lf_free(void *Ptr);
+void *lf_calloc(size_t Num, size_t Size);
+void *lf_realloc(void *Ptr, size_t Bytes);
+void *lf_aligned_alloc(size_t Alignment, size_t Bytes);
+size_t lf_malloc_usable_size(const void *Ptr);
+}
+
+#endif // LFMALLOC_LFMALLOC_LFMALLOC_H

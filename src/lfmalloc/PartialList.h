@@ -1,0 +1,124 @@
+//===- lfmalloc/PartialList.h - Size-class partial lists ---------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-size-class list of PARTIAL superblocks (paper §3.2.6), providing
+/// the three operations ListPutPartial / ListGetPartial /
+/// ListRemoveEmptyDesc under two disciplines:
+///
+///  - FIFO (the paper's preferred implementation): a Michael–Scott queue.
+///    removeEmpty() "keeps dequeuing descriptors from the head of the list
+///    until it dequeues a non-empty descriptor or reaches the end"; a
+///    dequeued non-empty descriptor is re-enqueued at the tail. This keeps
+///    at most half the listed descriptors empty.
+///  - LIFO (the simpler variant): a tagged Treiber stack over the
+///    descriptors' PartialNext links. The paper's LIFO variant uses a
+///    lock-free linked list with middle removal [16]; we implement the
+///    standard simplification of removing empties lazily at the head — a
+///    get() that surfaces an EMPTY descriptor retires it (the caller's
+///    MallocFromPartial retry loop), and removeEmpty() inspects the head.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_PARTIALLIST_H
+#define LFMALLOC_LFMALLOC_PARTIALLIST_H
+
+#include "lfmalloc/DescriptorAllocator.h"
+#include "lfmalloc/Descriptor.h"
+#include "lockfree/MSQueue.h"
+#include "lockfree/TreiberStack.h"
+
+#include <new>
+
+namespace lfm {
+
+/// Policy-switched list of partial superblock descriptors.
+class PartialList {
+public:
+  PartialList(PartialListPolicy Policy, HazardDomain &Domain,
+              PageAllocator &Pages)
+      : Policy(Policy) {
+    if (Policy == PartialListPolicy::Fifo)
+      new (&FifoStorage) FifoT(Domain, &Pages);
+    else
+      new (&LifoStorage) LifoT();
+  }
+  PartialList(const PartialList &) = delete;
+  PartialList &operator=(const PartialList &) = delete;
+
+  ~PartialList() {
+    if (Policy == PartialListPolicy::Fifo)
+      fifo().~FifoT();
+    else
+      lifo().~LifoT();
+  }
+
+  /// ListPutPartial: makes \p Desc available to any heap of the class.
+  void put(Descriptor *Desc) {
+    if (Policy == PartialListPolicy::Fifo)
+      fifo().enqueue(Desc);
+    else
+      lifo().push(Desc);
+  }
+
+  /// ListGetPartial. \returns a descriptor or nullptr. May return an
+  /// EMPTY descriptor; the caller (MallocFromPartial) retires it and
+  /// retries, per Fig. 4 line 6.
+  Descriptor *get() {
+    if (Policy == PartialListPolicy::Fifo) {
+      Descriptor *Desc = nullptr;
+      return fifo().dequeue(Desc) ? Desc : nullptr;
+    }
+    return lifo().pop();
+  }
+
+  /// ListRemoveEmptyDesc: retires empty descriptors so their storage
+  /// becomes reusable — "the goal ... is to ensure that empty descriptors
+  /// are eventually made available for reuse, and not necessarily to
+  /// remove a specific empty descriptor immediately".
+  void removeEmpty(DescriptorAllocator &Descs) {
+    if (Policy == PartialListPolicy::Fifo) {
+      // Bound the walk by the current length estimate so concurrent
+      // enqueues cannot turn this into an unbounded loop.
+      std::int64_t Budget = fifo().approxSize() + 1;
+      Descriptor *Desc = nullptr;
+      while (Budget-- > 0 && fifo().dequeue(Desc)) {
+        if (Desc->AnchorWord.load().State == SbState::Empty) {
+          Descs.retire(Desc);
+          continue;
+        }
+        fifo().enqueue(Desc); // Non-empty: back to the tail, stop.
+        break;
+      }
+      return;
+    }
+    if (Descriptor *Desc = lifo().pop()) {
+      if (Desc->AnchorWord.load().State == SbState::Empty)
+        Descs.retire(Desc);
+      else
+        lifo().push(Desc);
+    }
+  }
+
+  PartialListPolicy policy() const { return Policy; }
+
+private:
+  using FifoT = MSQueue<Descriptor *>;
+  using LifoT = TreiberStack<Descriptor, &Descriptor::PartialNext>;
+
+  FifoT &fifo() { return *std::launder(reinterpret_cast<FifoT *>(&FifoStorage)); }
+  LifoT &lifo() { return *std::launder(reinterpret_cast<LifoT *>(&LifoStorage)); }
+
+  const PartialListPolicy Policy;
+  union {
+    alignas(FifoT) unsigned char FifoStorage[sizeof(FifoT)];
+    alignas(LifoT) unsigned char LifoStorage[sizeof(LifoT)];
+  };
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_PARTIALLIST_H

@@ -1,0 +1,107 @@
+//===- lfmalloc/SizeClasses.h - Size-class table and mapping -----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static size-class geometry: "Superblocks are distributed among size
+/// classes based on their block sizes" (paper §3.1). Block sizes here
+/// INCLUDE the 8-byte prefix. The paper does not prescribe a table; we use
+/// 16-byte steps up to 128 bytes then ~25% geometric steps (Hoard-family
+/// practice, bounding internal fragmentation to ~25%), up to half of the
+/// default 16 KB superblock. Requests above an instance's largest class go
+/// to the large-block OS path.
+///
+/// Everything here is constexpr so the mapping is O(1) at runtime (one
+/// table load) and directly checkable in unit tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_SIZECLASSES_H
+#define LFMALLOC_LFMALLOC_SIZECLASSES_H
+
+#include "lfmalloc/Config.h"
+
+#include <array>
+#include <cstdint>
+
+namespace lfm {
+
+namespace sizeclass_detail {
+
+/// Builds the block-size table: 16..128 step 16, then 4 classes per
+/// power-of-two octave up to 8192.
+consteval auto buildClassTable() {
+  std::array<std::uint32_t, 32> Table{};
+  unsigned N = 0;
+  for (std::uint32_t Size = 16; Size <= 128; Size += 16)
+    Table[N++] = Size;
+  for (std::uint32_t Step = 32; Step <= 1024; Step *= 2)
+    for (std::uint32_t I = 1; I <= 4; ++I)
+      Table[N++] = 4 * Step + I * Step;
+  return Table;
+}
+
+} // namespace sizeclass_detail
+
+/// Block sizes (prefix included) of every size class, ascending.
+inline constexpr auto SizeClassBlockSizes =
+    sizeclass_detail::buildClassTable();
+
+/// Total number of size classes in the static table.
+inline constexpr unsigned NumSizeClasses =
+    static_cast<unsigned>(SizeClassBlockSizes.size());
+
+/// Largest block size (prefix included) served by a size class.
+inline constexpr std::uint32_t MaxClassBlockSize =
+    SizeClassBlockSizes[NumSizeClasses - 1];
+
+namespace sizeclass_detail {
+
+/// O(1) mapping: Lookup[ceil(Total/16)] = smallest class whose block size
+/// holds Total bytes.
+consteval auto buildLookup() {
+  constexpr unsigned Slots = MaxClassBlockSize / 16 + 1;
+  std::array<std::uint8_t, Slots> Lookup{};
+  unsigned Class = 0;
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    const std::uint32_t Total = Slot * 16;
+    while (Class < NumSizeClasses && SizeClassBlockSizes[Class] < Total)
+      ++Class;
+    Lookup[Slot] = static_cast<std::uint8_t>(Class);
+  }
+  return Lookup;
+}
+
+inline constexpr auto SizeClassLookup = buildLookup();
+
+} // namespace sizeclass_detail
+
+/// Sentinel returned by sizeToClass for requests beyond the table.
+inline constexpr unsigned LargeSizeClass = ~0u;
+
+/// Maps a *payload* request of \p Bytes to its size class, or
+/// LargeSizeClass if no class fits. Zero-byte requests are valid and map
+/// to the smallest class (malloc(0) returns a unique pointer).
+constexpr unsigned sizeToClass(std::size_t Bytes) {
+  const std::size_t Total = Bytes + BlockPrefixSize;
+  if (Total > MaxClassBlockSize)
+    return LargeSizeClass;
+  return sizeclass_detail::SizeClassLookup[(Total + 15) / 16];
+}
+
+/// \returns the block size (prefix included) of class \p Class.
+constexpr std::uint32_t classBlockSize(unsigned Class) {
+  assert(Class < NumSizeClasses && "size class out of range");
+  return SizeClassBlockSizes[Class];
+}
+
+/// \returns the largest payload class \p Class can serve.
+constexpr std::size_t classPayloadSize(unsigned Class) {
+  return classBlockSize(Class) - BlockPrefixSize;
+}
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_SIZECLASSES_H

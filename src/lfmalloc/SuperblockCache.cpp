@@ -1,0 +1,135 @@
+//===- lfmalloc/SuperblockCache.cpp - Hyperblock-batched superblocks ------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/SuperblockCache.h"
+
+#include "support/Platform.h"
+
+#include <cassert>
+#include <new>
+
+using namespace lfm;
+
+SuperblockCache::SuperblockCache(PageAllocator &Pages, std::size_t SbSize,
+                                 std::size_t HyperSize)
+    : Pages(Pages), SbSize(SbSize), HyperSize(HyperSize),
+      SbsPerHyper(HyperSize
+                      ? static_cast<std::uint32_t>(HyperSize / SbSize - 1)
+                      : 0) {
+  assert(isPowerOf2(SbSize) && SbSize >= OsPageSize &&
+         "superblock size must be a power-of-two number of pages");
+  assert((HyperSize == 0 ||
+          (isPowerOf2(HyperSize) && HyperSize >= 4 * SbSize)) &&
+         "hyperblock must fit a header slot plus several superblocks");
+}
+
+SuperblockCache::~SuperblockCache() {
+  HyperHeader *Hyper = Hypers.load(std::memory_order_relaxed);
+  while (Hyper) {
+    HyperHeader *Next = Hyper->Next;
+    Pages.unmap(Hyper, HyperSize);
+    Hyper = Next;
+  }
+}
+
+void *SuperblockCache::acquire() {
+  if (HyperSize == 0)
+    return Pages.map(SbSize);
+
+  for (;;) {
+    if (FreeSb *Sb = FreeList.pop()) {
+      CachedSbs.fetch_sub(1, std::memory_order_relaxed);
+      hyperOf(Sb)->FreeCount.fetch_sub(1, std::memory_order_relaxed);
+      return Sb;
+    }
+    if (!mintHyperblock())
+      return nullptr;
+  }
+}
+
+void SuperblockCache::release(void *Sb) {
+  assert(Sb && "releasing null superblock");
+  if (HyperSize == 0) {
+    Pages.unmap(Sb, SbSize);
+    return;
+  }
+  hyperOf(Sb)->FreeCount.fetch_add(1, std::memory_order_relaxed);
+  CachedSbs.fetch_add(1, std::memory_order_relaxed);
+  FreeList.push(new (Sb) FreeSb());
+}
+
+bool SuperblockCache::mintHyperblock() {
+  void *Raw = Pages.map(HyperSize, HyperSize);
+  if (!Raw)
+    return false;
+  auto *Hyper = new (Raw) HyperHeader();
+  Hyper->FreeCount.store(SbsPerHyper, std::memory_order_relaxed);
+  Hyper->Next = Hypers.load(std::memory_order_relaxed);
+  while (!Hypers.compare_exchange_weak(Hyper->Next, Hyper,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
+  // Slot 0 hosts the header; slots 1..SbsPerHyper are superblocks.
+  char *Base = static_cast<char *>(Raw);
+  for (std::uint32_t I = 1; I <= SbsPerHyper; ++I)
+    FreeList.push(new (Base + static_cast<std::size_t>(I) * SbSize) FreeSb());
+  CachedSbs.fetch_add(SbsPerHyper, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SuperblockCache::trimQuiescent() {
+  if (HyperSize == 0)
+    return 0;
+
+  // Pop the whole free list, then re-push only superblocks whose
+  // hyperblock is not fully free; unmap the fully free hyperblocks.
+  FreeSb *Kept = nullptr;
+  while (FreeSb *Sb = FreeList.pop()) {
+    Sb->Next = Kept;
+    Kept = Sb;
+  }
+
+  // Partition the hyper list into survivors and fully free hyperblocks.
+  HyperHeader *DeadList = nullptr;
+  HyperHeader *Live = nullptr;
+  for (HyperHeader *Hyper = Hypers.load(std::memory_order_relaxed); Hyper;) {
+    HyperHeader *Next = Hyper->Next;
+    if (Hyper->FreeCount.load(std::memory_order_relaxed) == SbsPerHyper) {
+      Hyper->Next = DeadList;
+      DeadList = Hyper;
+    } else {
+      Hyper->Next = Live;
+      Live = Hyper;
+    }
+    Hyper = Next;
+  }
+  Hypers.store(Live, std::memory_order_relaxed);
+
+  // Re-push survivors whose hyperblock stays mapped.
+  std::uint64_t Remaining = 0;
+  while (Kept) {
+    FreeSb *Next = Kept->Next;
+    bool Dead = false;
+    for (HyperHeader *D = DeadList; D; D = D->Next)
+      if (hyperOf(Kept) == D)
+        Dead = true;
+    if (!Dead) {
+      FreeList.push(Kept);
+      ++Remaining;
+    }
+    Kept = Next;
+  }
+  CachedSbs.store(Remaining, std::memory_order_relaxed);
+
+  std::size_t Freed = 0;
+  while (DeadList) {
+    HyperHeader *Next = DeadList->Next;
+    Pages.unmap(DeadList, HyperSize);
+    Freed += HyperSize;
+    DeadList = Next;
+  }
+  return Freed;
+}

@@ -1,0 +1,100 @@
+//===- lfmalloc/SuperblockCache.h - Hyperblock-batched superblocks -*- C++ -*-//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source of superblock memory. Two modes, both from the paper §3.2.5:
+///
+///  - Direct (HyperblockSize == 0): every superblock is mapped and unmapped
+///    with the OS individually — the paper's base design ("An EMPTY
+///    superblock is safe to be returned to the OS").
+///  - Hyperblock batching: "in order to reduce the frequency of calls to
+///    mmap and munmap, we allocate superblocks (e.g., 16 KB) in batches of
+///    (e.g., 1 MB) hyperblocks ... allowing them eventually to be returned
+///    to the OS." Free superblocks live on a lock-free tagged stack; fully
+///    free hyperblocks can be unmapped by trimQuiescent().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_SUPERBLOCKCACHE_H
+#define LFMALLOC_LFMALLOC_SUPERBLOCKCACHE_H
+
+#include "lockfree/TreiberStack.h"
+#include "os/PageAllocator.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// Hands out and takes back superblock-sized memory regions, optionally
+/// batching them in aligned hyperblocks.
+class SuperblockCache {
+public:
+  /// \param Pages page provider charged for all mappings.
+  /// \param SbSize superblock size (power of two, >= one page).
+  /// \param HyperSize hyperblock size; 0 selects direct mode, otherwise
+  /// must be a power of two >= 4 * SbSize (one slot hosts the header).
+  SuperblockCache(PageAllocator &Pages, std::size_t SbSize,
+                  std::size_t HyperSize);
+  SuperblockCache(const SuperblockCache &) = delete;
+  SuperblockCache &operator=(const SuperblockCache &) = delete;
+
+  /// Unmaps every hyperblock. Teardown contract: quiescent, and all
+  /// outstanding superblocks are dead memory the application no longer
+  /// touches.
+  ~SuperblockCache();
+
+  /// \returns a superblock-sized region (contents unspecified), or nullptr
+  /// if the OS is out of memory.
+  void *acquire();
+
+  /// Returns \p Sb, previously acquire()d, for reuse (hyperblock mode) or
+  /// straight to the OS (direct mode).
+  void release(void *Sb);
+
+  /// Unmaps every hyperblock whose superblocks are all free. Quiescent-
+  /// state only (free-stack nodes live inside the memory being unmapped).
+  /// \returns bytes returned to the OS.
+  std::size_t trimQuiescent();
+
+  /// \returns racy count of cached free superblocks (0 in direct mode).
+  std::uint64_t cachedCount() const {
+    return CachedSbs.load(std::memory_order_relaxed);
+  }
+
+  std::size_t superblockSize() const { return SbSize; }
+
+private:
+  /// Lives in the first bytes of a free superblock while it is cached.
+  struct FreeSb {
+    FreeSb *Next;
+  };
+
+  /// Header occupying the first superblock slot of each hyperblock.
+  struct HyperHeader {
+    HyperHeader *Next;
+    std::atomic<std::uint32_t> FreeCount;
+  };
+
+  HyperHeader *hyperOf(void *Sb) const {
+    return reinterpret_cast<HyperHeader *>(
+        reinterpret_cast<std::uintptr_t>(Sb) & ~(HyperSize - 1));
+  }
+
+  bool mintHyperblock();
+
+  PageAllocator &Pages;
+  const std::size_t SbSize;
+  const std::size_t HyperSize;      ///< 0 in direct mode.
+  const std::uint32_t SbsPerHyper;  ///< Usable slots per hyperblock.
+  TreiberStack<FreeSb> FreeList;
+  std::atomic<HyperHeader *> Hypers{nullptr};
+  std::atomic<std::uint64_t> CachedSbs{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_SUPERBLOCKCACHE_H

@@ -1,0 +1,175 @@
+//===- lockfree/HazardPointers.h - Safe memory reclamation -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Michael's hazard-pointer methodology (the paper's references [17,19]):
+/// lock-free safe memory reclamation and ABA prevention using only
+/// pointer-sized atomic operations. The allocator uses it where the paper
+/// says "SafeCAS (i.e., ABA-safe) ... we use the hazard pointer methodology"
+/// — the descriptor freelist (Fig. 7) — and the FIFO partial-superblock
+/// lists use it to protect Michael–Scott queue nodes (§3.2.6).
+///
+/// How it defeats ABA on a freelist: a popped node cannot re-enter the list
+/// until it passes through retire(), and retire() defers the node's reuse
+/// while any thread holds a hazard on it. A thread that protected the head
+/// therefore knows the head's Next field cannot have been recycled under it.
+///
+/// Allocation discipline: this facility performs NO dynamic allocation after
+/// domain construction. Retired objects are chained intrusively through
+/// their own HazardErasable header and the scan uses stack buffers, so the
+/// allocator built on top remains self-contained and async-signal-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_HAZARDPOINTERS_H
+#define LFMALLOC_LOCKFREE_HAZARDPOINTERS_H
+
+#include "os/PageAllocator.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// Intrusive header for objects reclaimed through a HazardDomain. Embed (or
+/// inherit) one per reclaimable object; its fields are owned by the domain
+/// between retire() and reclamation.
+struct HazardErasable {
+  HazardErasable *RetiredNext = nullptr;
+  void (*Reclaim)(HazardErasable *Obj, void *Ctx) = nullptr;
+  void *ReclaimCtx = nullptr;
+};
+
+/// A hazard-pointer domain: a table of per-thread records, each holding a
+/// small fixed number of hazard slots plus a private retired list.
+///
+/// Threads acquire a record lazily on first use and release it at thread
+/// exit (retired leftovers are adopted by the next thread to claim the
+/// record). Lifetime contract: every thread that used a domain must have
+/// exited — or must never touch it again — before the domain is destroyed.
+/// The process-wide global() domain is never destroyed and is therefore
+/// exempt.
+class HazardDomain {
+public:
+  /// Hazard slots per thread. Slot-use convention across the library (no
+  /// call path nests two users of the same slot):
+  ///   0,1,2 — Michael–Scott queue (head / tail / next)
+  ///   3     — freelist pops (descriptor list, Fig. 7 SafeCAS)
+  static constexpr unsigned SlotsPerThread = 4;
+
+  /// Maximum simultaneously live threads per domain.
+  static constexpr unsigned MaxRecords = 512;
+
+  /// Retired-list length that triggers a scan. Must exceed the maximum
+  /// number of simultaneously protected objects for scans to always make
+  /// progress; MaxRecords * SlotsPerThread is the theoretical bound, but
+  /// with R retired and H actually-held hazards a scan reclaims R - H, and
+  /// in practice H is tiny. 128 keeps memory bounded and scans cheap.
+  static constexpr unsigned ScanThreshold = 128;
+
+  HazardDomain();
+  ~HazardDomain();
+  HazardDomain(const HazardDomain &) = delete;
+  HazardDomain &operator=(const HazardDomain &) = delete;
+
+  /// The process-lifetime domain shared by the allocator's internal
+  /// structures. Never destroyed (constructed in immortal storage).
+  static HazardDomain &global();
+
+  /// Publishes a validated snapshot of \p Src in hazard slot \p Slot.
+  /// Loops until the published value matches a re-read of \p Src, so on
+  /// return the pointee cannot be reclaimed until the slot is cleared.
+  /// \returns the protected pointer (may be null; null needs no protection).
+  template <typename T> T *protect(unsigned Slot, const std::atomic<T *> &Src) {
+    void *Ptr = Src.load(std::memory_order_acquire);
+    for (;;) {
+      if (!Ptr)
+        return nullptr;
+      publishHazard(Slot, Ptr);
+      void *Again = Src.load(std::memory_order_acquire);
+      if (Again == Ptr)
+        return static_cast<T *>(Ptr);
+      Ptr = Again;
+    }
+  }
+
+  /// Variant of protect() for sources that are not plain std::atomic
+  /// pointers (e.g. a tagged word). \p Reload must return the current
+  /// pointer value of the source.
+  template <typename T, typename ReloadFn>
+  T *protectWith(unsigned Slot, ReloadFn Reload) {
+    void *Ptr = Reload();
+    for (;;) {
+      if (!Ptr)
+        return nullptr;
+      publishHazard(Slot, Ptr);
+      void *Again = Reload();
+      if (Again == Ptr)
+        return static_cast<T *>(Ptr);
+      Ptr = Again;
+    }
+  }
+
+  /// Publishes \p Ptr in slot \p Slot without source validation. Only
+  /// correct when the caller already *owns* a guarantee that the pointee
+  /// cannot be retired before this publish becomes visible (e.g. free()
+  /// holds an unfreed block of the superblock, so its descriptor cannot
+  /// reach the retire path yet). Includes the same ordering fence as
+  /// protect().
+  void publish(unsigned Slot, void *Ptr) { publishHazard(Slot, Ptr); }
+
+  /// Clears hazard slot \p Slot for the calling thread.
+  void clear(unsigned Slot);
+
+  /// Clears all hazard slots for the calling thread.
+  void clearAll();
+
+  /// Hands \p Obj to the domain for deferred reclamation. \p Reclaim will
+  /// be invoked with (\p Obj, \p Ctx) once no thread holds a hazard on it.
+  /// Never calls \p Reclaim inline with a hazard outstanding on \p Obj.
+  void retire(HazardErasable *Obj, void (*Reclaim)(HazardErasable *, void *),
+              void *Ctx);
+
+  /// Reclaims every retired object whose pointer is not currently
+  /// protected, across all records. Intended for quiescent moments (tests,
+  /// shutdown); safe but heavyweight to call concurrently.
+  void drainAll();
+
+  /// \returns the total number of objects currently awaiting reclamation
+  /// (racy; for tests and stats).
+  std::uint64_t retiredCount() const;
+
+  /// \returns number of records ever activated (high-water; for tests).
+  unsigned recordWatermark() const;
+
+private:
+  struct alignas(CacheLineSize) Record {
+    std::atomic<void *> Slots[SlotsPerThread];
+    std::atomic<bool> Active;
+    // Owned by the record holder; adopted with the record itself.
+    HazardErasable *RetiredHead;
+    std::uint32_t RetiredCount;
+  };
+  static_assert(sizeof(void *) * SlotsPerThread + 16 <= CacheLineSize,
+                "Record must fit one cache line");
+
+  friend struct HazardThreadCache;
+
+  Record *myRecord();
+  void publishHazard(unsigned Slot, void *Ptr);
+  void scan(Record *Rec);
+  void releaseRecord(Record *Rec);
+
+  Record *Records = nullptr;
+  std::atomic<unsigned> RecordWatermarkCount{0};
+  PageAllocator Pages;
+  std::uint64_t DomainId;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_HAZARDPOINTERS_H

@@ -1,0 +1,179 @@
+//===- lockfree/LockFreeStack.h - Dynamic lock-free LIFO ---------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IBM/Treiber LIFO stack (paper reference [8]) in its *fully dynamic*
+/// form — the paper's §5: nodes are allocated from pluggable memory (by
+/// default an internal pool; the composition example uses lfmalloc) and
+/// reclaimed with hazard pointers, so unlike TreiberStack.h there is no
+/// type-stability requirement and node memory genuinely comes and goes.
+///
+/// ABA note: TreiberStack.h uses the tag trick and type-stable nodes; here
+/// hazard pointers both prevent ABA (a popped node cannot be pushed back
+/// while protected) and make it safe to read Next on a node that loses a
+/// race, even though its memory may later return to the allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_LOCKFREESTACK_H
+#define LFMALLOC_LOCKFREE_LOCKFREESTACK_H
+
+#include "lockfree/MichaelSet.h" // For NodeMemory.
+#include "lockfree/TreiberStack.h"
+#include "os/PageAllocator.h"
+
+#include <atomic>
+#include <new>
+#include <type_traits>
+
+namespace lfm {
+
+/// Lock-free MPMC LIFO of trivially-copyable values with dynamic nodes.
+template <typename T> class LockFreeStack {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "LockFreeStack stores values by bitwise copy");
+
+public:
+  explicit LockFreeStack(HazardDomain &Domain = HazardDomain::global(),
+                         NodeMemory Memory = NodeMemory{nullptr, nullptr,
+                                                        nullptr})
+      : Domain(Domain), Memory(Memory) {}
+
+  LockFreeStack(const LockFreeStack &) = delete;
+  LockFreeStack &operator=(const LockFreeStack &) = delete;
+
+  /// Quiescent teardown (same contract as MSQueue).
+  ~LockFreeStack() {
+    Domain.drainAll();
+    Node *N = Head.load(std::memory_order_relaxed);
+    while (N) {
+      Node *Next = N->Next.load(std::memory_order_relaxed);
+      releaseNode(N);
+      N = Next;
+    }
+    Chunk *C = Chunks.load(std::memory_order_relaxed);
+    while (C) {
+      Chunk *Next = C->Next;
+      Pages.unmap(C, ChunkBytes);
+      C = Next;
+    }
+  }
+
+  /// Pushes \p Value. Lock-free. \returns false on out-of-memory.
+  bool push(T Value) {
+    Node *N = acquireNode();
+    if (!N)
+      return false;
+    N->Value = Value;
+    Node *Head0 = Head.load(std::memory_order_relaxed);
+    do {
+      N->Next.store(Head0, std::memory_order_relaxed);
+    } while (!Head.compare_exchange_weak(Head0, N,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+    ApproxCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Pops the most recent value into \p Out. \returns false when empty.
+  bool pop(T &Out) {
+    for (;;) {
+      Node *N = Domain.protect(HpSlotTop, Head);
+      if (!N) {
+        Domain.clear(HpSlotTop);
+        return false;
+      }
+      // Safe even if N was popped concurrently: the hazard keeps its
+      // memory alive until we stop referencing it.
+      Node *Next = N->Next.load(std::memory_order_acquire);
+      Node *Expected = N;
+      if (Head.compare_exchange_strong(Expected, Next,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        Out = N->Value;
+        Domain.clear(HpSlotTop);
+        Domain.retire(N, reclaimNode, this);
+        ApproxCount.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// Racy size estimate.
+  std::int64_t approxSize() const {
+    const std::int64_t N = ApproxCount.load(std::memory_order_relaxed);
+    return N < 0 ? 0 : N;
+  }
+
+  bool empty() const {
+    return Head.load(std::memory_order_acquire) == nullptr;
+  }
+
+private:
+  struct Node : HazardErasable {
+    std::atomic<Node *> Next{nullptr};
+    Node *FreeNext = nullptr;
+    T Value{};
+  };
+
+  struct Chunk {
+    Chunk *Next;
+  };
+
+  static constexpr unsigned HpSlotTop = 0;
+  static constexpr std::size_t ChunkBytes = OsPageSize;
+  static constexpr std::size_t NodesPerChunk =
+      (ChunkBytes - sizeof(Chunk)) / sizeof(Node);
+  static_assert(NodesPerChunk >= 4, "value type too large for node chunks");
+
+  Node *acquireNode() {
+    if (Memory.Alloc) {
+      void *Raw = Memory.Alloc(Memory.Ctx, sizeof(Node));
+      return Raw ? new (Raw) Node() : nullptr;
+    }
+    if (Node *N = FreeNodes.pop())
+      return N;
+    void *Raw = Pages.map(ChunkBytes);
+    if (!Raw)
+      return nullptr;
+    auto *C = new (Raw) Chunk();
+    C->Next = Chunks.load(std::memory_order_relaxed);
+    while (!Chunks.compare_exchange_weak(C->Next, C,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+    auto *Nodes = reinterpret_cast<Node *>(static_cast<char *>(Raw) +
+                                           sizeof(Chunk));
+    for (std::size_t I = 1; I < NodesPerChunk; ++I)
+      FreeNodes.push(new (&Nodes[I]) Node());
+    return new (&Nodes[0]) Node();
+  }
+
+  void releaseNode(Node *N) {
+    if (Memory.Free) {
+      Memory.Free(Memory.Ctx, N);
+      return;
+    }
+    FreeNodes.push(N);
+  }
+
+  static void reclaimNode(HazardErasable *Obj, void *Ctx) {
+    static_cast<LockFreeStack *>(Ctx)->releaseNode(
+        static_cast<Node *>(Obj));
+  }
+
+  HazardDomain &Domain;
+  NodeMemory Memory;
+  PageAllocator Pages;
+  TreiberStack<Node, &Node::FreeNext> FreeNodes;
+  std::atomic<Chunk *> Chunks{nullptr};
+  alignas(CacheLineSize) std::atomic<Node *> Head{nullptr};
+  alignas(CacheLineSize) std::atomic<std::int64_t> ApproxCount{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_LOCKFREESTACK_H

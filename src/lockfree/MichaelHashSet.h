@@ -1,0 +1,102 @@
+//===- lockfree/MichaelHashSet.h - Lock-free hash table ----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Michael's lock-free hash table (the paper's reference [16]): a fixed
+/// array of lock-free list-based sets. Per-bucket operations inherit
+/// MichaelSet's lock-freedom and linearizability; expected O(1) with a
+/// load factor kept reasonable by sizing NumBuckets for the workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_MICHAELHASHSET_H
+#define LFMALLOC_LOCKFREE_MICHAELHASHSET_H
+
+#include "lockfree/MichaelSet.h"
+
+#include <memory>
+
+namespace lfm {
+
+/// Lock-free hash set of trivially-copyable keys.
+template <typename KeyT> class MichaelHashSet {
+public:
+  /// \param NumBuckets bucket count (rounded up to a power of two).
+  /// \param Domain hazard domain shared by all buckets.
+  /// \param Memory node storage plumbed through to every bucket.
+  explicit MichaelHashSet(std::size_t NumBuckets,
+                          HazardDomain &Domain = HazardDomain::global(),
+                          NodeMemory Memory = NodeMemory{nullptr, nullptr,
+                                                         nullptr}) {
+    std::size_t Rounded = 1;
+    while (Rounded < NumBuckets)
+      Rounded <<= 1;
+    Mask = Rounded - 1;
+    Buckets = std::make_unique<BucketStorage[]>(Rounded);
+    for (std::size_t I = 0; I < Rounded; ++I)
+      new (&Buckets[I].Storage) MichaelSet<KeyT>(Domain, Memory);
+    Count = Rounded;
+  }
+
+  MichaelHashSet(const MichaelHashSet &) = delete;
+  MichaelHashSet &operator=(const MichaelHashSet &) = delete;
+
+  ~MichaelHashSet() {
+    for (std::size_t I = 0; I < Count; ++I)
+      bucket(I).~MichaelSet<KeyT>();
+  }
+
+  /// \returns false if \p Key was already present.
+  bool insert(KeyT Key) { return bucketFor(Key).insert(Key); }
+
+  /// \returns false if \p Key was absent.
+  bool remove(KeyT Key) { return bucketFor(Key).remove(Key); }
+
+  bool contains(KeyT Key) { return bucketFor(Key).contains(Key); }
+
+  /// Racy cardinality estimate (exact when quiescent).
+  std::int64_t size() const {
+    std::int64_t Total = 0;
+    for (std::size_t I = 0; I < Count; ++I)
+      Total += bucket(I).size();
+    return Total;
+  }
+
+  std::size_t numBuckets() const { return Count; }
+
+private:
+  struct BucketStorage {
+    alignas(MichaelSet<KeyT>) unsigned char Storage[sizeof(
+        MichaelSet<KeyT>)];
+  };
+
+  MichaelSet<KeyT> &bucket(std::size_t I) const {
+    return *std::launder(
+        reinterpret_cast<MichaelSet<KeyT> *>(&Buckets[I].Storage));
+  }
+
+  MichaelSet<KeyT> &bucketFor(KeyT Key) {
+    // Fibonacci hashing on the key's bytes-as-integer.
+    std::uint64_t H = 0;
+    if constexpr (sizeof(KeyT) <= sizeof(std::uint64_t)) {
+      __builtin_memcpy(&H, &Key, sizeof(KeyT));
+    } else {
+      const auto *Bytes = reinterpret_cast<const unsigned char *>(&Key);
+      for (std::size_t I = 0; I < sizeof(KeyT); ++I)
+        H = H * 131 + Bytes[I];
+    }
+    H *= 0x9e3779b97f4a7c15ULL;
+    return bucket((H >> 32) & Mask);
+  }
+
+  std::unique_ptr<BucketStorage[]> Buckets;
+  std::size_t Mask = 0;
+  std::size_t Count = 0;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_MICHAELHASHSET_H

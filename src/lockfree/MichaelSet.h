@@ -1,0 +1,321 @@
+//===- lockfree/MichaelSet.h - Lock-free list-based set ----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Michael's lock-free ordered list-based set (the paper's reference [16],
+/// "High Performance Dynamic Lock-Free Hash Tables and List-Based Sets",
+/// SPAA 2002) with hazard-pointer memory reclamation [17,19] — the
+/// structure the allocator paper's §3.2.6 names for LIFO partial lists
+/// with middle removal, and the centerpiece of its §5 claim: with a
+/// lock-free allocator plus hazard pointers, "linked lists and hash
+/// tables [16,21] [can] be both completely dynamic and completely
+/// lock-free".
+///
+/// Algorithm: a sorted singly-linked list whose next pointers carry a
+/// logical-deletion mark in their low bit. remove() marks, then either
+/// the remover or any later traversal physically unlinks; find() runs
+/// with three hazard pointers (prev-node, cur, next) and restarts when a
+/// validated snapshot is invalidated.
+///
+/// Node storage is pluggable (NodeMemory): by default an internal
+/// type-stable page pool; the lock-free-composition example instead wires
+/// it straight to lfmalloc, making every node a first-class malloc'd
+/// block that is freed through hazard retirement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_MICHAELSET_H
+#define LFMALLOC_LOCKFREE_MICHAELSET_H
+
+#include "lockfree/HazardPointers.h"
+#include "lockfree/TreiberStack.h"
+#include "os/PageAllocator.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <type_traits>
+
+namespace lfm {
+
+/// Pluggable node storage for MichaelSet: plain function pointers so the
+/// lockfree layer needs no dependency on any allocator interface.
+struct NodeMemory {
+  void *(*Alloc)(void *Ctx, std::size_t Bytes);
+  void (*Free)(void *Ctx, void *Ptr);
+  void *Ctx;
+};
+
+/// Lock-free sorted set of totally-ordered, trivially-copyable keys.
+///
+/// Linearizable insert / remove / contains; all operations lock-free.
+/// Destruction contract matches MSQueue: quiesce the hazard domain first.
+template <typename KeyT> class MichaelSet {
+  static_assert(std::is_trivially_copyable_v<KeyT>,
+                "keys are stored by bitwise copy");
+
+public:
+  /// \param Domain hazard domain for traversal protection and node
+  /// retirement.
+  /// \param Memory external node storage; default uses an internal pool.
+  explicit MichaelSet(HazardDomain &Domain = HazardDomain::global(),
+                      NodeMemory Memory = NodeMemory{nullptr, nullptr,
+                                                     nullptr})
+      : Domain(Domain), Memory(Memory) {}
+
+  MichaelSet(const MichaelSet &) = delete;
+  MichaelSet &operator=(const MichaelSet &) = delete;
+
+  ~MichaelSet() {
+    Domain.drainAll();
+    // Free remaining (unmarked) nodes, then the pool chunks.
+    std::uintptr_t Word = Head.load(std::memory_order_relaxed);
+    while (Node *N = ptrOf(Word)) {
+      Word = N->NextMark.load(std::memory_order_relaxed);
+      releaseNode(N);
+    }
+    Chunk *C = Chunks.load(std::memory_order_relaxed);
+    while (C) {
+      Chunk *Next = C->Next;
+      Pages.unmap(C, ChunkBytes);
+      C = Next;
+    }
+  }
+
+  /// Inserts \p Key. \returns false if already present. Lock-free.
+  bool insert(KeyT Key) {
+    Node *N = acquireNode();
+    if (!N)
+      return false; // Out of node memory.
+    N->Key = Key;
+    for (;;) {
+      FindResult R = find(Key);
+      if (R.Found) {
+        Domain.clearAll();
+        releaseNode(N);
+        return false;
+      }
+      N->NextMark.store(packPtr(R.Cur, false), std::memory_order_relaxed);
+      if (casLink(R.Prev, R.Cur, N)) {
+        Domain.clearAll();
+        Size.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// Removes \p Key. \returns false if absent. Lock-free.
+  bool remove(KeyT Key) {
+    for (;;) {
+      FindResult R = find(Key);
+      if (!R.Found) {
+        Domain.clearAll();
+        return false;
+      }
+      // Logically delete: mark Cur's next pointer.
+      const std::uintptr_t Next =
+          R.Cur->NextMark.load(std::memory_order_acquire);
+      if (Next & MarkBit)
+        continue; // Someone else is deleting it; re-find.
+      std::uintptr_t Expected = Next;
+      if (!R.Cur->NextMark.compare_exchange_strong(
+              Expected, Next | MarkBit, std::memory_order_acq_rel,
+              std::memory_order_relaxed))
+        continue;
+      Size.fetch_sub(1, std::memory_order_relaxed);
+      // Physically unlink; on failure a later find() will clean up.
+      if (casLink(R.Prev, R.Cur, ptrOf(Next)))
+        Domain.retire(R.Cur, reclaimNode, this);
+      else
+        find(Key);
+      Domain.clearAll();
+      return true;
+    }
+  }
+
+  /// \returns true if \p Key is in the set. Lock-free.
+  bool contains(KeyT Key) {
+    const bool Found = find(Key).Found;
+    Domain.clearAll();
+    return Found;
+  }
+
+  /// Racy cardinality estimate (exact when quiescent).
+  std::int64_t size() const {
+    const std::int64_t N = Size.load(std::memory_order_relaxed);
+    return N < 0 ? 0 : N;
+  }
+
+  /// Quiescent-state iteration (tests, debugging): calls \p Fn on every
+  /// unmarked key in ascending order.
+  void forEachQuiescent(const std::function<void(const KeyT &)> &Fn) const {
+    std::uintptr_t Word = Head.load(std::memory_order_relaxed);
+    while (Node *N = ptrOf(Word)) {
+      const std::uintptr_t Next =
+          N->NextMark.load(std::memory_order_relaxed);
+      if (!(Next & MarkBit))
+        Fn(N->Key);
+      Word = Next;
+    }
+  }
+
+private:
+  struct Node : HazardErasable {
+    std::atomic<std::uintptr_t> NextMark{0};
+    Node *FreeNext = nullptr;
+    KeyT Key{};
+  };
+
+  struct Chunk {
+    Chunk *Next;
+  };
+
+  struct FindResult {
+    std::atomic<std::uintptr_t> *Prev; ///< Link holding Cur.
+    Node *Cur;                         ///< First node with Key >= key.
+    bool Found;                        ///< Cur holds exactly key.
+  };
+
+  static constexpr std::uintptr_t MarkBit = 1;
+  static constexpr unsigned HpCur = 0;
+  static constexpr unsigned HpNext = 1;
+  static constexpr unsigned HpPrevNode = 2;
+  static constexpr std::size_t ChunkBytes = OsPageSize;
+  static constexpr std::size_t NodesPerChunk =
+      (ChunkBytes - sizeof(Chunk)) / sizeof(Node);
+  static_assert(NodesPerChunk >= 4, "key type too large for node chunks");
+
+  static Node *ptrOf(std::uintptr_t Word) {
+    return reinterpret_cast<Node *>(Word & ~MarkBit);
+  }
+
+  static std::uintptr_t packPtr(Node *N, bool Marked) {
+    return reinterpret_cast<std::uintptr_t>(N) | (Marked ? MarkBit : 0);
+  }
+
+  bool casLink(std::atomic<std::uintptr_t> *Link, Node *Expected,
+               Node *Desired) {
+    std::uintptr_t Want = packPtr(Expected, false);
+    return Link->compare_exchange_strong(Want, packPtr(Desired, false),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Michael's Find: positions on the first node with Key >= key, with
+  /// hazards covering (prev-node, cur, next). Unlinks marked nodes en
+  /// route. Hazard slots ROTATE as the traversal advances — the successor
+  /// is already protected when it becomes current, so each step costs one
+  /// hazard publication, not three. On return the hazards are still held
+  /// so the caller's CAS is safe; callers clear them.
+  FindResult find(KeyT Key) {
+    unsigned SlotPrev = HpPrevNode, SlotCur = HpCur, SlotNext = HpNext;
+  TryAgain:
+    std::atomic<std::uintptr_t> *Prev = &Head;
+    // Protect the head node (publish-validate; Head is never marked).
+    Node *Cur;
+    for (std::uintptr_t W = Prev->load(std::memory_order_acquire);;) {
+      Cur = ptrOf(W);
+      if (!Cur)
+        break;
+      Domain.publish(SlotCur, Cur);
+      const std::uintptr_t Again = Prev->load(std::memory_order_acquire);
+      if (Again == W)
+        break;
+      W = Again;
+    }
+    for (;;) {
+      if (!Cur)
+        return FindResult{Prev, nullptr, false};
+      // Snapshot Cur's link and protect the successor (publish-validate
+      // by hand: the mark bit travels with the pointer).
+      std::uintptr_t NextWord =
+          Cur->NextMark.load(std::memory_order_acquire);
+      for (;;) {
+        Domain.publish(SlotNext, ptrOf(NextWord));
+        const std::uintptr_t Again =
+            Cur->NextMark.load(std::memory_order_acquire);
+        if (Again == NextWord)
+          break;
+        NextWord = Again;
+      }
+      // Validate that Prev still points (unmarked) at Cur; otherwise a
+      // concurrent unlink or insert invalidated the snapshot.
+      if (Prev->load(std::memory_order_acquire) != packPtr(Cur, false))
+        goto TryAgain;
+      if (NextWord & MarkBit) {
+        // Cur is logically deleted: unlink it here, then step onto the
+        // (already protected) successor.
+        if (!casLink(Prev, Cur, ptrOf(NextWord)))
+          goto TryAgain;
+        Domain.retire(Cur, reclaimNode, this);
+        Cur = ptrOf(NextWord);
+        std::swap(SlotCur, SlotNext);
+        continue;
+      }
+      if (!(Cur->Key < Key))
+        return FindResult{Prev, Cur, !(Key < Cur->Key)};
+      // Advance: Cur becomes the protected prev-node, the successor the
+      // protected cur; the stale prev-node slot is recycled for next.
+      Prev = &Cur->NextMark;
+      const unsigned Recycled = SlotPrev;
+      SlotPrev = SlotCur;
+      SlotCur = SlotNext;
+      SlotNext = Recycled;
+      Cur = ptrOf(NextWord);
+    }
+  }
+
+  Node *acquireNode() {
+    if (Memory.Alloc) {
+      void *Raw = Memory.Alloc(Memory.Ctx, sizeof(Node));
+      return Raw ? new (Raw) Node() : nullptr;
+    }
+    if (Node *N = FreeNodes.pop()) {
+      N->NextMark.store(0, std::memory_order_relaxed);
+      return N;
+    }
+    void *Raw = Pages.map(ChunkBytes);
+    if (!Raw)
+      return nullptr;
+    auto *C = new (Raw) Chunk();
+    C->Next = Chunks.load(std::memory_order_relaxed);
+    while (!Chunks.compare_exchange_weak(C->Next, C,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+    auto *Nodes = reinterpret_cast<Node *>(static_cast<char *>(Raw) +
+                                           sizeof(Chunk));
+    for (std::size_t I = 1; I < NodesPerChunk; ++I)
+      FreeNodes.push(new (&Nodes[I]) Node());
+    return new (&Nodes[0]) Node();
+  }
+
+  void releaseNode(Node *N) {
+    if (Memory.Free) {
+      Memory.Free(Memory.Ctx, N);
+      return;
+    }
+    FreeNodes.push(N);
+  }
+
+  static void reclaimNode(HazardErasable *Obj, void *Ctx) {
+    static_cast<MichaelSet *>(Ctx)->releaseNode(static_cast<Node *>(Obj));
+  }
+
+  HazardDomain &Domain;
+  NodeMemory Memory;
+  PageAllocator Pages;
+  TreiberStack<Node, &Node::FreeNext> FreeNodes;
+  std::atomic<Chunk *> Chunks{nullptr};
+  alignas(CacheLineSize) std::atomic<std::uintptr_t> Head{0};
+  alignas(CacheLineSize) std::atomic<std::int64_t> Size{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_MICHAELSET_H

@@ -1,0 +1,440 @@
+//===- lockfree/SplitOrderedHashSet.h - Resizable lock-free hash -*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shalev & Shavit's split-ordered lists (the allocator paper's reference
+/// [21], "Split-Ordered Lists: Lock-Free Extensible Hash Tables", PODC
+/// 2003): a lock-free hash table that RESIZES without ever moving a key.
+///
+/// The trick: all keys live in ONE lock-free ordered list, sorted by the
+/// bit-REVERSAL of their hash ("split order"). Doubling the table then
+/// never reorders anything — bucket b's items are already contiguous, and
+/// the new bucket b + 2^i simply needs a shortcut ("dummy") node spliced
+/// into the middle of the list, which is a plain lock-free insert. Dummy
+/// nodes carry the bucket's reversed index with the LSB clear; regular
+/// keys set the LSB, so dummies sort immediately before their bucket's
+/// keys and no regular key ever collides with a dummy.
+///
+/// Together with MichaelSet/MichaelHashSet this completes the paper's §5
+/// list: "linked lists and hash tables [16, 21] ... completely dynamic
+/// and completely lock-free", here on top of hazard pointers and (via
+/// NodeMemory) the lock-free allocator itself.
+///
+/// Keys are 63-bit unsigned values (one bit funds the dummy/regular tag).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_SPLITORDEREDHASHSET_H
+#define LFMALLOC_LOCKFREE_SPLITORDEREDHASHSET_H
+
+#include "lockfree/MichaelSet.h" // NodeMemory.
+#include "lockfree/TreiberStack.h"
+#include "os/PageAllocator.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+namespace lfm {
+
+/// Lock-free extensible hash set of keys in [0, 2^63).
+class SplitOrderedHashSet {
+public:
+  /// \param Domain hazard domain for traversal and reclamation.
+  /// \param Memory pluggable node storage (default: internal pool).
+  /// \param LoadFactor average keys per bucket before doubling.
+  explicit SplitOrderedHashSet(HazardDomain &Domain = HazardDomain::global(),
+                               NodeMemory Memory = NodeMemory{nullptr,
+                                                              nullptr,
+                                                              nullptr},
+                               unsigned LoadFactor = 4)
+      : Domain(Domain), Memory(Memory), LoadFactor(LoadFactor) {
+    // Segment 0, bucket 0: the list head dummy.
+    SegmentPtrs[0].store(mapSegment(SegmentSize),
+                         std::memory_order_relaxed);
+    Node *Head = acquireNode();
+    Head->SoKey = 0; // Dummy for bucket 0 (reverse(0) == 0).
+    Head->NextMark.store(0, std::memory_order_relaxed);
+    bucketSlot(0).store(Head, std::memory_order_release);
+    BucketCount.store(2, std::memory_order_relaxed);
+  }
+
+  SplitOrderedHashSet(const SplitOrderedHashSet &) = delete;
+  SplitOrderedHashSet &operator=(const SplitOrderedHashSet &) = delete;
+
+  /// Quiescent teardown (hazard-domain contract as MSQueue).
+  ~SplitOrderedHashSet() {
+    Domain.drainAll();
+    Node *N =
+        SegmentPtrs[0].load(std::memory_order_relaxed)[0].load(
+            std::memory_order_relaxed);
+    while (N) {
+      Node *Next = ptrOf(N->NextMark.load(std::memory_order_relaxed));
+      releaseNode(N);
+      N = Next;
+    }
+    for (unsigned S = 0; S < MaxSegments; ++S)
+      if (std::atomic<Node *> *Seg =
+              SegmentPtrs[S].load(std::memory_order_relaxed))
+        Pages.unmap(Seg, segmentBytes(S));
+    void *C = Chunks.load(std::memory_order_relaxed);
+    while (C) {
+      void *Next = *static_cast<void **>(C);
+      Pages.unmap(C, ChunkBytes);
+      C = Next;
+    }
+  }
+
+  /// Inserts \p Key. \returns false if present (or on OOM).
+  bool insert(std::uint64_t Key) {
+    assert(Key < (1ULL << 63) && "keys are 63-bit");
+    Node *N = acquireNode();
+    if (!N)
+      return false;
+    N->SoKey = regularSoKey(Key);
+    const std::uint64_t B =
+        Key % BucketCount.load(std::memory_order_acquire);
+    Node *BucketHead = bucketOrInit(B);
+    if (!listInsert(BucketHead, N)) {
+      Domain.clearAll();
+      releaseNode(N);
+      return false;
+    }
+    Domain.clearAll();
+    const std::int64_t Size =
+        Count.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Extend the table when the load factor is exceeded (CAS so only one
+    // doubling wins per threshold crossing).
+    std::uint64_t Buckets = BucketCount.load(std::memory_order_relaxed);
+    if (static_cast<std::uint64_t>(Size) > LoadFactor * Buckets &&
+        Buckets < MaxBuckets)
+      BucketCount.compare_exchange_strong(Buckets, Buckets * 2,
+                                          std::memory_order_acq_rel);
+    return true;
+  }
+
+  /// Removes \p Key. \returns false if absent.
+  bool remove(std::uint64_t Key) {
+    const std::uint64_t B =
+        Key % BucketCount.load(std::memory_order_acquire);
+    Node *BucketHead = bucketOrInit(B);
+    const bool Ok = listRemove(BucketHead, regularSoKey(Key));
+    Domain.clearAll();
+    if (Ok)
+      Count.fetch_sub(1, std::memory_order_relaxed);
+    return Ok;
+  }
+
+  /// \returns true if \p Key is present.
+  bool contains(std::uint64_t Key) {
+    const std::uint64_t B =
+        Key % BucketCount.load(std::memory_order_acquire);
+    Node *BucketHead = bucketOrInit(B);
+    FindResult R = listFind(BucketHead, regularSoKey(Key));
+    Domain.clearAll();
+    return R.Found;
+  }
+
+  /// Racy cardinality (exact when quiescent).
+  std::int64_t size() const {
+    const std::int64_t N = Count.load(std::memory_order_relaxed);
+    return N < 0 ? 0 : N;
+  }
+
+  /// Current bucket-table width (grows by doubling; for tests).
+  std::uint64_t bucketCount() const {
+    return BucketCount.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Node : HazardErasable {
+    std::atomic<std::uintptr_t> NextMark{0};
+    Node *FreeNext = nullptr;
+    std::uint64_t SoKey = 0; ///< Split-order key; LSB set => regular.
+  };
+
+  struct FindResult {
+    std::atomic<std::uintptr_t> *Prev;
+    Node *Cur;
+    bool Found;
+  };
+
+  static constexpr std::uintptr_t MarkBit = 1;
+  static constexpr unsigned HpCur = 0;
+  static constexpr unsigned HpNext = 1;
+  static constexpr unsigned HpPrevNode = 2;
+  static constexpr unsigned MaxSegments = 20;
+  static constexpr std::uint64_t SegmentSize = 512; // Buckets in seg 0/1.
+  static constexpr std::uint64_t MaxBuckets =
+      SegmentSize << (MaxSegments - 1);
+  static constexpr std::size_t ChunkBytes = OsPageSize;
+  static constexpr std::size_t NodesPerChunk =
+      (ChunkBytes - sizeof(void *)) / sizeof(Node);
+
+  //===--------------------------------------------------------------===//
+  // Split-order keys
+  //===--------------------------------------------------------------===//
+
+  static std::uint64_t reverseBits(std::uint64_t V) {
+    V = ((V >> 1) & 0x5555555555555555ULL) | ((V & 0x5555555555555555ULL) << 1);
+    V = ((V >> 2) & 0x3333333333333333ULL) | ((V & 0x3333333333333333ULL) << 2);
+    V = ((V >> 4) & 0x0f0f0f0f0f0f0f0fULL) | ((V & 0x0f0f0f0f0f0f0f0fULL) << 4);
+    V = ((V >> 8) & 0x00ff00ff00ff00ffULL) | ((V & 0x00ff00ff00ff00ffULL) << 8);
+    V = ((V >> 16) & 0x0000ffff0000ffffULL) |
+        ((V & 0x0000ffff0000ffffULL) << 16);
+    return (V >> 32) | (V << 32);
+  }
+
+  /// Regular (key-carrying) nodes: reversed key with the LSB set.
+  static std::uint64_t regularSoKey(std::uint64_t Key) {
+    return reverseBits(Key) | 1;
+  }
+
+  /// Dummy (bucket) nodes: reversed bucket index, LSB clear.
+  static std::uint64_t dummySoKey(std::uint64_t Bucket) {
+    return reverseBits(Bucket);
+  }
+
+  /// Parent bucket: clear the most significant set bit of the index
+  /// (the bucket this one split off from when the table doubled).
+  static std::uint64_t parentBucket(std::uint64_t Bucket) {
+    assert(Bucket != 0 && "bucket 0 has no parent");
+    return Bucket & ~(1ULL << log2Floor(Bucket));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Bucket table (segmented, grows without moving existing segments)
+  //===--------------------------------------------------------------===//
+
+  static std::uint64_t segmentCapacity(unsigned S) {
+    return S == 0 ? SegmentSize : SegmentSize << (S - 1);
+  }
+
+  static std::size_t segmentBytes(unsigned S) {
+    return sizeof(std::atomic<Node *>) * segmentCapacity(S);
+  }
+
+  std::atomic<Node *> *mapSegment(std::uint64_t Buckets) {
+    auto *Seg = static_cast<std::atomic<Node *> *>(
+        Pages.map(sizeof(std::atomic<Node *>) * Buckets));
+    return Seg; // mmap memory is zeroed: all slots null.
+  }
+
+  std::atomic<Node *> &bucketSlot(std::uint64_t Bucket) {
+    const unsigned S =
+        Bucket < SegmentSize
+            ? 0
+            : log2Floor(Bucket / SegmentSize) + 1;
+    const std::uint64_t Base = S == 0 ? 0 : segmentCapacity(S);
+    std::atomic<Node *> *Seg =
+        SegmentPtrs[S].load(std::memory_order_acquire);
+    if (!Seg) {
+      std::atomic<Node *> *Fresh = mapSegment(segmentCapacity(S));
+      std::atomic<Node *> *Expected = nullptr;
+      if (SegmentPtrs[S].compare_exchange_strong(
+              Expected, Fresh, std::memory_order_acq_rel))
+        Seg = Fresh;
+      else {
+        Pages.unmap(Fresh, segmentBytes(S));
+        Seg = Expected;
+      }
+    }
+    return Seg[Bucket - Base];
+  }
+
+  /// \returns the bucket's dummy node, lazily splicing it (and its
+  /// ancestors) into the list on first touch — the split-ordered
+  /// "recursive initialization".
+  Node *bucketOrInit(std::uint64_t Bucket) {
+    std::atomic<Node *> &Slot = bucketSlot(Bucket);
+    if (Node *Dummy = Slot.load(std::memory_order_acquire))
+      return Dummy;
+
+    Node *Parent = bucketOrInit(parentBucket(Bucket));
+    Node *Dummy = acquireNode();
+    if (!Dummy)
+      return Parent; // OOM: degrade to scanning from the parent.
+    Dummy->SoKey = dummySoKey(Bucket);
+    if (!listInsert(Parent, Dummy)) {
+      // Someone else's dummy for this bucket won the splice; find it.
+      Domain.clearAll();
+      releaseNode(Dummy);
+      FindResult R = listFind(Parent, dummySoKey(Bucket));
+      Node *Existing = R.Found ? R.Cur : Parent;
+      Domain.clearAll();
+      Node *Expected = nullptr;
+      Slot.compare_exchange_strong(Expected, Existing,
+                                   std::memory_order_acq_rel);
+      return Slot.load(std::memory_order_acquire);
+    }
+    Domain.clearAll();
+    Node *Expected = nullptr;
+    if (!Slot.compare_exchange_strong(Expected, Dummy,
+                                      std::memory_order_acq_rel))
+      return Expected; // Lost the publish; ours stays as a spare dummy.
+    return Dummy;
+  }
+
+  //===--------------------------------------------------------------===//
+  // The underlying Michael list over split-order keys
+  //===--------------------------------------------------------------===//
+
+  static Node *ptrOf(std::uintptr_t W) {
+    return reinterpret_cast<Node *>(W & ~MarkBit);
+  }
+  static std::uintptr_t packPtr(Node *N) {
+    return reinterpret_cast<std::uintptr_t>(N);
+  }
+
+  bool casLink(std::atomic<std::uintptr_t> *Link, Node *Expected,
+               Node *Desired) {
+    std::uintptr_t Want = packPtr(Expected);
+    return Link->compare_exchange_strong(Want, packPtr(Desired),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Michael find over NextMark links starting at \p Start (a dummy that
+  /// is never removed), with rotating hazards; see MichaelSet.h for the
+  /// annotated version of this loop.
+  FindResult listFind(Node *Start, std::uint64_t SoKey) {
+    unsigned SlotPrev = HpPrevNode, SlotCur = HpCur, SlotNext = HpNext;
+  TryAgain:
+    std::atomic<std::uintptr_t> *Prev = &Start->NextMark;
+    Node *Cur;
+    for (std::uintptr_t W = Prev->load(std::memory_order_acquire);;) {
+      Cur = ptrOf(W);
+      if (!Cur)
+        break;
+      Domain.publish(SlotCur, Cur);
+      const std::uintptr_t Again = Prev->load(std::memory_order_acquire);
+      if ((Again & ~MarkBit) == (W & ~MarkBit))
+        break;
+      W = Again;
+    }
+    for (;;) {
+      if (!Cur)
+        return FindResult{Prev, nullptr, false};
+      std::uintptr_t NextWord =
+          Cur->NextMark.load(std::memory_order_acquire);
+      for (;;) {
+        Domain.publish(SlotNext, ptrOf(NextWord));
+        const std::uintptr_t Again =
+            Cur->NextMark.load(std::memory_order_acquire);
+        if (Again == NextWord)
+          break;
+        NextWord = Again;
+      }
+      if (Prev->load(std::memory_order_acquire) != packPtr(Cur))
+        goto TryAgain;
+      if (NextWord & MarkBit) {
+        if (!casLink(Prev, Cur, ptrOf(NextWord)))
+          goto TryAgain;
+        Domain.retire(Cur, reclaimNode, this);
+        Cur = ptrOf(NextWord);
+        std::swap(SlotCur, SlotNext);
+        continue;
+      }
+      if (Cur->SoKey >= SoKey)
+        return FindResult{Prev, Cur, Cur->SoKey == SoKey};
+      Prev = &Cur->NextMark;
+      const unsigned Recycled = SlotPrev;
+      SlotPrev = SlotCur;
+      SlotCur = SlotNext;
+      SlotNext = Recycled;
+      Cur = ptrOf(NextWord);
+    }
+  }
+
+  bool listInsert(Node *Start, Node *N) {
+    for (;;) {
+      FindResult R = listFind(Start, N->SoKey);
+      if (R.Found)
+        return false;
+      N->NextMark.store(packPtr(R.Cur), std::memory_order_relaxed);
+      if (casLink(R.Prev, R.Cur, N))
+        return true;
+    }
+  }
+
+  bool listRemove(Node *Start, std::uint64_t SoKey) {
+    for (;;) {
+      FindResult R = listFind(Start, SoKey);
+      if (!R.Found)
+        return false;
+      const std::uintptr_t Next =
+          R.Cur->NextMark.load(std::memory_order_acquire);
+      if (Next & MarkBit)
+        continue;
+      std::uintptr_t Expected = Next;
+      if (!R.Cur->NextMark.compare_exchange_strong(
+              Expected, Next | MarkBit, std::memory_order_acq_rel,
+              std::memory_order_relaxed))
+        continue;
+      if (casLink(R.Prev, R.Cur, ptrOf(Next)))
+        Domain.retire(R.Cur, reclaimNode, this);
+      else
+        listFind(Start, SoKey); // Let the cleanup pass unlink it.
+      return true;
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Node storage (pooled or external, as MichaelSet)
+  //===--------------------------------------------------------------===//
+
+  Node *acquireNode() {
+    if (Memory.Alloc) {
+      void *Raw = Memory.Alloc(Memory.Ctx, sizeof(Node));
+      return Raw ? new (Raw) Node() : nullptr;
+    }
+    if (Node *N = FreeNodes.pop()) {
+      N->NextMark.store(0, std::memory_order_relaxed);
+      return N;
+    }
+    void *Raw = Pages.map(ChunkBytes);
+    if (!Raw)
+      return nullptr;
+    *static_cast<void **>(Raw) = Chunks.load(std::memory_order_relaxed);
+    while (!Chunks.compare_exchange_weak(
+        *static_cast<void **>(Raw), Raw, std::memory_order_release,
+        std::memory_order_relaxed)) {
+    }
+    auto *Nodes = reinterpret_cast<Node *>(static_cast<char *>(Raw) +
+                                           sizeof(void *));
+    for (std::size_t I = 1; I < NodesPerChunk; ++I)
+      FreeNodes.push(new (&Nodes[I]) Node());
+    return new (&Nodes[0]) Node();
+  }
+
+  void releaseNode(Node *N) {
+    if (Memory.Free) {
+      Memory.Free(Memory.Ctx, N);
+      return;
+    }
+    FreeNodes.push(N);
+  }
+
+  static void reclaimNode(HazardErasable *Obj, void *Ctx) {
+    static_cast<SplitOrderedHashSet *>(Ctx)->releaseNode(
+        static_cast<Node *>(Obj));
+  }
+
+  HazardDomain &Domain;
+  NodeMemory Memory;
+  const unsigned LoadFactor;
+  PageAllocator Pages;
+  TreiberStack<Node, &Node::FreeNext> FreeNodes;
+  std::atomic<void *> Chunks{nullptr};
+  std::atomic<std::atomic<Node *> *> SegmentPtrs[MaxSegments] = {};
+  alignas(CacheLineSize) std::atomic<std::uint64_t> BucketCount{2};
+  alignas(CacheLineSize) std::atomic<std::int64_t> Count{0};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_SPLITORDEREDHASHSET_H

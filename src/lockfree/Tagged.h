@@ -1,0 +1,95 @@
+//===- lockfree/Tagged.h - Tagged pointer-sized CAS --------------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "classic IBM tag mechanism" (paper §3.2.3, citing the System/370
+/// principles of operation): pack a version counter next to a pointer inside
+/// a single CAS-able word so that a pop that raced with pop+push of the same
+/// node (the ABA pattern) fails instead of corrupting the list.
+///
+/// On 64-bit Linux/x86-64 user addresses occupy the low 47 bits, so a 64-bit
+/// word holds a 48-bit pointer plus a 16-bit tag. A 16-bit tag wraps after
+/// 65536 pops of the *same head value interleaved against one stalled
+/// thread*, which the paper's "full wraparound practically impossible in a
+/// short time" argument covers for freelist-style structures; structures
+/// needing absolute safety use hazard pointers (HazardPointers.h) instead,
+/// exactly as the paper prescribes for the descriptor list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_TAGGED_H
+#define LFMALLOC_LOCKFREE_TAGGED_H
+
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// A (pointer, tag) pair packed into one 64-bit word with atomic CAS.
+///
+/// \tparam T pointee type. Pointers must be canonical user-space addresses
+/// (fit in 48 bits); asserted on every pack.
+template <typename T> class TaggedAtomic {
+public:
+  /// Unpacked view of the word.
+  struct Snapshot {
+    T *Ptr;
+    std::uint16_t Tag;
+  };
+
+  TaggedAtomic() : Word(0) {}
+  explicit TaggedAtomic(T *Initial) : Word(pack(Initial, 0)) {}
+  TaggedAtomic(const TaggedAtomic &) = delete;
+  TaggedAtomic &operator=(const TaggedAtomic &) = delete;
+
+  /// \returns the current (pointer, tag) pair.
+  Snapshot load(std::memory_order Order = std::memory_order_acquire) const {
+    return unpack(Word.load(Order));
+  }
+
+  /// Unconditionally stores \p Ptr with tag zero. Only safe before the
+  /// structure is shared (initialization / tests).
+  void storeRelaxed(T *Ptr) { Word.store(pack(Ptr, 0), std::memory_order_relaxed); }
+
+  /// Single CAS replacing \p Expected with (\p Desired, Expected.Tag + 1).
+  /// The tag increment is what defeats ABA. \returns true on success; on
+  /// failure \p Expected is refreshed with the current value.
+  bool compareExchange(Snapshot &Expected, T *Desired,
+                       std::memory_order Success = std::memory_order_acq_rel,
+                       std::memory_order Failure =
+                           std::memory_order_acquire) {
+    std::uint64_t Want = pack(Expected.Ptr, Expected.Tag);
+    const std::uint64_t Next =
+        pack(Desired, static_cast<std::uint16_t>(Expected.Tag + 1));
+    if (Word.compare_exchange_weak(Want, Next, Success, Failure))
+      return true;
+    Expected = unpack(Want);
+    return false;
+  }
+
+private:
+  static std::uint64_t pack(T *Ptr, std::uint16_t Tag) {
+    const std::uint64_t Bits = reinterpret_cast<std::uint64_t>(Ptr);
+    assert((Bits >> PtrBits) == 0 && "pointer does not fit in 48 bits");
+    return (static_cast<std::uint64_t>(Tag) << PtrBits) | Bits;
+  }
+
+  static Snapshot unpack(std::uint64_t Packed) {
+    return Snapshot{reinterpret_cast<T *>(Packed & PtrMask),
+                    static_cast<std::uint16_t>(Packed >> PtrBits)};
+  }
+
+  static constexpr unsigned PtrBits = 48;
+  static constexpr std::uint64_t PtrMask = (1ULL << PtrBits) - 1;
+
+  std::atomic<std::uint64_t> Word;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_TAGGED_H

@@ -1,0 +1,81 @@
+//===- lockfree/TreiberStack.h - Classic lock-free LIFO ----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "classic freelist push/pop algorithm [8]" the paper builds on: an
+/// intrusive Treiber LIFO stack whose head is a tagged word (Tagged.h), so
+/// pop is ABA-resistant via the IBM tag mechanism.
+///
+/// SAFETY CONTRACT: nodes must be *type-stable* — once a node has ever been
+/// pushed, its memory may be recycled through this stack forever but must
+/// never be returned to the OS or repurposed as a different type, because a
+/// popping thread may dereference Node::Next on a node that was concurrently
+/// popped by someone else. This is exactly the regime the paper runs its
+/// descriptor and node freelists in ("superblock descriptors are not reused
+/// as regular blocks and cannot be returned to the OS", §3.2.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LOCKFREE_TREIBERSTACK_H
+#define LFMALLOC_LOCKFREE_TREIBERSTACK_H
+
+#include "lockfree/Tagged.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+
+/// Intrusive lock-free LIFO stack.
+///
+/// \tparam NodeT node type.
+/// \tparam NextField pointer-to-member naming the link field the stack may
+/// overwrite while the node is inside (defaults to `&NodeT::Next`; nodes
+/// that also live in other structures can dedicate a separate field).
+template <typename NodeT, NodeT *NodeT::*NextField = &NodeT::Next>
+class TreiberStack {
+public:
+  TreiberStack() = default;
+  TreiberStack(const TreiberStack &) = delete;
+  TreiberStack &operator=(const TreiberStack &) = delete;
+
+  /// Pushes \p Node. Lock-free; loops only while other pushes/pops succeed.
+  void push(NodeT *Node) {
+    typename TaggedAtomic<NodeT>::Snapshot Head =
+        this->Head.load(std::memory_order_relaxed);
+    for (;;) {
+      Node->*NextField = Head.Ptr;
+      // Release so the Next write above is visible to the popper that
+      // acquires the new head (paper Fig. 7, DescRetire memory fence).
+      if (this->Head.compareExchange(Head, Node, std::memory_order_release,
+                                     std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  /// Pops the most recently pushed node. \returns nullptr when empty.
+  NodeT *pop() {
+    typename TaggedAtomic<NodeT>::Snapshot Head = this->Head.load();
+    for (;;) {
+      if (!Head.Ptr)
+        return nullptr;
+      // Reading the link is safe only under the type-stability contract.
+      NodeT *Next = Head.Ptr->*NextField;
+      if (this->Head.compareExchange(Head, Next))
+        return Head.Ptr;
+    }
+  }
+
+  /// Racy emptiness check for stats and tests.
+  bool empty() const { return Head.load(std::memory_order_relaxed).Ptr == nullptr; }
+
+private:
+  TaggedAtomic<NodeT> Head;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_LOCKFREE_TREIBERSTACK_H

@@ -1,0 +1,105 @@
+//===- os/PageAllocator.cpp - mmap-backed page provider -------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/PageAllocator.h"
+
+#include <cassert>
+#include <sys/mman.h>
+
+using namespace lfm;
+
+void *PageAllocator::map(std::size_t Bytes, std::size_t Alignment) {
+  assert(isPowerOf2(Alignment) && Alignment >= OsPageSize &&
+         "alignment must be a power of two >= the OS page size");
+  const std::size_t Size = alignUp(Bytes, OsPageSize);
+  if (LFM_UNLIKELY(shouldFailInjected()))
+    return nullptr;
+
+  if (Alignment <= OsPageSize) {
+    void *Ptr = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (Ptr == MAP_FAILED)
+      return nullptr;
+    recordMap(Size);
+    return Ptr;
+  }
+
+  // Over-map by the alignment, then trim the misaligned head and tail. This
+  // is how superblocks get their power-of-two alignment, which in turn lets
+  // the Active word steal its low bits for credits (paper §3.2.1).
+  const std::size_t Padded = Size + Alignment;
+  void *Raw = ::mmap(nullptr, Padded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Raw == MAP_FAILED)
+    return nullptr;
+
+  const std::uintptr_t Base = reinterpret_cast<std::uintptr_t>(Raw);
+  const std::uintptr_t Aligned = alignUp(Base, Alignment);
+  const std::size_t HeadSlack = Aligned - Base;
+  const std::size_t TailSlack = Padded - HeadSlack - Size;
+  if (HeadSlack)
+    ::munmap(Raw, HeadSlack);
+  if (TailSlack)
+    ::munmap(reinterpret_cast<void *>(Aligned + Size), TailSlack);
+  recordMap(Size);
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void PageAllocator::unmap(void *Ptr, std::size_t Bytes) {
+  assert(Ptr && "unmap of null");
+  const std::size_t Size = alignUp(Bytes, OsPageSize);
+  [[maybe_unused]] const int Rc = ::munmap(Ptr, Size);
+  assert(Rc == 0 && "munmap failed: bad pointer or size");
+  recordUnmap(Size);
+}
+
+void *PageAllocator::remap(void *Ptr, std::size_t OldBytes,
+                           std::size_t NewBytes) {
+  assert(Ptr && "remap of null");
+  const std::size_t OldSize = alignUp(OldBytes, OsPageSize);
+  const std::size_t NewSize = alignUp(NewBytes, OsPageSize);
+  if (OldSize == NewSize)
+    return Ptr;
+  if (NewSize > OldSize && LFM_UNLIKELY(shouldFailInjected()))
+    return nullptr;
+  void *Fresh = ::mremap(Ptr, OldSize, NewSize, MREMAP_MAYMOVE);
+  if (Fresh == MAP_FAILED)
+    return nullptr;
+  if (NewSize > OldSize)
+    recordMap(NewSize - OldSize);
+  else
+    recordUnmap(OldSize - NewSize);
+  return Fresh;
+}
+
+PageStats PageAllocator::stats() const {
+  return PageStats{BytesInUse.load(std::memory_order_relaxed),
+                   PeakBytes.load(std::memory_order_relaxed),
+                   MapCalls.load(std::memory_order_relaxed),
+                   UnmapCalls.load(std::memory_order_relaxed)};
+}
+
+void PageAllocator::resetPeak() {
+  PeakBytes.store(BytesInUse.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+void PageAllocator::recordMap(std::size_t Bytes) {
+  MapCalls.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t Now =
+      BytesInUse.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  // Lock-free max update of the high-water mark.
+  std::uint64_t Peak = PeakBytes.load(std::memory_order_relaxed);
+  while (Now > Peak &&
+         !PeakBytes.compare_exchange_weak(Peak, Now,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void PageAllocator::recordUnmap(std::size_t Bytes) {
+  UnmapCalls.fetch_add(1, std::memory_order_relaxed);
+  BytesInUse.fetch_sub(Bytes, std::memory_order_relaxed);
+}

@@ -1,0 +1,104 @@
+//===- os/PageAllocator.h - mmap-backed page provider ------------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocator's only window onto the operating system. Everywhere the
+/// paper says "allocate ... directly from the OS" (large blocks, new
+/// superblocks, descriptor superblocks) it means this interface.
+///
+/// Accounting matters as much as allocation here: the paper's §4.2.5 space
+/// experiment compares the *maximum space used* by each allocator, and this
+/// class maintains exactly that high-water mark, atomically, per instance,
+/// so every allocator in the comparison carries its own meter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_OS_PAGEALLOCATOR_H
+#define LFMALLOC_OS_PAGEALLOCATOR_H
+
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfm {
+
+/// Snapshot of one PageAllocator's counters.
+struct PageStats {
+  std::uint64_t BytesInUse;   ///< Currently mapped through this instance.
+  std::uint64_t PeakBytes;    ///< High-water mark of BytesInUse.
+  std::uint64_t MapCalls;     ///< Number of successful map() calls.
+  std::uint64_t UnmapCalls;   ///< Number of unmap() calls.
+};
+
+/// mmap/munmap wrapper with atomic space accounting.
+///
+/// Thread-safe and lock-free in the library's own code (the kernel may of
+/// course serialize internally — that is precisely why the allocators batch
+/// superblock requests through hyperblocks, §3.2.5). Instances are
+/// independent so each allocator under test meters its own footprint.
+class PageAllocator {
+public:
+  PageAllocator() = default;
+  PageAllocator(const PageAllocator &) = delete;
+  PageAllocator &operator=(const PageAllocator &) = delete;
+
+  /// Maps \p Bytes (rounded up to whole pages) of zeroed memory aligned to
+  /// \p Alignment (power of two, >= OsPageSize).
+  /// \returns the mapping, or nullptr if the OS refuses.
+  void *map(std::size_t Bytes, std::size_t Alignment = OsPageSize);
+
+  /// Unmaps a region previously returned by map() with the same size.
+  void unmap(void *Ptr, std::size_t Bytes);
+
+  /// Grows or shrinks a mapping in place or by moving it (Linux mremap).
+  /// \returns the (possibly relocated) region, or nullptr on failure —
+  /// in which case the original mapping is untouched. Alignment beyond
+  /// the OS page is not preserved across a move.
+  void *remap(void *Ptr, std::size_t OldBytes, std::size_t NewBytes);
+
+  /// \returns a consistent-enough snapshot of the counters (each counter is
+  /// individually atomic; the set is racy under concurrent mapping, which
+  /// is fine for benchmarking).
+  PageStats stats() const;
+
+  /// Resets the peak high-water mark to the current usage. The space bench
+  /// calls this between workload phases.
+  void resetPeak();
+
+  /// Failure injection for tests: after \p Count further successful map()
+  /// calls, every map() fails (returns nullptr) until re-armed with
+  /// a negative value. Exercises the allocators' out-of-memory paths
+  /// without exhausting the machine.
+  void injectMapFailuresAfter(std::int64_t Count) {
+    FailAfter.store(Count, std::memory_order_relaxed);
+  }
+
+private:
+  bool shouldFailInjected() {
+    if (LFM_LIKELY(FailAfter.load(std::memory_order_relaxed) < 0))
+      return false;
+    const std::int64_t Old = FailAfter.fetch_sub(1, std::memory_order_relaxed);
+    if (Old > 0)
+      return false; // Budget remains; this map may proceed.
+    FailAfter.store(0, std::memory_order_relaxed); // Clamp: keep failing.
+    return true;
+  }
+
+  void recordMap(std::size_t Bytes);
+  void recordUnmap(std::size_t Bytes);
+
+  std::atomic<std::uint64_t> BytesInUse{0};
+  std::atomic<std::uint64_t> PeakBytes{0};
+  std::atomic<std::uint64_t> MapCalls{0};
+  std::atomic<std::uint64_t> UnmapCalls{0};
+  std::atomic<std::int64_t> FailAfter{-1};
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_OS_PAGEALLOCATOR_H

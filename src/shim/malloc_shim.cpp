@@ -1,0 +1,88 @@
+//===- shim/malloc_shim.cpp - LD_PRELOAD malloc replacement ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Drop-in replacement for the C allocation API, for use via LD_PRELOAD:
+//
+//   LD_PRELOAD=/path/to/liblfmalloc_preload.so some_program
+//
+// Every allocation in the process — including libc internals and C++
+// operator new, which routes through malloc in libstdc++ — then goes
+// through the completely lock-free allocator. This is safe to interpose
+// from process start because the allocator is self-contained: its own
+// implementation performs no heap allocation (only mmap), so there is no
+// bootstrap recursion and no dlsym trampoline is needed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/LFMalloc.h"
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+
+using namespace lfm;
+
+extern "C" {
+
+void *malloc(size_t Bytes) { return defaultAllocator().allocate(Bytes); }
+
+void free(void *Ptr) { defaultAllocator().deallocate(Ptr); }
+
+void *calloc(size_t Num, size_t Size) {
+  return defaultAllocator().allocateZeroed(Num, Size);
+}
+
+void *realloc(void *Ptr, size_t Bytes) {
+  return defaultAllocator().reallocate(Ptr, Bytes);
+}
+
+void *reallocarray(void *Ptr, size_t Num, size_t Size) {
+  if (Size != 0 && Num > ~size_t{0} / Size) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  return defaultAllocator().reallocate(Ptr, Num * Size);
+}
+
+void *aligned_alloc(size_t Alignment, size_t Bytes) {
+  if (!isPowerOf2(Alignment)) {
+    errno = EINVAL;
+    return nullptr;
+  }
+  return defaultAllocator().allocateAligned(Alignment, Bytes);
+}
+
+int posix_memalign(void **Out, size_t Alignment, size_t Bytes) {
+  if (!isPowerOf2(Alignment) || Alignment % sizeof(void *) != 0)
+    return EINVAL;
+  void *Ptr = defaultAllocator().allocateAligned(Alignment, Bytes);
+  if (!Ptr)
+    return ENOMEM;
+  *Out = Ptr;
+  return 0;
+}
+
+void *memalign(size_t Alignment, size_t Bytes) {
+  if (!isPowerOf2(Alignment)) {
+    errno = EINVAL;
+    return nullptr;
+  }
+  return defaultAllocator().allocateAligned(Alignment, Bytes);
+}
+
+void *valloc(size_t Bytes) {
+  return defaultAllocator().allocateAligned(OsPageSize, Bytes);
+}
+
+void *pvalloc(size_t Bytes) {
+  return defaultAllocator().allocateAligned(
+      OsPageSize, alignUp(Bytes, OsPageSize));
+}
+
+size_t malloc_usable_size(void *Ptr) {
+  return Ptr ? defaultAllocator().usableSize(Ptr) : 0;
+}
+
+} // extern "C"

@@ -1,0 +1,11 @@
+//===- support/Barrier.cpp - Sense-reversing thread barrier ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+
+#include <sched.h>
+
+void lfm::SpinBarrier::yieldThread() { sched_yield(); }

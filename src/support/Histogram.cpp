@@ -1,0 +1,100 @@
+//===- support/Histogram.cpp - Latency histograms and summaries -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace lfm;
+
+void StreamingStats::add(double Sample) {
+  if (Count == 0) {
+    Min = Max = Sample;
+  } else {
+    Min = std::min(Min, Sample);
+    Max = std::max(Max, Sample);
+  }
+  ++Count;
+  const double Delta = Sample - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Sample - Mean);
+}
+
+void StreamingStats::merge(const StreamingStats &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  const double Delta = Other.Mean - Mean;
+  const std::uint64_t NewCount = Count + Other.Count;
+  Mean += Delta * static_cast<double>(Other.Count) /
+          static_cast<double>(NewCount);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                       static_cast<double>(Other.Count) /
+                       static_cast<double>(NewCount);
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+  Count = NewCount;
+}
+
+double StreamingStats::stddev() const {
+  if (Count < 2)
+    return 0.0;
+  return std::sqrt(M2 / static_cast<double>(Count - 1));
+}
+
+void LogHistogram::add(std::uint64_t Sample) {
+  const unsigned Bucket = Sample == 0 ? 0 : 64 - __builtin_clzll(Sample);
+  Buckets[std::min(Bucket, NumBuckets - 1)] += 1;
+  ++Total;
+}
+
+void LogHistogram::merge(const LogHistogram &Other) {
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  Total += Other.Total;
+}
+
+std::uint64_t LogHistogram::quantile(double Q) const {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  if (Total == 0)
+    return 0;
+  const std::uint64_t Rank = static_cast<std::uint64_t>(
+      Q * static_cast<double>(Total - 1));
+  std::uint64_t Seen = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    if (Seen + Buckets[I] > Rank) {
+      // Interpolate linearly within the bucket [2^(I-1), 2^I).
+      const std::uint64_t Lo = I == 0 ? 0 : (1ULL << (I - 1));
+      const std::uint64_t Hi = I == 0 ? 1 : (1ULL << I);
+      const double Frac = static_cast<double>(Rank - Seen) /
+                          static_cast<double>(Buckets[I]);
+      return Lo + static_cast<std::uint64_t>(
+                      Frac * static_cast<double>(Hi - Lo));
+    }
+    Seen += Buckets[I];
+  }
+  return 1ULL << (NumBuckets - 1);
+}
+
+std::string LogHistogram::summary() const {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "n=%llu p50=%llu p90=%llu p99=%llu max~%llu",
+                static_cast<unsigned long long>(Total),
+                static_cast<unsigned long long>(quantile(0.50)),
+                static_cast<unsigned long long>(quantile(0.90)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(quantile(1.0)));
+  return Buf;
+}

@@ -1,0 +1,77 @@
+//===- support/Histogram.h - Latency histograms and summaries ----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log-bucketed histogram and a streaming summary, used by the latency
+/// benches (§4.2.1 of the paper reports per-pair malloc/free nanoseconds)
+/// and by the workload self-checks in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_HISTOGRAM_H
+#define LFMALLOC_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lfm {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class StreamingStats {
+public:
+  /// Folds one sample into the summary.
+  void add(double Sample);
+
+  /// Merges another summary into this one (parallel reduction).
+  void merge(const StreamingStats &Other);
+
+  std::uint64_t count() const { return Count; }
+  double min() const { return Count ? Min : 0.0; }
+  double max() const { return Count ? Max : 0.0; }
+  double mean() const { return Count ? Mean : 0.0; }
+
+  /// Sample standard deviation; 0 for fewer than two samples.
+  double stddev() const;
+
+private:
+  std::uint64_t Count = 0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Power-of-two bucketed histogram of nonnegative 64-bit samples
+/// (bucket B holds samples in [2^B, 2^(B+1))). Cheap enough for per-op
+/// latency recording; supports approximate quantiles.
+class LogHistogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  /// Records one sample.
+  void add(std::uint64_t Sample);
+
+  /// Merges another histogram into this one.
+  void merge(const LogHistogram &Other);
+
+  std::uint64_t count() const { return Total; }
+
+  /// \returns an approximate quantile (e.g. Q=0.5 for the median) assuming
+  /// uniform distribution within a bucket; exact for min/max buckets.
+  std::uint64_t quantile(double Q) const;
+
+  /// Renders a compact textual summary ("p50=… p90=… p99=… max=…").
+  std::string summary() const;
+
+private:
+  std::array<std::uint64_t, NumBuckets> Buckets{};
+  std::uint64_t Total = 0;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,84 @@
+//===- support/Platform.h - Platform constants and intrinsics ----*- C++ -*-=//
+//
+// Part of lfmalloc, a reproduction of Michael, "Scalable Lock-Free Dynamic
+// Memory Allocation" (PLDI 2004). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Platform-level constants (cache line, page size) and tiny intrinsics
+/// (cpu relax, branch hints) shared by every other module. This is the
+/// lowest layer of the library; it must not depend on anything else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_PLATFORM_H
+#define LFMALLOC_SUPPORT_PLATFORM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfm {
+
+/// Size in bytes of one destructive-interference cache line. The paper's
+/// false-sharing experiments (Active-false / Passive-false, Fig. 8c-d)
+/// depend on blocks of different threads landing in the same line, so this
+/// constant is load-bearing for the harness as well as for padding.
+inline constexpr std::size_t CacheLineSize = 64;
+
+/// Smallest unit the OS page provider deals in. Linux x86-64 base pages.
+inline constexpr std::size_t OsPageSize = 4096;
+
+/// Align \p Value up to the next multiple of \p Alignment (a power of two).
+constexpr std::uint64_t alignUp(std::uint64_t Value, std::uint64_t Alignment) {
+  assert((Alignment & (Alignment - 1)) == 0 && "alignment must be power of 2");
+  return (Value + Alignment - 1) & ~(Alignment - 1);
+}
+
+/// Align \p Value down to a multiple of \p Alignment (a power of two).
+constexpr std::uint64_t alignDown(std::uint64_t Value,
+                                  std::uint64_t Alignment) {
+  assert((Alignment & (Alignment - 1)) == 0 && "alignment must be power of 2");
+  return Value & ~(Alignment - 1);
+}
+
+/// \returns true if \p Value is a power of two (and nonzero).
+constexpr bool isPowerOf2(std::uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// \returns floor(log2(Value)); \p Value must be nonzero.
+constexpr unsigned log2Floor(std::uint64_t Value) {
+  assert(Value != 0 && "log2 of zero");
+  unsigned Result = 0;
+  while (Value >>= 1)
+    ++Result;
+  return Result;
+}
+
+/// \returns ceil(log2(Value)); \p Value must be nonzero.
+constexpr unsigned log2Ceil(std::uint64_t Value) {
+  return Value <= 1 ? 0 : log2Floor(Value - 1) + 1;
+}
+
+/// CPU relax hint for spin loops. On x86 this lowers to `pause`, which both
+/// saves power and avoids the memory-order machine clear when the awaited
+/// line changes. The paper's spin sites (CAS retry loops) are bounded, but
+/// the lock-based baselines spin in earnest and need this.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+#define LFM_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define LFM_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+} // namespace lfm
+
+#endif // LFMALLOC_SUPPORT_PLATFORM_H

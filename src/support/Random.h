@@ -1,0 +1,76 @@
+//===- support/Random.h - Fast deterministic PRNGs ---------------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, fast, seedable PRNGs for the benchmark workloads. The Larson and
+/// Producer-consumer benchmarks (paper §4.1) select random block sizes and
+/// random victim slots on the allocation hot path, so the generator must be
+/// a handful of instructions and must not share state across threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_RANDOM_H
+#define LFMALLOC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lfm {
+
+/// SplitMix64: used to expand a small seed into well-mixed state for
+/// XorShift. One round is a complete avalanche of the input.
+constexpr std::uint64_t splitMix64(std::uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// xorshift128+ generator: fast, passes BigCrush except two linearity tests,
+/// far more than adequate for workload shuffling. Not cryptographic.
+class XorShift128 {
+public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  /// A zero seed is remapped (all-zero state is a fixed point of xorshift).
+  explicit XorShift128(std::uint64_t Seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t Mix = Seed ? Seed : 0x9e3779b97f4a7c15ULL;
+    S0 = splitMix64(Mix);
+    S1 = splitMix64(Mix);
+  }
+
+  /// \returns the next 64 random bits.
+  std::uint64_t next() {
+    std::uint64_t X = S0;
+    const std::uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// \returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  /// Uses Lemire's multiply-shift reduction (no modulo on the hot path).
+  std::uint64_t nextBounded(std::uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniform value in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  std::uint64_t nextInRange(std::uint64_t Lo, std::uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBounded(Hi - Lo + 1);
+  }
+
+private:
+  std::uint64_t S0;
+  std::uint64_t S1;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_SUPPORT_RANDOM_H

@@ -1,0 +1,30 @@
+//===- support/ThreadRegistry.cpp - Dense thread indices ------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+
+namespace {
+
+std::atomic<std::uint32_t> NextIndex{0};
+
+// Sentinel meaning "not yet assigned"; real indices start at 0.
+constexpr std::uint32_t Unassigned = ~0u;
+
+thread_local std::uint32_t CachedIndex = Unassigned;
+
+} // namespace
+
+std::uint32_t lfm::threadIndex() {
+  if (CachedIndex == Unassigned)
+    CachedIndex = NextIndex.fetch_add(1, std::memory_order_relaxed);
+  return CachedIndex;
+}
+
+std::uint32_t lfm::threadIndexWatermark() {
+  return NextIndex.load(std::memory_order_relaxed);
+}

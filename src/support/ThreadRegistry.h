@@ -1,0 +1,33 @@
+//===- support/ThreadRegistry.h - Dense thread indices -----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns every thread a small dense index on first use. The paper says
+/// "threads use their thread ids to decide which processor heap to use"
+/// (§2.2/§3.1); the allocators map \c threadIndex() onto their processor
+/// heaps / arenas. Indices are never reused, which keeps assignment
+/// lock-free and async-signal-safe after the first call on a thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_THREADREGISTRY_H
+#define LFMALLOC_SUPPORT_THREADREGISTRY_H
+
+#include <cstdint>
+
+namespace lfm {
+
+/// \returns this thread's process-unique dense index, assigning one on the
+/// first call (a single atomic fetch-add; afterwards a thread-local read).
+std::uint32_t threadIndex();
+
+/// \returns the number of thread indices handed out so far. Monotonic;
+/// useful for sizing hazard-pointer tables and for stats.
+std::uint32_t threadIndexWatermark();
+
+} // namespace lfm
+
+#endif // LFMALLOC_SUPPORT_THREADREGISTRY_H

@@ -1,0 +1,16 @@
+//===- support/Timing.cpp - Monotonic clocks ------------------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timing.h"
+
+#include <ctime>
+
+std::uint64_t lfm::monotonicNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<std::uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(Ts.tv_nsec);
+}

@@ -1,0 +1,47 @@
+//===- support/Timing.h - Monotonic clocks and stopwatches -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nanosecond monotonic time and a stopwatch, used by the benchmark driver
+/// to reproduce the paper's timed phases (e.g. Larson's 30-second parallel
+/// phase, scaled down by the harness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_TIMING_H
+#define LFMALLOC_SUPPORT_TIMING_H
+
+#include <cstdint>
+
+namespace lfm {
+
+/// \returns monotonic time in nanoseconds. Never goes backwards; suitable
+/// for measuring intervals, not wall-clock dates.
+std::uint64_t monotonicNanos();
+
+/// Simple interval stopwatch over \c monotonicNanos().
+class Stopwatch {
+public:
+  Stopwatch() : StartNs(monotonicNanos()) {}
+
+  /// Restarts the interval at now.
+  void reset() { StartNs = monotonicNanos(); }
+
+  /// \returns nanoseconds since construction or the last reset().
+  std::uint64_t elapsedNanos() const { return monotonicNanos() - StartNs; }
+
+  /// \returns seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+private:
+  std::uint64_t StartNs;
+};
+
+} // namespace lfm
+
+#endif // LFMALLOC_SUPPORT_TIMING_H

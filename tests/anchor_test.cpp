@@ -1,0 +1,146 @@
+//===- tests/anchor_test.cpp - Anchor/Active word packing tests -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/Anchor.h"
+#include "lfmalloc/Descriptor.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace lfm;
+
+//===----------------------------------------------------------------------===
+// Anchor packing
+//===----------------------------------------------------------------------===
+
+TEST(Anchor, FieldWidthsCoverTheWord) {
+  EXPECT_EQ(AnchorAvailBits + AnchorCountBits + AnchorStateBits +
+                AnchorTagBits,
+            64u);
+  EXPECT_GE(AnchorTagBits, 32u)
+      << "tag must be wide enough that wraparound against one stalled "
+         "thread is practically impossible (paper §3.2.3)";
+}
+
+TEST(Anchor, RoundTripZero) {
+  const Anchor A; // Default state is Empty (the unpublished condition).
+  EXPECT_EQ(unpackAnchor(packAnchor(A)), A);
+  EXPECT_EQ(A.State, SbState::Empty);
+  Anchor Zero = unpackAnchor(0);
+  EXPECT_EQ(Zero.Avail, 0u);
+  EXPECT_EQ(Zero.Count, 0u);
+  EXPECT_EQ(Zero.Tag, 0u);
+  EXPECT_EQ(Zero.State, SbState::Active) << "state code 0 is ACTIVE";
+}
+
+/// Property sweep: every combination of extreme and mid-range sub-field
+/// values must survive a pack/unpack round trip without bleeding into
+/// neighbouring fields.
+class AnchorRoundTrip
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, SbState, std::uint64_t>> {
+};
+
+TEST_P(AnchorRoundTrip, PackUnpackIsIdentity) {
+  const auto [Avail, Count, State, Tag] = GetParam();
+  Anchor A;
+  A.Avail = Avail;
+  A.Count = Count;
+  A.State = State;
+  A.Tag = Tag;
+  const Anchor Back = unpackAnchor(packAnchor(A));
+  EXPECT_EQ(Back.Avail, Avail);
+  EXPECT_EQ(Back.Count, Count);
+  EXPECT_EQ(Back.State, State);
+  EXPECT_EQ(Back.Tag, Tag & ((1ULL << AnchorTagBits) - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldExtremes, AnchorRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(0u, 1u, 777u, MaxBlocksPerSuperblock),
+        ::testing::Values(0u, 1u, 1000u, MaxBlocksPerSuperblock),
+        ::testing::Values(SbState::Active, SbState::Full, SbState::Partial,
+                          SbState::Empty),
+        ::testing::Values(std::uint64_t{0}, std::uint64_t{1},
+                          (1ULL << AnchorTagBits) - 1)));
+
+TEST(Anchor, TagWrapsModuloItsWidth) {
+  Anchor A;
+  A.Tag = (1ULL << AnchorTagBits) - 1;
+  AtomicAnchor W;
+  W.storeRelaxed(A);
+  Anchor Old = W.load();
+  Anchor New = Old;
+  New.Tag = Old.Tag + 1; // Wraps to 0 in the packed form.
+  EXPECT_TRUE(W.compareExchange(Old, New));
+  EXPECT_EQ(W.load().Tag, 0u);
+}
+
+TEST(AtomicAnchor, CasSucceedsOnExactMatchOnly) {
+  AtomicAnchor W;
+  Anchor Init;
+  Init.Avail = 5;
+  Init.Count = 3;
+  Init.State = SbState::Partial;
+  Init.Tag = 9;
+  W.storeRelaxed(Init);
+
+  Anchor Wrong = Init;
+  Wrong.Tag = 8; // Stale tag.
+  Anchor New = Init;
+  New.Count = 2;
+  EXPECT_FALSE(W.compareExchange(Wrong, New));
+  EXPECT_EQ(Wrong, Init) << "failed CAS must refresh the expected value";
+  EXPECT_TRUE(W.compareExchange(Wrong, New));
+  EXPECT_EQ(W.load().Count, 2u);
+}
+
+//===----------------------------------------------------------------------===
+// Active word packing
+//===----------------------------------------------------------------------===
+
+TEST(ActiveWord, NullEncodesAsZero) {
+  const ActiveRef Null{};
+  EXPECT_EQ(packActive(Null), 0u);
+  const ActiveRef Back = unpackActive(0);
+  EXPECT_EQ(Back.Desc, nullptr);
+  EXPECT_EQ(Back.Credits, 0u);
+}
+
+TEST(ActiveWord, RoundTripsPointerAndCredits) {
+  alignas(DescriptorAlignment) static Descriptor D;
+  for (std::uint32_t Credits : {0u, 1u, 31u, MaxCredits - 1}) {
+    const ActiveRef A{&D, Credits};
+    const ActiveRef Back = unpackActive(packActive(A));
+    EXPECT_EQ(Back.Desc, &D);
+    EXPECT_EQ(Back.Credits, Credits);
+  }
+}
+
+TEST(AtomicActive, CreditDecrementLoop) {
+  alignas(DescriptorAlignment) static Descriptor D;
+  AtomicActive W;
+  ActiveRef Expected{};
+  ASSERT_TRUE(W.compareExchange(Expected, ActiveRef{&D, 3}));
+
+  // Simulate four MallocFromActive reservations: 3,2,1,0 then take-last.
+  for (int I = 3; I >= 0; --I) {
+    ActiveRef Old = W.load();
+    ASSERT_EQ(Old.Credits, static_cast<std::uint32_t>(I));
+    const ActiveRef New =
+        Old.Credits == 0 ? ActiveRef{} : ActiveRef{Old.Desc, Old.Credits - 1};
+    ASSERT_TRUE(W.compareExchange(Old, New));
+  }
+  EXPECT_EQ(W.load().Desc, nullptr) << "taking the last credit clears Active";
+}
+
+TEST(DescriptorLayout, AlignmentLeavesRoomForCredits) {
+  EXPECT_EQ(alignof(Descriptor), DescriptorAlignment);
+  EXPECT_EQ(sizeof(Descriptor) % DescriptorAlignment, 0u);
+  EXPECT_EQ(sizeof(ProcHeap), CacheLineSize);
+}

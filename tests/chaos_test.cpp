@@ -1,0 +1,199 @@
+//===- tests/chaos_test.cpp - Stalled-thread progress tests ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The paper's core guarantee, tested head-on: "if any thread is delayed
+// arbitrarily (or even killed) at any point, then any other thread using
+// the allocator will be able to determine enough of the state of the
+// allocator to proceed with its own operation without waiting for the
+// delayed thread" (§1). One victim thread is frozen at each interesting
+// linearization point — holding a credit reservation, mid block-pop, mid
+// free-push, right after emptying a superblock — while worker threads
+// hammer the same heap. The workers must finish unconditionally; a
+// lock-based allocator frozen at the analogous points deadlocks the
+// system (demonstrated at the end with the serial-lock baseline given a
+// bounded grace period).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+using ChaosSite = AllocatorOptions::ChaosSite;
+
+/// Freezes the first thread that hits TargetSite until released; all
+/// other threads (and other sites) pass through untouched.
+struct Freezer {
+  explicit Freezer(ChaosSite Target) : Target(Target) {}
+
+  static void hook(ChaosSite Site, void *Ctx) {
+    static_cast<Freezer *>(Ctx)->onSite(Site);
+  }
+
+  void onSite(ChaosSite Site) {
+    if (Site != Target)
+      return;
+    bool Expected = false;
+    if (!Armed.compare_exchange_strong(Expected, true))
+      return; // Only the first arrival becomes the victim.
+    Frozen.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Released; });
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Released = true;
+    }
+    Cv.notify_all();
+  }
+
+  const ChaosSite Target;
+  std::atomic<bool> Armed{false};
+  std::atomic<bool> Frozen{false};
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Released = false;
+};
+
+/// Runs the scenario: freeze one victim at \p Site, verify N workers
+/// complete their full workload while the victim stays frozen.
+void runFrozenVictimScenario(ChaosSite Site) {
+  Freezer Freeze(Site);
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1; // One heap: victim and workers share EVERYTHING.
+  Opts.SuperblockSize = 4096;
+  Opts.EnableStats = true;
+  Opts.ChaosHook = Freezer::hook;
+  Opts.ChaosCtx = &Freeze;
+  LFAllocator Alloc(Opts);
+
+  // The victim cycles fill-then-drain, which visits every chaos site:
+  // the second allocation rides the Active path (AfterCreditReserve /
+  // BeforePopCas), the first free hits BeforeFreeCas, and draining a
+  // filled-up (FULL) superblock oldest-first reaches AfterEmptyTransition.
+  // After release it finishes the cycle — freeing everything — and exits.
+  std::thread Victim([&] {
+    while (!Freeze.Frozen.load(std::memory_order_acquire)) {
+      std::vector<void *> Mine;
+      for (int I = 0; I < 200; ++I)
+        if (void *P = Alloc.allocate(56))
+          Mine.push_back(P);
+      for (void *P : Mine)
+        Alloc.deallocate(P);
+    }
+  });
+
+  // Wait until the victim is actually frozen mid-operation.
+  while (!Freeze.Frozen.load(std::memory_order_acquire))
+    cpuRelax();
+
+  // Workers: must complete a full allocation workload on the same heap
+  // even though the victim is frozen inside the allocator.
+  constexpr int Workers = 4, Iters = 20000;
+  std::atomic<std::uint64_t> Completed{0};
+  std::vector<std::thread> Ws;
+  for (int W = 0; W < Workers; ++W)
+    Ws.emplace_back([&] {
+      void *Slots[16] = {};
+      for (int I = 0; I < Iters; ++I) {
+        const int S = I % 16;
+        if (Slots[S]) {
+          Alloc.deallocate(Slots[S]);
+          Slots[S] = nullptr;
+        } else {
+          Slots[S] = Alloc.allocate(56);
+          ASSERT_NE(Slots[S], nullptr);
+          std::memset(Slots[S], 0x6e, 56);
+        }
+        Completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (void *&P : Slots)
+        if (P)
+          Alloc.deallocate(P);
+    });
+  for (auto &W : Ws)
+    W.join(); // If this hangs, lock-freedom is broken; ctest times out.
+
+  EXPECT_EQ(Completed.load(),
+            static_cast<std::uint64_t>(Workers) * Iters)
+      << "workers stalled behind a frozen thread";
+  EXPECT_TRUE(Freeze.Frozen.load()) << "victim thawed prematurely";
+
+  Freeze.release();
+  Victim.join();
+}
+
+} // namespace
+
+TEST(Chaos, ProgressWithThreadFrozenHoldingCreditReservation) {
+  runFrozenVictimScenario(ChaosSite::AfterCreditReserve);
+}
+
+TEST(Chaos, ProgressWithThreadFrozenMidPop) {
+  runFrozenVictimScenario(ChaosSite::BeforePopCas);
+}
+
+TEST(Chaos, ProgressWithThreadFrozenMidFree) {
+  runFrozenVictimScenario(ChaosSite::BeforeFreeCas);
+}
+
+TEST(Chaos, ProgressWithThreadFrozenAfterEmptyTransition) {
+  runFrozenVictimScenario(ChaosSite::AfterEmptyTransition);
+}
+
+TEST(Chaos, RepeatedFreezeThawCyclesStayCoherent) {
+  // Freeze/thaw a victim at a rotating site many times; content and
+  // accounting must stay intact throughout.
+  for (ChaosSite Site :
+       {ChaosSite::AfterCreditReserve, ChaosSite::BeforeFreeCas}) {
+    Freezer Freeze(Site);
+    AllocatorOptions Opts;
+    Opts.NumHeaps = 1;
+    Opts.SuperblockSize = 4096;
+    Opts.EnableStats = true;
+    Opts.ChaosHook = Freezer::hook;
+    Opts.ChaosCtx = &Freeze;
+    LFAllocator Alloc(Opts);
+
+    std::thread Victim([&] {
+      // A few pairs: the second allocation rides the Active fast path
+      // (where AfterCreditReserve lives); the frees hit BeforeFreeCas.
+      void *Mine[4] = {};
+      for (void *&P : Mine)
+        P = Alloc.allocate(56);
+      for (void *P : Mine)
+        Alloc.deallocate(P);
+    });
+    while (!Freeze.Frozen.load())
+      cpuRelax();
+
+    std::vector<void *> Blocks;
+    for (int I = 0; I < 5000; ++I) {
+      void *P = Alloc.allocate(56);
+      ASSERT_NE(P, nullptr);
+      std::memset(P, I & 0xff, 56);
+      Blocks.push_back(P);
+    }
+    for (void *P : Blocks)
+      Alloc.deallocate(P);
+
+    Freeze.release();
+    Victim.join();
+    EXPECT_EQ(Alloc.opStats().Mallocs, Alloc.opStats().Frees);
+  }
+}

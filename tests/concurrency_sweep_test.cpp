@@ -1,0 +1,131 @@
+//===- tests/concurrency_sweep_test.cpp - Parameterized MPMC sweeps -------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// TEST_P sweeps of the lock-free containers over producer/consumer
+// topologies (1x1, 1xN, Nx1, NxN) — each topology stresses different
+// interleavings (tail races, head races, helping paths).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/LockFreeStack.h"
+#include "lockfree/MSQueue.h"
+#include "support/Platform.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+using Topology = std::tuple<int /*Producers*/, int /*Consumers*/>;
+
+class MpmcTopology : public ::testing::TestWithParam<Topology> {};
+
+std::string topologyName(const ::testing::TestParamInfo<Topology> &Info) {
+  const auto [P, C] = Info.param;
+  return "p" + std::to_string(P) + "_c" + std::to_string(C);
+}
+
+/// Generic conservation check: every tagged value produced is consumed
+/// exactly once, across the given container operations.
+template <typename PushFn, typename PopFn>
+void checkConservation(int Producers, int Consumers, int PerProducer,
+                       PushFn Push, PopFn Pop) {
+  std::atomic<bool> Done{false};
+  std::vector<std::vector<std::uint64_t>> Got(Consumers);
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&, P] {
+      for (int I = 0; I < PerProducer; ++I)
+        Push((static_cast<std::uint64_t>(P) << 32) | I);
+    });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&, C] {
+      std::uint64_t V;
+      for (;;) {
+        if (Pop(V))
+          Got[C].push_back(V);
+        else if (Done.load(std::memory_order_acquire))
+          break;
+        else
+          cpuRelax();
+      }
+      while (Pop(V))
+        Got[C].push_back(V);
+    });
+  for (int P = 0; P < Producers; ++P)
+    Ts[P].join();
+  Done.store(true, std::memory_order_release);
+  for (int C = 0; C < Consumers; ++C)
+    Ts[Producers + C].join();
+
+  std::map<std::uint64_t, int> Counts;
+  for (auto &G : Got)
+    for (std::uint64_t V : G)
+      ++Counts[V];
+  ASSERT_EQ(Counts.size(),
+            static_cast<std::size_t>(Producers) * PerProducer);
+  for (auto &[V, N] : Counts)
+    ASSERT_EQ(N, 1) << "value " << V;
+}
+
+} // namespace
+
+TEST_P(MpmcTopology, MsQueueConservation) {
+  const auto [Producers, Consumers] = GetParam();
+  MSQueue<std::uint64_t> Queue;
+  checkConservation(
+      Producers, Consumers, 8000,
+      [&](std::uint64_t V) { Queue.enqueue(V); },
+      [&](std::uint64_t &V) { return Queue.dequeue(V); });
+}
+
+TEST_P(MpmcTopology, DynamicStackConservation) {
+  const auto [Producers, Consumers] = GetParam();
+  HazardDomain Domain;
+  LockFreeStack<std::uint64_t> Stack(Domain);
+  checkConservation(
+      Producers, Consumers, 8000,
+      [&](std::uint64_t V) { ASSERT_TRUE(Stack.push(V)); },
+      [&](std::uint64_t &V) { return Stack.pop(V); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MpmcTopology,
+                         ::testing::Values(Topology{1, 1}, Topology{1, 4},
+                                           Topology{4, 1}, Topology{3, 3},
+                                           Topology{6, 2}),
+                         topologyName);
+
+//===----------------------------------------------------------------------===
+// Hazard-domain record churn across many short-lived threads
+//===----------------------------------------------------------------------===
+
+TEST(ConcurrencySweep, HazardRecordsSurviveThreadChurn) {
+  // Waves of short-lived threads using the same structures: records must
+  // be recycled and nothing may leak or crash at thread exits.
+  HazardDomain Domain;
+  MSQueue<int> Queue(Domain);
+  for (int Wave = 0; Wave < 20; ++Wave) {
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < 6; ++T)
+      Ts.emplace_back([&] {
+        for (int I = 0; I < 500; ++I) {
+          Queue.enqueue(I);
+          int V;
+          Queue.dequeue(V);
+        }
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  EXPECT_LE(Domain.recordWatermark(), 16u)
+      << "records must be adopted across thread generations";
+  EXPECT_TRUE(Queue.empty());
+}

@@ -1,0 +1,162 @@
+//===- tests/descriptor_allocator_test.cpp - Fig. 7 list tests ------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/DescriptorAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+struct DescAllocFixture : ::testing::Test {
+  HazardDomain Domain;
+  PageAllocator Pages;
+  DescriptorAllocator Descs{Domain, Pages};
+};
+
+} // namespace
+
+TEST_F(DescAllocFixture, AllocReturnsAlignedDistinctDescriptors) {
+  std::set<Descriptor *> Seen;
+  for (int I = 0; I < 300; ++I) { // Crosses a chunk boundary (127/chunk).
+    Descriptor *D = Descs.alloc();
+    ASSERT_NE(D, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(D) % DescriptorAlignment, 0u);
+    EXPECT_TRUE(Seen.insert(D).second) << "descriptor handed out twice";
+  }
+  EXPECT_GE(Descs.mintedCount(), 300u);
+}
+
+TEST_F(DescAllocFixture, RetiredDescriptorsAreRecycled) {
+  Descriptor *First = Descs.alloc();
+  Descs.retire(First);
+  Domain.drainAll(); // Push it back to the freelist.
+  const std::uint64_t MintedBefore = Descs.mintedCount();
+  Descriptor *Second = Descs.alloc();
+  EXPECT_EQ(Second, First) << "freelist head should be the retired desc";
+  EXPECT_EQ(Descs.mintedCount(), MintedBefore) << "no fresh minting needed";
+}
+
+TEST_F(DescAllocFixture, MintingIsBatched) {
+  Descs.alloc();
+  const std::uint64_t Minted = Descs.mintedCount();
+  EXPECT_GT(Minted, 1u) << "one mint should stock a whole DESCSB batch";
+  // Subsequent allocations within the batch must not mint again.
+  for (std::uint64_t I = 1; I < Minted; ++I)
+    Descs.alloc();
+  EXPECT_EQ(Descs.mintedCount(), Minted);
+}
+
+TEST_F(DescAllocFixture, PagesAreChargedAndReturned) {
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+  Descs.alloc();
+  EXPECT_GE(Pages.stats().BytesInUse, DescriptorAllocator::DescSbBytes);
+  // Storage is type-stable: retire doesn't unmap; teardown does (checked
+  // implicitly by PageAllocator books in the destructor-order test below).
+}
+
+TEST(DescriptorAllocatorLifetime, TeardownReturnsAllPages) {
+  HazardDomain Domain;
+  PageAllocator Pages;
+  {
+    DescriptorAllocator Descs(Domain, Pages);
+    for (int I = 0; I < 500; ++I)
+      Descs.alloc();
+    EXPECT_GT(Pages.stats().BytesInUse, 0u);
+  }
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+}
+
+TEST_F(DescAllocFixture, TrimReturnsFullyFreeChunks) {
+  // Mint several chunks' worth, retire everything, trim: all descriptor
+  // storage must go back to the OS (§3.2.5: "space for descriptors can be
+  // ... returned to the OS").
+  std::vector<Descriptor *> All;
+  for (int I = 0; I < 300; ++I)
+    All.push_back(Descs.alloc());
+  for (Descriptor *D : All)
+    Descs.retire(D);
+  const std::uint64_t Before = Pages.stats().BytesInUse;
+  EXPECT_GT(Before, 0u);
+  const std::size_t Freed = Descs.trimQuiescent();
+  EXPECT_EQ(Pages.stats().BytesInUse, Before - Freed);
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u)
+      << "all descriptors were free; everything should be trimmable";
+  EXPECT_EQ(Descs.mintedCount(), 0u);
+
+  // Minting must restart cleanly afterwards.
+  Descriptor *D = Descs.alloc();
+  ASSERT_NE(D, nullptr);
+  Descs.retire(D);
+}
+
+TEST_F(DescAllocFixture, TrimKeepsChunksWithLiveDescriptors) {
+  Descriptor *Live = Descs.alloc();
+  std::vector<Descriptor *> Rest;
+  for (int I = 0; I < 100; ++I)
+    Rest.push_back(Descs.alloc());
+  for (Descriptor *D : Rest)
+    Descs.retire(D);
+  Descs.trimQuiescent();
+  EXPECT_GT(Pages.stats().BytesInUse, 0u)
+      << "the chunk holding a live descriptor must survive";
+  // The live descriptor must still be writable.
+  Live->BlockSize = 123;
+  EXPECT_EQ(Live->BlockSize, 123u);
+  Descs.retire(Live);
+}
+
+TEST_F(DescAllocFixture, ConcurrentAllocRetireConservation) {
+  constexpr int Threads = 8, Iters = 5000;
+  std::atomic<bool> Fail{false};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      std::vector<Descriptor *> Mine;
+      for (int I = 0; I < Iters; ++I) {
+        Descriptor *D = Descs.alloc();
+        if (!D) {
+          Fail = true;
+          continue;
+        }
+        // Scribble a thread-unique value; if two threads ever own the
+        // same descriptor simultaneously this has a chance to differ.
+        D->BlockSize = static_cast<std::uint32_t>(
+            reinterpret_cast<std::uintptr_t>(&Mine));
+        Mine.push_back(D);
+        if (Mine.size() > 16 || (I & 7) == 0) {
+          Descriptor *Victim = Mine.back();
+          Mine.pop_back();
+          if (Victim->BlockSize !=
+              static_cast<std::uint32_t>(
+                  reinterpret_cast<std::uintptr_t>(&Mine)))
+            Fail = true;
+          Descs.retire(Victim);
+        }
+      }
+      for (Descriptor *D : Mine)
+        Descs.retire(D);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_FALSE(Fail.load()) << "descriptor ownership violated";
+
+  // After a drain, every descriptor is back in the freelist: allocating
+  // mintedCount descriptors must require no new minting.
+  Domain.drainAll();
+  const std::uint64_t Minted = Descs.mintedCount();
+  std::set<Descriptor *> All;
+  for (std::uint64_t I = 0; I < Minted; ++I) {
+    Descriptor *D = Descs.alloc();
+    ASSERT_TRUE(All.insert(D).second);
+  }
+  EXPECT_EQ(Descs.mintedCount(), Minted);
+}

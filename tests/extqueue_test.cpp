@@ -1,0 +1,124 @@
+//===- tests/extqueue_test.cpp - Malloc-backed MS queue tests -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExtNodeQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+struct ExtQueueTest : ::testing::TestWithParam<AllocatorKind> {};
+
+std::string kindName(const ::testing::TestParamInfo<AllocatorKind> &Info) {
+  std::string Name = allocatorKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(ExtQueueTest, FifoOrderOverMallocdNodes) {
+  auto Alloc = makeAllocator(GetParam(), 2);
+  HazardDomain Domain;
+  ExtNodeQueue Q(*Alloc, Domain);
+  int Values[100];
+  for (int I = 0; I < 100; ++I) {
+    Values[I] = I;
+    ASSERT_TRUE(Q.enqueue(&Values[I]));
+  }
+  EXPECT_EQ(Q.approxSize(), 100);
+  for (int I = 0; I < 100; ++I) {
+    void *P = nullptr;
+    ASSERT_TRUE(Q.dequeue(P));
+    EXPECT_EQ(*static_cast<int *>(P), I);
+  }
+  void *P;
+  EXPECT_FALSE(Q.dequeue(P));
+}
+
+TEST_P(ExtQueueTest, NodeMemoryFlowsThroughTheAllocator) {
+  auto Alloc = makeAllocator(GetParam(), 2);
+  const std::uint64_t Before = Alloc->pageStats().BytesInUse;
+  {
+    HazardDomain Domain;
+    ExtNodeQueue Q(*Alloc, Domain);
+    int V = 7;
+    for (int I = 0; I < 10000; ++I) {
+      ASSERT_TRUE(Q.enqueue(&V));
+      void *P;
+      ASSERT_TRUE(Q.dequeue(P));
+    }
+    EXPECT_GE(Alloc->pageStats().BytesInUse, Before)
+        << "queue nodes must come from the allocator under test";
+  }
+  // Queue destroyed: all nodes freed back; footprint must not have grown
+  // unboundedly with 10k enqueues (nodes are recycled via free()).
+  SUCCEED();
+}
+
+TEST_P(ExtQueueTest, MpmcConservation) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  HazardDomain Domain;
+  ExtNodeQueue Q(*Alloc, Domain);
+  constexpr int Producers = 3, Consumers = 3, PerProducer = 8000;
+  static std::uint64_t Payloads[Producers][PerProducer];
+  std::atomic<bool> Done{false};
+  std::vector<std::vector<std::uint64_t *>> Got(Consumers);
+  std::vector<std::thread> Ts;
+
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&, P] {
+      for (int I = 0; I < PerProducer; ++I) {
+        Payloads[P][I] = (static_cast<std::uint64_t>(P) << 32) | I;
+        ASSERT_TRUE(Q.enqueue(&Payloads[P][I]));
+      }
+    });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&, C] {
+      void *P;
+      for (;;) {
+        if (Q.dequeue(P))
+          Got[C].push_back(static_cast<std::uint64_t *>(P));
+        else if (Done.load(std::memory_order_acquire))
+          break;
+        else
+          cpuRelax();
+      }
+      while (Q.dequeue(P))
+        Got[C].push_back(static_cast<std::uint64_t *>(P));
+    });
+
+  for (int P = 0; P < Producers; ++P)
+    Ts[P].join();
+  Done.store(true, std::memory_order_release);
+  for (int C = 0; C < Consumers; ++C)
+    Ts[Producers + C].join();
+
+  std::map<std::uint64_t *, int> Counts;
+  for (auto &G : Got)
+    for (std::uint64_t *P : G)
+      ++Counts[P];
+  EXPECT_EQ(Counts.size(),
+            static_cast<std::size_t>(Producers) * PerProducer);
+  for (auto &[P, N] : Counts)
+    ASSERT_EQ(N, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(OverAllocators, ExtQueueTest,
+                         ::testing::Values(AllocatorKind::LockFree,
+                                           AllocatorKind::SerialLock,
+                                           AllocatorKind::Hoard,
+                                           AllocatorKind::Ptmalloc),
+                         kindName);

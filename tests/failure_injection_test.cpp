@@ -1,0 +1,139 @@
+//===- tests/failure_injection_test.cpp - OOM failure paths ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Out-of-memory behaviour: when the OS refuses mappings, allocate() must
+// return nullptr (never crash, never corrupt), and the allocator must
+// recover completely once memory is available again.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "os/PageAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace lfm;
+
+TEST(FailureInjection, PageAllocatorFailsOnCue) {
+  PageAllocator Pages;
+  Pages.injectMapFailuresAfter(2);
+  void *A = Pages.map(OsPageSize);
+  void *B = Pages.map(OsPageSize);
+  EXPECT_NE(A, nullptr);
+  EXPECT_NE(B, nullptr);
+  EXPECT_EQ(Pages.map(OsPageSize), nullptr) << "third map must fail";
+  EXPECT_EQ(Pages.map(OsPageSize), nullptr) << "and stay failing";
+  Pages.injectMapFailuresAfter(-1); // Re-arm.
+  void *C = Pages.map(OsPageSize);
+  EXPECT_NE(C, nullptr);
+  Pages.unmap(A, OsPageSize);
+  Pages.unmap(B, OsPageSize);
+  Pages.unmap(C, OsPageSize);
+}
+
+TEST(FailureInjection, LargeMallocFailsGracefully) {
+  LFAllocator Alloc;
+  Alloc.debugInjectMapFailuresAfter(0);
+  EXPECT_EQ(Alloc.allocate(1 << 20), nullptr);
+  Alloc.debugInjectMapFailuresAfter(-1);
+  void *P = Alloc.allocate(1 << 20);
+  EXPECT_NE(P, nullptr) << "allocator must recover after OOM clears";
+  Alloc.deallocate(P);
+}
+
+TEST(FailureInjection, SmallMallocFailsGracefullyAtEveryStage) {
+  // Fail at successively later points of the first small allocation
+  // (control structures exist; descriptor batch, then superblock memory
+  // are the next mappings). Every stage must surface null, not crash.
+  for (int FailAt = 0; FailAt < 4; ++FailAt) {
+    AllocatorOptions Opts;
+    Opts.NumHeaps = 1;
+    Opts.HyperblockSize = 0;
+    LFAllocator Alloc(Opts);
+    Alloc.debugInjectMapFailuresAfter(FailAt);
+    void *P = Alloc.allocate(64);
+    if (P) {
+      // Injection budget covered all required mappings; fine.
+      std::memset(P, 1, 64);
+      Alloc.deallocate(P);
+    }
+    Alloc.debugInjectMapFailuresAfter(-1);
+    // Recovery: allocation must succeed now.
+    void *Q = Alloc.allocate(64);
+    ASSERT_NE(Q, nullptr) << "failed to recover after OOM at stage "
+                          << FailAt;
+    std::memset(Q, 2, 64);
+    Alloc.deallocate(Q);
+  }
+}
+
+TEST(FailureInjection, CallocAndReallocPropagateOom) {
+  LFAllocator Alloc;
+  void *P = Alloc.allocate(100);
+  ASSERT_NE(P, nullptr);
+  Alloc.debugInjectMapFailuresAfter(0);
+  EXPECT_EQ(Alloc.allocateZeroed(1 << 20, 1), nullptr);
+  EXPECT_EQ(Alloc.reallocate(P, 1 << 20), nullptr)
+      << "failed realloc must return null";
+  Alloc.debugInjectMapFailuresAfter(-1);
+  // P must still be intact and freeable after the failed realloc.
+  Alloc.deallocate(P);
+}
+
+TEST(FailureInjection, BooksStayBalancedAcrossOomWaves) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 2;
+  Opts.SuperblockSize = 4096;
+  Opts.HyperblockSize = 0;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+
+  std::vector<void *> Live;
+  for (int Wave = 0; Wave < 8; ++Wave) {
+    // Alternate between constrained and unconstrained memory.
+    Alloc.debugInjectMapFailuresAfter(Wave % 2 ? 1 : -1);
+    for (int I = 0; I < 2000; ++I) {
+      void *P = Alloc.allocate(static_cast<std::size_t>(I % 400));
+      if (P) {
+        std::memset(P, 0x5d, static_cast<std::size_t>(I % 400));
+        Live.push_back(P);
+      }
+    }
+    Alloc.debugInjectMapFailuresAfter(-1);
+    for (void *P : Live)
+      Alloc.deallocate(P);
+    Live.clear();
+  }
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.Frees, St.Mallocs - (St.Mallocs - St.Frees));
+  EXPECT_GT(St.Mallocs, 0u);
+}
+
+TEST(DescriptorTrim, ReturnsFullyFreeDescriptorChunks) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.SuperblockSize = 4096;
+  Opts.HyperblockSize = 0;
+  LFAllocator Alloc(Opts);
+
+  // Burn through many superblocks (each needs a descriptor), then free
+  // everything so the descriptors all retire.
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 64 * 40; ++I) // ~40 superblocks of 64-byte blocks.
+    Blocks.push_back(Alloc.allocate(56));
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+
+  const std::uint64_t Before = Alloc.pageStats().BytesInUse;
+  const std::size_t Freed = Alloc.trimQuiescent();
+  EXPECT_EQ(Alloc.pageStats().BytesInUse, Before - Freed);
+
+  // The allocator must still work after trimming.
+  void *P = Alloc.allocate(56);
+  ASSERT_NE(P, nullptr);
+  Alloc.deallocate(P);
+}

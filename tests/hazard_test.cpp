@@ -1,0 +1,166 @@
+//===- tests/hazard_test.cpp - Hazard-pointer domain tests ----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/HazardPointers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+struct Victim : HazardErasable {
+  std::atomic<int> *ReclaimCounter = nullptr;
+};
+
+void countReclaim(HazardErasable *Obj, void *) {
+  static_cast<Victim *>(Obj)->ReclaimCounter->fetch_add(1);
+}
+
+} // namespace
+
+TEST(HazardDomain, ProtectReturnsValidatedPointer) {
+  HazardDomain Domain;
+  Victim V;
+  std::atomic<Victim *> Src{&V};
+  EXPECT_EQ(Domain.protect(0, Src), &V);
+  Domain.clear(0);
+
+  Src.store(nullptr);
+  EXPECT_EQ(Domain.protect(0, Src), nullptr);
+}
+
+TEST(HazardDomain, ProtectFollowsSourceChanges) {
+  HazardDomain Domain;
+  Victim A, B;
+  std::atomic<Victim *> Src{&A};
+  // Single-threaded, protect just returns the current value; the loop in
+  // protect() is exercised concurrently below.
+  EXPECT_EQ(Domain.protect(1, Src), &A);
+  Src.store(&B);
+  EXPECT_EQ(Domain.protect(1, Src), &B);
+  Domain.clear(1);
+}
+
+TEST(HazardDomain, RetireWithoutHazardReclaimsOnScan) {
+  HazardDomain Domain;
+  std::atomic<int> Reclaimed{0};
+  // Retire more than ScanThreshold victims; the threshold scan must
+  // reclaim them (none are protected).
+  std::vector<Victim> Victims(HazardDomain::ScanThreshold + 8);
+  for (auto &V : Victims) {
+    V.ReclaimCounter = &Reclaimed;
+    Domain.retire(&V, countReclaim, nullptr);
+  }
+  EXPECT_GT(Reclaimed.load(), 0) << "threshold scan should have fired";
+  Domain.drainAll();
+  EXPECT_EQ(Reclaimed.load(), static_cast<int>(Victims.size()));
+}
+
+TEST(HazardDomain, HazardDefersReclamation) {
+  HazardDomain Domain;
+  std::atomic<int> Reclaimed{0};
+  Victim Protected;
+  Protected.ReclaimCounter = &Reclaimed;
+  std::atomic<Victim *> Src{&Protected};
+
+  std::thread Holder([&] {
+    EXPECT_EQ(Domain.protect(0, Src), &Protected);
+    // Hold the hazard while the main thread retires and drains.
+    while (Src.load() != nullptr)
+      cpuRelax();
+    Domain.clear(0);
+  });
+
+  while (!Holder.joinable())
+    cpuRelax();
+  // Give the holder time to publish.
+  while (Domain.recordWatermark() < 1)
+    cpuRelax();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  Domain.retire(&Protected, countReclaim, nullptr);
+  Domain.drainAll();
+  EXPECT_EQ(Reclaimed.load(), 0)
+      << "object reclaimed while a hazard points at it";
+
+  Src.store(nullptr); // Release the holder, which clears its hazard.
+  Holder.join();
+  Domain.drainAll();
+  EXPECT_EQ(Reclaimed.load(), 1);
+}
+
+TEST(HazardDomain, RetiredCountTracksBacklog) {
+  HazardDomain Domain;
+  std::atomic<int> Reclaimed{0};
+  Victim V;
+  V.ReclaimCounter = &Reclaimed;
+  Domain.retire(&V, countReclaim, nullptr);
+  EXPECT_EQ(Domain.retiredCount(), 1u);
+  Domain.drainAll();
+  EXPECT_EQ(Domain.retiredCount(), 0u);
+  EXPECT_EQ(Reclaimed.load(), 1);
+}
+
+TEST(HazardDomain, RecordsAreReusedAcrossThreads) {
+  HazardDomain Domain;
+  // Sequential threads must reuse released records rather than growing
+  // the watermark without bound.
+  for (int I = 0; I < 64; ++I) {
+    std::thread([&] {
+      Victim V;
+      std::atomic<Victim *> Src{&V};
+      Domain.protect(0, Src);
+      Domain.clearAll();
+    }).join();
+  }
+  EXPECT_LE(Domain.recordWatermark(), 4u)
+      << "sequential threads must adopt released records";
+}
+
+TEST(HazardDomain, ManyThreadsRetireConcurrently) {
+  HazardDomain Domain;
+  std::atomic<int> Reclaimed{0};
+  constexpr int Threads = 8, PerThread = 400;
+  std::vector<std::vector<Victim>> Victims(Threads);
+  for (auto &Vs : Victims) {
+    Vs.resize(PerThread);
+    for (auto &V : Vs)
+      V.ReclaimCounter = &Reclaimed;
+  }
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (auto &V : Victims[T])
+        Domain.retire(&V, countReclaim, nullptr);
+    });
+  for (auto &T : Ts)
+    T.join();
+  Domain.drainAll();
+  EXPECT_EQ(Reclaimed.load(), Threads * PerThread);
+}
+
+TEST(HazardDomain, GlobalDomainIsASingleton) {
+  EXPECT_EQ(&HazardDomain::global(), &HazardDomain::global());
+}
+
+TEST(HazardDomain, PublishPinsWithoutValidation) {
+  HazardDomain Domain;
+  std::atomic<int> Reclaimed{0};
+  Victim V;
+  V.ReclaimCounter = &Reclaimed;
+  Domain.publish(3, &V);
+  Domain.retire(&V, countReclaim, nullptr);
+  Domain.drainAll();
+  EXPECT_EQ(Reclaimed.load(), 0) << "published hazard must pin the object";
+  Domain.clear(3);
+  Domain.drainAll();
+  EXPECT_EQ(Reclaimed.load(), 1);
+}

@@ -1,0 +1,118 @@
+//===- tests/introspection_test.cpp - dumpState report tests --------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+/// Captures a dumpState() report into a string via a temp stream.
+std::string captureDump(const LFAllocator &Alloc) {
+  char *Buffer = nullptr;
+  std::size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Buffer, &Size);
+  EXPECT_NE(Stream, nullptr);
+  Alloc.dumpState(Stream);
+  std::fclose(Stream);
+  std::string Out(Buffer, Size);
+  ::free(Buffer);
+  return Out;
+}
+
+} // namespace
+
+TEST(Introspection, FreshAllocatorReportsConfiguration) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 4;
+  Opts.SuperblockSize = 8192;
+  LFAllocator Alloc(Opts);
+  const std::string Dump = captureDump(Alloc);
+  EXPECT_NE(Dump.find("4 heaps"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("sb=8192"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("FIFO"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("space:"), std::string::npos) << Dump;
+  EXPECT_EQ(Dump.find("  class "), std::string::npos)
+      << "no superblocks should exist yet: " << Dump;
+}
+
+TEST(Introspection, LiveSuperblocksAppearWithStates) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.SuperblockSize = 4096;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+
+  void *A = Alloc.allocate(56);  // Creates an ACTIVE superblock.
+  const std::string Dump = captureDump(Alloc);
+  EXPECT_NE(Dump.find("active"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("ACTIVE"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("ops: mallocs=1"), std::string::npos) << Dump;
+  Alloc.deallocate(A);
+}
+
+TEST(Introspection, PartialSlotOccupancyIsVisible) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.SuperblockSize = 4096;
+  LFAllocator Alloc(Opts);
+
+  // Fill one superblock completely, start a second, then free one block
+  // of the first: it becomes PARTIAL and lands in the heap slot.
+  std::vector<void *> First(64), Second(4);
+  for (auto &P : First)
+    P = Alloc.allocate(56);
+  for (auto &P : Second)
+    P = Alloc.allocate(56);
+  Alloc.deallocate(First[0]);
+
+  const std::string Dump = captureDump(Alloc);
+  EXPECT_NE(Dump.find("partial"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("PARTIAL"), std::string::npos) << Dump;
+
+  for (std::size_t I = 1; I < First.size(); ++I)
+    Alloc.deallocate(First[I]);
+  for (void *P : Second)
+    Alloc.deallocate(P);
+}
+
+TEST(Introspection, DumpIsSafeDuringConcurrentTraffic) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 2;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+  std::atomic<bool> Stop{false};
+  std::thread Churner([&] {
+    void *Slots[32] = {};
+    unsigned I = 0;
+    while (!Stop.load(std::memory_order_acquire)) {
+      const unsigned S = I++ % 32;
+      if (Slots[S]) {
+        Alloc.deallocate(Slots[S]);
+        Slots[S] = nullptr;
+      } else {
+        Slots[S] = Alloc.allocate(I % 400);
+      }
+    }
+    for (void *&P : Slots)
+      if (P)
+        Alloc.deallocate(P);
+  });
+  for (int I = 0; I < 50; ++I) {
+    const std::string Dump = captureDump(Alloc);
+    EXPECT_FALSE(Dump.empty());
+  }
+  Stop.store(true, std::memory_order_release);
+  Churner.join();
+}

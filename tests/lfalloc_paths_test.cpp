@@ -1,0 +1,203 @@
+//===- tests/lfalloc_paths_test.cpp - Algorithm path coverage -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Drives the allocator through every route of the paper's Fig. 4/6 state
+// machine — MallocFromActive / MallocFromPartial / MallocFromNewSB, the
+// FULL->PARTIAL and ->EMPTY transitions — and checks the route taken via
+// the operation counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+/// Small superblocks (4 KB) make superblock-level transitions cheap to
+/// reach: a 64-byte class yields 64 blocks per superblock.
+AllocatorOptions tinyOptions() {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.SuperblockSize = 4096;
+  Opts.HyperblockSize = 0; // Direct mode: EMPTY superblocks unmap at once.
+  Opts.EnableStats = true;
+  return Opts;
+}
+
+} // namespace
+
+TEST(LFAllocPaths, FirstMallocMintsASuperblock) {
+  LFAllocator Alloc(tinyOptions());
+  void *P = Alloc.allocate(56);
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.FromNewSb, 1u);
+  EXPECT_EQ(St.FromActive, 0u);
+  Alloc.deallocate(P);
+}
+
+TEST(LFAllocPaths, SubsequentMallocsRideTheActiveSuperblock) {
+  LFAllocator Alloc(tinyOptions());
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 32; ++I)
+    Blocks.push_back(Alloc.allocate(56));
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.FromNewSb, 1u);
+  EXPECT_EQ(St.FromActive, 31u) << "fast path must serve the rest";
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+}
+
+TEST(LFAllocPaths, FillingASuperblockMovesToTheNext) {
+  LFAllocator Alloc(tinyOptions());
+  // 64-byte blocks (56-byte payload): 4096/64 = 64 per superblock. Fill
+  // three superblocks' worth.
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 192; ++I)
+    Blocks.push_back(Alloc.allocate(56));
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.FromNewSb, 3u);
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+}
+
+TEST(LFAllocPaths, LastFreeEmptiesTheSuperblock) {
+  LFAllocator Alloc(tinyOptions());
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 64; ++I) // Exactly one full superblock.
+    Blocks.push_back(Alloc.allocate(56));
+  EXPECT_EQ(Alloc.opStats().SbFreed, 0u);
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+  // All blocks freed; the (now inactive, FULL->PARTIAL->EMPTY) superblock
+  // must have been freed once the last block came back.
+  EXPECT_EQ(Alloc.opStats().SbFreed, 1u);
+}
+
+TEST(LFAllocPaths, FreeIntoFullSuperblockRepublishesIt) {
+  LFAllocator Alloc(tinyOptions());
+  // Fill superblock #1 completely (64 blocks), then one block of #2 so the
+  // active superblock moves on.
+  std::vector<void *> First(64), Second(8);
+  for (auto &P : First)
+    P = Alloc.allocate(56);
+  for (auto &P : Second)
+    P = Alloc.allocate(56);
+
+  // Free one block of the FULL superblock #1: it must become PARTIAL and
+  // reachable again (Fig. 6 lines 22-23 -> HeapPutPartial).
+  Alloc.deallocate(First[0]);
+
+  // Exhaust the active superblock (#2) and keep allocating: the allocator
+  // must find the partial superblock #1 again rather than minting only
+  // fresh ones.
+  std::vector<void *> Rest;
+  for (int I = 0; I < 64; ++I)
+    Rest.push_back(Alloc.allocate(56));
+  const OpStats St = Alloc.opStats();
+  EXPECT_GT(St.FromPartial, 0u)
+      << "the republished superblock was never reused";
+
+  for (std::size_t I = 1; I < First.size(); ++I)
+    Alloc.deallocate(First[I]);
+  for (void *P : Second)
+    Alloc.deallocate(P);
+  for (void *P : Rest)
+    Alloc.deallocate(P);
+}
+
+TEST(LFAllocPaths, EmptySuperblockReturnsMemoryInDirectMode) {
+  LFAllocator Alloc(tinyOptions());
+  // Warm up so descriptor chunks and the first superblock are minted
+  // before the baseline snapshot.
+  Alloc.deallocate(Alloc.allocate(56));
+  const std::uint64_t Baseline = Alloc.pageStats().BytesInUse;
+
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 64 * 4; ++I)
+    Blocks.push_back(Alloc.allocate(56));
+  EXPECT_GT(Alloc.pageStats().BytesInUse, Baseline);
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+  // Direct mode: EMPTY superblocks go straight back to the OS. Everything
+  // except superblocks pinned by Active-word credit reservations (at most
+  // a couple) must be gone.
+  EXPECT_LE(Alloc.pageStats().BytesInUse, Baseline + 2 * 4096)
+      << "EMPTY superblocks were not returned";
+  EXPECT_GT(Alloc.opStats().SbFreed, 0u);
+}
+
+TEST(LFAllocPaths, CreditsLimitOneStillCorrect) {
+  // With CreditsLimit = 1 every allocation exhausts the Active word and
+  // exercises the refill path constantly — a correctness stress for
+  // UpdateActive.
+  AllocatorOptions Opts = tinyOptions();
+  Opts.CreditsLimit = 1;
+  LFAllocator Alloc(Opts);
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 500; ++I) {
+    void *P = Alloc.allocate(56);
+    ASSERT_NE(P, nullptr);
+    std::memset(P, I & 0xff, 56);
+    Blocks.push_back(P);
+  }
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+  EXPECT_EQ(Alloc.opStats().Mallocs, Alloc.opStats().Frees);
+}
+
+TEST(LFAllocPaths, UniprocessorModeUsesOneHeap) {
+  AllocatorOptions Opts = tinyOptions();
+  Opts.NumHeaps = 1;
+  LFAllocator Alloc(Opts);
+  EXPECT_EQ(Alloc.numHeaps(), 1u);
+  void *P = Alloc.allocate(8);
+  ASSERT_NE(P, nullptr);
+  Alloc.deallocate(P);
+}
+
+TEST(LFAllocPaths, StatsDisabledMeansZeros) {
+  AllocatorOptions Opts = tinyOptions();
+  Opts.EnableStats = false;
+  LFAllocator Alloc(Opts);
+  Alloc.deallocate(Alloc.allocate(100));
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.Mallocs, 0u);
+  EXPECT_EQ(St.Frees, 0u);
+}
+
+TEST(LFAllocPaths, DistinctSizeClassesUseDistinctSuperblocks) {
+  LFAllocator Alloc(tinyOptions());
+  void *Small = Alloc.allocate(8);
+  void *Mid = Alloc.allocate(100);
+  void *Big = Alloc.allocate(1000);
+  EXPECT_EQ(Alloc.opStats().FromNewSb, 3u)
+      << "each size class needs its own superblock";
+  Alloc.deallocate(Small);
+  Alloc.deallocate(Mid);
+  Alloc.deallocate(Big);
+}
+
+TEST(LFAllocPaths, LifoPartialPolicyWorksEndToEnd) {
+  AllocatorOptions Opts = tinyOptions();
+  Opts.PartialPolicy = PartialListPolicy::Lifo;
+  LFAllocator Alloc(Opts);
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 1000; ++I)
+    Blocks.push_back(Alloc.allocate(56));
+  for (std::size_t I = 0; I < Blocks.size(); I += 2)
+    Alloc.deallocate(Blocks[I]); // Punch holes -> many PARTIAL superblocks.
+  for (int I = 0; I < 500; ++I)
+    Blocks.push_back(Alloc.allocate(56));
+  for (std::size_t I = 1; I < 1000; I += 2)
+    Alloc.deallocate(Blocks[I]);
+  for (std::size_t I = 1000; I < Blocks.size(); ++I)
+    Alloc.deallocate(Blocks[I]);
+  EXPECT_EQ(Alloc.opStats().Mallocs, Alloc.opStats().Frees);
+}

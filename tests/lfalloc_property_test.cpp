@@ -1,0 +1,147 @@
+//===- tests/lfalloc_property_test.cpp - Configuration sweeps -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Property-style sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P) over the
+// allocator's configuration space: heap counts x superblock sizes x
+// partial-list policies x credit limits. The invariants checked for every
+// configuration:
+//   P1  every allocation is writable over its full usable size,
+//   P2  live blocks never alias,
+//   P3  mallocs == frees implies the op books balance,
+//   P4  teardown returns every mapped byte (asserted inside munmap).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+using ConfigTuple =
+    std::tuple<unsigned /*Heaps*/, std::size_t /*SbSize*/,
+               PartialListPolicy, unsigned /*CreditsLimit*/,
+               std::size_t /*HyperSize*/, unsigned /*PartialSlots*/>;
+
+class LFAllocConfigSweep : public ::testing::TestWithParam<ConfigTuple> {
+protected:
+  AllocatorOptions options() const {
+    const auto [Heaps, SbSize, Policy, Credits, Hyper, Slots] = GetParam();
+    AllocatorOptions Opts;
+    Opts.NumHeaps = Heaps;
+    Opts.SuperblockSize = SbSize;
+    Opts.PartialPolicy = Policy;
+    Opts.CreditsLimit = Credits;
+    Opts.HyperblockSize = Hyper;
+    Opts.PartialSlotsPerHeap = Slots;
+    Opts.EnableStats = true;
+    return Opts;
+  }
+};
+
+std::string configName(const ::testing::TestParamInfo<ConfigTuple> &Info) {
+  const auto [Heaps, SbSize, Policy, Credits, Hyper, Slots] = Info.param;
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "h%u_sb%zu_%s_c%u_%s_p%u", Heaps, SbSize,
+                Policy == PartialListPolicy::Fifo ? "fifo" : "lifo",
+                Credits, Hyper ? "hyper" : "direct", Slots);
+  return Buf;
+}
+
+} // namespace
+
+TEST_P(LFAllocConfigSweep, SequentialChurnKeepsInvariants) {
+  LFAllocator Alloc(options());
+  XorShift128 Rng(42);
+  std::map<unsigned char *, std::pair<std::size_t, unsigned char>> Live;
+
+  for (int I = 0; I < 8000; ++I) {
+    if (!Live.empty() && Rng.nextBounded(2) == 0) {
+      auto It = Live.begin();
+      std::advance(It, Rng.nextBounded(Live.size() > 8 ? 8 : Live.size()));
+      auto [P, Meta] = *It;
+      for (std::size_t K = 0; K < Meta.first; K += 11)
+        ASSERT_EQ(P[K], Meta.second) << "P1/P2 violated";
+      Alloc.deallocate(P);
+      Live.erase(It);
+    } else {
+      const std::size_t N = Rng.nextBounded(1200);
+      auto *P = static_cast<unsigned char *>(Alloc.allocate(N));
+      ASSERT_NE(P, nullptr);
+      ASSERT_GE(Alloc.usableSize(P), N);
+      const auto V = static_cast<unsigned char>(Rng.next() | 1);
+      std::memset(P, V, N);
+      ASSERT_TRUE(Live.emplace(P, std::make_pair(N, V)).second)
+          << "P2: allocator returned a live pointer again";
+    }
+  }
+  for (auto &[P, Meta] : Live)
+    Alloc.deallocate(P);
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.Mallocs, St.Frees) << "P3 violated";
+}
+
+TEST_P(LFAllocConfigSweep, ParallelChurnKeepsInvariants) {
+  LFAllocator Alloc(options());
+  constexpr int Threads = 4, Iters = 8000, Slots = 24;
+  std::atomic<int> Violations{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      XorShift128 Rng(T * 31 + 5);
+      struct Rec {
+        unsigned char *P = nullptr;
+        std::size_t N = 0;
+        unsigned char V = 0;
+      } Slot[Slots];
+      for (int I = 0; I < Iters; ++I) {
+        Rec &R = Slot[Rng.nextBounded(Slots)];
+        if (R.P) {
+          for (std::size_t K = 0; K < R.N; K += 9)
+            if (R.P[K] != R.V)
+              Violations.fetch_add(1);
+          Alloc.deallocate(R.P);
+          R.P = nullptr;
+        } else {
+          R.N = Rng.nextBounded(600);
+          R.V = static_cast<unsigned char>(Rng.next() | 1);
+          R.P = static_cast<unsigned char *>(Alloc.allocate(R.N));
+          if (R.P)
+            std::memset(R.P, R.V, R.N);
+          else
+            Violations.fetch_add(1);
+        }
+      }
+      for (Rec &R : Slot)
+        if (R.P)
+          Alloc.deallocate(R.P);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0);
+  EXPECT_EQ(Alloc.opStats().Mallocs, Alloc.opStats().Frees);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigMatrix, LFAllocConfigSweep,
+    ::testing::Combine(
+        ::testing::Values(1u, 3u, 8u),                     // Heaps.
+        ::testing::Values(std::size_t{4096},
+                          std::size_t{16384}),             // Superblock.
+        ::testing::Values(PartialListPolicy::Fifo,
+                          PartialListPolicy::Lifo),        // Policy.
+        ::testing::Values(1u, 64u),                        // CreditsLimit.
+        ::testing::Values(std::size_t{0},
+                          std::size_t{262144}),            // Hyperblock.
+        ::testing::Values(1u, 4u)),                        // Partial slots.
+    configName);

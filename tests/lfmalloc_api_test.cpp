@@ -1,0 +1,101 @@
+//===- tests/lfmalloc_api_test.cpp - Global facade tests ------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFMalloc.h"
+
+#include "lfmalloc/LFAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+TEST(LFMallocApi, DefaultAllocatorIsSingleton) {
+  EXPECT_EQ(&defaultAllocator(), &defaultAllocator());
+  LFAllocator *FromThread = nullptr;
+  std::thread([&] { FromThread = &defaultAllocator(); }).join();
+  EXPECT_EQ(FromThread, &defaultAllocator());
+}
+
+TEST(LFMallocApi, MallocFreeRoundTrip) {
+  void *P = lfMalloc(100);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xaa, 100);
+  EXPECT_GE(lfUsableSize(P), 100u);
+  lfFree(P);
+  lfFree(nullptr); // Must be a no-op.
+}
+
+TEST(LFMallocApi, CallocZeroes) {
+  auto *P = static_cast<unsigned char *>(lfCalloc(32, 32));
+  ASSERT_NE(P, nullptr);
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_EQ(P[I], 0u);
+  lfFree(P);
+  EXPECT_EQ(lfCalloc(~std::size_t{0}, 2), nullptr);
+}
+
+TEST(LFMallocApi, ReallocSemantics) {
+  auto *P = static_cast<char *>(lfMalloc(16));
+  std::strcpy(P, "fifteen chars..");
+  P = static_cast<char *>(lfRealloc(P, 4096));
+  ASSERT_NE(P, nullptr);
+  EXPECT_STREQ(P, "fifteen chars..");
+  EXPECT_EQ(lfRealloc(P, 0), nullptr); // Free-and-null.
+  EXPECT_NE(P = static_cast<char *>(lfRealloc(nullptr, 8)), nullptr);
+  lfFree(P);
+}
+
+TEST(LFMallocApi, AlignedAlloc) {
+  void *P = lfAlignedAlloc(4096, 100);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % 4096, 0u);
+  std::memset(P, 1, 100);
+  lfFree(P);
+}
+
+TEST(LFMallocApi, CLinkageShim) {
+  void *P = lf_malloc(64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_GE(lf_malloc_usable_size(P), 64u);
+  P = lf_realloc(P, 256);
+  ASSERT_NE(P, nullptr);
+  lf_free(P);
+
+  auto *Z = static_cast<unsigned char *>(lf_calloc(16, 16));
+  ASSERT_NE(Z, nullptr);
+  for (int I = 0; I < 256; ++I)
+    ASSERT_EQ(Z[I], 0u);
+  lf_free(Z);
+
+  void *A = lf_aligned_alloc(512, 100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(A) % 512, 0u);
+  lf_free(A);
+  lf_free(nullptr);
+}
+
+TEST(LFMallocApi, UsableFromManyThreads) {
+  constexpr int Threads = 8, Iters = 20000;
+  std::vector<std::thread> Ts;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Iters; ++I) {
+        void *P = lfMalloc(static_cast<std::size_t>(I % 128));
+        if (!P) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        lfFree(P);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}

@@ -1,0 +1,145 @@
+//===- tests/lockfree_stack_test.cpp - Dynamic LIFO stack tests -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/LockFreeStack.h"
+
+#include "baselines/AllocatorInterface.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+TEST(LockFreeStack, LifoSemantics) {
+  HazardDomain Domain;
+  LockFreeStack<int> Stack(Domain);
+  int V = -1;
+  EXPECT_TRUE(Stack.empty());
+  EXPECT_FALSE(Stack.pop(V));
+  for (int I = 0; I < 100; ++I)
+    ASSERT_TRUE(Stack.push(I));
+  EXPECT_EQ(Stack.approxSize(), 100);
+  for (int I = 99; I >= 0; --I) {
+    ASSERT_TRUE(Stack.pop(V));
+    EXPECT_EQ(V, I);
+  }
+  EXPECT_FALSE(Stack.pop(V));
+}
+
+TEST(LockFreeStack, NodeRecyclingAcrossGenerations) {
+  HazardDomain Domain;
+  LockFreeStack<std::uint64_t> Stack(Domain);
+  for (std::uint64_t I = 0; I < 100'000; ++I) {
+    ASSERT_TRUE(Stack.push(I));
+    std::uint64_t V = ~0ull;
+    ASSERT_TRUE(Stack.pop(V));
+    ASSERT_EQ(V, I);
+  }
+}
+
+TEST(LockFreeStack, MpmcConservation) {
+  HazardDomain Domain;
+  LockFreeStack<std::uint64_t> Stack(Domain);
+  constexpr int Producers = 4, Consumers = 4, PerProducer = 20000;
+  std::atomic<bool> Done{false};
+  std::vector<std::vector<std::uint64_t>> Got(Consumers);
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&, P] {
+      for (int I = 0; I < PerProducer; ++I)
+        ASSERT_TRUE(
+            Stack.push((static_cast<std::uint64_t>(P) << 32) | I));
+    });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&, C] {
+      std::uint64_t V;
+      for (;;) {
+        if (Stack.pop(V))
+          Got[C].push_back(V);
+        else if (Done.load(std::memory_order_acquire))
+          break;
+        else
+          cpuRelax();
+      }
+      while (Stack.pop(V))
+        Got[C].push_back(V);
+    });
+  for (int P = 0; P < Producers; ++P)
+    Ts[P].join();
+  Done.store(true, std::memory_order_release);
+  for (int C = 0; C < Consumers; ++C)
+    Ts[Producers + C].join();
+
+  std::map<std::uint64_t, int> Counts;
+  for (auto &G : Got)
+    for (std::uint64_t V : G)
+      ++Counts[V];
+  EXPECT_EQ(Counts.size(),
+            static_cast<std::size_t>(Producers) * PerProducer);
+  for (auto &[V, N] : Counts)
+    ASSERT_EQ(N, 1) << V;
+}
+
+TEST(LockFreeStack, MallocBackedNodesFlowThroughTheAllocator) {
+  // §5 composition: node storage is the lock-free allocator itself.
+  auto Alloc = makeAllocator(AllocatorKind::LockFree, 2);
+  const std::uint64_t Before = Alloc->pageStats().BytesInUse;
+  {
+    HazardDomain Domain;
+    struct Shim {
+      static void *alloc(void *Ctx, std::size_t N) {
+        return static_cast<MallocInterface *>(Ctx)->malloc(N);
+      }
+      static void free(void *Ctx, void *P) {
+        static_cast<MallocInterface *>(Ctx)->free(P);
+      }
+    };
+    LockFreeStack<int> Stack(
+        Domain, NodeMemory{Shim::alloc, Shim::free, Alloc.get()});
+    for (int Round = 0; Round < 1000; ++Round) {
+      for (int I = 0; I < 20; ++I)
+        ASSERT_TRUE(Stack.push(I));
+      int V;
+      for (int I = 0; I < 20; ++I)
+        ASSERT_TRUE(Stack.pop(V));
+    }
+    EXPECT_GE(Alloc->pageStats().BytesInUse, Before);
+  }
+  SUCCEED();
+}
+
+TEST(LockFreeStack, PopUnderContentionNeverDuplicates) {
+  // All threads pop from a pre-filled stack; every element seen once.
+  HazardDomain Domain;
+  LockFreeStack<std::uint32_t> Stack(Domain);
+  constexpr unsigned N = 50'000, Threads = 6;
+  for (std::uint32_t I = 0; I < N; ++I)
+    Stack.push(I);
+  std::vector<std::vector<std::uint32_t>> Got(Threads);
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      std::uint32_t V;
+      while (Stack.pop(V))
+        Got[T].push_back(V);
+    });
+  for (auto &T : Ts)
+    T.join();
+  std::vector<bool> Seen(N, false);
+  std::size_t Total = 0;
+  for (auto &G : Got)
+    for (std::uint32_t V : G) {
+      ASSERT_LT(V, N);
+      ASSERT_FALSE(Seen[V]) << "duplicate pop of " << V;
+      Seen[V] = true;
+      ++Total;
+    }
+  EXPECT_EQ(Total, N);
+}

@@ -1,0 +1,177 @@
+//===- tests/lockfree_test.cpp - Tagged CAS / Treiber stack tests ---------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/Tagged.h"
+#include "lockfree/TreiberStack.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+//===----------------------------------------------------------------------===
+// TaggedAtomic
+//===----------------------------------------------------------------------===
+
+namespace {
+struct Dummy {
+  int Value;
+};
+} // namespace
+
+TEST(TaggedAtomic, LoadAfterConstruct) {
+  TaggedAtomic<Dummy> T;
+  const auto S = T.load();
+  EXPECT_EQ(S.Ptr, nullptr);
+  EXPECT_EQ(S.Tag, 0u);
+
+  Dummy D{1};
+  TaggedAtomic<Dummy> U(&D);
+  EXPECT_EQ(U.load().Ptr, &D);
+}
+
+TEST(TaggedAtomic, CasIncrementsTag) {
+  Dummy A{1}, B{2};
+  TaggedAtomic<Dummy> T(&A);
+  auto S = T.load();
+  EXPECT_TRUE(T.compareExchange(S, &B));
+  const auto After = T.load();
+  EXPECT_EQ(After.Ptr, &B);
+  EXPECT_EQ(After.Tag, 1u);
+}
+
+TEST(TaggedAtomic, CasFailsOnStaleTag) {
+  Dummy A{1}, B{2};
+  TaggedAtomic<Dummy> T(&A);
+  auto Stale = T.load();
+
+  // Another "thread" swings A -> B -> A (the ABA pattern).
+  auto S = T.load();
+  ASSERT_TRUE(T.compareExchange(S, &B));
+  S = T.load();
+  ASSERT_TRUE(T.compareExchange(S, &A));
+
+  // Pointer matches the stale snapshot but the tag has moved on: the CAS
+  // must fail — this is the IBM tag mechanism doing its job.
+  EXPECT_FALSE(T.compareExchange(Stale, &B));
+  EXPECT_EQ(Stale.Tag, 2u) << "failed CAS must refresh the snapshot";
+}
+
+TEST(TaggedAtomic, TagWrapsWithoutCorruptingPointer) {
+  Dummy A{1};
+  TaggedAtomic<Dummy> T(&A);
+  for (int I = 0; I < 70000; ++I) { // Beyond the 16-bit tag space.
+    auto S = T.load();
+    ASSERT_TRUE(T.compareExchange(S, &A));
+  }
+  EXPECT_EQ(T.load().Ptr, &A);
+}
+
+//===----------------------------------------------------------------------===
+// TreiberStack
+//===----------------------------------------------------------------------===
+
+namespace {
+struct Node {
+  Node *Next = nullptr;
+  int Value = 0;
+};
+} // namespace
+
+TEST(TreiberStack, LifoOrder) {
+  TreiberStack<Node> Stack;
+  EXPECT_TRUE(Stack.empty());
+  EXPECT_EQ(Stack.pop(), nullptr);
+
+  Node N[3];
+  for (int I = 0; I < 3; ++I) {
+    N[I].Value = I;
+    Stack.push(&N[I]);
+  }
+  EXPECT_FALSE(Stack.empty());
+  EXPECT_EQ(Stack.pop()->Value, 2);
+  EXPECT_EQ(Stack.pop()->Value, 1);
+  EXPECT_EQ(Stack.pop()->Value, 0);
+  EXPECT_EQ(Stack.pop(), nullptr);
+}
+
+TEST(TreiberStack, AlternateLinkField) {
+  struct TwoLinks {
+    TwoLinks *Next = nullptr;
+    TwoLinks *FreeNext = nullptr;
+  };
+  TreiberStack<TwoLinks, &TwoLinks::FreeNext> Stack;
+  TwoLinks A, B;
+  A.Next = &B; // Must survive untouched.
+  Stack.push(&A);
+  Stack.push(&B);
+  EXPECT_EQ(Stack.pop(), &B);
+  EXPECT_EQ(Stack.pop(), &A);
+  EXPECT_EQ(A.Next, &B) << "stack must only write its own link field";
+}
+
+TEST(TreiberStack, ConcurrentConservation) {
+  // N nodes circulate among threads that pop and re-push; at the end all
+  // nodes must be present exactly once.
+  constexpr int NumNodes = 256, Threads = 8, Iters = 20000;
+  std::vector<Node> Nodes(NumNodes);
+  TreiberStack<Node> Stack;
+  for (auto &N : Nodes)
+    Stack.push(&N);
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Iters; ++I) {
+        Node *N = Stack.pop();
+        if (N)
+          Stack.push(N);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+
+  std::set<Node *> Seen;
+  while (Node *N = Stack.pop())
+    EXPECT_TRUE(Seen.insert(N).second) << "node popped twice";
+  EXPECT_EQ(Seen.size(), static_cast<std::size_t>(NumNodes));
+}
+
+TEST(TreiberStack, ConcurrentProducersConsumers) {
+  // Producers push their own nodes; consumers pop anything. Total pops
+  // must equal total pushes once the dust settles.
+  constexpr int PerProducer = 10000, Producers = 4, Consumers = 4;
+  std::vector<std::vector<Node>> Pools(Producers);
+  for (auto &P : Pools)
+    P.resize(PerProducer);
+
+  TreiberStack<Node> Stack;
+  std::atomic<long> Popped{0};
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&, P] {
+      for (auto &N : Pools[P])
+        Stack.push(&N);
+    });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&] {
+      while (!Done.load() || !Stack.empty())
+        if (Stack.pop())
+          Popped.fetch_add(1);
+    });
+  for (int P = 0; P < Producers; ++P)
+    Ts[P].join();
+  Done.store(true);
+  for (int C = 0; C < Consumers; ++C)
+    Ts[Producers + C].join();
+
+  EXPECT_EQ(Popped.load(), static_cast<long>(Producers) * PerProducer);
+}

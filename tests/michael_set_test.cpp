@@ -1,0 +1,232 @@
+//===- tests/michael_set_test.cpp - Lock-free set/hash tests --------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/MichaelHashSet.h"
+#include "lockfree/MichaelSet.h"
+#include "support/Barrier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+//===----------------------------------------------------------------------===
+// MichaelSet: sequential semantics
+//===----------------------------------------------------------------------===
+
+TEST(MichaelSet, InsertRemoveContains) {
+  HazardDomain Domain;
+  MichaelSet<int> Set(Domain);
+  EXPECT_FALSE(Set.contains(1));
+  EXPECT_TRUE(Set.insert(1));
+  EXPECT_FALSE(Set.insert(1)) << "duplicate insert must fail";
+  EXPECT_TRUE(Set.contains(1));
+  EXPECT_EQ(Set.size(), 1);
+  EXPECT_TRUE(Set.remove(1));
+  EXPECT_FALSE(Set.remove(1)) << "double remove must fail";
+  EXPECT_FALSE(Set.contains(1));
+  EXPECT_EQ(Set.size(), 0);
+}
+
+TEST(MichaelSet, KeepsSortedOrder) {
+  HazardDomain Domain;
+  MichaelSet<int> Set(Domain);
+  for (int K : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0})
+    EXPECT_TRUE(Set.insert(K));
+  std::vector<int> Seen;
+  Set.forEachQuiescent([&](const int &K) { Seen.push_back(K); });
+  ASSERT_EQ(Seen.size(), 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Seen[I], I) << "list must stay sorted";
+}
+
+TEST(MichaelSet, RemoveFromEveryPosition) {
+  HazardDomain Domain;
+  MichaelSet<int> Set(Domain);
+  for (int K = 0; K < 10; ++K)
+    Set.insert(K);
+  EXPECT_TRUE(Set.remove(0)); // Head.
+  EXPECT_TRUE(Set.remove(9)); // Tail.
+  EXPECT_TRUE(Set.remove(5)); // Middle.
+  EXPECT_EQ(Set.size(), 7);
+  for (int K : {1, 2, 3, 4, 6, 7, 8})
+    EXPECT_TRUE(Set.contains(K));
+  for (int K : {0, 5, 9})
+    EXPECT_FALSE(Set.contains(K));
+}
+
+TEST(MichaelSet, NodeRecyclingAcrossGenerations) {
+  HazardDomain Domain;
+  MichaelSet<std::uint64_t> Set(Domain);
+  for (std::uint64_t Round = 0; Round < 50; ++Round) {
+    for (std::uint64_t K = 0; K < 200; ++K)
+      ASSERT_TRUE(Set.insert(Round * 1000 + K));
+    for (std::uint64_t K = 0; K < 200; ++K)
+      ASSERT_TRUE(Set.remove(Round * 1000 + K));
+  }
+  EXPECT_EQ(Set.size(), 0);
+}
+
+TEST(MichaelSet, RandomizedAgainstStdSet) {
+  HazardDomain Domain;
+  MichaelSet<std::uint32_t> Set(Domain);
+  std::set<std::uint32_t> Model;
+  XorShift128 Rng(99);
+  for (int I = 0; I < 20000; ++I) {
+    const auto K = static_cast<std::uint32_t>(Rng.nextBounded(500));
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      ASSERT_EQ(Set.insert(K), Model.insert(K).second) << "key " << K;
+      break;
+    case 1:
+      ASSERT_EQ(Set.remove(K), Model.erase(K) > 0) << "key " << K;
+      break;
+    default:
+      ASSERT_EQ(Set.contains(K), Model.count(K) > 0) << "key " << K;
+    }
+  }
+  EXPECT_EQ(Set.size(), static_cast<std::int64_t>(Model.size()));
+  std::vector<std::uint32_t> Seen;
+  Set.forEachQuiescent([&](const std::uint32_t &K) { Seen.push_back(K); });
+  EXPECT_TRUE(std::equal(Seen.begin(), Seen.end(), Model.begin(),
+                         Model.end()));
+}
+
+//===----------------------------------------------------------------------===
+// MichaelSet: concurrency
+//===----------------------------------------------------------------------===
+
+TEST(MichaelSet, DisjointConcurrentInsertsAllLand) {
+  // Kept modest: a single sorted list is O(n) per operation by design —
+  // the hash table below is the scalable form.
+  HazardDomain Domain;
+  MichaelSet<std::uint32_t> Set(Domain);
+  constexpr unsigned Threads = 6, PerThread = 700;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (unsigned K = 0; K < PerThread; ++K)
+        ASSERT_TRUE(Set.insert(T * PerThread + K));
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Set.size(), static_cast<std::int64_t>(Threads * PerThread));
+  for (unsigned K = 0; K < Threads * PerThread; ++K)
+    ASSERT_TRUE(Set.contains(K)) << K;
+}
+
+TEST(MichaelSet, ContendedInsertRemoveExactlyOnce) {
+  // All threads race to insert the same keys, rendezvous at a barrier,
+  // then race to remove them: each key must be inserted exactly once and
+  // removed exactly once (without the barrier the phases interleave and
+  // exactly-once does not hold).
+  HazardDomain Domain;
+  MichaelSet<std::uint32_t> Set(Domain);
+  constexpr unsigned Threads = 6, Keys = 1000;
+  SpinBarrier PhaseBarrier(Threads);
+  std::atomic<int> Inserted{0}, Removed{0};
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (unsigned K = 0; K < Keys; ++K)
+        if (Set.insert(K))
+          Inserted.fetch_add(1);
+      PhaseBarrier.arriveAndWait();
+      for (unsigned K = 0; K < Keys; ++K)
+        if (Set.remove(K))
+          Removed.fetch_add(1);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Inserted.load(), static_cast<int>(Keys));
+  EXPECT_EQ(Removed.load(), static_cast<int>(Keys));
+  EXPECT_EQ(Set.size(), 0);
+}
+
+TEST(MichaelSet, MixedChurnKeepsMembershipConsistent) {
+  HazardDomain Domain;
+  MichaelSet<std::uint32_t> Set(Domain);
+  constexpr unsigned Threads = 6, Iters = 15000;
+  std::atomic<long> Balance{0}; // inserts won - removes won.
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      XorShift128 Rng(T * 7 + 1);
+      for (unsigned I = 0; I < Iters; ++I) {
+        const auto K = static_cast<std::uint32_t>(Rng.nextBounded(300));
+        if (Rng.nextBounded(2)) {
+          if (Set.insert(K))
+            Balance.fetch_add(1);
+        } else {
+          if (Set.remove(K))
+            Balance.fetch_sub(1);
+        }
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Set.size(), Balance.load())
+      << "successful inserts minus removes must equal final cardinality";
+  long Walked = 0;
+  Set.forEachQuiescent([&](const std::uint32_t &) { ++Walked; });
+  EXPECT_EQ(Walked, Balance.load());
+}
+
+//===----------------------------------------------------------------------===
+// MichaelHashSet
+//===----------------------------------------------------------------------===
+
+TEST(MichaelHashSet, BasicSemantics) {
+  HazardDomain Domain;
+  MichaelHashSet<std::uint64_t> Set(64, Domain);
+  EXPECT_EQ(Set.numBuckets(), 64u);
+  for (std::uint64_t K = 0; K < 1000; ++K)
+    ASSERT_TRUE(Set.insert(K));
+  for (std::uint64_t K = 0; K < 1000; ++K) {
+    ASSERT_TRUE(Set.contains(K));
+    ASSERT_FALSE(Set.insert(K));
+  }
+  EXPECT_EQ(Set.size(), 1000);
+  for (std::uint64_t K = 0; K < 1000; K += 2)
+    ASSERT_TRUE(Set.remove(K));
+  EXPECT_EQ(Set.size(), 500);
+}
+
+TEST(MichaelHashSet, RoundsBucketsToPowerOfTwo) {
+  HazardDomain Domain;
+  MichaelHashSet<int> Set(100, Domain);
+  EXPECT_EQ(Set.numBuckets(), 128u);
+}
+
+TEST(MichaelHashSet, ConcurrentMixedWorkload) {
+  HazardDomain Domain;
+  MichaelHashSet<std::uint32_t> Set(256, Domain);
+  constexpr unsigned Threads = 8, Iters = 20000;
+  std::atomic<long> Balance{0};
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      XorShift128 Rng(T + 1234);
+      for (unsigned I = 0; I < Iters; ++I) {
+        const auto K = static_cast<std::uint32_t>(Rng.nextBounded(5000));
+        if (Rng.nextBounded(2)) {
+          if (Set.insert(K))
+            Balance.fetch_add(1);
+        } else {
+          if (Set.remove(K))
+            Balance.fetch_sub(1);
+        }
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Set.size(), Balance.load());
+}

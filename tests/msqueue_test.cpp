@@ -1,0 +1,169 @@
+//===- tests/msqueue_test.cpp - Michael-Scott queue tests -----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/MSQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+TEST(MSQueue, EmptyDequeueFails) {
+  MSQueue<int> Q;
+  int V = -1;
+  EXPECT_FALSE(Q.dequeue(V));
+  EXPECT_TRUE(Q.empty());
+  EXPECT_EQ(Q.approxSize(), 0);
+}
+
+TEST(MSQueue, FifoOrder) {
+  MSQueue<int> Q;
+  for (int I = 0; I < 100; ++I)
+    Q.enqueue(I);
+  EXPECT_EQ(Q.approxSize(), 100);
+  EXPECT_FALSE(Q.empty());
+  for (int I = 0; I < 100; ++I) {
+    int V = -1;
+    ASSERT_TRUE(Q.dequeue(V));
+    EXPECT_EQ(V, I) << "FIFO order violated";
+  }
+  int V;
+  EXPECT_FALSE(Q.dequeue(V));
+}
+
+TEST(MSQueue, InterleavedEnqueueDequeue) {
+  MSQueue<int> Q;
+  int Next = 0, Expect = 0;
+  for (int Round = 0; Round < 50; ++Round) {
+    for (int I = 0; I < Round % 7 + 1; ++I)
+      Q.enqueue(Next++);
+    for (int I = 0; I < Round % 5 + 1; ++I) {
+      int V;
+      if (Q.dequeue(V)) {
+        EXPECT_EQ(V, Expect++);
+      }
+    }
+  }
+  int V;
+  while (Q.dequeue(V))
+    EXPECT_EQ(V, Expect++);
+  EXPECT_EQ(Expect, Next);
+}
+
+TEST(MSQueue, NodeRecyclingSurvivesManyGenerations) {
+  // Far more enqueues than fit in one node chunk: recycling must work.
+  MSQueue<std::uint64_t> Q;
+  for (std::uint64_t I = 0; I < 100'000; ++I) {
+    Q.enqueue(I);
+    std::uint64_t V = ~0ull;
+    ASSERT_TRUE(Q.dequeue(V));
+    ASSERT_EQ(V, I);
+  }
+}
+
+TEST(MSQueue, MpmcConservation) {
+  // Every value enqueued is dequeued exactly once, across 4x4 threads.
+  constexpr int Producers = 4, Consumers = 4, PerProducer = 25000;
+  MSQueue<std::uint64_t> Q;
+  std::atomic<bool> ProducersDone{false};
+  std::vector<std::vector<std::uint64_t>> Got(Consumers);
+  std::vector<std::thread> Ts;
+
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&, P] {
+      for (int I = 0; I < PerProducer; ++I)
+        Q.enqueue((static_cast<std::uint64_t>(P) << 32) | I);
+    });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&, C] {
+      std::uint64_t V;
+      for (;;) {
+        if (Q.dequeue(V))
+          Got[C].push_back(V);
+        else if (ProducersDone.load(std::memory_order_acquire))
+          break;
+        else
+          cpuRelax();
+      }
+      // Final sweep: empty-then-done can race a straggling enqueue.
+      while (Q.dequeue(V))
+        Got[C].push_back(V);
+    });
+
+  for (int P = 0; P < Producers; ++P)
+    Ts[P].join();
+  ProducersDone.store(true, std::memory_order_release);
+  for (int C = 0; C < Consumers; ++C)
+    Ts[Producers + C].join();
+
+  std::map<std::uint64_t, int> Counts;
+  for (auto &G : Got)
+    for (std::uint64_t V : G)
+      ++Counts[V];
+  EXPECT_EQ(Counts.size(),
+            static_cast<std::size_t>(Producers) * PerProducer);
+  for (auto &[V, N] : Counts)
+    ASSERT_EQ(N, 1) << "value " << V << " dequeued " << N << " times";
+}
+
+TEST(MSQueue, PerProducerOrderPreserved) {
+  // FIFO per producer: consumer must see each producer's values in order.
+  constexpr int Producers = 3, PerProducer = 20000;
+  MSQueue<std::uint64_t> Q;
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&, P] {
+      for (int I = 0; I < PerProducer; ++I)
+        Q.enqueue((static_cast<std::uint64_t>(P) << 32) | I);
+    });
+
+  std::uint64_t LastSeen[Producers];
+  for (auto &L : LastSeen)
+    L = 0;
+  std::atomic<bool> Done{false};
+  std::thread Consumer([&] {
+    std::uint64_t V;
+    std::uint64_t Next[Producers] = {};
+    for (;;) {
+      if (Q.dequeue(V)) {
+        const int P = static_cast<int>(V >> 32);
+        const std::uint64_t Seq = V & 0xffffffff;
+        ASSERT_EQ(Seq, Next[P]) << "per-producer order violated";
+        ++Next[P];
+      } else if (Done.load()) {
+        while (Q.dequeue(V)) {
+          const int P = static_cast<int>(V >> 32);
+          ASSERT_EQ((V & 0xffffffff), Next[P]++);
+        }
+        break;
+      }
+    }
+    for (int P = 0; P < Producers; ++P)
+      EXPECT_EQ(Next[P], static_cast<std::uint64_t>(PerProducer));
+  });
+  for (auto &T : Ts)
+    T.join();
+  Done.store(true);
+  Consumer.join();
+}
+
+TEST(MSQueue, ExternalPageAllocatorIsCharged) {
+  PageAllocator Pages;
+  {
+    MSQueue<int> Q(HazardDomain::global(), &Pages);
+    Q.enqueue(1);
+    EXPECT_GT(Pages.stats().BytesInUse, 0u)
+        << "node chunks must be billed to the external provider";
+    int V;
+    Q.dequeue(V);
+  }
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u)
+      << "queue teardown must return every chunk";
+}

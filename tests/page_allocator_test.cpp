@@ -1,0 +1,138 @@
+//===- tests/page_allocator_test.cpp - OS page provider tests -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/PageAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+TEST(PageAllocator, MapReturnsZeroedUsableMemory) {
+  PageAllocator Pages;
+  auto *P = static_cast<unsigned char *>(Pages.map(OsPageSize));
+  ASSERT_NE(P, nullptr);
+  for (std::size_t I = 0; I < OsPageSize; ++I)
+    ASSERT_EQ(P[I], 0u);
+  std::memset(P, 0xff, OsPageSize); // Must be writable.
+  Pages.unmap(P, OsPageSize);
+}
+
+TEST(PageAllocator, RoundsUpToWholePages) {
+  PageAllocator Pages;
+  void *P = Pages.map(1); // One byte still costs a page.
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Pages.stats().BytesInUse, OsPageSize);
+  Pages.unmap(P, 1);
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+}
+
+TEST(PageAllocator, HonorsLargeAlignment) {
+  PageAllocator Pages;
+  for (std::size_t Align : {4096ul, 65536ul, 1048576ul}) {
+    void *P = Pages.map(OsPageSize, Align);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % Align, 0u)
+        << "alignment " << Align;
+    Pages.unmap(P, OsPageSize);
+  }
+}
+
+TEST(PageAllocator, AlignedMappingsAccountOnlyUsedBytes) {
+  PageAllocator Pages;
+  void *P = Pages.map(2 * OsPageSize, 1048576);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Pages.stats().BytesInUse, 2 * OsPageSize)
+      << "alignment slack must be trimmed, not accounted";
+  Pages.unmap(P, 2 * OsPageSize);
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+}
+
+TEST(PageAllocator, PeakTracksHighWaterMark) {
+  PageAllocator Pages;
+  void *A = Pages.map(4 * OsPageSize);
+  void *B = Pages.map(4 * OsPageSize);
+  EXPECT_EQ(Pages.stats().PeakBytes, 8 * OsPageSize);
+  Pages.unmap(A, 4 * OsPageSize);
+  EXPECT_EQ(Pages.stats().PeakBytes, 8 * OsPageSize)
+      << "peak must not decay on unmap";
+  Pages.resetPeak();
+  EXPECT_EQ(Pages.stats().PeakBytes, 4 * OsPageSize);
+  Pages.unmap(B, 4 * OsPageSize);
+}
+
+TEST(PageAllocator, CountsCalls) {
+  PageAllocator Pages;
+  void *A = Pages.map(OsPageSize);
+  void *B = Pages.map(OsPageSize);
+  Pages.unmap(A, OsPageSize);
+  const PageStats St = Pages.stats();
+  EXPECT_EQ(St.MapCalls, 2u);
+  EXPECT_EQ(St.UnmapCalls, 1u);
+  Pages.unmap(B, OsPageSize);
+}
+
+TEST(PageAllocator, InstancesMeterIndependently) {
+  PageAllocator A, B;
+  void *P = A.map(OsPageSize);
+  EXPECT_EQ(A.stats().BytesInUse, OsPageSize);
+  EXPECT_EQ(B.stats().BytesInUse, 0u);
+  A.unmap(P, OsPageSize);
+}
+
+TEST(PageAllocator, RemapGrowsAndShrinksWithHonestBooks) {
+  PageAllocator Pages;
+  auto *P = static_cast<unsigned char *>(Pages.map(2 * OsPageSize));
+  ASSERT_NE(P, nullptr);
+  P[0] = 0x42;
+  P[2 * OsPageSize - 1] = 0x43;
+
+  auto *Grown = static_cast<unsigned char *>(
+      Pages.remap(P, 2 * OsPageSize, 8 * OsPageSize));
+  ASSERT_NE(Grown, nullptr);
+  EXPECT_EQ(Pages.stats().BytesInUse, 8 * OsPageSize);
+  EXPECT_EQ(Grown[0], 0x42) << "contents must survive the move";
+  EXPECT_EQ(Grown[2 * OsPageSize - 1], 0x43);
+  Grown[8 * OsPageSize - 1] = 1; // New tail must be writable.
+
+  auto *Shrunk = static_cast<unsigned char *>(
+      Pages.remap(Grown, 8 * OsPageSize, OsPageSize));
+  ASSERT_NE(Shrunk, nullptr);
+  EXPECT_EQ(Pages.stats().BytesInUse, OsPageSize);
+  EXPECT_EQ(Shrunk[0], 0x42);
+  Pages.unmap(Shrunk, OsPageSize);
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+}
+
+TEST(PageAllocator, RemapSameSizeIsANoOp) {
+  PageAllocator Pages;
+  void *P = Pages.map(OsPageSize);
+  EXPECT_EQ(Pages.remap(P, OsPageSize, OsPageSize), P);
+  Pages.unmap(P, OsPageSize);
+}
+
+TEST(PageAllocator, ConcurrentMapUnmapKeepsBooksBalanced) {
+  PageAllocator Pages;
+  constexpr int Threads = 8, Iters = 500;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Iters; ++I) {
+        void *P = Pages.map(OsPageSize * (1 + I % 3));
+        ASSERT_NE(P, nullptr);
+        Pages.unmap(P, OsPageSize * (1 + I % 3));
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  const PageStats St = Pages.stats();
+  EXPECT_EQ(St.BytesInUse, 0u);
+  EXPECT_EQ(St.MapCalls, St.UnmapCalls);
+  EXPECT_EQ(St.MapCalls, static_cast<std::uint64_t>(Threads) * Iters);
+}

@@ -1,0 +1,90 @@
+//===- tests/sizeclass_test.cpp - Size-class geometry tests ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/SizeClasses.h"
+
+#include <gtest/gtest.h>
+
+using namespace lfm;
+
+TEST(SizeClasses, TableIsStrictlyIncreasingAnd16Aligned) {
+  for (unsigned C = 0; C < NumSizeClasses; ++C) {
+    EXPECT_EQ(classBlockSize(C) % 16, 0u) << "class " << C;
+    if (C > 0) {
+      EXPECT_GT(classBlockSize(C), classBlockSize(C - 1)) << "class " << C;
+    }
+  }
+  EXPECT_EQ(classBlockSize(0), 16u);
+  EXPECT_EQ(MaxClassBlockSize, 8192u);
+}
+
+TEST(SizeClasses, GeometricGrowthIsBounded) {
+  // Internal fragmentation bound: consecutive classes differ by at most a
+  // 16-byte linear step (small sizes) or a 30% geometric step, so no
+  // request wastes more than ~25% of its block.
+  for (unsigned C = 1; C < NumSizeClasses; ++C) {
+    const double Ratio = static_cast<double>(classBlockSize(C)) /
+                         classBlockSize(C - 1);
+    const std::uint32_t Step = classBlockSize(C) - classBlockSize(C - 1);
+    EXPECT_TRUE(Step <= 16 || Ratio <= 1.30)
+        << "class " << C << ": step " << Step << ", ratio " << Ratio;
+  }
+}
+
+TEST(SizeClasses, MappingEdgeCases) {
+  EXPECT_EQ(sizeToClass(0), 0u) << "malloc(0) uses the smallest class";
+  EXPECT_EQ(sizeToClass(8), 0u) << "8 B payload + 8 B prefix = 16 B block";
+  EXPECT_EQ(sizeToClass(9), 1u);
+  EXPECT_EQ(sizeToClass(MaxClassBlockSize - BlockPrefixSize),
+            NumSizeClasses - 1);
+  EXPECT_EQ(sizeToClass(MaxClassBlockSize - BlockPrefixSize + 1),
+            LargeSizeClass);
+  EXPECT_EQ(sizeToClass(1 << 20), LargeSizeClass);
+}
+
+/// Exhaustive property: every payload from 0 to beyond the table maps to
+/// the smallest class that fits it.
+class SizeToClassProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SizeToClassProperty, MapsToSmallestFittingClass) {
+  const unsigned Stride = GetParam();
+  for (std::size_t Payload = 0; Payload <= MaxClassBlockSize + 64;
+       Payload += Stride) {
+    const unsigned Class = sizeToClass(Payload);
+    const std::size_t Needed = Payload + BlockPrefixSize;
+    if (Needed > MaxClassBlockSize) {
+      EXPECT_EQ(Class, LargeSizeClass) << "payload " << Payload;
+      continue;
+    }
+    ASSERT_LT(Class, NumSizeClasses) << "payload " << Payload;
+    // Fits...
+    EXPECT_GE(classBlockSize(Class), Needed) << "payload " << Payload;
+    EXPECT_GE(classPayloadSize(Class), Payload) << "payload " << Payload;
+    // ...and is the smallest that fits.
+    if (Class > 0) {
+      EXPECT_LT(classBlockSize(Class - 1), Needed) << "payload " << Payload;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, SizeToClassProperty,
+                         ::testing::Values(1u, 3u, 7u, 13u));
+
+TEST(SizeClasses, PayloadAndBlockSizesAgree) {
+  for (unsigned C = 0; C < NumSizeClasses; ++C)
+    EXPECT_EQ(classPayloadSize(C) + BlockPrefixSize, classBlockSize(C));
+}
+
+TEST(SizeClasses, AllClassesFitDefaultSuperblock) {
+  // With the default 16 KB superblock, every class must yield at least
+  // two blocks and at most MaxBlocksPerSuperblock.
+  constexpr std::size_t SbSize = 16 * 1024;
+  for (unsigned C = 0; C < NumSizeClasses; ++C) {
+    const std::size_t Blocks = SbSize / classBlockSize(C);
+    EXPECT_GE(Blocks, 2u) << "class " << C;
+    EXPECT_LE(Blocks, MaxBlocksPerSuperblock) << "class " << C;
+  }
+}

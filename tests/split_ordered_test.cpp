@@ -1,0 +1,166 @@
+//===- tests/split_ordered_test.cpp - Split-ordered hash tests ------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockfree/SplitOrderedHashSet.h"
+
+#include "baselines/AllocatorInterface.h"
+#include "support/Barrier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+TEST(SplitOrderedHashSet, BasicSemantics) {
+  HazardDomain Domain;
+  SplitOrderedHashSet Set(Domain);
+  EXPECT_FALSE(Set.contains(7));
+  EXPECT_TRUE(Set.insert(7));
+  EXPECT_FALSE(Set.insert(7));
+  EXPECT_TRUE(Set.contains(7));
+  EXPECT_EQ(Set.size(), 1);
+  EXPECT_TRUE(Set.remove(7));
+  EXPECT_FALSE(Set.remove(7));
+  EXPECT_FALSE(Set.contains(7));
+  EXPECT_EQ(Set.size(), 0);
+}
+
+TEST(SplitOrderedHashSet, KeyZeroAndLargeKeysWork) {
+  HazardDomain Domain;
+  SplitOrderedHashSet Set(Domain);
+  // Key 0's split-order key is 1 (dummy 0 is 0) — must not collide.
+  EXPECT_TRUE(Set.insert(0));
+  EXPECT_TRUE(Set.contains(0));
+  const std::uint64_t Big = (1ULL << 63) - 1;
+  EXPECT_TRUE(Set.insert(Big));
+  EXPECT_TRUE(Set.contains(Big));
+  EXPECT_TRUE(Set.remove(0));
+  EXPECT_TRUE(Set.contains(Big));
+  EXPECT_TRUE(Set.remove(Big));
+}
+
+TEST(SplitOrderedHashSet, TableDoublesUnderLoad) {
+  HazardDomain Domain;
+  SplitOrderedHashSet Set(Domain, NodeMemory{nullptr, nullptr, nullptr},
+                          /*LoadFactor=*/2);
+  const std::uint64_t Before = Set.bucketCount();
+  for (std::uint64_t K = 0; K < 4000; ++K)
+    ASSERT_TRUE(Set.insert(K * 2654435761u));
+  EXPECT_GT(Set.bucketCount(), Before)
+      << "table never extended despite load factor 2";
+  // Growth must not lose or duplicate anything.
+  for (std::uint64_t K = 0; K < 4000; ++K) {
+    ASSERT_TRUE(Set.contains(K * 2654435761u)) << K;
+    ASSERT_FALSE(Set.insert(K * 2654435761u)) << K;
+  }
+  EXPECT_EQ(Set.size(), 4000);
+}
+
+TEST(SplitOrderedHashSet, RandomizedAgainstStdSet) {
+  HazardDomain Domain;
+  SplitOrderedHashSet Set(Domain);
+  std::set<std::uint64_t> Model;
+  XorShift128 Rng(4242);
+  for (int I = 0; I < 30000; ++I) {
+    const std::uint64_t K = Rng.nextBounded(2000);
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      ASSERT_EQ(Set.insert(K), Model.insert(K).second) << "key " << K;
+      break;
+    case 1:
+      ASSERT_EQ(Set.remove(K), Model.erase(K) > 0) << "key " << K;
+      break;
+    default:
+      ASSERT_EQ(Set.contains(K), Model.count(K) > 0) << "key " << K;
+    }
+  }
+  EXPECT_EQ(Set.size(), static_cast<std::int64_t>(Model.size()));
+}
+
+TEST(SplitOrderedHashSet, ContendedInsertRemoveExactlyOnce) {
+  HazardDomain Domain;
+  SplitOrderedHashSet Set(Domain);
+  constexpr unsigned Threads = 6, Keys = 3000;
+  SpinBarrier PhaseBarrier(Threads);
+  std::atomic<int> Inserted{0}, Removed{0};
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (unsigned K = 0; K < Keys; ++K)
+        if (Set.insert(K * 7919))
+          Inserted.fetch_add(1);
+      PhaseBarrier.arriveAndWait();
+      for (unsigned K = 0; K < Keys; ++K)
+        if (Set.remove(K * 7919))
+          Removed.fetch_add(1);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Inserted.load(), static_cast<int>(Keys));
+  EXPECT_EQ(Removed.load(), static_cast<int>(Keys));
+  EXPECT_EQ(Set.size(), 0);
+}
+
+TEST(SplitOrderedHashSet, ConcurrentMixedChurnWithGrowth) {
+  HazardDomain Domain;
+  SplitOrderedHashSet Set(Domain, NodeMemory{nullptr, nullptr, nullptr},
+                          /*LoadFactor=*/2);
+  constexpr unsigned Threads = 8, Iters = 15000;
+  std::atomic<long> Balance{0};
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      XorShift128 Rng(T * 13 + 7);
+      for (unsigned I = 0; I < Iters; ++I) {
+        const std::uint64_t K = Rng.nextBounded(20'000);
+        if (Rng.nextBounded(2)) {
+          if (Set.insert(K))
+            Balance.fetch_add(1);
+        } else {
+          if (Set.remove(K))
+            Balance.fetch_sub(1);
+        }
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Set.size(), Balance.load());
+  // Verify membership exactly against a rebuilt model.
+  long Present = 0;
+  for (std::uint64_t K = 0; K < 20'000; ++K)
+    if (Set.contains(K))
+      ++Present;
+  EXPECT_EQ(Present, Balance.load());
+}
+
+TEST(SplitOrderedHashSet, MallocBackedNodes) {
+  // §5 composition over the resizable table.
+  auto Alloc = makeAllocator(AllocatorKind::LockFree, 2);
+  {
+    HazardDomain Domain;
+    SplitOrderedHashSet Set(
+        Domain,
+        NodeMemory{[](void *Ctx, std::size_t N) {
+                     return static_cast<MallocInterface *>(Ctx)->malloc(N);
+                   },
+                   [](void *Ctx, void *P) {
+                     static_cast<MallocInterface *>(Ctx)->free(P);
+                   },
+                   Alloc.get()});
+    for (std::uint64_t K = 0; K < 5000; ++K)
+      ASSERT_TRUE(Set.insert(K * 31));
+    for (std::uint64_t K = 0; K < 5000; K += 2)
+      ASSERT_TRUE(Set.remove(K * 31));
+    EXPECT_EQ(Set.size(), 2500);
+    EXPECT_GT(Alloc->pageStats().BytesInUse, 0u);
+  }
+  SUCCEED();
+}

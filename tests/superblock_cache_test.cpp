@@ -1,0 +1,163 @@
+//===- tests/superblock_cache_test.cpp - Hyperblock cache tests -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/SuperblockCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+constexpr std::size_t SbSize = 16 * 1024;
+constexpr std::size_t HyperSize = 256 * 1024;
+} // namespace
+
+TEST(SuperblockCacheDirect, MapsAndUnmapsIndividually) {
+  PageAllocator Pages;
+  SuperblockCache Cache(Pages, SbSize, 0);
+  void *A = Cache.acquire();
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(Pages.stats().BytesInUse, SbSize);
+  EXPECT_EQ(Cache.cachedCount(), 0u);
+  std::memset(A, 0x5a, SbSize);
+  Cache.release(A);
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u)
+      << "direct mode returns EMPTY superblocks straight to the OS";
+}
+
+TEST(SuperblockCacheHyper, BatchesMappingCalls) {
+  PageAllocator Pages;
+  SuperblockCache Cache(Pages, SbSize, HyperSize);
+  const unsigned PerHyper =
+      static_cast<unsigned>(HyperSize / SbSize) - 1; // Header slot.
+
+  std::set<void *> Sbs;
+  for (unsigned I = 0; I < PerHyper; ++I) {
+    void *Sb = Cache.acquire();
+    ASSERT_NE(Sb, nullptr);
+    EXPECT_TRUE(Sbs.insert(Sb).second) << "superblock handed out twice";
+  }
+  EXPECT_EQ(Pages.stats().MapCalls, 1u)
+      << "one hyperblock must serve all its superblocks";
+  void *Extra = Cache.acquire();
+  EXPECT_EQ(Pages.stats().MapCalls, 2u);
+
+  Cache.release(Extra);
+  for (void *Sb : Sbs)
+    Cache.release(Sb);
+  // Both hyperblocks' slots are now free: the first one's PerHyper plus
+  // the second one's PerHyper (Extra back, rest never handed out).
+  EXPECT_EQ(Cache.cachedCount(), 2 * PerHyper);
+  EXPECT_GT(Pages.stats().BytesInUse, 0u) << "hyper mode retains memory";
+}
+
+TEST(SuperblockCacheHyper, SuperblocksDoNotOverlap) {
+  PageAllocator Pages;
+  SuperblockCache Cache(Pages, SbSize, HyperSize);
+  std::vector<char *> Sbs;
+  for (int I = 0; I < 40; ++I) { // Several hyperblocks.
+    auto *Sb = static_cast<char *>(Cache.acquire());
+    ASSERT_NE(Sb, nullptr);
+    std::memset(Sb, I, SbSize); // Scribble whole superblock.
+    Sbs.push_back(Sb);
+  }
+  for (int I = 0; I < 40; ++I)
+    for (std::size_t B = 0; B < SbSize; B += 997)
+      ASSERT_EQ(Sbs[I][B], static_cast<char>(I)) << "superblocks overlap";
+  for (char *Sb : Sbs)
+    Cache.release(Sb);
+}
+
+TEST(SuperblockCacheHyper, ReusesReleasedSuperblocks) {
+  PageAllocator Pages;
+  SuperblockCache Cache(Pages, SbSize, HyperSize);
+  void *A = Cache.acquire();
+  Cache.release(A);
+  const std::uint64_t Maps = Pages.stats().MapCalls;
+  void *B = Cache.acquire();
+  EXPECT_EQ(Pages.stats().MapCalls, Maps) << "release->acquire must reuse";
+  EXPECT_EQ(B, A) << "LIFO reuse expected from the free stack";
+  Cache.release(B);
+}
+
+TEST(SuperblockCacheHyper, TrimReturnsFullyFreeHyperblocks) {
+  PageAllocator Pages;
+  SuperblockCache Cache(Pages, SbSize, HyperSize);
+  const unsigned PerHyper = static_cast<unsigned>(HyperSize / SbSize) - 1;
+
+  // Fill two hyperblocks' worth; keep one superblock of the second alive.
+  std::vector<void *> Sbs;
+  for (unsigned I = 0; I < PerHyper + 1; ++I)
+    Sbs.push_back(Cache.acquire());
+  void *Keep = Sbs.back();
+  Sbs.pop_back();
+  for (void *Sb : Sbs)
+    Cache.release(Sb);
+
+  const std::size_t Freed = Cache.trimQuiescent();
+  EXPECT_EQ(Freed, HyperSize) << "exactly the fully-free hyperblock";
+  EXPECT_EQ(Pages.stats().BytesInUse, HyperSize)
+      << "the partially used hyperblock must survive";
+
+  // The kept superblock must still be usable memory.
+  std::memset(Keep, 0x77, SbSize);
+  Cache.release(Keep);
+  EXPECT_EQ(Cache.trimQuiescent(), HyperSize);
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+}
+
+TEST(SuperblockCacheHyper, TeardownUnmapsEverything) {
+  PageAllocator Pages;
+  {
+    SuperblockCache Cache(Pages, SbSize, HyperSize);
+    for (int I = 0; I < 20; ++I)
+      Cache.acquire(); // Deliberately not released.
+    EXPECT_GT(Pages.stats().BytesInUse, 0u);
+  }
+  EXPECT_EQ(Pages.stats().BytesInUse, 0u);
+}
+
+TEST(SuperblockCacheHyper, ConcurrentAcquireReleaseUnique) {
+  PageAllocator Pages;
+  SuperblockCache Cache(Pages, SbSize, HyperSize);
+  constexpr int Threads = 8, Iters = 2000;
+  std::atomic<bool> Fail{false};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      void *Mine[4] = {};
+      for (int I = 0; I < Iters; ++I) {
+        const int S = I % 4;
+        if (Mine[S]) {
+          // Validate our scribble before returning it.
+          if (*static_cast<unsigned char *>(Mine[S]) !=
+              static_cast<unsigned char>(T + 1))
+            Fail = true;
+          Cache.release(Mine[S]);
+          Mine[S] = nullptr;
+        } else {
+          Mine[S] = Cache.acquire();
+          if (!Mine[S]) {
+            Fail = true;
+            continue;
+          }
+          *static_cast<unsigned char *>(Mine[S]) =
+              static_cast<unsigned char>(T + 1);
+        }
+      }
+      for (void *&P : Mine)
+        if (P)
+          Cache.release(P);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_FALSE(Fail.load()) << "two threads held the same superblock";
+}

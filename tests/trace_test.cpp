@@ -1,0 +1,75 @@
+//===- tests/trace_test.cpp - Trace generator/replayer tests --------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/TraceWorkload.h"
+
+#include <gtest/gtest.h>
+
+using namespace lfm;
+
+namespace {
+
+class TraceOverProfiles : public ::testing::TestWithParam<TraceProfile> {};
+
+std::string profileName(
+    const ::testing::TestParamInfo<TraceProfile> &Info) {
+  std::string Name = traceProfileName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(TraceOverProfiles, GenerationIsDeterministic) {
+  const Trace A = generateTrace(GetParam(), 123, 5000);
+  const Trace B = generateTrace(GetParam(), 123, 5000);
+  ASSERT_EQ(A.Ops.size(), B.Ops.size());
+  for (std::size_t I = 0; I < A.Ops.size(); ++I) {
+    ASSERT_EQ(A.Ops[I].Slot, B.Ops[I].Slot) << I;
+    ASSERT_EQ(A.Ops[I].Bytes, B.Ops[I].Bytes) << I;
+  }
+  const Trace C = generateTrace(GetParam(), 124, 5000);
+  bool Differs = A.Ops.size() != C.Ops.size();
+  for (std::size_t I = 0; !Differs && I < A.Ops.size(); ++I)
+    Differs = A.Ops[I].Slot != C.Ops[I].Slot ||
+              A.Ops[I].Bytes != C.Ops[I].Bytes;
+  EXPECT_TRUE(Differs) << "different seeds must give different traces";
+}
+
+TEST_P(TraceOverProfiles, OpsAreWellFormed) {
+  const Trace T = generateTrace(GetParam(), 7, 10000);
+  EXPECT_GE(T.Ops.size(), 10000u);
+  std::uint64_t AllocOps = 0, FreeOps = 0;
+  for (const TraceOp &Op : T.Ops) {
+    ASSERT_LT(Op.Slot, T.SlotCount);
+    (Op.Bytes ? AllocOps : FreeOps) += 1;
+  }
+  EXPECT_GT(AllocOps, 0u);
+  EXPECT_GT(FreeOps, 0u);
+}
+
+TEST_P(TraceOverProfiles, ReplayBalancesOnEveryAllocator) {
+  const Trace T = generateTrace(GetParam(), 99, 4000);
+  for (AllocatorKind K :
+       {AllocatorKind::LockFree, AllocatorKind::SerialLock,
+        AllocatorKind::Hoard, AllocatorKind::Ptmalloc}) {
+    auto Alloc = makeAllocator(K, 3);
+    const TraceResult R = replayTrace(*Alloc, 3, T);
+    EXPECT_EQ(R.Corruptions, 0u)
+        << allocatorKindName(K) << " corrupted a trace block";
+    EXPECT_EQ(R.Allocs, R.Frees)
+        << allocatorKindName(K) << " leaked trace blocks";
+    EXPECT_GT(R.Allocs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, TraceOverProfiles,
+                         ::testing::Values(TraceProfile::WebServer,
+                                           TraceProfile::Scientific,
+                                           TraceProfile::DataMining),
+                         profileName);

@@ -1,0 +1,123 @@
+//===- tests/workloads_test.cpp - Benchmark-workload integration tests ----===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Runs each of the paper's six benchmarks, scaled down, against every
+// allocator kind: integration coverage of allocator x workload, plus
+// sanity on the harness's own bookkeeping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lfm;
+
+namespace {
+
+struct WorkloadsOverAllocators
+    : ::testing::TestWithParam<AllocatorKind> {};
+
+std::string kindName(const ::testing::TestParamInfo<AllocatorKind> &Info) {
+  std::string Name = allocatorKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(WorkloadsOverAllocators, LinuxScalability) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  const WorkloadResult R = runLinuxScalability(*Alloc, 3, 5'000);
+  EXPECT_EQ(R.Ops, 15'000u);
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_GT(R.throughput(), 0.0);
+}
+
+TEST_P(WorkloadsOverAllocators, Threadtest) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  const WorkloadResult R = runThreadtest(*Alloc, 3, 4, 500);
+  EXPECT_EQ(R.Ops, 3u * 4 * 500);
+}
+
+TEST_P(WorkloadsOverAllocators, ActiveFalseSharing) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  const WorkloadResult R = runFalseSharing(*Alloc, 3, 50, 100, false);
+  EXPECT_EQ(R.Ops, 150u);
+}
+
+TEST_P(WorkloadsOverAllocators, PassiveFalseSharing) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  const WorkloadResult R = runFalseSharing(*Alloc, 3, 50, 100, true);
+  EXPECT_EQ(R.Ops, 150u);
+}
+
+TEST_P(WorkloadsOverAllocators, Larson) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  const WorkloadResult R = runLarson(*Alloc, 3, 64, 16, 80, 0.05);
+  EXPECT_GT(R.Ops, 0u) << "no pairs completed in the timed phase";
+  EXPECT_GE(R.Seconds, 0.05);
+}
+
+TEST_P(WorkloadsOverAllocators, ProducerConsumer) {
+  auto Alloc = makeAllocator(GetParam(), 4);
+  const WorkloadResult R =
+      runProducerConsumer(*Alloc, 3, 50, 0.05, 1u << 12);
+  EXPECT_GT(R.Ops, 0u) << "no tasks processed";
+}
+
+TEST_P(WorkloadsOverAllocators, ProducerConsumerSingleThread) {
+  // Degenerate case: the producer must self-consume.
+  auto Alloc = makeAllocator(GetParam(), 2);
+  const WorkloadResult R =
+      runProducerConsumer(*Alloc, 1, 10, 0.05, 1u << 10);
+  EXPECT_GT(R.Ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WorkloadsOverAllocators,
+                         ::testing::Values(AllocatorKind::LockFree,
+                                           AllocatorKind::LockFreeUni,
+                                           AllocatorKind::SerialLock,
+                                           AllocatorKind::Hoard,
+                                           AllocatorKind::Ptmalloc),
+                         kindName);
+
+//===----------------------------------------------------------------------===
+// Workload-level invariants (allocator-independent)
+//===----------------------------------------------------------------------===
+
+TEST(WorkloadInvariants, AllBlocksComeBack) {
+  // After any workload completes, the allocator's live footprint must
+  // return to (near) its pre-run level: the workloads must not leak.
+  auto Alloc = makeAllocator(AllocatorKind::SerialLock, 2);
+  runLinuxScalability(*Alloc, 2, 2'000);
+  const std::uint64_t After1 = Alloc->pageStats().BytesInUse;
+  runThreadtest(*Alloc, 2, 2, 500);
+  runFalseSharing(*Alloc, 2, 20, 50, true);
+  runLarson(*Alloc, 2, 32, 16, 80, 0.03);
+  runProducerConsumer(*Alloc, 2, 10, 0.03, 1u << 10);
+  // The serial engine never unmaps small-block regions, so "no leak"
+  // means the footprint stabilizes rather than growing per run.
+  const std::uint64_t After2 = Alloc->pageStats().BytesInUse;
+  runLinuxScalability(*Alloc, 2, 2'000);
+  EXPECT_LE(Alloc->pageStats().BytesInUse, After2 + 65536)
+      << "repeated workloads keep growing the footprint: leak";
+  (void)After1;
+}
+
+TEST(WorkloadInvariants, SingleThreadWorks) {
+  auto Alloc = makeAllocator(AllocatorKind::LockFree, 1);
+  EXPECT_EQ(runLinuxScalability(*Alloc, 1, 100).Ops, 100u);
+  EXPECT_EQ(runThreadtest(*Alloc, 1, 1, 100).Ops, 100u);
+  EXPECT_EQ(runFalseSharing(*Alloc, 1, 10, 10, false).Ops, 10u);
+}
+
+TEST(WorkloadInvariants, LarsonScalesOpsWithDuration) {
+  auto Alloc = makeAllocator(AllocatorKind::LockFree, 2);
+  const WorkloadResult Short = runLarson(*Alloc, 2, 64, 16, 80, 0.02);
+  const WorkloadResult Long = runLarson(*Alloc, 2, 64, 16, 80, 0.2);
+  EXPECT_GT(Long.Ops, Short.Ops) << "longer timed phase, fewer ops?";
+}
