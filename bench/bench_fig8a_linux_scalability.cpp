@@ -15,7 +15,8 @@
 
 using namespace lfm;
 
-int main() {
+int main(int Argc, char **Argv) {
+  benchInit(Argc, Argv);
   const std::uint64_t Pairs = benchScale().scaled(200'000);
   std::printf("Fig. 8(a) Linux scalability — %llu malloc/free pairs of 8 B "
               "per thread (paper: 10M)\n",

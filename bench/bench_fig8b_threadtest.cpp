@@ -14,7 +14,8 @@
 
 using namespace lfm;
 
-int main() {
+int main(int Argc, char **Argv) {
+  benchInit(Argc, Argv);
   const unsigned Iterations =
       static_cast<unsigned>(benchScale().scaled(20));
   const unsigned Blocks = 10'000;

@@ -15,7 +15,8 @@
 
 using namespace lfm;
 
-int main() {
+int main(int Argc, char **Argv) {
+  benchInit(Argc, Argv);
   const unsigned Pairs = static_cast<unsigned>(benchScale().scaled(500));
   const unsigned Writes = 1'000;
   std::printf("Fig. 8(c) Active-false — %u pairs x %u writes/byte per "

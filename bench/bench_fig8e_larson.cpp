@@ -15,7 +15,8 @@
 
 using namespace lfm;
 
-int main() {
+int main(int Argc, char **Argv) {
+  benchInit(Argc, Argv);
   const double Seconds = benchScale().Seconds;
   std::printf("Fig. 8(e) Larson — 1024 slots/thread, 16-80 B, %.2f s timed "
               "phase (paper: 30 s)\n",

@@ -17,7 +17,8 @@
 
 using namespace lfm;
 
-int main() {
+int main(int Argc, char **Argv) {
+  benchInit(Argc, Argv);
   const double Seconds = benchScale().Seconds;
   // A smaller database than the paper's 1M keeps per-cell setup cheap; the
   // allocation pattern (the object of the experiment) is unchanged.

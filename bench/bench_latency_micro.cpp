@@ -84,6 +84,35 @@ void BM_LFAllocatorDirectPair(benchmark::State &State) {
   }
 }
 
+/// Telemetry cost under contention: all threads hammer ONE stats-enabled
+/// allocator, so every pair also bumps Mallocs/Frees/FromActive. The
+/// counters are sharded by thread index; compare 1 vs 8 threads against
+/// BM_StatsOffPairShared to see that the counter writes don't serialize.
+void BM_StatsOnPairShared(benchmark::State &State) {
+  static LFAllocator *Alloc = [] {
+    AllocatorOptions Opts;
+    Opts.EnableStats = true;
+    return new LFAllocator(Opts);
+  }();
+  for (auto _ : State) {
+    void *P = Alloc->allocate(8);
+    benchmark::DoNotOptimize(P);
+    Alloc->deallocate(P);
+  }
+}
+
+/// Control for BM_StatsOnPairShared: the same shared-allocator pair with
+/// counters off isolates the telemetry delta from ordinary allocator
+/// contention.
+void BM_StatsOffPairShared(benchmark::State &State) {
+  static LFAllocator *Alloc = new LFAllocator;
+  for (auto _ : State) {
+    void *P = Alloc->allocate(8);
+    benchmark::DoNotOptimize(P);
+    Alloc->deallocate(P);
+  }
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_MallocFreePair, new_, AllocatorKind::LockFree);
@@ -92,6 +121,8 @@ BENCHMARK_CAPTURE(BM_MallocFreePair, hoard, AllocatorKind::Hoard);
 BENCHMARK_CAPTURE(BM_MallocFreePair, ptmalloc, AllocatorKind::Ptmalloc);
 BENCHMARK_CAPTURE(BM_MallocFreePair, libc, AllocatorKind::SerialLock);
 BENCHMARK(BM_LFAllocatorDirectPair);
+BENCHMARK(BM_StatsOnPairShared)->Threads(1)->Threads(8);
+BENCHMARK(BM_StatsOffPairShared)->Threads(1)->Threads(8);
 BENCHMARK(BM_TasLockPair);
 BENCHMARK(BM_TicketLockPair);
 BENCHMARK(BM_CasPair);

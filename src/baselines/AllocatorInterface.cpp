@@ -31,6 +31,12 @@ public:
   const char *name() const override { return Name; }
   PageStats pageStats() const override { return Alloc.pageStats(); }
   void resetPeak() override { Alloc.resetPeakSpace(); }
+  void writeMetricsJson(std::FILE *Out) const override {
+    Alloc.metricsJson(Out);
+  }
+  void writeTraceJson(std::FILE *Out) const override {
+    Alloc.traceJson(Out);
+  }
 
   LFAllocator &allocator() { return Alloc; }
 
@@ -46,6 +52,22 @@ private:
 };
 
 } // namespace
+
+// Baselines have no telemetry block; their space meter is still worth
+// recording next to the lock-free allocator's in --metrics-json output.
+// (Allocator names are fixed identifiers, so no JSON escaping is needed.)
+void MallocInterface::writeMetricsJson(std::FILE *Out) const {
+  const PageStats S = pageStats();
+  std::fprintf(Out,
+               "{\"allocator\": \"%s\", \"space\": {\"bytes_in_use\": %llu, "
+               "\"peak_bytes\": %llu}}\n",
+               name(), static_cast<unsigned long long>(S.BytesInUse),
+               static_cast<unsigned long long>(S.PeakBytes));
+}
+
+void MallocInterface::writeTraceJson(std::FILE *Out) const {
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n", Out);
+}
 
 const char *lfm::allocatorKindName(AllocatorKind Kind) {
   switch (Kind) {

@@ -18,6 +18,7 @@
 #include "os/PageAllocator.h"
 
 #include <cstddef>
+#include <cstdio>
 #include <memory>
 
 namespace lfm {
@@ -42,6 +43,18 @@ public:
 
   /// Resets the peak-space watermark between benchmark phases.
   virtual void resetPeak() = 0;
+
+  /// Writes one newline-terminated JSON object describing this
+  /// allocator's state to \p Out. Baselines report their name and space
+  /// meter; the lock-free allocator emits its full telemetry snapshot.
+  /// Used by the harness's --metrics-json output.
+  virtual void writeMetricsJson(std::FILE *Out) const;
+
+  /// Writes this allocator's recorded event trace as Chrome trace JSON.
+  /// Baselines record nothing and emit an empty (but valid) trace; the
+  /// lock-free allocator reports its rings when built with EnableTrace.
+  /// Used by the harness's --trace-json output.
+  virtual void writeTraceJson(std::FILE *Out) const;
 };
 
 /// The contenders of the paper's Section 4.

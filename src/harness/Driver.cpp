@@ -6,11 +6,136 @@
 
 #include "harness/Driver.h"
 
+#include "lfmalloc/Config.h"
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace lfm;
+
+namespace {
+
+/// Where --metrics-json / --trace-json output goes; empty = capture off.
+std::string MetricsPath;
+std::string TracePath;
+
+/// One measured benchmark cell, kept until the file is (re)written.
+struct CellRecord {
+  std::string Figure;
+  std::string Allocator;
+  unsigned Threads;
+  std::uint64_t Ops;
+  double Seconds;
+  double Throughput;
+  std::string Metrics; ///< Raw JSON object from writeMetricsJson().
+};
+
+std::vector<CellRecord> &cellRecords() {
+  static std::vector<CellRecord> Records;
+  return Records;
+}
+
+/// JSON string escaping for figure titles (they carry UTF-8 punctuation,
+/// which passes through untouched; only quotes, backslashes, and control
+/// characters need care).
+void appendEscaped(std::string &Out, const char *S) {
+  for (; *S; ++S) {
+    const unsigned char C = static_cast<unsigned char>(*S);
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += static_cast<char>(C);
+    } else if (C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += static_cast<char>(C);
+    }
+  }
+}
+
+/// Captures one allocator's writeMetricsJson() output as a string,
+/// trimming trailing whitespace so it embeds cleanly inside a record.
+std::string captureMetrics(const MallocInterface &Alloc) {
+  char *Buf = nullptr;
+  std::size_t Len = 0;
+  std::FILE *Mem = open_memstream(&Buf, &Len);
+  if (!Mem)
+    return "{}";
+  Alloc.writeMetricsJson(Mem);
+  std::fclose(Mem);
+  std::string S(Buf, Len);
+  std::free(Buf);
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S.empty() ? std::string("{}") : S;
+}
+
+/// Rewrites the metrics file with every record so far (rewriting after
+/// each figure keeps the file valid JSON even if the run is cut short).
+void writeMetricsFile() {
+  std::FILE *Out = std::fopen(MetricsPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write --metrics-json file %s\n",
+                 MetricsPath.c_str());
+    return;
+  }
+  std::fprintf(Out, "{\"schema\": \"lfm-bench-metrics-v1\", \"records\": [");
+  bool First = true;
+  for (const CellRecord &R : cellRecords()) {
+    std::string Fig, Name;
+    appendEscaped(Fig, R.Figure.c_str());
+    appendEscaped(Name, R.Allocator.c_str());
+    std::fprintf(Out,
+                 "%s\n  {\"figure\": \"%s\", \"allocator\": \"%s\", "
+                 "\"threads\": %u, \"ops\": %llu, \"seconds\": %.6f, "
+                 "\"throughput\": %.1f, \"metrics\": %s}",
+                 First ? "" : ",", Fig.c_str(), Name.c_str(), R.Threads,
+                 static_cast<unsigned long long>(R.Ops), R.Seconds,
+                 R.Throughput, R.Metrics.c_str());
+    First = false;
+  }
+  std::fprintf(Out, "\n]}\n");
+  std::fclose(Out);
+}
+
+/// Constructs the allocator for one benchmark cell. When metrics or trace
+/// capture is on, the lock-free kinds are built with the corresponding
+/// telemetry enabled so each record carries the full snapshot; otherwise
+/// the seed behaviour (telemetry off) is kept — the counters are cheap
+/// but not free.
+std::unique_ptr<MallocInterface> makeCellAllocator(AllocatorKind K) {
+  const unsigned MaxThreads = benchScale().MaxThreads;
+  const bool Capture = !MetricsPath.empty() || !TracePath.empty();
+  if (Capture &&
+      (K == AllocatorKind::LockFree || K == AllocatorKind::LockFreeUni)) {
+    AllocatorOptions Opts;
+    Opts.NumHeaps = K == AllocatorKind::LockFreeUni ? 1 : MaxThreads;
+    Opts.EnableStats = true;
+    Opts.EnableTrace = !TracePath.empty();
+    return makeLockFreeAllocator(Opts, allocatorKindName(K));
+  }
+  return makeAllocator(K, MaxThreads);
+}
+
+/// Writes one cell's Chrome trace to the --trace-json path (overwriting;
+/// the file ends up holding the last lock-free cell's trace).
+void writeTraceFile(const MallocInterface &Alloc) {
+  std::FILE *Out = std::fopen(TracePath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write --trace-json file %s\n",
+                 TracePath.c_str());
+    return;
+  }
+  Alloc.writeTraceJson(Out);
+  std::fclose(Out);
+}
+
+} // namespace
 
 std::uint64_t BenchScale::scaled(std::uint64_t PaperValue) const {
   const double V = static_cast<double>(PaperValue) * Scale;
@@ -30,6 +155,30 @@ const BenchScale &lfm::benchScale() {
     return S;
   }();
   return Parsed;
+}
+
+void lfm::benchInit(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--metrics-json=", 15) == 0)
+      MetricsPath = Arg + 15;
+    else if (std::strncmp(Arg, "--trace-json=", 13) == 0)
+      TracePath = Arg + 13;
+  }
+  if (MetricsPath.empty())
+    if (const char *E = std::getenv("LFM_METRICS_JSON"))
+      MetricsPath = E;
+  if (TracePath.empty())
+    if (const char *E = std::getenv("LFM_TRACE_JSON"))
+      TracePath = E;
+}
+
+const char *lfm::metricsJsonPath() {
+  return MetricsPath.empty() ? nullptr : MetricsPath.c_str();
+}
+
+const char *lfm::traceJsonPath() {
+  return TracePath.empty() ? nullptr : TracePath.c_str();
 }
 
 void lfm::spawnDeadThread() {
@@ -70,15 +219,24 @@ void lfm::runFigure(const char *Title,
   for (unsigned Threads : ThreadCounts) {
     std::printf("%8u", Threads);
     for (AllocatorKind K : Kinds) {
-      auto Alloc = makeAllocator(K, benchScale().MaxThreads);
+      auto Alloc = makeCellAllocator(K);
       const WorkloadResult R = Fn(*Alloc, Threads);
       const double Speedup =
           Baseline > 0 ? R.throughput() / Baseline : 0.0;
       std::printf(" %10.2f", Speedup);
       std::fflush(stdout);
+      if (!MetricsPath.empty())
+        cellRecords().push_back({Title, allocatorKindName(K), Threads, R.Ops,
+                                 R.Seconds, R.throughput(),
+                                 captureMetrics(*Alloc)});
+      if (!TracePath.empty() && (K == AllocatorKind::LockFree ||
+                                 K == AllocatorKind::LockFreeUni))
+        writeTraceFile(*Alloc);
     }
     std::printf("\n");
   }
+  if (!MetricsPath.empty())
+    writeMetricsFile();
 }
 
 void lfm::runStandardFigure(const char *Title, const WorkloadFn &Fn) {

@@ -42,6 +42,35 @@ struct BenchScale {
 /// \returns the process-wide scale (parsed once).
 const BenchScale &benchScale();
 
+/// Parses the harness flags shared by every bench binary; call first in
+/// main(). Flags:
+///
+///   --metrics-json=<path>  record every benchmark cell (figure, allocator,
+///                          threads, ops, seconds, throughput) together
+///                          with the allocator's own metrics JSON — the
+///                          full telemetry counter set for the lock-free
+///                          allocators — and write them all to <path> as
+///                          {"schema": "lfm-bench-metrics-v1",
+///                           "records": [...]}.
+///   --trace-json=<path>    build the lock-free cells with event tracing
+///                          and write each cell's Chrome trace JSON to
+///                          <path> (each cell overwrites; the file ends
+///                          holding the final cell's trace).
+///
+/// The LFM_METRICS_JSON / LFM_TRACE_JSON environment variables are
+/// equivalent fallbacks (flags win). Unknown arguments are ignored. The
+/// metrics file is rewritten after every figure, so an interrupted run
+/// still leaves valid JSON.
+void benchInit(int Argc, char **Argv);
+
+/// \returns the --metrics-json / LFM_METRICS_JSON path, or null when
+/// metrics capture is off.
+const char *metricsJsonPath();
+
+/// \returns the --trace-json / LFM_TRACE_JSON path, or null when trace
+/// capture is off.
+const char *traceJsonPath();
+
 /// The paper's footnote 4: spawn a thread that does nothing and exits, so
 /// "contention-free" latency is measured on the true multithreaded path
 /// even for allocators with single-thread bypass tricks.

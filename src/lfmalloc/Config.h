@@ -104,10 +104,23 @@ struct AllocatorOptions {
   /// lists. Null selects the process-wide immortal domain.
   HazardDomain *Domain = nullptr;
 
-  /// Maintain OpStats counters (relaxed atomics). Off by default: the
-  /// latency benches measure the paper's fence-count argument and must not
-  /// carry extra shared-counter traffic.
+  /// Maintain operation counters. Off by default: the latency benches
+  /// measure the paper's fence-count argument and must not carry extra
+  /// shared-counter traffic. In telemetry builds (LFM_TELEMETRY=1) this
+  /// enables the full sharded counter set; otherwise the legacy OpStats
+  /// block.
   bool EnableStats = false;
+
+  /// Record allocator events (superblock state transitions, descriptor
+  /// retires, OS map/unmap) into per-thread lock-free trace rings,
+  /// exportable as Chrome trace JSON. Requires a telemetry build; ignored
+  /// under LFM_TELEMETRY=0. Implies counters are worth having too, so
+  /// enabling trace also constructs the telemetry block.
+  bool EnableTrace = false;
+
+  /// Capacity of each thread's trace ring, in events (rounded up to a
+  /// power of two). 4096 events ≈ 160 KB per trace-emitting thread.
+  unsigned TraceEventsPerThread = 4096;
 
   /// Points inside malloc/free where a thread can be delayed arbitrarily.
   /// The paper's progress argument is precisely that a thread stalled (or

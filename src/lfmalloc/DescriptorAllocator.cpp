@@ -6,6 +6,8 @@
 
 #include "lfmalloc/DescriptorAllocator.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -44,6 +46,7 @@ Descriptor *DescriptorAllocator::alloc() {
                                             std::memory_order_acq_rel,
                                             std::memory_order_relaxed)) {
         Domain.clear(HpSlotFreelist);
+        LFM_TEL_CTR(Tel, DescAllocs);
         return Desc;
       }
       continue; // Head moved; re-protect and retry.
@@ -77,6 +80,9 @@ Descriptor *DescriptorAllocator::alloc() {
                                            std::memory_order_relaxed)) {
       }
       Minted.fetch_add(DescsPerChunk, std::memory_order_relaxed);
+      LFM_TEL_CTR(Tel, DescAllocs);
+      LFM_TEL_CTR(Tel, DescChunkMaps);
+      LFM_TEL_EVT(Tel, OsMap, DescSbBytes, 0);
       return &Descs[0];
     }
     Pages.unmap(Raw, DescSbBytes);
@@ -88,6 +94,8 @@ void DescriptorAllocator::retire(Descriptor *Desc) {
   // Deferred reinsertion is what makes the pop's CAS ABA-safe: Desc cannot
   // reappear at the freelist head while any thread still holds a hazard
   // on it from an earlier pop attempt.
+  LFM_TEL_CTR(Tel, DescRetires);
+  LFM_TEL_EVT(Tel, DescRetired, reinterpret_cast<std::uintptr_t>(Desc), 0);
   Domain.retire(Desc, reclaimDescriptor, this);
 }
 

@@ -26,11 +26,18 @@
 #include "lfmalloc/Descriptor.h"
 #include "lockfree/HazardPointers.h"
 #include "os/PageAllocator.h"
+#include "telemetry/TelemetryConfig.h"
 
 #include <atomic>
 #include <cstdint>
 
 namespace lfm {
+
+#if LFM_TELEMETRY
+namespace telemetry {
+class Telemetry;
+}
+#endif
 
 /// Mints, recycles, and (at teardown) releases descriptors for one
 /// allocator instance.
@@ -74,6 +81,12 @@ public:
     return Minted.load(std::memory_order_relaxed);
   }
 
+#if LFM_TELEMETRY
+  /// Attaches the owning allocator's telemetry (may be null). Called once
+  /// before the allocator is shared between threads.
+  void setTelemetry(telemetry::Telemetry *T) { Tel = T; }
+#endif
+
 private:
   struct DescChunk {
     DescChunk *Next;
@@ -98,6 +111,9 @@ private:
   std::atomic<Descriptor *> DescAvail{nullptr};
   std::atomic<DescChunk *> Chunks{nullptr};
   std::atomic<std::uint64_t> Minted{0};
+#if LFM_TELEMETRY
+  telemetry::Telemetry *Tel = nullptr;
+#endif
 };
 
 } // namespace lfm

@@ -11,6 +11,7 @@
 #include "lfmalloc/LFAllocator.h"
 
 #include "support/ThreadRegistry.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <atomic>
@@ -52,7 +53,10 @@ constexpr std::uint64_t AlignedMarkerBits = 3;
 
 } // namespace
 
+#if !LFM_TELEMETRY
 /// Relaxed counters living in the control region; opStats() snapshots them.
+/// Only the non-telemetry configuration uses this single shared block — the
+/// telemetry build replaces it with the sharded CounterSet.
 struct LFAllocator::AtomicOpStats {
   std::atomic<std::uint64_t> Mallocs{0};
   std::atomic<std::uint64_t> Frees{0};
@@ -63,17 +67,62 @@ struct LFAllocator::AtomicOpStats {
   std::atomic<std::uint64_t> LargeFrees{0};
   std::atomic<std::uint64_t> SbFreed{0};
 };
+#endif // !LFM_TELEMETRY
 
 namespace {
 
 using ChaosSite = AllocatorOptions::ChaosSite;
 
+#if !LFM_TELEMETRY
 void bump(std::atomic<std::uint64_t> *Counter) {
   if (Counter)
     Counter->fetch_add(1, std::memory_order_relaxed);
 }
+#endif
+
+#if LFM_TELEMETRY
+/// Counts CAS attempts around a retry loop so telemetry can attribute
+/// contention (retries == attempts - 1 on the success path). Compiles to
+/// nothing in non-telemetry builds.
+struct RetryCounter {
+  std::uint64_t Attempts = 0;
+  void attempt() { ++Attempts; }
+  std::uint64_t attempts() const { return Attempts; }
+  std::uint64_t retries() const { return Attempts > 0 ? Attempts - 1 : 0; }
+};
+#else
+struct RetryCounter {
+  void attempt() {}
+};
+#endif
 
 } // namespace
+
+// Call-site shorthand expanding against the `Tel`/`Stats` member in scope.
+// CTR covers the legacy OpStats counters (exist in both configurations);
+// XCTR/CTR_N/EVT are telemetry-only and vanish under LFM_TELEMETRY=0
+// (arguments unevaluated, so the RetryCounter plumbing folds away too).
+#if LFM_TELEMETRY
+#define CTR(Name) LFM_TEL_CTR(Tel, Name)
+#define XCTR(Name) LFM_TEL_CTR(Tel, Name)
+#define CTR_N(Name, N) LFM_TEL_CTR_N(Tel, Name, N)
+#define EVT(Type, A0, A1) LFM_TEL_EVT(Tel, Type, A0, A1)
+#else
+#define CTR(Name)                                                            \
+  do {                                                                       \
+    if (Stats)                                                               \
+      bump(&Stats->Name);                                                    \
+  } while (0)
+#define XCTR(Name)                                                           \
+  do {                                                                       \
+  } while (0)
+#define CTR_N(Name, N)                                                       \
+  do {                                                                       \
+  } while (0)
+#define EVT(Type, A0, A1)                                                    \
+  do {                                                                       \
+  } while (0)
+#endif
 
 LFAllocator::LFAllocator(const AllocatorOptions &O)
     : Opts(O), Domain(O.Domain ? *O.Domain : HazardDomain::global()),
@@ -124,7 +173,11 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
       alignUp(HeapsBytes, alignof(SizeClassRuntime));
   const std::size_t StatsOffset = alignUp(
       ClassesOffset + sizeof(SizeClassRuntime) * ClassCount, CacheLineSize);
+#if LFM_TELEMETRY
+  ControlBytes = StatsOffset + sizeof(telemetry::Telemetry);
+#else
   ControlBytes = StatsOffset + sizeof(AtomicOpStats);
+#endif
   ControlRegion = Pages.map(ControlBytes, OsPageSize);
   if (!ControlRegion) {
     std::fprintf(stderr, "lfmalloc: cannot map allocator control region\n");
@@ -143,8 +196,19 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
       Heap->Sc = &Classes[C];
     }
   }
+#if LFM_TELEMETRY
+  if (Opts.EnableStats || Opts.EnableTrace) {
+    telemetry::Telemetry::Options TelOpts;
+    TelOpts.Trace = Opts.EnableTrace;
+    TelOpts.TraceEventsPerThread = Opts.TraceEventsPerThread;
+    Tel = new (Base + StatsOffset) telemetry::Telemetry(TelOpts);
+    Descs.setTelemetry(Tel);
+    SbCache.setTelemetry(Tel);
+  }
+#else
   if (Opts.EnableStats)
     Stats = new (Base + StatsOffset) AtomicOpStats();
+#endif
 }
 
 LFAllocator::~LFAllocator() {
@@ -170,6 +234,10 @@ LFAllocator::~LFAllocator() {
   for (unsigned C = 0; C < ClassCount; ++C)
     Classes[C].~SizeClassRuntime();
   Domain.drainAll();
+#if LFM_TELEMETRY
+  if (Tel)
+    Tel->~Telemetry(); // Unmaps the trace rings (its own page source).
+#endif
   Pages.unmap(ControlRegion, ControlBytes);
   // Members ~SuperblockCache and ~DescriptorAllocator unmap the rest.
 }
@@ -185,8 +253,7 @@ ProcHeap *LFAllocator::findHeap(unsigned Class) {
 }
 
 void *LFAllocator::allocate(std::size_t Bytes) {
-  if (Stats)
-    bump(&Stats->Mallocs);
+  CTR(Mallocs);
   const unsigned Class = sizeToClass(Bytes);
   if (Class >= ClassCount) // Fig. 4 malloc lines 2-3: large block.
     return largeMalloc(Bytes);
@@ -197,19 +264,16 @@ void *LFAllocator::allocate(std::size_t Bytes) {
   // installed an active superblock first — then that one serves us).
   for (;;) {
     if (void *Addr = mallocFromActive(Heap)) {
-      if (Stats)
-        bump(&Stats->FromActive);
+      CTR(FromActive);
       return Addr;
     }
     if (void *Addr = mallocFromPartial(Heap)) {
-      if (Stats)
-        bump(&Stats->FromPartial);
+      CTR(FromPartial);
       return Addr;
     }
     bool OutOfMemory = false;
     if (void *Addr = mallocFromNewSb(Heap, OutOfMemory)) {
-      if (Stats)
-        bump(&Stats->FromNewSb);
+      CTR(FromNewSb);
       return Addr;
     }
     if (OutOfMemory)
@@ -222,14 +286,20 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   // atomically decrementing the credits in the Active word.
   ActiveRef OldActive = Heap->Active.load();
   ActiveRef NewActive;
+  RetryCounter Reserve;
   do {
-    if (!OldActive.Desc)
-      return nullptr; // Line 2: no active superblock.
+    if (!OldActive.Desc) { // Line 2: no active superblock.
+      XCTR(ActiveNullMisses);
+      CTR_N(ActiveReserveRetries, Reserve.attempts());
+      return nullptr;
+    }
     if (OldActive.Credits == 0)
       NewActive = ActiveRef{}; // Line 4: taking the last credit.
     else
       NewActive = ActiveRef{OldActive.Desc, OldActive.Credits - 1}; // L5
+    Reserve.attempt();
   } while (!Heap->Active.compareExchange(OldActive, NewActive));
+  CTR_N(ActiveReserveRetries, Reserve.retries());
 
   // After the CAS succeeds we own one reservation in this specific
   // superblock: it cannot go EMPTY under us, so its descriptor fields and
@@ -243,6 +313,7 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   Anchor NewAnchor;
   void *Addr;
   std::uint32_t MoreCredits = 0;
+  RetryCounter Pop;
   do {
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforePopCas, Opts.ChaosCtx);
@@ -268,7 +339,11 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
         NewAnchor.Count -= MoreCredits;                      // Line 17.
       }
     }
+    Pop.attempt();
   } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  CTR_N(ActivePopRetries, Pop.retries());
+  if (OldActive.Credits == 0 && OldAnchor.Count == 0)
+    EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb), Desc->BlockSize);
 
   if (OldActive.Credits == 0 && OldAnchor.Count > 0)
     updateActive(Heap, Desc, MoreCredits); // Lines 19-20.
@@ -292,13 +367,19 @@ void LFAllocator::updateActive(ProcHeap *Heap, Descriptor *Desc,
 
   // Lines 4-8: someone installed another superblock; return the reserved
   // credits to the anchor and surface the superblock as PARTIAL.
+  XCTR(UpdateActiveReturns);
   Anchor OldAnchor = Desc->AnchorWord.load();
   Anchor NewAnchor;
+  RetryCounter Ret;
   do {
     NewAnchor = OldAnchor;
     NewAnchor.Count += MoreCredits;
     NewAnchor.State = SbState::Partial;
+    Ret.attempt();
   } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  CTR_N(UpdateActiveRetries, Ret.retries());
+  EVT(SbPartial, reinterpret_cast<std::uintptr_t>(Desc->Sb),
+      Desc->BlockSize);
   heapPutPartial(Desc);
 }
 
@@ -316,6 +397,7 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
     Anchor NewAnchor;
     std::uint32_t MoreCredits = 0;
     bool Retired = false;
+    RetryCounter Reserve;
     do {
       if (OldAnchor.State == SbState::Empty) {
         // Line 6: raced with the last free; recycle the descriptor (its
@@ -333,13 +415,24 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
       NewAnchor.Count -= MoreCredits + 1;            // Line 8.
       NewAnchor.State =
           MoreCredits > 0 ? SbState::Active : SbState::Full; // Line 9.
+      Reserve.attempt();
     } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
-    if (Retired)
+    if (Retired) {
+      CTR_N(PartialReserveRetries, Reserve.attempts());
       continue;
+    }
+    CTR_N(PartialReserveRetries, Reserve.retries());
+    if (NewAnchor.State == SbState::Full)
+      EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb),
+          Desc->BlockSize);
+    else
+      EVT(SbActive, reinterpret_cast<std::uintptr_t>(Desc->Sb),
+          Desc->BlockSize);
 
     // Lines 11-15: pop our reserved block.
     OldAnchor = Desc->AnchorWord.load();
     void *Addr;
+    RetryCounter Pop;
     do {
       NewAnchor = OldAnchor;
       Addr = static_cast<char *>(Desc->Sb) +
@@ -348,7 +441,9 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
       NewAnchor.Avail =
           static_cast<std::uint32_t>(Next) & ((1u << AnchorAvailBits) - 1);
       NewAnchor.Tag = OldAnchor.Tag + 1;
+      Pop.attempt();
     } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+    CTR_N(PartialPopRetries, Pop.retries());
 
     if (MoreCredits > 0)
       updateActive(Heap, Desc, MoreCredits); // Lines 16-17.
@@ -366,7 +461,10 @@ Descriptor *LFAllocator::heapGetPartial(ProcHeap *Heap) {
     if (Descriptor *Desc =
             Heap->Partial[S].exchange(nullptr, std::memory_order_acq_rel))
       return Desc;
-  return Heap->Sc->Partial.get(); // ListGetPartial.
+  Descriptor *Desc = Heap->Sc->Partial.get(); // ListGetPartial.
+  if (Desc)
+    XCTR(PartialListGets);
+  return Desc;
 }
 
 void LFAllocator::heapPutPartial(Descriptor *Desc) {
@@ -383,8 +481,10 @@ void LFAllocator::heapPutPartial(Descriptor *Desc) {
   }
   Descriptor *Prev =
       Heap->Partial[0].exchange(Desc, std::memory_order_acq_rel);
-  if (Prev)
+  if (Prev) {
+    XCTR(PartialListPuts);
     Heap->Sc->Partial.put(Prev); // ListPutPartial.
+  }
 }
 
 void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
@@ -432,6 +532,7 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
   ActiveRef Expected{};
   if (Heap->Active.compareExchange(Expected, NewActive)) {
     storeBlockWord(Sb, reinterpret_cast<std::uint64_t>(Desc)); // Line 15.
+    EVT(SbNew, reinterpret_cast<std::uintptr_t>(Sb), Sc->BlockSize);
     return static_cast<char *>(Sb) + BlockPrefixSize;
   }
 
@@ -439,6 +540,7 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
   // Prefer deallocating ours over keeping it PARTIAL, "to avoid having too
   // many PARTIAL superblocks and hence cause unnecessary external
   // fragmentation".
+  XCTR(NewSbInstallRaces);
   SbCache.release(Sb);
   Descs.retire(Desc);
   return nullptr;
@@ -447,8 +549,7 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
 void LFAllocator::deallocate(void *Ptr) {
   if (!Ptr) // Fig. 6 line 1.
     return;
-  if (Stats)
-    bump(&Stats->Frees);
+  CTR(Frees);
   void *Block = static_cast<char *>(Ptr) - BlockPrefixSize; // Line 2.
   const std::uint64_t Prefix = loadBlockWord(Block);        // Line 3.
   if (LFM_UNLIKELY(Prefix & LargePrefixBit)) {
@@ -476,6 +577,7 @@ void LFAllocator::deallocate(void *Ptr) {
                  Desc->BlockSize ==
              0 &&
          "pointer does not address a block of its superblock");
+  RetryCounter Push;
   do {
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforeFreeCas, Opts.ChaosCtx);
@@ -503,18 +605,21 @@ void LFAllocator::deallocate(void *Ptr) {
     }
     // The release half of the CAS publishes the link store above no later
     // than the anchor update (Fig. 6 line 17's fence).
+    Push.attempt();
   } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  CTR_N(FreePushRetries, Push.retries());
 
   if (NewAnchor.State == SbState::Empty) {
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::AfterEmptyTransition, Opts.ChaosCtx);
     // Lines 19-21: return the superblock and retire its descriptor.
-    if (Stats)
-      bump(&Stats->SbFreed);
+    CTR(SbFreed);
+    EVT(SbEmpty, reinterpret_cast<std::uintptr_t>(Sb), Desc->BlockSize);
     SbCache.release(Sb);
     removeEmptyDesc(Heap, Desc);
   } else if (OldAnchor.State == SbState::Full) {
     // Lines 22-23: first free into a FULL superblock re-publishes it.
+    EVT(SbPartial, reinterpret_cast<std::uintptr_t>(Sb), Desc->BlockSize);
     heapPutPartial(Desc);
   }
   if (Pinned)
@@ -543,21 +648,21 @@ void *LFAllocator::largeMalloc(std::size_t Bytes) {
   // Fig. 4 malloc line 3: "Allocate block from OS and return its address";
   // the prefix records size|1 so free() can route it back (Fig. 6 line 4:
   // "desc holds sz+1").
-  if (Stats)
-    bump(&Stats->LargeMallocs);
+  CTR(LargeMallocs);
   if (Bytes > ~std::uint64_t{0} - OsPageSize - BlockPrefixSize)
     return nullptr;
   const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
   void *Block = Pages.map(Total);
   if (!Block)
     return nullptr;
+  EVT(OsMap, Total, 0);
   storeBlockWord(Block, Total | LargePrefixBit);
   return static_cast<char *>(Block) + BlockPrefixSize;
 }
 
 void LFAllocator::largeFree(void *Block, std::uint64_t Prefix) {
-  if (Stats)
-    bump(&Stats->LargeFrees);
+  CTR(LargeFrees);
+  EVT(OsUnmap, Prefix & ~LargePrefixBit, 0);
   Pages.unmap(Block, Prefix & ~LargePrefixBit); // Fig. 6 line 5.
 }
 
@@ -652,6 +757,19 @@ std::size_t LFAllocator::usableSize(const void *Ptr) const {
 
 OpStats LFAllocator::opStats() const {
   OpStats Out;
+#if LFM_TELEMETRY
+  if (!Tel)
+    return Out;
+  using telemetry::Counter;
+  Out.Mallocs = Tel->counterTotal(Counter::Mallocs);
+  Out.Frees = Tel->counterTotal(Counter::Frees);
+  Out.FromActive = Tel->counterTotal(Counter::FromActive);
+  Out.FromPartial = Tel->counterTotal(Counter::FromPartial);
+  Out.FromNewSb = Tel->counterTotal(Counter::FromNewSb);
+  Out.LargeMallocs = Tel->counterTotal(Counter::LargeMallocs);
+  Out.LargeFrees = Tel->counterTotal(Counter::LargeFrees);
+  Out.SbFreed = Tel->counterTotal(Counter::SbFreed);
+#else
   if (!Stats)
     return Out;
   Out.Mallocs = Stats->Mallocs.load(std::memory_order_relaxed);
@@ -662,7 +780,64 @@ OpStats LFAllocator::opStats() const {
   Out.LargeMallocs = Stats->LargeMallocs.load(std::memory_order_relaxed);
   Out.LargeFrees = Stats->LargeFrees.load(std::memory_order_relaxed);
   Out.SbFreed = Stats->SbFreed.load(std::memory_order_relaxed);
+#endif
   return Out;
+}
+
+telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
+  telemetry::MetricsSnapshot Snap;
+#if LFM_TELEMETRY
+  Snap.TelemetryCompiled = true;
+  if (Tel) {
+    Tel->counters().snapshot(Snap.Counters);
+    Snap.TraceEnabled = Tel->traceEnabled();
+    Snap.TraceEventsEmitted = Tel->traceEventsEmitted();
+    Snap.TraceEventsOverwritten = Tel->traceEventsOverwritten();
+  }
+#else
+  // Legacy stats cover only the eight OpStats counters; fold them into
+  // the same slots so consumers see one schema in both builds.
+  using telemetry::Counter;
+  const OpStats St = opStats();
+  auto Put = [&Snap](Counter C, std::uint64_t V) {
+    Snap.Counters[static_cast<unsigned>(C)] = V;
+  };
+  Put(Counter::Mallocs, St.Mallocs);
+  Put(Counter::Frees, St.Frees);
+  Put(Counter::FromActive, St.FromActive);
+  Put(Counter::FromPartial, St.FromPartial);
+  Put(Counter::FromNewSb, St.FromNewSb);
+  Put(Counter::LargeMallocs, St.LargeMallocs);
+  Put(Counter::LargeFrees, St.LargeFrees);
+  Put(Counter::SbFreed, St.SbFreed);
+#endif
+  Snap.Space = Pages.stats();
+  Snap.CachedSuperblocks = SbCache.cachedCount();
+  Snap.DescriptorsMinted = Descs.mintedCount();
+  Snap.HazardRetired = Domain.retiredCount();
+  Snap.HazardScans = Domain.scanCount();
+  Snap.HazardReclaims = Domain.reclaimCount();
+  Snap.Heaps = HeapCount;
+  Snap.Classes = ClassCount;
+  Snap.SuperblockBytes = Opts.SuperblockSize;
+  Snap.HyperblockBytes = Opts.HyperblockSize;
+  Snap.PartialPolicyFifo = Opts.PartialPolicy == PartialListPolicy::Fifo;
+  Snap.StatsEnabled = Opts.EnableStats;
+  return Snap;
+}
+
+void LFAllocator::metricsJson(std::FILE *Out) const {
+  telemetry::writeMetricsJson(metricsSnapshot(), Out);
+}
+
+void LFAllocator::traceJson(std::FILE *Out) const {
+#if LFM_TELEMETRY
+  if (Tel) {
+    Tel->writeTraceJson(Out);
+    return;
+  }
+#endif
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n", Out);
 }
 
 namespace {
@@ -746,6 +921,45 @@ void LFAllocator::dumpState(std::FILE *Out) const {
                  static_cast<unsigned long long>(St.LargeMallocs),
                  static_cast<unsigned long long>(St.LargeFrees),
                  static_cast<unsigned long long>(St.SbFreed));
+#if LFM_TELEMETRY
+  if (Tel) {
+    using telemetry::Counter;
+    const auto C = [this](Counter Ct) {
+      return static_cast<unsigned long long>(Tel->counterTotal(Ct));
+    };
+    std::fprintf(Out,
+                 "  cas-retries: activeReserve=%llu activePop=%llu "
+                 "partialReserve=%llu partialPop=%llu freePush=%llu "
+                 "updateActive=%llu\n",
+                 C(Counter::ActiveReserveRetries),
+                 C(Counter::ActivePopRetries),
+                 C(Counter::PartialReserveRetries),
+                 C(Counter::PartialPopRetries),
+                 C(Counter::FreePushRetries),
+                 C(Counter::UpdateActiveRetries));
+    std::fprintf(Out,
+                 "  paths: activeNull=%llu updateActiveReturns=%llu "
+                 "newSbRaces=%llu partialPuts=%llu partialGets=%llu "
+                 "descAllocs=%llu descRetires=%llu sbAcquires=%llu "
+                 "sbReleases=%llu\n",
+                 C(Counter::ActiveNullMisses),
+                 C(Counter::UpdateActiveReturns),
+                 C(Counter::NewSbInstallRaces),
+                 C(Counter::PartialListPuts), C(Counter::PartialListGets),
+                 C(Counter::DescAllocs), C(Counter::DescRetires),
+                 C(Counter::SbAcquires), C(Counter::SbReleases));
+    std::fprintf(Out, "  hazard: scans=%llu reclaims=%llu retired=%llu\n",
+                 static_cast<unsigned long long>(Domain.scanCount()),
+                 static_cast<unsigned long long>(Domain.reclaimCount()),
+                 static_cast<unsigned long long>(Domain.retiredCount()));
+    if (Tel->traceEnabled())
+      std::fprintf(Out, "  trace: emitted=%llu overwritten=%llu drops=%llu\n",
+                   static_cast<unsigned long long>(Tel->traceEventsEmitted()),
+                   static_cast<unsigned long long>(
+                       Tel->traceEventsOverwritten()),
+                   C(Counter::TraceDrops));
+  }
+#endif
   const PageStats Space = Pages.stats();
   std::fprintf(Out,
                "  space: %.2f MB mapped, %.2f MB peak, %llu maps, %llu "

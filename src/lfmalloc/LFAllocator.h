@@ -30,6 +30,8 @@
 #include "lfmalloc/SizeClasses.h"
 #include "lfmalloc/SuperblockCache.h"
 #include "os/PageAllocator.h"
+#include "telemetry/MetricsSnapshot.h"
+#include "telemetry/TelemetryConfig.h"
 
 #include <atomic>
 #include <cstddef>
@@ -37,6 +39,12 @@
 #include <cstdio>
 
 namespace lfm {
+
+#if LFM_TELEMETRY
+namespace telemetry {
+class Telemetry;
+}
+#endif
 
 /// Per-size-class runtime state: the paper's `typedef sizeclass` (Fig. 3)
 /// — block size, superblock size, and the class-wide partial list.
@@ -122,6 +130,23 @@ public:
   /// \returns operation counters (zeros unless options().EnableStats).
   OpStats opStats() const;
 
+  /// \returns the full metrics snapshot: every telemetry counter, space
+  /// accounting, and subsystem gauges. Counters beyond the legacy OpStats
+  /// set are zero unless built with LFM_TELEMETRY=1 (see
+  /// MetricsSnapshot::TelemetryCompiled) and options().EnableStats.
+  /// Racy-but-consistent-per-word while threads run; exact at quiescence.
+  telemetry::MetricsSnapshot metricsSnapshot() const;
+
+  /// Writes metricsSnapshot() as one JSON object ("lfm-metrics-v1") to
+  /// \p Out. Well-formed in every build configuration.
+  void metricsJson(std::FILE *Out) const;
+
+  /// Writes recorded trace events as Chrome trace JSON ({"traceEvents":
+  /// [...]}; load in chrome://tracing or Perfetto). An empty event array
+  /// unless options().EnableTrace and LFM_TELEMETRY=1. Safe to call while
+  /// other threads allocate (events they race past are skipped).
+  void traceJson(std::FILE *Out) const;
+
   /// Returns fully-free hyperblocks and fully-free descriptor superblocks
   /// to the OS (quiescent-state only; §3.2.5 extensions).
   std::size_t trimQuiescent() {
@@ -169,8 +194,14 @@ private:
   ProcHeap *Heaps = nullptr;   ///< [ClassCount * HeapCount].
   void *ControlRegion = nullptr; ///< Backing mapping for the two arrays.
   std::size_t ControlBytes = 0;
+#if LFM_TELEMETRY
+  /// Sharded counters + trace rings, placement-constructed in the control
+  /// region. Non-null when EnableStats or EnableTrace.
+  telemetry::Telemetry *Tel = nullptr;
+#else
   struct AtomicOpStats;
   AtomicOpStats *Stats = nullptr; ///< Non-null when EnableStats.
+#endif
 };
 
 } // namespace lfm

@@ -8,16 +8,41 @@
 
 #include "lfmalloc/LFAllocator.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <new>
 
 using namespace lfm;
+
+namespace {
+
+/// Environment flag reader for the default instance's telemetry gating.
+/// getenv only — no allocation, usable before main().
+bool envFlag(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && V[0] != '\0' && !(V[0] == '0' && V[1] == '\0');
+}
+
+AllocatorOptions defaultOptions() {
+  AllocatorOptions Opts;
+  Opts.EnableStats = envFlag("LFM_STATS");
+  Opts.EnableTrace = envFlag("LFM_TRACE");
+  if (const char *Cap = std::getenv("LFM_TRACE_EVENTS")) {
+    const long N = std::atol(Cap);
+    if (N > 0)
+      Opts.TraceEventsPerThread = static_cast<unsigned>(N);
+  }
+  return Opts;
+}
+
+} // namespace
 
 LFAllocator &lfm::defaultAllocator() {
   // Immortal storage (constructed on first use, never destroyed): avoids
   // static-destructor ordering hazards and keeps the allocator usable from
   // code running during process shutdown.
   alignas(LFAllocator) static unsigned char Storage[sizeof(LFAllocator)];
-  static LFAllocator *Instance = new (Storage) LFAllocator();
+  static LFAllocator *Instance = new (Storage) LFAllocator(defaultOptions());
   return *Instance;
 }
 
@@ -54,4 +79,35 @@ void *lf_aligned_alloc(size_t Alignment, size_t Bytes) {
 }
 size_t lf_malloc_usable_size(const void *Ptr) {
   return lfm::lfUsableSize(Ptr);
+}
+
+namespace {
+
+int writeToPathOrStderr(const char *Path,
+                        void (LFAllocator::*Writer)(std::FILE *) const) {
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  if (!Path || Path[0] == '\0') {
+    (Alloc.*Writer)(stderr);
+    return 0;
+  }
+  std::FILE *Out = std::fopen(Path, "w");
+  if (!Out)
+    return -1;
+  (Alloc.*Writer)(Out);
+  std::fclose(Out);
+  return 0;
+}
+
+} // namespace
+
+void lf_malloc_stats(void) {
+  lfm::defaultAllocator().metricsJson(stderr);
+}
+
+int lf_malloc_metrics_json(const char *Path) {
+  return writeToPathOrStderr(Path, &LFAllocator::metricsJson);
+}
+
+int lf_malloc_trace_dump(const char *Path) {
+  return writeToPathOrStderr(Path, &LFAllocator::traceJson);
 }

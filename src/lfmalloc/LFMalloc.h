@@ -29,6 +29,13 @@ class LFAllocator;
 /// \returns the immortal process-wide allocator (created on first use,
 /// never destroyed — so signal handlers and exiting threads can always
 /// rely on it).
+///
+/// Telemetry for this instance is controlled by environment variables read
+/// at first use (the instance has no other configuration channel when it
+/// is interposed as the process malloc):
+///   LFM_STATS=1        maintain operation counters
+///   LFM_TRACE=1        record trace events (implies counters)
+///   LFM_TRACE_EVENTS=N per-thread trace-ring capacity (default 4096)
 LFAllocator &defaultAllocator();
 
 /// malloc(): lock-free allocation from the default allocator.
@@ -60,6 +67,21 @@ void *lf_calloc(size_t Num, size_t Size);
 void *lf_realloc(void *Ptr, size_t Bytes);
 void *lf_aligned_alloc(size_t Alignment, size_t Bytes);
 size_t lf_malloc_usable_size(const void *Ptr);
+
+/// Writes the default allocator's metrics JSON to stderr (counters are
+/// zero unless LFM_STATS/LFM_TRACE was set at first use).
+void lf_malloc_stats(void);
+
+/// Writes the default allocator's metrics JSON to \p Path (null or ""
+/// selects stderr). \returns 0 on success, -1 if the file cannot be
+/// opened.
+int lf_malloc_metrics_json(const char *Path);
+
+/// Writes the default allocator's recorded trace as Chrome trace JSON to
+/// \p Path (null or "" selects stderr; empty event list unless LFM_TRACE
+/// was set at first use). \returns 0 on success, -1 if the file cannot be
+/// opened.
+int lf_malloc_trace_dump(const char *Path);
 }
 
 #endif // LFMALLOC_LFMALLOC_LFMALLOC_H

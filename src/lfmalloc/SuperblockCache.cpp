@@ -7,6 +7,7 @@
 #include "lfmalloc/SuperblockCache.h"
 
 #include "support/Platform.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <new>
@@ -36,13 +37,20 @@ SuperblockCache::~SuperblockCache() {
 }
 
 void *SuperblockCache::acquire() {
-  if (HyperSize == 0)
-    return Pages.map(SbSize);
+  if (HyperSize == 0) {
+    void *Sb = Pages.map(SbSize);
+    if (Sb) {
+      LFM_TEL_CTR(Tel, SbAcquires);
+      LFM_TEL_EVT(Tel, OsMap, SbSize, 0);
+    }
+    return Sb;
+  }
 
   for (;;) {
     if (FreeSb *Sb = FreeList.pop()) {
       CachedSbs.fetch_sub(1, std::memory_order_relaxed);
       hyperOf(Sb)->FreeCount.fetch_sub(1, std::memory_order_relaxed);
+      LFM_TEL_CTR(Tel, SbAcquires);
       return Sb;
     }
     if (!mintHyperblock())
@@ -52,8 +60,10 @@ void *SuperblockCache::acquire() {
 
 void SuperblockCache::release(void *Sb) {
   assert(Sb && "releasing null superblock");
+  LFM_TEL_CTR(Tel, SbReleases);
   if (HyperSize == 0) {
     Pages.unmap(Sb, SbSize);
+    LFM_TEL_EVT(Tel, OsUnmap, SbSize, 0);
     return;
   }
   hyperOf(Sb)->FreeCount.fetch_add(1, std::memory_order_relaxed);
@@ -65,6 +75,8 @@ bool SuperblockCache::mintHyperblock() {
   void *Raw = Pages.map(HyperSize, HyperSize);
   if (!Raw)
     return false;
+  LFM_TEL_CTR(Tel, HyperblockMaps);
+  LFM_TEL_EVT(Tel, OsMap, HyperSize, 0);
   auto *Hyper = new (Raw) HyperHeader();
   Hyper->FreeCount.store(SbsPerHyper, std::memory_order_relaxed);
   Hyper->Next = Hypers.load(std::memory_order_relaxed);
@@ -128,6 +140,8 @@ std::size_t SuperblockCache::trimQuiescent() {
   while (DeadList) {
     HyperHeader *Next = DeadList->Next;
     Pages.unmap(DeadList, HyperSize);
+    LFM_TEL_CTR(Tel, HyperblockUnmaps);
+    LFM_TEL_EVT(Tel, OsUnmap, HyperSize, 0);
     Freed += HyperSize;
     DeadList = Next;
   }

@@ -23,11 +23,18 @@
 
 #include "lockfree/TreiberStack.h"
 #include "os/PageAllocator.h"
+#include "telemetry/TelemetryConfig.h"
 
 #include <atomic>
 #include <cstdint>
 
 namespace lfm {
+
+#if LFM_TELEMETRY
+namespace telemetry {
+class Telemetry;
+}
+#endif
 
 /// Hands out and takes back superblock-sized memory regions, optionally
 /// batching them in aligned hyperblocks.
@@ -67,6 +74,12 @@ public:
 
   std::size_t superblockSize() const { return SbSize; }
 
+#if LFM_TELEMETRY
+  /// Attaches the owning allocator's telemetry (may be null). Called once
+  /// before the cache is shared between threads.
+  void setTelemetry(telemetry::Telemetry *T) { Tel = T; }
+#endif
+
 private:
   /// Lives in the first bytes of a free superblock while it is cached.
   struct FreeSb {
@@ -93,6 +106,9 @@ private:
   TreiberStack<FreeSb> FreeList;
   std::atomic<HyperHeader *> Hypers{nullptr};
   std::atomic<std::uint64_t> CachedSbs{0};
+#if LFM_TELEMETRY
+  telemetry::Telemetry *Tel = nullptr;
+#endif
 };
 
 } // namespace lfm

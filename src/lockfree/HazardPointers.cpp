@@ -218,7 +218,10 @@ void HazardDomain::retire(HazardErasable *Obj,
   Record *Rec = myRecord();
   Obj->RetiredNext = Rec->RetiredHead;
   Rec->RetiredHead = Obj;
-  if (++Rec->RetiredCount >= ScanThreshold)
+  const std::uint32_t Pending =
+      Rec->RetiredCount.load(std::memory_order_relaxed) + 1;
+  Rec->RetiredCount.store(Pending, std::memory_order_relaxed);
+  if (Pending >= ScanThreshold)
     scan(Rec);
 }
 
@@ -251,7 +254,7 @@ void HazardDomain::scan(Record *Rec) {
   std::uint32_t SurvivorCount = 0;
   HazardErasable *Obj = Rec->RetiredHead;
   Rec->RetiredHead = nullptr;
-  Rec->RetiredCount = 0;
+  Rec->RetiredCount.store(0, std::memory_order_relaxed);
   while (Obj) {
     HazardErasable *Next = Obj->RetiredNext;
     if (std::binary_search(Hazards, Hazards + NumHazards,
@@ -261,9 +264,11 @@ void HazardDomain::scan(Record *Rec) {
       ++SurvivorCount;
     } else {
       Obj->Reclaim(Obj, Obj->ReclaimCtx);
+      Reclaims.fetch_add(1, std::memory_order_relaxed);
     }
     Obj = Next;
   }
+  Scans.fetch_add(1, std::memory_order_relaxed);
   // Prepend survivors to whatever re-entrant retires accumulated — do
   // not overwrite, or those objects would leak unreclaimed.
   if (Survivors) {
@@ -272,7 +277,9 @@ void HazardDomain::scan(Record *Rec) {
       Tail = Tail->RetiredNext;
     Tail->RetiredNext = Rec->RetiredHead;
     Rec->RetiredHead = Survivors;
-    Rec->RetiredCount += SurvivorCount;
+    Rec->RetiredCount.store(
+        Rec->RetiredCount.load(std::memory_order_relaxed) + SurvivorCount,
+        std::memory_order_relaxed);
   }
 }
 
@@ -281,7 +288,7 @@ void HazardDomain::releaseRecord(Record *Rec) {
     Rec->Slots[I].store(nullptr, std::memory_order_release);
   // Try to shed this thread's retired backlog before handing the record
   // (and any survivors, which the next owner adopts) back to the pool.
-  if (Rec->RetiredCount > 0)
+  if (Rec->RetiredCount.load(std::memory_order_relaxed) > 0)
     scan(Rec);
   Rec->Active.store(false, std::memory_order_release);
 }
@@ -301,7 +308,7 @@ std::uint64_t HazardDomain::retiredCount() const {
   const unsigned Watermark =
       RecordWatermarkCount.load(std::memory_order_acquire);
   for (unsigned I = 0; I < Watermark; ++I)
-    Total += Records[I].RetiredCount;
+    Total += Records[I].RetiredCount.load(std::memory_order_relaxed);
   return Total;
 }
 

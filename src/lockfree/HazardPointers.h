@@ -146,13 +146,28 @@ public:
   /// \returns number of records ever activated (high-water; for tests).
   unsigned recordWatermark() const;
 
+  /// \returns the number of scan passes this domain has run (monotonic;
+  /// for the telemetry gauges — scans are rare, one shared counter is
+  /// contention-free in practice).
+  std::uint64_t scanCount() const {
+    return Scans.load(std::memory_order_relaxed);
+  }
+
+  /// \returns the number of retired objects scans have reclaimed.
+  std::uint64_t reclaimCount() const {
+    return Reclaims.load(std::memory_order_relaxed);
+  }
+
 private:
   struct alignas(CacheLineSize) Record {
     std::atomic<void *> Slots[SlotsPerThread];
     std::atomic<bool> Active;
-    // Owned by the record holder; adopted with the record itself.
+    // Owned by the record holder; adopted with the record itself. The
+    // count is atomic only because retiredCount() sums it from other
+    // threads (relaxed — a monitoring gauge); the holder is the sole
+    // writer.
     HazardErasable *RetiredHead;
-    std::uint32_t RetiredCount;
+    std::atomic<std::uint32_t> RetiredCount;
   };
   static_assert(sizeof(void *) * SlotsPerThread + 16 <= CacheLineSize,
                 "Record must fit one cache line");
@@ -166,6 +181,8 @@ private:
 
   Record *Records = nullptr;
   std::atomic<unsigned> RecordWatermarkCount{0};
+  std::atomic<std::uint64_t> Scans{0};
+  std::atomic<std::uint64_t> Reclaims{0};
   PageAllocator Pages;
   std::uint64_t DomainId;
 };

@@ -85,4 +85,9 @@ size_t malloc_usable_size(void *Ptr) {
   return Ptr ? defaultAllocator().usableSize(Ptr) : 0;
 }
 
+// glibc's malloc_stats() prints arena statistics to stderr; ours prints
+// the telemetry metrics JSON (counters require LFM_STATS=1 or LFM_TRACE=1
+// in the environment at first allocation).
+void malloc_stats(void) { defaultAllocator().metricsJson(stderr); }
+
 } // extern "C"

@@ -12,17 +12,14 @@ namespace {
 
 std::atomic<std::uint32_t> NextIndex{0};
 
-// Sentinel meaning "not yet assigned"; real indices start at 0.
-constexpr std::uint32_t Unassigned = ~0u;
-
-thread_local std::uint32_t CachedIndex = Unassigned;
-
 } // namespace
 
-std::uint32_t lfm::threadIndex() {
-  if (CachedIndex == Unassigned)
-    CachedIndex = NextIndex.fetch_add(1, std::memory_order_relaxed);
-  return CachedIndex;
+thread_local std::uint32_t lfm::detail::CachedThreadIndex =
+    lfm::detail::UnassignedThreadIndex;
+
+std::uint32_t lfm::detail::assignThreadIndex() {
+  CachedThreadIndex = NextIndex.fetch_add(1, std::memory_order_relaxed);
+  return CachedThreadIndex;
 }
 
 std::uint32_t lfm::threadIndexWatermark() {

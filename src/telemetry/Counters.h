@@ -1,0 +1,145 @@
+//===- telemetry/Counters.h - Sharded lock-free counters ---------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocator's operation counters, sharded to defeat false sharing.
+///
+/// The pre-telemetry design kept one atomic per counter in a single block:
+/// under 8+ threads every malloc bounced the same cache lines between
+/// cores, perturbing exactly the hot paths the counters are meant to
+/// measure. Here each thread increments a shard selected by its dense
+/// \c threadIndex(); shards are cache-line aligned so threads (mod
+/// ShardCount) never share a line. Increments are relaxed fetch-adds —
+/// always lock-free and async-signal-safe — and reads aggregate across
+/// shards, trading read cost (rare) for increment cost (hot).
+///
+/// This is the same per-thread/per-shard statistics discipline scalable
+/// allocators like scalloc and NBBS use to attribute contention losses to
+/// specific CAS loops without distorting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_COUNTERS_H
+#define LFMALLOC_TELEMETRY_COUNTERS_H
+
+#include "support/Platform.h"
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+/// Every counter the allocator maintains. The first eight are the legacy
+/// OpStats set; the rest attribute time and space to specific mechanisms
+/// of the paper's algorithm (see docs/OBSERVABILITY.md for the glossary).
+enum class Counter : unsigned {
+  // Core operation counts (the legacy OpStats set).
+  Mallocs,      ///< allocate() calls (every path).
+  Frees,        ///< deallocate() calls (every path, nulls excluded).
+  FromActive,   ///< Mallocs served by the Active fast path (Fig. 4).
+  FromPartial,  ///< Mallocs served from a PARTIAL superblock.
+  FromNewSb,    ///< Mallocs that installed a fresh superblock.
+  LargeMallocs, ///< Mallocs taking the large (direct mmap) path.
+  LargeFrees,   ///< Frees of large blocks.
+  SbFreed,      ///< Superblocks whose last free made them EMPTY.
+
+  // CAS retry attribution (a "retry" is a failed CAS attempt; zero under
+  // no contention).
+  ActiveReserveRetries, ///< Fig. 4 MallocFromActive credit-reservation CAS.
+  ActivePopRetries,     ///< Fig. 4 MallocFromActive block-pop anchor CAS.
+  PartialReserveRetries,///< Fig. 4 MallocFromPartial reservation anchor CAS.
+  PartialPopRetries,    ///< Fig. 4 MallocFromPartial block-pop anchor CAS.
+  FreePushRetries,      ///< Fig. 6 free() block-push anchor CAS.
+  UpdateActiveRetries,  ///< Fig. 4 UpdateActive credit-return anchor CAS.
+
+  // Path events.
+  ActiveNullMisses,   ///< Active-credit reservation failures: reservation
+                      ///< found no active superblock installed.
+  UpdateActiveReturns,///< UpdateActive lost the install race; credits
+                      ///< returned to the anchor, superblock to PARTIAL.
+  NewSbInstallRaces,  ///< MallocFromNewSB lost the Active install race and
+                      ///< deallocated its fresh superblock.
+
+  // Partial-list traffic (the class-wide shared list, §3.2.6).
+  PartialListPuts, ///< Descriptors demoted into the class-wide list.
+  PartialListGets, ///< Descriptors taken from the class-wide list.
+
+  // Descriptor lifecycle (Fig. 7).
+  DescAllocs,   ///< DescAlloc pops (or minted-batch firsts).
+  DescRetires,  ///< DescRetire calls (deferred through hazard domain).
+  DescChunkMaps,///< Descriptor superblocks (DESCSBSIZE) mapped from the OS.
+
+  // Superblock / hyperblock supply (§3.2.5).
+  SbAcquires,     ///< Superblocks handed out by the cache.
+  SbReleases,     ///< Superblocks returned to the cache (or OS).
+  HyperblockMaps, ///< Hyperblocks mapped from the OS.
+  HyperblockUnmaps, ///< Hyperblocks returned to the OS (trim).
+
+  // Telemetry self-accounting.
+  TraceDrops, ///< Trace events dropped (no ring: thread index too high or
+              ///< ring allocation failed).
+
+  CounterCount
+};
+
+inline constexpr unsigned NumCounters =
+    static_cast<unsigned>(Counter::CounterCount);
+
+/// \returns the stable snake_case name exported in metrics JSON.
+const char *counterName(Counter C);
+
+/// Cache-line-padded counter shards. Increment: one relaxed fetch-add on
+/// the calling thread's shard. Read: sum over shards (racy snapshot, exact
+/// once writers are quiescent).
+class CounterSet {
+public:
+  /// Shards; power of two. 16 × 64 B of padding keeps the set compact
+  /// while separating up to 16 concurrent incrementers.
+  static constexpr unsigned ShardCount = 16;
+
+  CounterSet() = default;
+  CounterSet(const CounterSet &) = delete;
+  CounterSet &operator=(const CounterSet &) = delete;
+
+  /// Adds \p N to \p C on this thread's shard. Lock-free, relaxed,
+  /// async-signal-safe.
+  void add(Counter C, std::uint64_t N = 1) {
+    Shards[threadIndex() & (ShardCount - 1)]
+        .Vals[static_cast<unsigned>(C)]
+        .fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// \returns the aggregated total of \p C across all shards.
+  std::uint64_t total(Counter C) const {
+    std::uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.Vals[static_cast<unsigned>(C)].load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  /// Aggregates every counter into \p Out (indexed by Counter).
+  void snapshot(std::uint64_t (&Out)[NumCounters]) const {
+    for (unsigned C = 0; C < NumCounters; ++C)
+      Out[C] = 0;
+    for (const Shard &S : Shards)
+      for (unsigned C = 0; C < NumCounters; ++C)
+        Out[C] += S.Vals[C].load(std::memory_order_relaxed);
+  }
+
+private:
+  struct alignas(CacheLineSize) Shard {
+    std::atomic<std::uint64_t> Vals[NumCounters] = {};
+  };
+
+  Shard Shards[ShardCount];
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_COUNTERS_H

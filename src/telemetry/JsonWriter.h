@@ -1,0 +1,151 @@
+//===- telemetry/JsonWriter.h - Minimal streaming JSON writer ----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON emitter over std::FILE*. Just enough structure
+/// (objects, arrays, comma bookkeeping, string escaping) to guarantee the
+/// metrics and trace exports are well-formed without pulling a JSON
+/// dependency into an allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_JSONWRITER_H
+#define LFMALLOC_TELEMETRY_JSONWRITER_H
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+namespace lfm {
+namespace telemetry {
+
+/// Streaming JSON writer. The caller is responsible for balanced
+/// begin/end calls; the writer handles commas and escaping.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::FILE *Out) : Out(Out) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Starts "key": inside an object; follow with a value or begin call.
+  void key(const char *K) {
+    comma();
+    string(K);
+    std::fputc(':', Out);
+    JustWroteKey = true;
+  }
+
+  void value(std::uint64_t V) {
+    comma();
+    std::fprintf(Out, "%" PRIu64, V);
+  }
+
+  void value(std::int64_t V) {
+    comma();
+    std::fprintf(Out, "%" PRId64, V);
+  }
+
+  void value(double V) {
+    comma();
+    std::fprintf(Out, "%.6g", V);
+  }
+
+  void value(bool V) {
+    comma();
+    std::fputs(V ? "true" : "false", Out);
+  }
+
+  void value(const char *V) {
+    comma();
+    string(V);
+  }
+
+  /// Convenience: key + integer value.
+  void field(const char *K, std::uint64_t V) {
+    key(K);
+    value(V);
+  }
+
+  void field(const char *K, bool V) {
+    key(K);
+    value(V);
+  }
+
+  void field(const char *K, const char *V) {
+    key(K);
+    value(V);
+  }
+
+  void fieldDouble(const char *K, double V) {
+    key(K);
+    value(V);
+  }
+
+private:
+  void open(char C) {
+    comma();
+    std::fputc(C, Out);
+    NeedComma = false;
+  }
+
+  void close(char C) {
+    std::fputc(C, Out);
+    NeedComma = true;
+    JustWroteKey = false;
+  }
+
+  void comma() {
+    if (JustWroteKey) {
+      JustWroteKey = false;
+      return; // Value directly after its key: no comma.
+    }
+    if (NeedComma)
+      std::fputc(',', Out);
+    NeedComma = true;
+  }
+
+  void string(const char *S) {
+    std::fputc('"', Out);
+    for (; *S; ++S) {
+      const unsigned char C = static_cast<unsigned char>(*S);
+      switch (C) {
+      case '"':
+        std::fputs("\\\"", Out);
+        break;
+      case '\\':
+        std::fputs("\\\\", Out);
+        break;
+      case '\n':
+        std::fputs("\\n", Out);
+        break;
+      case '\t':
+        std::fputs("\\t", Out);
+        break;
+      case '\r':
+        std::fputs("\\r", Out);
+        break;
+      default:
+        if (C < 0x20)
+          std::fprintf(Out, "\\u%04x", C);
+        else
+          std::fputc(C, Out);
+      }
+    }
+    std::fputc('"', Out);
+  }
+
+  std::FILE *Out;
+  bool NeedComma = false;
+  bool JustWroteKey = false;
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_JSONWRITER_H

@@ -1,0 +1,73 @@
+//===- telemetry/MetricsSnapshot.h - Stable metrics export -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable, versioned view of an allocator's metrics: every telemetry
+/// counter plus space accounting and subsystem gauges, flattened into one
+/// plain struct so harnesses and tests consume a fixed ABI rather than
+/// poking at allocator internals. writeMetricsJson() renders it as the
+/// machine-readable form the benchmark driver's --metrics-json flag emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_METRICSSNAPSHOT_H
+#define LFMALLOC_TELEMETRY_METRICSSNAPSHOT_H
+
+#include "os/PageAllocator.h"
+#include "telemetry/Counters.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace lfm {
+namespace telemetry {
+
+/// Point-in-time metrics for one allocator instance. Counter values are
+/// racy snapshots while threads run and exact once they quiesce.
+struct MetricsSnapshot {
+  /// All telemetry counters, indexed by Counter. Zero when the build or
+  /// the instance has telemetry disabled.
+  std::uint64_t Counters[NumCounters] = {};
+
+  /// Space accounting from the allocator's PageAllocator.
+  PageStats Space = {};
+
+  // Subsystem gauges (current values, not monotonic).
+  std::uint64_t CachedSuperblocks = 0;  ///< Superblocks idle in the cache.
+  std::uint64_t DescriptorsMinted = 0;  ///< Descriptors ever created.
+  std::uint64_t HazardRetired = 0;      ///< Nodes awaiting reclamation.
+  std::uint64_t HazardScans = 0;        ///< Hazard-pointer scan() passes.
+  std::uint64_t HazardReclaims = 0;     ///< Nodes freed by scans.
+
+  // Trace-ring accounting (zero when tracing is off).
+  std::uint64_t TraceEventsEmitted = 0;
+  std::uint64_t TraceEventsOverwritten = 0;
+
+  // Configuration echo, so a JSON consumer can interpret the numbers.
+  std::uint64_t Heaps = 0;
+  std::uint64_t Classes = 0;
+  std::uint64_t SuperblockBytes = 0;
+  std::uint64_t HyperblockBytes = 0;
+  bool PartialPolicyFifo = false;
+  bool StatsEnabled = false;
+  bool TraceEnabled = false;
+  /// False when the library was built with LFM_TELEMETRY=0 (counters
+  /// beyond the legacy eight are then structurally zero).
+  bool TelemetryCompiled = false;
+
+  std::uint64_t counter(Counter C) const {
+    return Counters[static_cast<unsigned>(C)];
+  }
+};
+
+/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v1",
+/// "config":{...},"space":{...},"counters":{...},"gauges":{...}}.
+void writeMetricsJson(const MetricsSnapshot &Snap, std::FILE *Out);
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_METRICSSNAPSHOT_H

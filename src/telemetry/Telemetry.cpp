@@ -1,0 +1,285 @@
+//===- telemetry/Telemetry.cpp - Allocator observability facade -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "support/Timing.h"
+#include "telemetry/JsonWriter.h"
+#include "telemetry/MetricsSnapshot.h"
+
+#include <algorithm>
+#include <new>
+
+using namespace lfm;
+using namespace lfm::telemetry;
+
+const char *lfm::telemetry::counterName(Counter C) {
+  switch (C) {
+  case Counter::Mallocs:
+    return "mallocs";
+  case Counter::Frees:
+    return "frees";
+  case Counter::FromActive:
+    return "from_active";
+  case Counter::FromPartial:
+    return "from_partial";
+  case Counter::FromNewSb:
+    return "from_new_sb";
+  case Counter::LargeMallocs:
+    return "large_mallocs";
+  case Counter::LargeFrees:
+    return "large_frees";
+  case Counter::SbFreed:
+    return "sb_freed";
+  case Counter::ActiveReserveRetries:
+    return "active_reserve_retries";
+  case Counter::ActivePopRetries:
+    return "active_pop_retries";
+  case Counter::PartialReserveRetries:
+    return "partial_reserve_retries";
+  case Counter::PartialPopRetries:
+    return "partial_pop_retries";
+  case Counter::FreePushRetries:
+    return "free_push_retries";
+  case Counter::UpdateActiveRetries:
+    return "update_active_retries";
+  case Counter::ActiveNullMisses:
+    return "active_null_misses";
+  case Counter::UpdateActiveReturns:
+    return "update_active_returns";
+  case Counter::NewSbInstallRaces:
+    return "new_sb_install_races";
+  case Counter::PartialListPuts:
+    return "partial_list_puts";
+  case Counter::PartialListGets:
+    return "partial_list_gets";
+  case Counter::DescAllocs:
+    return "desc_allocs";
+  case Counter::DescRetires:
+    return "desc_retires";
+  case Counter::DescChunkMaps:
+    return "desc_chunk_maps";
+  case Counter::SbAcquires:
+    return "sb_acquires";
+  case Counter::SbReleases:
+    return "sb_releases";
+  case Counter::HyperblockMaps:
+    return "hyperblock_maps";
+  case Counter::HyperblockUnmaps:
+    return "hyperblock_unmaps";
+  case Counter::TraceDrops:
+    return "trace_drops";
+  case Counter::CounterCount:
+    break;
+  }
+  return "unknown";
+}
+
+const char *lfm::telemetry::eventTypeName(EventType T) {
+  switch (T) {
+  case EventType::SbNew:
+    return "sb_new";
+  case EventType::SbActive:
+    return "sb_active";
+  case EventType::SbPartial:
+    return "sb_partial";
+  case EventType::SbFull:
+    return "sb_full";
+  case EventType::SbEmpty:
+    return "sb_empty";
+  case EventType::DescRetired:
+    return "desc_retired";
+  case EventType::OsMap:
+    return "os_map";
+  case EventType::OsUnmap:
+    return "os_unmap";
+  case EventType::None:
+  case EventType::EventTypeCount:
+    break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint32_t roundUpPow2(std::uint32_t V) {
+  if (V < 2)
+    return 2;
+  std::uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+Telemetry::Telemetry(const Options &Opts)
+    : TraceOn(Opts.Trace),
+      RingCapacity(roundUpPow2(Opts.TraceEventsPerThread)) {}
+
+Telemetry::~Telemetry() {
+  for (std::atomic<TraceRing *> &SlotRef : Rings) {
+    TraceRing *Ring = SlotRef.load(std::memory_order_acquire);
+    if (Ring != nullptr) {
+      Ring->~TraceRing();
+      RingPages.unmap(Ring, TraceRing::bytesFor(Ring->capacity()));
+    }
+  }
+}
+
+TraceRing *Telemetry::myRing() {
+  const std::uint32_t Tid = threadIndex();
+  if (LFM_UNLIKELY(Tid >= MaxTraceThreads))
+    return nullptr;
+  TraceRing *Ring = Rings[Tid].load(std::memory_order_acquire);
+  if (LFM_LIKELY(Ring != nullptr))
+    return Ring;
+  // First event on this thread: map and publish its ring. The slot is
+  // written only by this thread, so a plain release store suffices.
+  void *Mem = RingPages.map(TraceRing::bytesFor(RingCapacity));
+  if (Mem == nullptr)
+    return nullptr;
+  Ring = new (Mem) TraceRing(Tid, RingCapacity);
+  Rings[Tid].store(Ring, std::memory_order_release);
+  return Ring;
+}
+
+void Telemetry::trace(EventType Type, std::uint64_t Arg0,
+                      std::uint64_t Arg1) {
+  if (!TraceOn)
+    return;
+  TraceRing *Ring = myRing();
+  if (LFM_UNLIKELY(Ring == nullptr)) {
+    Counters.add(Counter::TraceDrops);
+    return;
+  }
+  Ring->emit(Type, monotonicNanos(), Arg0, Arg1);
+}
+
+std::uint64_t Telemetry::traceEventsEmitted() const {
+  std::uint64_t Sum = 0;
+  for (const std::atomic<TraceRing *> &SlotRef : Rings)
+    if (const TraceRing *Ring = SlotRef.load(std::memory_order_acquire))
+      Sum += Ring->emitted();
+  return Sum;
+}
+
+std::uint64_t Telemetry::traceEventsOverwritten() const {
+  std::uint64_t Sum = 0;
+  for (const std::atomic<TraceRing *> &SlotRef : Rings)
+    if (const TraceRing *Ring = SlotRef.load(std::memory_order_acquire))
+      Sum += Ring->overwritten();
+  return Sum;
+}
+
+void Telemetry::writeTraceJson(std::FILE *Out) const {
+  // Gather the stable events of every ring into one scratch buffer, mapped
+  // from the telemetry's own page source so the export path never calls
+  // the allocator it is describing.
+  std::uint64_t MaxEvents = 0;
+  for (const std::atomic<TraceRing *> &SlotRef : Rings)
+    if (SlotRef.load(std::memory_order_acquire) != nullptr)
+      MaxEvents += RingCapacity;
+
+  TraceEvent *Events = nullptr;
+  const std::size_t ScratchBytes = MaxEvents * sizeof(TraceEvent);
+  std::uint64_t N = 0;
+  if (MaxEvents > 0) {
+    // const_cast: ring storage is mutable bookkeeping; the logical state
+    // of the Telemetry is unchanged by exporting.
+    auto &Pages = const_cast<PageAllocator &>(RingPages);
+    Events = static_cast<TraceEvent *>(Pages.map(ScratchBytes));
+    if (Events != nullptr) {
+      for (const std::atomic<TraceRing *> &SlotRef : Rings)
+        if (const TraceRing *Ring = SlotRef.load(std::memory_order_acquire))
+          N += Ring->drain(Events + N,
+                           static_cast<std::uint32_t>(MaxEvents - N));
+      std::sort(Events, Events + N,
+                [](const TraceEvent &A, const TraceEvent &B) {
+                  return A.TimestampNs < B.TimestampNs;
+                });
+    }
+  }
+
+  JsonWriter W(Out);
+  W.beginObject();
+  W.field("displayTimeUnit", "ns");
+  W.key("traceEvents");
+  W.beginArray();
+  for (std::uint64_t I = 0; I < N; ++I) {
+    const TraceEvent &E = Events[I];
+    W.beginObject();
+    W.field("name", eventTypeName(E.Type));
+    W.field("cat", "lfm");
+    W.field("ph", "i"); // Instant event.
+    W.field("s", "t");  // Thread-scoped.
+    W.key("ts");        // Chrome expects microseconds.
+    W.value(static_cast<double>(E.TimestampNs) / 1000.0);
+    W.field("pid", std::uint64_t{1});
+    W.field("tid", std::uint64_t{E.Tid});
+    W.key("args");
+    W.beginObject();
+    W.field("arg0", E.Arg0);
+    W.field("arg1", E.Arg1);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::fputc('\n', Out);
+
+  if (Events != nullptr) {
+    auto &Pages = const_cast<PageAllocator &>(RingPages);
+    Pages.unmap(Events, ScratchBytes);
+  }
+}
+
+void lfm::telemetry::writeMetricsJson(const MetricsSnapshot &Snap,
+                                      std::FILE *Out) {
+  JsonWriter W(Out);
+  W.beginObject();
+  W.field("schema", "lfm-metrics-v1");
+
+  W.key("config");
+  W.beginObject();
+  W.field("heaps", Snap.Heaps);
+  W.field("size_classes", Snap.Classes);
+  W.field("superblock_bytes", Snap.SuperblockBytes);
+  W.field("hyperblock_bytes", Snap.HyperblockBytes);
+  W.field("partial_policy", Snap.PartialPolicyFifo ? "fifo" : "lifo");
+  W.field("stats_enabled", Snap.StatsEnabled);
+  W.field("trace_enabled", Snap.TraceEnabled);
+  W.field("telemetry_compiled", Snap.TelemetryCompiled);
+  W.endObject();
+
+  W.key("space");
+  W.beginObject();
+  W.field("bytes_in_use", Snap.Space.BytesInUse);
+  W.field("peak_bytes", Snap.Space.PeakBytes);
+  W.field("map_calls", Snap.Space.MapCalls);
+  W.field("unmap_calls", Snap.Space.UnmapCalls);
+  W.endObject();
+
+  W.key("counters");
+  W.beginObject();
+  for (unsigned C = 0; C < NumCounters; ++C)
+    W.field(counterName(static_cast<Counter>(C)), Snap.Counters[C]);
+  W.endObject();
+
+  W.key("gauges");
+  W.beginObject();
+  W.field("cached_superblocks", Snap.CachedSuperblocks);
+  W.field("descriptors_minted", Snap.DescriptorsMinted);
+  W.field("hazard_retired", Snap.HazardRetired);
+  W.field("hazard_scans", Snap.HazardScans);
+  W.field("hazard_reclaims", Snap.HazardReclaims);
+  W.field("trace_events_emitted", Snap.TraceEventsEmitted);
+  W.field("trace_events_overwritten", Snap.TraceEventsOverwritten);
+  W.endObject();
+
+  W.endObject();
+  std::fputc('\n', Out);
+}

@@ -1,0 +1,150 @@
+//===- telemetry/Telemetry.h - Allocator observability facade ----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The facade the allocator core talks to: one CounterSet plus a registry
+/// of per-thread trace rings, with Chrome-trace JSON export. Everything on
+/// the emission side is lock-free (counter bumps are relaxed fetch-adds,
+/// trace emits are wait-free single-writer ring stores); the only locking
+/// anywhere is inside the OS when a thread's ring is first mapped.
+///
+/// The facade owns a private PageAllocator for ring storage so tracing
+/// never perturbs the allocator's own space meter — the §4.2.5 space
+/// numbers stay honest with telemetry on.
+///
+/// Call sites in the allocator go through the LFM_TEL_* macros below,
+/// which compile to nothing under LFM_TELEMETRY=0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_TELEMETRY_H
+#define LFMALLOC_TELEMETRY_TELEMETRY_H
+
+#include "os/PageAllocator.h"
+#include "support/ThreadRegistry.h"
+#include "telemetry/Counters.h"
+#include "telemetry/TelemetryConfig.h"
+#include "telemetry/TraceRing.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace lfm {
+namespace telemetry {
+
+/// Per-instance telemetry: sharded counters, optional per-thread trace
+/// rings, JSON export. Constructed in-place by the allocator inside its
+/// control region.
+class Telemetry {
+public:
+  /// Highest threadIndex() that can own a trace ring. Threads beyond this
+  /// still count ops (counters shard by index modulo) but their trace
+  /// events are dropped and tallied under Counter::TraceDrops.
+  static constexpr std::uint32_t MaxTraceThreads = 256;
+
+  struct Options {
+    bool Trace = false; ///< Record events into per-thread rings.
+    std::uint32_t TraceEventsPerThread = 4096; ///< Ring capacity (pow2'd up).
+  };
+
+  explicit Telemetry(const Options &Opts);
+  ~Telemetry();
+
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  /// Counter bump: relaxed fetch-add on this thread's shard.
+  void count(Counter C, std::uint64_t N = 1) { Counters.add(C, N); }
+
+  /// \returns the aggregated value of \p C.
+  std::uint64_t counterTotal(Counter C) const { return Counters.total(C); }
+
+  const CounterSet &counters() const { return Counters; }
+
+  /// Records a trace event on this thread's ring (creating the ring on
+  /// first use). No-op when tracing is off.
+  void trace(EventType Type, std::uint64_t Arg0 = 0, std::uint64_t Arg1 = 0);
+
+  bool traceEnabled() const { return TraceOn; }
+
+  /// Sum of events ever emitted across all rings.
+  std::uint64_t traceEventsEmitted() const;
+
+  /// Sum of events overwritten (lost to ring wraparound) across all rings.
+  std::uint64_t traceEventsOverwritten() const;
+
+  /// Writes all rings, merged and sorted by timestamp, as Chrome trace
+  /// JSON ({"traceEvents":[...]}; load via chrome://tracing or Perfetto).
+  void writeTraceJson(std::FILE *Out) const;
+
+private:
+  TraceRing *myRing();
+
+  CounterSet Counters;
+  const bool TraceOn;
+  const std::uint32_t RingCapacity; ///< Power of two.
+  /// Ring pointers indexed by threadIndex(). Each slot is written once by
+  /// its owning thread (store-release) and read by drains (load-acquire).
+  std::atomic<TraceRing *> Rings[MaxTraceThreads] = {};
+  /// Private page source for ring storage; keeps the allocator's own
+  /// space meter free of telemetry overhead.
+  PageAllocator RingPages;
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+//===----------------------------------------------------------------------===//
+// Call-site macros. TelPtr is a (possibly null) Telemetry*; null means the
+// instance has telemetry disabled at runtime. Under LFM_TELEMETRY=0 all
+// three expand to nothing (arguments unevaluated, so call sites may name
+// members that only exist in telemetry builds).
+//===----------------------------------------------------------------------===//
+
+#if LFM_TELEMETRY
+
+/// Bump counter Name by 1 if telemetry is on for this instance.
+#define LFM_TEL_CTR(TelPtr, Name)                                            \
+  do {                                                                       \
+    if (LFM_UNLIKELY((TelPtr) != nullptr))                                   \
+      (TelPtr)->count(::lfm::telemetry::Counter::Name);                      \
+  } while (0)
+
+/// Bump counter Name by N (skipping the zero case entirely).
+#define LFM_TEL_CTR_N(TelPtr, Name, N)                                       \
+  do {                                                                       \
+    if (LFM_UNLIKELY((TelPtr) != nullptr)) {                                 \
+      const std::uint64_t TelN_ = (N);                                       \
+      if (TelN_ != 0)                                                        \
+        (TelPtr)->count(::lfm::telemetry::Counter::Name, TelN_);             \
+    }                                                                        \
+  } while (0)
+
+/// Record trace event Type with two payload words.
+#define LFM_TEL_EVT(TelPtr, Type, A0, A1)                                    \
+  do {                                                                       \
+    if (LFM_UNLIKELY((TelPtr) != nullptr))                                   \
+      (TelPtr)->trace(::lfm::telemetry::EventType::Type,                     \
+                      static_cast<std::uint64_t>(A0),                        \
+                      static_cast<std::uint64_t>(A1));                       \
+  } while (0)
+
+#else // !LFM_TELEMETRY
+
+#define LFM_TEL_CTR(TelPtr, Name)                                            \
+  do {                                                                       \
+  } while (0)
+#define LFM_TEL_CTR_N(TelPtr, Name, N)                                       \
+  do {                                                                       \
+  } while (0)
+#define LFM_TEL_EVT(TelPtr, Type, A0, A1)                                    \
+  do {                                                                       \
+  } while (0)
+
+#endif // LFM_TELEMETRY
+
+#endif // LFMALLOC_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,33 @@
+//===- telemetry/TelemetryConfig.h - Compile-time telemetry gate -*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one compile-time switch for the observability subsystem.
+///
+/// LFM_TELEMETRY == 1 (the default): the allocator carries sharded
+/// operation counters, per-thread event-trace rings, and JSON export,
+/// all runtime-gated per instance via AllocatorOptions (a predicted-null
+/// pointer check per site when disabled at runtime).
+///
+/// LFM_TELEMETRY == 0: every telemetry call site in the allocator compiles
+/// to nothing — the hot paths are bit-identical to the pre-telemetry code.
+/// The legacy OpStats counters remain available (seed-compatible single
+/// atomic block) so the core test suite passes in both configurations, and
+/// the export entry points still emit well-formed (reduced) JSON.
+///
+/// Build with -DLFM_TELEMETRY=0 (CMake: -DLFMALLOC_TELEMETRY=OFF) to
+/// select the zero-overhead configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_TELEMETRYCONFIG_H
+#define LFMALLOC_TELEMETRY_TELEMETRYCONFIG_H
+
+#ifndef LFM_TELEMETRY
+#define LFM_TELEMETRY 1
+#endif
+
+#endif // LFMALLOC_TELEMETRY_TELEMETRYCONFIG_H

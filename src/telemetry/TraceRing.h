@@ -1,0 +1,198 @@
+//===- telemetry/TraceRing.h - Per-thread event-trace rings ------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size per-thread ring buffers for allocator trace events.
+///
+/// Each thread owns exactly one ring and is its only writer, so emitting an
+/// event is wait-free: no CAS, no fences shared with other writers, just
+/// slot stores and a head publish. Overwrite-oldest semantics keep emission
+/// constant-time forever; the ring always holds the newest Capacity events.
+///
+/// Readers (the drain/export path) run concurrently with the writer and
+/// never stop it. Each slot carries its own sequence number in the
+/// single-writer seqlock style (Boehm, "Can seqlocks get along with
+/// programming language memory models?", MSPC'12): the writer bumps the
+/// slot sequence to odd, fills the payload, bumps to even with release;
+/// a reader accepts a slot only if it observes the same even sequence
+/// before and after copying the payload. A slot being overwritten mid-read
+/// is simply discarded — the trace is best-effort by design, the allocator
+/// is not.
+///
+/// All payload fields are relaxed atomics rather than plain fields so the
+/// torn-read race window is defined behavior and ThreadSanitizer-clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_TRACERING_H
+#define LFMALLOC_TELEMETRY_TRACERING_H
+
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace lfm {
+namespace telemetry {
+
+/// What happened. Superblock state transitions mirror the paper's anchor
+/// state machine (ACTIVE/FULL/PARTIAL/EMPTY, Fig. 2); the OS events mirror
+/// the map/unmap traffic behind §3.2.5.
+enum class EventType : std::uint32_t {
+  None = 0,    ///< Unused slot.
+  SbNew,       ///< Fresh superblock installed as Active (MallocFromNewSB).
+  SbActive,    ///< PARTIAL superblock re-installed as Active.
+  SbPartial,   ///< Superblock demoted/promoted to PARTIAL.
+  SbFull,      ///< Superblock's last credit consumed; now FULL.
+  SbEmpty,     ///< Last block freed; superblock retired to the cache.
+  DescRetired, ///< Descriptor passed to the hazard domain for reclamation.
+  OsMap,       ///< Pages mapped from the OS (arg0 = bytes).
+  OsUnmap,     ///< Pages returned to the OS (arg0 = bytes).
+  EventTypeCount
+};
+
+/// \returns the stable name exported in trace JSON.
+const char *eventTypeName(EventType T);
+
+/// One recorded event. Payload meaning depends on Type; by convention Arg0
+/// is the primary address or byte count and Arg1 the secondary value
+/// (block size, etc.).
+struct TraceEvent {
+  std::uint64_t TimestampNs; ///< monotonicNanos() at emission.
+  std::uint64_t Arg0;
+  std::uint64_t Arg1;
+  std::uint32_t Tid; ///< Dense threadIndex() of the emitting thread.
+  EventType Type;
+};
+
+/// Single-writer, multi-reader ring of trace events.
+///
+/// Memory layout: one TraceRing header immediately followed by Capacity
+/// slots, sized by bytesFor() and placed into page-allocator memory by the
+/// Telemetry facade (the ring never allocates).
+class TraceRing {
+public:
+  /// \returns the allocation size for a ring of \p Capacity slots
+  /// (power of two).
+  static constexpr std::size_t bytesFor(std::uint32_t Capacity) {
+    return sizeof(TraceRing) + static_cast<std::size_t>(Capacity) *
+                                   sizeof(Slot);
+  }
+
+  /// Constructs a ring for \p Tid with \p Capacity slots (power of two) in
+  /// storage of at least bytesFor(Capacity) bytes.
+  TraceRing(std::uint32_t Tid, std::uint32_t Capacity)
+      : Head(0), OwnerTid(Tid), CapacityMask(Capacity - 1) {
+    for (std::uint32_t I = 0; I < Capacity; ++I)
+      new (&slots()[I]) Slot();
+  }
+
+  TraceRing(const TraceRing &) = delete;
+  TraceRing &operator=(const TraceRing &) = delete;
+
+  /// Records an event. Owner thread only; wait-free.
+  void emit(EventType Type, std::uint64_t TimestampNs, std::uint64_t Arg0,
+            std::uint64_t Arg1) {
+    const std::uint64_t H = Head.load(std::memory_order_relaxed);
+    Slot &S = slots()[H & CapacityMask];
+    const std::uint64_t Seq0 = S.Seq.load(std::memory_order_relaxed);
+    // Mark the slot unstable (odd) before touching the payload, and make
+    // sure readers that saw the odd value cannot observe payload stores
+    // reordered before it.
+    S.Seq.store(Seq0 + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    S.TimestampNs.store(TimestampNs, std::memory_order_relaxed);
+    S.Arg0.store(Arg0, std::memory_order_relaxed);
+    S.Arg1.store(Arg1, std::memory_order_relaxed);
+    S.Type.store(static_cast<std::uint32_t>(Type),
+                 std::memory_order_relaxed);
+    // Stable again (even), with release so a reader that sees the new
+    // sequence also sees the payload.
+    S.Seq.store(Seq0 + 2, std::memory_order_release);
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Copies the currently stable events, oldest first, into \p Out
+  /// (capacity \p MaxOut). Safe concurrently with the writer; slots the
+  /// writer races past are skipped. \returns the number of events copied.
+  std::uint32_t drain(TraceEvent *Out, std::uint32_t MaxOut) const {
+    const std::uint64_t H = Head.load(std::memory_order_acquire);
+    const std::uint64_t Cap = CapacityMask + 1;
+    std::uint64_t Begin = H > Cap ? H - Cap : 0;
+    std::uint32_t N = 0;
+    for (std::uint64_t I = Begin; I < H && N < MaxOut; ++I) {
+      if (readSlot(I, Out[N]))
+        ++N;
+    }
+    return N;
+  }
+
+  /// \returns the total number of events ever emitted into this ring.
+  std::uint64_t emitted() const {
+    return Head.load(std::memory_order_acquire);
+  }
+
+  /// \returns how many emitted events have been overwritten (lost).
+  std::uint64_t overwritten() const {
+    const std::uint64_t H = emitted();
+    const std::uint64_t Cap = CapacityMask + 1;
+    return H > Cap ? H - Cap : 0;
+  }
+
+  std::uint32_t ownerTid() const { return OwnerTid; }
+  std::uint32_t capacity() const { return CapacityMask + 1; }
+
+private:
+  struct Slot {
+    /// Seqlock word: odd while the writer is mid-update, even when stable.
+    std::atomic<std::uint64_t> Seq{0};
+    std::atomic<std::uint64_t> TimestampNs{0};
+    std::atomic<std::uint64_t> Arg0{0};
+    std::atomic<std::uint64_t> Arg1{0};
+    std::atomic<std::uint32_t> Type{0};
+  };
+
+  Slot *slots() { return reinterpret_cast<Slot *>(this + 1); }
+  const Slot *slots() const {
+    return reinterpret_cast<const Slot *>(this + 1);
+  }
+
+  /// Seqlock read of logical slot \p Index into \p Out.
+  ///
+  /// The slot's sequence after its w-th write is 2w, so the logical index
+  /// pins the exact sequence a valid copy must observe: anything else
+  /// means the slot is unwritten, mid-update, or was lapped by the writer
+  /// and now holds a newer event — all rejected, which keeps a racing
+  /// drain's accepted events exactly the surviving members of the
+  /// [Head - Capacity, Head) window, in order.
+  /// \returns false if the slot did not stably hold event \p Index.
+  bool readSlot(std::uint64_t Index, TraceEvent &Out) const {
+    const Slot &S = slots()[Index & CapacityMask];
+    const std::uint64_t WantSeq = (Index / (CapacityMask + 1) + 1) * 2;
+    if (S.Seq.load(std::memory_order_acquire) != WantSeq)
+      return false;
+    Out.TimestampNs = S.TimestampNs.load(std::memory_order_relaxed);
+    Out.Arg0 = S.Arg0.load(std::memory_order_relaxed);
+    Out.Arg1 = S.Arg1.load(std::memory_order_relaxed);
+    Out.Type = static_cast<EventType>(S.Type.load(std::memory_order_relaxed));
+    Out.Tid = OwnerTid;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return S.Seq.load(std::memory_order_relaxed) == WantSeq &&
+           Out.Type != EventType::None &&
+           Out.Type < EventType::EventTypeCount;
+  }
+
+  std::atomic<std::uint64_t> Head; ///< Next logical slot to write.
+  const std::uint32_t OwnerTid;
+  const std::uint32_t CapacityMask;
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_TRACERING_H

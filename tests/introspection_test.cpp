@@ -87,6 +87,47 @@ TEST(Introspection, PartialSlotOccupancyIsVisible) {
     Alloc.deallocate(P);
 }
 
+#if LFM_TELEMETRY
+TEST(Introspection, TelemetryLinesAppearWhenStatsEnabled) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(72);
+  Alloc.deallocate(P);
+
+  const std::string Dump = captureDump(Alloc);
+  EXPECT_NE(Dump.find("cas-retries:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("activeReserve="), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("paths:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("descAllocs="), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("hazard:"), std::string::npos) << Dump;
+  // Trace is off, so the trace gauge line must not print.
+  EXPECT_EQ(Dump.find("trace:"), std::string::npos) << Dump;
+}
+
+TEST(Introspection, TraceLineAppearsWhenTracing) {
+  AllocatorOptions Opts;
+  Opts.EnableTrace = true;
+  Opts.TraceEventsPerThread = 64;
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(72);
+  Alloc.deallocate(P);
+
+  const std::string Dump = captureDump(Alloc);
+  EXPECT_NE(Dump.find("trace: emitted="), std::string::npos) << Dump;
+}
+#endif // LFM_TELEMETRY
+
+TEST(Introspection, StatsDisabledHidesTelemetryLines) {
+  LFAllocator Alloc;
+  void *P = Alloc.allocate(72);
+  Alloc.deallocate(P);
+  const std::string Dump = captureDump(Alloc);
+  EXPECT_EQ(Dump.find("cas-retries:"), std::string::npos) << Dump;
+  EXPECT_EQ(Dump.find("trace:"), std::string::npos) << Dump;
+}
+
 TEST(Introspection, DumpIsSafeDuringConcurrentTraffic) {
   AllocatorOptions Opts;
   Opts.NumHeaps = 2;
