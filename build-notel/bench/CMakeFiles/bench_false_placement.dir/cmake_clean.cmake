@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_placement.dir/bench_false_placement.cpp.o"
+  "CMakeFiles/bench_false_placement.dir/bench_false_placement.cpp.o.d"
+  "bench_false_placement"
+  "bench_false_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_threadtest.dir/bench_fig8b_threadtest.cpp.o"
+  "CMakeFiles/bench_fig8b_threadtest.dir/bench_fig8b_threadtest.cpp.o.d"
+  "bench_fig8b_threadtest"
+  "bench_fig8b_threadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_threadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8b_threadtest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8d_passive_false.dir/bench_fig8d_passive_false.cpp.o"
+  "CMakeFiles/bench_fig8d_passive_false.dir/bench_fig8d_passive_false.cpp.o.d"
+  "bench_fig8d_passive_false"
+  "bench_fig8d_passive_false.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8d_passive_false.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8d_passive_false.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8e_larson.dir/bench_fig8e_larson.cpp.o"
+  "CMakeFiles/bench_fig8e_larson.dir/bench_fig8e_larson.cpp.o.d"
+  "bench_fig8e_larson"
+  "bench_fig8e_larson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8e_larson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8fgh_producer_consumer.dir/bench_fig8fgh_producer_consumer.cpp.o"
+  "CMakeFiles/bench_fig8fgh_producer_consumer.dir/bench_fig8fgh_producer_consumer.cpp.o.d"
+  "bench_fig8fgh_producer_consumer"
+  "bench_fig8fgh_producer_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8fgh_producer_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uniprocessor.dir/bench_uniprocessor.cpp.o"
+  "CMakeFiles/bench_uniprocessor.dir/bench_uniprocessor.cpp.o.d"
+  "bench_uniprocessor"
+  "bench_uniprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_free_composition.dir/lock_free_composition.cpp.o"
+  "CMakeFiles/lock_free_composition.dir/lock_free_composition.cpp.o.d"
+  "lock_free_composition"
+  "lock_free_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_free_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

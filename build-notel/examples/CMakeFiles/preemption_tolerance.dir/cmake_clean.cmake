@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemption_tolerance.dir/preemption_tolerance.cpp.o"
+  "CMakeFiles/preemption_tolerance.dir/preemption_tolerance.cpp.o.d"
+  "preemption_tolerance"
+  "preemption_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemption_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for preemption_tolerance.
+# This may be replaced when dependencies are built.

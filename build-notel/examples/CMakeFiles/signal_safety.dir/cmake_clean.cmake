@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_safety.dir/signal_safety.cpp.o"
+  "CMakeFiles/signal_safety.dir/signal_safety.cpp.o.d"
+  "signal_safety"
+  "signal_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_server.dir/task_server.cpp.o"
+  "CMakeFiles/task_server.dir/task_server.cpp.o.d"
+  "task_server"
+  "task_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

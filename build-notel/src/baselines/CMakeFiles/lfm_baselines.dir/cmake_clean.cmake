@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_baselines.dir/AllocatorInterface.cpp.o"
+  "CMakeFiles/lfm_baselines.dir/AllocatorInterface.cpp.o.d"
+  "CMakeFiles/lfm_baselines.dir/HoardLike.cpp.o"
+  "CMakeFiles/lfm_baselines.dir/HoardLike.cpp.o.d"
+  "CMakeFiles/lfm_baselines.dir/PtmallocLike.cpp.o"
+  "CMakeFiles/lfm_baselines.dir/PtmallocLike.cpp.o.d"
+  "CMakeFiles/lfm_baselines.dir/SeqAlloc.cpp.o"
+  "CMakeFiles/lfm_baselines.dir/SeqAlloc.cpp.o.d"
+  "CMakeFiles/lfm_baselines.dir/SerialLockMalloc.cpp.o"
+  "CMakeFiles/lfm_baselines.dir/SerialLockMalloc.cpp.o.d"
+  "liblfm_baselines.a"
+  "liblfm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_harness.dir/Driver.cpp.o"
+  "CMakeFiles/lfm_harness.dir/Driver.cpp.o.d"
+  "CMakeFiles/lfm_harness.dir/TraceWorkload.cpp.o"
+  "CMakeFiles/lfm_harness.dir/TraceWorkload.cpp.o.d"
+  "CMakeFiles/lfm_harness.dir/Workloads.cpp.o"
+  "CMakeFiles/lfm_harness.dir/Workloads.cpp.o.d"
+  "liblfm_harness.a"
+  "liblfm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfm_harness.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfmalloc/DescriptorAllocator.cpp" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/DescriptorAllocator.cpp.o" "gcc" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/DescriptorAllocator.cpp.o.d"
+  "/root/repo/src/lfmalloc/LFAllocator.cpp" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/LFAllocator.cpp.o" "gcc" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/LFAllocator.cpp.o.d"
+  "/root/repo/src/lfmalloc/LFMalloc.cpp" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/LFMalloc.cpp.o" "gcc" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/LFMalloc.cpp.o.d"
+  "/root/repo/src/lfmalloc/SuperblockCache.cpp" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/SuperblockCache.cpp.o" "gcc" "src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/SuperblockCache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/lockfree/CMakeFiles/lfm_lockfree.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/os/CMakeFiles/lfm_os.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/telemetry/CMakeFiles/lfm_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

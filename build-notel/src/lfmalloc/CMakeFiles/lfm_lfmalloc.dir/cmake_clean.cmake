@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_lfmalloc.dir/DescriptorAllocator.cpp.o"
+  "CMakeFiles/lfm_lfmalloc.dir/DescriptorAllocator.cpp.o.d"
+  "CMakeFiles/lfm_lfmalloc.dir/LFAllocator.cpp.o"
+  "CMakeFiles/lfm_lfmalloc.dir/LFAllocator.cpp.o.d"
+  "CMakeFiles/lfm_lfmalloc.dir/LFMalloc.cpp.o"
+  "CMakeFiles/lfm_lfmalloc.dir/LFMalloc.cpp.o.d"
+  "CMakeFiles/lfm_lfmalloc.dir/SuperblockCache.cpp.o"
+  "CMakeFiles/lfm_lfmalloc.dir/SuperblockCache.cpp.o.d"
+  "liblfm_lfmalloc.a"
+  "liblfm_lfmalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_lfmalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

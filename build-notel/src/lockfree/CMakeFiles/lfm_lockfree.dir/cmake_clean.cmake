@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_lockfree.dir/HazardPointers.cpp.o"
+  "CMakeFiles/lfm_lockfree.dir/HazardPointers.cpp.o.d"
+  "liblfm_lockfree.a"
+  "liblfm_lockfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_lockfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

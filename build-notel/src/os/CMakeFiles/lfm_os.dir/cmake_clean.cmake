@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_os.dir/PageAllocator.cpp.o"
+  "CMakeFiles/lfm_os.dir/PageAllocator.cpp.o.d"
+  "liblfm_os.a"
+  "liblfm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfmalloc/DescriptorAllocator.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/DescriptorAllocator.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/DescriptorAllocator.cpp.o.d"
+  "/root/repo/src/lfmalloc/LFAllocator.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFAllocator.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFAllocator.cpp.o.d"
+  "/root/repo/src/lfmalloc/LFMalloc.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFMalloc.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFMalloc.cpp.o.d"
+  "/root/repo/src/lfmalloc/SuperblockCache.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/SuperblockCache.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/SuperblockCache.cpp.o.d"
+  "/root/repo/src/lockfree/HazardPointers.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lockfree/HazardPointers.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/lockfree/HazardPointers.cpp.o.d"
+  "/root/repo/src/os/PageAllocator.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/os/PageAllocator.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/os/PageAllocator.cpp.o.d"
+  "/root/repo/src/support/Barrier.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/Barrier.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/Barrier.cpp.o.d"
+  "/root/repo/src/support/Histogram.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/Histogram.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/Histogram.cpp.o.d"
+  "/root/repo/src/support/ThreadRegistry.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/ThreadRegistry.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/ThreadRegistry.cpp.o.d"
+  "/root/repo/src/support/Timing.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/Timing.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/support/Timing.cpp.o.d"
+  "/root/repo/src/telemetry/Telemetry.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/telemetry/Telemetry.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/__/telemetry/Telemetry.cpp.o.d"
+  "/root/repo/src/shim/malloc_shim.cpp" "src/shim/CMakeFiles/lfmalloc_preload.dir/malloc_shim.cpp.o" "gcc" "src/shim/CMakeFiles/lfmalloc_preload.dir/malloc_shim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

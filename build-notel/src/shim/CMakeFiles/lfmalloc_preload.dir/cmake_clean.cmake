@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/DescriptorAllocator.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/DescriptorAllocator.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFAllocator.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFAllocator.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFMalloc.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/LFMalloc.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/SuperblockCache.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/lfmalloc/SuperblockCache.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/lockfree/HazardPointers.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/lockfree/HazardPointers.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/os/PageAllocator.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/os/PageAllocator.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/Barrier.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/Barrier.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/Histogram.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/Histogram.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/ThreadRegistry.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/ThreadRegistry.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/Timing.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/support/Timing.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/__/telemetry/Telemetry.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/__/telemetry/Telemetry.cpp.o.d"
+  "CMakeFiles/lfmalloc_preload.dir/malloc_shim.cpp.o"
+  "CMakeFiles/lfmalloc_preload.dir/malloc_shim.cpp.o.d"
+  "liblfmalloc_preload.pdb"
+  "liblfmalloc_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfmalloc_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

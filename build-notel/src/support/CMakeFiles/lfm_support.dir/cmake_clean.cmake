@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_support.dir/Barrier.cpp.o"
+  "CMakeFiles/lfm_support.dir/Barrier.cpp.o.d"
+  "CMakeFiles/lfm_support.dir/Histogram.cpp.o"
+  "CMakeFiles/lfm_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/lfm_support.dir/ThreadRegistry.cpp.o"
+  "CMakeFiles/lfm_support.dir/ThreadRegistry.cpp.o.d"
+  "CMakeFiles/lfm_support.dir/Timing.cpp.o"
+  "CMakeFiles/lfm_support.dir/Timing.cpp.o.d"
+  "liblfm_support.a"
+  "liblfm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_telemetry.dir/Telemetry.cpp.o"
+  "CMakeFiles/lfm_telemetry.dir/Telemetry.cpp.o.d"
+  "liblfm_telemetry.a"
+  "liblfm_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_test.dir/anchor_test.cpp.o"
+  "CMakeFiles/anchor_test.dir/anchor_test.cpp.o.d"
+  "anchor_test"
+  "anchor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_sweep_test.dir/concurrency_sweep_test.cpp.o"
+  "CMakeFiles/concurrency_sweep_test.dir/concurrency_sweep_test.cpp.o.d"
+  "concurrency_sweep_test"
+  "concurrency_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptor_allocator_test.dir/descriptor_allocator_test.cpp.o"
+  "CMakeFiles/descriptor_allocator_test.dir/descriptor_allocator_test.cpp.o.d"
+  "descriptor_allocator_test"
+  "descriptor_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptor_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extqueue_test.dir/extqueue_test.cpp.o"
+  "CMakeFiles/extqueue_test.dir/extqueue_test.cpp.o.d"
+  "extqueue_test"
+  "extqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

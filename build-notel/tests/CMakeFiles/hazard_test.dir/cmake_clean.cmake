@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_test.dir/hazard_test.cpp.o"
+  "CMakeFiles/hazard_test.dir/hazard_test.cpp.o.d"
+  "hazard_test"
+  "hazard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

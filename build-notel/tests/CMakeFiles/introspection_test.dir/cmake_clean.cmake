@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/introspection_test.dir/introspection_test.cpp.o"
+  "CMakeFiles/introspection_test.dir/introspection_test.cpp.o.d"
+  "introspection_test"
+  "introspection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/introspection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

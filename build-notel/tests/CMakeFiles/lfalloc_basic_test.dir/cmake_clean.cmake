@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfalloc_basic_test.dir/lfalloc_basic_test.cpp.o"
+  "CMakeFiles/lfalloc_basic_test.dir/lfalloc_basic_test.cpp.o.d"
+  "lfalloc_basic_test"
+  "lfalloc_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfalloc_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfalloc_concurrent_test.dir/lfalloc_concurrent_test.cpp.o"
+  "CMakeFiles/lfalloc_concurrent_test.dir/lfalloc_concurrent_test.cpp.o.d"
+  "lfalloc_concurrent_test"
+  "lfalloc_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfalloc_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfalloc_paths_test.dir/lfalloc_paths_test.cpp.o"
+  "CMakeFiles/lfalloc_paths_test.dir/lfalloc_paths_test.cpp.o.d"
+  "lfalloc_paths_test"
+  "lfalloc_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfalloc_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfalloc_property_test.dir/lfalloc_property_test.cpp.o"
+  "CMakeFiles/lfalloc_property_test.dir/lfalloc_property_test.cpp.o.d"
+  "lfalloc_property_test"
+  "lfalloc_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfalloc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfmalloc_api_test.dir/lfmalloc_api_test.cpp.o"
+  "CMakeFiles/lfmalloc_api_test.dir/lfmalloc_api_test.cpp.o.d"
+  "lfmalloc_api_test"
+  "lfmalloc_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfmalloc_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

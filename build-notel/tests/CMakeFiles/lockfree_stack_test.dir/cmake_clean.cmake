@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_stack_test.dir/lockfree_stack_test.cpp.o"
+  "CMakeFiles/lockfree_stack_test.dir/lockfree_stack_test.cpp.o.d"
+  "lockfree_stack_test"
+  "lockfree_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michael_set_test.dir/michael_set_test.cpp.o"
+  "CMakeFiles/michael_set_test.dir/michael_set_test.cpp.o.d"
+  "michael_set_test"
+  "michael_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michael_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msqueue_test.dir/msqueue_test.cpp.o"
+  "CMakeFiles/msqueue_test.dir/msqueue_test.cpp.o.d"
+  "msqueue_test"
+  "msqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

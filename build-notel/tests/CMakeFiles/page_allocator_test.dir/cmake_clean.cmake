@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_allocator_test.dir/page_allocator_test.cpp.o"
+  "CMakeFiles/page_allocator_test.dir/page_allocator_test.cpp.o.d"
+  "page_allocator_test"
+  "page_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

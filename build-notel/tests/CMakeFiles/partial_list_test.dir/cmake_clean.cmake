@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_list_test.dir/partial_list_test.cpp.o"
+  "CMakeFiles/partial_list_test.dir/partial_list_test.cpp.o.d"
+  "partial_list_test"
+  "partial_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_test.dir/preload_test.cpp.o"
+  "CMakeFiles/preload_test.dir/preload_test.cpp.o.d"
+  "preload_test"
+  "preload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_safety_test.dir/signal_safety_test.cpp.o"
+  "CMakeFiles/signal_safety_test.dir/signal_safety_test.cpp.o.d"
+  "signal_safety_test"
+  "signal_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizeclass_test.dir/sizeclass_test.cpp.o"
+  "CMakeFiles/sizeclass_test.dir/sizeclass_test.cpp.o.d"
+  "sizeclass_test"
+  "sizeclass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizeclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

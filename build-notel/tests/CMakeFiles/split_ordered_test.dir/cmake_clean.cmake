@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_ordered_test.dir/split_ordered_test.cpp.o"
+  "CMakeFiles/split_ordered_test.dir/split_ordered_test.cpp.o.d"
+  "split_ordered_test"
+  "split_ordered_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_ordered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

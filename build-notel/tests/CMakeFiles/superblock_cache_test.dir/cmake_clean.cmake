@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superblock_cache_test.dir/superblock_cache_test.cpp.o"
+  "CMakeFiles/superblock_cache_test.dir/superblock_cache_test.cpp.o.d"
+  "superblock_cache_test"
+  "superblock_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superblock_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

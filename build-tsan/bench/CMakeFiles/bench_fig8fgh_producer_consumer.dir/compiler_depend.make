@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8fgh_producer_consumer.
+# This may be replaced when dependencies are built.

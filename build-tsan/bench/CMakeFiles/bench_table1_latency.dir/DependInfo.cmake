@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_latency.cpp" "bench/CMakeFiles/bench_table1_latency.dir/bench_table1_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_latency.dir/bench_table1_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/harness/CMakeFiles/lfm_harness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/lfm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lockfree/CMakeFiles/lfm_lockfree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/lfm_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/os/CMakeFiles/lfm_os.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

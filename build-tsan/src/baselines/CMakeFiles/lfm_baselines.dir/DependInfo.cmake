@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/AllocatorInterface.cpp" "src/baselines/CMakeFiles/lfm_baselines.dir/AllocatorInterface.cpp.o" "gcc" "src/baselines/CMakeFiles/lfm_baselines.dir/AllocatorInterface.cpp.o.d"
+  "/root/repo/src/baselines/HoardLike.cpp" "src/baselines/CMakeFiles/lfm_baselines.dir/HoardLike.cpp.o" "gcc" "src/baselines/CMakeFiles/lfm_baselines.dir/HoardLike.cpp.o.d"
+  "/root/repo/src/baselines/PtmallocLike.cpp" "src/baselines/CMakeFiles/lfm_baselines.dir/PtmallocLike.cpp.o" "gcc" "src/baselines/CMakeFiles/lfm_baselines.dir/PtmallocLike.cpp.o.d"
+  "/root/repo/src/baselines/SeqAlloc.cpp" "src/baselines/CMakeFiles/lfm_baselines.dir/SeqAlloc.cpp.o" "gcc" "src/baselines/CMakeFiles/lfm_baselines.dir/SeqAlloc.cpp.o.d"
+  "/root/repo/src/baselines/SerialLockMalloc.cpp" "src/baselines/CMakeFiles/lfm_baselines.dir/SerialLockMalloc.cpp.o" "gcc" "src/baselines/CMakeFiles/lfm_baselines.dir/SerialLockMalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/lfmalloc/CMakeFiles/lfm_lfmalloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lockfree/CMakeFiles/lfm_lockfree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/lfm_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/os/CMakeFiles/lfm_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
