@@ -6,6 +6,7 @@
 
 #include "lfmalloc/DescriptorAllocator.h"
 
+#include "schedtest/SchedPoint.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -42,7 +43,9 @@ Descriptor *DescriptorAllocator::alloc() {
     if (Desc) {
       Descriptor *Next = Desc->Next.load(std::memory_order_relaxed);
       Descriptor *Expected = Desc;
-      if (DescAvail.compare_exchange_strong(Expected, Next,
+      LFM_SCHED_POINT(DescPop);
+      if (!LFM_SCHED_CAS_FAIL(DescPop) &&
+          DescAvail.compare_exchange_strong(Expected, Next,
                                             std::memory_order_acq_rel,
                                             std::memory_order_relaxed)) {
         Domain.clear(HpSlotFreelist);
@@ -109,8 +112,10 @@ void DescriptorAllocator::pushFree(Descriptor *Desc) {
   // is the paper's line-3 memory fence (publishes Desc->Next).
   Descriptor *Head = DescAvail.load(std::memory_order_relaxed);
   do {
+    LFM_SCHED_POINT(DescPush);
     Desc->Next.store(Head, std::memory_order_relaxed);
-  } while (!DescAvail.compare_exchange_weak(Head, Desc,
+  } while (LFM_SCHED_CAS_FAIL(DescPush) ||
+           !DescAvail.compare_exchange_weak(Head, Desc,
                                             std::memory_order_release,
                                             std::memory_order_relaxed));
 }

@@ -10,6 +10,7 @@
 
 #include "lfmalloc/LFAllocator.h"
 
+#include "schedtest/SchedPoint.h"
 #include "support/ThreadRegistry.h"
 #include "telemetry/Telemetry.h"
 
@@ -20,6 +21,7 @@
 #include <cstring>
 #include <new>
 #include <unistd.h>
+#include <vector>
 
 using namespace lfm;
 
@@ -288,6 +290,7 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   ActiveRef NewActive;
   RetryCounter Reserve;
   do {
+    LFM_SCHED_POINT(ActiveReserve);
     if (!OldActive.Desc) { // Line 2: no active superblock.
       XCTR(ActiveNullMisses);
       CTR_N(ActiveReserveRetries, Reserve.attempts());
@@ -298,7 +301,8 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
     else
       NewActive = ActiveRef{OldActive.Desc, OldActive.Credits - 1}; // L5
     Reserve.attempt();
-  } while (!Heap->Active.compareExchange(OldActive, NewActive));
+  } while (LFM_SCHED_CAS_FAIL(ActiveReserve) ||
+           !Heap->Active.compareExchange(OldActive, NewActive));
   CTR_N(ActiveReserveRetries, Reserve.retries());
 
   // After the CAS succeeds we own one reservation in this specific
@@ -315,6 +319,7 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   std::uint32_t MoreCredits = 0;
   RetryCounter Pop;
   do {
+    LFM_SCHED_POINT(ActivePop);
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforePopCas, Opts.ChaosCtx);
     // State may be ACTIVE, PARTIAL or FULL here — but never EMPTY.
@@ -339,8 +344,13 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
         NewAnchor.Count -= MoreCredits;                      // Line 17.
       }
     }
+    // The window between reading Next above and the CAS below is where a
+    // stale link gets installed if the tag ever stops protecting it — the
+    // schedule tests preempt HERE, not just at the loop top.
+    LFM_SCHED_POINT(ActivePop);
     Pop.attempt();
-  } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  } while (LFM_SCHED_CAS_FAIL(ActivePop) ||
+           !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(ActivePopRetries, Pop.retries());
   if (OldActive.Credits == 0 && OldAnchor.Count == 0)
     EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb), Desc->BlockSize);
@@ -361,7 +371,9 @@ void LFAllocator::updateActive(ProcHeap *Heap, Descriptor *Desc,
   // the thread that took the last credit may refill it) and this installs
   // the superblock back with fresh credits.
   ActiveRef Expected{};
-  if (Heap->Active.compareExchange(Expected,
+  LFM_SCHED_POINT(UpdateActive);
+  if (!LFM_SCHED_CAS_FAIL(UpdateActive) &&
+      Heap->Active.compareExchange(Expected,
                                    ActiveRef{Desc, MoreCredits - 1}))
     return;
 
@@ -372,11 +384,13 @@ void LFAllocator::updateActive(ProcHeap *Heap, Descriptor *Desc,
   Anchor NewAnchor;
   RetryCounter Ret;
   do {
+    LFM_SCHED_POINT(UpdateActive);
     NewAnchor = OldAnchor;
     NewAnchor.Count += MoreCredits;
     NewAnchor.State = SbState::Partial;
     Ret.attempt();
-  } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  } while (LFM_SCHED_CAS_FAIL(UpdateActive) ||
+           !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(UpdateActiveRetries, Ret.retries());
   EVT(SbPartial, reinterpret_cast<std::uintptr_t>(Desc->Sb),
       Desc->BlockSize);
@@ -399,6 +413,7 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
     bool Retired = false;
     RetryCounter Reserve;
     do {
+      LFM_SCHED_POINT(PartialReserve);
       if (OldAnchor.State == SbState::Empty) {
         // Line 6: raced with the last free; recycle the descriptor (its
         // superblock is already gone) and try another.
@@ -416,7 +431,8 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
       NewAnchor.State =
           MoreCredits > 0 ? SbState::Active : SbState::Full; // Line 9.
       Reserve.attempt();
-    } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+    } while (LFM_SCHED_CAS_FAIL(PartialReserve) ||
+             !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
     if (Retired) {
       CTR_N(PartialReserveRetries, Reserve.attempts());
       continue;
@@ -434,6 +450,7 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
     void *Addr;
     RetryCounter Pop;
     do {
+      LFM_SCHED_POINT(PartialPop);
       NewAnchor = OldAnchor;
       Addr = static_cast<char *>(Desc->Sb) +
              static_cast<std::size_t>(OldAnchor.Avail) * Desc->BlockSize;
@@ -441,8 +458,10 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
       NewAnchor.Avail =
           static_cast<std::uint32_t>(Next) & ((1u << AnchorAvailBits) - 1);
       NewAnchor.Tag = OldAnchor.Tag + 1;
+      LFM_SCHED_POINT(PartialPop); // Stale-Next window; see mallocFromActive.
       Pop.attempt();
-    } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+    } while (LFM_SCHED_CAS_FAIL(PartialPop) ||
+             !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
     CTR_N(PartialPopRetries, Pop.retries());
 
     if (MoreCredits > 0)
@@ -457,10 +476,12 @@ Descriptor *LFAllocator::heapGetPartial(ProcHeap *Heap) {
   // Fig. 4 HeapGetPartial: empty the heap's slot cache, falling back to
   // the size class's shared list. exchange() is the loop-free form of the
   // paper's CAS loop (it tolerates a slot already being null).
-  for (unsigned S = 0; S < PartialSlots; ++S)
+  for (unsigned S = 0; S < PartialSlots; ++S) {
+    LFM_SCHED_POINT(HeapPartialSlot);
     if (Descriptor *Desc =
             Heap->Partial[S].exchange(nullptr, std::memory_order_acq_rel))
       return Desc;
+  }
   Descriptor *Desc = Heap->Sc->Partial.get(); // ListGetPartial.
   if (Desc)
     XCTR(PartialListGets);
@@ -474,11 +495,13 @@ void LFAllocator::heapPutPartial(Descriptor *Desc) {
   ProcHeap *Heap = Desc->Heap.load(std::memory_order_relaxed);
   for (unsigned S = 1; S < PartialSlots; ++S) {
     Descriptor *Expected = nullptr;
+    LFM_SCHED_POINT(HeapPartialSlot);
     if (Heap->Partial[S].compare_exchange_strong(
             Expected, Desc, std::memory_order_acq_rel,
             std::memory_order_relaxed))
       return;
   }
+  LFM_SCHED_POINT(HeapPartialSlot);
   Descriptor *Prev =
       Heap->Partial[0].exchange(Desc, std::memory_order_acq_rel);
   if (Prev) {
@@ -530,7 +553,9 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
   // Line 12-13: the release semantics of the Active CAS publish every
   // initialization write above (the paper's explicit memory fence).
   ActiveRef Expected{};
-  if (Heap->Active.compareExchange(Expected, NewActive)) {
+  LFM_SCHED_POINT(NewSbInstall);
+  if (!LFM_SCHED_CAS_FAIL(NewSbInstall) &&
+      Heap->Active.compareExchange(Expected, NewActive)) {
     storeBlockWord(Sb, reinterpret_cast<std::uint64_t>(Desc)); // Line 15.
     EVT(SbNew, reinterpret_cast<std::uintptr_t>(Sb), Sc->BlockSize);
     return static_cast<char *>(Sb) + BlockPrefixSize;
@@ -549,18 +574,21 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
 void LFAllocator::deallocate(void *Ptr) {
   if (!Ptr) // Fig. 6 line 1.
     return;
-  CTR(Frees);
   void *Block = static_cast<char *>(Ptr) - BlockPrefixSize; // Line 2.
   const std::uint64_t Prefix = loadBlockWord(Block);        // Line 3.
   if (LFM_UNLIKELY(Prefix & LargePrefixBit)) {
     if ((Prefix & AlignedMarkerBits) == AlignedMarkerBits) {
-      // Aligned-allocation marker: redirect to the real block start.
+      // Aligned-allocation marker: redirect to the real block start. Not
+      // a free of its own — the redirected call does the counting, so one
+      // logical free bumps Frees exactly once.
       deallocate(static_cast<char *>(Ptr) - (Prefix >> 2));
       return;
     }
+    CTR(Frees);
     largeFree(Block, Prefix); // Line 4/5: large block.
     return;
   }
+  CTR(Frees);
 
   auto *Desc = reinterpret_cast<Descriptor *>(Prefix);
   assert(Desc && "freeing a block with a corrupt prefix");
@@ -579,6 +607,7 @@ void LFAllocator::deallocate(void *Ptr) {
          "pointer does not address a block of its superblock");
   RetryCounter Push;
   do {
+    LFM_SCHED_POINT(FreePush);
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforeFreeCas, Opts.ChaosCtx);
     NewAnchor = OldAnchor;
@@ -605,8 +634,10 @@ void LFAllocator::deallocate(void *Ptr) {
     }
     // The release half of the CAS publishes the link store above no later
     // than the anchor update (Fig. 6 line 17's fence).
+    LFM_SCHED_POINT(FreePush); // Link written but not yet published.
     Push.attempt();
-  } while (!Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  } while (LFM_SCHED_CAS_FAIL(FreePush) ||
+           !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(FreePushRetries, Push.retries());
 
   if (NewAnchor.State == SbState::Empty) {
@@ -634,6 +665,7 @@ void LFAllocator::removeEmptyDesc(ProcHeap *Heap, Descriptor *Desc) {
   // be recycled into the slot while we hold the hazard).
   for (unsigned S = 0; S < PartialSlots; ++S) {
     Descriptor *Expected = Desc;
+    LFM_SCHED_POINT(HeapPartialSlot);
     if (Heap->Partial[S].compare_exchange_strong(
             Expected, nullptr, std::memory_order_acq_rel,
             std::memory_order_relaxed)) {
@@ -970,4 +1002,143 @@ void LFAllocator::dumpState(std::FILE *Out) const {
                static_cast<unsigned long long>(Space.UnmapCalls),
                static_cast<unsigned long long>(SbCache.cachedCount()),
                static_cast<unsigned long long>(Descs.mintedCount()));
+}
+
+namespace {
+
+/// Formats an invariant violation into \p Msg (when non-null); always
+/// returns false so call sites can `return fail(...)`.
+bool validateFail(std::string *Msg, const char *What, const Descriptor *Desc,
+                  const Anchor &A) {
+  if (Msg) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s [desc=%p sb=%p state=%s avail=%u count=%u tag=%llu]",
+                  What, static_cast<const void *>(Desc),
+                  Desc ? Desc->Sb : nullptr,
+                  Desc ? stateName(A.State) : "?", A.Avail, A.Count,
+                  static_cast<unsigned long long>(A.Tag));
+    *Msg = Buf;
+  }
+  return false;
+}
+
+} // namespace
+
+bool LFAllocator::debugValidate(std::string *Msg) {
+  // Where a descriptor was discovered, for the duplicate-reachability and
+  // state checks.
+  struct Found {
+    Descriptor *Desc;
+    bool ViaActive;
+    std::uint32_t Credits; // Meaningful only when ViaActive.
+  };
+  std::vector<Found> Reachable;
+
+  for (unsigned C = 0; C < ClassCount; ++C) {
+    for (unsigned H = 0; H < HeapCount; ++H) {
+      ProcHeap &Heap = Heaps[C * HeapCount + H];
+      const ActiveRef Active = Heap.Active.load();
+      if (Active.Desc)
+        Reachable.push_back({Active.Desc, true, Active.Credits});
+      for (unsigned S = 0; S < PartialSlots; ++S)
+        if (Descriptor *Desc =
+                Heap.Partial[S].load(std::memory_order_relaxed))
+          Reachable.push_back({Desc, false, 0});
+    }
+    // Drain the class-wide partial list, record its members, and restore
+    // it. FIFO order survives a put-back in pop order; LIFO needs the
+    // put-back reversed.
+    std::vector<Descriptor *> Listed;
+    while (Descriptor *Desc = Classes[C].Partial.get())
+      Listed.push_back(Desc);
+    if (Classes[C].Partial.policy() == PartialListPolicy::Fifo)
+      for (Descriptor *Desc : Listed)
+        Classes[C].Partial.put(Desc);
+    else
+      for (auto It = Listed.rbegin(); It != Listed.rend(); ++It)
+        Classes[C].Partial.put(*It);
+    for (Descriptor *Desc : Listed)
+      Reachable.push_back({Desc, false, 0});
+  }
+
+  // Uniqueness: a descriptor reachable from two places (or two live
+  // descriptors sharing a superblock) means a block could be handed out
+  // twice.
+  for (std::size_t I = 0; I < Reachable.size(); ++I)
+    for (std::size_t J = I + 1; J < Reachable.size(); ++J) {
+      if (Reachable[I].Desc == Reachable[J].Desc)
+        return validateFail(Msg, "descriptor reachable from two places",
+                            Reachable[I].Desc,
+                            Reachable[I].Desc->AnchorWord.load());
+      const Anchor Ai = Reachable[I].Desc->AnchorWord.load();
+      const Anchor Aj = Reachable[J].Desc->AnchorWord.load();
+      if (Ai.State != SbState::Empty && Aj.State != SbState::Empty &&
+          Reachable[I].Desc->Sb == Reachable[J].Desc->Sb)
+        return validateFail(Msg, "superblock owned by two live descriptors",
+                            Reachable[J].Desc, Aj);
+    }
+
+  for (const Found &F : Reachable) {
+    Descriptor *Desc = F.Desc;
+    const Anchor A = Desc->AnchorWord.load();
+
+    if (A.State == SbState::Empty) {
+      // An EMPTY descriptor may legitimately linger in Partial slots and
+      // class lists until RemoveEmptyDesc or MallocFromPartial retires it
+      // — but its superblock is already released, so there is no chain to
+      // walk, and it must never be Active-referenced.
+      if (F.ViaActive)
+        return validateFail(Msg, "Active references an EMPTY superblock",
+                            Desc, A);
+      continue;
+    }
+
+    const std::uint32_t MaxCount = Desc->MaxCount;
+    if (MaxCount < 2 || MaxCount > MaxBlocksPerSuperblock ||
+        Desc->BlockSize == 0 || !Desc->Sb)
+      return validateFail(Msg, "descriptor geometry corrupt", Desc, A);
+
+    std::uint64_t ExpectChain;
+    if (F.ViaActive) {
+      // The Active credits are reserved free blocks the anchor no longer
+      // counts; +1 for the reservation the credits encoding hides
+      // (ActiveRef{D, c} grants c+1 pops).
+      if (A.State != SbState::Active)
+        return validateFail(
+            Msg, "Active-referenced superblock not in ACTIVE state", Desc, A);
+      // At quiescence every block may be free, in which case the chain
+      // holds all MaxCount blocks: Count + Credits + 1 == MaxCount.
+      ExpectChain = static_cast<std::uint64_t>(A.Count) + F.Credits + 1;
+      if (ExpectChain > MaxCount)
+        return validateFail(Msg, "count + credits exceeds superblock capacity",
+                            Desc, A);
+    } else {
+      if (A.State != SbState::Partial)
+        return validateFail(
+            Msg, "listed descriptor neither PARTIAL nor EMPTY", Desc, A);
+      if (A.Count < 1 || A.Count > MaxCount - 1)
+        return validateFail(Msg, "PARTIAL count out of range", Desc, A);
+      ExpectChain = A.Count;
+    }
+
+    // Walk the in-superblock freelist: exactly ExpectChain distinct,
+    // in-range blocks starting at Anchor.Avail (the chain carries no
+    // terminator; the anchor count is authoritative, §3.2.2).
+    std::vector<bool> Seen(MaxCount, false);
+    std::uint32_t Index = A.Avail;
+    for (std::uint64_t N = 0; N < ExpectChain; ++N) {
+      if (Index >= MaxCount)
+        return validateFail(Msg, "freelist link out of range", Desc, A);
+      if (Seen[Index])
+        return validateFail(Msg, "freelist cycle (block free twice)", Desc,
+                            A);
+      Seen[Index] = true;
+      const void *Block = static_cast<const char *>(Desc->Sb) +
+                          static_cast<std::size_t>(Index) * Desc->BlockSize;
+      Index = static_cast<std::uint32_t>(loadBlockWord(Block)) &
+              ((1u << AnchorAvailBits) - 1);
+    }
+  }
+  return true;
 }

@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 
 namespace lfm {
 
@@ -168,6 +169,22 @@ public:
   /// space meter. Racy snapshots under concurrency (each word read
   /// atomically); intended for debugging and tests.
   void dumpState(std::FILE *Out) const;
+
+  /// Quiescent-state invariant oracle for the schedule-exploration tests
+  /// (docs/TESTING.md). Must be called with NO concurrent operations in
+  /// flight. Walks every descriptor reachable from the heaps' Active
+  /// references, the heaps' Partial slots, and the per-class partial
+  /// lists (drained and restored), and checks:
+  ///  - anchor State consistent with where the descriptor was found
+  ///    (Active-referenced => ACTIVE; listed => PARTIAL, or EMPTY whose
+  ///    superblock was already released);
+  ///  - the superblock freelist chain from Anchor.Avail has exactly
+  ///    Count (+ Credits + 1 for the Active reference) distinct in-range
+  ///    blocks — no block lost, no block free twice;
+  ///  - no descriptor (and no superblock) is reachable from two places.
+  /// \returns true when consistent; otherwise false with the first
+  /// violation described in \p Msg (when non-null).
+  bool debugValidate(std::string *Msg = nullptr);
 
 private:
   void *mallocFromActive(ProcHeap *Heap);

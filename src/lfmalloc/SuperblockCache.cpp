@@ -6,6 +6,7 @@
 
 #include "lfmalloc/SuperblockCache.h"
 
+#include "schedtest/SchedPoint.h"
 #include "support/Platform.h"
 #include "telemetry/Telemetry.h"
 
@@ -47,6 +48,7 @@ void *SuperblockCache::acquire() {
   }
 
   for (;;) {
+    LFM_SCHED_POINT(SbAcquire);
     if (FreeSb *Sb = FreeList.pop()) {
       CachedSbs.fetch_sub(1, std::memory_order_relaxed);
       hyperOf(Sb)->FreeCount.fetch_sub(1, std::memory_order_relaxed);
@@ -66,6 +68,7 @@ void SuperblockCache::release(void *Sb) {
     LFM_TEL_EVT(Tel, OsUnmap, SbSize, 0);
     return;
   }
+  LFM_SCHED_POINT(SbRelease);
   hyperOf(Sb)->FreeCount.fetch_add(1, std::memory_order_relaxed);
   CachedSbs.fetch_add(1, std::memory_order_relaxed);
   FreeList.push(new (Sb) FreeSb());

@@ -28,6 +28,7 @@
 #define LFMALLOC_LOCKFREE_HAZARDPOINTERS_H
 
 #include "os/PageAllocator.h"
+#include "schedtest/SchedPoint.h"
 #include "support/Platform.h"
 
 #include <atomic>
@@ -90,6 +91,9 @@ public:
       if (!Ptr)
         return nullptr;
       publishHazard(Slot, Ptr);
+      // The load-to-publish window: until the re-read below validates the
+      // published hazard, the pointee may already have been retired.
+      LFM_SCHED_POINT(HazardProtect);
       void *Again = Src.load(std::memory_order_acquire);
       if (Again == Ptr)
         return static_cast<T *>(Ptr);
@@ -107,6 +111,7 @@ public:
       if (!Ptr)
         return nullptr;
       publishHazard(Slot, Ptr);
+      LFM_SCHED_POINT(HazardProtect);
       void *Again = Reload();
       if (Again == Ptr)
         return static_cast<T *>(Ptr);

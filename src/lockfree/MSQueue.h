@@ -24,6 +24,7 @@
 #include "lockfree/HazardPointers.h"
 #include "lockfree/TreiberStack.h"
 #include "os/PageAllocator.h"
+#include "schedtest/SchedPoint.h"
 #include "support/Platform.h"
 
 #include <atomic>
@@ -79,6 +80,7 @@ public:
     N->Value = Value;
     N->Next.store(nullptr, std::memory_order_relaxed);
     for (;;) {
+      LFM_SCHED_POINT(MsqEnqueue);
       Node *T1 = Domain.protect(HpSlotTail, Tail);
       Node *Next = T1->Next.load(std::memory_order_acquire);
       if (T1 != Tail.load(std::memory_order_acquire))
@@ -90,7 +92,8 @@ public:
         continue;
       }
       Node *Expected = nullptr;
-      if (T1->Next.compare_exchange_weak(Expected, N,
+      if (!LFM_SCHED_CAS_FAIL(MsqEnqueue) &&
+          T1->Next.compare_exchange_weak(Expected, N,
                                          std::memory_order_release,
                                          std::memory_order_relaxed)) {
         Tail.compare_exchange_strong(T1, N, std::memory_order_release,
@@ -105,6 +108,7 @@ public:
   /// Removes the oldest value into \p Out. \returns false if empty.
   bool dequeue(T &Out) {
     for (;;) {
+      LFM_SCHED_POINT(MsqDequeue);
       Node *H = Domain.protect(HpSlotHead, Head);
       Node *T1 = Tail.load(std::memory_order_acquire);
       Node *Next = Domain.protectWith<Node>(HpSlotNext, [&] {
@@ -127,7 +131,8 @@ public:
       // retire Next... it cannot — we hold a hazard on Next — but reading
       // first matches the published algorithm and costs nothing.
       T Value = Next->Value;
-      if (Head.compare_exchange_weak(H, Next, std::memory_order_release,
+      if (!LFM_SCHED_CAS_FAIL(MsqDequeue) &&
+          Head.compare_exchange_weak(H, Next, std::memory_order_release,
                                      std::memory_order_relaxed)) {
         Out = Value;
         Domain.clear(HpSlotHead);

@@ -23,6 +23,7 @@
 #define LFMALLOC_LOCKFREE_TREIBERSTACK_H
 
 #include "lockfree/Tagged.h"
+#include "schedtest/SchedPoint.h"
 
 #include <atomic>
 #include <cstdint>
@@ -47,10 +48,12 @@ public:
     typename TaggedAtomic<NodeT>::Snapshot Head =
         this->Head.load(std::memory_order_relaxed);
     for (;;) {
+      LFM_SCHED_POINT(TreiberPush);
       Node->*NextField = Head.Ptr;
       // Release so the Next write above is visible to the popper that
       // acquires the new head (paper Fig. 7, DescRetire memory fence).
-      if (this->Head.compareExchange(Head, Node, std::memory_order_release,
+      if (!LFM_SCHED_CAS_FAIL(TreiberPush) &&
+          this->Head.compareExchange(Head, Node, std::memory_order_release,
                                      std::memory_order_relaxed))
         return;
     }
@@ -64,13 +67,23 @@ public:
         return nullptr;
       // Reading the link is safe only under the type-stability contract.
       NodeT *Next = Head.Ptr->*NextField;
-      if (this->Head.compareExchange(Head, Next))
+      // The window between the link read above and the CAS below is THE
+      // tagged-ABA window (§3.2.5); the schedule tests preempt here.
+      LFM_SCHED_POINT(TreiberPop);
+      if (!LFM_SCHED_CAS_FAIL(TreiberPop) &&
+          this->Head.compareExchange(Head, Next))
         return Head.Ptr;
     }
   }
 
   /// Racy emptiness check for stats and tests.
   bool empty() const { return Head.load(std::memory_order_relaxed).Ptr == nullptr; }
+
+  /// Current head tag, for tests pinning the 16-bit tag-wraparound window
+  /// (each successful head CAS increments it mod 2^16).
+  std::uint16_t headTag() const {
+    return Head.load(std::memory_order_relaxed).Tag;
+  }
 
 private:
   TaggedAtomic<NodeT> Head;

@@ -1,0 +1,196 @@
+//===- schedtest/Explorer.cpp - Seed sweep, replay, and shrinking ---------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedtest/Explorer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace lfm;
+using namespace lfm::sched;
+
+namespace {
+
+bool envU64(const char *Name, std::uint64_t &Out) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
+    return false;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(Raw, &End, 0);
+  if (End == Raw || *End != '\0')
+    return false;
+  Out = static_cast<std::uint64_t>(V);
+  return true;
+}
+
+/// Parses "seed=S,preempt=P,casfail=F" (any subset, any order) on top of
+/// \p O. \returns false on malformed input.
+bool parseReplay(const char *Raw, SchedOptions &O) {
+  const char *P = Raw;
+  while (*P) {
+    const char *Eq = std::strchr(P, '=');
+    if (!Eq)
+      return false;
+    char *End = nullptr;
+    const unsigned long long V = std::strtoull(Eq + 1, &End, 0);
+    if (End == Eq + 1)
+      return false;
+    const std::size_t KeyLen = static_cast<std::size_t>(Eq - P);
+    if (KeyLen == 4 && std::strncmp(P, "seed", 4) == 0)
+      O.Seed = V;
+    else if (KeyLen == 7 && std::strncmp(P, "preempt", 7) == 0)
+      O.MaxPreemptions = static_cast<unsigned>(V);
+    else if (KeyLen == 7 && std::strncmp(P, "casfail", 7) == 0)
+      O.CasFailPercent = static_cast<unsigned>(V);
+    else
+      return false;
+    if (*End == '\0')
+      break;
+    if (*End != ',')
+      return false;
+    P = End + 1;
+  }
+  return true;
+}
+
+/// Runs \p RunOne and appends replay instructions to a failure message.
+ScheduleOutcome runChecked(const ScheduleRunner &RunOne,
+                           const SchedOptions &O) {
+  return RunOne(O);
+}
+
+std::string describeFailure(const ScheduleOutcome &Out, const SchedOptions &O,
+                            bool Reproducible) {
+  std::string Msg = "schedule invariant violation: " + Out.Message;
+  Msg += "\n  replay with: LFM_SCHED_REPLAY=\"" + replayString(O) + "\"";
+  if (!Reproducible)
+    Msg += "\n  WARNING: failure did NOT reproduce on re-run with the same "
+           "options; suspect uninstrumented nondeterminism";
+  return Msg;
+}
+
+} // namespace
+
+namespace lfm {
+namespace sched {
+
+std::string replayString(const SchedOptions &O) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "seed=%llu,preempt=%u,casfail=%u",
+                static_cast<unsigned long long>(O.Seed), O.MaxPreemptions,
+                O.CasFailPercent);
+  return Buf;
+}
+
+std::uint64_t envBaseSeed() {
+  static const std::uint64_t Seed = [] {
+    std::uint64_t V = 20260806;
+    const bool FromEnv = envU64("LFM_TEST_SEED", V);
+    std::fprintf(stderr, "[lfm-test] LFM_TEST_SEED=%llu (%s)\n",
+                 static_cast<unsigned long long>(V),
+                 FromEnv ? "from environment" : "default");
+    return V;
+  }();
+  return Seed;
+}
+
+std::uint64_t envNumSeeds(std::uint64_t Fallback) {
+  std::uint64_t V = Fallback;
+  envU64("LFM_SCHED_SEEDS", V);
+  return V;
+}
+
+ExploreResult explore(const ExploreOptions &Opts,
+                      const ScheduleRunner &RunOne) {
+  ExploreResult Res;
+
+  // Replay override: run exactly one configuration and report it.
+  if (const char *Raw = std::getenv("LFM_SCHED_REPLAY")) {
+    SchedOptions O = Opts.Proto;
+    if (!parseReplay(Raw, O)) {
+      Res.FoundFailure = true;
+      Res.Message = std::string("malformed LFM_SCHED_REPLAY: \"") + Raw +
+                    "\" (want \"seed=S,preempt=P,casfail=F\")";
+      return Res;
+    }
+    std::fprintf(stderr, "[lfm-sched] replaying %s\n",
+                 replayString(O).c_str());
+    const ScheduleOutcome Out = runChecked(RunOne, O);
+    Res.SchedulesRun = 1;
+    if (!Out.Ok) {
+      Res.FoundFailure = true;
+      Res.Failing = O;
+      Res.Message = describeFailure(Out, O, /*Reproducible=*/true);
+    }
+    return Res;
+  }
+
+  const std::uint64_t NumSeeds = envNumSeeds(Opts.NumSeeds);
+  const std::vector<unsigned> &Fails =
+      Opts.CasFailChoices.empty() ? std::vector<unsigned>{0}
+                                  : Opts.CasFailChoices;
+
+  SchedOptions FirstBad;
+  ScheduleOutcome FirstOut;
+  for (std::uint64_t I = 0; I < NumSeeds; ++I) {
+    SchedOptions O = Opts.Proto;
+    O.Seed = Opts.BaseSeed + I;
+    O.MaxPreemptions = static_cast<unsigned>(I % (Opts.MaxPreemptionsCap + 1));
+    O.CasFailPercent = Fails[I % Fails.size()];
+    const ScheduleOutcome Out = runChecked(RunOne, O);
+    ++Res.SchedulesRun;
+    if (!Out.Ok) {
+      Res.FoundFailure = true;
+      FirstBad = O;
+      FirstOut = Out;
+      break;
+    }
+  }
+  if (!Res.FoundFailure)
+    return Res;
+
+  // Determinism check: the same options must fail the same way.
+  {
+    const ScheduleOutcome Again = runChecked(RunOne, FirstBad);
+    ++Res.SchedulesRun;
+    Res.Reproducible = !Again.Ok;
+  }
+
+  // Greedy shrink while it still fails: CAS injection off first (a bug
+  // that survives without forced failures is a real-schedule bug), then
+  // preemptions downward.
+  SchedOptions Min = FirstBad;
+  if (Opts.Shrink && Res.Reproducible) {
+    if (Min.CasFailPercent != 0) {
+      SchedOptions Try = Min;
+      Try.CasFailPercent = 0;
+      const ScheduleOutcome Out = runChecked(RunOne, Try);
+      ++Res.SchedulesRun;
+      if (!Out.Ok) {
+        Min = Try;
+        FirstOut = Out;
+      }
+    }
+    while (Min.MaxPreemptions > 0) {
+      SchedOptions Try = Min;
+      Try.MaxPreemptions = Min.MaxPreemptions - 1;
+      const ScheduleOutcome Out = runChecked(RunOne, Try);
+      ++Res.SchedulesRun;
+      if (Out.Ok)
+        break;
+      Min = Try;
+      FirstOut = Out;
+    }
+  }
+
+  Res.Failing = Min;
+  Res.Message = describeFailure(FirstOut, Min, Res.Reproducible);
+  return Res;
+}
+
+} // namespace sched
+} // namespace lfm

@@ -1,0 +1,101 @@
+//===- schedtest/Explorer.h - Seed sweep, replay, and shrinking --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a schedule scenario across many seeds, varying the PCT
+/// preemption count and the forced-CAS-failure rate, and turns the first
+/// invariant violation into an actionable report:
+///
+///   1. the failure is re-run to confirm it replays deterministically,
+///   2. the configuration is greedily shrunk (CAS injection off first,
+///      then preemptions downward) while it still fails,
+///   3. the report carries a one-line LFM_SCHED_REPLAY value that re-runs
+///      exactly that schedule.
+///
+/// Environment knobs (all logged by the scenario tests on start):
+///   LFM_TEST_SEED     base seed for the sweep (default 20260806)
+///   LFM_SCHED_SEEDS   schedules per scenario (caps CI wall-clock)
+///   LFM_SCHED_REPLAY  "seed=S,preempt=P,casfail=F" — skip the sweep and
+///                     run only that configuration
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SCHEDTEST_EXPLORER_H
+#define LFMALLOC_SCHEDTEST_EXPLORER_H
+
+#include "schedtest/ScheduleController.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lfm {
+namespace sched {
+
+/// What one schedule of a scenario concluded. A scenario runs its bodies
+/// under a ScheduleController built from the given options, checks its
+/// oracle invariants, and reports — it must not abort on violation
+/// (gtest EXPECT/ASSERT stay in the test, applied to the ExploreResult).
+struct ScheduleOutcome {
+  bool Ok = true;
+  std::string Message; ///< First violated invariant, human-readable.
+};
+
+using ScheduleRunner = std::function<ScheduleOutcome(const SchedOptions &)>;
+
+/// Sweep configuration.
+struct ExploreOptions {
+  /// First seed; schedule i uses BaseSeed + i. Tests default this from
+  /// LFM_TEST_SEED via lfm::sched::envBaseSeed().
+  std::uint64_t BaseSeed = 20260806;
+
+  /// Schedules to run (overridden by LFM_SCHED_SEEDS when set).
+  std::uint64_t NumSeeds = 400;
+
+  /// Template for every schedule; Seed / MaxPreemptions / CasFailPercent
+  /// are overwritten per schedule from the sweep's own derivation.
+  SchedOptions Proto;
+
+  /// Preemption counts are varied over [0, MaxPreemptionsCap].
+  unsigned MaxPreemptionsCap = 4;
+
+  /// CAS-failure percentages cycled through the sweep.
+  std::vector<unsigned> CasFailChoices = {0, 10, 30};
+
+  /// Greedily minimize a failing configuration before reporting.
+  bool Shrink = true;
+};
+
+/// Result of a sweep (or a single replay).
+struct ExploreResult {
+  bool FoundFailure = false;
+  bool Reproducible = true;  ///< Failing config failed again on re-run.
+  SchedOptions Failing;      ///< Minimal failing configuration.
+  std::string Message;       ///< Oracle message + replay instructions.
+  std::uint64_t SchedulesRun = 0;
+};
+
+/// Runs the sweep (or the LFM_SCHED_REPLAY override) and shrinks the
+/// first failure. \p RunOne executes one schedule per call and must be
+/// deterministic in its options.
+ExploreResult explore(const ExploreOptions &Opts,
+                      const ScheduleRunner &RunOne);
+
+/// \returns LFM_TEST_SEED if set, else the fixed default (20260806), so
+/// every CI failure is locally replayable. Logs the value to stderr the
+/// first time it is read.
+std::uint64_t envBaseSeed();
+
+/// \returns \p Fallback overridden by LFM_SCHED_SEEDS when set.
+std::uint64_t envNumSeeds(std::uint64_t Fallback);
+
+/// Formats "seed=S,preempt=P,casfail=F" for replay reporting.
+std::string replayString(const SchedOptions &O);
+
+} // namespace sched
+} // namespace lfm
+
+#endif // LFMALLOC_SCHEDTEST_EXPLORER_H

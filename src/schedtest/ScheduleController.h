@@ -1,0 +1,189 @@
+//===- schedtest/ScheduleController.h - Deterministic scheduler --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A relacy-lite cooperative scheduler for deterministic exploration of
+/// lock-free interleavings. N real OS threads run test bodies, but at most
+/// ONE executes at any instant: every LFM_SCHED_POINT() in the
+/// instrumented code (SchedPoint.h) is a yield to the controller, which
+/// decides from a seed who runs next.
+///
+/// Scheduling policy (auto mode) is PCT-style [Burckhardt et al., ASPLOS
+/// 2010]: threads get random priorities, the highest-priority runnable
+/// thread runs, and at d seeded change points the running thread is
+/// demoted below everyone — so a schedule with a bug of preemption depth
+/// <= d is found with probability >= 1/(n * k^(d-1)) per seed. Manual mode
+/// turns the calling test into the scheduler: step(i, n) runs thread i
+/// for exactly n schedule points, letting regression tests script the
+/// precise interleaving of a known-dangerous window.
+///
+/// CAS-failure injection: per-site, seeded, budgeted forced failures make
+/// the instrumented CAS loops take their retry paths even in schedules
+/// where no other thread intervenes (the injectMapFailuresAfter cue
+/// pattern from PageAllocator, applied to CAS sites).
+///
+/// Because only one controlled thread runs at a time, scenario bodies may
+/// share plain (non-atomic) oracle state between schedule points — but
+/// guard it with a std::mutex anyway: after a runaway schedule the
+/// controller releases all threads to free-run (see MaxSteps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SCHEDTEST_SCHEDULECONTROLLER_H
+#define LFMALLOC_SCHEDTEST_SCHEDULECONTROLLER_H
+
+#include "schedtest/SchedPoint.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lfm {
+namespace sched {
+
+/// One schedule's configuration. Fully determines the interleaving for a
+/// fixed set of bodies (same seed + same options => same schedule).
+struct SchedOptions {
+  /// Master seed for priorities, change points and CAS-failure draws.
+  std::uint64_t Seed = 1;
+
+  /// PCT preemption bound: number of seeded priority-change points. 0
+  /// runs each thread to completion in priority order.
+  unsigned MaxPreemptions = 2;
+
+  /// Probability (percent, 0-100) that an eligible CAS site is forced to
+  /// report failure.
+  unsigned CasFailPercent = 0;
+
+  /// Cap on forced CAS failures per schedule, so lock-free loops cannot
+  /// be starved forever by the injector.
+  std::uint64_t CasFailBudget = 64;
+
+  /// Bitmask over Site ids eligible for forced failure (bit N = Site N).
+  std::uint64_t CasFailSiteMask = ~std::uint64_t{0};
+
+  /// Schedule-length estimate the PCT change points are sampled from.
+  std::uint64_t HorizonEstimate = 2048;
+
+  /// Runaway guard: a schedule exceeding this many points is aborted by
+  /// releasing every thread to free-run (runawayDetected() turns true).
+  /// With finite bodies this indicates a livelock-shaped bug.
+  std::uint64_t MaxSteps = std::uint64_t{1} << 22;
+};
+
+/// Runs a fixed set of thread bodies under seeded deterministic
+/// interleaving. One-shot: construct, run() (or start()/step()/finish()),
+/// destroy.
+class ScheduleController {
+public:
+  explicit ScheduleController(const SchedOptions &Opts);
+  ~ScheduleController();
+  ScheduleController(const ScheduleController &) = delete;
+  ScheduleController &operator=(const ScheduleController &) = delete;
+
+  /// Auto mode: runs every body to completion under the seeded PCT
+  /// policy. \returns the number of schedule points executed.
+  std::uint64_t run(std::vector<std::function<void()>> Bodies);
+
+  /// Manual mode: spawns the bodies and parks them all at their entry
+  /// gates without running any. Drive with step(); end with finish().
+  void start(std::vector<std::function<void()>> Bodies);
+
+  /// Manual mode: lets thread \p Thread execute until it has passed
+  /// \p Points further schedule points (it stops ON the point, before the
+  /// instruction the point guards) or its body returns. \returns false
+  /// once the body has returned.
+  bool step(unsigned Thread, std::uint64_t Points = 1);
+
+  /// Manual mode: releases every thread to free-run and joins them.
+  /// Also called by the destructor if the test forgets.
+  void finish();
+
+  /// \returns schedule points executed so far.
+  std::uint64_t steps() const {
+    return Steps.load(std::memory_order_relaxed);
+  }
+
+  /// \returns forced CAS failures injected so far.
+  std::uint64_t forcedFailures() const {
+    return ForcedFails.load(std::memory_order_relaxed);
+  }
+
+  /// \returns true when the MaxSteps guard fired and the schedule was
+  /// abandoned to free-running threads.
+  bool runawayDetected() const {
+    return FreeRun.load(std::memory_order_acquire);
+  }
+
+  /// Controller of the calling thread, or null (the hook macros test the
+  /// thread-local directly; this is for scenario bodies).
+  static ScheduleController *current() { return TlsController; }
+
+  /// Yield from the calling controlled thread (the out-of-line target of
+  /// LFM_SCHED_POINT; scenario bodies may also call it directly to add
+  /// schedule points of their own).
+  void yield(Site S);
+
+  /// Forced-failure draw for a CAS site (target of LFM_SCHED_CAS_FAIL).
+  bool shouldFailCas(Site S);
+
+private:
+  enum class ThreadPhase : std::uint8_t {
+    Parked,  ///< Waiting at the gate or a schedule point.
+    Running, ///< The one thread currently executing.
+    Done,    ///< Body returned.
+  };
+
+  struct Worker {
+    std::thread Thread;
+    std::condition_variable Cv;
+    ThreadPhase Phase = ThreadPhase::Parked;
+    bool Go = false;             ///< Grant flag (guards against spurious wakeups).
+    bool Reached = false;        ///< Arrived at its entry gate.
+    int Priority = 0;            ///< Higher runs first (auto mode).
+    std::uint64_t Budget = 0;    ///< Remaining points before parking (manual).
+  };
+
+  void spawn(std::vector<std::function<void()>> Bodies);
+  void workerMain(unsigned Self, const std::function<void()> &Body);
+  void grantLocked(unsigned Target);
+  void parkSelfLocked(std::unique_lock<std::mutex> &Lock, unsigned Self);
+  int pickNextLocked(unsigned Exclude) const; ///< -1 if none parked.
+  void onDoneLocked(std::unique_lock<std::mutex> &Lock, unsigned Self);
+  std::uint64_t nextRand();
+
+  const SchedOptions Opts;
+
+  mutable std::mutex M;
+  std::condition_variable MainCv;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  bool Manual = false;
+  unsigned ReadyCount = 0;
+  unsigned DoneCount = 0;
+  int LowWater = -1; ///< Ever-decreasing priority for demoted threads.
+  std::uint64_t RngState;
+  std::vector<std::uint64_t> ChangePoints; ///< Sorted PCT change points.
+  std::size_t NextChange = 0;
+  std::uint64_t CasBudgetLeft = 0;
+
+  std::atomic<std::uint64_t> Steps{0};
+  std::atomic<std::uint64_t> ForcedFails{0};
+  std::atomic<bool> FreeRun{false};
+  bool Joined = false;
+
+  /// Worker-thread context, set once per worker in workerMain.
+  static thread_local unsigned TlsSelf;
+};
+
+} // namespace sched
+} // namespace lfm
+
+#endif // LFMALLOC_SCHEDTEST_SCHEDULECONTROLLER_H

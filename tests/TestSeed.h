@@ -1,0 +1,33 @@
+//===- tests/TestSeed.h - One deterministic seed for every test --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every seeded test derives its randomness from the single LFM_TEST_SEED
+/// environment variable (default 20260806, logged on first use), so any
+/// CI failure is locally replayable with
+///   LFM_TEST_SEED=<seed from the log> ctest -R <test>
+/// Tests needing several independent streams offset the base seed with a
+/// per-test constant — never with time() or std::random_device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TESTS_TESTSEED_H
+#define LFMALLOC_TESTS_TESTSEED_H
+
+#include "schedtest/Explorer.h"
+
+#include <cstdint>
+
+namespace lfm {
+namespace test {
+
+/// The process-wide base seed (LFM_TEST_SEED or the fixed default).
+inline std::uint64_t baseSeed() { return sched::envBaseSeed(); }
+
+} // namespace test
+} // namespace lfm
+
+#endif // LFMALLOC_TESTS_TESTSEED_H

@@ -1,0 +1,175 @@
+//===- tests/large_block_test.cpp - Large-block path edge cases -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The paper handles "large" blocks by direct OS allocation (Fig. 4 malloc
+// line 3, Fig. 6 free line 5). These tests pin the boundary between the
+// superblock classes and the OS path: sizes straddling the largest size
+// class +/- 1, zero-size malloc, and realloc shrink/grow across the
+// small/large boundary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/SizeClasses.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+class LargeBlockTest : public ::testing::Test {
+protected:
+  AllocatorOptions options() {
+    AllocatorOptions Opts;
+    Opts.NumHeaps = 1;
+    Opts.EnableStats = true;
+    return Opts;
+  }
+
+  /// Largest payload still served from superblocks by this instance; a
+  /// request of Boundary+1 bytes must take the large-block OS path.
+  static std::size_t boundaryPayload(const LFAllocator &A) {
+    return classPayloadSize(A.numSizeClassesInUse() - 1);
+  }
+
+  static bool isLargePath(std::size_t Bytes, const LFAllocator &A) {
+    return sizeToClass(Bytes) >= A.numSizeClassesInUse();
+  }
+};
+
+TEST_F(LargeBlockTest, BoundaryStraddle) {
+  LFAllocator A(options());
+  const std::size_t Boundary = boundaryPayload(A);
+  ASSERT_FALSE(isLargePath(Boundary, A));
+  ASSERT_FALSE(isLargePath(Boundary - 1, A));
+  ASSERT_TRUE(isLargePath(Boundary + 1, A));
+
+  // Allocate the three straddling sizes, fill each distinctly, check no
+  // overlap and correct usable sizes.
+  struct Probe {
+    std::size_t Bytes;
+    unsigned char Fill;
+    void *Ptr;
+  };
+  std::vector<Probe> Probes = {{Boundary - 1, 0xA1, nullptr},
+                               {Boundary, 0xB2, nullptr},
+                               {Boundary + 1, 0xC3, nullptr}};
+  for (Probe &P : Probes) {
+    P.Ptr = A.allocate(P.Bytes);
+    ASSERT_NE(P.Ptr, nullptr);
+    EXPECT_GE(A.usableSize(P.Ptr), P.Bytes);
+    std::memset(P.Ptr, P.Fill, P.Bytes);
+  }
+  for (const Probe &P : Probes)
+    for (std::size_t I = 0; I < P.Bytes; ++I)
+      ASSERT_EQ(static_cast<unsigned char *>(P.Ptr)[I], P.Fill)
+          << "byte " << I << " of the " << P.Bytes << "-byte block clobbered";
+  for (const Probe &P : Probes)
+    A.deallocate(P.Ptr);
+
+  const OpStats St = A.opStats();
+  if (A.options().EnableStats) {
+    EXPECT_EQ(St.LargeMallocs, 1u);
+    EXPECT_EQ(St.LargeFrees, 1u);
+  }
+}
+
+TEST_F(LargeBlockTest, ZeroSizeMallocReturnsUniquePointers) {
+  LFAllocator A(options());
+  void *P1 = A.allocate(0);
+  void *P2 = A.allocate(0);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_NE(P1, P2) << "zero-size allocations must be distinct";
+  A.deallocate(P1);
+  A.deallocate(P2);
+}
+
+TEST_F(LargeBlockTest, ZeroSizeReallocFreesAndNulls) {
+  LFAllocator A(options());
+  void *P = A.allocate(64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(A.reallocate(P, 0), nullptr); // C23 semantics: free, null.
+}
+
+TEST_F(LargeBlockTest, ReallocGrowSmallToLarge) {
+  LFAllocator A(options());
+  const std::size_t Boundary = boundaryPayload(A);
+  char *P = static_cast<char *>(A.allocate(Boundary));
+  ASSERT_NE(P, nullptr);
+  for (std::size_t I = 0; I < Boundary; ++I)
+    P[I] = static_cast<char>(I * 131 + 7);
+
+  char *Q = static_cast<char *>(A.reallocate(P, Boundary * 4));
+  ASSERT_NE(Q, nullptr);
+  ASSERT_TRUE(isLargePath(Boundary * 4, A));
+  EXPECT_GE(A.usableSize(Q), Boundary * 4);
+  for (std::size_t I = 0; I < Boundary; ++I)
+    ASSERT_EQ(Q[I], static_cast<char>(I * 131 + 7))
+        << "content lost crossing into the large path at byte " << I;
+  A.deallocate(Q);
+}
+
+TEST_F(LargeBlockTest, ReallocShrinkLargeToSmall) {
+  LFAllocator A(options());
+  const std::size_t Boundary = boundaryPayload(A);
+  const std::size_t LargeBytes = Boundary * 3;
+  ASSERT_TRUE(isLargePath(LargeBytes, A));
+  char *P = static_cast<char *>(A.allocate(LargeBytes));
+  ASSERT_NE(P, nullptr);
+  const std::size_t Keep = 100;
+  for (std::size_t I = 0; I < Keep; ++I)
+    P[I] = static_cast<char>(I ^ 0x5A);
+
+  // Shrink far below the boundary. The allocator may shrink in place or
+  // move to a small block; either way the prefix must keep working.
+  char *Q = static_cast<char *>(A.reallocate(P, Keep));
+  ASSERT_NE(Q, nullptr);
+  EXPECT_GE(A.usableSize(Q), Keep);
+  for (std::size_t I = 0; I < Keep; ++I)
+    ASSERT_EQ(Q[I], static_cast<char>(I ^ 0x5A));
+  A.deallocate(Q);
+}
+
+TEST_F(LargeBlockTest, ReallocGrowWithinLarge) {
+  LFAllocator A(options());
+  const std::size_t Start = boundaryPayload(A) * 2;
+  ASSERT_TRUE(isLargePath(Start, A));
+  char *P = static_cast<char *>(A.allocate(Start));
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0x77, Start);
+  // Large->large growth exercises the mremap path (or copy fallback).
+  char *Q = static_cast<char *>(A.reallocate(P, Start * 8));
+  ASSERT_NE(Q, nullptr);
+  EXPECT_GE(A.usableSize(Q), Start * 8);
+  for (std::size_t I = 0; I < Start; ++I)
+    ASSERT_EQ(static_cast<unsigned char>(Q[I]), 0x77u);
+  A.deallocate(Q);
+}
+
+TEST_F(LargeBlockTest, HugeRequestFailsCleanly) {
+  LFAllocator A(options());
+  // An absurd size must return null, not crash or wrap the arithmetic.
+  EXPECT_EQ(A.allocate(~std::size_t{0} - 100), nullptr);
+  EXPECT_EQ(A.allocateZeroed(~std::size_t{0} / 2, 4), nullptr);
+}
+
+TEST_F(LargeBlockTest, LargeBlocksReturnPagesToOs) {
+  LFAllocator A(options());
+  const std::size_t Before = A.pageStats().BytesInUse;
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 8; ++I)
+    Ptrs.push_back(A.allocate(1 << 20));
+  EXPECT_GE(A.pageStats().BytesInUse, Before + (8u << 20));
+  for (void *P : Ptrs)
+    A.deallocate(P);
+  EXPECT_EQ(A.pageStats().BytesInUse, Before)
+      << "large frees must unmap immediately (Fig. 6 line 5)";
+}
+
+} // namespace

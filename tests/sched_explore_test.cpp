@@ -1,0 +1,398 @@
+//===- tests/sched_explore_test.cpp - Allocator schedule exploration ------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The tentpole suite of the schedule harness: replays the paper's
+// known-dangerous windows across many seeded schedules with PCT bounded
+// preemption and forced CAS failures, checking allocator invariants after
+// every schedule (docs/TESTING.md). Built only with -DLFMALLOC_SCHED_TEST=ON
+// so the LFM_SCHED_POINT hooks in the lock-free core are live.
+//
+// Replay a reported failure with:
+//   LFM_SCHED_REPLAY="seed=S,preempt=P,casfail=F" ./sched_explore_test
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/DescriptorAllocator.h"
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/SizeClasses.h"
+#include "schedtest/Explorer.h"
+#include "schedtest/ScheduleController.h"
+
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace lfm;
+using namespace lfm::sched;
+
+#if !LFM_SCHED_TEST
+#error "sched_explore_test requires -DLFMALLOC_SCHED_TEST=ON"
+#endif
+
+namespace {
+
+/// Payload size used by every scenario: with 4 KB superblocks this yields
+/// small superblocks (few dozen blocks), so full/partial/empty transitions
+/// happen within a handful of operations.
+constexpr std::size_t PayloadBytes = 120;
+
+AllocatorOptions tinyOptions(HazardDomain &Domain, unsigned CreditsLimit) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.SuperblockSize = 4096;
+  Opts.HyperblockSize = 64 * 1024;
+  // CreditsLimit=1 maximizes anchor traffic (every malloc takes the last
+  // credit, every path goes through UpdateActive / MallocFromPartial);
+  // CreditsLimit>1 lets several threads pop the SAME anchor concurrently,
+  // which is the only regime where the anchor tag carries the ABA load.
+  Opts.CreditsLimit = CreditsLimit;
+  Opts.Domain = &Domain;
+  return Opts;
+}
+
+/// Cross-thread bookkeeping shared by scenario bodies. The controller
+/// serializes controlled threads, but a runaway escape free-runs them, so
+/// all access is mutex-guarded.
+class BlockOracle {
+public:
+  /// Records a fresh allocation; flags a pointer handed out twice.
+  void onAlloc(void *Ptr, std::uint64_t Stamp) {
+    if (!Ptr)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Live.insert(Ptr).second && FirstError.empty())
+      FirstError = "block handed out twice";
+    std::memset(Ptr, pattern(Stamp), PayloadBytes);
+    Stamps[Ptr] = Stamp;
+  }
+
+  /// Verifies the byte pattern, then frees through \p Free.
+  void checkAndFree(void *Ptr, const std::function<void(void *)> &Free) {
+    if (!Ptr)
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      const unsigned char Want = pattern(Stamps[Ptr]);
+      const auto *Bytes = static_cast<const unsigned char *>(Ptr);
+      for (std::size_t I = 0; I < PayloadBytes; ++I)
+        if (Bytes[I] != Want) {
+          if (FirstError.empty())
+            FirstError = "block contents clobbered while allocated";
+          break;
+        }
+      Live.erase(Ptr);
+      Stamps.erase(Ptr);
+    }
+    Free(Ptr);
+  }
+
+  std::size_t liveCount() {
+    std::lock_guard<std::mutex> Lock(M);
+    return Live.size();
+  }
+
+  std::string firstError() {
+    std::lock_guard<std::mutex> Lock(M);
+    return FirstError;
+  }
+
+private:
+  static unsigned char pattern(std::uint64_t Stamp) {
+    return static_cast<unsigned char>(0x40 + Stamp % 0xBF);
+  }
+
+  std::mutex M;
+  std::set<void *> Live;
+  std::map<void *, std::uint64_t> Stamps;
+  std::string FirstError;
+};
+
+/// Runs one schedule of a scenario: builds a fresh allocator, executes the
+/// bodies under the controller, then applies the oracle: per-schedule
+/// bookkeeping errors, leaked blocks, and the quiescent debugValidate.
+ScheduleOutcome
+runAllocatorSchedule(const SchedOptions &O,
+                     const std::function<std::vector<std::function<void()>>(
+                         LFAllocator &, BlockOracle &)> &MakeBodies,
+                     bool ExpectAllFreed = true, unsigned CreditsLimit = 1) {
+  ScheduleOutcome Out;
+  HazardDomain Domain;
+  LFAllocator Alloc(tinyOptions(Domain, CreditsLimit));
+  BlockOracle Oracle;
+  ScheduleController Ctl(O);
+  Ctl.run(MakeBodies(Alloc, Oracle));
+
+  std::string Err = Oracle.firstError();
+  if (Err.empty() && ExpectAllFreed && Oracle.liveCount() != 0)
+    Err = "blocks leaked by the schedule";
+  std::string Msg;
+  if (Err.empty() && !Alloc.debugValidate(&Msg))
+    Err = Msg;
+  if (Err.empty() && Ctl.runawayDetected())
+    Err = "schedule exceeded MaxSteps (livelock-shaped)";
+  if (!Err.empty()) {
+    Out.Ok = false;
+    Out.Message = Err;
+  }
+  return Out;
+}
+
+void reportExplore(const ExploreResult &Res) {
+  EXPECT_FALSE(Res.FoundFailure) << Res.Message;
+  if (!Res.FoundFailure)
+    std::fprintf(stderr, "[lfm-sched] %llu schedules clean\n",
+                 static_cast<unsigned long long>(Res.SchedulesRun));
+}
+
+ExploreOptions exploreOptions(std::uint64_t SeedOffset,
+                              std::uint64_t NumSeeds) {
+  ExploreOptions Opts;
+  Opts.BaseSeed = test::baseSeed() + SeedOffset;
+  Opts.NumSeeds = NumSeeds;
+  Opts.Proto.HorizonEstimate = 128; // Scenarios run ~100-200 points.
+  Opts.Proto.MaxSteps = 1 << 16;
+  return Opts;
+}
+
+/// Scenario 1 — the partial-to-full race (§3.2.2/3.2.4): several threads
+/// hammer one size class of a one-heap allocator with CreditsLimit=1, so
+/// every operation crosses the Active/Partial/Full anchor transitions;
+/// cross-thread frees drive FULL->PARTIAL republication against
+/// MallocFromPartial.
+TEST(SchedExplore, PartialToFullRace) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    std::vector<std::function<void()>> Bodies;
+    for (unsigned T = 0; T < 3; ++T)
+      Bodies.push_back([&Alloc, &Oracle, T] {
+        void *Mine[4] = {};
+        for (unsigned Round = 0; Round < 4; ++Round) {
+          Mine[Round] = Alloc.allocate(PayloadBytes);
+          Oracle.onAlloc(Mine[Round], T * 100 + Round);
+          if (Round % 2 == 1) { // Free the OLDER block: cross-superblock
+                                // lifetimes, partial transitions.
+            Oracle.checkAndFree(Mine[Round - 1],
+                                [&Alloc](void *P) { Alloc.deallocate(P); });
+            Mine[Round - 1] = nullptr;
+          }
+        }
+        for (void *&P : Mine)
+          if (P) {
+            Oracle.checkAndFree(P,
+                                [&Alloc](void *Q) { Alloc.deallocate(Q); });
+            P = nullptr;
+          }
+      });
+    return Bodies;
+  };
+  reportExplore(explore(exploreOptions(0, 400),
+                        [&](const SchedOptions &O) {
+                          return runAllocatorSchedule(O, MakeBodies);
+                        }));
+}
+
+/// Scenario 2 — free()'s RetireAll window vs a concurrent
+/// MallocFromPartial (Fig. 6 lines 12-21 vs Fig. 4 lines 4-10): one
+/// thread frees the last outstanding blocks of a PARTIAL superblock,
+/// driving the EMPTY transition, superblock release and RemoveEmptyDesc,
+/// while another allocates from the same class — which may pull the very
+/// descriptor being emptied and must then observe EMPTY and retire it
+/// (Fig. 4 line 6).
+TEST(SchedExplore, RetireAllVsMallocFromPartial) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    // Uncontrolled prefill (main thread, deterministic): drive the
+    // superblock close to the all-free boundary, so the workers' frees
+    // and allocations race right where the EMPTY transition, superblock
+    // release and RemoveEmptyDesc fire.
+    void *Hold[6] = {};
+    for (void *&P : Hold)
+      P = Alloc.allocate(PayloadBytes);
+    for (unsigned I = 2; I < 6; ++I)
+      Alloc.deallocate(Hold[I]);
+    void *Last[2] = {Hold[0], Hold[1]};
+    Oracle.onAlloc(Last[0], 900);
+    Oracle.onAlloc(Last[1], 901);
+
+    std::vector<std::function<void()>> Bodies;
+    Bodies.push_back([&Alloc, &Oracle, Last] {
+      // The retiring thread: frees the final outstanding blocks. In
+      // schedules where thread B has displaced the superblock from
+      // Active, the second free is the EMPTY transition racing B's
+      // MallocFromPartial on the same descriptor (Fig. 4 line 6).
+      for (void *P : Last)
+        Oracle.checkAndFree(P, [&Alloc](void *Q) { Alloc.deallocate(Q); });
+    });
+    Bodies.push_back([&Alloc, &Oracle] {
+      for (unsigned I = 0; I < 6; ++I) {
+        void *P = Alloc.allocate(PayloadBytes);
+        Oracle.onAlloc(P, 910 + I);
+        Oracle.checkAndFree(P, [&Alloc](void *Q) { Alloc.deallocate(Q); });
+      }
+    });
+    return Bodies;
+  };
+  reportExplore(explore(exploreOptions(1 << 20, 400),
+                        [&](const SchedOptions &O) {
+                          return runAllocatorSchedule(O, MakeBodies);
+                        }));
+}
+
+/// Scenario 3 — DescAlloc pop vs retire (Fig. 7, §3.2.5): the
+/// hazard-protected freelist pop racing concurrent retirements, the exact
+/// reclamation/ABA regime of Arbel-Raviv & Brown. Drives the descriptor
+/// allocator directly so the freelist stays short and contended.
+TEST(SchedExplore, DescAllocPopVsRetire) {
+  const auto RunOne = [](const SchedOptions &O) {
+    ScheduleOutcome Out;
+    HazardDomain Domain;
+    PageAllocator Pages;
+    DescriptorAllocator Descs(Domain, Pages);
+
+    // Seed the freelist so pops contend on recycled descriptors rather
+    // than minting fresh chunks.
+    std::vector<Descriptor *> Seeded;
+    for (unsigned I = 0; I < 4; ++I)
+      Seeded.push_back(Descs.alloc());
+    for (Descriptor *D : Seeded)
+      Descs.retire(D);
+
+    std::mutex M;
+    std::set<Descriptor *> Held;
+    std::string Err;
+    ScheduleController Ctl(O);
+    std::vector<std::function<void()>> Bodies;
+    for (unsigned T = 0; T < 3; ++T)
+      Bodies.push_back([&] {
+        for (unsigned I = 0; I < 4; ++I) {
+          Descriptor *D = Descs.alloc();
+          if (!D)
+            continue;
+          {
+            std::lock_guard<std::mutex> Lock(M);
+            if (!Held.insert(D).second && Err.empty())
+              Err = "descriptor handed out twice concurrently";
+            // Scribble while owned: a recycled-while-held descriptor
+            // shows up as a torn Sb/BlockSize pair or an ASan hit.
+            D->Sb = D;
+            D->BlockSize = 0xDEAD;
+          }
+          {
+            std::lock_guard<std::mutex> Lock(M);
+            if (D->Sb != D && Err.empty())
+              Err = "descriptor mutated while exclusively held";
+            Held.erase(D);
+          }
+          Descs.retire(D);
+        }
+      });
+    Ctl.run(std::move(Bodies));
+    if (Err.empty() && Ctl.runawayDetected())
+      Err = "schedule exceeded MaxSteps (livelock-shaped)";
+    if (!Err.empty()) {
+      Out.Ok = false;
+      Out.Message = Err;
+    }
+    return Out;
+  };
+  ExploreOptions Opts = exploreOptions(2 << 20, 400);
+  // Focus forced failures on the descriptor freelist CAS sites.
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::DescPop)) |
+      (1ull << static_cast<unsigned>(Site::DescPush)) |
+      (1ull << static_cast<unsigned>(Site::HazardProtect));
+  reportExplore(explore(Opts, RunOne));
+}
+
+/// Scenario 4 — the anchor-tag ABA recipe (§3.2.3): a victim thread is
+/// preempted inside MallocFromActive's stale-Next window (between reading
+/// the head block's link and the anchor CAS) while an attacker pops that
+/// head and its successor, then frees a previously held block plus the
+/// popped head — restoring Avail/Count/State exactly while KEEPING the
+/// successor block allocated. Only the tag distinguishes the restored
+/// anchor from the victim's snapshot; without the increment the victim's
+/// CAS lands and publishes the held successor as the freelist head, and a
+/// later malloc hands it out twice. This is the scenario that pins the
+/// `NewAnchor.Tag = OldAnchor.Tag + 1` line (mutation-tested: removing it
+/// must fail here).
+///
+/// Needs CreditsLimit >= 2: with a single credit the victim's reservation
+/// drains Active, so no second thread can pop the same anchor inside the
+/// window and the count arithmetic alone rejects every stale CAS.
+TEST(SchedExplore, AnchorTagAbaRecipe) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    // Prior-held block the attacker frees mid-recipe to restore Count.
+    void *Prior = Alloc.allocate(PayloadBytes);
+    Oracle.onAlloc(Prior, 800);
+
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    Bodies.push_back([&Alloc, &Oracle, Free] {
+      // Victim: one malloc whose pop CAS may act on a stale link.
+      void *Q = Alloc.allocate(PayloadBytes);
+      Oracle.onAlloc(Q, 810);
+      Oracle.checkAndFree(Q, Free);
+    });
+    Bodies.push_back([&Alloc, &Oracle, Free, Prior] {
+      // Attacker: pop head, pop successor, free Prior, free the head —
+      // anchor word restored except for the tag; the successor stays
+      // allocated past the end of the schedule (leak-check disabled).
+      void *Head = Alloc.allocate(PayloadBytes);
+      Oracle.onAlloc(Head, 820);
+      void *Succ = Alloc.allocate(PayloadBytes);
+      Oracle.onAlloc(Succ, 821);
+      Oracle.checkAndFree(Prior, Free);
+      Oracle.checkAndFree(Head, Free);
+      (void)Succ; // Held forever: any later handout of it is the bug.
+    });
+    Bodies.push_back([&Alloc, &Oracle, Free] {
+      // Late allocator: picks up whatever the victim's CAS published.
+      void *R = Alloc.allocate(PayloadBytes);
+      Oracle.onAlloc(R, 830);
+      Oracle.checkAndFree(R, Free);
+    });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(3 << 20, 800);
+  Opts.Proto.HorizonEstimate = 48; // ~35 points/schedule: keep the PCT
+                                   // change points inside the run.
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runAllocatorSchedule(O, MakeBodies, /*ExpectAllFreed=*/false,
+                                /*CreditsLimit=*/2);
+  }));
+}
+
+/// Sanity: one fixed schedule end-to-end with every oracle engaged, so a
+/// broken harness (rather than a broken allocator) fails fast and clearly.
+TEST(SchedExplore, SingleScheduleSmoke) {
+  SchedOptions O;
+  O.Seed = test::baseSeed();
+  O.MaxPreemptions = 2;
+  O.CasFailPercent = 30;
+  O.HorizonEstimate = 512;
+  const ScheduleOutcome Out = runAllocatorSchedule(
+      O, [](LFAllocator &Alloc, BlockOracle &Oracle) {
+        std::vector<std::function<void()>> Bodies;
+        for (unsigned T = 0; T < 2; ++T)
+          Bodies.push_back([&Alloc, &Oracle, T] {
+            for (unsigned I = 0; I < 3; ++I) {
+              void *P = Alloc.allocate(PayloadBytes);
+              Oracle.onAlloc(P, T * 10 + I);
+              Oracle.checkAndFree(
+                  P, [&Alloc](void *Q) { Alloc.deallocate(Q); });
+            }
+          });
+        return Bodies;
+      });
+  EXPECT_TRUE(Out.Ok) << Out.Message;
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/treiber_aba_test.cpp - Scripted tagged-ABA regression --------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Drives the classic ABA pattern against TreiberStack deterministically:
+// manual schedule stepping parks a popping thread exactly inside the
+// window between its link read and its head CAS (the LFM_SCHED_POINT in
+// TreiberStack::pop), while the main thread — uncontrolled, so its hooks
+// pass through — reshapes the stack underneath. The first test pins that
+// the IBM tag makes the stale CAS fail (§3.2.3); the second deliberately
+// wraps the 16-bit tag through all 65536 values and shows the stale CAS
+// then SUCCEEDS, corrupting the stack — pinning the documented limit of
+// the tag mechanism (Tagged.h header comment) that the paper's descriptor
+// list avoids by using hazard pointers instead.
+//
+// Only built under LFMALLOC_SCHED_TEST: without the hooks there is no way
+// to hold a thread inside the window.
+//
+//===----------------------------------------------------------------------===//
+
+#if !LFM_SCHED_TEST
+#error treiber_aba_test requires -DLFMALLOC_SCHED_TEST=ON
+#endif
+
+#include "lockfree/TreiberStack.h"
+#include "schedtest/ScheduleController.h"
+
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+using namespace lfm;
+using namespace lfm::sched;
+
+namespace {
+
+struct TestNode {
+  TestNode *Next = nullptr;
+  int Id = 0;
+};
+
+using Stack = TreiberStack<TestNode>;
+
+/// Parks thread 0 of \p Ctl inside pop's link-read/CAS window and returns
+/// once it is there. The body will have loaded the current head snapshot
+/// and read Head->Next, but not yet attempted the CAS.
+void parkInPopWindow(ScheduleController &Ctl) {
+  ASSERT_TRUE(Ctl.step(0, 1));
+}
+
+TEST(TreiberAba, TagMakesStaleCasFail) {
+  Stack S;
+  TestNode Z{nullptr, 3}, Y{nullptr, 2}, X{nullptr, 1};
+  S.push(&Z);
+  S.push(&Y);
+  S.push(&X); // Stack (top->bottom): X, Y, Z.
+  const std::uint16_t T0 = S.headTag();
+
+  SchedOptions Opts;
+  Opts.Seed = test::baseSeed();
+  ScheduleController Ctl(Opts);
+  TestNode *Popped = nullptr;
+  Ctl.start({[&] { Popped = S.pop(); }});
+
+  // Thread A reads head {X, T0} and Next = Y, then stalls in the window.
+  parkInPopWindow(Ctl);
+  EXPECT_EQ(S.headTag(), T0) << "A must not have CASed yet";
+
+  // Main thread plays attacker B: pop X, pop Y, push X back. The head
+  // pointer is X again — the textbook ABA state — but three successful
+  // CASes moved the tag to T0+3, and X->Next is now Z, not Y.
+  EXPECT_EQ(S.pop(), &X);
+  EXPECT_EQ(S.pop(), &Y);
+  S.push(&X);
+  EXPECT_EQ(static_cast<std::uint16_t>(T0 + 3), S.headTag());
+  ASSERT_EQ(X.Next, &Z);
+
+  // Resume A. Its CAS expects {X, T0}, sees {X, T0+3}: the tag mismatch
+  // forces a retry, and the retry pops X with the *current* link (Z), so
+  // nothing is lost. Without the tag A would have installed the stale Y,
+  // resurrecting a removed node and losing Z.
+  EXPECT_FALSE(Ctl.step(0, 1000)); // Runs A's body to completion.
+  Ctl.finish();
+  EXPECT_EQ(Popped, &X);
+  EXPECT_EQ(S.pop(), &Z) << "retry must have preserved the remainder";
+  EXPECT_EQ(S.pop(), nullptr);
+}
+
+TEST(TreiberAba, TagWraparoundWindowIsReal) {
+  // The 16-bit tag is a probabilistic defense: 65536 successful head
+  // CASes while one popper stalls in the window bring the tag back to its
+  // old value, and the stale CAS then succeeds. This test constructs that
+  // schedule on purpose and pins the resulting (documented) corruption,
+  // so any future change to the tag width or packing that alters the
+  // wraparound behavior shows up here.
+  Stack S;
+  TestNode Z{nullptr, 3}, Y{nullptr, 2}, X{nullptr, 1}, W{nullptr, 4};
+  S.push(&Z);
+  S.push(&Y);
+  S.push(&X); // Stack: X, Y, Z.
+  const std::uint16_t T0 = S.headTag();
+
+  SchedOptions Opts;
+  Opts.Seed = test::baseSeed();
+  ScheduleController Ctl(Opts);
+  TestNode *Popped = nullptr;
+  Ctl.start({[&] { Popped = S.pop(); }});
+  parkInPopWindow(Ctl); // A holds snapshot {X, T0}, Next = Y.
+
+  // Reshape: remove Y, insert W — four CASes, keeping the head pointer's
+  // eventual value X while changing the structure underneath. (A
+  // height-changing reshape costs an odd number of CASes and so could
+  // never land the tag back on T0; inserting W keeps the count even.)
+  EXPECT_EQ(S.pop(), &X);
+  EXPECT_EQ(S.pop(), &Y);
+  S.push(&W); // W->Next = Z.
+  S.push(&X); // X->Next = W.  Stack: X, W, Z; tag T0+4.
+
+  // Spin pop/push of the head (tag +2 per round trip) until the tag has
+  // walked all the way around to T0. Bounded: the offset is even and the
+  // period is 65536, so exactly 32766 iterations.
+  unsigned Spins = 0;
+  while (S.headTag() != T0) {
+    TestNode *P = S.pop();
+    ASSERT_EQ(P, &X);
+    S.push(P);
+    ASSERT_LT(++Spins, 40000u) << "tag failed to wrap — width changed?";
+  }
+  EXPECT_EQ(Spins, 32766u);
+
+  // Resume A. Its stale CAS expects {X, T0} and — after full wraparound —
+  // that is exactly what the word holds, so it SUCCEEDS, installing the
+  // long-retired Y as head. (x86-64 cmpxchg does not fail spuriously, so
+  // the weak CAS is deterministic here.) W and the re-pushed X are lost;
+  // Y is resurrected with its stale link to Z.
+  EXPECT_FALSE(Ctl.step(0, 1000));
+  Ctl.finish();
+  EXPECT_EQ(Popped, &X);
+  EXPECT_EQ(S.pop(), &Y) << "wraparound must resurrect the retired node";
+  EXPECT_EQ(S.pop(), &Z);
+  EXPECT_EQ(S.pop(), nullptr) << "W and X are leaked by the ABA corruption";
+}
+
+} // namespace
