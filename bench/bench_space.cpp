@@ -15,15 +15,72 @@
 // Every allocator meters its own PageAllocator, so "space" is exactly the
 // bytes it holds mapped from the OS at peak.
 //
+// For the lock-free allocator the heap-topology inspector additionally
+// reports measured fragmentation near peak footprint: a monitor thread
+// polls topologySnapshot() during the run and keeps the snapshot taken at
+// the highest bytes-in-use. External fragmentation (free blocks stranded
+// inside non-empty superblocks) works in every build; internal
+// fragmentation (requested vs backing bytes) needs the sampling profiler,
+// so it reads "-" in LFMALLOC_TELEMETRY=OFF builds.
+//
 //===----------------------------------------------------------------------===//
 
 #include "harness/Driver.h"
 #include "lfmalloc/Config.h"
+#include "lfmalloc/LFAllocator.h"
+#include "profiling/HeapTopology.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 using namespace lfm;
+
+namespace {
+
+/// Polls the lock-free allocator's topology during a workload, keeping the
+/// snapshot observed at the highest bytes-from-OS — fragmentation at the
+/// moment that matters for §4.2.5, not after teardown has emptied the heap.
+class PeakTopologyMonitor {
+public:
+  explicit PeakTopologyMonitor(LFAllocator *Alloc) : Alloc(Alloc) {
+    if (Alloc)
+      Poller = std::thread([this] { run(); });
+  }
+
+  ~PeakTopologyMonitor() { stop(); }
+
+  void stop() {
+    Stop.store(true, std::memory_order_relaxed);
+    if (Poller.joinable())
+      Poller.join();
+  }
+
+  const profiling::TopologySnapshot &peak() const { return Best; }
+
+private:
+  void run() {
+    std::uint64_t BestBytes = 0;
+    profiling::TopologySnapshot S;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Alloc->topologySnapshot(S);
+      if (S.Space.BytesInUse >= BestBytes) {
+        BestBytes = S.Space.BytesInUse;
+        Best = S;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  LFAllocator *Alloc;
+  std::atomic<bool> Stop{false};
+  profiling::TopologySnapshot Best;
+  std::thread Poller;
+};
+
+} // namespace
 
 int main() {
   const BenchScale &Scale = benchScale();
@@ -49,13 +106,16 @@ int main() {
        }},
   };
 
-  std::printf("§4.2.5 Maximum space used (MB at peak), %u threads\n\n",
+  std::printf("§4.2.5 Maximum space used (MB at peak), %u threads\n",
               Threads);
-  std::printf("%-20s %10s %10s %10s %16s\n", "", "new", "hoard", "ptmalloc",
-              "ptmalloc/new");
+  std::printf("(int-frag / ext-frag: lock-free allocator's measured "
+              "fragmentation near peak)\n\n");
+  std::printf("%-20s %10s %10s %10s %16s %9s %9s\n", "", "new", "hoard",
+              "ptmalloc", "ptmalloc/new", "int-frag", "ext-frag");
 
   for (const Row &R : Rows) {
     double Peak[3] = {};
+    double IntFrag = -1.0, ExtFrag = -1.0;
     for (unsigned I = 0; I < 3; ++I) {
       std::unique_ptr<MallocInterface> Alloc;
       if (I == 0) {
@@ -65,17 +125,37 @@ int main() {
         AllocatorOptions Opts;
         Opts.NumHeaps = Threads;
         Opts.HyperblockSize = 0;
+        // Internal fragmentation needs request sizes, which only the
+        // sampling profiler records. Sample densely — this is a space
+        // study, not a latency one. No-op under LFMALLOC_TELEMETRY=OFF.
+        Opts.EnableProfiler = true;
+        Opts.ProfileRateBytes = 16 * 1024;
+        Opts.ProfileLiveCapacity = 1u << 16;
         Alloc = makeLockFreeAllocator(Opts, "new");
       } else {
         Alloc = makeAllocator(I == 1 ? AllocatorKind::Hoard
                                      : AllocatorKind::Ptmalloc,
                               Threads);
       }
-      R.Fn(*Alloc, Threads);
+      {
+        PeakTopologyMonitor Monitor(Alloc->lockFreeAllocator());
+        R.Fn(*Alloc, Threads);
+        Monitor.stop();
+        if (I == 0) {
+          const profiling::TopologySnapshot &T = Monitor.peak();
+          ExtFrag = T.externalFragRatio();
+          if (T.ProfilerAttached)
+            IntFrag = T.internalFragRatio();
+        }
+      }
       Peak[I] = static_cast<double>(Alloc->pageStats().PeakBytes) / 1048576;
     }
-    std::printf("%-20s %10.2f %10.2f %10.2f %16.2f\n", R.Name, Peak[0],
-                Peak[1], Peak[2], Peak[0] > 0 ? Peak[2] / Peak[0] : 0);
+    char IntBuf[16] = "-";
+    if (IntFrag >= 0)
+      std::snprintf(IntBuf, sizeof(IntBuf), "%.1f%%", IntFrag * 100);
+    std::printf("%-20s %10.2f %10.2f %10.2f %16.2f %9s %8.1f%%\n", R.Name,
+                Peak[0], Peak[1], Peak[2],
+                Peak[0] > 0 ? Peak[2] / Peak[0] : 0, IntBuf, ExtFrag * 100);
   }
   std::printf("\nShape to reproduce: new <= hoard < ptmalloc on every "
               "row.\n");

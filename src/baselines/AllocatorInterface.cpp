@@ -37,6 +37,7 @@ public:
   void writeTraceJson(std::FILE *Out) const override {
     Alloc.traceJson(Out);
   }
+  LFAllocator *lockFreeAllocator() override { return &Alloc; }
 
   LFAllocator &allocator() { return Alloc; }
 

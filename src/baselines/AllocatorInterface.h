@@ -23,6 +23,8 @@
 
 namespace lfm {
 
+class LFAllocator;
+
 /// Abstract malloc/free pair with a space meter.
 class MallocInterface {
 public:
@@ -55,6 +57,11 @@ public:
   /// lock-free allocator reports its rings when built with EnableTrace.
   /// Used by the harness's --trace-json output.
   virtual void writeTraceJson(std::FILE *Out) const;
+
+  /// The underlying LFAllocator when this contender is lock-free, null
+  /// for the baselines. Benches use it for introspection that has no
+  /// baseline equivalent (heap topology, fragmentation metrics).
+  virtual LFAllocator *lockFreeAllocator() { return nullptr; }
 };
 
 /// The contenders of the paper's Section 4.

@@ -122,13 +122,44 @@ std::unique_ptr<MallocInterface> makeCellAllocator(AllocatorKind K) {
   return makeAllocator(K, MaxThreads);
 }
 
-/// Writes one cell's Chrome trace to the --trace-json path (overwriting;
-/// the file ends up holding the last lock-free cell's trace).
-void writeTraceFile(const MallocInterface &Alloc) {
-  std::FILE *Out = std::fopen(TracePath.c_str(), "w");
+/// Ordinal of the figure currently being swept. Bench binaries with
+/// several panels (Fig. 8f-h, the ablations) call runFigure repeatedly;
+/// the ordinal keeps their trace files from colliding.
+unsigned FigureOrdinal = 0;
+
+/// Builds the per-cell trace filename: the --trace-json path with a
+/// distinguishing suffix inserted before its ".json" extension (appended,
+/// with ".json" added, when the path has some other shape). The suffix is
+/// "-<threads>", prefixed by "-fig<N>" for panels after the first and by
+/// "-uni" for the uniprocessor variant, so a full sweep leaves one trace
+/// per lock-free cell instead of the last cell overwriting all others.
+std::string traceCellPath(AllocatorKind K, unsigned Threads) {
+  std::string Suffix;
+  if (FigureOrdinal > 1) {
+    Suffix += "-fig";
+    Suffix += std::to_string(FigureOrdinal);
+  }
+  if (K == AllocatorKind::LockFreeUni)
+    Suffix += "-uni";
+  Suffix += '-';
+  Suffix += std::to_string(Threads);
+
+  std::string Path = TracePath;
+  if (Path.size() > 5 && Path.compare(Path.size() - 5, 5, ".json") == 0) {
+    Path.insert(Path.size() - 5, Suffix);
+  } else {
+    Path += Suffix;
+    Path += ".json";
+  }
+  return Path;
+}
+
+/// Writes one cell's Chrome trace to its traceCellPath() file.
+void writeTraceFile(const MallocInterface &Alloc, const std::string &Path) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "warning: cannot write --trace-json file %s\n",
-                 TracePath.c_str());
+                 Path.c_str());
     return;
   }
   Alloc.writeTraceJson(Out);
@@ -207,6 +238,7 @@ void lfm::runFigure(const char *Title,
                     const std::vector<AllocatorKind> &Kinds,
                     const std::vector<unsigned> &ThreadCounts,
                     const WorkloadFn &Fn, double Baseline) {
+  ++FigureOrdinal;
   std::printf("\n%s\n", Title);
   std::printf("(speedup over contention-free libc; libc baseline = %.3g "
               "ops/s)\n",
@@ -231,7 +263,7 @@ void lfm::runFigure(const char *Title,
                                  captureMetrics(*Alloc)});
       if (!TracePath.empty() && (K == AllocatorKind::LockFree ||
                                  K == AllocatorKind::LockFreeUni))
-        writeTraceFile(*Alloc);
+        writeTraceFile(*Alloc, traceCellPath(K, Threads));
     }
     std::printf("\n");
   }

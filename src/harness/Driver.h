@@ -53,9 +53,13 @@ const BenchScale &benchScale();
 ///                          {"schema": "lfm-bench-metrics-v1",
 ///                           "records": [...]}.
 ///   --trace-json=<path>    build the lock-free cells with event tracing
-///                          and write each cell's Chrome trace JSON to
-///                          <path> (each cell overwrites; the file ends
-///                          holding the final cell's trace).
+///                          and write each cell's Chrome trace JSON to its
+///                          own file: <path> with "-<threads>" (plus
+///                          "-fig<N>" for figures after a binary's first,
+///                          and "-uni" for the uniprocessor variant)
+///                          inserted before the ".json" extension —
+///                          e.g. --trace-json=out.json at 8 threads
+///                          writes out-8.json. No cell overwrites another.
 ///
 /// The LFM_METRICS_JSON / LFM_TRACE_JSON environment variables are
 /// equivalent fallbacks (flags win). Unknown arguments are ignored. The

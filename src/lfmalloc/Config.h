@@ -122,6 +122,27 @@ struct AllocatorOptions {
   /// power of two). 4096 events ≈ 160 KB per trace-emitting thread.
   unsigned TraceEventsPerThread = 4096;
 
+  /// Attach the sampling heap profiler (allocation-site attribution and
+  /// leak reporting; see src/profiling/). Requires a telemetry build;
+  /// ignored under LFM_TELEMETRY=0 so the zero-overhead guarantee of the
+  /// no-telemetry configuration is preserved exactly.
+  bool EnableProfiler = false;
+
+  /// Mean bytes between heap-profile samples (geometric distribution, the
+  /// gperftools scheme). 1 samples every allocation — exact accounting for
+  /// tests, far too slow for benches.
+  std::size_t ProfileRateBytes = 512 * 1024;
+
+  /// Seed for the profiler's per-thread interval RNGs; 0 keeps the built-in
+  /// default. A fixed seed makes single-threaded sampling reproducible.
+  std::uint64_t ProfileSeed = 0;
+
+  /// Distinct allocation sites / concurrently-live sampled objects tracked
+  /// (each rounded up to a power of two; overflow increments dropped-sample
+  /// counters, never blocks or silently lies).
+  std::uint32_t ProfileSiteCapacity = 1024;
+  std::uint32_t ProfileLiveCapacity = 8192;
+
   /// Points inside malloc/free where a thread can be delayed arbitrarily.
   /// The paper's progress argument is precisely that a thread stalled (or
   /// killed) at ANY such point never blocks others; the chaos tests prove

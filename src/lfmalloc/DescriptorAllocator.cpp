@@ -67,6 +67,11 @@ Descriptor *DescriptorAllocator::alloc() {
         static_cast<char *>(Raw) + DescriptorAlignment);
     for (unsigned I = 0; I < DescsPerChunk; ++I) {
       Descriptor *D = new (&Descs[I]) Descriptor();
+      // A zero anchor word decodes as state ACTIVE; store an explicit EMPTY
+      // anchor so the topology walk (forEachDescriptor) can tell never-used
+      // descriptors from ones that own a superblock. The descriptors are
+      // unpublished here, so the relaxed store cannot race.
+      D->AnchorWord.storeRelaxed(Anchor{});
       D->Next.store(I + 1 < DescsPerChunk ? &Descs[I + 1] : nullptr,
                     std::memory_order_relaxed);
     }

@@ -81,6 +81,25 @@ public:
     return Minted.load(std::memory_order_relaxed);
   }
 
+  /// Invokes F(const Descriptor &) for every descriptor ever minted,
+  /// including ones currently on the freelist and ones owning FULL
+  /// superblocks that are reachable from no list — which is exactly why the
+  /// topology inspector walks storage chunks instead of chasing lists.
+  /// Lock-free and wait-free (the chunk list only ever grows); readers see
+  /// racy-but-initialized descriptors: the mint loop stores an EMPTY anchor
+  /// into every fresh descriptor before publishing the chunk, so "State !=
+  /// EMPTY" reliably means "owns a superblock" to within in-flight
+  /// transitions.
+  template <typename Fn> void forEachDescriptor(Fn &&F) const {
+    for (DescChunk *C = Chunks.load(std::memory_order_acquire); C != nullptr;
+         C = C->Next) {
+      const auto *Descs = reinterpret_cast<const Descriptor *>(
+          reinterpret_cast<const char *>(C) + DescriptorAlignment);
+      for (unsigned I = 0; I < DescsPerChunk; ++I)
+        F(Descs[I]);
+    }
+  }
+
 #if LFM_TELEMETRY
   /// Attaches the owning allocator's telemetry (may be null). Called once
   /// before the allocator is shared between threads.

@@ -10,6 +10,9 @@
 
 #include "lfmalloc/LFAllocator.h"
 
+#include "profiling/FdWriter.h"
+#include "profiling/HeapProfiler.h"
+#include "profiling/HeapTopology.h"
 #include "schedtest/SchedPoint.h"
 #include "support/ThreadRegistry.h"
 #include "telemetry/Telemetry.h"
@@ -126,6 +129,37 @@ struct RetryCounter {
   } while (0)
 #endif
 
+// Heap-profiler hooks. One predicted-untaken null test per operation when a
+// telemetry build runs unprofiled; nothing at all — arguments unevaluated —
+// under LFM_TELEMETRY=0, preserving that configuration's exact-zero-overhead
+// guarantee. PROF_ASSERT_NO_REENTRY backs the profiler's "never allocates
+// from the allocator it instruments" contract in debug builds.
+#if LFM_TELEMETRY
+#define PROF_ALLOC(Ptr, Bytes)                                               \
+  do {                                                                       \
+    if (LFM_UNLIKELY(Prof != nullptr) && (Ptr) != nullptr)                   \
+      Prof->onAlloc((Ptr), (Bytes));                                         \
+  } while (0)
+#define PROF_FREE(Ptr)                                                       \
+  do {                                                                       \
+    if (LFM_UNLIKELY(Prof != nullptr))                                       \
+      Prof->onFree(Ptr);                                                     \
+  } while (0)
+#define PROF_ASSERT_NO_REENTRY()                                             \
+  assert(!profiling::inProfilerPath() &&                                     \
+         "allocator re-entered from a profiler path")
+#else
+#define PROF_ALLOC(Ptr, Bytes)                                               \
+  do {                                                                       \
+  } while (0)
+#define PROF_FREE(Ptr)                                                       \
+  do {                                                                       \
+  } while (0)
+#define PROF_ASSERT_NO_REENTRY()                                             \
+  do {                                                                       \
+  } while (0)
+#endif
+
 LFAllocator::LFAllocator(const AllocatorOptions &O)
     : Opts(O), Domain(O.Domain ? *O.Domain : HazardDomain::global()),
       Descs(Domain, Pages),
@@ -176,7 +210,9 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
   const std::size_t StatsOffset = alignUp(
       ClassesOffset + sizeof(SizeClassRuntime) * ClassCount, CacheLineSize);
 #if LFM_TELEMETRY
-  ControlBytes = StatsOffset + sizeof(telemetry::Telemetry);
+  const std::size_t ProfOffset = alignUp(
+      StatsOffset + sizeof(telemetry::Telemetry), CacheLineSize);
+  ControlBytes = ProfOffset + sizeof(profiling::HeapProfiler);
 #else
   ControlBytes = StatsOffset + sizeof(AtomicOpStats);
 #endif
@@ -206,6 +242,23 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
     Tel = new (Base + StatsOffset) telemetry::Telemetry(TelOpts);
     Descs.setTelemetry(Tel);
     SbCache.setTelemetry(Tel);
+  }
+  if (Opts.EnableProfiler) {
+    profiling::ProfilerOptions ProfOpts;
+    ProfOpts.RateBytes =
+        Opts.ProfileRateBytes != 0 ? Opts.ProfileRateBytes : 1;
+    if (Opts.ProfileSeed != 0)
+      ProfOpts.Seed = Opts.ProfileSeed;
+    ProfOpts.SiteCapacity = Opts.ProfileSiteCapacity;
+    ProfOpts.LiveCapacity = Opts.ProfileLiveCapacity;
+    ProfOpts.ClassCount = ClassCount;
+    Prof = new (Base + ProfOffset) profiling::HeapProfiler(ProfOpts);
+    if (!Prof->valid()) {
+      // Could not map the site/live tables; run unprofiled rather than
+      // aborting — profiling is observability, not correctness.
+      Prof->~HeapProfiler();
+      Prof = nullptr;
+    }
   }
 #else
   if (Opts.EnableStats)
@@ -237,6 +290,8 @@ LFAllocator::~LFAllocator() {
     Classes[C].~SizeClassRuntime();
   Domain.drainAll();
 #if LFM_TELEMETRY
+  if (Prof)
+    Prof->~HeapProfiler(); // Unmaps the site/live tables (own page source).
   if (Tel)
     Tel->~Telemetry(); // Unmaps the trace rings (its own page source).
 #endif
@@ -255,10 +310,14 @@ ProcHeap *LFAllocator::findHeap(unsigned Class) {
 }
 
 void *LFAllocator::allocate(std::size_t Bytes) {
+  PROF_ASSERT_NO_REENTRY();
   CTR(Mallocs);
   const unsigned Class = sizeToClass(Bytes);
-  if (Class >= ClassCount) // Fig. 4 malloc lines 2-3: large block.
-    return largeMalloc(Bytes);
+  if (Class >= ClassCount) { // Fig. 4 malloc lines 2-3: large block.
+    void *Addr = largeMalloc(Bytes);
+    PROF_ALLOC(Addr, Bytes);
+    return Addr;
+  }
 
   ProcHeap *Heap = findHeap(Class);
   // Fig. 4 malloc lines 4-9: try active, then partial, then a new
@@ -267,15 +326,18 @@ void *LFAllocator::allocate(std::size_t Bytes) {
   for (;;) {
     if (void *Addr = mallocFromActive(Heap)) {
       CTR(FromActive);
+      PROF_ALLOC(Addr, Bytes);
       return Addr;
     }
     if (void *Addr = mallocFromPartial(Heap)) {
       CTR(FromPartial);
+      PROF_ALLOC(Addr, Bytes);
       return Addr;
     }
     bool OutOfMemory = false;
     if (void *Addr = mallocFromNewSb(Heap, OutOfMemory)) {
       CTR(FromNewSb);
+      PROF_ALLOC(Addr, Bytes);
       return Addr;
     }
     if (OutOfMemory)
@@ -567,6 +629,14 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
   // fragmentation".
   XCTR(NewSbInstallRaces);
   SbCache.release(Sb);
+  // Restore the "EMPTY iff no superblock owned" invariant the topology walk
+  // depends on before the descriptor returns to the freelist. Unpublished
+  // here (the install CAS failed), so the relaxed store cannot race; the
+  // bumped Tag is kept so pre-retirement zombie CASes still miss.
+  A.Avail = 0;
+  A.Count = 0;
+  A.State = SbState::Empty;
+  Desc->AnchorWord.storeRelaxed(A);
   Descs.retire(Desc);
   return nullptr;
 }
@@ -574,6 +644,13 @@ void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
 void LFAllocator::deallocate(void *Ptr) {
   if (!Ptr) // Fig. 6 line 1.
     return;
+  PROF_ASSERT_NO_REENTRY();
+  // Profiler bookkeeping must precede the anchor push below: the moment the
+  // block re-enters a freelist another thread may re-allocate this address,
+  // and its PROF_ALLOC must find the live-map slot vacated. (For an
+  // aligned-marker redirect this probe misses benignly; the recursive call
+  // with the real block start does the accounting.)
+  PROF_FREE(Ptr);
   void *Block = static_cast<char *>(Ptr) - BlockPrefixSize; // Line 2.
   const std::uint64_t Prefix = loadBlockWord(Block);        // Line 3.
   if (LFM_UNLIKELY(Prefix & LargePrefixBit)) {
@@ -758,7 +835,12 @@ void *LFAllocator::reallocate(void *Ptr, std::size_t Bytes) {
         alignUp(Bytes + BlockPrefixSize, OsPageSize);
     if (void *Fresh = Pages.remap(Block, OldTotal, NewTotal)) {
       storeBlockWord(Fresh, NewTotal | LargePrefixBit);
-      return static_cast<char *>(Fresh) + BlockPrefixSize;
+      void *NewPtr = static_cast<char *>(Fresh) + BlockPrefixSize;
+      // mremap bypasses deallocate/allocate, so retarget the profiler's
+      // live entry by hand: the old address dies, the new one is born.
+      PROF_FREE(Ptr);
+      PROF_ALLOC(NewPtr, Bytes);
+      return NewPtr;
     }
     // Fall through to copying on remap failure.
   }
@@ -870,6 +952,229 @@ void LFAllocator::traceJson(std::FILE *Out) const {
   }
 #endif
   std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n", Out);
+}
+
+bool LFAllocator::profilerEnabled() const {
+#if LFM_TELEMETRY
+  return Prof != nullptr;
+#else
+  return false;
+#endif
+}
+
+void LFAllocator::heapProfileJson(std::FILE *Out) const {
+#if LFM_TELEMETRY
+  if (Prof) {
+    Prof->writeJson(Out);
+    return;
+  }
+#endif
+  std::fputs("{\"schema\":\"lfm-heapprofile-v1\",\"enabled\":false,"
+             "\"sites\":[]}\n",
+             Out);
+}
+
+int LFAllocator::heapProfileText(int Fd) const {
+#if LFM_TELEMETRY
+  if (Prof)
+    return Prof->writeHeapText(Fd);
+#endif
+  if (Fd < 0)
+    return -1;
+  // Keep the format valid even unprofiled so dump tooling never chokes.
+  profiling::FdWriter W(Fd);
+  W.str("heap profile: 0: 0 [0: 0] @ heap_v2/1\n\nMAPPED_LIBRARIES:\n");
+  return 0;
+}
+
+void LFAllocator::leakReport(int Fd) const {
+#if LFM_TELEMETRY
+  if (Prof) {
+    Prof->writeLeakReport(Fd);
+    return;
+  }
+#endif
+  profiling::FdWriter W(Fd);
+  W.str("lfm-leak-report: profiler off (needs a telemetry build with "
+        "EnableProfiler / LFM_PROFILE=1)\n");
+}
+
+namespace {
+
+/// Scratch record of one heap's Active reference; Credits + 1 blocks are
+/// reserved through the Active word and invisible to the anchor's Count.
+struct ActiveCreditRec {
+  const Descriptor *Desc;
+  std::uint32_t Credits;
+};
+
+/// Racy-by-design reads of a descriptor's plain fields for the topology
+/// walk (same idiom as loadBlockWord: every value is validated before use,
+/// and the walk is documented as exact only at quiescence).
+template <typename T> T topoLoad(const T &Field) {
+  return __atomic_load_n(&Field, __ATOMIC_RELAXED);
+}
+
+} // namespace
+
+void LFAllocator::collectTopology(profiling::TopologySnapshot &Out,
+                                  profiling::SbMapEntry *Map,
+                                  std::size_t MapCap, std::size_t *MapCount,
+                                  std::uint64_t *Truncated) const {
+  Out = profiling::TopologySnapshot{};
+  Out.ClassCount = ClassCount;
+  Out.SuperblockBytes = Opts.SuperblockSize;
+  for (unsigned C = 0; C < ClassCount; ++C)
+    Out.Classes[C].BlockSize = classBlockSize(C);
+
+  // Pass 1: snapshot every heap's Active reference so the walk can add the
+  // reserved credits back to each active superblock's free count. Scratch
+  // comes from a function-local page source — the walk must not allocate
+  // from the instance it inspects, nor perturb its space accounting.
+  PageAllocator Scratch;
+  const std::size_t MaxActive = std::size_t{ClassCount} * HeapCount;
+  const std::size_t CreditBytes =
+      alignUp(MaxActive * sizeof(ActiveCreditRec), OsPageSize);
+  auto *CreditRecs = static_cast<ActiveCreditRec *>(Scratch.map(CreditBytes));
+  std::size_t NCredits = 0;
+  if (CreditRecs != nullptr) {
+    for (std::size_t I = 0; I < MaxActive; ++I) {
+      const ActiveRef A = Heaps[I].Active.load();
+      if (A.Desc != nullptr)
+        CreditRecs[NCredits++] = {A.Desc, A.Credits};
+    }
+    std::sort(CreditRecs, CreditRecs + NCredits,
+              [](const ActiveCreditRec &L, const ActiveCreditRec &R) {
+                return L.Desc < R.Desc;
+              });
+  }
+  auto reservedCredits = [&](const Descriptor *D) -> std::uint64_t {
+    std::size_t Lo = 0, Hi = NCredits;
+    while (Lo < Hi) {
+      const std::size_t Mid = Lo + (Hi - Lo) / 2;
+      if (CreditRecs[Mid].Desc < D)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo < NCredits && CreditRecs[Lo].Desc == D
+               ? std::uint64_t{CreditRecs[Lo].Credits} + 1
+               : 0;
+  };
+
+  // Pass 2: walk every descriptor ever minted — this is the only way to see
+  // FULL superblocks, which are reachable from no heap or list by design.
+  if (MapCount != nullptr)
+    *MapCount = 0;
+  if (Truncated != nullptr)
+    *Truncated = 0;
+  Descs.forEachDescriptor([&](const Descriptor &D) {
+    const Anchor A = D.AnchorWord.load(std::memory_order_relaxed);
+    if (A.State == SbState::Empty)
+      return; // Freelist or never used; owns no superblock.
+    const void *Sb = topoLoad(D.Sb);
+    const std::uint32_t BlockSize = topoLoad(D.BlockSize);
+    const std::uint32_t MaxCount = topoLoad(D.MaxCount);
+    if (Sb == nullptr || BlockSize < classBlockSize(0) ||
+        BlockSize > Opts.SuperblockSize || MaxCount == 0 ||
+        MaxCount > MaxBlocksPerSuperblock)
+      return; // Mid-initialization snapshot; skip rather than misfile.
+    const unsigned C = sizeToClass(BlockSize - BlockPrefixSize);
+    if (C >= ClassCount || classBlockSize(C) != BlockSize)
+      return;
+
+    profiling::ClassTopology &Cl = Out.Classes[C];
+    Cl.Superblocks += 1;
+    Cl.TotalBlocks += MaxCount;
+    switch (A.State) {
+    case SbState::Active:
+      Cl.ActiveSbs += 1;
+      break;
+    case SbState::Full:
+      Cl.FullSbs += 1;
+      break;
+    case SbState::Partial:
+      Cl.PartialSbs += 1;
+      break;
+    case SbState::Empty:
+      break;
+    }
+    std::uint64_t Free = A.Count + reservedCredits(&D);
+    if (Free > MaxCount)
+      Free = MaxCount; // Cross-word race skew; clamp.
+    const std::uint64_t Used = MaxCount - Free;
+    Cl.UsedBlocks += Used;
+    unsigned Bucket = static_cast<unsigned>(
+        Used * profiling::TopoOccBuckets / MaxCount);
+    if (Bucket >= profiling::TopoOccBuckets)
+      Bucket = profiling::TopoOccBuckets - 1;
+    Cl.OccHist[Bucket] += 1;
+
+    if (Map != nullptr && MapCount != nullptr) {
+      if (*MapCount < MapCap) {
+        profiling::SbMapEntry &E = Map[(*MapCount)++];
+        E.Addr = reinterpret_cast<std::uintptr_t>(Sb);
+        E.BlockSize = BlockSize;
+        E.MaxCount = MaxCount;
+        E.Used = static_cast<std::uint32_t>(Used);
+        E.State = static_cast<std::uint8_t>(A.State);
+      } else if (Truncated != nullptr) {
+        *Truncated += 1;
+      }
+    }
+  });
+  if (CreditRecs != nullptr)
+    Scratch.unmap(CreditRecs, CreditBytes);
+
+  for (unsigned C = 0; C < ClassCount; ++C) {
+    Out.TotalSuperblocks += Out.Classes[C].Superblocks;
+    Out.TotalBlocks += Out.Classes[C].TotalBlocks;
+    Out.TotalUsedBlocks += Out.Classes[C].UsedBlocks;
+  }
+  Out.CachedSuperblocks = SbCache.cachedCount();
+  Out.DescriptorsMinted = Descs.mintedCount();
+  Out.Space = Pages.stats();
+
+#if LFM_TELEMETRY
+  if (Prof != nullptr) {
+    Out.ProfilerAttached = true;
+    for (unsigned C = 0; C < ClassCount; ++C) {
+      Out.Classes[C].LiveEstReqBytes = Prof->classLiveEstReqBytes(C);
+      Out.Classes[C].LiveEstBlockBytes = Prof->classLiveEstBlockBytes(C);
+    }
+    Out.LargeLiveEstReqBytes =
+        Prof->classLiveEstReqBytes(profiling::LargeClassBucket);
+    Out.LargeLiveEstBlockBytes =
+        Prof->classLiveEstBlockBytes(profiling::LargeClassBucket);
+  }
+#endif
+}
+
+void LFAllocator::topologySnapshot(profiling::TopologySnapshot &Out) const {
+  collectTopology(Out, nullptr, 0, nullptr, nullptr);
+}
+
+void LFAllocator::heapTopologyJson(std::FILE *Out) const {
+  // Fixed-capacity heap map: enough for 256 MB of 16 KB superblocks, with
+  // overflow reported rather than silently dropped.
+  constexpr std::size_t MapCap = 16384;
+  PageAllocator Scratch;
+  const std::size_t MapBytes =
+      alignUp(MapCap * sizeof(profiling::SbMapEntry), OsPageSize);
+  auto *Map = static_cast<profiling::SbMapEntry *>(Scratch.map(MapBytes));
+
+  profiling::TopologySnapshot Snap;
+  std::size_t MapCount = 0;
+  std::uint64_t Truncated = 0;
+  collectTopology(Snap, Map, Map != nullptr ? MapCap : 0, &MapCount,
+                  &Truncated);
+  if (Map != nullptr)
+    std::sort(Map, Map + MapCount,
+              [](const profiling::SbMapEntry &L,
+                 const profiling::SbMapEntry &R) { return L.Addr < R.Addr; });
+  profiling::writeTopologyJson(Snap, Map, MapCount, Truncated, Out);
+  if (Map != nullptr)
+    Scratch.unmap(Map, MapBytes);
 }
 
 namespace {

@@ -47,6 +47,12 @@ class Telemetry;
 }
 #endif
 
+namespace profiling {
+class HeapProfiler;
+struct TopologySnapshot;
+struct SbMapEntry;
+} // namespace profiling
+
 /// Per-size-class runtime state: the paper's `typedef sizeclass` (Fig. 3)
 /// — block size, superblock size, and the class-wide partial list.
 struct SizeClassRuntime {
@@ -148,6 +154,44 @@ public:
   /// other threads allocate (events they race past are skipped).
   void traceJson(std::FILE *Out) const;
 
+  /// True when the sampling heap profiler is attached (LFM_TELEMETRY=1 and
+  /// options().EnableProfiler and its tables mapped).
+  bool profilerEnabled() const;
+
+  /// Writes the sampling heap profile as `lfm-heapprofile-v1` JSON.
+  /// Well-formed in every build configuration ({"enabled": false, ...}
+  /// without a profiler). Safe while other threads allocate. Not
+  /// async-signal-safe (stdio); use heapProfileText from signal handlers.
+  void heapProfileJson(std::FILE *Out) const;
+
+  /// Writes the profile in gperftools `heap profile:` text (heap_v2) to a
+  /// raw fd, so `pprof --text <binary> <file>` renders it. Malloc-free,
+  /// lock-free, async-signal-safe. Without a profiler writes an all-zero
+  /// header. \returns 0 on success, -1 on a bad fd.
+  int heapProfileText(int Fd) const;
+
+  /// Writes the surviving-sampled-allocations report (atexit leak report)
+  /// to a raw fd. Malloc-free, async-signal-safe; a disabled profiler
+  /// writes a single "profiler off" line.
+  void leakReport(int Fd) const;
+
+  /// Fills \p Out with a lock-free census of every superblock: per-class
+  /// occupancy histograms, state counts, fragmentation ratios (internal
+  /// fragmentation only when the profiler is attached), the superblock
+  /// cache, and the space meter. Works in every build configuration; exact
+  /// at quiescence, racy-but-safe snapshot under concurrency.
+  void topologySnapshot(profiling::TopologySnapshot &Out) const;
+
+  /// Writes topologySnapshot() plus an address-ordered heap map as
+  /// `lfm-heaptopology-v1` JSON. Not async-signal-safe (stdio + a scratch
+  /// mapping for sorting the map).
+  void heapTopologyJson(std::FILE *Out) const;
+
+#if LFM_TELEMETRY
+  /// The attached profiler, or null. For tests and the harness.
+  profiling::HeapProfiler *heapProfiler() const { return Prof; }
+#endif
+
   /// Returns fully-free hyperblocks and fully-free descriptor superblocks
   /// to the OS (quiescent-state only; §3.2.5 extensions).
   std::size_t trimQuiescent() {
@@ -199,6 +243,14 @@ private:
   void largeFree(void *Block, std::uint64_t Prefix);
   ProcHeap *findHeap(unsigned Class);
 
+  /// Shared walk behind topologySnapshot()/heapTopologyJson(). When \p Map
+  /// is non-null, additionally records up to \p MapCap superblocks into it
+  /// (unsorted) with overflow counted in *\p Truncated.
+  void collectTopology(profiling::TopologySnapshot &Out,
+                       profiling::SbMapEntry *Map, std::size_t MapCap,
+                       std::size_t *MapCount,
+                       std::uint64_t *Truncated) const;
+
   AllocatorOptions Opts;       ///< Resolved options.
   unsigned HeapCount = 0;      ///< Heaps per size class.
   unsigned PartialSlots = 1;   ///< MRU Partial slots per heap.
@@ -215,6 +267,9 @@ private:
   /// Sharded counters + trace rings, placement-constructed in the control
   /// region. Non-null when EnableStats or EnableTrace.
   telemetry::Telemetry *Tel = nullptr;
+  /// Sampling heap profiler, placement-constructed in the control region.
+  /// Non-null when EnableProfiler and its tables mapped successfully.
+  profiling::HeapProfiler *Prof = nullptr;
 #else
   struct AtomicOpStats;
   AtomicOpStats *Stats = nullptr; ///< Non-null when EnableStats.

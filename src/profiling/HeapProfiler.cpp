@@ -1,0 +1,458 @@
+//===- profiling/HeapProfiler.cpp - Sampling heap profiler ----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/HeapProfiler.h"
+
+#include "profiling/FdWriter.h"
+#include "profiling/StackTrace.h"
+#include "telemetry/JsonWriter.h"
+
+#include <cmath>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace lfm;
+using namespace lfm::profiling;
+
+thread_local unsigned lfm::profiling::detail::ProfilerReentryDepth = 0;
+
+namespace {
+
+std::uint32_t roundUpPow2(std::uint32_t V) {
+  if (V < 2)
+    return 2;
+  std::uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+/// splitmix64: turns (seed, slot) into a well-mixed per-slot RNG state.
+std::uint64_t mixSeed(std::uint64_t Seed, std::uint64_t Slot) {
+  std::uint64_t X = Seed + (Slot + 1) * 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  X = X ^ (X >> 31);
+  return X != 0 ? X : 1;
+}
+
+/// FNV-1a over the stack words; forced odd so 0 stays the "free slot"
+/// sentinel.
+std::uint64_t hashStack(const void *const *Pcs, unsigned Depth) {
+  std::uint64_t H = 0xCBF29CE484222325ull;
+  for (unsigned I = 0; I < Depth; ++I) {
+    std::uint64_t W = reinterpret_cast<std::uintptr_t>(Pcs[I]);
+    for (unsigned B = 0; B < 8; ++B) {
+      H ^= (W >> (B * 8)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  }
+  return H | 1;
+}
+
+} // namespace
+
+HeapProfiler::HeapProfiler(const ProfilerOptions &O)
+    : Rate(O.RateBytes != 0 ? O.RateBytes : 1), Seed(O.Seed),
+      InstanceClassCount(O.ClassCount < NumSizeClasses ? O.ClassCount
+                                                       : NumSizeClasses) {
+  SiteCap = roundUpPow2(O.SiteCapacity);
+  LiveCap = roundUpPow2(O.LiveCapacity);
+  SiteMask = SiteCap - 1;
+  LiveMask = LiveCap - 1;
+
+  const std::size_t SiteBytes = std::size_t{SiteCap} * sizeof(SiteSlot);
+  const std::size_t KeyBytes =
+      std::size_t{LiveCap} * sizeof(std::atomic<std::uintptr_t>);
+  const std::size_t ReqBytes =
+      std::size_t{LiveCap} * sizeof(std::atomic<std::uint64_t>);
+  const std::size_t EstBytes = ReqBytes;
+  const std::size_t SiteIdxBytes =
+      std::size_t{LiveCap} * sizeof(std::atomic<std::uint32_t>);
+  TableBytes = alignUp(SiteBytes + KeyBytes + ReqBytes + EstBytes +
+                           SiteIdxBytes,
+                       OsPageSize);
+  TableBase = TablePages.map(TableBytes);
+  if (TableBase == nullptr)
+    return; // !valid(); owner tears us down and runs unprofiled
+
+  // The mapping is zero pages, which is exactly the value-initialized state
+  // of these trivially-layout atomics and of SiteSlot, so the arrays can be
+  // used in place without running constructors (no placement-new loop over
+  // megabytes of table at startup).
+  char *P = static_cast<char *>(TableBase);
+  SiteSlots = reinterpret_cast<SiteSlot *>(P);
+  P += SiteBytes;
+  LiveKeys = reinterpret_cast<std::atomic<std::uintptr_t> *>(P);
+  P += KeyBytes;
+  LiveReq = reinterpret_cast<std::atomic<std::uint64_t> *>(P);
+  P += ReqBytes;
+  LiveEstObjs = reinterpret_cast<std::atomic<std::uint64_t> *>(P);
+  P += EstBytes;
+  LiveSite = reinterpret_cast<std::atomic<std::uint32_t> *>(P);
+
+  // Seed every thread slot up front so sampling is deterministic in the
+  // seed and the slot index alone, independent of thread arrival order.
+  for (unsigned I = 0; I < MaxProfilerThreads; ++I) {
+    ThreadState &S = Threads[I];
+    S.Rng.store(mixSeed(Seed, I), std::memory_order_relaxed);
+    S.Countdown.store(nextIntervalBytes(S), std::memory_order_relaxed);
+  }
+}
+
+HeapProfiler::~HeapProfiler() {
+  if (TableBase != nullptr)
+    TablePages.unmap(TableBase, TableBytes);
+}
+
+std::int64_t HeapProfiler::nextIntervalBytes(ThreadState &S) {
+  // xorshift64* — one multiply, no state tables, fine statistical quality
+  // for interval draws.
+  std::uint64_t X = S.Rng.load(std::memory_order_relaxed);
+  X ^= X >> 12;
+  X ^= X << 25;
+  X ^= X >> 27;
+  S.Rng.store(X, std::memory_order_relaxed);
+  const std::uint64_t R = X * 0x2545F4914F6CDD1Dull;
+  // U uniform in [0,1); inverse-CDF of the exponential gives the geometric
+  // byte gap with mean Rate.
+  const double U = static_cast<double>(R >> 11) * 0x1.0p-53;
+  double Gap = -std::log1p(-U) * static_cast<double>(Rate);
+  const double MaxGap = 64.0 * static_cast<double>(Rate);
+  if (!(Gap >= 1.0))
+    Gap = 1.0;
+  if (Gap > MaxGap)
+    Gap = MaxGap;
+  return static_cast<std::int64_t>(Gap);
+}
+
+unsigned HeapProfiler::classBucketFor(std::uint64_t Req) const {
+  const unsigned C = sizeToClass(static_cast<std::size_t>(Req));
+  return C >= InstanceClassCount ? LargeClassBucket : C;
+}
+
+std::uint64_t HeapProfiler::blockFootprint(unsigned Bucket,
+                                           std::uint64_t Req) const {
+  if (Bucket < NumSizeClasses)
+    return classBlockSize(Bucket);
+  // Large path: one page-aligned mapping holding prefix + payload.
+  return alignUp(Req + BlockPrefixSize, OsPageSize);
+}
+
+SiteSlot *HeapProfiler::findOrClaimSite(const void *const *Pcs,
+                                        unsigned Depth) {
+  const std::uint64_t H = hashStack(Pcs, Depth);
+  std::size_t I = H & SiteMask;
+  for (unsigned P = 0; P < SiteProbeLimit; ++P) {
+    SiteSlot &S = SiteSlots[I];
+    std::uint64_t Cur = S.Hash.load(std::memory_order_acquire);
+    if (Cur == H)
+      return &S; // 64-bit stack hashes; collision odds are negligible
+    if (Cur == 0) {
+      if (S.Hash.compare_exchange_strong(Cur, H, std::memory_order_acq_rel)) {
+        S.Depth = Depth;
+        for (unsigned J = 0; J < Depth; ++J)
+          S.Pcs[J] = const_cast<void *>(Pcs[J]);
+        S.Ready.store(1, std::memory_order_release);
+        SitesInUse.fetch_add(1, std::memory_order_relaxed);
+        return &S;
+      }
+      if (Cur == H)
+        return &S; // lost the claim race to a twin of ourselves
+    }
+    I = (I + 1) & SiteMask;
+  }
+  return nullptr;
+}
+
+bool HeapProfiler::insertLive(std::uintptr_t Key, std::uint32_t Site,
+                              std::uint64_t Req, std::uint64_t EstObjs) {
+  std::size_t I = hashPtr(Key) & LiveMask;
+  for (unsigned P = 0; P < LiveProbeLimit; ++P) {
+    std::uintptr_t K = LiveKeys[I].load(std::memory_order_relaxed);
+    if (K == 0 || K == TombKey) {
+      if (LiveKeys[I].compare_exchange_strong(K, BusyKey,
+                                              std::memory_order_acquire)) {
+        LiveSite[I].store(Site, std::memory_order_relaxed);
+        LiveReq[I].store(Req, std::memory_order_relaxed);
+        LiveEstObjs[I].store(EstObjs, std::memory_order_relaxed);
+        // The count rises before the key is published: onFree's empty-map
+        // fast path may skip probing only when no observable key exists, so
+        // any thread able to see this key must also see LiveEntries != 0.
+        LiveEntries.fetch_add(1, std::memory_order_relaxed);
+        // Publishing the real key last makes the payload words visible to
+        // any thread that later observes the key (acquire on the free path).
+        LiveKeys[I].store(Key, std::memory_order_release);
+        return true;
+      }
+    }
+    I = (I + 1) & LiveMask;
+  }
+  return false;
+}
+
+void HeapProfiler::recordSample(ThreadState &S, void *Ptr,
+                                std::size_t ReqBytes) {
+  ReentryGuard Guard;
+  S.Countdown.store(nextIntervalBytes(S), std::memory_order_relaxed);
+  Samples.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t B = ReqBytes != 0 ? ReqBytes : 1;
+  const std::uint64_t EstObjs = Rate / B != 0 ? Rate / B : 1;
+  const std::uint64_t EstBytes = EstObjs * B;
+
+  void *Pcs[MaxStackDepth];
+  // Skip captureStack and recordSample itself: the leaf frame reported is
+  // allocate()'s caller (both are noinline so the skip count holds).
+  const unsigned Depth = captureStack(Pcs, MaxStackDepth, 2);
+
+  SiteSlot *Site = findOrClaimSite(Pcs, Depth);
+  if (Site == nullptr) {
+    DroppedSiteSamples.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Site->SampledTotalObjs.fetch_add(1, std::memory_order_relaxed);
+  Site->SampledTotalBytes.fetch_add(B, std::memory_order_relaxed);
+  Site->EstTotalObjs.fetch_add(EstObjs, std::memory_order_relaxed);
+  Site->EstTotalBytes.fetch_add(EstBytes, std::memory_order_relaxed);
+
+  const std::uint32_t SiteIdx =
+      static_cast<std::uint32_t>(Site - SiteSlots);
+  if (!insertLive(reinterpret_cast<std::uintptr_t>(Ptr), SiteIdx, B,
+                  EstObjs)) {
+    // Live counters are only advanced when the map accepted the entry, so a
+    // full map can never manufacture phantom leaks — it just undercounts
+    // live data, and says so through this counter.
+    DroppedLiveSamples.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Site->SampledLiveObjs.fetch_add(1, std::memory_order_relaxed);
+  Site->SampledLiveBytes.fetch_add(B, std::memory_order_relaxed);
+  Site->EstLiveObjs.fetch_add(EstObjs, std::memory_order_relaxed);
+  Site->EstLiveBytes.fetch_add(EstBytes, std::memory_order_relaxed);
+
+  const unsigned Bucket = classBucketFor(B);
+  ClassLiveReqBytes[Bucket].fetch_add(EstObjs * B,
+                                      std::memory_order_relaxed);
+  ClassLiveBlockBytes[Bucket].fetch_add(EstObjs * blockFootprint(Bucket, B),
+                                        std::memory_order_relaxed);
+}
+
+void HeapProfiler::removeLiveAt(std::size_t I, std::uintptr_t Key) {
+  // Claim the slot by parking it at BusyKey; inserters skip Busy slots, so
+  // the payload words stay ours to read. The allocator cannot hand this
+  // address out again until deallocate() (our caller) finishes, so no
+  // same-key race exists; a stalled thread here delays only this one slot.
+  if (!LiveKeys[I].compare_exchange_strong(Key, BusyKey,
+                                           std::memory_order_acquire))
+    return; // lost to a concurrent state change; entry was not ours
+  ReentryGuard Guard;
+  const std::uint32_t SiteIdx = LiveSite[I].load(std::memory_order_relaxed);
+  const std::uint64_t Req = LiveReq[I].load(std::memory_order_relaxed);
+  const std::uint64_t EstObjs =
+      LiveEstObjs[I].load(std::memory_order_relaxed);
+  LiveKeys[I].store(TombKey, std::memory_order_release);
+  LiveEntries.fetch_sub(1, std::memory_order_relaxed);
+
+  const std::uint64_t B = Req != 0 ? Req : 1;
+  SiteSlot &S = SiteSlots[SiteIdx & SiteMask];
+  S.SampledLiveObjs.fetch_sub(1, std::memory_order_relaxed);
+  S.SampledLiveBytes.fetch_sub(B, std::memory_order_relaxed);
+  S.EstLiveObjs.fetch_sub(EstObjs, std::memory_order_relaxed);
+  S.EstLiveBytes.fetch_sub(EstObjs * B, std::memory_order_relaxed);
+
+  const unsigned Bucket = classBucketFor(B);
+  ClassLiveReqBytes[Bucket].fetch_sub(EstObjs * B,
+                                      std::memory_order_relaxed);
+  ClassLiveBlockBytes[Bucket].fetch_sub(EstObjs * blockFootprint(Bucket, B),
+                                        std::memory_order_relaxed);
+}
+
+ProfileStats HeapProfiler::totals() const {
+  ProfileStats T;
+  T.RateBytes = Rate;
+  T.Samples = Samples.load(std::memory_order_relaxed);
+  T.DroppedSiteSamples = DroppedSiteSamples.load(std::memory_order_relaxed);
+  T.DroppedLiveSamples = DroppedLiveSamples.load(std::memory_order_relaxed);
+  T.SitesInUse = SitesInUse.load(std::memory_order_relaxed);
+  T.SiteCapacity = SiteCap;
+  T.LiveEntries = LiveEntries.load(std::memory_order_relaxed);
+  T.LiveCapacity = LiveCap;
+  forEachSite([&T](const SiteView &V) {
+    T.SampledLiveObjs += V.SampledLiveObjs;
+    T.SampledLiveBytes += V.SampledLiveBytes;
+    T.SampledTotalObjs += V.SampledTotalObjs;
+    T.SampledTotalBytes += V.SampledTotalBytes;
+    T.EstLiveObjs += V.EstLiveObjs;
+    T.EstLiveBytes += V.EstLiveBytes;
+    T.EstTotalObjs += V.EstTotalObjs;
+    T.EstTotalBytes += V.EstTotalBytes;
+  });
+  return T;
+}
+
+void HeapProfiler::writeJson(std::FILE *Out) const {
+  telemetry::JsonWriter W(Out);
+  W.beginObject();
+  W.field("schema", "lfm-heapprofile-v1");
+  W.field("enabled", true);
+  W.key("config");
+  W.beginObject();
+  W.field("rate_bytes", Rate);
+  W.field("seed", Seed);
+  W.field("site_capacity", std::uint64_t{SiteCap});
+  W.field("live_capacity", std::uint64_t{LiveCap});
+  W.field("max_stack_depth", std::uint64_t{MaxStackDepth});
+  W.endObject();
+
+  const ProfileStats T = totals();
+  W.key("totals");
+  W.beginObject();
+  W.field("samples", T.Samples);
+  W.field("sampled_live_objects", T.SampledLiveObjs);
+  W.field("sampled_live_bytes", T.SampledLiveBytes);
+  W.field("sampled_total_objects", T.SampledTotalObjs);
+  W.field("sampled_total_bytes", T.SampledTotalBytes);
+  W.field("est_live_objects", T.EstLiveObjs);
+  W.field("est_live_bytes", T.EstLiveBytes);
+  W.field("est_total_objects", T.EstTotalObjs);
+  W.field("est_total_bytes", T.EstTotalBytes);
+  W.field("dropped_site_samples", T.DroppedSiteSamples);
+  W.field("dropped_live_samples", T.DroppedLiveSamples);
+  W.field("sites_in_use", T.SitesInUse);
+  W.field("live_entries", T.LiveEntries);
+  W.endObject();
+
+  W.key("sites");
+  W.beginArray();
+  forEachSite([&W](const SiteView &V) {
+    W.beginObject();
+    W.key("stack");
+    W.beginArray();
+    char Pc[2 + 16 + 1];
+    for (unsigned I = 0; I < V.Depth; ++I) {
+      std::snprintf(Pc, sizeof(Pc), "0x%llx",
+                    static_cast<unsigned long long>(
+                        reinterpret_cast<std::uintptr_t>(V.Pcs[I])));
+      W.value(static_cast<const char *>(Pc));
+    }
+    W.endArray();
+    W.field("sampled_live_objects", V.SampledLiveObjs);
+    W.field("sampled_live_bytes", V.SampledLiveBytes);
+    W.field("sampled_total_objects", V.SampledTotalObjs);
+    W.field("sampled_total_bytes", V.SampledTotalBytes);
+    W.field("est_live_objects", V.EstLiveObjs);
+    W.field("est_live_bytes", V.EstLiveBytes);
+    W.field("est_total_objects", V.EstTotalObjs);
+    W.field("est_total_bytes", V.EstTotalBytes);
+    W.endObject();
+  });
+  W.endArray();
+  W.endObject();
+  std::fputc('\n', Out);
+}
+
+int HeapProfiler::writeHeapText(int Fd) const {
+  if (Fd < 0)
+    return -1;
+  FdWriter W(Fd);
+  const ProfileStats T = totals();
+  // gperftools heap_v2 header: values are raw sampled counts; pprof divides
+  // by the sampling probability derived from the rate after the slash.
+  W.str("heap profile: ");
+  W.dec(T.SampledLiveObjs);
+  W.str(": ");
+  W.dec(T.SampledLiveBytes);
+  W.str(" [");
+  W.dec(T.SampledTotalObjs);
+  W.str(": ");
+  W.dec(T.SampledTotalBytes);
+  W.str("] @ heap_v2/");
+  W.dec(Rate);
+  W.ch('\n');
+  forEachSite([&W](const SiteView &V) {
+    W.str("  ");
+    W.dec(V.SampledLiveObjs);
+    W.str(": ");
+    W.dec(V.SampledLiveBytes);
+    W.str(" [");
+    W.dec(V.SampledTotalObjs);
+    W.str(": ");
+    W.dec(V.SampledTotalBytes);
+    W.str("] @");
+    for (unsigned I = 0; I < V.Depth; ++I) {
+      W.ch(' ');
+      W.hex(reinterpret_cast<std::uintptr_t>(V.Pcs[I]));
+    }
+    W.ch('\n');
+  });
+  // pprof resolves symbols against the address-space map appended verbatim.
+  W.str("\nMAPPED_LIBRARIES:\n");
+  W.flush();
+  const int Maps = ::open("/proc/self/maps", O_RDONLY);
+  if (Maps >= 0) {
+    char Buf[1024];
+    ssize_t N;
+    while ((N = ::read(Maps, Buf, sizeof(Buf))) > 0) {
+      ssize_t Off = 0;
+      while (Off < N) {
+        const ssize_t Wr = ::write(Fd, Buf + Off, N - Off);
+        if (Wr > 0) {
+          Off += Wr;
+          continue;
+        }
+        if (Wr < 0 && errno == EINTR)
+          continue;
+        break;
+      }
+    }
+    ::close(Maps);
+  }
+  return 0;
+}
+
+void HeapProfiler::writeLeakReport(int Fd) const {
+  FdWriter W(Fd);
+  const ProfileStats T = totals();
+  W.str("lfm-leak-report: ");
+  W.dec(T.EstLiveObjs);
+  W.str(" objects / ");
+  W.dec(T.EstLiveBytes);
+  W.str(" bytes estimated live at exit (sampled ");
+  W.dec(T.SampledLiveObjs);
+  W.str(" objects / ");
+  W.dec(T.SampledLiveBytes);
+  W.str(" bytes, rate=");
+  W.dec(Rate);
+  W.str(")\n");
+  if (T.SampledLiveObjs == 0) {
+    W.str("lfm-leak-report: no surviving sampled allocations\n");
+    return;
+  }
+  forEachSite([&W](const SiteView &V) {
+    if (V.SampledLiveObjs == 0)
+      return;
+    W.str("leak: ");
+    W.dec(V.EstLiveObjs);
+    W.str(" objs ");
+    W.dec(V.EstLiveBytes);
+    W.str(" bytes (sampled ");
+    W.dec(V.SampledLiveObjs);
+    W.str(") @");
+    for (unsigned I = 0; I < V.Depth; ++I) {
+      W.ch(' ');
+      W.hex(reinterpret_cast<std::uintptr_t>(V.Pcs[I]));
+    }
+    W.ch('\n');
+  });
+  if (T.DroppedLiveSamples != 0) {
+    W.str("lfm-leak-report: ");
+    W.dec(T.DroppedLiveSamples);
+    W.str(" sampled allocations untracked (live map full); live totals are "
+          "a lower bound\n");
+  }
+}

@@ -1,0 +1,347 @@
+//===- profiling/HeapProfiler.h - Sampling heap profiler ---------*- C++ -*-==//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free sampling heap profiler with allocation-site attribution.
+///
+/// Design, in one paragraph: each thread keeps a byte countdown; every
+/// allocation subtracts its size, and when the countdown crosses zero the
+/// allocation is *sampled* — its call stack is captured by frame-pointer
+/// walk, interned into a fixed-capacity open-addressed site table
+/// (CAS-claimed slots), and the pointer is tracked in a fixed-capacity
+/// lock-free live map so the matching free can credit the site back. The
+/// countdown is re-armed with a geometrically distributed interval with mean
+/// \c RateBytes (default 512 KiB), which makes every allocated byte equally
+/// likely to trigger a sample regardless of object size — the same scheme
+/// gperftools and tcmalloc use — so dividing the sample rate by an object's
+/// size yields an unbiased estimate of the true allocation counts.
+///
+/// Everything in the hot path is malloc-free (all storage is pre-mapped from
+/// a private PageAllocator), lock-free (single CAS claims, no retry loops
+/// that can be blocked by a stalled peer), and the text exporters are
+/// async-signal-safe (raw fds, no stdio). The profiler never calls back into
+/// the allocator it instruments; debug builds enforce this with a
+/// thread-local reentry guard that \c LFAllocator asserts on entry.
+///
+/// Determinism: the per-thread RNG used for interval draws is seeded from
+/// (\c Seed, thread slot), so a single-threaded workload replayed against the
+/// same seed samples exactly the same allocations — the property the
+/// deterministic sampler tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_PROFILING_HEAPPROFILER_H
+#define LFMALLOC_PROFILING_HEAPPROFILER_H
+
+#include "lfmalloc/SizeClasses.h"
+#include "os/PageAllocator.h"
+#include "support/Platform.h"
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+namespace lfm {
+namespace profiling {
+
+namespace detail {
+/// Depth of profiler-internal code on this thread's stack. Nonzero means we
+/// are inside a profiler path, where calling back into the instrumented
+/// allocator would deadlock or recurse; LFAllocator asserts on it in debug
+/// builds.
+extern thread_local unsigned ProfilerReentryDepth;
+} // namespace detail
+
+/// \returns true while the current thread is inside a profiler code path.
+inline bool inProfilerPath() { return detail::ProfilerReentryDepth != 0; }
+
+/// RAII marker for profiler-internal code. Cheap (one thread-local
+/// increment); placed on every path that must not allocate.
+struct ReentryGuard {
+  ReentryGuard() { ++detail::ProfilerReentryDepth; }
+  ~ReentryGuard() { --detail::ProfilerReentryDepth; }
+  ReentryGuard(const ReentryGuard &) = delete;
+  ReentryGuard &operator=(const ReentryGuard &) = delete;
+};
+
+/// Deepest call stack recorded per site; deeper frames are truncated.
+inline constexpr unsigned MaxStackDepth = 16;
+
+/// Thread sampling slots. Power of two; thread indices beyond this share
+/// slots (countdowns drift a little, estimates stay unbiased).
+inline constexpr unsigned MaxProfilerThreads = 256;
+
+/// Linear-probe bounds. Hitting them increments a dropped counter instead of
+/// scanning unboundedly — overflow is accounted, never silent and never a
+/// progress hazard.
+inline constexpr unsigned SiteProbeLimit = 16;
+inline constexpr unsigned LiveProbeLimit = 32;
+
+/// Per-class bucket index used for sizes the instrumented instance routes to
+/// the large-allocation path.
+inline constexpr unsigned LargeClassBucket = NumSizeClasses;
+
+struct ProfilerOptions {
+  /// Mean bytes between samples (geometric). 1 byte = sample everything.
+  std::size_t RateBytes = 512 * 1024;
+  /// Base seed for the per-thread interval RNGs. The same seed and the same
+  /// single-threaded allocation sequence sample identically.
+  std::uint64_t Seed = 0x9E3779B97F4A7C15ull;
+  /// Distinct allocation sites tracked (rounded up to a power of two).
+  std::uint32_t SiteCapacity = 1024;
+  /// Sampled live objects tracked at once (rounded up to a power of two).
+  std::uint32_t LiveCapacity = 8192;
+  /// Number of small size classes the instrumented instance serves; sizes in
+  /// classes >= this go to its large path and land in LargeClassBucket.
+  unsigned ClassCount = NumSizeClasses;
+};
+
+/// One interned allocation site. Claimed once by CAS on Hash (0 = free);
+/// Ready is release-published after the stack words are written, so readers
+/// that observe Ready == 1 see a complete stack. The counters are
+/// independent relaxed atomics — exports see a racy-but-consistent-enough
+/// snapshot, exact at quiescence.
+struct alignas(CacheLineSize) SiteSlot {
+  std::atomic<std::uint64_t> Hash{0};
+  std::atomic<std::uint32_t> Ready{0};
+  std::uint32_t Depth = 0;
+  void *Pcs[MaxStackDepth] = {};
+  /// Raw sampled counts (what the gperftools text export carries; pprof
+  /// un-samples them using the rate in the header).
+  std::atomic<std::uint64_t> SampledLiveObjs{0};
+  std::atomic<std::uint64_t> SampledLiveBytes{0};
+  std::atomic<std::uint64_t> SampledTotalObjs{0};
+  std::atomic<std::uint64_t> SampledTotalBytes{0};
+  /// Unbiased estimates of the *true* counts (each sample of a B-byte object
+  /// stands for ~Rate/B objects).
+  std::atomic<std::uint64_t> EstLiveObjs{0};
+  std::atomic<std::uint64_t> EstLiveBytes{0};
+  std::atomic<std::uint64_t> EstTotalObjs{0};
+  std::atomic<std::uint64_t> EstTotalBytes{0};
+};
+
+/// Read-only view of one site passed to forEachSite callbacks.
+struct SiteView {
+  const void *const *Pcs;
+  unsigned Depth;
+  std::uint64_t SampledLiveObjs, SampledLiveBytes;
+  std::uint64_t SampledTotalObjs, SampledTotalBytes;
+  std::uint64_t EstLiveObjs, EstLiveBytes;
+  std::uint64_t EstTotalObjs, EstTotalBytes;
+};
+
+/// Snapshot of the profiler's aggregate counters (sums over the site table
+/// plus the global drop counters). Exact when the allocator is quiescent.
+struct ProfileStats {
+  std::uint64_t RateBytes = 0;
+  std::uint64_t Samples = 0;
+  std::uint64_t SampledLiveObjs = 0, SampledLiveBytes = 0;
+  std::uint64_t SampledTotalObjs = 0, SampledTotalBytes = 0;
+  std::uint64_t EstLiveObjs = 0, EstLiveBytes = 0;
+  std::uint64_t EstTotalObjs = 0, EstTotalBytes = 0;
+  std::uint64_t DroppedSiteSamples = 0;
+  std::uint64_t DroppedLiveSamples = 0;
+  std::uint64_t SitesInUse = 0, SiteCapacity = 0;
+  std::uint64_t LiveEntries = 0, LiveCapacity = 0;
+};
+
+class HeapProfiler {
+public:
+  explicit HeapProfiler(const ProfilerOptions &O);
+  ~HeapProfiler();
+  HeapProfiler(const HeapProfiler &) = delete;
+  HeapProfiler &operator=(const HeapProfiler &) = delete;
+
+  /// False if the backing tables could not be mapped; the owner must then
+  /// destroy the profiler and run unprofiled.
+  bool valid() const { return SiteSlots != nullptr; }
+
+  /// Hot-path hook: called after every successful allocation with the
+  /// payload pointer and the *requested* byte count. The common (unsampled)
+  /// case is a relaxed load, subtract, and relaxed store on the thread's own
+  /// cache-line-private slot — deliberately NOT an atomic RMW, whose lock
+  /// prefix would cost more than the rest of a fast-path malloc combined.
+  /// Threads beyond MaxProfilerThreads share slots, so a decrement can be
+  /// lost to a racing twin; that only perturbs one interval draw, and the
+  /// geometric re-arm keeps the estimates unbiased (same caveat the
+  /// fetch_sub version had, where shared-slot countdowns drifted instead).
+  void onAlloc(void *Ptr, std::size_t ReqBytes) {
+    ThreadState &S = Threads[threadIndex() & (MaxProfilerThreads - 1)];
+    const std::int64_t B =
+        static_cast<std::int64_t>(ReqBytes != 0 ? ReqBytes : 1);
+    const std::int64_t C = S.Countdown.load(std::memory_order_relaxed);
+    if (LFM_LIKELY(C > B)) {
+      S.Countdown.store(C - B, std::memory_order_relaxed);
+      return;
+    }
+    recordSample(S, Ptr, ReqBytes);
+  }
+
+  /// Hot-path hook: called at the top of every deallocation. Gated on the
+  /// live-entry count: when no sampled allocation is live anywhere — the
+  /// steady state of alloc-free-pair workloads — the whole hook is one
+  /// relaxed load of a rarely-written counter. The gate cannot miss a
+  /// tracked pointer: insertLive() increments LiveEntries before
+  /// release-publishing the key, inserts complete before allocate()
+  /// returns, and handing a pointer to another thread for freeing requires
+  /// user-level synchronization that carries the increment along. With live
+  /// sampled data present, the first probe still hits an empty slot for all
+  /// but the ~1/Rate tracked pointers.
+  void onFree(void *Ptr) {
+    if (LFM_LIKELY(LiveEntries.load(std::memory_order_relaxed) == 0))
+      return;
+    const std::uintptr_t Key = reinterpret_cast<std::uintptr_t>(Ptr);
+    std::size_t I = hashPtr(Key) & LiveMask;
+    for (unsigned P = 0; P < LiveProbeLimit; ++P) {
+      const std::uintptr_t K = LiveKeys[I].load(std::memory_order_acquire);
+      if (LFM_LIKELY(K == 0))
+        return; // never inserted: slots never return to 0, so the probe
+                // chain for Key cannot continue past an empty slot
+      if (K == Key) {
+        removeLiveAt(I, Key);
+        return;
+      }
+      I = (I + 1) & LiveMask;
+    }
+  }
+
+  /// Aggregate counters; see ProfileStats.
+  ProfileStats totals() const;
+
+  /// Invokes F(const SiteView &) for every fully published site.
+  template <typename Fn> void forEachSite(Fn &&F) const {
+    for (std::uint32_t I = 0; I < SiteCap; ++I) {
+      const SiteSlot &S = SiteSlots[I];
+      if (S.Hash.load(std::memory_order_acquire) == 0 ||
+          S.Ready.load(std::memory_order_acquire) == 0)
+        continue;
+      SiteView V;
+      V.Pcs = S.Pcs;
+      V.Depth = S.Depth;
+      V.SampledLiveObjs = S.SampledLiveObjs.load(std::memory_order_relaxed);
+      V.SampledLiveBytes = S.SampledLiveBytes.load(std::memory_order_relaxed);
+      V.SampledTotalObjs = S.SampledTotalObjs.load(std::memory_order_relaxed);
+      V.SampledTotalBytes =
+          S.SampledTotalBytes.load(std::memory_order_relaxed);
+      V.EstLiveObjs = S.EstLiveObjs.load(std::memory_order_relaxed);
+      V.EstLiveBytes = S.EstLiveBytes.load(std::memory_order_relaxed);
+      V.EstTotalObjs = S.EstTotalObjs.load(std::memory_order_relaxed);
+      V.EstTotalBytes = S.EstTotalBytes.load(std::memory_order_relaxed);
+      F(static_cast<const SiteView &>(V));
+    }
+  }
+
+  /// Estimated live requested bytes / live block-footprint bytes currently
+  /// attributed to small size class \p Class (or LargeClassBucket). Feeds the
+  /// topology inspector's internal-fragmentation ratios.
+  std::uint64_t classLiveEstReqBytes(unsigned Class) const {
+    return ClassLiveReqBytes[Class].load(std::memory_order_relaxed);
+  }
+  std::uint64_t classLiveEstBlockBytes(unsigned Class) const {
+    return ClassLiveBlockBytes[Class].load(std::memory_order_relaxed);
+  }
+
+  /// `lfm-heapprofile-v1` JSON. Uses stdio (may allocate through the
+  /// instrumented allocator for the stream's own buffer — that is a real
+  /// allocation and is deliberately *not* inside the reentry guard). Not
+  /// async-signal-safe; use writeHeapText from signal handlers.
+  void writeJson(std::FILE *Out) const;
+
+  /// gperftools-compatible `heap profile:` text (heap_v2 sampling header +
+  /// MAPPED_LIBRARIES from /proc/self/maps). Raw-fd, malloc-free,
+  /// async-signal-safe. \returns 0 on success.
+  int writeHeapText(int Fd) const;
+
+  /// Human-readable surviving-allocation report for atexit/LFM_LEAK_REPORT.
+  /// Raw-fd, malloc-free, async-signal-safe.
+  void writeLeakReport(int Fd) const;
+
+  /// Bytes mapped for the profiler's own tables (site table + live map);
+  /// kept out of the instrumented allocator's space accounting.
+  PageStats storageStats() const { return TablePages.stats(); }
+
+  std::uint64_t rateBytes() const { return Rate; }
+  std::uint64_t seed() const { return Seed; }
+  std::uint32_t siteCapacity() const { return SiteCap; }
+  std::uint32_t liveCapacity() const { return LiveCap; }
+
+private:
+  struct alignas(CacheLineSize) ThreadState {
+    std::atomic<std::int64_t> Countdown{0};
+    std::atomic<std::uint64_t> Rng{1};
+  };
+
+  /// Live-map key sentinels. Real payload pointers are never this small.
+  static constexpr std::uintptr_t BusyKey = 1;
+  static constexpr std::uintptr_t TombKey = 2;
+
+  static std::uint64_t hashPtr(std::uintptr_t P) {
+    std::uint64_t X = static_cast<std::uint64_t>(P);
+    X ^= X >> 33;
+    X *= 0xFF51AFD7ED558CCDull;
+    X ^= X >> 33;
+    X *= 0xC4CEB9FE1A85EC53ull;
+    X ^= X >> 33;
+    return X;
+  }
+
+  __attribute__((noinline)) void recordSample(ThreadState &S, void *Ptr,
+                                              std::size_t ReqBytes);
+  __attribute__((noinline)) void removeLiveAt(std::size_t I,
+                                              std::uintptr_t Key);
+
+  std::int64_t nextIntervalBytes(ThreadState &S);
+  SiteSlot *findOrClaimSite(const void *const *Pcs, unsigned Depth);
+  bool insertLive(std::uintptr_t Key, std::uint32_t Site, std::uint64_t Req,
+                  std::uint64_t EstObjs);
+
+  /// Which per-class bucket a request of \p Req bytes lands in for this
+  /// instance, and the block footprint backing it.
+  unsigned classBucketFor(std::uint64_t Req) const;
+  std::uint64_t blockFootprint(unsigned Bucket, std::uint64_t Req) const;
+
+  std::uint64_t Rate;
+  std::uint64_t Seed;
+  unsigned InstanceClassCount;
+  std::uint32_t SiteCap = 0, SiteMask = 0;
+  std::uint32_t LiveCap = 0, LiveMask = 0;
+
+  /// Backing for the site table and live map; private so the instrumented
+  /// allocator's bytes-from-OS accounting (§4.2.5) stays honest.
+  PageAllocator TablePages;
+  void *TableBase = nullptr;
+  std::size_t TableBytes = 0;
+
+  SiteSlot *SiteSlots = nullptr;
+  /// Live map, struct-of-arrays so free-path probing touches only key words.
+  /// Key states: 0 empty (never reused), BusyKey (payload being written or
+  /// read), TombKey (removed, reusable), else the payload pointer. Payload
+  /// words are release-published by storing the real key last.
+  std::atomic<std::uintptr_t> *LiveKeys = nullptr;
+  std::atomic<std::uint64_t> *LiveReq = nullptr;
+  std::atomic<std::uint64_t> *LiveEstObjs = nullptr;
+  std::atomic<std::uint32_t> *LiveSite = nullptr;
+
+  std::atomic<std::uint64_t> Samples{0};
+  std::atomic<std::uint64_t> DroppedSiteSamples{0};
+  std::atomic<std::uint64_t> DroppedLiveSamples{0};
+  std::atomic<std::uint64_t> SitesInUse{0};
+  std::atomic<std::uint64_t> LiveEntries{0};
+
+  /// Estimated live payload vs block-footprint bytes per small size class
+  /// (+1 large bucket) for internal-fragmentation reporting.
+  std::atomic<std::uint64_t> ClassLiveReqBytes[NumSizeClasses + 1] = {};
+  std::atomic<std::uint64_t> ClassLiveBlockBytes[NumSizeClasses + 1] = {};
+
+  ThreadState Threads[MaxProfilerThreads];
+};
+
+} // namespace profiling
+} // namespace lfm
+
+#endif // LFMALLOC_PROFILING_HEAPPROFILER_H

@@ -1,0 +1,148 @@
+//===- profiling/HeapTopology.h - Live heap-topology snapshot ----*- C++ -*-==//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data model and JSON writer for the heap-topology inspector. The walk
+/// itself lives in LFAllocator (it needs the descriptor internals); this
+/// header defines the snapshot it fills in and the `lfm-heaptopology-v1`
+/// serializer, shared by `heapTopologyJson()`, `malloc_info()`, and
+/// bench_space's fragmentation columns.
+///
+/// Every block in the allocator points at its superblock descriptor, and all
+/// descriptors ever minted live in a walkable chunk list, so occupancy and
+/// fragmentation are readable lock-free without stopping the world: the walk
+/// takes racy relaxed snapshots of each descriptor's anchor word. Numbers
+/// are exact when the allocator is quiescent and best-effort (each
+/// superblock individually consistent, cross-superblock skew possible) while
+/// it is running.
+///
+/// Fragmentation definitions (scalloc/OOPSLA'15 terminology):
+///  - internal: requested payload bytes vs the block bytes backing them —
+///    only measurable with the sampling profiler attached, since the
+///    allocator does not store request sizes;
+///  - external: free block bytes held inside non-empty superblocks (plus
+///    per-superblock header slack) vs total superblock bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_PROFILING_HEAPTOPOLOGY_H
+#define LFMALLOC_PROFILING_HEAPTOPOLOGY_H
+
+#include "lfmalloc/SizeClasses.h"
+#include "os/PageAllocator.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+namespace lfm {
+namespace profiling {
+
+/// Occupancy histogram resolution: bucket i holds superblocks with
+/// [i*10, (i+1)*10)% of their blocks in use (bucket 9 includes 100%).
+inline constexpr unsigned TopoOccBuckets = 10;
+
+struct ClassTopology {
+  std::uint32_t BlockSize = 0; ///< Block size including the 8-byte prefix.
+  std::uint64_t Superblocks = 0;
+  std::uint64_t ActiveSbs = 0;
+  std::uint64_t FullSbs = 0;
+  std::uint64_t PartialSbs = 0;
+  std::uint64_t TotalBlocks = 0;
+  std::uint64_t UsedBlocks = 0;
+  std::uint64_t OccHist[TopoOccBuckets] = {};
+  /// Estimated live requested/block bytes from the sampling profiler; zero
+  /// when no profiler is attached.
+  std::uint64_t LiveEstReqBytes = 0;
+  std::uint64_t LiveEstBlockBytes = 0;
+
+  std::uint64_t freeBlocks() const { return TotalBlocks - UsedBlocks; }
+
+  /// Free-block + header-slack bytes over total superblock bytes for this
+  /// class; 0 when the class owns no superblocks.
+  double externalFragRatio(std::size_t SuperblockBytes) const {
+    const double SbBytes =
+        static_cast<double>(Superblocks) * static_cast<double>(SuperblockBytes);
+    if (SbBytes <= 0)
+      return 0.0;
+    const double UsedBytes =
+        static_cast<double>(UsedBlocks) * static_cast<double>(BlockSize);
+    return 1.0 - UsedBytes / SbBytes;
+  }
+
+  /// 1 - requested/backing bytes per the profiler's live estimates; 0 when
+  /// nothing sampled.
+  double internalFragRatio() const {
+    if (LiveEstBlockBytes == 0)
+      return 0.0;
+    return 1.0 - static_cast<double>(LiveEstReqBytes) /
+                     static_cast<double>(LiveEstBlockBytes);
+  }
+};
+
+struct TopologySnapshot {
+  unsigned ClassCount = 0; ///< Small classes served by this instance.
+  std::size_t SuperblockBytes = 0;
+  ClassTopology Classes[NumSizeClasses];
+  std::uint64_t TotalSuperblocks = 0;
+  std::uint64_t TotalBlocks = 0;
+  std::uint64_t TotalUsedBlocks = 0;
+  std::uint64_t CachedSuperblocks = 0; ///< Empty, parked in SuperblockCache.
+  std::uint64_t DescriptorsMinted = 0;
+  PageStats Space = {}; ///< The instance's bytes-from-OS accounting.
+  bool ProfilerAttached = false;
+  /// Large-path live estimates (profiler), outside the class array.
+  std::uint64_t LargeLiveEstReqBytes = 0;
+  std::uint64_t LargeLiveEstBlockBytes = 0;
+
+  /// Aggregate external fragmentation across all classes.
+  double externalFragRatio() const {
+    double SbBytes = 0, UsedBytes = 0;
+    for (unsigned C = 0; C < ClassCount; ++C) {
+      SbBytes += static_cast<double>(Classes[C].Superblocks) *
+                 static_cast<double>(SuperblockBytes);
+      UsedBytes += static_cast<double>(Classes[C].UsedBlocks) *
+                   static_cast<double>(Classes[C].BlockSize);
+    }
+    return SbBytes > 0 ? 1.0 - UsedBytes / SbBytes : 0.0;
+  }
+
+  /// Aggregate internal fragmentation (small classes + large bucket) from
+  /// the profiler's live estimates; 0 when no profiler is attached.
+  double internalFragRatio() const {
+    double Req = static_cast<double>(LargeLiveEstReqBytes);
+    double Block = static_cast<double>(LargeLiveEstBlockBytes);
+    for (unsigned C = 0; C < ClassCount; ++C) {
+      Req += static_cast<double>(Classes[C].LiveEstReqBytes);
+      Block += static_cast<double>(Classes[C].LiveEstBlockBytes);
+    }
+    return Block > 0 ? 1.0 - Req / Block : 0.0;
+  }
+};
+
+/// One superblock in the address-ordered heap map.
+struct SbMapEntry {
+  std::uintptr_t Addr = 0;
+  std::uint32_t BlockSize = 0;
+  std::uint32_t MaxCount = 0;
+  std::uint32_t Used = 0;
+  std::uint8_t State = 0; ///< SbState numeric value at snapshot time.
+};
+
+/// Human-readable SbState name for the map entries.
+const char *sbStateLabel(std::uint8_t State);
+
+/// Serializes `lfm-heaptopology-v1`. \p Map may be null (no heap_map emitted
+/// beyond an empty array); \p TruncatedCount reports superblocks that did
+/// not fit the map's fixed capacity.
+void writeTopologyJson(const TopologySnapshot &T, const SbMapEntry *Map,
+                       std::size_t MapCount, std::uint64_t TruncatedCount,
+                       std::FILE *Out);
+
+} // namespace profiling
+} // namespace lfm
+
+#endif // LFMALLOC_PROFILING_HEAPTOPOLOGY_H

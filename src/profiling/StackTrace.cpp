@@ -1,0 +1,56 @@
+//===- profiling/StackTrace.cpp - Frame-pointer call-stack capture --------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/StackTrace.h"
+
+#include <cstdint>
+
+namespace {
+
+/// A single frame must not span more than this many bytes of stack; larger
+/// jumps mean the chain left well-formed territory (foreign frames without
+/// frame pointers) and the walk stops.
+constexpr std::uintptr_t MaxFrameBytes = 1u << 20;
+
+/// Return addresses below the first page are garbage (null, small ints).
+constexpr std::uintptr_t MinTextAddr = 4096;
+
+} // namespace
+
+unsigned lfm::profiling::captureStack(void **Out, unsigned Max,
+                                      unsigned Skip) {
+#if defined(__x86_64__) || defined(__aarch64__)
+  // System V x86-64 and AArch64 AAPCS both store {caller fp, return addr}
+  // at the frame pointer, and outermost frames terminate the chain with a
+  // null fp (set up by libc thread start).
+  void **Fp = static_cast<void **>(__builtin_frame_address(0));
+  unsigned N = 0;
+  const unsigned MaxWalk = Max + Skip + 8;
+  for (unsigned Frame = 0; Fp != nullptr && N < Max && Frame < MaxWalk;
+       ++Frame) {
+    const std::uintptr_t Ret = reinterpret_cast<std::uintptr_t>(Fp[1]);
+    if (Ret < MinTextAddr)
+      break;
+    if (Frame >= Skip)
+      Out[N++] = Fp[1];
+    const std::uintptr_t Cur = reinterpret_cast<std::uintptr_t>(Fp);
+    const std::uintptr_t Next = reinterpret_cast<std::uintptr_t>(Fp[0]);
+    // Stacks grow down, so caller frames sit strictly above; reject
+    // non-monotonic, misaligned, or implausibly distant links before ever
+    // dereferencing them.
+    if (Next <= Cur || Next - Cur > MaxFrameBytes ||
+        (Next & (sizeof(void *) - 1)) != 0)
+      break;
+    Fp = reinterpret_cast<void **>(Next);
+  }
+  return N;
+#else
+  (void)Out;
+  (void)Max;
+  (void)Skip;
+  return 0;
+#endif
+}

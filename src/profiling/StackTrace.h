@@ -1,0 +1,42 @@
+//===- profiling/StackTrace.h - Frame-pointer call-stack capture -*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Return-address stack capture by frame-pointer chain walk, for the
+/// sampling heap profiler. Chosen over libunwind precisely because the
+/// walk must run *inside* malloc: it allocates nothing, takes no locks,
+/// and touches only the current thread's stack, so it is lock-free and
+/// async-signal-safe — the same guarantees the allocator itself makes.
+///
+/// The whole project is compiled with -fno-omit-frame-pointer (see the
+/// top-level CMakeLists) so frames produced by our own code always chain
+/// correctly. Frames from foreign code (libc, test runners) may not; the
+/// walk validates each link (monotonically increasing, 8-byte aligned,
+/// bounded frame size) and stops at the first implausible one rather than
+/// dereferencing garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_PROFILING_STACKTRACE_H
+#define LFMALLOC_PROFILING_STACKTRACE_H
+
+namespace lfm {
+namespace profiling {
+
+/// Walks this thread's frame-pointer chain and records up to \p Max return
+/// addresses into \p Out, skipping the first \p Skip frames (the profiler's
+/// own). Never inlined, so the skip count stays meaningful at any
+/// optimization level. \returns the number of addresses recorded (0 on
+/// architectures without a walkable frame chain).
+///
+/// Lock-free, malloc-free, async-signal-safe.
+__attribute__((noinline)) unsigned captureStack(void **Out, unsigned Max,
+                                                unsigned Skip);
+
+} // namespace profiling
+} // namespace lfm
+
+#endif // LFMALLOC_PROFILING_STACKTRACE_H

@@ -17,10 +17,14 @@
 
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
+#include "profiling/HeapTopology.h"
 
 #include <cerrno>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <csignal>
 
 using namespace lfm;
 
@@ -90,4 +94,79 @@ size_t malloc_usable_size(void *Ptr) {
 // in the environment at first allocation).
 void malloc_stats(void) { defaultAllocator().metricsJson(stderr); }
 
+// glibc's malloc_info() emits arena state as XML. We keep the call shape
+// (Options must be 0, Stream non-null) but emit our own dialect, version
+// "lfmalloc-1", carrying the heap-topology census: glibc's <arena>/<bin>
+// vocabulary has no sensible mapping onto superblocks and size classes.
+int malloc_info(int Options, FILE *Stream) {
+  if (Options != 0 || Stream == nullptr) {
+    errno = EINVAL;
+    return -1;
+  }
+  profiling::TopologySnapshot Topo;
+  defaultAllocator().topologySnapshot(Topo);
+  std::fprintf(Stream, "<malloc version=\"lfmalloc-1\">\n");
+  std::fprintf(Stream,
+               "<heap superblocks=\"%llu\" cached=\"%llu\" blocks=\"%llu\" "
+               "used=\"%llu\"/>\n",
+               static_cast<unsigned long long>(Topo.TotalSuperblocks),
+               static_cast<unsigned long long>(Topo.CachedSuperblocks),
+               static_cast<unsigned long long>(Topo.TotalBlocks),
+               static_cast<unsigned long long>(Topo.TotalUsedBlocks));
+  std::fprintf(Stream,
+               "<system type=\"current\" size=\"%llu\"/>\n"
+               "<system type=\"max\" size=\"%llu\"/>\n",
+               static_cast<unsigned long long>(Topo.Space.BytesInUse),
+               static_cast<unsigned long long>(Topo.Space.PeakBytes));
+  for (unsigned C = 0; C < Topo.ClassCount; ++C) {
+    const profiling::ClassTopology &CT = Topo.Classes[C];
+    if (CT.Superblocks == 0)
+      continue;
+    std::fprintf(Stream,
+                 "<sizeclass size=\"%llu\" superblocks=\"%llu\" "
+                 "blocks=\"%llu\" used=\"%llu\"/>\n",
+                 static_cast<unsigned long long>(CT.BlockSize),
+                 static_cast<unsigned long long>(CT.Superblocks),
+                 static_cast<unsigned long long>(CT.TotalBlocks),
+                 static_cast<unsigned long long>(CT.UsedBlocks));
+  }
+  std::fprintf(Stream, "</malloc>\n");
+  return 0;
+}
+
 } // extern "C"
+
+namespace {
+
+// SIGUSR2 → async-signal-safe heap-profile dump. Everything on the dump
+// path is raw-fd I/O over pre-cached state, so running it from a handler
+// is sound; errno is preserved for the interrupted code.
+void sigusr2Handler(int) {
+  const int Saved = errno;
+  lf_malloc_heap_profile_dump();
+  errno = Saved;
+}
+
+void leakReportAtExit() { lf_malloc_leak_report(); }
+
+// Shim initialization beyond the allocator itself: signal-dump handler and
+// the atexit leak report. This runs as an ELF constructor — after the
+// allocator can serve (it self-initializes on first malloc, which libc may
+// already have issued) but deliberately NOT inside defaultAllocator()'s
+// static-init guard, where atexit's own allocation could deadlock.
+__attribute__((constructor)) void shimInit() {
+  LFAllocator &Alloc = defaultAllocator();
+  if (Alloc.profilerEnabled()) {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = sigusr2Handler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = SA_RESTART;
+    sigaction(SIGUSR2, &SA, nullptr);
+  }
+  const char *Leak = std::getenv("LFM_LEAK_REPORT");
+  if (Leak && Leak[0] != '\0' && !(Leak[0] == '0' && Leak[1] == '\0'))
+    std::atexit(leakReportAtExit);
+}
+
+} // namespace

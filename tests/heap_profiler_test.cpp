@@ -1,0 +1,507 @@
+//===- tests/heap_profiler_test.cpp - Sampling heap profiler tests --------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The sampling profiler's contract, tested end to end through LFAllocator:
+// deterministic sampling under a fixed seed, exact accounting under full
+// sampling (rate << allocation size forces every allocation to sample),
+// accounted — never silent — table overflow, parseable gperftools heap_v2
+// text (the stand-in for `pprof --text` accepting the file), well-formed
+// JSON, surviving-allocation leak reports, and safety of concurrent
+// export while the allocator runs. Everything derives its randomness from
+// LFM_TEST_SEED (tests/TestSeed.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "profiling/HeapProfiler.h"
+
+#include "TestSeed.h"
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+/// Captures a FILE*-writing member call as a string.
+template <typename Fn> std::string captureStream(Fn &&F) {
+  char *Buf = nullptr;
+  std::size_t Len = 0;
+  std::FILE *Mem = open_memstream(&Buf, &Len);
+  EXPECT_NE(Mem, nullptr);
+  F(Mem);
+  std::fclose(Mem);
+  std::string S(Buf, Len);
+  std::free(Buf);
+  return S;
+}
+
+/// Captures a raw-fd-writing member call as a string (tmpfile round trip).
+template <typename Fn> std::string captureFd(Fn &&F) {
+  std::FILE *Tmp = std::tmpfile();
+  EXPECT_NE(Tmp, nullptr);
+  F(fileno(Tmp));
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  std::string S;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Tmp)) > 0)
+    S.append(Buf, N);
+  std::fclose(Tmp);
+  return S;
+}
+
+/// Minimal JSON well-formedness check: balanced {}/[] outside strings,
+/// escapes honored, nothing after the top-level value closes.
+bool jsonBalanced(const std::string &S) {
+  int Depth = 0;
+  bool InString = false, Escaped = false, Closed = false;
+  for (char C : S) {
+    if (Escaped) {
+      Escaped = false;
+      continue;
+    }
+    if (InString) {
+      if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (Closed && !std::isspace(static_cast<unsigned char>(C)))
+      return false;
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      ++Depth;
+      break;
+    case '}':
+    case ']':
+      if (--Depth < 0)
+        return false;
+      if (Depth == 0)
+        Closed = true;
+      break;
+    default:
+      break;
+    }
+  }
+  return Depth == 0 && !InString && Closed;
+}
+
+} // namespace
+
+#if LFM_TELEMETRY
+
+namespace {
+
+/// Full-sampling profiler options: with RateBytes = 16, the geometric
+/// interval is clamped to at most 64 * 16 = 1024 bytes, so every
+/// allocation of >= 1024 bytes is guaranteed to sample — and each sample
+/// of a B-byte object stands for exactly max(1, 16 / B) = 1 object, making
+/// the estimated counters exact. That turns statistical machinery into
+/// something unit tests can assert equalities against.
+constexpr std::size_t FullSampleRate = 16;
+constexpr std::size_t FullSampleMinBytes = 64 * FullSampleRate;
+
+AllocatorOptions profiledOptions(std::size_t Rate,
+                                 std::uint32_t SiteCap = 1024,
+                                 std::uint32_t LiveCap = 8192) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 2;
+  Opts.EnableProfiler = true;
+  Opts.ProfileRateBytes = Rate;
+  Opts.ProfileSeed = test::baseSeed() + 17;
+  Opts.ProfileSiteCapacity = SiteCap;
+  Opts.ProfileLiveCapacity = LiveCap;
+  return Opts;
+}
+
+/// Allocates through \p Depth extra stack frames so each depth produces a
+/// distinct call-site stack. noinline + the asm barrier keep the frames
+/// real (no inlining, no tail-call collapse).
+__attribute__((noinline)) void *allocAtDepth(LFAllocator &A, unsigned Depth,
+                                             std::size_t Bytes) {
+  void *P;
+  if (Depth == 0)
+    P = A.allocate(Bytes);
+  else
+    P = allocAtDepth(A, Depth - 1, Bytes);
+  asm volatile("" : "+r"(P)::"memory");
+  return P;
+}
+
+} // namespace
+
+TEST(HeapProfiler, AttachesAndReportsConfig) {
+  LFAllocator Alloc(profiledOptions(4096));
+  ASSERT_TRUE(Alloc.profilerEnabled());
+  profiling::HeapProfiler *P = Alloc.heapProfiler();
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->rateBytes(), 4096u);
+  EXPECT_EQ(P->seed(), test::baseSeed() + 17);
+  EXPECT_EQ(P->siteCapacity(), 1024u);
+  EXPECT_EQ(P->liveCapacity(), 8192u);
+}
+
+TEST(HeapProfiler, SamplingIsDeterministicUnderFixedSeed) {
+  // The identical single-threaded allocation sequence against the same
+  // seed must sample identically: same sample count, same estimates.
+  auto Run = [] {
+    LFAllocator Alloc(profiledOptions(2048));
+    std::vector<void *> Ptrs;
+    for (unsigned I = 0; I < 4000; ++I)
+      Ptrs.push_back(Alloc.allocate(16 + (I * 7) % 480));
+    profiling::ProfileStats T = Alloc.heapProfiler()->totals();
+    for (void *P : Ptrs)
+      Alloc.deallocate(P);
+    return T;
+  };
+  const profiling::ProfileStats A = Run();
+  const profiling::ProfileStats B = Run();
+  EXPECT_GT(A.Samples, 0u) << "rate too coarse for the workload";
+  EXPECT_EQ(A.Samples, B.Samples);
+  EXPECT_EQ(A.SampledTotalObjs, B.SampledTotalObjs);
+  EXPECT_EQ(A.SampledTotalBytes, B.SampledTotalBytes);
+  EXPECT_EQ(A.EstTotalObjs, B.EstTotalObjs);
+  EXPECT_EQ(A.EstTotalBytes, B.EstTotalBytes);
+}
+
+TEST(HeapProfiler, FullSamplingAccountsExactly) {
+  LFAllocator Alloc(profiledOptions(FullSampleRate));
+  constexpr unsigned N = 512;
+  constexpr std::size_t Bytes = 2048;
+  static_assert(Bytes >= FullSampleMinBytes);
+
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(Bytes));
+
+  profiling::ProfileStats T = Alloc.heapProfiler()->totals();
+  EXPECT_EQ(T.Samples, N);
+  EXPECT_EQ(T.EstTotalObjs, N);
+  EXPECT_EQ(T.EstTotalBytes, N * Bytes);
+  EXPECT_EQ(T.EstLiveObjs, N);
+  EXPECT_EQ(T.EstLiveBytes, N * Bytes);
+  EXPECT_EQ(T.DroppedSiteSamples, 0u);
+  EXPECT_EQ(T.DroppedLiveSamples, 0u);
+
+  // Free half; live halves, totals stay.
+  for (unsigned I = 0; I < N / 2; ++I)
+    Alloc.deallocate(Ptrs[I]);
+  T = Alloc.heapProfiler()->totals();
+  EXPECT_EQ(T.EstLiveObjs, N / 2);
+  EXPECT_EQ(T.EstLiveBytes, (N / 2) * Bytes);
+  EXPECT_EQ(T.EstTotalObjs, N);
+
+  for (unsigned I = N / 2; I < N; ++I)
+    Alloc.deallocate(Ptrs[I]);
+  T = Alloc.heapProfiler()->totals();
+  EXPECT_EQ(T.EstLiveObjs, 0u);
+  EXPECT_EQ(T.EstLiveBytes, 0u);
+}
+
+TEST(HeapProfiler, SiteTableOverflowIsCountedNeverSilent) {
+  // 12 distinct stacks into a 4-slot site table: samples that cannot claim
+  // a slot land in DroppedSiteSamples, and every sample is accounted for
+  // in exactly one place.
+  LFAllocator Alloc(profiledOptions(FullSampleRate, /*SiteCap=*/4));
+  std::vector<void *> Ptrs;
+  constexpr unsigned PerDepth = 8;
+  for (unsigned Depth = 0; Depth < 12; ++Depth)
+    for (unsigned I = 0; I < PerDepth; ++I)
+      Ptrs.push_back(allocAtDepth(Alloc, Depth, 4096));
+
+  const profiling::ProfileStats T = Alloc.heapProfiler()->totals();
+  EXPECT_EQ(T.Samples, 12 * PerDepth);
+  EXPECT_GT(T.DroppedSiteSamples, 0u);
+  EXPECT_EQ(T.SampledTotalObjs + T.DroppedSiteSamples, T.Samples);
+  EXPECT_LE(T.SitesInUse, 4u);
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+}
+
+TEST(HeapProfiler, LiveMapOverflowIsCountedNeverSilent) {
+  LFAllocator Alloc(profiledOptions(FullSampleRate, 1024, /*LiveCap=*/64));
+  constexpr unsigned N = 300;
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(2048));
+
+  const profiling::ProfileStats T = Alloc.heapProfiler()->totals();
+  EXPECT_EQ(T.Samples, N);
+  EXPECT_GT(T.DroppedLiveSamples, 0u);
+  // Every sample either entered the live map or was counted as dropped.
+  EXPECT_EQ(T.EstLiveObjs + T.DroppedLiveSamples, N);
+  EXPECT_LE(T.LiveEntries, 64u);
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+}
+
+TEST(HeapProfiler, HeapTextIsParseableHeapV2) {
+  // The acceptance stand-in for `pprof --text`: parse the gperftools
+  // heap_v2 grammar strictly and cross-check the header totals against
+  // the per-site lines.
+  LFAllocator Alloc(profiledOptions(FullSampleRate));
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 64; ++I)
+    Ptrs.push_back(allocAtDepth(Alloc, I % 4, 2048));
+
+  const std::string Text =
+      captureFd([&](int Fd) { EXPECT_EQ(Alloc.heapProfileText(Fd), 0); });
+
+  // Header: "heap profile: N: B [TN: TB] @ heap_v2/RATE".
+  unsigned long long N = 0, B = 0, TN = 0, TB = 0, Rate = 0;
+  ASSERT_EQ(std::sscanf(Text.c_str(),
+                        "heap profile: %llu: %llu [%llu: %llu] @ heap_v2/%llu",
+                        &N, &B, &TN, &TB, &Rate),
+            5)
+      << "unparseable header: " << Text.substr(0, 120);
+  EXPECT_EQ(Rate, FullSampleRate);
+  EXPECT_EQ(N, 64u);
+  EXPECT_EQ(B, 64u * 2048u);
+
+  // Site lines: "  N: B [TN: TB] @ 0xPC 0xPC ...", then a blank line and
+  // the MAPPED_LIBRARIES section.
+  unsigned long long SumN = 0, SumB = 0, SumTN = 0, SumTB = 0;
+  std::size_t Pos = Text.find('\n');
+  ASSERT_NE(Pos, std::string::npos);
+  bool SawMaps = false;
+  unsigned SiteLines = 0;
+  while (Pos != std::string::npos) {
+    const std::size_t Start = Pos + 1;
+    Pos = Text.find('\n', Start);
+    const std::string Line = Text.substr(
+        Start, Pos == std::string::npos ? std::string::npos : Pos - Start);
+    if (Line.empty())
+      continue;
+    if (Line == "MAPPED_LIBRARIES:") {
+      SawMaps = true;
+      break;
+    }
+    unsigned long long LN, LB, LTN, LTB;
+    int Consumed = 0;
+    ASSERT_EQ(std::sscanf(Line.c_str(), " %llu: %llu [%llu: %llu] @%n", &LN,
+                          &LB, &LTN, &LTB, &Consumed),
+              4)
+        << "unparseable site line: " << Line;
+    // The stack: one or more " 0x<hex>" tokens.
+    const char *P = Line.c_str() + Consumed;
+    unsigned Frames = 0;
+    while (*P != '\0') {
+      unsigned long long Pc = 0;
+      int Len = 0;
+      ASSERT_EQ(std::sscanf(P, " 0x%llx%n", &Pc, &Len), 1)
+          << "bad stack token in: " << Line;
+      EXPECT_NE(Pc, 0u);
+      P += Len;
+      ++Frames;
+    }
+    EXPECT_GT(Frames, 0u) << Line;
+    SumN += LN;
+    SumB += LB;
+    SumTN += LTN;
+    SumTB += LTB;
+    ++SiteLines;
+  }
+  EXPECT_TRUE(SawMaps) << "missing MAPPED_LIBRARIES section";
+  EXPECT_GT(SiteLines, 0u);
+  EXPECT_EQ(SumN, N);
+  EXPECT_EQ(SumB, B);
+  EXPECT_EQ(SumTN, TN);
+  EXPECT_EQ(SumTB, TB);
+  // The maps section must carry this binary's own mapping for pprof to
+  // symbolize against.
+  EXPECT_NE(Text.find("heap_profiler_test", Text.find("MAPPED_LIBRARIES:")),
+            std::string::npos);
+
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+}
+
+TEST(HeapProfiler, JsonExportIsWellFormed) {
+  LFAllocator Alloc(profiledOptions(FullSampleRate));
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 32; ++I)
+    Ptrs.push_back(allocAtDepth(Alloc, I % 3, 1500));
+
+  const std::string Json =
+      captureStream([&](std::FILE *Out) { Alloc.heapProfileJson(Out); });
+  EXPECT_TRUE(jsonBalanced(Json)) << Json.substr(0, 200);
+  EXPECT_NE(Json.find("\"lfm-heapprofile-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(Json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(Json.find("\"stack\""), std::string::npos);
+
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+}
+
+TEST(HeapProfiler, LeakReportFindsSurvivors) {
+  LFAllocator Alloc(profiledOptions(FullSampleRate));
+  constexpr unsigned N = 10;
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(4096));
+  for (unsigned I = 0; I < N / 2; ++I) {
+    Alloc.deallocate(Ptrs[I]);
+    Ptrs[I] = nullptr;
+  }
+
+  const std::string Report =
+      captureFd([&](int Fd) { Alloc.leakReport(Fd); });
+  EXPECT_NE(Report.find("lfm-leak-report: 5 objects / 20480 bytes"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("leak: "), std::string::npos) << Report;
+
+  for (void *P : Ptrs)
+    if (P)
+      Alloc.deallocate(P);
+}
+
+TEST(HeapProfiler, LeakReportCleanWhenEverythingFreed) {
+  LFAllocator Alloc(profiledOptions(FullSampleRate));
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 50; ++I)
+    Ptrs.push_back(Alloc.allocate(2048));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const std::string Report =
+      captureFd([&](int Fd) { Alloc.leakReport(Fd); });
+  EXPECT_NE(Report.find("lfm-leak-report: 0 objects / 0 bytes"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("no surviving sampled allocations"),
+            std::string::npos)
+      << Report;
+  EXPECT_EQ(Report.find("leak: "), std::string::npos) << Report;
+}
+
+TEST(HeapProfiler, ConcurrentSamplingAndExportIsSafe) {
+  // Exports run against a live, mutating profiler: the contract is no
+  // crashes, no hangs, and every emitted document structurally valid —
+  // not cross-counter consistency, which a racy snapshot cannot promise.
+  LFAllocator Alloc(profiledOptions(1024));
+  std::atomic<bool> Stop{false};
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T)
+    Workers.emplace_back([&Alloc, &Stop, T] {
+      std::vector<void *> Slots(64, nullptr);
+      std::uint64_t R = test::baseSeed() + 31 * T + 1;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        R ^= R << 13;
+        R ^= R >> 7;
+        R ^= R << 17;
+        const unsigned I = static_cast<unsigned>(R % Slots.size());
+        if (Slots[I]) {
+          Alloc.deallocate(Slots[I]);
+          Slots[I] = nullptr;
+        } else {
+          Slots[I] = Alloc.allocate(16 + R % 2000);
+        }
+      }
+      for (void *P : Slots)
+        if (P)
+          Alloc.deallocate(P);
+    });
+
+  for (unsigned Round = 0; Round < 20; ++Round) {
+    const std::string Json =
+        captureStream([&](std::FILE *Out) { Alloc.heapProfileJson(Out); });
+    EXPECT_TRUE(jsonBalanced(Json));
+    const std::string Text =
+        captureFd([&](int Fd) { EXPECT_EQ(Alloc.heapProfileText(Fd), 0); });
+    EXPECT_EQ(Text.rfind("heap profile: ", 0), 0u);
+    const profiling::ProfileStats T = Alloc.heapProfiler()->totals();
+    EXPECT_LE(T.SitesInUse, T.SiteCapacity);
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+TEST(HeapProfiler, ProfilerStorageStaysOutOfAllocatorSpaceMeter) {
+  // §4.2.5 honesty: the profiler's tables come from a private
+  // PageAllocator, so attaching it must not inflate the instrumented
+  // instance's bytes-from-OS.
+  AllocatorOptions Plain;
+  Plain.NumHeaps = 2;
+  LFAllocator Bare(Plain);
+  LFAllocator Profiled(profiledOptions(FullSampleRate));
+
+  void *A = Bare.allocate(256);
+  void *B = Profiled.allocate(256);
+  EXPECT_EQ(Bare.pageStats().BytesInUse, Profiled.pageStats().BytesInUse);
+  EXPECT_GT(Profiled.heapProfiler()->storageStats().BytesInUse, 0u);
+  Bare.deallocate(A);
+  Profiled.deallocate(B);
+}
+
+#ifndef NDEBUG
+TEST(HeapProfilerDeathTest, AllocatorAssertsOnProfilerReentry) {
+  // The reentry guard is the proof obligation that no profiler path
+  // allocates from the allocator it instruments: entering the allocator
+  // with the guard held must trip the debug assert.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  LFAllocator Alloc(profiledOptions(FullSampleRate));
+  EXPECT_DEATH(
+      {
+        profiling::ReentryGuard Guard;
+        Alloc.allocate(64);
+      },
+      "re-entered");
+}
+#endif // !NDEBUG
+
+#else // !LFM_TELEMETRY
+
+TEST(HeapProfilerDisabled, RequestingProfilerIsIgnoredZeroOverhead) {
+  // The no-telemetry build's contract: EnableProfiler is inert and the
+  // export surfaces stay well-formed.
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 2;
+  Opts.EnableProfiler = true;
+  LFAllocator Alloc(Opts);
+  EXPECT_FALSE(Alloc.profilerEnabled());
+
+  void *P = Alloc.allocate(2048);
+  EXPECT_NE(P, nullptr);
+  Alloc.deallocate(P);
+
+  const std::string Json =
+      captureStream([&](std::FILE *Out) { Alloc.heapProfileJson(Out); });
+  EXPECT_TRUE(jsonBalanced(Json));
+  EXPECT_NE(Json.find("\"enabled\":false"), std::string::npos);
+
+  const std::string Text =
+      captureFd([&](int Fd) { EXPECT_EQ(Alloc.heapProfileText(Fd), 0); });
+  EXPECT_EQ(Text.rfind("heap profile: 0: 0 [0: 0] @ heap_v2/1", 0), 0u);
+
+  const std::string Report =
+      captureFd([&](int Fd) { Alloc.leakReport(Fd); });
+  EXPECT_NE(Report.find("profiler off"), std::string::npos);
+}
+
+#endif // LFM_TELEMETRY
+
+TEST(HeapProfiler, DisabledByDefaultInEveryBuild) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 2;
+  LFAllocator Alloc(Opts);
+  EXPECT_FALSE(Alloc.profilerEnabled());
+}

@@ -1,0 +1,312 @@
+//===- tests/heap_topology_test.cpp - Heap-topology inspector tests -------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The topology inspector's contract: a lock-free walk over every
+// descriptor ever minted that reports, per size class, superblock counts
+// by state, block occupancy (exact at quiescence), occupancy histograms,
+// and fragmentation ratios — plus an address-ordered heap map in the JSON
+// export. Unlike the profiler, the inspector works in every build
+// configuration; only the internal-fragmentation ratios (which need
+// request sizes from the sampling profiler) are telemetry-gated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "profiling/HeapTopology.h"
+
+#include "TestSeed.h"
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+AllocatorOptions smallOptions() {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;       // One heap: superblock geometry is predictable.
+  Opts.HyperblockSize = 0; // No cache quantization; EMPTY goes to the OS.
+  return Opts;
+}
+
+/// Sum of UsedBlocks across all classes of \p T.
+std::uint64_t sumUsed(const profiling::TopologySnapshot &T) {
+  std::uint64_t Sum = 0;
+  for (unsigned C = 0; C < T.ClassCount; ++C)
+    Sum += T.Classes[C].UsedBlocks;
+  return Sum;
+}
+
+template <typename Fn> std::string captureStream(Fn &&F) {
+  char *Buf = nullptr;
+  std::size_t Len = 0;
+  std::FILE *Mem = open_memstream(&Buf, &Len);
+  EXPECT_NE(Mem, nullptr);
+  F(Mem);
+  std::fclose(Mem);
+  std::string S(Buf, Len);
+  std::free(Buf);
+  return S;
+}
+
+bool jsonBalanced(const std::string &S) {
+  int Depth = 0;
+  bool InString = false, Escaped = false, Closed = false;
+  for (char C : S) {
+    if (Escaped) {
+      Escaped = false;
+      continue;
+    }
+    if (InString) {
+      if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (Closed && !std::isspace(static_cast<unsigned char>(C)))
+      return false;
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      if (--Depth < 0)
+        return false;
+      if (Depth == 0)
+        Closed = true;
+    }
+  }
+  return Depth == 0 && !InString && Closed;
+}
+
+} // namespace
+
+TEST(HeapTopology, EmptyAllocatorReportsNothing) {
+  LFAllocator Alloc(smallOptions());
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.TotalSuperblocks, 0u);
+  EXPECT_EQ(T.TotalUsedBlocks, 0u);
+  EXPECT_EQ(T.SuperblockBytes, Alloc.options().SuperblockSize);
+  EXPECT_GT(T.ClassCount, 0u);
+}
+
+TEST(HeapTopology, CountsKnownAllocationPatternExactly) {
+  LFAllocator Alloc(smallOptions());
+  constexpr std::size_t Payload = 100;
+  const unsigned Class = sizeToClass(Payload);
+  ASSERT_NE(Class, LargeSizeClass);
+  constexpr unsigned N = 37;
+
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(Payload));
+
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  const profiling::ClassTopology &CT = T.Classes[Class];
+  EXPECT_EQ(CT.BlockSize, classBlockSize(Class));
+  EXPECT_EQ(CT.UsedBlocks, N);
+  EXPECT_GE(CT.Superblocks, 1u);
+  EXPECT_EQ(sumUsed(T), N);
+  EXPECT_EQ(T.TotalUsedBlocks, N);
+
+  // Quiescent cross-checks: totals reconcile with the class rows.
+  std::uint64_t Sbs = 0, Blocks = 0;
+  for (unsigned C = 0; C < T.ClassCount; ++C) {
+    Sbs += T.Classes[C].Superblocks;
+    Blocks += T.Classes[C].TotalBlocks;
+  }
+  EXPECT_EQ(Sbs, T.TotalSuperblocks);
+  EXPECT_EQ(Blocks, T.TotalBlocks);
+
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.TotalUsedBlocks, 0u);
+}
+
+TEST(HeapTopology, FullSuperblocksAreVisible) {
+  // FULL superblocks are unreachable from any heap or partial list — only
+  // the descriptor-chunk walk can see them. Fill whole superblocks and
+  // check they are reported with every block in use.
+  LFAllocator Alloc(smallOptions());
+  constexpr std::size_t Payload = 2000;
+  const unsigned Class = sizeToClass(Payload);
+  ASSERT_NE(Class, LargeSizeClass);
+  const std::uint32_t BlockSize = classBlockSize(Class);
+  const std::uint32_t PerSb = static_cast<std::uint32_t>(
+      Alloc.options().SuperblockSize / BlockSize);
+  const unsigned N = 3 * PerSb + PerSb / 2;
+
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(Payload));
+
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  const profiling::ClassTopology &CT = T.Classes[Class];
+  EXPECT_EQ(CT.UsedBlocks, N);
+  EXPECT_GE(CT.FullSbs, 2u) << "filled superblocks must appear in the walk";
+  EXPECT_GE(CT.Superblocks, 4u);
+  EXPECT_EQ(CT.TotalBlocks, CT.Superblocks * PerSb);
+
+  // Occupancy histogram: every superblock lands in exactly one bucket,
+  // and the filled ones land in the top (90-100%) bucket.
+  std::uint64_t HistSum = 0;
+  for (unsigned B = 0; B < profiling::TopoOccBuckets; ++B)
+    HistSum += CT.OccHist[B];
+  EXPECT_EQ(HistSum, CT.Superblocks);
+  EXPECT_GE(CT.OccHist[profiling::TopoOccBuckets - 1], CT.FullSbs);
+
+  // External fragmentation: free half the blocks in an interleaved
+  // pattern; used bytes halve while superblock bytes stay, so the ratio
+  // must rise.
+  const double FragBefore = CT.externalFragRatio(T.SuperblockBytes);
+  for (unsigned I = 0; I < N; I += 2) {
+    Alloc.deallocate(Ptrs[I]);
+    Ptrs[I] = nullptr;
+  }
+  Alloc.topologySnapshot(T);
+  const double FragAfter =
+      T.Classes[Class].externalFragRatio(T.SuperblockBytes);
+  EXPECT_GT(FragAfter, FragBefore);
+  EXPECT_EQ(T.Classes[Class].UsedBlocks, N - (N + 1) / 2);
+
+  for (void *P : Ptrs)
+    if (P)
+      Alloc.deallocate(P);
+}
+
+TEST(HeapTopology, JsonExportIsWellFormedWithOrderedHeapMap) {
+  LFAllocator Alloc(smallOptions());
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 200; ++I)
+    Ptrs.push_back(Alloc.allocate(48 + (I % 5) * 200));
+
+  const std::string Json =
+      captureStream([&](std::FILE *Out) { Alloc.heapTopologyJson(Out); });
+  EXPECT_TRUE(jsonBalanced(Json)) << Json.substr(0, 200);
+  EXPECT_NE(Json.find("\"lfm-heaptopology-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"classes\""), std::string::npos);
+  EXPECT_NE(Json.find("\"occupancy_hist\""), std::string::npos);
+  EXPECT_NE(Json.find("\"heap_map\""), std::string::npos);
+
+  // The heap map must be address-ordered: extract every "addr":"0x..."
+  // and check monotonicity.
+  std::vector<unsigned long long> Addrs;
+  std::size_t Pos = 0;
+  while ((Pos = Json.find("\"addr\":\"0x", Pos)) != std::string::npos) {
+    Pos += std::strlen("\"addr\":\"0x");
+    Addrs.push_back(std::strtoull(Json.c_str() + Pos, nullptr, 16));
+  }
+  ASSERT_GE(Addrs.size(), 2u) << "expected several mapped superblocks";
+  for (std::size_t I = 1; I < Addrs.size(); ++I)
+    EXPECT_LT(Addrs[I - 1], Addrs[I]) << "heap map not address-ordered";
+
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+}
+
+TEST(HeapTopology, SuperblockCacheIsReported) {
+  // With hyperblock caching on, freeing every block parks EMPTY
+  // superblocks in the cache instead of unmapping them.
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  LFAllocator Alloc(Opts);
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 2000; ++I)
+    Ptrs.push_back(Alloc.allocate(64));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.TotalUsedBlocks, 0u);
+  EXPECT_GT(T.CachedSuperblocks, 0u);
+  EXPECT_GT(T.DescriptorsMinted, 0u);
+}
+
+#if LFM_TELEMETRY
+TEST(HeapTopology, InternalFragmentationExactUnderFullSampling) {
+  // Rate 16 with 100-byte payloads >= 64 * 16 = 1024? No — full sampling
+  // needs the payload to dominate the clamped interval, so use rate 1:
+  // max interval 64 bytes, every 100-byte allocation samples. Each sample
+  // then stands for exactly one object and internal fragmentation is the
+  // closed-form 1 - payload/block.
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.HyperblockSize = 0;
+  Opts.EnableProfiler = true;
+  Opts.ProfileRateBytes = 1;
+  Opts.ProfileSeed = test::baseSeed() + 5;
+  LFAllocator Alloc(Opts);
+  ASSERT_TRUE(Alloc.profilerEnabled());
+
+  constexpr std::size_t Payload = 100;
+  const unsigned Class = sizeToClass(Payload);
+  const double Expected =
+      1.0 - static_cast<double>(Payload) / classBlockSize(Class);
+
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 200; ++I)
+    Ptrs.push_back(Alloc.allocate(Payload));
+
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  EXPECT_TRUE(T.ProfilerAttached);
+  const profiling::ClassTopology &CT = T.Classes[Class];
+  EXPECT_EQ(CT.LiveEstReqBytes, 200u * Payload);
+  EXPECT_EQ(CT.LiveEstBlockBytes, 200u * classBlockSize(Class));
+  EXPECT_NEAR(CT.internalFragRatio(), Expected, 1e-9);
+  EXPECT_NEAR(T.internalFragRatio(), Expected, 1e-9);
+
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.Classes[Class].LiveEstReqBytes, 0u);
+  EXPECT_NEAR(T.internalFragRatio(), 0.0, 1e-9);
+}
+
+TEST(HeapTopology, LargeAllocationsLandInLargeBucket) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.EnableProfiler = true;
+  Opts.ProfileRateBytes = 1;
+  Opts.ProfileSeed = test::baseSeed() + 6;
+  LFAllocator Alloc(Opts);
+
+  void *P = Alloc.allocate(256 * 1024); // Far beyond the class table.
+  ASSERT_NE(P, nullptr);
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.LargeLiveEstReqBytes, 256u * 1024u);
+  EXPECT_GE(T.LargeLiveEstBlockBytes, T.LargeLiveEstReqBytes);
+  Alloc.deallocate(P);
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.LargeLiveEstReqBytes, 0u);
+}
+#else
+TEST(HeapTopology, WorksWithoutTelemetry) {
+  // The inspector is not telemetry-gated; only internal fragmentation
+  // (profiler-fed) is absent.
+  LFAllocator Alloc(smallOptions());
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 100; ++I)
+    Ptrs.push_back(Alloc.allocate(256));
+  profiling::TopologySnapshot T;
+  Alloc.topologySnapshot(T);
+  EXPECT_EQ(T.TotalUsedBlocks, 100u);
+  EXPECT_FALSE(T.ProfilerAttached);
+  EXPECT_EQ(T.internalFragRatio(), 0.0);
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+}
+#endif // LFM_TELEMETRY

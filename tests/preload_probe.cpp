@@ -1,0 +1,75 @@
+//===- tests/preload_probe.cpp - Helper binary for preload smoke tests ----===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// A deliberately boring program run under LD_PRELOAD by preload_test: it
+// churns the heap, leaks a known amount, optionally exercises
+// malloc_info(), and can wait to be signalled. Modes (argv[1]):
+//
+//   churn        allocate/free heavily, leak ~200 KB, exit 0
+//   malloc-info  churn, then malloc_info(0, stderr); exit 0 on rc == 0
+//   wait-usr2    churn, print "ready", then poll for the heap-dump file
+//                named by argv[2] until it appears (written by the shim's
+//                SIGUSR2 handler when the parent signals us); exit 0 when
+//                seen, 4 on timeout
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <malloc.h>
+#include <unistd.h>
+
+namespace {
+
+void *churn() {
+  // Heavy mixed-size traffic so the sampling profiler (if attached by the
+  // environment) records plenty of sites, then a recognizable leak.
+  void *Slots[256] = {};
+  for (unsigned Round = 0; Round < 200; ++Round) {
+    for (unsigned I = 0; I < 256; ++I) {
+      if (Slots[I]) {
+        free(Slots[I]);
+        Slots[I] = nullptr;
+      } else {
+        Slots[I] = malloc(16 + (Round * 131 + I * 17) % 4000);
+      }
+    }
+  }
+  for (unsigned I = 0; I < 256; ++I)
+    free(Slots[I]);
+  // The leak: 50 * 4096 = ~200 KB that never gets freed.
+  void *Last = nullptr;
+  for (unsigned I = 0; I < 50; ++I)
+    Last = malloc(4096);
+  return Last;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *Mode = Argc > 1 ? Argv[1] : "churn";
+  void *Keep = churn();
+  if (!Keep)
+    return 2;
+
+  if (std::strcmp(Mode, "malloc-info") == 0)
+    return malloc_info(0, stderr) == 0 ? 0 : 3;
+
+  if (std::strcmp(Mode, "wait-usr2") == 0) {
+    const char *DumpFile = Argc > 2 ? Argv[2] : nullptr;
+    if (!DumpFile)
+      return 5;
+    std::printf("ready\n");
+    std::fflush(stdout); // The parent waits for this before signalling.
+    for (unsigned I = 0; I < 400; ++I) {
+      if (access(DumpFile, R_OK) == 0)
+        return 0;
+      usleep(25 * 1000);
+    }
+    return 4;
+  }
+
+  return 0;
+}

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "telemetry/TelemetryConfig.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -28,6 +30,23 @@ int runPreloaded(const std::string &Command) {
 }
 
 bool shimAvailable() { return std::getenv("LFM_PRELOAD_LIB") != nullptr; }
+
+/// The helper binary (tests/preload_probe.cpp) CTest points us at; the
+/// profiler smoke tests need a cooperative program, not /bin/ls.
+const char *probePath() { return std::getenv("LFM_PRELOAD_PROBE"); }
+
+std::string slurp(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return {};
+  std::string S;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    S.append(Buf, N);
+  std::fclose(F);
+  return S;
+}
 
 } // namespace
 
@@ -55,3 +74,78 @@ TEST(Preload, AllocationHeavyToolSurvives) {
                    "tail -1' | grep -q 20000"),
       0);
 }
+
+TEST(Preload, MallocInfoEmitsLfmallocXml) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // malloc_info(0, stderr) through the shim must emit our XML dialect —
+  // proof the call was interposed and the topology walk ran.
+  const std::string Err = "./preload_malloc_info.err";
+  ASSERT_EQ(runPreloaded(std::string(probePath()) + " malloc-info 2> " +
+                         Err),
+            0);
+  const std::string Xml = slurp(Err);
+  std::remove(Err.c_str());
+  EXPECT_NE(Xml.find("<malloc version=\"lfmalloc-1\">"), std::string::npos)
+      << Xml.substr(0, 200);
+  EXPECT_NE(Xml.find("</malloc>"), std::string::npos);
+  EXPECT_NE(Xml.find("<heap "), std::string::npos);
+}
+
+TEST(Preload, AtexitLeakReportAppearsOnStderr) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // LFM_LEAK_REPORT=1 makes the shim register the leak report with
+  // atexit; the probe leaks ~200 KB on purpose. In no-telemetry builds
+  // the report still appears but states the profiler is off.
+  const std::string Err = "./preload_leak_report.err";
+  ASSERT_EQ(runPreloaded("env LFM_LEAK_REPORT=1 LFM_PROFILE=1 "
+                         "LFM_PROFILE_RATE=4096 " +
+                         std::string(probePath()) + " churn 2> " + Err),
+            0);
+  const std::string Report = slurp(Err);
+  std::remove(Err.c_str());
+  EXPECT_NE(Report.find("lfm-leak-report"), std::string::npos)
+      << Report.substr(0, 200);
+#if LFM_TELEMETRY
+  // ~200 KB leaked at rate 4096: the surviving estimate cannot read zero.
+  EXPECT_EQ(Report.find("lfm-leak-report: 0 objects"), std::string::npos)
+      << Report.substr(0, 200);
+  EXPECT_NE(Report.find("leak: "), std::string::npos)
+      << Report.substr(0, 400);
+#else
+  EXPECT_NE(Report.find("profiler off"), std::string::npos)
+      << Report.substr(0, 200);
+#endif
+}
+
+#if LFM_TELEMETRY
+TEST(Preload, Sigusr2DumpsParseableHeapProfile) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  const char *Lib = std::getenv("LFM_PRELOAD_LIB");
+  // The probe churns, prints "ready", and then waits for the dump file
+  // the shim's SIGUSR2 handler writes; the script signals it after the
+  // ready line. The probe exits 0 only once the file exists.
+  const std::string Script =
+      "rm -f ./preload-usr2.*.heap ./preload_usr2.out; "
+      "LD_PRELOAD=" + std::string(Lib) +
+      " LFM_PROFILE=1 LFM_PROFILE_RATE=4096"
+      " LFM_PROFILE_DUMP=./preload-usr2 " +
+      probePath() +
+      " wait-usr2 ./preload-usr2.0000.heap > ./preload_usr2.out & "
+      "pid=$!; "
+      "n=0; while [ $n -lt 100 ]; do "
+      "grep -q ready ./preload_usr2.out 2>/dev/null && break; "
+      "sleep 0.05; n=$((n+1)); done; "
+      "kill -USR2 $pid; wait $pid";
+  ASSERT_EQ(std::system(("/bin/sh -c '" + Script + "'").c_str()), 0);
+  const std::string Dump = slurp("./preload-usr2.0000.heap");
+  std::remove("./preload-usr2.0000.heap");
+  std::remove("./preload_usr2.out");
+  EXPECT_EQ(Dump.rfind("heap profile: ", 0), 0u)
+      << Dump.substr(0, 120);
+  EXPECT_NE(Dump.find("@ heap_v2/4096"), std::string::npos);
+  EXPECT_NE(Dump.find("MAPPED_LIBRARIES:"), std::string::npos);
+}
+#endif // LFM_TELEMETRY
