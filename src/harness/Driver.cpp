@@ -7,6 +7,7 @@
 #include "harness/Driver.h"
 
 #include "lfmalloc/Config.h"
+#include "support/RuntimeConfig.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -175,14 +176,16 @@ std::uint64_t BenchScale::scaled(std::uint64_t PaperValue) const {
 
 const BenchScale &lfm::benchScale() {
   static const BenchScale Parsed = [] {
+    using config::Var;
     BenchScale S;
-    if (const char *E = std::getenv("LFM_BENCH_SCALE"))
-      S.Scale = std::atof(E) > 0 ? std::atof(E) : S.Scale;
-    if (const char *E = std::getenv("LFM_BENCH_SECONDS"))
-      S.Seconds = std::atof(E) > 0 ? std::atof(E) : S.Seconds;
-    if (const char *E = std::getenv("LFM_BENCH_MAXTHREADS"))
-      S.MaxThreads = std::atoi(E) > 0 ? static_cast<unsigned>(std::atoi(E))
-                                      : S.MaxThreads;
+    double F = 0;
+    if (config::varF64(Var::BenchScale, F) && F > 0)
+      S.Scale = F;
+    if (config::varF64(Var::BenchSeconds, F) && F > 0)
+      S.Seconds = F;
+    std::uint64_t U = 0;
+    if (config::varU64(Var::BenchMaxThreads, U) && U > 0)
+      S.MaxThreads = static_cast<unsigned>(U);
     return S;
   }();
   return Parsed;
@@ -197,10 +200,10 @@ void lfm::benchInit(int Argc, char **Argv) {
       TracePath = Arg + 13;
   }
   if (MetricsPath.empty())
-    if (const char *E = std::getenv("LFM_METRICS_JSON"))
+    if (const char *E = config::varRaw(config::Var::MetricsJson))
       MetricsPath = E;
   if (TracePath.empty())
-    if (const char *E = std::getenv("LFM_TRACE_JSON"))
+    if (const char *E = config::varRaw(config::Var::TraceJson))
       TracePath = E;
 }
 

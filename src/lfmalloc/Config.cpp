@@ -1,0 +1,110 @@
+//===- lfmalloc/Config.cpp - AllocatorOptions validation ------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/Config.h"
+
+#include "lfmalloc/Descriptor.h"
+
+#include <cstdio>
+
+using namespace lfm;
+
+namespace {
+
+/// Appends one clamp note to the diagnostic text (best effort: the text
+/// truncates rather than grows — validation must never allocate).
+void note(AllocatorOptions::Diagnostic *Diag, std::size_t &Used,
+          const char *Field, unsigned long long From,
+          unsigned long long To) {
+  if (!Diag)
+    return;
+  Diag->Clamped = true;
+  if (Used >= sizeof(Diag->Text) - 1)
+    return;
+  const int N = std::snprintf(Diag->Text + Used, sizeof(Diag->Text) - Used,
+                              "%s%s %llu -> %llu", Used ? "; " : "", Field,
+                              From, To);
+  if (N > 0)
+    Used += static_cast<std::size_t>(N);
+}
+
+std::size_t roundUpPow2(std::size_t V) {
+  std::size_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+bool AllocatorOptions::validate(Diagnostic *Diag) {
+  std::size_t Used = 0;
+  bool Valid = true;
+  const auto clampSize = [&](std::size_t &Field, std::size_t Lo,
+                             std::size_t Hi, bool Pow2, const char *Name) {
+    std::size_t Want = Field;
+    if (Pow2 && !isPowerOf2(Want))
+      Want = roundUpPow2(Want);
+    if (Want < Lo)
+      Want = Lo;
+    if (Want > Hi)
+      Want = Hi;
+    if (Want != Field) {
+      note(Diag, Used, Name, Field, Want);
+      Field = Want;
+      Valid = false;
+    }
+  };
+
+  // The smallest size class is 16 bytes, so the anchor's 12-bit block
+  // index caps usable superblocks at MaxBlocksPerSuperblock * 16 bytes;
+  // 32 KB is the largest power of two under that bound.
+  clampSize(SuperblockSize, OsPageSize, std::size_t{32} * 1024,
+            /*Pow2=*/true, "SuperblockSize");
+  if (HyperblockSize != 0)
+    clampSize(HyperblockSize, 4 * SuperblockSize,
+              std::size_t{1} << 30, /*Pow2=*/true, "HyperblockSize");
+
+  const auto clampUnsigned = [&](unsigned &Field, unsigned Lo, unsigned Hi,
+                                 const char *Name) {
+    unsigned Want = Field < Lo ? Lo : Field;
+    if (Want > Hi)
+      Want = Hi;
+    if (Want != Field) {
+      note(Diag, Used, Name, Field, Want);
+      Field = Want;
+      Valid = false;
+    }
+  };
+
+  // NumHeaps 0 is the "detect processors" request, so only cap the top.
+  if (NumHeaps > 4096) {
+    note(Diag, Used, "NumHeaps", NumHeaps, 4096);
+    NumHeaps = 4096;
+    Valid = false;
+  }
+  clampUnsigned(PartialSlotsPerHeap, 1, MaxPartialSlots,
+                "PartialSlotsPerHeap");
+  clampUnsigned(CreditsLimit, 1, MaxCredits, "CreditsLimit");
+  clampUnsigned(TraceEventsPerThread, 2, 1u << 24, "TraceEventsPerThread");
+
+  if (ProfileRateBytes == 0) {
+    note(Diag, Used, "ProfileRateBytes", 0, 1);
+    ProfileRateBytes = 1;
+    Valid = false;
+  }
+  if (ProfileSiteCapacity == 0) {
+    note(Diag, Used, "ProfileSiteCapacity", 0, 1);
+    ProfileSiteCapacity = 1;
+    Valid = false;
+  }
+  if (ProfileLiveCapacity == 0) {
+    note(Diag, Used, "ProfileLiveCapacity", 0, 1);
+    ProfileLiveCapacity = 1;
+    Valid = false;
+  }
+  return Valid;
+}

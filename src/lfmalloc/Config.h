@@ -78,6 +78,20 @@ struct AllocatorOptions {
   /// allocate superblocks ... in batches of (e.g., 1 MB) hyperblocks").
   std::size_t HyperblockSize = 1024 * 1024;
 
+  /// Retention watermark for the superblock cache: once more than this
+  /// many bytes of free superblocks are cached, further releases return
+  /// their physical pages to the OS immediately (madvise MADV_DONTNEED;
+  /// the address space stays mapped). Default ~0: retain everything, the
+  /// paper's original always-cache behaviour.
+  std::size_t RetainMaxBytes = ~std::size_t{0};
+
+  /// Decay period in milliseconds for background trimming of the retained
+  /// cache (jemalloc dirty_decay discipline): while >= 0, allocator slow
+  /// paths trigger a trim of the cache down to RetainMaxBytes (or to zero
+  /// when no watermark is set) at most once per period. Negative disables
+  /// decay (the default).
+  std::int64_t RetainDecayMs = -1;
+
   /// Processor heaps per size class. 0 means "ask the OS for the processor
   /// count at initialization" (§4.2.4: "the allocator can determine the
   /// number of processors in the system at initialization time").
@@ -160,6 +174,22 @@ struct AllocatorOptions {
   /// on the allocating thread and may block indefinitely.
   void (*ChaosHook)(ChaosSite Site, void *Ctx) = nullptr;
   void *ChaosCtx = nullptr;
+
+  /// What validate() found and fixed; fixed-size text so reporting never
+  /// allocates (validation runs during allocator bootstrap, possibly under
+  /// an interposed malloc).
+  struct Diagnostic {
+    char Text[512] = {0}; ///< Human-readable summary of every clamp.
+    bool Clamped = false; ///< True when any field had to be adjusted.
+  };
+
+  /// Checks every field against its documented domain and clamps
+  /// out-of-range values in place (non-power-of-two sizes round up, counts
+  /// saturate at their bounds). The LFAllocator constructor calls this and
+  /// reports \p Diag on stderr, so a bad configuration degrades to the
+  /// nearest valid one instead of asserting or misbehaving silently.
+  /// \returns true when the options were already valid.
+  bool validate(Diagnostic *Diag = nullptr);
 };
 
 } // namespace lfm

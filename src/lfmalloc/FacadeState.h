@@ -1,0 +1,45 @@
+//===- lfmalloc/FacadeState.h - Shared default-facade state ------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal state shared between the default-allocator bootstrap
+/// (LFMalloc.cpp, which reads the environment exactly once) and the
+/// lf_malloc_ctl dispatcher (MallocCtl.cpp, which exposes the same values
+/// by key). Not installed; not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_LFMALLOC_FACADESTATE_H
+#define LFMALLOC_LFMALLOC_FACADESTATE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfm {
+namespace detail {
+
+inline constexpr std::size_t ProfileDumpPrefixCap = 256;
+
+/// Dump-path prefix for sequenced heap-profile dumps. Cached out of
+/// LFM_PROFILE_DUMP when the default allocator is created: getenv is not
+/// async-signal-safe, and the sequenced dump entry point must be.
+/// Defined in MallocCtl.cpp; written by LFMalloc.cpp's defaultOptions().
+extern char ProfileDumpPrefix[ProfileDumpPrefixCap];
+
+/// Whether the shim was asked to print a leak report at exit
+/// (LFM_LEAK_REPORT); cached here so `opt.leak_report` can echo it.
+extern std::atomic<bool> LeakReportRequested;
+
+/// Last map-failure injection armed through LFM_FAIL_MAP or
+/// `debug.fail_map` (-1: never armed). Purely informational — the live
+/// countdown belongs to the PageAllocator.
+extern std::atomic<std::int64_t> LastFailMapArm;
+
+} // namespace detail
+} // namespace lfm
+
+#endif // LFMALLOC_LFMALLOC_FACADESTATE_H

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -160,20 +161,35 @@ struct RetryCounter {
   } while (0)
 #endif
 
+namespace {
+
+/// Validates a caller's options up front so every member (notably the
+/// SuperblockCache, whose constructor asserts on its sizes) sees only
+/// in-range values. Clamps are reported, not fatal: a misconfigured
+/// embedder degrades to the nearest valid configuration.
+AllocatorOptions validatedOptions(const AllocatorOptions &O) {
+  AllocatorOptions V = O;
+  AllocatorOptions::Diagnostic Diag;
+  if (!V.validate(&Diag))
+    std::fprintf(stderr, "lfmalloc: invalid AllocatorOptions (clamped): %s\n",
+                 Diag.Text);
+  return V;
+}
+
+} // namespace
+
 LFAllocator::LFAllocator(const AllocatorOptions &O)
-    : Opts(O), Domain(O.Domain ? *O.Domain : HazardDomain::global()),
+    : Opts(validatedOptions(O)),
+      Domain(O.Domain ? *O.Domain : HazardDomain::global()),
       Descs(Domain, Pages),
-      SbCache(Pages, O.SuperblockSize, O.HyperblockSize) {
+      SbCache(Pages, Opts.SuperblockSize, Opts.HyperblockSize) {
   assert(isPowerOf2(Opts.SuperblockSize) &&
          Opts.SuperblockSize >= OsPageSize &&
          Opts.SuperblockSize / 16 <= MaxBlocksPerSuperblock &&
          "superblock size must be a power of two in [4 KB, 32 KB]");
 
-  if (Opts.CreditsLimit < 1 || Opts.CreditsLimit > MaxCredits)
-    Opts.CreditsLimit = MaxCredits;
-  if (Opts.PartialSlotsPerHeap < 1 ||
-      Opts.PartialSlotsPerHeap > MaxPartialSlots)
-    Opts.PartialSlotsPerHeap = 1;
+  SbCache.setRetainMaxBytes(Opts.RetainMaxBytes);
+  SbCache.setRetainDecayMs(Opts.RetainDecayMs);
   PartialSlots = Opts.PartialSlotsPerHeap;
 
   HeapCount = Opts.NumHeaps;
@@ -340,8 +356,12 @@ void *LFAllocator::allocate(std::size_t Bytes) {
       PROF_ALLOC(Addr, Bytes);
       return Addr;
     }
-    if (OutOfMemory)
+    if (OutOfMemory) {
+      // Clean malloc() contract on exhaustion: null with errno set, every
+      // internal invariant intact (debugValidate() stays green).
+      errno = ENOMEM;
       return nullptr;
+    }
   }
 }
 
@@ -574,13 +594,19 @@ void LFAllocator::heapPutPartial(Descriptor *Desc) {
 
 void *LFAllocator::mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory) {
   SizeClassRuntime *Sc = Heap->Sc;
-  // Fig. 4 MallocFromNewSB lines 1-2.
+  // Fig. 4 MallocFromNewSB lines 1-2. On a map failure, trim the retained
+  // cache once (returning physical pages the OS can hand back) and retry
+  // before declaring exhaustion.
   Descriptor *Desc = Descs.alloc();
+  if (LFM_UNLIKELY(!Desc) && oomRescue())
+    Desc = Descs.alloc();
   if (!Desc) {
     OutOfMemory = true;
     return nullptr;
   }
   void *Sb = SbCache.acquire();
+  if (LFM_UNLIKELY(!Sb) && oomRescue())
+    Sb = SbCache.acquire();
   if (!Sb) {
     Descs.retire(Desc);
     OutOfMemory = true;
@@ -758,12 +784,18 @@ void *LFAllocator::largeMalloc(std::size_t Bytes) {
   // the prefix records size|1 so free() can route it back (Fig. 6 line 4:
   // "desc holds sz+1").
   CTR(LargeMallocs);
-  if (Bytes > ~std::uint64_t{0} - OsPageSize - BlockPrefixSize)
+  if (Bytes > ~std::uint64_t{0} - OsPageSize - BlockPrefixSize) {
+    errno = ENOMEM;
     return nullptr;
+  }
   const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
   void *Block = Pages.map(Total);
-  if (!Block)
+  if (LFM_UNLIKELY(!Block) && oomRescue())
+    Block = Pages.map(Total);
+  if (!Block) {
+    errno = ENOMEM;
     return nullptr;
+  }
   EVT(OsMap, Total, 0);
   storeBlockWord(Block, Total | LargePrefixBit);
   return static_cast<char *>(Block) + BlockPrefixSize;
@@ -775,13 +807,23 @@ void LFAllocator::largeFree(void *Block, std::uint64_t Prefix) {
   Pages.unmap(Block, Prefix & ~LargePrefixBit); // Fig. 6 line 5.
 }
 
+bool LFAllocator::oomRescue() {
+  const std::size_t Freed = SbCache.trimRetained(0);
+  if (Freed == 0)
+    return false;
+  XCTR(OomRescues);
+  return true;
+}
+
 void *LFAllocator::allocateAligned(std::size_t Alignment,
                                    std::size_t Bytes) {
   assert(isPowerOf2(Alignment) && "alignment must be a power of two");
   if (Alignment <= BlockPrefixSize)
     return allocate(Bytes); // Natural alignment already suffices.
-  if (Bytes > ~std::size_t{0} - Alignment)
+  if (Bytes > ~std::size_t{0} - Alignment) {
+    errno = ENOMEM;
     return nullptr;
+  }
 
   // Over-allocate so some 8-aligned point inside the block reaches the
   // requested alignment, then plant a marker word just before it. The
@@ -802,8 +844,10 @@ void *LFAllocator::allocateAligned(std::size_t Alignment,
 }
 
 void *LFAllocator::allocateZeroed(std::size_t Num, std::size_t Size) {
-  if (Size != 0 && Num > ~std::size_t{0} / Size)
-    return nullptr; // Multiplication would overflow.
+  if (Size != 0 && Num > ~std::size_t{0} / Size) {
+    errno = ENOMEM; // Multiplication would overflow.
+    return nullptr;
+  }
   const std::size_t Bytes = Num * Size;
   void *Ptr = allocate(Bytes);
   if (Ptr)
@@ -927,6 +971,11 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
 #endif
   Snap.Space = Pages.stats();
   Snap.CachedSuperblocks = SbCache.cachedCount();
+  Snap.RetainedBytes = SbCache.cachedCount() * Opts.SuperblockSize;
+  Snap.DecommittedSuperblocks = SbCache.decommittedCount();
+  Snap.ParkedHyperblocks = SbCache.parkedCount();
+  Snap.RetainMaxBytes = SbCache.retainMaxBytes();
+  Snap.RetainDecayMs = SbCache.retainDecayMs();
   Snap.DescriptorsMinted = Descs.mintedCount();
   Snap.HazardRetired = Domain.retiredCount();
   Snap.HazardScans = Domain.scanCount();
@@ -1132,6 +1181,11 @@ void LFAllocator::collectTopology(profiling::TopologySnapshot &Out,
     Out.TotalUsedBlocks += Out.Classes[C].UsedBlocks;
   }
   Out.CachedSuperblocks = SbCache.cachedCount();
+  Out.RetainedBytes = SbCache.cachedCount() * Opts.SuperblockSize;
+  Out.DecommittedSuperblocks = SbCache.decommittedCount();
+  Out.ParkedHyperblocks = SbCache.parkedCount();
+  Out.RetainMaxBytes = SbCache.retainMaxBytes();
+  Out.RetainDecayMs = SbCache.retainDecayMs();
   Out.DescriptorsMinted = Descs.mintedCount();
   Out.Space = Pages.stats();
 

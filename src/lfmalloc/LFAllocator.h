@@ -198,10 +198,38 @@ public:
     return SbCache.trimQuiescent() + Descs.trimQuiescent();
   }
 
+  /// Returns retained physical memory to the OS while other threads keep
+  /// allocating (lock-free; concurrent callers race through a try-lock and
+  /// losers return 0). Keeps roughly \p KeepBytes of the superblock cache
+  /// resident. Only RSS drops — address space stays mapped, and descriptor
+  /// chunks are untouched (reclaiming those requires quiescence, see
+  /// trimQuiescent()). \returns physical bytes returned.
+  std::size_t releaseMemory(std::size_t KeepBytes = 0) {
+    return SbCache.trimRetained(KeepBytes);
+  }
+
+  /// Retention watermark for the superblock cache (see
+  /// AllocatorOptions::RetainMaxBytes). Adjustable at runtime.
+  void setRetainMaxBytes(std::size_t Bytes) {
+    SbCache.setRetainMaxBytes(Bytes);
+  }
+  std::size_t retainMaxBytes() const { return SbCache.retainMaxBytes(); }
+
+  /// Decay period for background trimming (see
+  /// AllocatorOptions::RetainDecayMs). Adjustable at runtime.
+  void setRetainDecayMs(std::int64_t Ms) { SbCache.setRetainDecayMs(Ms); }
+  std::int64_t retainDecayMs() const { return SbCache.retainDecayMs(); }
+
   /// Failure injection for tests: after \p Count further OS mappings,
   /// every mapping request fails. Negative re-arms to "never fail".
   void debugInjectMapFailuresAfter(std::int64_t Count) {
     Pages.injectMapFailuresAfter(Count);
+  }
+
+  /// Finite-budget variant: after \p After further mapping attempts, the
+  /// next \p FailCount attempts fail, then mapping recovers.
+  void debugInjectMapFailures(std::int64_t After, std::int64_t FailCount) {
+    Pages.injectMapFailures(After, FailCount);
   }
 
   /// Options actually in effect (NumHeaps resolved).
@@ -242,6 +270,11 @@ private:
   void *largeMalloc(std::size_t Bytes);
   void largeFree(void *Block, std::uint64_t Prefix);
   ProcHeap *findHeap(unsigned Class);
+
+  /// Last-ditch response to a map failure: trim the retained superblock
+  /// cache to zero and report whether anything came back — if so, the
+  /// failed path retries once before giving up with ENOMEM.
+  bool oomRescue();
 
   /// Shared walk behind topologySnapshot()/heapTopologyJson(). When \p Map
   /// is non-null, additionally records up to \p MapCap superblocks into it

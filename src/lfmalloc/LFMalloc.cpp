@@ -6,67 +6,47 @@
 
 #include "lfmalloc/LFMalloc.h"
 
+#include "lfmalloc/FacadeState.h"
 #include "lfmalloc/LFAllocator.h"
+#include "support/RuntimeConfig.h"
 
-#include <atomic>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fcntl.h>
 #include <new>
-#include <unistd.h>
 
 using namespace lfm;
 
 namespace {
 
-/// Environment flag reader for the default instance's telemetry gating.
-/// getenv only — no allocation, usable before main().
-bool envFlag(const char *Name) {
-  const char *V = std::getenv(Name);
-  return V && V[0] != '\0' && !(V[0] == '0' && V[1] == '\0');
-}
-
-/// Dump-path prefix for lf_malloc_heap_profile_dump. Cached out of the
-/// environment when the default allocator is created: getenv is not
-/// async-signal-safe, and the dump entry point must be.
-char DumpPrefix[256] = "lfm-heap";
-
+/// Builds the default instance's options from the LFM_* environment (the
+/// instance has no other configuration channel when it is interposed as
+/// the process malloc). The variable registry lives in
+/// support/RuntimeConfig.h; this reads it with getenv only — no
+/// allocation, usable before main().
 AllocatorOptions defaultOptions() {
+  using config::Var;
   AllocatorOptions Opts;
-  Opts.EnableStats = envFlag("LFM_STATS");
-  Opts.EnableTrace = envFlag("LFM_TRACE");
-  if (const char *Cap = std::getenv("LFM_TRACE_EVENTS")) {
-    const long N = std::atol(Cap);
-    if (N > 0)
-      Opts.TraceEventsPerThread = static_cast<unsigned>(N);
-  }
-  Opts.EnableProfiler = envFlag("LFM_PROFILE");
-  if (const char *Rate = std::getenv("LFM_PROFILE_RATE")) {
-    const long long N = std::atoll(Rate);
-    if (N > 0)
-      Opts.ProfileRateBytes = static_cast<std::size_t>(N);
-  }
-  if (const char *Seed = std::getenv("LFM_PROFILE_SEED")) {
-    const long long N = std::atoll(Seed);
-    if (N > 0)
-      Opts.ProfileSeed = static_cast<std::uint64_t>(N);
-  }
-  if (const char *Sites = std::getenv("LFM_PROFILE_SITES")) {
-    const long N = std::atol(Sites);
-    if (N > 0)
-      Opts.ProfileSiteCapacity = static_cast<std::uint32_t>(N);
-  }
-  if (const char *Live = std::getenv("LFM_PROFILE_LIVE")) {
-    const long N = std::atol(Live);
-    if (N > 0)
-      Opts.ProfileLiveCapacity = static_cast<std::uint32_t>(N);
-  }
-  if (const char *Prefix = std::getenv("LFM_PROFILE_DUMP")) {
-    if (Prefix[0] != '\0' &&
-        std::strlen(Prefix) < sizeof(DumpPrefix)) {
-      std::strcpy(DumpPrefix, Prefix);
-    }
+  Opts.EnableStats = config::varFlag(Var::Stats);
+  Opts.EnableTrace = config::varFlag(Var::Trace);
+  std::uint64_t U = 0;
+  if (config::varU64(Var::TraceEvents, U) && U > 0)
+    Opts.TraceEventsPerThread = static_cast<unsigned>(U);
+  Opts.EnableProfiler = config::varFlag(Var::Profile);
+  if (config::varU64(Var::ProfileRate, U) && U > 0)
+    Opts.ProfileRateBytes = static_cast<std::size_t>(U);
+  if (config::varU64(Var::ProfileSeed, U) && U > 0)
+    Opts.ProfileSeed = U;
+  if (config::varU64(Var::ProfileSites, U) && U > 0)
+    Opts.ProfileSiteCapacity = static_cast<std::uint32_t>(U);
+  if (config::varU64(Var::ProfileLive, U) && U > 0)
+    Opts.ProfileLiveCapacity = static_cast<std::uint32_t>(U);
+  if (config::varU64(Var::RetainMaxBytes, U))
+    Opts.RetainMaxBytes = static_cast<std::size_t>(U);
+  std::int64_t I = 0;
+  if (config::varI64(Var::RetainDecayMs, I))
+    Opts.RetainDecayMs = I;
+  if (const char *Prefix = config::varRaw(Var::ProfileDump)) {
+    if (std::strlen(Prefix) < detail::ProfileDumpPrefixCap)
+      std::strcpy(detail::ProfileDumpPrefix, Prefix);
   }
   return Opts;
 }
@@ -78,7 +58,18 @@ LFAllocator &lfm::defaultAllocator() {
   // static-destructor ordering hazards and keeps the allocator usable from
   // code running during process shutdown.
   alignas(LFAllocator) static unsigned char Storage[sizeof(LFAllocator)];
-  static LFAllocator *Instance = new (Storage) LFAllocator(defaultOptions());
+  static LFAllocator *Instance = [] {
+    auto *A = new (Storage) LFAllocator(defaultOptions());
+    // Fault injection arms after construction so bootstrap maps (heap
+    // directory, first descriptor chunk) are never the injected failures —
+    // the contract under test is steady-state allocation, not bringup.
+    std::int64_t FailAfter = 0;
+    if (config::varI64(config::Var::FailMap, FailAfter)) {
+      A->debugInjectMapFailuresAfter(FailAfter);
+      detail::LastFailMapArm.store(FailAfter, std::memory_order_relaxed);
+    }
+    return A;
+  }();
   return *Instance;
 }
 
@@ -117,88 +108,44 @@ size_t lf_malloc_usable_size(const void *Ptr) {
   return lfm::lfUsableSize(Ptr);
 }
 
+// Legacy dump entry points, kept for source compatibility: each is a thin
+// wrapper over the matching lf_malloc_ctl dump key (MallocCtl.cpp). New
+// code should call lf_malloc_ctl directly.
+
 namespace {
 
-int writeToPathOrStderr(const char *Path,
-                        void (LFAllocator::*Writer)(std::FILE *) const) {
-  LFAllocator &Alloc = lfm::defaultAllocator();
-  if (!Path || Path[0] == '\0') {
-    (Alloc.*Writer)(stderr);
-    return 0;
-  }
-  std::FILE *Out = std::fopen(Path, "w");
-  if (!Out)
-    return -1;
-  (Alloc.*Writer)(Out);
-  std::fclose(Out);
-  return 0;
+/// Adapts a ctl dump key to the legacy 0/-1 convention. A null or empty
+/// path passes In = null so the key selects stderr.
+int legacyDump(const char *Key, const char *Path) {
+  const bool HavePath = Path != nullptr && Path[0] != '\0';
+  const int Rc = lf_malloc_ctl(Key, nullptr, nullptr,
+                               HavePath ? Path : nullptr,
+                               HavePath ? std::strlen(Path) + 1 : 0);
+  return Rc == 0 ? 0 : -1;
 }
 
 } // namespace
 
-void lf_malloc_stats(void) {
-  lfm::defaultAllocator().metricsJson(stderr);
-}
+void lf_malloc_stats(void) { legacyDump("dump.metrics", nullptr); }
 
 int lf_malloc_metrics_json(const char *Path) {
-  return writeToPathOrStderr(Path, &LFAllocator::metricsJson);
+  return legacyDump("dump.metrics", Path);
 }
 
 int lf_malloc_trace_dump(const char *Path) {
-  return writeToPathOrStderr(Path, &LFAllocator::traceJson);
+  return legacyDump("dump.trace", Path);
 }
 
 int lf_malloc_heap_profile(const char *Path) {
-  // Raw fds end to end: this is the entry point signal handlers use.
-  LFAllocator &Alloc = lfm::defaultAllocator();
-  if (!Path || Path[0] == '\0')
-    return Alloc.heapProfileText(STDERR_FILENO);
-  const int Fd = ::open(Path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (Fd < 0)
-    return -1;
-  const int Rc = Alloc.heapProfileText(Fd);
-  ::close(Fd);
-  return Rc;
+  return legacyDump("dump.heap_profile", Path);
 }
 
 int lf_malloc_heap_profile_json(const char *Path) {
-  return writeToPathOrStderr(Path, &LFAllocator::heapProfileJson);
+  return legacyDump("dump.heap_profile_json", Path);
 }
 
 int lf_malloc_heap_topology_json(const char *Path) {
-  return writeToPathOrStderr(Path, &LFAllocator::heapTopologyJson);
+  return legacyDump("dump.topology", Path);
 }
 
-int lf_malloc_heap_profile_dump(void) {
-  // Async-signal-safe: cached prefix, hand-rolled sequence formatting,
-  // open/write/close. The sequence counter makes concurrent or repeated
-  // signals write distinct files instead of clobbering one another.
-  static std::atomic<unsigned> Seq{0};
-  const unsigned N = Seq.fetch_add(1, std::memory_order_relaxed);
-  char Path[sizeof(DumpPrefix) + 16];
-  std::size_t Len = 0;
-  while (DumpPrefix[Len] != '\0' && Len < sizeof(DumpPrefix) - 1) {
-    Path[Len] = DumpPrefix[Len];
-    ++Len;
-  }
-  Path[Len++] = '.';
-  char Digits[4];
-  unsigned V = N % 10000;
-  for (int D = 3; D >= 0; --D) {
-    Digits[D] = static_cast<char>('0' + V % 10);
-    V /= 10;
-  }
-  for (int D = 0; D < 4; ++D)
-    Path[Len++] = Digits[D];
-  Path[Len++] = '.';
-  Path[Len++] = 'h';
-  Path[Len++] = 'e';
-  Path[Len++] = 'a';
-  Path[Len++] = 'p';
-  Path[Len] = '\0';
-  return lf_malloc_heap_profile(Path);
-}
-
-void lf_malloc_leak_report(void) {
-  lfm::defaultAllocator().leakReport(STDERR_FILENO);
-}
+void lf_malloc_leak_report(void) { legacyDump("dump.leak_report", nullptr); }

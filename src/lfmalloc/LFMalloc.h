@@ -10,10 +10,14 @@
 /// defaults. Programs needing multiple allocators, custom superblock
 /// geometry, or metered space use LFAllocator directly.
 ///
-/// All functions here are lock-free and — after the first call has
-/// initialized the instance — async-signal-safe, the property motivating
-/// the paper's design (§1, "a completely lock-free allocator is capable of
-/// being async-signal-safe without incurring any performance cost").
+/// All allocation functions here are lock-free and — after the first call
+/// has initialized the instance — async-signal-safe, the property
+/// motivating the paper's design (§1, "a completely lock-free allocator is
+/// capable of being async-signal-safe without incurring any performance
+/// cost").
+///
+/// Introspection and control go through lf_malloc_ctl(), a keyed
+/// mallctl-style surface documented in docs/API.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,19 +34,11 @@ class LFAllocator;
 /// never destroyed — so signal handlers and exiting threads can always
 /// rely on it).
 ///
-/// Telemetry for this instance is controlled by environment variables read
-/// at first use (the instance has no other configuration channel when it
-/// is interposed as the process malloc):
-///   LFM_STATS=1        maintain operation counters
-///   LFM_TRACE=1        record trace events (implies counters)
-///   LFM_TRACE_EVENTS=N per-thread trace-ring capacity (default 4096)
-///   LFM_PROFILE=1      attach the sampling heap profiler (telemetry
-///                      builds only; see docs/OBSERVABILITY.md)
-///   LFM_PROFILE_RATE=N mean bytes between samples (default 524288)
-///   LFM_PROFILE_SEED=N fixed sampler seed for reproducible runs
-///   LFM_PROFILE_SITES=N / LFM_PROFILE_LIVE=N table capacities
-///   LFM_PROFILE_DUMP=PREFIX path prefix for signal-triggered dumps
-///                      (default "lfm-heap"; files PREFIX.NNNN.heap)
+/// The instance is configured by `LFM_*` environment variables read at
+/// first use (it has no other configuration channel when interposed as
+/// the process malloc). The full variable table lives in
+/// support/RuntimeConfig.h and docs/API.md; each variable mirrors an
+/// lf_malloc_ctl key (`opt.*`, `retain.*`, `debug.*`).
 LFAllocator &defaultAllocator();
 
 /// malloc(): lock-free allocation from the default allocator.
@@ -75,49 +71,78 @@ void *lf_realloc(void *Ptr, size_t Bytes);
 void *lf_aligned_alloc(size_t Alignment, size_t Bytes);
 size_t lf_malloc_usable_size(const void *Ptr);
 
-/// Writes the default allocator's metrics JSON to stderr (counters are
-/// zero unless LFM_STATS/LFM_TRACE was set at first use).
+/// Keyed control/introspection over the default allocator, in the style
+/// of jemalloc's mallctl. Reads fill \p Out / \p OutLen (null Out with
+/// non-null OutLen probes the required size); writes take the new value
+/// in \p In / \p InLen. See docs/API.md for the key namespace:
+///   version                 build/schema identifier (string)
+///   stats.<name>            any metrics counter/gauge (u64; see API.md)
+///   retain.max_bytes        retention watermark (u64, get/set)
+///   retain.decay_ms         decay period, -1 off (i64, get/set)
+///   trim                    release retained memory now (action)
+///   dump.metrics|trace|topology|heap_profile|heap_profile_json|
+///   dump.leak_report|heap_profile_seq   write a report (In = path)
+///   opt.<name>              resolved LFM_* option echo (read-only)
+///   debug.fail_map          OS-map fault injection (test hook)
+/// \returns 0 on success or an errno value (EINVAL, ENOENT, EPERM, EIO);
+/// never touches the global errno.
+int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
+                  size_t InLen);
+
+/// glibc malloc_trim(): releases the retained superblock cache back to
+/// the OS, keeping at most \p KeepBytes cached. Lock-free. \returns 1 if
+/// any memory was released, else 0.
+int lf_malloc_trim(size_t KeepBytes);
+
+/// \deprecated Writes the default allocator's metrics JSON to stderr.
+/// Wrapper over lf_malloc_ctl("dump.metrics").
 void lf_malloc_stats(void);
 
-/// Writes the default allocator's metrics JSON to \p Path (null or ""
-/// selects stderr). \returns 0 on success, -1 if the file cannot be
-/// opened.
+/// \deprecated Writes metrics JSON to \p Path (null or "" selects
+/// stderr). Wrapper over lf_malloc_ctl("dump.metrics"). \returns 0 on
+/// success, -1 if the file cannot be opened.
 int lf_malloc_metrics_json(const char *Path);
 
-/// Writes the default allocator's recorded trace as Chrome trace JSON to
-/// \p Path (null or "" selects stderr; empty event list unless LFM_TRACE
-/// was set at first use). \returns 0 on success, -1 if the file cannot be
-/// opened.
+/// \deprecated Writes the recorded trace as Chrome trace JSON to \p Path
+/// (null or "" selects stderr; empty event list unless LFM_TRACE was set
+/// at first use). Wrapper over lf_malloc_ctl("dump.trace"). \returns 0 on
+/// success, -1 if the file cannot be opened.
 int lf_malloc_trace_dump(const char *Path);
 
-/// Writes the default allocator's sampling heap profile in gperftools
+/// \deprecated Writes the sampling heap profile in gperftools
 /// `heap profile:` text to \p Path (null or "" selects stderr), so
 /// `pprof --text <binary> <path>` renders it. Malloc-free, lock-free,
 /// async-signal-safe (open/write/close on raw fds). An all-zero header
 /// without a profiler (needs a telemetry build + LFM_PROFILE=1).
-/// \returns 0 on success, -1 if the file cannot be opened.
+/// Wrapper over lf_malloc_ctl("dump.heap_profile"). \returns 0 on
+/// success, -1 if the file cannot be opened.
 int lf_malloc_heap_profile(const char *Path);
 
-/// Writes the heap profile as `lfm-heapprofile-v1` JSON to \p Path (null
-/// or "" selects stderr). Not async-signal-safe (stdio). \returns 0 on
+/// \deprecated Writes the heap profile as `lfm-heapprofile-v1` JSON to
+/// \p Path (null or "" selects stderr). Not async-signal-safe (stdio).
+/// Wrapper over lf_malloc_ctl("dump.heap_profile_json"). \returns 0 on
 /// success, -1 if the file cannot be opened.
 int lf_malloc_heap_profile_json(const char *Path);
 
-/// Writes the heap-topology census (`lfm-heaptopology-v1` JSON: per-class
-/// occupancy histograms, fragmentation ratios, address-ordered heap map)
-/// to \p Path (null or "" selects stderr). Works in every build. Not
-/// async-signal-safe. \returns 0 on success, -1 on open failure.
+/// \deprecated Writes the heap-topology census (`lfm-heaptopology-v1`
+/// JSON: per-class occupancy histograms, fragmentation ratios,
+/// address-ordered heap map) to \p Path (null or "" selects stderr).
+/// Works in every build. Not async-signal-safe. Wrapper over
+/// lf_malloc_ctl("dump.topology"). \returns 0 on success, -1 on open
+/// failure.
 int lf_malloc_heap_topology_json(const char *Path);
 
 /// Signal-handler entry point: writes the heap profile to
 /// "<LFM_PROFILE_DUMP>.<seq>.heap" (prefix cached at allocator init, so
 /// no getenv here; default prefix "lfm-heap"). Async-signal-safe after the
-/// default allocator exists. \returns 0 on success.
+/// default allocator exists. Also reachable as
+/// lf_malloc_ctl("dump.heap_profile_seq"). \returns 0 on success.
 int lf_malloc_heap_profile_dump(void);
 
-/// Writes the surviving-sampled-allocations leak report to stderr.
-/// Async-signal-safe; the LD_PRELOAD shim registers this with atexit when
-/// LFM_LEAK_REPORT=1.
+/// \deprecated Writes the surviving-sampled-allocations leak report to
+/// stderr. Async-signal-safe; the LD_PRELOAD shim registers this with
+/// atexit when LFM_LEAK_REPORT=1. Wrapper over
+/// lf_malloc_ctl("dump.leak_report").
 void lf_malloc_leak_report(void);
 }
 

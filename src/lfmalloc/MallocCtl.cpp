@@ -1,0 +1,377 @@
+//===- lfmalloc/MallocCtl.cpp - Keyed control/introspection surface -------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// lf_malloc_ctl(): one keyed entry point over the default allocator's
+/// statistics, dumps, and runtime knobs, in the style of jemalloc's
+/// mallctl. The seven legacy lf_malloc_* dump functions are thin wrappers
+/// over the `dump.*` keys (see LFMalloc.cpp); new surface area lands here
+/// as keys, not as new C symbols.
+///
+/// Conventions (documented in docs/API.md):
+///  - Reads fill *Out and set *OutLen to the bytes written. Passing a null
+///    Out with a non-null OutLen probes the required size. A too-small
+///    buffer fails with EINVAL after storing the required size.
+///  - Writes take the new value in In/InLen with exact sizes (u64/i64 are
+///    8 bytes, host-endian). Writing a read-only key fails with EPERM.
+///  - `dump.*` keys take an optional NUL-terminated path in In (null or
+///    empty selects stderr) and fail with EIO when it cannot be opened.
+///  - Unknown keys fail with ENOENT. Returns 0 on success; never sets
+///    errno itself.
+///
+/// The dispatcher allocates nothing and takes no locks; dump keys stream
+/// through stdio except the heap-profile text dumps, which stay on raw
+/// fds so signal handlers can reach them through the legacy wrappers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/FacadeState.h"
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/LFMalloc.h"
+#include "telemetry/MetricsSnapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace lfm;
+
+char lfm::detail::ProfileDumpPrefix[lfm::detail::ProfileDumpPrefixCap] =
+    "lfm-heap";
+std::atomic<bool> lfm::detail::LeakReportRequested{false};
+std::atomic<std::int64_t> lfm::detail::LastFailMapArm{-1};
+
+namespace {
+
+/// Copies \p Size bytes of \p Src out through the Out/OutLen protocol.
+int readBytes(void *Out, size_t *OutLen, const void *Src, size_t Size) {
+  if (OutLen == nullptr)
+    return EINVAL;
+  if (Out == nullptr) {
+    *OutLen = Size; // Size probe.
+    return 0;
+  }
+  if (*OutLen < Size) {
+    *OutLen = Size;
+    return EINVAL;
+  }
+  std::memcpy(Out, Src, Size);
+  *OutLen = Size;
+  return 0;
+}
+
+int readU64(void *Out, size_t *OutLen, std::uint64_t V) {
+  return readBytes(Out, OutLen, &V, sizeof(V));
+}
+
+int readI64(void *Out, size_t *OutLen, std::int64_t V) {
+  return readBytes(Out, OutLen, &V, sizeof(V));
+}
+
+int readStr(void *Out, size_t *OutLen, const char *S) {
+  return readBytes(Out, OutLen, S, std::strlen(S) + 1);
+}
+
+int takeU64(const void *In, size_t InLen, std::uint64_t &V) {
+  if (In == nullptr || InLen != sizeof(V))
+    return EINVAL;
+  std::memcpy(&V, In, sizeof(V));
+  return 0;
+}
+
+int takeI64(const void *In, size_t InLen, std::int64_t &V) {
+  if (In == nullptr || InLen != sizeof(V))
+    return EINVAL;
+  std::memcpy(&V, In, sizeof(V));
+  return 0;
+}
+
+/// Extracts the optional dump path from In/InLen into \p Buf. A null or
+/// empty In selects stderr (Buf left empty). The path must be
+/// NUL-terminated within InLen and fit the buffer.
+int takePath(const void *In, size_t InLen, char *Buf, size_t Cap) {
+  Buf[0] = '\0';
+  if (In == nullptr || InLen == 0)
+    return 0;
+  const char *S = static_cast<const char *>(In);
+  const void *Nul = std::memchr(S, '\0', InLen);
+  if (Nul == nullptr)
+    return EINVAL;
+  const size_t Len = static_cast<size_t>(static_cast<const char *>(Nul) - S);
+  if (Len >= Cap)
+    return EINVAL;
+  std::memcpy(Buf, S, Len + 1);
+  return 0;
+}
+
+/// Runs one of the allocator's stdio writers against the dump path.
+int dumpStdio(const void *In, size_t InLen,
+              void (LFAllocator::*Writer)(std::FILE *) const) {
+  char Path[4096];
+  if (const int Rc = takePath(In, InLen, Path, sizeof(Path)))
+    return Rc;
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  if (Path[0] == '\0') {
+    (Alloc.*Writer)(stderr);
+    return 0;
+  }
+  std::FILE *Out = std::fopen(Path, "w");
+  if (Out == nullptr)
+    return EIO;
+  (Alloc.*Writer)(Out);
+  std::fclose(Out);
+  return 0;
+}
+
+/// Runs one of the allocator's raw-fd writers against the dump path.
+int dumpFd(const void *In, size_t InLen, int (*Writer)(LFAllocator &, int)) {
+  char Path[4096];
+  if (const int Rc = takePath(In, InLen, Path, sizeof(Path)))
+    return Rc;
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  if (Path[0] == '\0')
+    return Writer(Alloc, STDERR_FILENO) == 0 ? 0 : EIO;
+  const int Fd = ::open(Path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return EIO;
+  const int Rc = Writer(Alloc, Fd);
+  ::close(Fd);
+  return Rc == 0 ? 0 : EIO;
+}
+
+/// stats.<name>: every counter by its JSON name, plus the space and gauge
+/// fields of the metrics snapshot under the same names the JSON uses.
+int statsGet(const char *Name, void *Out, size_t *OutLen) {
+  const telemetry::MetricsSnapshot Snap =
+      lfm::defaultAllocator().metricsSnapshot();
+  for (unsigned C = 0; C < telemetry::NumCounters; ++C) {
+    if (std::strcmp(Name, telemetry::counterName(
+                              static_cast<telemetry::Counter>(C))) == 0)
+      return readU64(Out, OutLen, Snap.Counters[C]);
+  }
+  const struct {
+    const char *Name;
+    std::uint64_t Value;
+  } Rows[] = {
+      {"bytes_in_use", Snap.Space.BytesInUse},
+      {"peak_bytes", Snap.Space.PeakBytes},
+      {"map_calls", Snap.Space.MapCalls},
+      {"unmap_calls", Snap.Space.UnmapCalls},
+      {"decommit_calls", Snap.Space.DecommitCalls},
+      {"bytes_decommitted", Snap.Space.BytesDecommitted},
+      {"map_retries", Snap.Space.MapRetries},
+      {"map_failures", Snap.Space.MapFailures},
+      {"cached_superblocks", Snap.CachedSuperblocks},
+      {"retained_bytes", Snap.RetainedBytes},
+      {"decommitted_superblocks", Snap.DecommittedSuperblocks},
+      {"parked_hyperblocks", Snap.ParkedHyperblocks},
+      {"retain_max_bytes", Snap.RetainMaxBytes},
+      {"descriptors_minted", Snap.DescriptorsMinted},
+      {"hazard_retired", Snap.HazardRetired},
+      {"hazard_scans", Snap.HazardScans},
+      {"hazard_reclaims", Snap.HazardReclaims},
+      {"trace_events_emitted", Snap.TraceEventsEmitted},
+      {"trace_events_overwritten", Snap.TraceEventsOverwritten},
+  };
+  for (const auto &Row : Rows)
+    if (std::strcmp(Name, Row.Name) == 0)
+      return readU64(Out, OutLen, Row.Value);
+  if (std::strcmp(Name, "retain_decay_ms") == 0)
+    return readI64(Out, OutLen, Snap.RetainDecayMs);
+  return ENOENT;
+}
+
+/// opt.<name>: read-only echo of the default allocator's resolved options
+/// (the values LFM_* variables produced at first use).
+int optGet(const char *Name, void *Out, size_t *OutLen) {
+  const AllocatorOptions &O = lfm::defaultAllocator().options();
+  if (std::strcmp(Name, "stats") == 0)
+    return readU64(Out, OutLen, O.EnableStats ? 1 : 0);
+  if (std::strcmp(Name, "trace") == 0)
+    return readU64(Out, OutLen, O.EnableTrace ? 1 : 0);
+  if (std::strcmp(Name, "trace_events") == 0)
+    return readU64(Out, OutLen, O.TraceEventsPerThread);
+  if (std::strcmp(Name, "profile") == 0)
+    return readU64(Out, OutLen, O.EnableProfiler ? 1 : 0);
+  if (std::strcmp(Name, "profile_rate") == 0)
+    return readU64(Out, OutLen, O.ProfileRateBytes);
+  if (std::strcmp(Name, "profile_seed") == 0)
+    return readU64(Out, OutLen, O.ProfileSeed);
+  if (std::strcmp(Name, "profile_sites") == 0)
+    return readU64(Out, OutLen, O.ProfileSiteCapacity);
+  if (std::strcmp(Name, "profile_live") == 0)
+    return readU64(Out, OutLen, O.ProfileLiveCapacity);
+  if (std::strcmp(Name, "profile_dump") == 0)
+    return readStr(Out, OutLen, detail::ProfileDumpPrefix);
+  if (std::strcmp(Name, "leak_report") == 0)
+    return readU64(Out, OutLen,
+                   detail::LeakReportRequested.load(std::memory_order_relaxed)
+                       ? 1
+                       : 0);
+  return ENOENT;
+}
+
+int heapProfileFd(LFAllocator &Alloc, int Fd) {
+  return Alloc.heapProfileText(Fd);
+}
+
+int leakReportFd(LFAllocator &Alloc, int Fd) {
+  Alloc.leakReport(Fd);
+  return 0;
+}
+
+} // namespace
+
+int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
+                  size_t InLen) {
+  if (Key == nullptr)
+    return EINVAL;
+
+  if (std::strcmp(Key, "version") == 0) {
+    if (In != nullptr)
+      return EPERM;
+    return readStr(Out, OutLen, "lfm-ctl-v1");
+  }
+
+  if (std::strcmp(Key, "trim") == 0) {
+    // Action key: trims the retained superblock cache down to an optional
+    // u64 keep-bytes budget (default 0) and optionally reports the bytes
+    // released.
+    std::uint64_t Keep = 0;
+    if (In != nullptr) {
+      if (const int Rc = takeU64(In, InLen, Keep))
+        return Rc;
+    } else if (InLen != 0) {
+      return EINVAL;
+    }
+    const std::uint64_t Released =
+        lfm::defaultAllocator().releaseMemory(static_cast<size_t>(Keep));
+    if (Out != nullptr || OutLen != nullptr)
+      return readU64(Out, OutLen, Released);
+    return 0;
+  }
+
+  if (std::strcmp(Key, "retain.max_bytes") == 0) {
+    LFAllocator &Alloc = lfm::defaultAllocator();
+    const std::uint64_t Old = Alloc.retainMaxBytes();
+    if (In != nullptr) {
+      std::uint64_t New = 0;
+      if (const int Rc = takeU64(In, InLen, New))
+        return Rc;
+      Alloc.setRetainMaxBytes(static_cast<size_t>(New));
+    }
+    if (Out != nullptr || OutLen != nullptr)
+      return readU64(Out, OutLen, Old);
+    return In != nullptr ? 0 : EINVAL;
+  }
+
+  if (std::strcmp(Key, "retain.decay_ms") == 0) {
+    LFAllocator &Alloc = lfm::defaultAllocator();
+    const std::int64_t Old = Alloc.retainDecayMs();
+    if (In != nullptr) {
+      std::int64_t New = 0;
+      if (const int Rc = takeI64(In, InLen, New))
+        return Rc;
+      Alloc.setRetainDecayMs(New);
+    }
+    if (Out != nullptr || OutLen != nullptr)
+      return readI64(Out, OutLen, Old);
+    return In != nullptr ? 0 : EINVAL;
+  }
+
+  if (std::strcmp(Key, "debug.fail_map") == 0) {
+    // In: i64 After (fail maps once After more succeed), optionally
+    // followed by i64 FailCount for a finite failure budget (default -1:
+    // fail forever). Get returns the last armed After value.
+    if (In != nullptr) {
+      std::int64_t Arm[2] = {0, -1};
+      if (InLen != sizeof(std::int64_t) && InLen != sizeof(Arm))
+        return EINVAL;
+      std::memcpy(Arm, In, InLen);
+      lfm::defaultAllocator().debugInjectMapFailures(Arm[0], Arm[1]);
+      detail::LastFailMapArm.store(Arm[0], std::memory_order_relaxed);
+    }
+    if (Out != nullptr || OutLen != nullptr)
+      return readI64(Out, OutLen,
+                     detail::LastFailMapArm.load(std::memory_order_relaxed));
+    return In != nullptr ? 0 : EINVAL;
+  }
+
+  if (std::strncmp(Key, "stats.", 6) == 0) {
+    if (In != nullptr)
+      return EPERM;
+    return statsGet(Key + 6, Out, OutLen);
+  }
+
+  if (std::strncmp(Key, "opt.", 4) == 0) {
+    if (In != nullptr)
+      return EPERM;
+    return optGet(Key + 4, Out, OutLen);
+  }
+
+  if (std::strcmp(Key, "dump.metrics") == 0)
+    return dumpStdio(In, InLen, &LFAllocator::metricsJson);
+  if (std::strcmp(Key, "dump.trace") == 0)
+    return dumpStdio(In, InLen, &LFAllocator::traceJson);
+  if (std::strcmp(Key, "dump.topology") == 0)
+    return dumpStdio(In, InLen, &LFAllocator::heapTopologyJson);
+  if (std::strcmp(Key, "dump.heap_profile_json") == 0)
+    return dumpStdio(In, InLen, &LFAllocator::heapProfileJson);
+  if (std::strcmp(Key, "dump.heap_profile") == 0)
+    return dumpFd(In, InLen, heapProfileFd);
+  if (std::strcmp(Key, "dump.leak_report") == 0)
+    return dumpFd(In, InLen, leakReportFd);
+  if (std::strcmp(Key, "dump.heap_profile_seq") == 0) {
+    if (In != nullptr)
+      return EINVAL;
+    return lf_malloc_heap_profile_dump() == 0 ? 0 : EIO;
+  }
+
+  return ENOENT;
+}
+
+int lf_malloc_trim(size_t KeepBytes) {
+  // glibc malloc_trim semantics: returns 1 when memory was actually
+  // released back to the system, 0 otherwise.
+  return lfm::defaultAllocator().releaseMemory(KeepBytes) > 0 ? 1 : 0;
+}
+
+int lf_malloc_heap_profile_dump(void) {
+  // Async-signal-safe: cached prefix, hand-rolled sequence formatting, and
+  // the raw-fd dump.heap_profile path underneath. The sequence counter
+  // makes concurrent or repeated signals write distinct files instead of
+  // clobbering one another.
+  static std::atomic<unsigned> Seq{0};
+  const unsigned N = Seq.fetch_add(1, std::memory_order_relaxed);
+  char Path[detail::ProfileDumpPrefixCap + 16];
+  std::size_t Len = 0;
+  while (detail::ProfileDumpPrefix[Len] != '\0' &&
+         Len < detail::ProfileDumpPrefixCap - 1) {
+    Path[Len] = detail::ProfileDumpPrefix[Len];
+    ++Len;
+  }
+  Path[Len++] = '.';
+  char Digits[4];
+  unsigned V = N % 10000;
+  for (int D = 3; D >= 0; --D) {
+    Digits[D] = static_cast<char>('0' + V % 10);
+    V /= 10;
+  }
+  for (int D = 0; D < 4; ++D)
+    Path[Len++] = Digits[D];
+  Path[Len++] = '.';
+  Path[Len++] = 'h';
+  Path[Len++] = 'e';
+  Path[Len++] = 'a';
+  Path[Len++] = 'p';
+  Path[Len] = '\0';
+  return lf_malloc_ctl("dump.heap_profile", nullptr, nullptr, Path, Len + 1) ==
+                 0
+             ? 0
+             : -1;
+}

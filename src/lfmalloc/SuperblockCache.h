@@ -16,6 +16,23 @@
 ///    to the OS." Free superblocks live on a lock-free tagged stack; fully
 ///    free hyperblocks can be unmapped by trimQuiescent().
 ///
+/// Memory return while threads run. The Treiber free stack's type-stability
+/// contract forbids unmapping any memory that was ever pushed (a stalled
+/// popper may dereference a node's link arbitrarily late), so the
+/// concurrent release paths never munmap. Instead they return *physical*
+/// pages with madvise(MADV_DONTNEED), which keeps every byte readable
+/// (as zeros) and therefore safe:
+///
+///  - Watermark: when the cached bytes exceed RetainMaxBytes, release()
+///    decommits a superblock's tail pages before pushing it back.
+///  - trimRetained(keep): drains the free list, tail-decommits survivors
+///    beyond \p keep, and *parks* hyperblocks whose superblocks were all
+///    drained — their pages (minus the header page) are decommitted and the
+///    header goes onto a second Treiber stack for cheap revival. Real
+///    munmap happens only in quiescent trimQuiescent() / the destructor.
+///  - Decay: with a decay period set, release() slow paths trigger
+///    trimRetained() once per period (jemalloc dirty_decay discipline).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LFMALLOC_LFMALLOC_SUPERBLOCKCACHE_H
@@ -62,14 +79,55 @@ public:
   /// straight to the OS (direct mode).
   void release(void *Sb);
 
-  /// Unmaps every hyperblock whose superblocks are all free. Quiescent-
-  /// state only (free-stack nodes live inside the memory being unmapped).
-  /// \returns bytes returned to the OS.
+  /// Returns retained physical memory to the OS while other threads keep
+  /// allocating: lock-free callers race through a non-blocking try-lock
+  /// (losers return 0 immediately — someone else is already trimming).
+  /// Keeps roughly \p KeepBytes of the retained cache resident; everything
+  /// beyond that is decommitted in place and fully-collected hyperblocks
+  /// are parked. Address space is not shrunk — only RSS drops.
+  /// \returns physical bytes returned to the OS by this call.
+  std::size_t trimRetained(std::size_t KeepBytes);
+
+  /// Unmaps every hyperblock whose superblocks are all free, including
+  /// parked ones. Quiescent-state only (free-stack nodes live inside the
+  /// memory being unmapped). \returns bytes returned to the OS.
   std::size_t trimQuiescent();
 
   /// \returns racy count of cached free superblocks (0 in direct mode).
   std::uint64_t cachedCount() const {
     return CachedSbs.load(std::memory_order_relaxed);
+  }
+
+  /// \returns racy count of cached superblocks whose tail pages are
+  /// currently decommitted.
+  std::uint64_t decommittedCount() const {
+    return DecommittedSbs.load(std::memory_order_relaxed);
+  }
+
+  /// \returns racy count of parked (fully decommitted, revivable)
+  /// hyperblocks.
+  std::uint64_t parkedCount() const {
+    return ParkedHypers.load(std::memory_order_relaxed);
+  }
+
+  /// Retention watermark: once the cache holds more than this many bytes,
+  /// further releases decommit their superblock's tail pages immediately.
+  /// Default ~0 (retain everything resident).
+  void setRetainMaxBytes(std::size_t Bytes) {
+    RetainMaxBytes.store(Bytes, std::memory_order_relaxed);
+  }
+  std::size_t retainMaxBytes() const {
+    return RetainMaxBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Decay period in milliseconds; while set (>= 0), release() triggers a
+  /// trimRetained() pass at most once per period. Negative disables decay
+  /// (the default).
+  void setRetainDecayMs(std::int64_t Ms) {
+    DecayMs.store(Ms, std::memory_order_relaxed);
+  }
+  std::int64_t retainDecayMs() const {
+    return DecayMs.load(std::memory_order_relaxed);
   }
 
   std::size_t superblockSize() const { return SbSize; }
@@ -82,14 +140,26 @@ public:
 
 private:
   /// Lives in the first bytes of a free superblock while it is cached.
+  /// The whole struct stays within the first page, which tail-decommit
+  /// keeps resident, so links survive decommission.
   struct FreeSb {
     FreeSb *Next;
+    std::uint64_t Flags; ///< Bit 0: tail pages currently decommitted.
   };
+  static constexpr std::uint64_t FreeSbDecommitted = 1;
 
-  /// Header occupying the first superblock slot of each hyperblock.
+  /// Header occupying the first superblock slot of each hyperblock. The
+  /// header's page is never decommitted, so Next/ParkNext links and the
+  /// trim bookkeeping stay valid for stalled readers of either stack.
   struct HyperHeader {
-    HyperHeader *Next;
-    std::atomic<std::uint32_t> FreeCount;
+    HyperHeader *ParkNext = nullptr; ///< Link while on the Parked stack.
+    HyperHeader *Next = nullptr;     ///< Link on the all-hyperblocks list.
+    std::atomic<std::uint32_t> FreeCount{0};
+    /// Superblocks of this hyperblock drained by the current trim pass;
+    /// SbsPerHyper + 1 is the "queued for parking" sentinel. Touched only
+    /// under the trim try-lock, except unpark's reset to zero.
+    std::atomic<std::uint32_t> TrimCollected{0};
+    std::atomic<bool> Parked{false};
   };
 
   HyperHeader *hyperOf(void *Sb) const {
@@ -98,14 +168,26 @@ private:
   }
 
   bool mintHyperblock();
+  bool unparkHyperblock();
+  void decommitTail(FreeSb *Node);
+  void maybeDecay();
 
   PageAllocator &Pages;
   const std::size_t SbSize;
   const std::size_t HyperSize;      ///< 0 in direct mode.
   const std::uint32_t SbsPerHyper;  ///< Usable slots per hyperblock.
   TreiberStack<FreeSb> FreeList;
+  TreiberStack<HyperHeader, &HyperHeader::ParkNext> Parked;
   std::atomic<HyperHeader *> Hypers{nullptr};
   std::atomic<std::uint64_t> CachedSbs{0};
+  std::atomic<std::uint64_t> DecommittedSbs{0};
+  std::atomic<std::uint64_t> ParkedHypers{0};
+  std::atomic<std::size_t> RetainMaxBytes{~std::size_t{0}};
+  std::atomic<std::int64_t> DecayMs{-1};
+  std::atomic<std::uint64_t> LastDecayMs{0};
+  /// Trim try-lock: holders never block others (losers skip the trim), so
+  /// the allocator's lock-freedom is unaffected.
+  std::atomic<bool> TrimActive{false};
 #if LFM_TELEMETRY
   telemetry::Telemetry *Tel = nullptr;
 #endif

@@ -7,14 +7,31 @@
 #include "os/PageAllocator.h"
 
 #include <cassert>
+#include <cerrno>
+#include <ctime>
 #include <sys/mman.h>
 
 using namespace lfm;
 
-void *PageAllocator::map(std::size_t Bytes, std::size_t Alignment) {
-  assert(isPowerOf2(Alignment) && Alignment >= OsPageSize &&
-         "alignment must be a power of two >= the OS page size");
-  const std::size_t Size = alignUp(Bytes, OsPageSize);
+namespace {
+
+/// Bounded retry policy for transient map failures: the kernel can refuse a
+/// mapping under momentary pressure (overcommit accounting, cgroup limits)
+/// and succeed a moment later once reclaim catches up. Three attempts with
+/// 50us/100us sleeps keeps the worst-case added latency well under a
+/// millisecond while absorbing the common transients. Callers that can free
+/// cache themselves (LFAllocator::oomRescue) get their shot after this
+/// gives up.
+constexpr int MapRetryAttempts = 3;
+
+void backoffSleep(int Attempt) {
+  timespec Ts{0, 50'000L << Attempt}; // 50us, 100us, ...
+  ::nanosleep(&Ts, nullptr);
+}
+
+} // namespace
+
+void *PageAllocator::mapOnce(std::size_t Size, std::size_t Alignment) {
   if (LFM_UNLIKELY(shouldFailInjected()))
     return nullptr;
 
@@ -48,12 +65,40 @@ void *PageAllocator::map(std::size_t Bytes, std::size_t Alignment) {
   return reinterpret_cast<void *>(Aligned);
 }
 
+void *PageAllocator::map(std::size_t Bytes, std::size_t Alignment) {
+  assert(isPowerOf2(Alignment) && Alignment >= OsPageSize &&
+         "alignment must be a power of two >= the OS page size");
+  const std::size_t Size = alignUp(Bytes, OsPageSize);
+  for (int Attempt = 0;; ++Attempt) {
+    void *Ptr = mapOnce(Size, Alignment);
+    if (LFM_LIKELY(Ptr != nullptr))
+      return Ptr;
+    if (Attempt + 1 >= MapRetryAttempts)
+      break;
+    MapRetries.fetch_add(1, std::memory_order_relaxed);
+    backoffSleep(Attempt);
+  }
+  MapFailures.fetch_add(1, std::memory_order_relaxed);
+  errno = ENOMEM;
+  return nullptr;
+}
+
 void PageAllocator::unmap(void *Ptr, std::size_t Bytes) {
   assert(Ptr && "unmap of null");
   const std::size_t Size = alignUp(Bytes, OsPageSize);
   [[maybe_unused]] const int Rc = ::munmap(Ptr, Size);
   assert(Rc == 0 && "munmap failed: bad pointer or size");
   recordUnmap(Size);
+}
+
+bool PageAllocator::decommit(void *Ptr, std::size_t Bytes) {
+  assert(Ptr && "decommit of null");
+  const std::size_t Size = alignUp(Bytes, OsPageSize);
+  if (::madvise(Ptr, Size, MADV_DONTNEED) != 0)
+    return false;
+  DecommitCalls.fetch_add(1, std::memory_order_relaxed);
+  BytesDecommittedCtr.fetch_add(Size, std::memory_order_relaxed);
+  return true;
 }
 
 void *PageAllocator::remap(void *Ptr, std::size_t OldBytes,
@@ -79,7 +124,11 @@ PageStats PageAllocator::stats() const {
   return PageStats{BytesInUse.load(std::memory_order_relaxed),
                    PeakBytes.load(std::memory_order_relaxed),
                    MapCalls.load(std::memory_order_relaxed),
-                   UnmapCalls.load(std::memory_order_relaxed)};
+                   UnmapCalls.load(std::memory_order_relaxed),
+                   DecommitCalls.load(std::memory_order_relaxed),
+                   BytesDecommittedCtr.load(std::memory_order_relaxed),
+                   MapRetries.load(std::memory_order_relaxed),
+                   MapFailures.load(std::memory_order_relaxed)};
 }
 
 void PageAllocator::resetPeak() {

@@ -33,6 +33,10 @@ struct PageStats {
   std::uint64_t PeakBytes;    ///< High-water mark of BytesInUse.
   std::uint64_t MapCalls;     ///< Number of successful map() calls.
   std::uint64_t UnmapCalls;   ///< Number of unmap() calls.
+  std::uint64_t DecommitCalls;     ///< Number of successful decommit() calls.
+  std::uint64_t BytesDecommitted; ///< Total bytes ever decommitted.
+  std::uint64_t MapRetries;   ///< map() attempts retried after a failure.
+  std::uint64_t MapFailures;  ///< map() calls that failed after all retries.
 };
 
 /// mmap/munmap wrapper with atomic space accounting.
@@ -48,12 +52,23 @@ public:
   PageAllocator &operator=(const PageAllocator &) = delete;
 
   /// Maps \p Bytes (rounded up to whole pages) of zeroed memory aligned to
-  /// \p Alignment (power of two, >= OsPageSize).
-  /// \returns the mapping, or nullptr if the OS refuses.
+  /// \p Alignment (power of two, >= OsPageSize). Transient OS refusals are
+  /// retried a bounded number of times with a short exponential backoff.
+  /// \returns the mapping, or nullptr with errno set to ENOMEM once every
+  /// retry has failed.
   void *map(std::size_t Bytes, std::size_t Alignment = OsPageSize);
 
   /// Unmaps a region previously returned by map() with the same size.
   void unmap(void *Ptr, std::size_t Bytes);
+
+  /// Returns the physical pages behind [Ptr, Ptr+Bytes) to the OS while
+  /// keeping the virtual mapping intact (madvise MADV_DONTNEED): RSS drops
+  /// immediately and any later access refaults zero-filled pages. This is
+  /// the only release primitive safe to call from lock-free context — a
+  /// stalled reader may still dereference the region and observes zeros
+  /// rather than faulting (TreiberStack type-stability contract).
+  /// \returns true when the pages were released.
+  bool decommit(void *Ptr, std::size_t Bytes);
 
   /// Grows or shrinks a mapping in place or by moving it (Linux mremap).
   /// \returns the (possibly relocated) region, or nullptr on failure —
@@ -75,7 +90,17 @@ public:
   /// a negative value. Exercises the allocators' out-of-memory paths
   /// without exhausting the machine.
   void injectMapFailuresAfter(std::int64_t Count) {
-    FailAfter.store(Count, std::memory_order_relaxed);
+    injectMapFailures(Count, -1);
+  }
+
+  /// Finite-budget variant: after \p After further successful map attempts,
+  /// the next \p FailCount attempts fail and then mapping recovers
+  /// (FailCount < 0 keeps failing forever, as injectMapFailuresAfter).
+  /// Each retry inside one map() call counts as an attempt, so a budget of
+  /// one proves the retry loop: the first attempt fails, the retry succeeds.
+  void injectMapFailures(std::int64_t After, std::int64_t FailCount) {
+    FailBudget.store(FailCount, std::memory_order_relaxed);
+    FailAfter.store(After, std::memory_order_relaxed);
   }
 
 private:
@@ -85,9 +110,19 @@ private:
     const std::int64_t Old = FailAfter.fetch_sub(1, std::memory_order_relaxed);
     if (Old > 0)
       return false; // Budget remains; this map may proceed.
-    FailAfter.store(0, std::memory_order_relaxed); // Clamp: keep failing.
+    FailAfter.store(0, std::memory_order_relaxed); // Clamp: still armed.
+    const std::int64_t Budget = FailBudget.load(std::memory_order_relaxed);
+    if (Budget < 0)
+      return true; // Unbounded: keep failing until re-armed.
+    if (Budget == 0) {
+      FailAfter.store(-1, std::memory_order_relaxed); // Exhausted: recover.
+      return false;
+    }
+    FailBudget.store(Budget - 1, std::memory_order_relaxed);
     return true;
   }
+
+  void *mapOnce(std::size_t Size, std::size_t Alignment);
 
   void recordMap(std::size_t Bytes);
   void recordUnmap(std::size_t Bytes);
@@ -96,7 +131,12 @@ private:
   std::atomic<std::uint64_t> PeakBytes{0};
   std::atomic<std::uint64_t> MapCalls{0};
   std::atomic<std::uint64_t> UnmapCalls{0};
+  std::atomic<std::uint64_t> DecommitCalls{0};
+  std::atomic<std::uint64_t> BytesDecommittedCtr{0};
+  std::atomic<std::uint64_t> MapRetries{0};
+  std::atomic<std::uint64_t> MapFailures{0};
   std::atomic<std::int64_t> FailAfter{-1};
+  std::atomic<std::int64_t> FailBudget{-1};
 };
 
 } // namespace lfm

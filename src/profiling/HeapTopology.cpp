@@ -39,6 +39,8 @@ void lfm::profiling::writeTopologyJson(const TopologySnapshot &T,
   W.field("superblock_bytes", std::uint64_t{T.SuperblockBytes});
   W.field("class_count", std::uint64_t{T.ClassCount});
   W.field("profiler_attached", T.ProfilerAttached);
+  W.field("retain_max_bytes", T.RetainMaxBytes);
+  W.field("retain_decay_ms", T.RetainDecayMs);
   W.endObject();
 
   W.key("space");
@@ -55,6 +57,9 @@ void lfm::profiling::writeTopologyJson(const TopologySnapshot &T,
   W.field("blocks", T.TotalBlocks);
   W.field("used_blocks", T.TotalUsedBlocks);
   W.field("cached_superblocks", T.CachedSuperblocks);
+  W.field("retained_bytes", T.RetainedBytes);
+  W.field("decommitted_superblocks", T.DecommittedSuperblocks);
+  W.field("parked_hyperblocks", T.ParkedHyperblocks);
   W.field("descriptors_minted", T.DescriptorsMinted);
   W.fieldDouble("ext_frag", T.externalFragRatio());
   if (T.ProfilerAttached)

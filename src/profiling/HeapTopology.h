@@ -91,6 +91,13 @@ struct TopologySnapshot {
   std::uint64_t TotalBlocks = 0;
   std::uint64_t TotalUsedBlocks = 0;
   std::uint64_t CachedSuperblocks = 0; ///< Empty, parked in SuperblockCache.
+  std::uint64_t RetainedBytes = 0; ///< Bytes of cached (retained) superblocks.
+  /// Cached superblocks whose pages were returned to the OS (madvise) but
+  /// whose address ranges are still on the free list.
+  std::uint64_t DecommittedSuperblocks = 0;
+  std::uint64_t ParkedHyperblocks = 0; ///< Fully-collected, decommitted hypers.
+  std::uint64_t RetainMaxBytes = 0;    ///< Watermark config (~0: unlimited).
+  std::int64_t RetainDecayMs = -1;     ///< Decay config (<0: disabled).
   std::uint64_t DescriptorsMinted = 0;
   PageStats Space = {}; ///< The instance's bytes-from-OS accounting.
   bool ProfilerAttached = false;

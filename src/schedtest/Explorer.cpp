@@ -6,6 +6,8 @@
 
 #include "schedtest/Explorer.h"
 
+#include "support/RuntimeConfig.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,18 +16,6 @@ using namespace lfm;
 using namespace lfm::sched;
 
 namespace {
-
-bool envU64(const char *Name, std::uint64_t &Out) {
-  const char *Raw = std::getenv(Name);
-  if (!Raw || !*Raw)
-    return false;
-  char *End = nullptr;
-  const unsigned long long V = std::strtoull(Raw, &End, 0);
-  if (End == Raw || *End != '\0')
-    return false;
-  Out = static_cast<std::uint64_t>(V);
-  return true;
-}
 
 /// Parses "seed=S,preempt=P,casfail=F" (any subset, any order) on top of
 /// \p O. \returns false on malformed input.
@@ -89,7 +79,7 @@ std::string replayString(const SchedOptions &O) {
 std::uint64_t envBaseSeed() {
   static const std::uint64_t Seed = [] {
     std::uint64_t V = 20260806;
-    const bool FromEnv = envU64("LFM_TEST_SEED", V);
+    const bool FromEnv = config::varU64(config::Var::TestSeed, V);
     std::fprintf(stderr, "[lfm-test] LFM_TEST_SEED=%llu (%s)\n",
                  static_cast<unsigned long long>(V),
                  FromEnv ? "from environment" : "default");
@@ -100,7 +90,7 @@ std::uint64_t envBaseSeed() {
 
 std::uint64_t envNumSeeds(std::uint64_t Fallback) {
   std::uint64_t V = Fallback;
-  envU64("LFM_SCHED_SEEDS", V);
+  config::varU64(config::Var::SchedSeeds, V);
   return V;
 }
 
@@ -109,7 +99,7 @@ ExploreResult explore(const ExploreOptions &Opts,
   ExploreResult Res;
 
   // Replay override: run exactly one configuration and report it.
-  if (const char *Raw = std::getenv("LFM_SCHED_REPLAY")) {
+  if (const char *Raw = config::varRaw(config::Var::SchedReplay)) {
     SchedOptions O = Opts.Proto;
     if (!parseReplay(Raw, O)) {
       Res.FoundFailure = true;

@@ -63,6 +63,7 @@ enum class Site : unsigned {
   // SuperblockCache.
   SbAcquire, ///< SuperblockCache::acquire pop/mint window.
   SbRelease, ///< SuperblockCache::release push window.
+  SbTrim,    ///< SuperblockCache::trimRetained drain window.
   NumSites
 };
 

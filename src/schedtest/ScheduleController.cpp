@@ -55,6 +55,8 @@ const char *siteName(Site S) {
     return "SbAcquire";
   case Site::SbRelease:
     return "SbRelease";
+  case Site::SbTrim:
+    return "SbTrim";
   case Site::NumSites:
     break;
   }

@@ -15,9 +15,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "lfmalloc/FacadeState.h"
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
 #include "profiling/HeapTopology.h"
+#include "support/RuntimeConfig.h"
 
 #include <cerrno>
 #include <cstddef>
@@ -88,6 +90,12 @@ void *pvalloc(size_t Bytes) {
 size_t malloc_usable_size(void *Ptr) {
   return Ptr ? defaultAllocator().usableSize(Ptr) : 0;
 }
+
+// glibc's malloc_trim(pad) releases free heap memory back to the system,
+// keeping up to pad bytes; ours trims the retained superblock cache the
+// same way (lock-free, madvise-based). Returns 1 when memory was
+// released, matching glibc.
+int malloc_trim(size_t Pad) { return lf_malloc_trim(Pad); }
 
 // glibc's malloc_stats() prints arena statistics to stderr; ours prints
 // the telemetry metrics JSON (counters require LFM_STATS=1 or LFM_TRACE=1
@@ -164,9 +172,10 @@ __attribute__((constructor)) void shimInit() {
     SA.sa_flags = SA_RESTART;
     sigaction(SIGUSR2, &SA, nullptr);
   }
-  const char *Leak = std::getenv("LFM_LEAK_REPORT");
-  if (Leak && Leak[0] != '\0' && !(Leak[0] == '0' && Leak[1] == '\0'))
+  if (config::varFlag(config::Var::LeakReport)) {
+    detail::LeakReportRequested.store(true, std::memory_order_relaxed);
     std::atexit(leakReportAtExit);
+  }
 }
 
 } // namespace

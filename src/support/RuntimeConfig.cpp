@@ -1,0 +1,113 @@
+//===- support/RuntimeConfig.cpp - LFM_* environment registry -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RuntimeConfig.h"
+
+#include <cstdlib>
+
+using namespace lfm;
+using namespace lfm::config;
+
+namespace {
+
+// Indexed by Var. Keep rows in enum order; varSpec() asserts nothing and
+// relies on this table covering every enumerator.
+const VarSpec Table[NumVars] = {
+    {"LFM_STATS", "opt.stats", "0",
+     "maintain operation counters in the default allocator"},
+    {"LFM_TRACE", "opt.trace", "0",
+     "record allocator trace events (implies counters)"},
+    {"LFM_TRACE_EVENTS", "opt.trace_events", "4096",
+     "per-thread trace-ring capacity in events"},
+    {"LFM_PROFILE", "opt.profile", "0",
+     "attach the sampling heap profiler (telemetry builds)"},
+    {"LFM_PROFILE_RATE", "opt.profile_rate", "524288",
+     "mean bytes between heap-profile samples"},
+    {"LFM_PROFILE_SEED", "opt.profile_seed", "0",
+     "fixed sampler seed for reproducible profiles"},
+    {"LFM_PROFILE_SITES", "opt.profile_sites", "1024",
+     "distinct allocation sites tracked"},
+    {"LFM_PROFILE_LIVE", "opt.profile_live", "8192",
+     "concurrently-live sampled objects tracked"},
+    {"LFM_PROFILE_DUMP", "opt.profile_dump", "lfm-heap",
+     "path prefix for signal-triggered heap-profile dumps"},
+    {"LFM_LEAK_REPORT", "opt.leak_report", "0",
+     "LD_PRELOAD shim prints a leak report at exit"},
+    {"LFM_RETAIN_MAX_BYTES", "retain.max_bytes", "unset",
+     "superblock-cache retention watermark in bytes (~0: keep all)"},
+    {"LFM_RETAIN_DECAY_MS", "retain.decay_ms", "-1",
+     "decay period for background cache trimming; <0 disables"},
+    {"LFM_FAIL_MAP", "debug.fail_map", "unset",
+     "fault injection: fail OS map calls after N successes"},
+    {"LFM_BENCH_SCALE", nullptr, "1.0",
+     "bench harness: duration multiplier for every cell"},
+    {"LFM_BENCH_SECONDS", nullptr, "unset",
+     "bench harness: per-cell seconds override"},
+    {"LFM_BENCH_MAXTHREADS", nullptr, "unset",
+     "bench harness: cap on the thread axis"},
+    {"LFM_METRICS_JSON", nullptr, "unset",
+     "bench harness: write metrics JSON here after the run"},
+    {"LFM_TRACE_JSON", nullptr, "unset",
+     "bench harness: write Chrome trace JSON here after the run"},
+    {"LFM_TEST_SEED", nullptr, "20260806",
+     "base seed for seeded schedule-exploration tests"},
+    {"LFM_SCHED_SEEDS", nullptr, "per-test",
+     "schedules explored per schedule-exploration test"},
+    {"LFM_SCHED_REPLAY", nullptr, "unset",
+     "replay one schedule: \"seed=S,preempt=P,casfail=F\""},
+};
+
+} // namespace
+
+const VarSpec &lfm::config::varSpec(Var V) {
+  return Table[static_cast<unsigned>(V)];
+}
+
+const char *lfm::config::varRaw(Var V) {
+  const char *Raw = std::getenv(varSpec(V).EnvName);
+  return (Raw && *Raw) ? Raw : nullptr;
+}
+
+bool lfm::config::varFlag(Var V) {
+  const char *Raw = varRaw(V);
+  return Raw && !(Raw[0] == '0' && Raw[1] == '\0');
+}
+
+bool lfm::config::varU64(Var V, std::uint64_t &Out) {
+  const char *Raw = varRaw(V);
+  if (!Raw)
+    return false;
+  char *End = nullptr;
+  const unsigned long long Val = std::strtoull(Raw, &End, 0);
+  if (End == Raw || *End != '\0')
+    return false;
+  Out = static_cast<std::uint64_t>(Val);
+  return true;
+}
+
+bool lfm::config::varI64(Var V, std::int64_t &Out) {
+  const char *Raw = varRaw(V);
+  if (!Raw)
+    return false;
+  char *End = nullptr;
+  const long long Val = std::strtoll(Raw, &End, 0);
+  if (End == Raw || *End != '\0')
+    return false;
+  Out = static_cast<std::int64_t>(Val);
+  return true;
+}
+
+bool lfm::config::varF64(Var V, double &Out) {
+  const char *Raw = varRaw(V);
+  if (!Raw)
+    return false;
+  char *End = nullptr;
+  const double Val = std::strtod(Raw, &End);
+  if (End == Raw || *End != '\0')
+    return false;
+  Out = Val;
+  return true;
+}

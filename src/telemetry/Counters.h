@@ -80,6 +80,16 @@ enum class Counter : unsigned {
   HyperblockMaps, ///< Hyperblocks mapped from the OS.
   HyperblockUnmaps, ///< Hyperblocks returned to the OS (trim).
 
+  // Memory-return traffic (retention watermark, decay, explicit trim).
+  SbDecommits,      ///< Cached superblocks whose tail pages were returned
+                    ///< to the OS (madvise) over the retention watermark.
+  SbRecommits,      ///< Decommitted superblocks handed back out (pages
+                    ///< refault zero-filled on first touch).
+  HyperblockParks,  ///< Fully-free hyperblocks decommitted and parked.
+  HyperblockUnparks,///< Parked hyperblocks pressed back into service.
+  TrimRuns,         ///< trimRetained() passes that won the trim slot.
+  OomRescues,       ///< Map failures recovered by trimming retained cache.
+
   // Telemetry self-accounting.
   TraceDrops, ///< Trace events dropped (no ring: thread index too high or
               ///< ring allocation failed).

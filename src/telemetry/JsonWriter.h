@@ -72,6 +72,11 @@ public:
     value(V);
   }
 
+  void field(const char *K, std::int64_t V) {
+    key(K);
+    value(V);
+  }
+
   void field(const char *K, bool V) {
     key(K);
     value(V);

@@ -42,6 +42,15 @@ struct MetricsSnapshot {
   std::uint64_t HazardScans = 0;        ///< Hazard-pointer scan() passes.
   std::uint64_t HazardReclaims = 0;     ///< Nodes freed by scans.
 
+  // Memory-return gauges.
+  std::uint64_t RetainedBytes = 0;        ///< Bytes idle in the sb cache.
+  std::uint64_t DecommittedSuperblocks = 0; ///< Cached sbs with pages
+                                            ///< returned to the OS.
+  std::uint64_t ParkedHyperblocks = 0;    ///< Fully-free hyperblocks held
+                                          ///< decommitted for reuse.
+  std::uint64_t RetainMaxBytes = 0;       ///< Retention watermark in force.
+  std::int64_t RetainDecayMs = -1;        ///< Decay period; -1 = off.
+
   // Trace-ring accounting (zero when tracing is off).
   std::uint64_t TraceEventsEmitted = 0;
   std::uint64_t TraceEventsOverwritten = 0;

@@ -70,6 +70,18 @@ const char *lfm::telemetry::counterName(Counter C) {
     return "hyperblock_maps";
   case Counter::HyperblockUnmaps:
     return "hyperblock_unmaps";
+  case Counter::SbDecommits:
+    return "sb_decommits";
+  case Counter::SbRecommits:
+    return "sb_recommits";
+  case Counter::HyperblockParks:
+    return "hyperblock_parks";
+  case Counter::HyperblockUnparks:
+    return "hyperblock_unparks";
+  case Counter::TrimRuns:
+    return "trim_runs";
+  case Counter::OomRescues:
+    return "oom_rescues";
   case Counter::TraceDrops:
     return "trace_drops";
   case Counter::CounterCount:
@@ -96,6 +108,10 @@ const char *lfm::telemetry::eventTypeName(EventType T) {
     return "os_map";
   case EventType::OsUnmap:
     return "os_unmap";
+  case EventType::OsDecommit:
+    return "os_decommit";
+  case EventType::Trim:
+    return "trim";
   case EventType::None:
   case EventType::EventTypeCount:
     break;
@@ -261,6 +277,10 @@ void lfm::telemetry::writeMetricsJson(const MetricsSnapshot &Snap,
   W.field("peak_bytes", Snap.Space.PeakBytes);
   W.field("map_calls", Snap.Space.MapCalls);
   W.field("unmap_calls", Snap.Space.UnmapCalls);
+  W.field("decommit_calls", Snap.Space.DecommitCalls);
+  W.field("bytes_decommitted", Snap.Space.BytesDecommitted);
+  W.field("map_retries", Snap.Space.MapRetries);
+  W.field("map_failures", Snap.Space.MapFailures);
   W.endObject();
 
   W.key("counters");
@@ -278,6 +298,11 @@ void lfm::telemetry::writeMetricsJson(const MetricsSnapshot &Snap,
   W.field("hazard_reclaims", Snap.HazardReclaims);
   W.field("trace_events_emitted", Snap.TraceEventsEmitted);
   W.field("trace_events_overwritten", Snap.TraceEventsOverwritten);
+  W.field("retained_bytes", Snap.RetainedBytes);
+  W.field("decommitted_superblocks", Snap.DecommittedSuperblocks);
+  W.field("parked_hyperblocks", Snap.ParkedHyperblocks);
+  W.field("retain_max_bytes", Snap.RetainMaxBytes);
+  W.field("retain_decay_ms", Snap.RetainDecayMs);
   W.endObject();
 
   W.endObject();

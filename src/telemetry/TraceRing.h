@@ -53,6 +53,9 @@ enum class EventType : std::uint32_t {
   DescRetired, ///< Descriptor passed to the hazard domain for reclamation.
   OsMap,       ///< Pages mapped from the OS (arg0 = bytes).
   OsUnmap,     ///< Pages returned to the OS (arg0 = bytes).
+  OsDecommit,  ///< Physical pages released, mapping kept (arg0 = bytes).
+  Trim,        ///< trimRetained() pass (arg0 = bytes released, arg1 =
+               ///< superblocks examined).
   EventTypeCount
 };
 

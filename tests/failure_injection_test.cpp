@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstring>
 #include <vector>
 
@@ -33,6 +34,33 @@ TEST(FailureInjection, PageAllocatorFailsOnCue) {
   Pages.unmap(A, OsPageSize);
   Pages.unmap(B, OsPageSize);
   Pages.unmap(C, OsPageSize);
+}
+
+TEST(FailureInjection, MapFailureSetsEnomemAndCountsRetries) {
+  PageAllocator Pages;
+  Pages.injectMapFailuresAfter(0);
+  errno = 0;
+  EXPECT_EQ(Pages.map(OsPageSize), nullptr);
+  EXPECT_EQ(errno, ENOMEM) << "failed map must set errno";
+  const PageStats St = Pages.stats();
+  EXPECT_EQ(St.MapFailures, 1u);
+  // The retry loop attempted more than once before giving up.
+  EXPECT_GE(St.MapRetries, 1u);
+  Pages.injectMapFailuresAfter(-1);
+}
+
+TEST(FailureInjection, FiniteFailureBudgetRecoversWithinOneMapCall) {
+  // A budget of one forced failure: the first attempt fails, the in-call
+  // retry succeeds — the caller never sees the blip.
+  PageAllocator Pages;
+  Pages.injectMapFailures(0, 1);
+  void *P = Pages.map(OsPageSize);
+  ASSERT_NE(P, nullptr) << "retry-with-backoff must absorb a transient "
+                           "failure";
+  const PageStats St = Pages.stats();
+  EXPECT_GE(St.MapRetries, 1u);
+  EXPECT_EQ(St.MapFailures, 0u);
+  Pages.unmap(P, OsPageSize);
 }
 
 TEST(FailureInjection, LargeMallocFailsGracefully) {
@@ -76,9 +104,13 @@ TEST(FailureInjection, CallocAndReallocPropagateOom) {
   void *P = Alloc.allocate(100);
   ASSERT_NE(P, nullptr);
   Alloc.debugInjectMapFailuresAfter(0);
+  errno = 0;
   EXPECT_EQ(Alloc.allocateZeroed(1 << 20, 1), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  errno = 0;
   EXPECT_EQ(Alloc.reallocate(P, 1 << 20), nullptr)
       << "failed realloc must return null";
+  EXPECT_EQ(errno, ENOMEM);
   Alloc.debugInjectMapFailuresAfter(-1);
   // P must still be intact and freeable after the failed realloc.
   Alloc.deallocate(P);

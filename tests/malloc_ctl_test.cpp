@@ -1,0 +1,295 @@
+//===- tests/malloc_ctl_test.cpp - Keyed control surface ------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// lf_malloc_ctl(): the Out/OutLen read protocol (probe, short buffer,
+// exact), the In write protocol, error codes (ENOENT/EINVAL/EPERM/EIO),
+// the stats/opt/retain/trim/dump key namespaces, byte-identical output
+// between every legacy lf_malloc_* dump function and its ctl key, and
+// the 1:1 mapping between the LFM_* environment registry and ctl keys.
+//
+// Everything here drives the process-wide default allocator, so each test
+// restores any knob it changes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFMalloc.h"
+#include "support/RuntimeConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return {};
+  std::string S;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    S.append(Buf, N);
+  std::fclose(F);
+  return S;
+}
+
+std::uint64_t getU64(const char *Key) {
+  std::uint64_t V = 0;
+  size_t Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl(Key, &V, &Len, nullptr, 0), 0) << Key;
+  EXPECT_EQ(Len, sizeof(V));
+  return V;
+}
+
+std::int64_t getI64(const char *Key) {
+  std::int64_t V = 0;
+  size_t Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl(Key, &V, &Len, nullptr, 0), 0) << Key;
+  return V;
+}
+
+void setU64(const char *Key, std::uint64_t V) {
+  EXPECT_EQ(lf_malloc_ctl(Key, nullptr, nullptr, &V, sizeof(V)), 0) << Key;
+}
+
+void setI64(const char *Key, std::int64_t V) {
+  EXPECT_EQ(lf_malloc_ctl(Key, nullptr, nullptr, &V, sizeof(V)), 0) << Key;
+}
+
+} // namespace
+
+TEST(MallocCtl, VersionProbeShortAndExactReads) {
+  // Probe: null Out stores the required size.
+  size_t Need = 0;
+  ASSERT_EQ(lf_malloc_ctl("version", nullptr, &Need, nullptr, 0), 0);
+  ASSERT_GT(Need, 1u);
+
+  // Short buffer: EINVAL, required size stored.
+  char Tiny[2];
+  size_t Len = sizeof(Tiny);
+  EXPECT_EQ(lf_malloc_ctl("version", Tiny, &Len, nullptr, 0), EINVAL);
+  EXPECT_EQ(Len, Need);
+
+  // Exact read.
+  std::vector<char> Buf(Need);
+  Len = Need;
+  ASSERT_EQ(lf_malloc_ctl("version", Buf.data(), &Len, nullptr, 0), 0);
+  EXPECT_STREQ(Buf.data(), "lfm-ctl-v1");
+
+  // Missing OutLen is an error; writing a read-only key is EPERM.
+  EXPECT_EQ(lf_malloc_ctl("version", Buf.data(), nullptr, nullptr, 0),
+            EINVAL);
+  EXPECT_EQ(lf_malloc_ctl("version", nullptr, nullptr, "x", 2), EPERM);
+}
+
+TEST(MallocCtl, UnknownKeysReturnEnoent) {
+  size_t Len = 8;
+  std::uint64_t V;
+  EXPECT_EQ(lf_malloc_ctl("no.such.key", &V, &Len, nullptr, 0), ENOENT);
+  EXPECT_EQ(lf_malloc_ctl("stats.no_such_counter", &V, &Len, nullptr, 0),
+            ENOENT);
+  EXPECT_EQ(lf_malloc_ctl("opt.no_such_option", &V, &Len, nullptr, 0),
+            ENOENT);
+  EXPECT_EQ(lf_malloc_ctl(nullptr, &V, &Len, nullptr, 0), EINVAL);
+}
+
+TEST(MallocCtl, StatsKeysTrackAllocatorActivity) {
+  void *P = lf_malloc(512);
+  ASSERT_NE(P, nullptr);
+  // Gauges and space stats work in every build; the default allocator has
+  // memory mapped the moment it exists.
+  EXPECT_GT(getU64("stats.bytes_in_use"), 0u);
+  EXPECT_GE(getU64("stats.peak_bytes"), getU64("stats.bytes_in_use"));
+  (void)getU64("stats.mallocs"); // Counter key resolves (0 without stats).
+  (void)getU64("stats.cached_superblocks");
+  (void)getU64("stats.retained_bytes");
+  (void)getU64("stats.decommitted_superblocks");
+  (void)getU64("stats.parked_hyperblocks");
+  (void)getI64("stats.retain_decay_ms");
+  // Writing any stats key is EPERM.
+  std::uint64_t V = 1;
+  EXPECT_EQ(lf_malloc_ctl("stats.mallocs", nullptr, nullptr, &V, sizeof(V)),
+            EPERM);
+  lf_free(P);
+}
+
+TEST(MallocCtl, RetainKnobsRoundTripAndRestore) {
+  const std::uint64_t OldMax = getU64("retain.max_bytes");
+  const std::int64_t OldDecay = getI64("retain.decay_ms");
+
+  setU64("retain.max_bytes", 8 << 20);
+  EXPECT_EQ(getU64("retain.max_bytes"), 8u << 20);
+  setI64("retain.decay_ms", 500);
+  EXPECT_EQ(getI64("retain.decay_ms"), 500);
+
+  // Wrong-size writes are EINVAL and leave the value alone.
+  std::uint32_t Narrow = 7;
+  EXPECT_EQ(lf_malloc_ctl("retain.max_bytes", nullptr, nullptr, &Narrow,
+                          sizeof(Narrow)),
+            EINVAL);
+  EXPECT_EQ(getU64("retain.max_bytes"), 8u << 20);
+  // A get with nowhere to put the value is EINVAL.
+  EXPECT_EQ(lf_malloc_ctl("retain.max_bytes", nullptr, nullptr, nullptr, 0),
+            EINVAL);
+
+  setU64("retain.max_bytes", OldMax);
+  setI64("retain.decay_ms", OldDecay);
+}
+
+TEST(MallocCtl, TrimActionReleasesRetainedSpike) {
+  // Spike and free enough small blocks that empty superblocks pile up in
+  // the retained cache, then trim through the ctl surface.
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 8192; ++I) {
+    void *P = lf_malloc(1024);
+    ASSERT_NE(P, nullptr);
+    Blocks.push_back(P);
+  }
+  for (void *P : Blocks)
+    lf_free(P);
+
+  std::uint64_t Released = 0;
+  size_t Len = sizeof(Released);
+  ASSERT_EQ(lf_malloc_ctl("trim", &Released, &Len, nullptr, 0), 0);
+  EXPECT_GT(Released, 0u) << "a retained spike must release something";
+
+  // Drained cache: the glibc-shaped wrapper reports nothing to release.
+  EXPECT_EQ(lf_malloc_trim(0), 0);
+
+  // A keep-bytes input of the wrong size is EINVAL.
+  std::uint32_t Bad = 0;
+  EXPECT_EQ(lf_malloc_ctl("trim", nullptr, nullptr, &Bad, sizeof(Bad)),
+            EINVAL);
+
+  // The allocator still serves after trimming.
+  void *P = lf_malloc(1024);
+  ASSERT_NE(P, nullptr);
+  lf_free(P);
+}
+
+TEST(MallocCtl, OptKeysEchoResolvedOptions) {
+  // The test environment does not set LFM_STATS/LFM_TRACE, so the echoes
+  // read their defaults; what matters is that every key resolves and is
+  // read-only.
+  EXPECT_EQ(getU64("opt.stats"), 0u);
+  EXPECT_EQ(getU64("opt.trace"), 0u);
+  EXPECT_GT(getU64("opt.trace_events"), 0u);
+  (void)getU64("opt.profile");
+  EXPECT_GT(getU64("opt.profile_rate"), 0u);
+  (void)getU64("opt.profile_seed");
+  EXPECT_GT(getU64("opt.profile_sites"), 0u);
+  EXPECT_GT(getU64("opt.profile_live"), 0u);
+  char Prefix[256];
+  size_t Len = sizeof(Prefix);
+  ASSERT_EQ(lf_malloc_ctl("opt.profile_dump", Prefix, &Len, nullptr, 0), 0);
+  EXPECT_STREQ(Prefix, "lfm-heap");
+  (void)getU64("opt.leak_report");
+  std::uint64_t V = 1;
+  EXPECT_EQ(lf_malloc_ctl("opt.stats", nullptr, nullptr, &V, sizeof(V)),
+            EPERM);
+}
+
+TEST(MallocCtl, DebugFailMapArmsAndDisarms) {
+  // Arm far in the future (harmless), read the echo back, then disarm.
+  std::int64_t Arm[2] = {std::int64_t{1} << 40, -1};
+  ASSERT_EQ(lf_malloc_ctl("debug.fail_map", nullptr, nullptr, Arm,
+                          sizeof(Arm)),
+            0);
+  EXPECT_EQ(getI64("debug.fail_map"), std::int64_t{1} << 40);
+  std::int64_t Disarm = -1;
+  ASSERT_EQ(lf_malloc_ctl("debug.fail_map", nullptr, nullptr, &Disarm,
+                          sizeof(Disarm)),
+            0);
+  EXPECT_EQ(getI64("debug.fail_map"), -1);
+  void *P = lf_malloc(64);
+  EXPECT_NE(P, nullptr);
+  lf_free(P);
+}
+
+TEST(MallocCtl, DumpKeysRejectBadPaths) {
+  EXPECT_EQ(lf_malloc_ctl("dump.metrics", nullptr, nullptr,
+                          "/nonexistent-dir-lfm/x.json",
+                          sizeof("/nonexistent-dir-lfm/x.json")),
+            EIO);
+  // A path that is not NUL-terminated within InLen is malformed.
+  const char Raw[4] = {'a', 'b', 'c', 'd'};
+  EXPECT_EQ(lf_malloc_ctl("dump.metrics", nullptr, nullptr, Raw, 4), EINVAL);
+}
+
+TEST(MallocCtl, LegacyDumpFunctionsMatchCtlByteForByte) {
+  // Each legacy function must round-trip through lf_malloc_ctl with
+  // identical bytes. No allocator traffic happens between the paired
+  // dumps, so the snapshots they serialize are identical.
+  const struct {
+    const char *CtlKey;
+    int (*Legacy)(const char *);
+  } Pairs[] = {
+      {"dump.metrics", lf_malloc_metrics_json},
+      {"dump.trace", lf_malloc_trace_dump},
+      {"dump.topology", lf_malloc_heap_topology_json},
+      {"dump.heap_profile", lf_malloc_heap_profile},
+      {"dump.heap_profile_json", lf_malloc_heap_profile_json},
+  };
+  for (const auto &Pair : Pairs) {
+    const std::string A = std::string("./ctl_golden_legacy.out");
+    const std::string B = std::string("./ctl_golden_ctl.out");
+    ASSERT_EQ(Pair.Legacy(A.c_str()), 0) << Pair.CtlKey;
+    ASSERT_EQ(lf_malloc_ctl(Pair.CtlKey, nullptr, nullptr, B.c_str(),
+                            std::strlen(B.c_str()) + 1),
+              0)
+        << Pair.CtlKey;
+    const std::string LegacyOut = slurp(A);
+    const std::string CtlOut = slurp(B);
+    std::remove(A.c_str());
+    std::remove(B.c_str());
+    ASSERT_FALSE(LegacyOut.empty()) << Pair.CtlKey;
+    EXPECT_EQ(LegacyOut, CtlOut) << Pair.CtlKey << " output diverged";
+  }
+}
+
+TEST(MallocCtl, LeakReportLegacyMatchesCtl) {
+  // The legacy entry point writes to stderr; capture it and compare with
+  // the ctl key writing to a file.
+  testing::internal::CaptureStderr();
+  lf_malloc_leak_report();
+  const std::string Legacy = testing::internal::GetCapturedStderr();
+  const std::string Path = "./ctl_leak_report.out";
+  ASSERT_EQ(lf_malloc_ctl("dump.leak_report", nullptr, nullptr, Path.c_str(),
+                          Path.size() + 1),
+            0);
+  const std::string Ctl = slurp(Path);
+  std::remove(Path.c_str());
+  ASSERT_FALSE(Legacy.empty());
+  EXPECT_EQ(Legacy, Ctl);
+}
+
+TEST(MallocCtl, EnvRegistryMapsOneToOneOntoCtlKeys) {
+  // Every LFM_* variable that configures the default allocator declares
+  // its ctl key in the RuntimeConfig registry; each such key must resolve
+  // (a size probe succeeds). This is the contract that keeps the env
+  // table, the ctl namespace, and docs/API.md from drifting apart.
+  using namespace lfm::config;
+  unsigned Mapped = 0;
+  for (unsigned I = 0; I < NumVars; ++I) {
+    const VarSpec &Spec = varSpec(static_cast<Var>(I));
+    ASSERT_NE(Spec.EnvName, nullptr);
+    EXPECT_EQ(std::strncmp(Spec.EnvName, "LFM_", 4), 0) << Spec.EnvName;
+    ASSERT_NE(Spec.Help, nullptr);
+    if (!Spec.CtlKey)
+      continue; // Tool-only variable (bench harness, sched tests).
+    size_t Need = 0;
+    EXPECT_EQ(lf_malloc_ctl(Spec.CtlKey, nullptr, &Need, nullptr, 0), 0)
+        << Spec.EnvName << " -> " << Spec.CtlKey << " does not resolve";
+    EXPECT_GT(Need, 0u) << Spec.CtlKey;
+    ++Mapped;
+  }
+  EXPECT_EQ(Mapped, 13u) << "allocator-facing variable count changed; "
+                            "update docs/API.md and this test";
+}

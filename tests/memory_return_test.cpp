@@ -1,0 +1,321 @@
+//===- tests/memory_return_test.cpp - Bounded retention and OOM rescue ----===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The memory-return subsystem: watermark decommit on release, explicit
+// trimming (releaseMemory / lf_malloc_trim), decay-driven background
+// trimming, hyperblock parking, the OOM rescue path (trim-and-retry when
+// the OS refuses mappings), and AllocatorOptions validation. Everything
+// is asserted through the metrics snapshot so the same expectations hold
+// in telemetry and no-telemetry builds (counters are gated on
+// TelemetryCompiled; gauges and PageStats work everywhere).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/Config.h"
+#include "lfmalloc/LFAllocator.h"
+#include "telemetry/MetricsSnapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+/// Fills \p Blocks with \p Count touched small allocations.
+void spike(LFAllocator &Alloc, std::vector<void *> &Blocks,
+           std::size_t Count, std::size_t Bytes = 1024) {
+  for (std::size_t I = 0; I < Count; ++I) {
+    void *P = Alloc.allocate(Bytes);
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0x7e, Bytes);
+    Blocks.push_back(P);
+  }
+}
+
+void freeAll(LFAllocator &Alloc, std::vector<void *> &Blocks) {
+  for (void *P : Blocks)
+    Alloc.deallocate(P);
+  Blocks.clear();
+}
+
+} // namespace
+
+TEST(MemoryReturn, WatermarkDecommitsReleasedSuperblocks) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.RetainMaxBytes = 4 * Opts.SuperblockSize;
+  LFAllocator Alloc(Opts);
+
+  // ~4 MB of small blocks, then free: far past the 64 KB watermark, so
+  // releases must decommit.
+  std::vector<void *> Blocks;
+  spike(Alloc, Blocks, 4096);
+  freeAll(Alloc, Blocks);
+
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_GT(Snap.Space.DecommitCalls, 0u)
+      << "no pages went back to the OS despite the watermark";
+  EXPECT_GT(Snap.Space.BytesDecommitted, 0u);
+  EXPECT_GT(Snap.DecommittedSuperblocks, 0u);
+  EXPECT_EQ(Snap.RetainMaxBytes, Opts.RetainMaxBytes);
+
+  // Decommitted superblocks must come back as usable memory.
+  spike(Alloc, Blocks, 4096);
+  freeAll(Alloc, Blocks);
+  std::string Msg;
+  EXPECT_TRUE(Alloc.debugValidate(&Msg)) << Msg;
+}
+
+TEST(MemoryReturn, ExplicitTrimParksHyperblocksAndReports) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  LFAllocator Alloc(Opts);
+
+  std::vector<void *> Blocks;
+  spike(Alloc, Blocks, 8192); // ~8 MB: several hyperblocks.
+  freeAll(Alloc, Blocks);
+
+  const std::uint64_t CachedBefore =
+      Alloc.metricsSnapshot().CachedSuperblocks;
+  EXPECT_GT(CachedBefore, 0u);
+
+  const std::size_t Released = Alloc.releaseMemory(0);
+  EXPECT_GT(Released, 0u) << "a full cache must release something";
+
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_GT(Snap.ParkedHyperblocks, 0u)
+      << "fully-free hyperblocks should be parked, not kept hot";
+  if (Snap.TelemetryCompiled && Snap.StatsEnabled) {
+    EXPECT_GT(Snap.counter(telemetry::Counter::HyperblockParks), 0u);
+  }
+
+  // Idempotence: a second trim on the emptied cache releases ~nothing.
+  EXPECT_EQ(Alloc.releaseMemory(0), 0u);
+
+  // Parked hyperblocks must unpark and serve the next spike.
+  spike(Alloc, Blocks, 8192);
+  freeAll(Alloc, Blocks);
+  std::string Msg;
+  EXPECT_TRUE(Alloc.debugValidate(&Msg)) << Msg;
+}
+
+TEST(MemoryReturn, TrimHonorsKeepBytes) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  LFAllocator Alloc(Opts);
+
+  std::vector<void *> Blocks;
+  spike(Alloc, Blocks, 8192);
+  freeAll(Alloc, Blocks);
+
+  const std::size_t Keep = 2 * Opts.HyperblockSize;
+  Alloc.releaseMemory(Keep);
+
+  // The keep budget stays committed: cached minus decommitted covers it.
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  const std::uint64_t CommittedCached =
+      (Snap.CachedSuperblocks - Snap.DecommittedSuperblocks) *
+      Opts.SuperblockSize;
+  EXPECT_GE(CommittedCached + Opts.SuperblockSize, Keep)
+      << "trim released superblocks the keep budget should have spared";
+}
+
+TEST(MemoryReturn, DecayTrimsFromAllocatorSlowPaths) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.RetainDecayMs = 10;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+  EXPECT_EQ(Alloc.retainDecayMs(), 10);
+
+  std::vector<void *> Blocks;
+  spike(Alloc, Blocks, 8192);
+  freeAll(Alloc, Blocks);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Slow-path traffic after the period: a burst bigger than one Active
+  // superblock, so acquire()/release() run and notice the elapsed decay.
+  spike(Alloc, Blocks, 256);
+  freeAll(Alloc, Blocks);
+
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_GT(Snap.ParkedHyperblocks + Snap.Space.DecommitCalls, 0u)
+      << "decay never trimmed";
+  if (Snap.TelemetryCompiled) {
+    EXPECT_GT(Snap.counter(telemetry::Counter::TrimRuns), 0u);
+  }
+}
+
+TEST(MemoryReturn, OomRescueTrimsCacheAndRetries) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+
+  // Fill the retained cache, so a rescue has something to give back.
+  std::vector<void *> Blocks;
+  spike(Alloc, Blocks, 8192);
+  freeAll(Alloc, Blocks);
+
+  // Every map attempt fails until the finite budget (covering the whole
+  // in-call retry loop) is spent; the rescue's trim-then-retry issues a
+  // fresh map call that succeeds.
+  Alloc.debugInjectMapFailures(0, 3);
+  void *P = Alloc.allocate(1 << 20);
+  EXPECT_NE(P, nullptr)
+      << "trim-and-retry should have absorbed the map failures";
+  Alloc.deallocate(P);
+  Alloc.debugInjectMapFailuresAfter(-1);
+
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_GE(Snap.Space.MapRetries, 1u);
+  if (Snap.TelemetryCompiled) {
+    EXPECT_GE(Snap.counter(telemetry::Counter::OomRescues), 1u);
+  }
+  std::string Msg;
+  EXPECT_TRUE(Alloc.debugValidate(&Msg)) << Msg;
+}
+
+TEST(MemoryReturn, ExhaustedAllocatorReportsEnomemAndStaysValid) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  LFAllocator Alloc(Opts);
+  Alloc.debugInjectMapFailuresAfter(0);
+
+  errno = 0;
+  EXPECT_EQ(Alloc.allocate(1 << 20), nullptr);
+  EXPECT_EQ(errno, ENOMEM) << "large path must report ENOMEM";
+
+  // The small path eventually needs a fresh superblock; every failure on
+  // the way there must read ENOMEM too, never crash.
+  void *Last = nullptr;
+  std::vector<void *> Small;
+  for (int I = 0; I < 100'000; ++I) {
+    errno = 0;
+    Last = Alloc.allocate(256);
+    if (!Last)
+      break;
+    Small.push_back(Last);
+  }
+  EXPECT_EQ(Last, nullptr) << "exhaustion never surfaced";
+  EXPECT_EQ(errno, ENOMEM) << "small path must report ENOMEM";
+
+  std::string Msg;
+  EXPECT_TRUE(Alloc.debugValidate(&Msg))
+      << "invariants broken after OOM: " << Msg;
+
+  Alloc.debugInjectMapFailuresAfter(-1);
+  void *P = Alloc.allocate(256);
+  EXPECT_NE(P, nullptr) << "must recover once memory returns";
+  Alloc.deallocate(P);
+  freeAll(Alloc, Small);
+}
+
+TEST(MemoryReturn, ConcurrentThreadsProgressThroughOomWaves) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 4;
+  LFAllocator Alloc(Opts);
+
+  constexpr unsigned Threads = 4;
+  std::atomic<bool> Stop{false};
+  std::atomic<std::uint64_t> Successes{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&Alloc, &Stop, &Successes, T] {
+      std::vector<void *> Mine;
+      unsigned Round = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        void *P = Alloc.allocate(64 + (T * 37 + Round) % 900);
+        if (P) {
+          Mine.push_back(P);
+          Successes.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (Mine.size() > 64 || (!P && !Mine.empty())) {
+          for (void *Q : Mine)
+            Alloc.deallocate(Q);
+          Mine.clear();
+        }
+        ++Round;
+      }
+      for (void *Q : Mine)
+        Alloc.deallocate(Q);
+    });
+  }
+
+  // Waves of total map failure while the workers run: allocation may fail
+  // (null), but nothing may crash or wedge, and frees must keep working.
+  for (int Wave = 0; Wave < 10; ++Wave) {
+    Alloc.debugInjectMapFailuresAfter(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Alloc.debugInjectMapFailuresAfter(-1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_GT(Successes.load(), 0u);
+  std::string Msg;
+  EXPECT_TRUE(Alloc.debugValidate(&Msg)) << Msg;
+}
+
+TEST(MemoryReturn, RetentionKnobsRoundTripOnInstance) {
+  LFAllocator Alloc;
+  EXPECT_EQ(Alloc.retainMaxBytes(), ~std::size_t{0});
+  EXPECT_EQ(Alloc.retainDecayMs(), -1);
+  Alloc.setRetainMaxBytes(1 << 20);
+  Alloc.setRetainDecayMs(250);
+  EXPECT_EQ(Alloc.retainMaxBytes(), std::size_t{1} << 20);
+  EXPECT_EQ(Alloc.retainDecayMs(), 250);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_EQ(Snap.RetainMaxBytes, std::uint64_t{1} << 20);
+  EXPECT_EQ(Snap.RetainDecayMs, 250);
+}
+
+TEST(OptionsValidate, ClampsOutOfRangeFieldsAndReports) {
+  AllocatorOptions Opts;
+  Opts.SuperblockSize = 5000;          // Not a power of two.
+  Opts.HyperblockSize = 8192;          // Below 4x superblock.
+  Opts.NumHeaps = 100'000;             // Above the cap.
+  Opts.PartialSlotsPerHeap = 0;        // Below minimum.
+  Opts.CreditsLimit = 1000;            // Above MaxCredits.
+  Opts.ProfileRateBytes = 0;           // Degenerate sampling rate.
+  AllocatorOptions::Diagnostic Diag;
+  EXPECT_FALSE(Opts.validate(&Diag));
+  EXPECT_TRUE(Diag.Clamped);
+  EXPECT_NE(std::strstr(Diag.Text, "SuperblockSize"), nullptr) << Diag.Text;
+  EXPECT_EQ(Opts.SuperblockSize, 8192u); // 5000 rounds up to 8192.
+  EXPECT_GE(Opts.HyperblockSize, 4 * Opts.SuperblockSize);
+  EXPECT_EQ(Opts.NumHeaps, 4096u);
+  EXPECT_EQ(Opts.PartialSlotsPerHeap, 1u);
+  EXPECT_EQ(Opts.CreditsLimit, MaxCredits);
+  EXPECT_EQ(Opts.ProfileRateBytes, 1u);
+
+  // Defaults are valid and untouched.
+  AllocatorOptions Good;
+  AllocatorOptions::Diagnostic NoDiag;
+  EXPECT_TRUE(Good.validate(&NoDiag));
+  EXPECT_FALSE(NoDiag.Clamped);
+}
+
+TEST(OptionsValidate, ConstructorClampsInsteadOfMisbehaving) {
+  AllocatorOptions Opts;
+  Opts.NumHeaps = 1;
+  Opts.SuperblockSize = 3000; // Invalid; ctor must clamp, then work.
+  Opts.HyperblockSize = 0;
+  LFAllocator Alloc(Opts);
+  EXPECT_EQ(Alloc.options().SuperblockSize, 4096u);
+  void *P = Alloc.allocate(128);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 1, 128);
+  Alloc.deallocate(P);
+}

@@ -12,9 +12,17 @@
 //                named by argv[2] until it appears (written by the shim's
 //                SIGUSR2 handler when the parent signals us); exit 0 when
 //                seen, 4 on timeout
+//   trim-rss     spike ~64 MB of small blocks, free them, print RSS,
+//                call malloc_trim(0), print RSS again; exit 0
+//   oom-enomem   (run with LFM_FAIL_MAP set) allocate 1 MB blocks until
+//                malloc returns null; exit 0 iff errno reads ENOMEM at
+//                that point, 3 if malloc never failed, 4 on wrong errno.
+//                No churn first and no stdio after arming — under
+//                fail-forever even libc's printf buffers cannot allocate.
 //
 //===----------------------------------------------------------------------===//
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,10 +54,55 @@ void *churn() {
   return Last;
 }
 
+std::size_t rssBytes() {
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Rss = 0;
+  const int Got = std::fscanf(F, "%llu %llu", &Size, &Rss);
+  std::fclose(F);
+  return Got == 2 ? static_cast<std::size_t>(Rss) * 4096 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   const char *Mode = Argc > 1 ? Argv[1] : "churn";
+
+  if (std::strcmp(Mode, "trim-rss") == 0) {
+    constexpr unsigned Count = 64 * 1024;
+    static void *Blocks[Count];
+    for (unsigned I = 0; I < Count; ++I) {
+      Blocks[I] = malloc(1024);
+      if (!Blocks[I])
+        return 2;
+      std::memset(Blocks[I], 0x5a, 1024);
+    }
+    for (unsigned I = 0; I < Count; ++I)
+      free(Blocks[I]);
+    const std::size_t Before = rssBytes();
+    malloc_trim(0);
+    const std::size_t After = rssBytes();
+    std::printf("rss_spike=%zu rss_trimmed=%zu\n", Before, After);
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "oom-enomem") == 0) {
+    for (unsigned I = 0; I < 256; ++I) {
+      errno = 0;
+      void *P = malloc(1 << 20); // Large path: one OS map per block.
+      if (!P) {
+        const bool Enomem = errno == ENOMEM;
+        const char *Msg = Enomem ? "got ENOMEM\n" : "wrong errno\n";
+        if (write(STDOUT_FILENO, Msg, std::strlen(Msg)) < 0)
+          return 6;
+        return Enomem ? 0 : 4;
+      }
+      std::memset(P, 0x33, 64); // Touch the head; keep the block live.
+    }
+    return 3; // Injection never fired.
+  }
+
   void *Keep = churn();
   if (!Keep)
     return 2;

@@ -75,6 +75,41 @@ TEST(Preload, AllocationHeavyToolSurvives) {
       0);
 }
 
+TEST(Preload, MallocTrimReturnsSpikeRss) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // The probe spikes ~64 MB of small blocks, frees them (the shim retains
+  // every empty superblock by default), then calls glibc's malloc_trim —
+  // interposed onto lf_malloc_trim. At least half the retained spike must
+  // leave the resident set.
+  const std::string Out = "./preload_trim_rss.out";
+  ASSERT_EQ(runPreloaded(std::string(probePath()) + " trim-rss > " + Out),
+            0);
+  const std::string Text = slurp(Out);
+  std::remove(Out.c_str());
+  unsigned long long Spike = 0, Trimmed = 0;
+  ASSERT_EQ(std::sscanf(Text.c_str(), "rss_spike=%llu rss_trimmed=%llu",
+                        &Spike, &Trimmed),
+            2)
+      << Text;
+  ASSERT_GT(Spike, 64ull * 1024 * 1024) << "spike never became resident";
+  EXPECT_LT(Trimmed, Spike / 2)
+      << "malloc_trim returned too little: spike=" << Spike
+      << " trimmed=" << Trimmed;
+}
+
+TEST(Preload, MallocReturnsEnomemUnderFailMap) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // LFM_FAIL_MAP=48 arms the shim's allocator to refuse OS maps after 48
+  // more succeed. The probe then allocates 1 MB blocks until malloc fails
+  // and exits 0 only if the failure surfaced as null + errno == ENOMEM
+  // (exit 3: never failed, 4: wrong errno).
+  EXPECT_EQ(runPreloaded("env LFM_FAIL_MAP=48 " + std::string(probePath()) +
+                         " oom-enomem > /dev/null"),
+            0);
+}
+
 TEST(Preload, MallocInfoEmitsLfmallocXml) {
   if (!shimAvailable() || !probePath())
     GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
