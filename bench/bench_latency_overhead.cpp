@@ -1,0 +1,140 @@
+//===- bench_latency_overhead.cpp - Latency-sampling overhead guard -------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Measures what the sampled latency recorder costs the hot path: an
+// 8-thread malloc/free pair loop with stats on, run at sampling period 0
+// (recorder absent, begin() is a single predicted branch) and at the
+// default period 64. The observability layer's contract is that the
+// default-rate overhead stays under 3% on that 8-thread configuration;
+// with LFM_BENCH_ENFORCE=1 in the environment (the CI regression job) an
+// unambiguous overshoot fails the process (see the estimator and budget
+// notes in main()).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+#include "lfmalloc/LFAllocator.h"
+#include "support/Barrier.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+/// The documented bound is on the 8-thread pair bench; on hosts with
+/// fewer cores an 8-way spin-barrier workload measures the scheduler,
+/// not the recorder, so the count adapts downward. On a single-CPU host
+/// even two threads only time-slice — they cannot actually race — so the
+/// measurement drops to one thread rather than benchmarking the context
+/// switch.
+unsigned numThreads() {
+  const unsigned Hw = std::thread::hardware_concurrency();
+  return Hw >= 8 ? 8 : (Hw >= 2 ? Hw : 1);
+}
+const unsigned NumThreads = numThreads();
+
+/// One timed run: every thread does \p Pairs malloc(64)/free pairs after a
+/// barrier; \returns aggregate pairs per second.
+double pairRate(std::uint64_t SamplePeriod, std::uint64_t Pairs) {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.LatencySamplePeriod = SamplePeriod;
+  LFAllocator Alloc(Opts);
+
+  SpinBarrier Barrier(NumThreads + 1);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      Barrier.arriveAndWait();
+      for (std::uint64_t I = 0; I < Pairs; ++I) {
+        void *P = Alloc.allocate(64);
+        if (P == nullptr)
+          std::abort();
+        Alloc.deallocate(P);
+      }
+      Barrier.arriveAndWait();
+    });
+
+  Barrier.arriveAndWait(); // Start the timed region with everyone ready.
+  Stopwatch Watch;
+  Barrier.arriveAndWait();
+  const double Seconds = Watch.elapsedSeconds();
+  for (std::thread &T : Threads)
+    T.join();
+  return static_cast<double>(Pairs) * NumThreads / Seconds;
+}
+
+} // namespace
+
+int main() {
+  const std::uint64_t Pairs = benchScale().scaled(400'000);
+
+  // Interleaved warmup so CPU frequency state is comparable.
+  pairRate(0, Pairs / 4);
+  pairRate(64, Pairs / 4);
+
+  // Back-to-back (off, sampled) pairs, judged by the MEDIAN of the
+  // per-pair overhead ratios. A shared or thermally drifting machine
+  // perturbs throughput by far more than the effect under test; taking
+  // the ratio within each adjacent pair cancels the drift, and the
+  // median discards the runs a scheduler hiccup poisoned outright.
+  constexpr unsigned Rounds = 7;
+  double Ratio[Rounds];
+  double Off = 0, Sampled = 0;
+  for (unsigned Run = 0; Run < Rounds; ++Run) {
+    const double R0 = pairRate(0, Pairs);
+    const double R64 = pairRate(64, Pairs);
+    Ratio[Run] = R0 > 0 ? (R0 - R64) / R0 * 100.0 : 0.0;
+    if (R0 > Off)
+      Off = R0;
+    if (R64 > Sampled)
+      Sampled = R64;
+  }
+  std::sort(Ratio, Ratio + Rounds);
+  const double MedianPct = Ratio[Rounds / 2];
+  // Second estimator: ratio of the best rates. Timing noise on a shared
+  // machine is one-sided (a hiccup only ever slows a run down), so the
+  // best of N runs converges on the clean-machine rate for each
+  // configuration, and their ratio isolates the effect under test.
+  const double BestPct = Off > 0 ? (Off - Sampled) / Off * 100.0 : 0.0;
+
+  // The documented <3% bound is defined on the 8-thread pair bench, whose
+  // contended baseline pair is ~2x the cost of an uncontended one. A host
+  // too small to run anything like that shape (one or two hardware
+  // threads) has a baseline so cheap that two bare rdtsc reads per sample
+  // already exceed 3% — unreachable for any implementation — so such
+  // hosts enforce a looser bound that still catches the regression class
+  // this guard exists for (e.g. hot-path false sharing measured at ~12%).
+  const double Budget = NumThreads >= 4 ? 3.0 : 8.0;
+
+  std::printf("latency-sampling overhead, %u threads, %llu pairs/thread\n",
+              NumThreads, static_cast<unsigned long long>(Pairs));
+  std::printf("  period 0  : %12.0f pairs/s (best)\n", Off);
+  std::printf("  period 64 : %12.0f pairs/s (best)\n", Sampled);
+  std::printf("  overhead  : %+.2f%% median of %u round ratios "
+              "[%+.2f%% .. %+.2f%%]; %+.2f%% best-of rates "
+              "(budget %.0f%%)\n",
+              MedianPct, Rounds, Ratio[0], Ratio[Rounds - 1], BestPct,
+              Budget);
+
+  // Fail only when both independent estimators agree the budget is blown:
+  // each is noisy on shared hardware, and a genuine hot-path regression
+  // (the kind this guard is for) shows up unambiguously in both.
+  const char *Enforce = std::getenv("LFM_BENCH_ENFORCE");
+  if (Enforce && Enforce[0] != '\0' && Enforce[0] != '0' &&
+      MedianPct > Budget && BestPct > Budget) {
+    std::fprintf(stderr,
+                 "FAIL: latency sampling costs %.2f%% (median) / %.2f%% "
+                 "(best-of) > %.0f%% budget\n",
+                 MedianPct, BestPct, Budget);
+    return 1;
+  }
+  return 0;
+}

@@ -157,6 +157,19 @@ struct AllocatorOptions {
   std::uint32_t ProfileSiteCapacity = 1024;
   std::uint32_t ProfileLiveCapacity = 8192;
 
+  /// Mean operations between latency samples when EnableStats is on
+  /// (geometric gaps; see telemetry/LatencyRecorder.h). 0 disables latency
+  /// recording entirely, 1 times every operation. Only effective in
+  /// telemetry builds with EnableStats — the recorder rides on the
+  /// telemetry block and the hot-path probe is a single predicted-false
+  /// branch when stats are off.
+  std::uint64_t LatencySamplePeriod = 64;
+
+  /// Seed for the latency sampler's per-thread gap RNGs; 0 keeps the
+  /// built-in default. A fixed seed makes single-threaded sampling
+  /// sequences reproducible for tests.
+  std::uint64_t LatencySampleSeed = 0;
+
   /// Points inside malloc/free where a thread can be delayed arbitrarily.
   /// The paper's progress argument is precisely that a thread stalled (or
   /// killed) at ANY such point never blocks others; the chaos tests prove

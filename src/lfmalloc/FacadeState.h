@@ -34,6 +34,18 @@ extern char ProfileDumpPrefix[ProfileDumpPrefixCap];
 /// (LFM_LEAK_REPORT); cached here so `opt.leak_report` can echo it.
 extern std::atomic<bool> LeakReportRequested;
 
+inline constexpr std::size_t StatsPrefixCap = 256;
+
+/// Path prefix for background-exporter and signal-dump latency/metrics
+/// artifacts. Cached out of LFM_STATS_PREFIX when the default allocator is
+/// created for the same reason as ProfileDumpPrefix: getenv is not
+/// async-signal-safe. Defined in MallocCtl.cpp.
+extern char StatsPrefix[StatsPrefixCap];
+
+/// Interval the background stats exporter was last started with (0 when
+/// never started or stopped); `opt.stats_interval_ms` echoes it.
+extern std::atomic<std::uint64_t> StatsIntervalMs;
+
 /// Last map-failure injection armed through LFM_FAIL_MAP or
 /// `debug.fail_map` (-1: never armed). Purely informational — the live
 /// countdown belongs to the PageAllocator.

@@ -14,7 +14,9 @@
 #include "profiling/HeapProfiler.h"
 #include "profiling/HeapTopology.h"
 #include "schedtest/SchedPoint.h"
+#include "support/CycleClock.h"
 #include "support/ThreadRegistry.h"
+#include "telemetry/PromWriter.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -161,6 +163,46 @@ struct RetryCounter {
   } while (0)
 #endif
 
+// Latency-sampling hooks. LAT_BEGIN at the top of an operation returns a
+// start tick when this operation is sampled (0 otherwise — roughly
+// (period-1)/period of the time the whole feature is one predicted branch
+// plus a countdown store). LAT_END files the elapsed time at the outcome
+// point that actually served the operation; its Path/Class arguments are
+// evaluated only for sampled operations, so attribution lookups stay off
+// the common path. LAT_RARE_* time every occurrence of rare maintenance
+// paths (trim, OOM rescue). All four vanish — arguments unevaluated —
+// under LFM_TELEMETRY=0.
+#if LFM_TELEMETRY
+#define LAT_BEGIN()                                                          \
+  (LFM_UNLIKELY(Tel != nullptr) ? Tel->latencyBegin() : std::uint64_t{0})
+#define LAT_END(Start, Path, Class)                                          \
+  do {                                                                       \
+    if (LFM_UNLIKELY((Start) != 0))                                          \
+      Tel->latencyEnd((Start), ::lfm::telemetry::LatencyPath::Path,          \
+                      (Class));                                              \
+  } while (0)
+#define LAT_RARE_BEGIN()                                                     \
+  (LFM_UNLIKELY(Tel != nullptr) ? Tel->latency().rareBegin()                 \
+                                : std::uint64_t{0})
+#define LAT_RARE_END(Start, Path)                                            \
+  do {                                                                       \
+    if (LFM_UNLIKELY((Start) != 0))                                          \
+      Tel->latency().rareEnd((Start),                                        \
+                             ::lfm::telemetry::LatencyPath::Path);           \
+  } while (0)
+#else
+#define LAT_BEGIN() (std::uint64_t{0})
+#define LAT_END(Start, Path, Class)                                          \
+  do {                                                                       \
+    (void)(Start);                                                           \
+  } while (0)
+#define LAT_RARE_BEGIN() (std::uint64_t{0})
+#define LAT_RARE_END(Start, Path)                                            \
+  do {                                                                       \
+    (void)(Start);                                                           \
+  } while (0)
+#endif
+
 namespace {
 
 /// Validates a caller's options up front so every member (notably the
@@ -255,6 +297,14 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
     telemetry::Telemetry::Options TelOpts;
     TelOpts.Trace = Opts.EnableTrace;
     TelOpts.TraceEventsPerThread = Opts.TraceEventsPerThread;
+    // Latency sampling rides on EnableStats (its histograms are part of
+    // the stats surface). Calibrate the cycle clock before any sample can
+    // need it — construction is the designated cold path.
+    TelOpts.LatencySamplePeriod =
+        Opts.EnableStats ? Opts.LatencySamplePeriod : 0;
+    TelOpts.LatencySeed = Opts.LatencySampleSeed;
+    if (TelOpts.LatencySamplePeriod != 0)
+      cycleclock::calibrate();
     Tel = new (Base + StatsOffset) telemetry::Telemetry(TelOpts);
     Descs.setTelemetry(Tel);
     SbCache.setTelemetry(Tel);
@@ -328,10 +378,12 @@ ProcHeap *LFAllocator::findHeap(unsigned Class) {
 void *LFAllocator::allocate(std::size_t Bytes) {
   PROF_ASSERT_NO_REENTRY();
   CTR(Mallocs);
+  const std::uint64_t LatStart = LAT_BEGIN();
   const unsigned Class = sizeToClass(Bytes);
   if (Class >= ClassCount) { // Fig. 4 malloc lines 2-3: large block.
     void *Addr = largeMalloc(Bytes);
     PROF_ALLOC(Addr, Bytes);
+    LAT_END(LatStart, MallocLarge, NumSizeClasses);
     return Addr;
   }
 
@@ -343,23 +395,30 @@ void *LFAllocator::allocate(std::size_t Bytes) {
     if (void *Addr = mallocFromActive(Heap)) {
       CTR(FromActive);
       PROF_ALLOC(Addr, Bytes);
+      LAT_END(LatStart, MallocActive, Class);
       return Addr;
     }
     if (void *Addr = mallocFromPartial(Heap)) {
       CTR(FromPartial);
       PROF_ALLOC(Addr, Bytes);
+      LAT_END(LatStart, MallocPartial, Class);
       return Addr;
     }
     bool OutOfMemory = false;
     if (void *Addr = mallocFromNewSb(Heap, OutOfMemory)) {
       CTR(FromNewSb);
       PROF_ALLOC(Addr, Bytes);
+      LAT_END(LatStart, MallocNewSb, Class);
       return Addr;
     }
     if (OutOfMemory) {
       // Clean malloc() contract on exhaustion: null with errno set, every
-      // internal invariant intact (debugValidate() stays green).
+      // internal invariant intact (debugValidate() stays green). The
+      // failure is filed under MallocNewSb — exhaustion is that path's
+      // tail, and an ENOMEM spike in its p99.9 is exactly the signal the
+      // latency histograms exist to expose.
       errno = ENOMEM;
+      LAT_END(LatStart, MallocNewSb, Class);
       return nullptr;
     }
   }
@@ -677,18 +736,22 @@ void LFAllocator::deallocate(void *Ptr) {
   // aligned-marker redirect this probe misses benignly; the recursive call
   // with the real block start does the accounting.)
   PROF_FREE(Ptr);
+  const std::uint64_t LatStart = LAT_BEGIN();
   void *Block = static_cast<char *>(Ptr) - BlockPrefixSize; // Line 2.
   const std::uint64_t Prefix = loadBlockWord(Block);        // Line 3.
   if (LFM_UNLIKELY(Prefix & LargePrefixBit)) {
     if ((Prefix & AlignedMarkerBits) == AlignedMarkerBits) {
       // Aligned-allocation marker: redirect to the real block start. Not
       // a free of its own — the redirected call does the counting, so one
-      // logical free bumps Frees exactly once.
+      // logical free bumps Frees exactly once. The outer latency sample
+      // is dropped for the same reason: the recursive call times the
+      // whole real free if its own countdown fires.
       deallocate(static_cast<char *>(Ptr) - (Prefix >> 2));
       return;
     }
     CTR(Frees);
     largeFree(Block, Prefix); // Line 4/5: large block.
+    LAT_END(LatStart, FreeLarge, NumSizeClasses);
     return;
   }
   CTR(Frees);
@@ -743,18 +806,30 @@ void LFAllocator::deallocate(void *Ptr) {
            !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(FreePushRetries, Push.retries());
 
+  // Free-path attribution: the block size was read before the descriptor
+  // could be retired, and LAT_END evaluates the class lookup only for
+  // sampled frees.
   if (NewAnchor.State == SbState::Empty) {
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::AfterEmptyTransition, Opts.ChaosCtx);
     // Lines 19-21: return the superblock and retire its descriptor.
     CTR(SbFreed);
     EVT(SbEmpty, reinterpret_cast<std::uintptr_t>(Sb), Desc->BlockSize);
+    const std::uint32_t BlkSize = Desc->BlockSize;
     SbCache.release(Sb);
     removeEmptyDesc(Heap, Desc);
+    LAT_END(LatStart, FreeSbRelease,
+            sizeToClass(BlkSize - BlockPrefixSize));
+    (void)BlkSize;
   } else if (OldAnchor.State == SbState::Full) {
     // Lines 22-23: first free into a FULL superblock re-publishes it.
     EVT(SbPartial, reinterpret_cast<std::uintptr_t>(Sb), Desc->BlockSize);
     heapPutPartial(Desc);
+    LAT_END(LatStart, FreeSmall,
+            sizeToClass(Desc->BlockSize - BlockPrefixSize));
+  } else {
+    LAT_END(LatStart, FreeSmall,
+            sizeToClass(Desc->BlockSize - BlockPrefixSize));
   }
   if (Pinned)
     Domain.clear(HpSlotDesc);
@@ -808,7 +883,12 @@ void LFAllocator::largeFree(void *Block, std::uint64_t Prefix) {
 }
 
 bool LFAllocator::oomRescue() {
+  // Rescues are rare and tail-defining, so every one is timed (not
+  // sampled) — including failed rescues, whose cost the caller still paid
+  // before returning ENOMEM.
+  const std::uint64_t LatStart = LAT_RARE_BEGIN();
   const std::size_t Freed = SbCache.trimRetained(0);
+  LAT_RARE_END(LatStart, OomRescue);
   if (Freed == 0)
     return false;
   XCTR(OomRescues);
@@ -951,6 +1031,34 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
     Snap.TraceEnabled = Tel->traceEnabled();
     Snap.TraceEventsEmitted = Tel->traceEventsEmitted();
     Snap.TraceEventsOverwritten = Tel->traceEventsOverwritten();
+
+    const telemetry::LatencyRecorder &Lat = Tel->latency();
+    if (Lat.enabled()) {
+      Snap.LatencyEnabled = true;
+      Snap.LatencySamplePeriod = Lat.samplePeriod();
+      // The recorder keeps its own totals (it cannot reach the sharded
+      // CounterSet from the hot path); fold them into the counter slots
+      // here so JSON, stats.* ctl keys, and Prometheus agree.
+      Snap.Counters[static_cast<unsigned>(
+          telemetry::Counter::LatencySamples)] = Lat.samples();
+      Snap.Counters[static_cast<unsigned>(
+          telemetry::Counter::ExporterAllocs)] = Lat.exporterSamples();
+      telemetry::LatencyHistogramSnapshot Hist;
+      for (unsigned P = 0; P < telemetry::NumLatencyPaths; ++P) {
+        Lat.snapshotPath(static_cast<telemetry::LatencyPath>(P), Hist);
+        telemetry::LatencyPathStats &S = Snap.Latency[P];
+        S.Count = Hist.Count;
+        S.SumNs = Hist.SumNs;
+        S.MaxNs = Hist.MaxNs;
+        S.P50UpperNs = Hist.quantileUpperNs(0.5);
+        S.P99UpperNs = Hist.quantileUpperNs(0.99);
+        S.P999UpperNs = Hist.quantileUpperNs(0.999);
+      }
+      for (unsigned C = 0; C < telemetry::NumLatencyClasses; ++C) {
+        telemetry::LatencyClassStats &S = Snap.LatencyClasses[C];
+        Lat.classSummary(C, S.Count, S.SumNs, S.MaxNs);
+      }
+    }
   }
 #else
   // Legacy stats cover only the eight OpStats counters; fold them into
@@ -1034,6 +1142,34 @@ int LFAllocator::heapProfileText(int Fd) const {
   profiling::FdWriter W(Fd);
   W.str("heap profile: 0: 0 [0: 0] @ heap_v2/1\n\nMAPPED_LIBRARIES:\n");
   return 0;
+}
+
+int LFAllocator::prometheusText(int Fd) const {
+  if (Fd < 0)
+    return -1;
+  profiling::FdWriter W(Fd);
+  telemetry::promWriteMetrics(W, metricsSnapshot());
+#if LFM_TELEMETRY
+  if (Tel != nullptr && Tel->latency().enabled()) {
+    telemetry::promWriteLatencyHelp(W);
+    telemetry::LatencyHistogramSnapshot Hist;
+    for (unsigned P = 0; P < telemetry::NumLatencyPaths; ++P) {
+      const auto Path = static_cast<telemetry::LatencyPath>(P);
+      Tel->latency().snapshotPath(Path, Hist);
+      telemetry::promWriteLatencySeries(W, telemetry::latencyPathName(Path),
+                                        Hist);
+    }
+  }
+#endif
+  return 0;
+}
+
+bool LFAllocator::latencyEnabled() const {
+#if LFM_TELEMETRY
+  return Tel != nullptr && Tel->latency().enabled();
+#else
+  return false;
+#endif
 }
 
 void LFAllocator::leakReport(int Fd) const {

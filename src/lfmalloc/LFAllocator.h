@@ -175,6 +175,18 @@ public:
   /// writes a single "profiler off" line.
   void leakReport(int Fd) const;
 
+  /// Writes every metric — counters, space, gauges, and (when latency
+  /// sampling is on) the per-path lf_malloc_latency_ns histograms — in
+  /// Prometheus text exposition format 0.0.4 to a raw fd. Malloc-free,
+  /// lock-free, async-signal-safe; well-formed in every build
+  /// configuration. \returns 0 on success, -1 on a bad fd.
+  int prometheusText(int Fd) const;
+
+  /// True when sampled latency recording is active on this instance
+  /// (LFM_TELEMETRY=1, options().EnableStats, LatencySamplePeriod > 0,
+  /// tables mapped).
+  bool latencyEnabled() const;
+
   /// Fills \p Out with a lock-free census of every superblock: per-class
   /// occupancy histograms, state counts, fragmentation ratios (internal
   /// fragmentation only when the profiler is attached), the superblock

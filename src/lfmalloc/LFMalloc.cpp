@@ -48,6 +48,20 @@ AllocatorOptions defaultOptions() {
     if (std::strlen(Prefix) < detail::ProfileDumpPrefixCap)
       std::strcpy(detail::ProfileDumpPrefix, Prefix);
   }
+  // An explicit LFM_LATENCY_SAMPLE implies stats: latency recording rides
+  // on the telemetry block, and asking for samples while leaving stats off
+  // would silently record nothing.
+  if (config::varU64(Var::LatencySample, U)) {
+    Opts.LatencySamplePeriod = U;
+    if (U > 0)
+      Opts.EnableStats = true;
+  }
+  if (config::varU64(Var::TestSeed, U) && U > 0)
+    Opts.LatencySampleSeed = U;
+  if (const char *Prefix = config::varRaw(Var::StatsPrefix)) {
+    if (std::strlen(Prefix) < detail::StatsPrefixCap)
+      std::strcpy(detail::StatsPrefix, Prefix);
+  }
   return Opts;
 }
 

@@ -82,6 +82,12 @@ size_t lf_malloc_usable_size(const void *Ptr);
 ///   trim                    release retained memory now (action)
 ///   dump.metrics|trace|topology|heap_profile|heap_profile_json|
 ///   dump.leak_report|heap_profile_seq   write a report (In = path)
+///   dump.prometheus         Prometheus text exposition (In = path)
+///   dump.prometheus_seq     sequenced "<prefix>.<seq>.prom" dump (no In)
+///   exporter.start          start background exporter (In = u64 ms)
+///   exporter.stop           stop and join the exporter (action)
+///   exporter.flush          run one export cycle synchronously (action)
+///   exporter.cycles         completed export cycles (u64, read-only)
 ///   opt.<name>              resolved LFM_* option echo (read-only)
 ///   debug.fail_map          OS-map fault injection (test hook)
 /// \returns 0 on success or an errno value (EINVAL, ENOENT, EPERM, EIO);
@@ -138,6 +144,14 @@ int lf_malloc_heap_topology_json(const char *Path);
 /// default allocator exists. Also reachable as
 /// lf_malloc_ctl("dump.heap_profile_seq"). \returns 0 on success.
 int lf_malloc_heap_profile_dump(void);
+
+/// Signal-handler entry point: writes the full Prometheus text exposition
+/// (counters, gauges, and the sampled latency histograms) to
+/// "<LFM_STATS_PREFIX>.<seq>.prom" (prefix cached at allocator init;
+/// default "lfm-stats"). Async-signal-safe after the default allocator
+/// exists — raw fds, no stdio, no allocation. Also reachable as
+/// lf_malloc_ctl("dump.prometheus_seq"). \returns 0 on success.
+int lf_malloc_latency_dump(void);
 
 /// \deprecated Writes the surviving-sampled-allocations leak report to
 /// stderr. Async-signal-safe; the LD_PRELOAD shim registers this with

@@ -32,6 +32,7 @@
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
 #include "telemetry/MetricsSnapshot.h"
+#include "telemetry/StatsExporter.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -45,6 +46,8 @@ char lfm::detail::ProfileDumpPrefix[lfm::detail::ProfileDumpPrefixCap] =
     "lfm-heap";
 std::atomic<bool> lfm::detail::LeakReportRequested{false};
 std::atomic<std::int64_t> lfm::detail::LastFailMapArm{-1};
+char lfm::detail::StatsPrefix[lfm::detail::StatsPrefixCap] = "lfm-stats";
+std::atomic<std::uint64_t> lfm::detail::StatsIntervalMs{0};
 
 namespace {
 
@@ -213,6 +216,16 @@ int optGet(const char *Name, void *Out, size_t *OutLen) {
                    detail::LeakReportRequested.load(std::memory_order_relaxed)
                        ? 1
                        : 0);
+  if (std::strcmp(Name, "latency_sample") == 0)
+    // Echo the effective period: latency recording rides on the telemetry
+    // block, so without stats nothing is recorded regardless of the knob.
+    return readU64(Out, OutLen,
+                   O.EnableStats ? O.LatencySamplePeriod : std::uint64_t{0});
+  if (std::strcmp(Name, "stats_interval_ms") == 0)
+    return readU64(Out, OutLen,
+                   detail::StatsIntervalMs.load(std::memory_order_relaxed));
+  if (std::strcmp(Name, "stats_prefix") == 0)
+    return readStr(Out, OutLen, detail::StatsPrefix);
   return ENOENT;
 }
 
@@ -223,6 +236,54 @@ int heapProfileFd(LFAllocator &Alloc, int Fd) {
 int leakReportFd(LFAllocator &Alloc, int Fd) {
   Alloc.leakReport(Fd);
   return 0;
+}
+
+int prometheusFd(LFAllocator &Alloc, int Fd) {
+  return Alloc.prometheusText(Fd);
+}
+
+/// StatsExporter emit callback over the default allocator. Every branch is
+/// allocation-free (snapshots and raw-fd writers only) — the latency
+/// recorder's exporter watchdog counts any violation.
+int exporterEmit(void * /*Ctx*/, int Artifact, int Fd) {
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  switch (Artifact) {
+  case telemetry::StatsExporter::MetricsJson:
+    telemetry::writeMetricsJsonFd(Alloc.metricsSnapshot(), Fd);
+    return 0;
+  case telemetry::StatsExporter::Prometheus:
+    return Alloc.prometheusText(Fd) == 0 ? 0 : -1;
+  case telemetry::StatsExporter::HeapProfile:
+    // Skip the artifact entirely (negative return) when no profiler is
+    // attached, instead of publishing an all-zero profile every cycle.
+    if (!Alloc.options().EnableProfiler)
+      return -1;
+    return Alloc.heapProfileText(Fd) == 0 ? 0 : -1;
+  }
+  return -1;
+}
+
+/// Builds "<prefix>.<NNNN><suffix>" into \p Path using only
+/// async-signal-safe operations. \p Path must hold at least
+/// PrefixCap + 5 + strlen(Suffix) + 1 bytes. \returns the length written.
+std::size_t buildSeqPath(const char *Prefix, std::size_t PrefixCap,
+                         unsigned Seq, const char *Suffix, char *Path) {
+  std::size_t Len = 0;
+  while (Prefix[Len] != '\0' && Len < PrefixCap - 1) {
+    Path[Len] = Prefix[Len];
+    ++Len;
+  }
+  Path[Len++] = '.';
+  unsigned V = Seq % 10000;
+  for (int D = 3; D >= 0; --D) {
+    Path[Len + static_cast<std::size_t>(D)] = static_cast<char>('0' + V % 10);
+    V /= 10;
+  }
+  Len += 4;
+  for (std::size_t S = 0; Suffix[S] != '\0'; ++S)
+    Path[Len++] = Suffix[S];
+  Path[Len] = '\0';
+  return Len;
 }
 
 } // namespace
@@ -314,6 +375,37 @@ int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
     return optGet(Key + 4, Out, OutLen);
   }
 
+  if (std::strcmp(Key, "exporter.start") == 0) {
+    // In: u64 interval in milliseconds (> 0). The artifact prefix is the
+    // cached LFM_STATS_PREFIX (opt.stats_prefix echoes it).
+    std::uint64_t Ms = 0;
+    if (const int Rc = takeU64(In, InLen, Ms))
+      return Rc;
+    const int Rc = telemetry::StatsExporter::start(Ms, detail::StatsPrefix,
+                                                   exporterEmit, nullptr);
+    if (Rc == 0)
+      detail::StatsIntervalMs.store(Ms, std::memory_order_relaxed);
+    return Rc;
+  }
+  if (std::strcmp(Key, "exporter.stop") == 0) {
+    if (In != nullptr)
+      return EINVAL;
+    telemetry::StatsExporter::stop();
+    detail::StatsIntervalMs.store(0, std::memory_order_relaxed);
+    return 0;
+  }
+  if (std::strcmp(Key, "exporter.flush") == 0) {
+    if (In != nullptr)
+      return EINVAL;
+    return telemetry::StatsExporter::runCycleNow(detail::StatsPrefix,
+                                                 exporterEmit, nullptr);
+  }
+  if (std::strcmp(Key, "exporter.cycles") == 0) {
+    if (In != nullptr)
+      return EPERM;
+    return readU64(Out, OutLen, telemetry::StatsExporter::cycles());
+  }
+
   if (std::strcmp(Key, "dump.metrics") == 0)
     return dumpStdio(In, InLen, &LFAllocator::metricsJson);
   if (std::strcmp(Key, "dump.trace") == 0)
@@ -330,6 +422,13 @@ int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
     if (In != nullptr)
       return EINVAL;
     return lf_malloc_heap_profile_dump() == 0 ? 0 : EIO;
+  }
+  if (std::strcmp(Key, "dump.prometheus") == 0)
+    return dumpFd(In, InLen, prometheusFd);
+  if (std::strcmp(Key, "dump.prometheus_seq") == 0) {
+    if (In != nullptr)
+      return EINVAL;
+    return lf_malloc_latency_dump() == 0 ? 0 : EIO;
   }
 
   return ENOENT;
@@ -349,29 +448,25 @@ int lf_malloc_heap_profile_dump(void) {
   static std::atomic<unsigned> Seq{0};
   const unsigned N = Seq.fetch_add(1, std::memory_order_relaxed);
   char Path[detail::ProfileDumpPrefixCap + 16];
-  std::size_t Len = 0;
-  while (detail::ProfileDumpPrefix[Len] != '\0' &&
-         Len < detail::ProfileDumpPrefixCap - 1) {
-    Path[Len] = detail::ProfileDumpPrefix[Len];
-    ++Len;
-  }
-  Path[Len++] = '.';
-  char Digits[4];
-  unsigned V = N % 10000;
-  for (int D = 3; D >= 0; --D) {
-    Digits[D] = static_cast<char>('0' + V % 10);
-    V /= 10;
-  }
-  for (int D = 0; D < 4; ++D)
-    Path[Len++] = Digits[D];
-  Path[Len++] = '.';
-  Path[Len++] = 'h';
-  Path[Len++] = 'e';
-  Path[Len++] = 'a';
-  Path[Len++] = 'p';
-  Path[Len] = '\0';
+  const std::size_t Len = buildSeqPath(detail::ProfileDumpPrefix,
+                                       detail::ProfileDumpPrefixCap, N,
+                                       ".heap", Path);
   return lf_malloc_ctl("dump.heap_profile", nullptr, nullptr, Path, Len + 1) ==
                  0
+             ? 0
+             : -1;
+}
+
+int lf_malloc_latency_dump(void) {
+  // Same discipline for the Prometheus exposition: distinct sequence
+  // counter, cached LFM_STATS_PREFIX, raw fds all the way down.
+  static std::atomic<unsigned> Seq{0};
+  const unsigned N = Seq.fetch_add(1, std::memory_order_relaxed);
+  char Path[detail::StatsPrefixCap + 16];
+  const std::size_t Len = buildSeqPath(detail::StatsPrefix,
+                                       detail::StatsPrefixCap, N, ".prom",
+                                       Path);
+  return lf_malloc_ctl("dump.prometheus", nullptr, nullptr, Path, Len + 1) == 0
              ? 0
              : -1;
 }

@@ -182,6 +182,12 @@ std::size_t SuperblockCache::trimRetained(std::size_t KeepBytes) {
   if (TrimActive.exchange(true, std::memory_order_acquire))
     return 0;
   LFM_TEL_CTR(Tel, TrimRuns);
+#if LFM_TELEMETRY
+  // Trim passes are rare and entirely tail (they run under the retention
+  // watermark or on OOM rescue), so every winner is timed, not sampled.
+  const std::uint64_t LatStart =
+      Tel != nullptr ? Tel->latency().rareBegin() : 0;
+#endif
 
   // Drain the free list into a private chain. Every node drained is ours
   // alone; concurrent acquirers see an empty list and mint/unpark.
@@ -281,6 +287,10 @@ std::size_t SuperblockCache::trimRetained(std::size_t KeepBytes) {
       Hyper->TrimCollected.store(0, std::memory_order_relaxed);
 
   LFM_TEL_EVT(Tel, Trim, Released, Drained);
+#if LFM_TELEMETRY
+  if (LatStart != 0)
+    Tel->latency().rareEnd(LatStart, telemetry::LatencyPath::Trim);
+#endif
   TrimActive.store(false, std::memory_order_release);
   return Released;
 }

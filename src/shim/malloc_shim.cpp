@@ -146,25 +146,44 @@ int malloc_info(int Options, FILE *Stream) {
 
 namespace {
 
-// SIGUSR2 → async-signal-safe heap-profile dump. Everything on the dump
-// path is raw-fd I/O over pre-cached state, so running it from a handler
-// is sound; errno is preserved for the interrupted code.
+// Which SIGUSR2/atexit artifacts apply, decided once at init so the signal
+// handler itself stays branch-on-cached-bool simple (no getenv, no
+// allocator queries from signal context).
+bool DumpProfileOnSignal = false;
+bool DumpLatencyOnSignal = false;
+
+// SIGUSR2 → async-signal-safe dumps: the heap profile (profiler builds)
+// and the Prometheus latency/metrics exposition (stats builds). Everything
+// on both paths is raw-fd I/O over pre-cached state, so running it from a
+// handler is sound; errno is preserved for the interrupted code.
 void sigusr2Handler(int) {
   const int Saved = errno;
-  lf_malloc_heap_profile_dump();
+  if (DumpProfileOnSignal)
+    lf_malloc_heap_profile_dump();
+  if (DumpLatencyOnSignal)
+    lf_malloc_latency_dump();
   errno = Saved;
 }
 
-void leakReportAtExit() { lf_malloc_leak_report(); }
+void leakReportAtExit() {
+  lf_malloc_leak_report();
+  // A leak report at exit is a post-mortem; the latency exposition is the
+  // other half of that story, so emit it alongside when it has data.
+  if (DumpLatencyOnSignal)
+    lf_malloc_latency_dump();
+}
 
-// Shim initialization beyond the allocator itself: signal-dump handler and
-// the atexit leak report. This runs as an ELF constructor — after the
-// allocator can serve (it self-initializes on first malloc, which libc may
-// already have issued) but deliberately NOT inside defaultAllocator()'s
-// static-init guard, where atexit's own allocation could deadlock.
+// Shim initialization beyond the allocator itself: signal-dump handler,
+// the atexit leak report, and the background stats exporter. This runs as
+// an ELF constructor — after the allocator can serve (it self-initializes
+// on first malloc, which libc may already have issued) but deliberately
+// NOT inside defaultAllocator()'s static-init guard, where atexit's and
+// pthread_create's own allocations could deadlock.
 __attribute__((constructor)) void shimInit() {
   LFAllocator &Alloc = defaultAllocator();
-  if (Alloc.profilerEnabled()) {
+  DumpProfileOnSignal = Alloc.profilerEnabled();
+  DumpLatencyOnSignal = Alloc.latencyEnabled();
+  if (DumpProfileOnSignal || DumpLatencyOnSignal) {
     struct sigaction SA;
     std::memset(&SA, 0, sizeof(SA));
     SA.sa_handler = sigusr2Handler;
@@ -176,6 +195,11 @@ __attribute__((constructor)) void shimInit() {
     detail::LeakReportRequested.store(true, std::memory_order_relaxed);
     std::atexit(leakReportAtExit);
   }
+  std::uint64_t IntervalMs = 0;
+  if (config::varU64(config::Var::StatsIntervalMs, IntervalMs) &&
+      IntervalMs > 0)
+    lf_malloc_ctl("exporter.start", nullptr, nullptr, &IntervalMs,
+                  sizeof(IntervalMs));
 }
 
 } // namespace

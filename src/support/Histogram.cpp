@@ -52,8 +52,7 @@ double StreamingStats::stddev() const {
 }
 
 void LogHistogram::add(std::uint64_t Sample) {
-  const unsigned Bucket = Sample == 0 ? 0 : 64 - __builtin_clzll(Sample);
-  Buckets[std::min(Bucket, NumBuckets - 1)] += 1;
+  Buckets[logbuckets::bucketIndex(Sample)] += 1;
   ++Total;
 }
 
@@ -65,26 +64,7 @@ void LogHistogram::merge(const LogHistogram &Other) {
 
 std::uint64_t LogHistogram::quantile(double Q) const {
   assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
-  if (Total == 0)
-    return 0;
-  const std::uint64_t Rank = static_cast<std::uint64_t>(
-      Q * static_cast<double>(Total - 1));
-  std::uint64_t Seen = 0;
-  for (unsigned I = 0; I < NumBuckets; ++I) {
-    if (Buckets[I] == 0)
-      continue;
-    if (Seen + Buckets[I] > Rank) {
-      // Interpolate linearly within the bucket [2^(I-1), 2^I).
-      const std::uint64_t Lo = I == 0 ? 0 : (1ULL << (I - 1));
-      const std::uint64_t Hi = I == 0 ? 1 : (1ULL << I);
-      const double Frac = static_cast<double>(Rank - Seen) /
-                          static_cast<double>(Buckets[I]);
-      return Lo + static_cast<std::uint64_t>(
-                      Frac * static_cast<double>(Hi - Lo));
-    }
-    Seen += Buckets[I];
-  }
-  return 1ULL << (NumBuckets - 1);
+  return logbuckets::quantileInterpolated(Buckets.data(), Total, Q);
 }
 
 std::string LogHistogram::summary() const {

@@ -14,6 +14,8 @@
 #ifndef LFMALLOC_SUPPORT_HISTOGRAM_H
 #define LFMALLOC_SUPPORT_HISTOGRAM_H
 
+#include "support/LogBuckets.h"
+
 #include <array>
 #include <cstdint>
 #include <string>
@@ -45,12 +47,14 @@ private:
   double M2 = 0.0;
 };
 
-/// Power-of-two bucketed histogram of nonnegative 64-bit samples
-/// (bucket B holds samples in [2^B, 2^(B+1))). Cheap enough for per-op
-/// latency recording; supports approximate quantiles.
+/// Log-linear bucketed histogram of nonnegative 64-bit samples, on the
+/// shared support/LogBuckets.h layout (12.5% relative resolution) — the
+/// same buckets the allocator's in-process latency histograms use, so a
+/// bench-reported p99 and a scraped allocator p99 are comparable
+/// bucket-for-bucket. Cheap enough for per-op latency recording.
 class LogHistogram {
 public:
-  static constexpr unsigned NumBuckets = 64;
+  static constexpr unsigned NumBuckets = logbuckets::NumBuckets;
 
   /// Records one sample.
   void add(std::uint64_t Sample);
@@ -61,7 +65,7 @@ public:
   std::uint64_t count() const { return Total; }
 
   /// \returns an approximate quantile (e.g. Q=0.5 for the median) assuming
-  /// uniform distribution within a bucket; exact for min/max buckets.
+  /// uniform distribution within a bucket; exact for the singleton buckets.
   std::uint64_t quantile(double Q) const;
 
   /// Renders a compact textual summary ("p50=… p90=… p99=… max=…").

@@ -1,0 +1,143 @@
+//===- support/LogBuckets.h - Shared log-linear bucket math ------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one definition of the log-linear (HdrHistogram-style) bucket layout
+/// used by every histogram in the tree: the bench-side LogHistogram and the
+/// allocator-side latency histograms index with the same math, so a p99
+/// reported by a bench and a p99 scraped out of the allocator are
+/// comparable bucket-for-bucket.
+///
+/// Layout: each power-of-two "major" range [2^e, 2^(e+1)) is split into
+/// NumMinor equal "minor" sub-buckets, giving a constant relative error of
+/// 1/NumMinor (12.5%) across the whole 64-bit domain. Values below
+/// NumMinor get exact singleton buckets. Everything here is constexpr and
+/// allocation-free; the hot-path cost of bucketIndex() is one CLZ plus a
+/// shift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_LOGBUCKETS_H
+#define LFMALLOC_SUPPORT_LOGBUCKETS_H
+
+#include "support/Platform.h"
+
+#include <cstdint>
+
+namespace lfm {
+namespace logbuckets {
+
+/// Sub-buckets per power-of-two range (as a power of two).
+inline constexpr unsigned MinorBits = 3;
+inline constexpr unsigned NumMinor = 1u << MinorBits;
+
+/// Total bucket count. Indices 0..NumMinor-1 are the exact singletons;
+/// every exponent e in [MinorBits, 63] contributes NumMinor buckets at
+/// group (e - MinorBits + 1).
+inline constexpr unsigned NumBuckets = (64 - MinorBits + 1) * NumMinor;
+
+/// \returns the bucket index of \p V. Total order preserving: V <= W
+/// implies bucketIndex(V) <= bucketIndex(W).
+constexpr unsigned bucketIndex(std::uint64_t V) {
+  if (V < NumMinor)
+    return static_cast<unsigned>(V);
+  const unsigned Exp = log2Floor(V);
+  const unsigned Sub =
+      static_cast<unsigned>(V >> (Exp - MinorBits)) & (NumMinor - 1);
+  return (Exp - MinorBits + 1) * NumMinor + Sub;
+}
+
+/// Inclusive lower bound of bucket \p I.
+constexpr std::uint64_t bucketLower(unsigned I) {
+  if (I < NumMinor)
+    return I;
+  const unsigned Exp = I / NumMinor + MinorBits - 1;
+  const std::uint64_t Sub = I % NumMinor;
+  return (std::uint64_t{1} << Exp) | (Sub << (Exp - MinorBits));
+}
+
+/// Exclusive upper bound of bucket \p I (saturates at UINT64_MAX for the
+/// final bucket, whose true bound 2^64 is unrepresentable).
+constexpr std::uint64_t bucketUpper(unsigned I) {
+  if (I >= NumBuckets - 1)
+    return ~std::uint64_t{0};
+  if (I < NumMinor)
+    return I + 1;
+  const unsigned Exp = I / NumMinor + MinorBits - 1;
+  return bucketLower(I) + (std::uint64_t{1} << (Exp - MinorBits));
+}
+
+/// \returns the index of the bucket containing the rank-\p Q sample of the
+/// \p Total samples counted in \p Counts (0.5 = median), or 0 when empty.
+/// The quantile value is then bracketed by that bucket's bounds — the
+/// "exact bucket bound" contract the latency tests assert.
+inline unsigned quantileBucket(const std::uint64_t *Counts,
+                               std::uint64_t Total, double Q) {
+  if (Total == 0)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  const std::uint64_t Rank =
+      static_cast<std::uint64_t>(Q * static_cast<double>(Total - 1));
+  std::uint64_t Seen = 0;
+  unsigned Last = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    if (Counts[I] == 0)
+      continue;
+    Last = I;
+    if (Seen + Counts[I] > Rank)
+      return I;
+    Seen += Counts[I];
+  }
+  return Last; // Racy under-count of Total; clamp to the top sample.
+}
+
+/// Linear interpolation of the rank-\p Q sample within its bucket (uniform
+/// within-bucket assumption). Exact for the singleton buckets.
+inline std::uint64_t quantileInterpolated(const std::uint64_t *Counts,
+                                          std::uint64_t Total, double Q) {
+  if (Total == 0)
+    return 0;
+  const unsigned I = quantileBucket(Counts, Total, Q);
+  const std::uint64_t Lo = bucketLower(I);
+  const std::uint64_t Hi = bucketUpper(I);
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  const std::uint64_t Rank =
+      static_cast<std::uint64_t>(Q * static_cast<double>(Total - 1));
+  std::uint64_t Seen = 0;
+  for (unsigned J = 0; J < I; ++J)
+    Seen += Counts[J];
+  const std::uint64_t InBucket = Counts[I];
+  if (InBucket == 0 || Rank < Seen)
+    return Lo;
+  const double Frac = static_cast<double>(Rank - Seen) /
+                      static_cast<double>(InBucket);
+  return Lo + static_cast<std::uint64_t>(Frac *
+                                         static_cast<double>(Hi - Lo));
+}
+
+static_assert(bucketIndex(0) == 0 && bucketIndex(7) == 7 &&
+                  bucketIndex(8) == 8 && bucketIndex(15) == 15 &&
+                  bucketIndex(16) == 16,
+              "singleton and first-group buckets must be exact");
+static_assert(bucketIndex(~std::uint64_t{0}) == NumBuckets - 1,
+              "the largest value must land in the last bucket");
+static_assert(bucketLower(NumBuckets - 1) <= ~std::uint64_t{0} &&
+                  bucketUpper(NumBuckets - 1) == ~std::uint64_t{0},
+              "final bucket saturates");
+static_assert(bucketLower(bucketIndex(1000)) <= 1000 &&
+                  1000 < bucketUpper(bucketIndex(1000)),
+              "bounds must bracket their values");
+
+} // namespace logbuckets
+} // namespace lfm
+
+#endif // LFMALLOC_SUPPORT_LOGBUCKETS_H

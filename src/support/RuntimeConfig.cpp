@@ -36,6 +36,12 @@ const VarSpec Table[NumVars] = {
      "path prefix for signal-triggered heap-profile dumps"},
     {"LFM_LEAK_REPORT", "opt.leak_report", "0",
      "LD_PRELOAD shim prints a leak report at exit"},
+    {"LFM_LATENCY_SAMPLE", "opt.latency_sample", "64",
+     "mean ops between latency samples (0 off, 1 every op; implies stats)"},
+    {"LFM_STATS_INTERVAL_MS", "opt.stats_interval_ms", "0",
+     "background stats-exporter period in ms; 0 disables"},
+    {"LFM_STATS_PREFIX", "opt.stats_prefix", "lfm-stats",
+     "path prefix for background exporter / signal-dump artifacts"},
     {"LFM_RETAIN_MAX_BYTES", "retain.max_bytes", "unset",
      "superblock-cache retention watermark in bytes (~0: keep all)"},
     {"LFM_RETAIN_DECAY_MS", "retain.decay_ms", "-1",

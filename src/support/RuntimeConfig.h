@@ -40,6 +40,11 @@ enum class Var : unsigned {
   ProfileDump,  ///< LFM_PROFILE_DUMP: signal-dump path prefix.
   LeakReport,   ///< LFM_LEAK_REPORT: shim registers atexit leak report.
 
+  // Latency observability and background stats export.
+  LatencySample,   ///< LFM_LATENCY_SAMPLE: mean ops between latency samples.
+  StatsIntervalMs, ///< LFM_STATS_INTERVAL_MS: background exporter period.
+  StatsPrefix,     ///< LFM_STATS_PREFIX: exporter artifact path prefix.
+
   // Memory-return policy (read at first use, adjustable via ctl).
   RetainMaxBytes, ///< LFM_RETAIN_MAX_BYTES: superblock-cache watermark.
   RetainDecayMs,  ///< LFM_RETAIN_DECAY_MS: decay period; <0 disables.

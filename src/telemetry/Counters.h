@@ -93,6 +93,10 @@ enum class Counter : unsigned {
   // Telemetry self-accounting.
   TraceDrops, ///< Trace events dropped (no ring: thread index too high or
               ///< ring allocation failed).
+  LatencySamples, ///< Latency samples recorded (sampled ops + rare paths).
+  ExporterAllocs, ///< Watchdog: latency samples recorded while on the
+                  ///< background stats exporter thread — nonzero means the
+                  ///< exporter allocated through the instrumented path.
 
   CounterCount
 };

@@ -1,0 +1,126 @@
+//===- telemetry/LatencyHistogram.h - Sharded latency histogram --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free, cache-line-sharded log-linear histogram for nanosecond
+/// latency samples. The bucket layout comes from support/LogBuckets.h
+/// (8 minor buckets per power of two — 12.5% relative resolution across
+/// the whole 64-bit range), which the bench-side LogHistogram shares, so
+/// in-allocator and bench-reported percentiles land in identical buckets.
+///
+/// Recording is one relaxed fetch-add on the calling thread's shard (the
+/// CounterSet discipline: threads mod ShardCount never share a line for
+/// the same bucket index range). Reads merge shards into a caller-provided
+/// array — a racy snapshot, exact at quiescence — and quantiles come back
+/// as exact bucket bounds, never invented point values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_LATENCYHISTOGRAM_H
+#define LFMALLOC_TELEMETRY_LATENCYHISTOGRAM_H
+
+#include "support/LogBuckets.h"
+#include "support/Platform.h"
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+/// One merged histogram snapshot plus its summary moments; ~4 KB, sized
+/// for the stack of an export path.
+struct LatencyHistogramSnapshot {
+  std::uint64_t Buckets[logbuckets::NumBuckets] = {};
+  std::uint64_t Count = 0;
+  std::uint64_t SumNs = 0;
+  std::uint64_t MaxNs = 0;
+
+  /// Inclusive upper bucket bound of the rank-Q sample (0 when empty).
+  /// The true quantile lies in [bucketLower(b), this].
+  std::uint64_t quantileUpperNs(double Q) const {
+    if (Count == 0)
+      return 0;
+    return logbuckets::bucketUpper(
+        logbuckets::quantileBucket(Buckets, Count, Q));
+  }
+  std::uint64_t quantileLowerNs(double Q) const {
+    if (Count == 0)
+      return 0;
+    return logbuckets::bucketLower(
+        logbuckets::quantileBucket(Buckets, Count, Q));
+  }
+};
+
+/// The sharded histogram itself. Plain-struct layout (no constructor side
+/// effects beyond zeroing) so arrays of these can live in page-allocator
+/// memory that arrives zero-filled.
+class LatencyHistogram {
+public:
+  /// Shards. Latency samples are already decimated by the sampler
+  /// (default 1 in 64 operations), but a contended RMW costs enough
+  /// (~40 ns line ping-pong) that two threads sharing a shard shows up
+  /// in the 3%-overhead budget; eight shards keep a typical machine's
+  /// worth of recording threads on private lines, and the tables are
+  /// lazily backed pages so unused shards cost address space only.
+  static constexpr unsigned ShardCount = 8;
+
+  /// Records one sample of \p Ns nanoseconds. Lock-free, relaxed,
+  /// async-signal-safe.
+  void record(std::uint64_t Ns) {
+    Shard &S = Shards[threadIndex() & (ShardCount - 1)];
+    S.Buckets[logbuckets::bucketIndex(Ns)].fetch_add(
+        1, std::memory_order_relaxed);
+    S.Sum.fetch_add(Ns, std::memory_order_relaxed);
+    // Racy max: a concurrent larger value may briefly regress, then a
+    // later read re-raises it. Monotone at quiescence, which is when the
+    // tests assert it.
+    std::uint64_t Old = S.Max.load(std::memory_order_relaxed);
+    while (Ns > Old &&
+           !S.Max.compare_exchange_weak(Old, Ns, std::memory_order_relaxed))
+      ;
+  }
+
+  /// Bucket-only variant for callers that account Sum/Max elsewhere (the
+  /// LatencyRecorder keeps them in thread-private plain slots — one
+  /// lock-prefixed RMW per sample instead of three).
+  void recordBucket(std::uint64_t Ns) {
+    Shards[threadIndex() & (ShardCount - 1)]
+        .Buckets[logbuckets::bucketIndex(Ns)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merges every shard into \p Out (accumulating on top of whatever is
+  /// already there, so multiple histograms can merge into one snapshot).
+  void snapshot(LatencyHistogramSnapshot &Out) const {
+    for (const Shard &S : Shards) {
+      for (unsigned I = 0; I < logbuckets::NumBuckets; ++I) {
+        const std::uint64_t N = S.Buckets[I].load(std::memory_order_relaxed);
+        Out.Buckets[I] += N;
+        Out.Count += N;
+      }
+      Out.SumNs += S.Sum.load(std::memory_order_relaxed);
+      const std::uint64_t M = S.Max.load(std::memory_order_relaxed);
+      if (M > Out.MaxNs)
+        Out.MaxNs = M;
+    }
+  }
+
+private:
+  struct alignas(CacheLineSize) Shard {
+    std::atomic<std::uint64_t> Buckets[logbuckets::NumBuckets];
+    std::atomic<std::uint64_t> Sum;
+    std::atomic<std::uint64_t> Max;
+  };
+
+  Shard Shards[ShardCount] = {};
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_LATENCYHISTOGRAM_H

@@ -1,0 +1,71 @@
+//===- telemetry/LatencyPath.h - Latency outcome-path taxonomy ---*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outcome paths latency samples are attributed to. An operation is
+/// filed under the path that actually served it — a malloc that missed the
+/// Active credits and took a fresh superblock counts once, under
+/// MallocNewSb — so the per-path histograms decompose the latency
+/// distribution exactly (docs/OBSERVABILITY.md, "Tail latency").
+///
+/// This header is plain enum + names with no storage, so it is safe to
+/// include from every build configuration including LFM_TELEMETRY=0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_LATENCYPATH_H
+#define LFMALLOC_TELEMETRY_LATENCYPATH_H
+
+namespace lfm {
+namespace telemetry {
+
+enum class LatencyPath : unsigned {
+  MallocActive,  ///< Served by the Active-credit fast path (Fig. 4).
+  MallocPartial, ///< Served from a PARTIAL superblock.
+  MallocNewSb,   ///< Installed a fresh superblock (includes ENOMEM fails).
+  MallocLarge,   ///< Large request: direct OS map.
+  FreeSmall,     ///< Small free: anchor push, superblock stays live.
+  FreeLarge,     ///< Large free: direct OS unmap.
+  FreeSbRelease, ///< Small free that emptied its superblock and released it.
+  Trim,          ///< trimRetained() pass returning memory to the OS.
+  OomRescue,     ///< Map failure recovered by trimming the retained cache.
+  PathCount
+};
+
+inline constexpr unsigned NumLatencyPaths =
+    static_cast<unsigned>(LatencyPath::PathCount);
+
+/// Stable snake_case name used in metrics JSON and Prometheus labels.
+constexpr const char *latencyPathName(LatencyPath P) {
+  switch (P) {
+  case LatencyPath::MallocActive:
+    return "malloc_active";
+  case LatencyPath::MallocPartial:
+    return "malloc_partial";
+  case LatencyPath::MallocNewSb:
+    return "malloc_new_sb";
+  case LatencyPath::MallocLarge:
+    return "malloc_large";
+  case LatencyPath::FreeSmall:
+    return "free_small";
+  case LatencyPath::FreeLarge:
+    return "free_large";
+  case LatencyPath::FreeSbRelease:
+    return "free_sb_release";
+  case LatencyPath::Trim:
+    return "trim";
+  case LatencyPath::OomRescue:
+    return "oom_rescue";
+  case LatencyPath::PathCount:
+    break;
+  }
+  return "unknown";
+}
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_LATENCYPATH_H

@@ -1,0 +1,168 @@
+//===- telemetry/LatencyRecorder.cpp - Sampled latency recording ----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TelemetryConfig.h"
+
+// The whole translation unit is compiled out under LFMALLOC_TELEMETRY=OFF:
+// the CI zero-symbol check asserts this object file defines nothing there.
+#if LFM_TELEMETRY
+
+#include "telemetry/LatencyRecorder.h"
+
+#include "telemetry/StatsExporter.h"
+
+#include <new>
+
+namespace lfm {
+namespace telemetry {
+
+LatencyRecorder::LatencyRecorder(const Options &O)
+    : Period(O.SamplePeriod),
+      Seed(O.Seed != 0 ? O.Seed : 0x9E3779B97F4A7C15ull) {
+  if (Period == 0)
+    return;
+  // Bound the period so nextGap's 31-bit multiply-shift range reduction
+  // cannot overflow (and a gap beyond a billion ops is indistinguishable
+  // from "off" anyway).
+  if (Period > (std::uint64_t{1} << 30))
+    Period = std::uint64_t{1} << 30;
+  void *Mem = TablePages.map(sizeof(Tables), CacheLineSize);
+  if (Mem == nullptr)
+    return; // Recording stays disabled; the allocator itself is unaffected.
+  // Placement-new onto zero-filled pages: every atomic starts at zero, every
+  // countdown at 0 so each thread's first operation is sampled (making
+  // single-threaded tests deterministic from the first op).
+  Tabs = ::new (Mem) Tables();
+}
+
+LatencyRecorder::~LatencyRecorder() {
+  Tables *T = Tabs;
+  Tabs = nullptr;
+  if (T != nullptr) {
+    T->~Tables();
+    TablePages.unmap(T, sizeof(Tables));
+  }
+}
+
+std::int64_t LatencyRecorder::nextGap(ThreadState &S) {
+  if (Period <= 1)
+    return 1;
+  std::uint64_t X = S.Rng.load(std::memory_order_relaxed);
+  if (X == 0) {
+    // First draw on this slot: mix the slot number into the base seed so
+    // threads do not sample in lockstep, while a fixed LFM_TEST_SEED still
+    // pins every slot's whole gap sequence.
+    const std::uint64_t Slot = threadIndex() & (MaxLatencyThreads - 1);
+    X = Seed ^ (Slot * 0xBF58476D1CE4E5B9ull);
+    if (X == 0)
+      X = 1;
+  }
+  // xorshift64*; the high bits of the multiply are the well-mixed ones.
+  X ^= X >> 12;
+  X ^= X << 25;
+  X ^= X >> 27;
+  S.Rng.store(X, std::memory_order_relaxed);
+  const std::uint64_t R = (X * 0x2545F4914F6CDD1Dull) >> 33; // 31 bits.
+  // Uniform on [1, 2*Period - 1]: mean Period, never zero, and bounded so
+  // a sampling period of N can never go 2N ops without a sample. Lemire's
+  // multiply-shift range reduction: R is 31 bits, so (R * Range) >> 31 is
+  // uniform over [0, Range) without the ~25-cycle divide `%` would cost
+  // on this (sampled, but still per-sample) path.
+  const std::uint64_t Range = 2 * Period - 1;
+  return 1 + static_cast<std::int64_t>((R * Range) >> 31);
+}
+
+void LatencyRecorder::recordNs(LatencyPath P, unsigned Class,
+                               std::uint64_t Ns) {
+  Tables *T = Tabs;
+  if (T == nullptr || static_cast<unsigned>(P) >= NumLatencyPaths)
+    return;
+  const unsigned Slot = threadIndex() & (MaxLatencyThreads - 1);
+  T->Hists[static_cast<unsigned>(P)].recordBucket(Ns);
+  // Owner-thread plain load/store on thread-private slots — no lock
+  // prefix (see ClassLocal/PathLocal).
+  PathLocal &L = T->Paths[Slot];
+  const unsigned PI = static_cast<unsigned>(P);
+  L.Sum[PI].store(L.Sum[PI].load(std::memory_order_relaxed) + Ns,
+                  std::memory_order_relaxed);
+  if (Ns > L.Max[PI].load(std::memory_order_relaxed))
+    L.Max[PI].store(Ns, std::memory_order_relaxed);
+  if (LFM_UNLIKELY(onExporterThread()))
+    T->ExporterSamples.fetch_add(1, std::memory_order_relaxed);
+  if (Class < NumLatencyClasses) {
+    ClassLocal &S = T->Classes[Slot];
+    S.Count[Class].store(S.Count[Class].load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+    S.Sum[Class].store(S.Sum[Class].load(std::memory_order_relaxed) + Ns,
+                       std::memory_order_relaxed);
+    if (Ns > S.Max[Class].load(std::memory_order_relaxed))
+      S.Max[Class].store(Ns, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t LatencyRecorder::samples() const {
+  const Tables *T = Tabs;
+  if (T == nullptr)
+    return 0;
+  // Every sample lands in exactly one path histogram, so the bucket sum
+  // is the sample total — no recording-side counter needed.
+  std::uint64_t Total = 0;
+  LatencyHistogramSnapshot Snap;
+  for (unsigned P = 0; P < NumLatencyPaths; ++P) {
+    Snap = LatencyHistogramSnapshot();
+    T->Hists[P].snapshot(Snap);
+    Total += Snap.Count;
+  }
+  return Total;
+}
+
+std::uint64_t LatencyRecorder::exporterSamples() const {
+  const Tables *T = Tabs;
+  return T != nullptr ? T->ExporterSamples.load(std::memory_order_relaxed)
+                      : 0;
+}
+
+void LatencyRecorder::snapshotPath(LatencyPath P,
+                                   LatencyHistogramSnapshot &Out) const {
+  Out = LatencyHistogramSnapshot();
+  const Tables *T = Tabs;
+  if (T == nullptr || static_cast<unsigned>(P) >= NumLatencyPaths)
+    return;
+  const unsigned PI = static_cast<unsigned>(P);
+  T->Hists[PI].snapshot(Out);
+  // The histogram shards only carry bucket counts on the recording path;
+  // Sum/Max live in the per-thread slots. snapshot() read all-zero shard
+  // Sum/Max, so overwrite rather than accumulate.
+  Out.SumNs = 0;
+  Out.MaxNs = 0;
+  for (const PathLocal &L : T->Paths) {
+    Out.SumNs += L.Sum[PI].load(std::memory_order_relaxed);
+    const std::uint64_t M = L.Max[PI].load(std::memory_order_relaxed);
+    if (M > Out.MaxNs)
+      Out.MaxNs = M;
+  }
+}
+
+void LatencyRecorder::classSummary(unsigned Class, std::uint64_t &Count,
+                                   std::uint64_t &Sum,
+                                   std::uint64_t &Max) const {
+  Count = Sum = Max = 0;
+  const Tables *T = Tabs;
+  if (T == nullptr || Class >= NumLatencyClasses)
+    return;
+  for (const ClassLocal &S : T->Classes) {
+    Count += S.Count[Class].load(std::memory_order_relaxed);
+    Sum += S.Sum[Class].load(std::memory_order_relaxed);
+    const std::uint64_t M = S.Max[Class].load(std::memory_order_relaxed);
+    if (M > Max)
+      Max = M;
+  }
+}
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFM_TELEMETRY

@@ -1,0 +1,187 @@
+//===- telemetry/LatencyRecorder.h - Sampled latency recording ---*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampled per-path operation-latency recording. Every allocate/deallocate
+/// asks begin() whether it is sampled: the common answer is a relaxed
+/// load, decrement, store on the thread's own cache-line-private countdown
+/// slot — deliberately NOT an atomic RMW (the heap profiler's discipline;
+/// a lock-prefixed op would cost more than the fast-path malloc it is
+/// measuring). Roughly one operation in SamplePeriod reads the cycle
+/// counter instead, and its end() call files the elapsed nanoseconds into
+/// the outcome path's sharded log-linear histogram plus a compact
+/// per-size-class summary.
+///
+/// The inter-sample gap is drawn uniformly from [1, 2*Period - 1] (mean
+/// Period) by a per-thread xorshift seeded from (Seed, thread slot):
+/// deterministic for single-threaded replay under a fixed seed, while
+/// avoiding the strided-workload aliasing a fixed stride would suffer.
+///
+/// All storage (histograms, class summaries, thread slots) lives in one
+/// mapping from a private PageAllocator, so enabling latency sampling
+/// never perturbs the instrumented allocator's §4.2.5 space meter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_LATENCYRECORDER_H
+#define LFMALLOC_TELEMETRY_LATENCYRECORDER_H
+
+#include "lfmalloc/SizeClasses.h"
+#include "os/PageAllocator.h"
+#include "support/CycleClock.h"
+#include "support/Platform.h"
+#include "support/ThreadRegistry.h"
+#include "telemetry/LatencyHistogram.h"
+#include "telemetry/LatencyPath.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+/// Per-size-class summary slots: one per small class plus one shared
+/// bucket for the large/OS path (index NumSizeClasses).
+inline constexpr unsigned NumLatencyClasses = NumSizeClasses + 1;
+
+/// Thread sampling slots (power of two). Indices beyond this share slots;
+/// a lost decrement only perturbs one interval draw.
+inline constexpr unsigned MaxLatencyThreads = 256;
+
+class LatencyRecorder {
+public:
+  /// Sentinel class for operations with no size-class attribution
+  /// (trim, OOM rescue).
+  static constexpr unsigned NoClass = ~0u;
+
+  struct Options {
+    /// Mean operations between samples. 0 disables recording entirely
+    /// (no tables mapped); 1 samples every operation.
+    std::uint64_t SamplePeriod = 64;
+    /// Base seed for the per-thread gap RNGs; 0 keeps the default.
+    std::uint64_t Seed = 0;
+  };
+
+  explicit LatencyRecorder(const Options &O);
+  ~LatencyRecorder();
+  LatencyRecorder(const LatencyRecorder &) = delete;
+  LatencyRecorder &operator=(const LatencyRecorder &) = delete;
+
+  /// False when sampling is off (period 0) or the tables could not be
+  /// mapped — every hook is then a single predicted branch.
+  bool enabled() const { return Tabs != nullptr; }
+
+  std::uint64_t samplePeriod() const { return Period; }
+
+  /// Sampling gate, called at the top of an operation. \returns 0 for the
+  /// common unsampled case, or a nonzero start tick to be passed to
+  /// end() at the operation's outcome point.
+  std::uint64_t begin() {
+    Tables *T = Tabs;
+    if (LFM_UNLIKELY(T == nullptr))
+      return 0;
+    ThreadState &S = T->Threads[threadIndex() & (MaxLatencyThreads - 1)];
+    const std::int64_t C = S.Countdown.load(std::memory_order_relaxed);
+    if (LFM_LIKELY(C > 1)) {
+      S.Countdown.store(C - 1, std::memory_order_relaxed);
+      return 0;
+    }
+    S.Countdown.store(nextGap(S), std::memory_order_relaxed);
+    const std::uint64_t Tick = cycleclock::now();
+    return Tick != 0 ? Tick : 1; // 0 is the "not sampled" sentinel.
+  }
+
+  /// Completes a sampled operation: files now() - StartTicks under \p P
+  /// and \p Class (a small class index, NumSizeClasses for large, or
+  /// NoClass). No-op unless \p StartTicks came from begin().
+  void end(std::uint64_t StartTicks, LatencyPath P, unsigned Class) {
+    recordNs(P, Class,
+             cycleclock::ticksToNanos(cycleclock::now() - StartTicks));
+  }
+
+  /// Unsampled timing entry for rare paths (trim, OOM rescue) that are
+  /// recorded on every occurrence. \returns the start tick, or 0 when
+  /// recording is off.
+  std::uint64_t rareBegin() const {
+    return Tabs != nullptr ? cycleclock::now() | 1 : 0;
+  }
+  void rareEnd(std::uint64_t StartTicks, LatencyPath P) {
+    if (StartTicks != 0)
+      end(StartTicks, P, NoClass);
+  }
+
+  /// Files one pre-converted nanosecond sample (export/test entry).
+  void recordNs(LatencyPath P, unsigned Class, std::uint64_t Ns);
+
+  /// Merges path \p P's shards into \p Out (Out is overwritten).
+  void snapshotPath(LatencyPath P, LatencyHistogramSnapshot &Out) const;
+
+  /// Compact per-class summary read-back.
+  void classSummary(unsigned Class, std::uint64_t &Count, std::uint64_t &Sum,
+                    std::uint64_t &Max) const;
+
+  /// Total samples recorded. Derived by summing the path histograms'
+  /// buckets — a read-path walk, so recording pays no dedicated counter
+  /// RMW per sample.
+  std::uint64_t samples() const;
+
+  /// Watchdog: samples recorded by a thread that was inside the background
+  /// stats exporter — the exporter allocating through the instrumented
+  /// path. Proven zero by the exporter lifecycle test at period 1.
+  std::uint64_t exporterSamples() const;
+
+private:
+  struct alignas(CacheLineSize) ThreadState {
+    std::atomic<std::int64_t> Countdown{0};
+    std::atomic<std::uint64_t> Rng{0};
+  };
+
+  // Per-thread class summaries, updated with owner-thread plain
+  // load/store (the countdown discipline) — a lock-prefixed RMW costs
+  // more than everything else on the sampled path combined, and these
+  // slots are thread-private for the first MaxLatencyThreads threads.
+  // Threads beyond that share slots and a collision can lose a summary
+  // count; the histograms stay fully atomic, so the headline data is
+  // exact regardless.
+  struct alignas(CacheLineSize) ClassLocal {
+    std::atomic<std::uint64_t> Count[NumLatencyClasses];
+    std::atomic<std::uint64_t> Sum[NumLatencyClasses];
+    std::atomic<std::uint64_t> Max[NumLatencyClasses];
+  };
+
+  /// Per-thread per-path Sum/Max, same plain owner-thread discipline as
+  /// ClassLocal; the path histograms' bucket counts stay atomic, so this
+  /// leaves exactly one lock-prefixed RMW on the sampled path.
+  struct alignas(CacheLineSize) PathLocal {
+    std::atomic<std::uint64_t> Sum[NumLatencyPaths];
+    std::atomic<std::uint64_t> Max[NumLatencyPaths];
+  };
+
+  // Everything mutable lives in the page-mapped Tables, NOT on the
+  // LatencyRecorder object: the object's own line holds Period/Seed/Tabs,
+  // which every begin() reads, and any counter written on the sample path
+  // would keep invalidating that line under every reader's feet —
+  // measurable false sharing on the hot path.
+  struct Tables {
+    LatencyHistogram Hists[NumLatencyPaths];
+    ClassLocal Classes[MaxLatencyThreads];
+    PathLocal Paths[MaxLatencyThreads];
+    ThreadState Threads[MaxLatencyThreads];
+    alignas(CacheLineSize) std::atomic<std::uint64_t> ExporterSamples;
+  };
+
+  std::int64_t nextGap(ThreadState &S);
+
+  std::uint64_t Period = 0;
+  std::uint64_t Seed = 0;
+  Tables *Tabs = nullptr;
+  PageAllocator TablePages; ///< Private: keeps the space meter honest.
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_LATENCYRECORDER_H

@@ -16,14 +16,37 @@
 #ifndef LFMALLOC_TELEMETRY_METRICSSNAPSHOT_H
 #define LFMALLOC_TELEMETRY_METRICSSNAPSHOT_H
 
+#include "lfmalloc/SizeClasses.h"
 #include "os/PageAllocator.h"
 #include "telemetry/Counters.h"
+#include "telemetry/LatencyPath.h"
 
 #include <cstdint>
 #include <cstdio>
 
 namespace lfm {
 namespace telemetry {
+
+/// Compact latency summary for one outcome path. Quantiles are the
+/// inclusive *upper bounds* of the log-linear bucket holding that rank —
+/// never interpolated point values (support/LogBuckets.h, 12.5% relative
+/// resolution). Zero when no sample hit the path.
+struct LatencyPathStats {
+  std::uint64_t Count = 0;
+  std::uint64_t SumNs = 0;
+  std::uint64_t MaxNs = 0;
+  std::uint64_t P50UpperNs = 0;
+  std::uint64_t P99UpperNs = 0;
+  std::uint64_t P999UpperNs = 0;
+};
+
+/// Per-size-class latency moments (count/sum/max only; the histograms are
+/// per path). Index NumSizeClasses is the shared large/OS slot.
+struct LatencyClassStats {
+  std::uint64_t Count = 0;
+  std::uint64_t SumNs = 0;
+  std::uint64_t MaxNs = 0;
+};
 
 /// Point-in-time metrics for one allocator instance. Counter values are
 /// racy snapshots while threads run and exact once they quiesce.
@@ -55,6 +78,13 @@ struct MetricsSnapshot {
   std::uint64_t TraceEventsEmitted = 0;
   std::uint64_t TraceEventsOverwritten = 0;
 
+  // Sampled-latency observability (lfm-metrics-v2; all zero when latency
+  // recording is off or LFM_TELEMETRY=0).
+  bool LatencyEnabled = false;
+  std::uint64_t LatencySamplePeriod = 0;
+  LatencyPathStats Latency[NumLatencyPaths] = {};
+  LatencyClassStats LatencyClasses[NumSizeClasses + 1] = {};
+
   // Configuration echo, so a JSON consumer can interpret the numbers.
   std::uint64_t Heaps = 0;
   std::uint64_t Classes = 0;
@@ -72,9 +102,17 @@ struct MetricsSnapshot {
   }
 };
 
-/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v1",
-/// "config":{...},"space":{...},"counters":{...},"gauges":{...}}.
+/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v2",
+/// "config":{...},"space":{...},"counters":{...},"gauges":{...},
+/// "latency":{...}}. v2 is a strict superset of v1: every v1 field keeps
+/// its name and position, so v1 consumers keep parsing.
 void writeMetricsJson(const MetricsSnapshot &Snap, std::FILE *Out);
+
+/// Same document, written to a raw fd with no stdio and no heap
+/// allocation — the form the background stats exporter and signal-path
+/// dumps use (the exporter must never allocate from the allocator it is
+/// describing).
+void writeMetricsJsonFd(const MetricsSnapshot &Snap, int Fd);
 
 } // namespace telemetry
 } // namespace lfm

@@ -1,0 +1,172 @@
+//===- telemetry/PromWriter.cpp - Prometheus text exposition --------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/PromWriter.h"
+
+#include "support/LogBuckets.h"
+
+using namespace lfm;
+using namespace lfm::telemetry;
+
+namespace {
+
+constexpr const char *Ns = "lf_malloc_";
+
+void help(profiling::FdWriter &W, const char *Name, const char *Text,
+          const char *Type) {
+  W.str("# HELP ");
+  W.str(Ns);
+  W.str(Name);
+  W.ch(' ');
+  W.str(Text);
+  W.ch('\n');
+  W.str("# TYPE ");
+  W.str(Ns);
+  W.str(Name);
+  W.ch(' ');
+  W.str(Type);
+  W.ch('\n');
+}
+
+void sample(profiling::FdWriter &W, const char *Name, std::uint64_t V) {
+  W.str(Ns);
+  W.str(Name);
+  W.ch(' ');
+  W.dec(V);
+  W.ch('\n');
+}
+
+void counter(profiling::FdWriter &W, const char *Name, const char *Text,
+             std::uint64_t V) {
+  // One-series families: HELP/TYPE immediately followed by the sample.
+  W.str("# HELP ");
+  W.str(Ns);
+  W.str(Name);
+  W.str("_total ");
+  W.str(Text);
+  W.ch('\n');
+  W.str("# TYPE ");
+  W.str(Ns);
+  W.str(Name);
+  W.str("_total counter\n");
+  W.str(Ns);
+  W.str(Name);
+  W.str("_total ");
+  W.dec(V);
+  W.ch('\n');
+}
+
+void gauge(profiling::FdWriter &W, const char *Name, const char *Text,
+           std::uint64_t V) {
+  help(W, Name, Text, "gauge");
+  sample(W, Name, V);
+}
+
+} // namespace
+
+void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
+                                      const MetricsSnapshot &Snap) {
+  // Operation counters. Prometheus names must be stable forever, so they
+  // reuse the exact counterName() identifiers the JSON schema exports.
+  for (unsigned C = 0; C < NumCounters; ++C)
+    counter(W, counterName(static_cast<Counter>(C)),
+            "lfmalloc operation counter.", Snap.Counters[C]);
+
+  // Space meter (§4.2.5).
+  gauge(W, "space_bytes_in_use", "Bytes currently mapped.",
+        Snap.Space.BytesInUse);
+  gauge(W, "space_peak_bytes", "High-water mark of mapped bytes.",
+        Snap.Space.PeakBytes);
+  counter(W, "space_map_calls", "Successful OS map calls.",
+          Snap.Space.MapCalls);
+  counter(W, "space_unmap_calls", "OS unmap calls.", Snap.Space.UnmapCalls);
+  counter(W, "space_decommit_calls", "Successful decommit calls.",
+          Snap.Space.DecommitCalls);
+  counter(W, "space_bytes_decommitted", "Total bytes ever decommitted.",
+          Snap.Space.BytesDecommitted);
+  counter(W, "space_map_retries", "Map attempts retried after failure.",
+          Snap.Space.MapRetries);
+  counter(W, "space_map_failures", "Map calls failed after all retries.",
+          Snap.Space.MapFailures);
+
+  // Subsystem gauges.
+  gauge(W, "cached_superblocks", "Superblocks idle in the cache.",
+        Snap.CachedSuperblocks);
+  gauge(W, "descriptors_minted", "Descriptors ever created.",
+        Snap.DescriptorsMinted);
+  gauge(W, "hazard_retired", "Nodes awaiting hazard reclamation.",
+        Snap.HazardRetired);
+  gauge(W, "hazard_scans", "Hazard-pointer scan passes.", Snap.HazardScans);
+  gauge(W, "hazard_reclaims", "Nodes freed by hazard scans.",
+        Snap.HazardReclaims);
+  gauge(W, "trace_events_emitted", "Trace events ever emitted.",
+        Snap.TraceEventsEmitted);
+  gauge(W, "trace_events_overwritten", "Trace events lost to wraparound.",
+        Snap.TraceEventsOverwritten);
+  gauge(W, "retained_bytes", "Bytes idle in the superblock cache.",
+        Snap.RetainedBytes);
+  gauge(W, "decommitted_superblocks", "Cached superblocks decommitted.",
+        Snap.DecommittedSuperblocks);
+  gauge(W, "parked_hyperblocks", "Fully-free hyperblocks parked.",
+        Snap.ParkedHyperblocks);
+  gauge(W, "retain_max_bytes", "Retention watermark in force.",
+        Snap.RetainMaxBytes);
+
+  // Configuration echo.
+  gauge(W, "heaps", "Processor heaps per size class.", Snap.Heaps);
+  gauge(W, "size_classes", "Size classes in use.", Snap.Classes);
+  gauge(W, "superblock_bytes", "Superblock size.", Snap.SuperblockBytes);
+  gauge(W, "hyperblock_bytes", "Hyperblock size.", Snap.HyperblockBytes);
+  gauge(W, "telemetry_compiled", "1 when built with LFM_TELEMETRY=1.",
+        Snap.TelemetryCompiled ? 1 : 0);
+  gauge(W, "latency_sample_period",
+        "Mean operations between latency samples (0 = off).",
+        Snap.LatencySamplePeriod);
+}
+
+void lfm::telemetry::promWriteLatencyHelp(profiling::FdWriter &W) {
+  help(W, "latency_ns",
+       "Sampled malloc/free operation latency by outcome path.",
+       "histogram");
+}
+
+void lfm::telemetry::promWriteLatencySeries(profiling::FdWriter &W,
+                                            const char *PathName,
+                                            const LatencyHistogramSnapshot &H) {
+  std::uint64_t Cumulative = 0;
+  for (unsigned I = 0; I < logbuckets::NumBuckets; ++I) {
+    if (H.Buckets[I] == 0)
+      continue; // Sparse exposition: empty buckets carry no information.
+    Cumulative += H.Buckets[I];
+    W.str(Ns);
+    W.str("latency_ns_bucket{path=\"");
+    W.str(PathName);
+    W.str("\",le=\"");
+    // Inclusive integer bound: our buckets are [lower, upper), le is <=.
+    W.dec(logbuckets::bucketUpper(I) - 1);
+    W.str("\"} ");
+    W.dec(Cumulative);
+    W.ch('\n');
+  }
+  W.str(Ns);
+  W.str("latency_ns_bucket{path=\"");
+  W.str(PathName);
+  W.str("\",le=\"+Inf\"} ");
+  W.dec(H.Count);
+  W.ch('\n');
+  W.str(Ns);
+  W.str("latency_ns_sum{path=\"");
+  W.str(PathName);
+  W.str("\"} ");
+  W.dec(H.SumNs);
+  W.ch('\n');
+  W.str(Ns);
+  W.str("latency_ns_count{path=\"");
+  W.str(PathName);
+  W.str("\"} ");
+  W.dec(H.Count);
+  W.ch('\n');
+}

@@ -1,0 +1,56 @@
+//===- telemetry/PromWriter.h - Prometheus text exposition -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prometheus text exposition (format 0.0.4) for the allocator's metrics:
+/// every counter as `lf_malloc_<name>_total`, space and subsystem gauges
+/// as `lf_malloc_*`, and the sampled latency histograms as one classic
+/// histogram family `lf_malloc_latency_ns` with a `path` label per outcome
+/// path — sparse cumulative `_bucket{le=...}` series (only non-empty
+/// buckets, always `+Inf`), `_sum` and `_count`.
+///
+/// `le` bounds are the *inclusive* integer upper bounds of the log-linear
+/// buckets (support/LogBuckets.h upper bound minus one — Prometheus `le`
+/// is <=, our buckets are half-open), so a server-side
+/// histogram_quantile() lands within the same 12.5% bucket resolution the
+/// in-process quantiles report.
+///
+/// Everything writes through the async-signal-safe FdWriter — no stdio, no
+/// floating point, no allocation — so the same code serves
+/// lf_malloc_ctl("dump.prometheus"), the SIGUSR2 dump, and the background
+/// exporter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_PROMWRITER_H
+#define LFMALLOC_TELEMETRY_PROMWRITER_H
+
+#include "profiling/FdWriter.h"
+#include "telemetry/LatencyHistogram.h"
+#include "telemetry/MetricsSnapshot.h"
+
+namespace lfm {
+namespace telemetry {
+
+/// Writes the snapshot's counters, space meter, gauges, and config echo as
+/// Prometheus counter/gauge families.
+void promWriteMetrics(profiling::FdWriter &W, const MetricsSnapshot &Snap);
+
+/// Writes the `# HELP` / `# TYPE` header of the lf_malloc_latency_ns
+/// histogram family. Call once, then promWriteLatencySeries() for each
+/// path — exposition format requires a family's series to be contiguous.
+void promWriteLatencyHelp(profiling::FdWriter &W);
+
+/// Writes one path's histogram series (buckets, _sum, _count) labelled
+/// {path="<PathName>"}. \p PathName must be a plain identifier (the
+/// latencyPathName() table) — no label escaping is performed.
+void promWriteLatencySeries(profiling::FdWriter &W, const char *PathName,
+                            const LatencyHistogramSnapshot &H);
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_PROMWRITER_H

@@ -1,0 +1,254 @@
+//===- telemetry/StatsExporter.cpp - Background stats exporter ------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/StatsExporter.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+namespace lfm {
+namespace telemetry {
+
+namespace detail {
+thread_local bool OnExporterThread = false;
+} // namespace detail
+
+namespace {
+
+constexpr std::size_t PrefixMax = 256;
+
+// Process-wide exporter state, guarded by Mu. The condition variable is
+// created lazily so it can use CLOCK_MONOTONIC (a wall-clock step must not
+// stretch or shrink the export interval).
+pthread_mutex_t Mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t Cv;
+bool CvInitialized = false;
+bool Running = false;
+bool StopRequested = false;
+pthread_t Thread;
+char Prefix[PrefixMax] = "lfm-stats";
+std::uint64_t IntervalMs = 0;
+StatsExporter::EmitFn Emit = nullptr;
+void *EmitCtx = nullptr;
+std::atomic<std::uint64_t> CycleCount{0};
+bool HandlersInstalled = false;
+
+const char *artifactSuffix(int A) {
+  switch (A) {
+  case StatsExporter::MetricsJson:
+    return ".metrics.json";
+  case StatsExporter::Prometheus:
+    return ".prom";
+  case StatsExporter::HeapProfile:
+    return ".heap";
+  default:
+    return ".out";
+  }
+}
+
+/// Appends \p Src to \p Dst (capacity \p Cap, always NUL-terminated).
+void appendStr(char *Dst, std::size_t Cap, const char *Src) {
+  std::size_t At = std::strlen(Dst);
+  while (At + 1 < Cap && *Src != '\0')
+    Dst[At++] = *Src++;
+  Dst[At] = '\0';
+}
+
+/// One export cycle: write each artifact to <prefix><suffix>.tmp, then
+/// rename over <prefix><suffix>. A skipped or failed artifact leaves the
+/// previous snapshot file untouched.
+int exportCycle(const char *Pfx, StatsExporter::EmitFn E, void *Ctx) {
+  int FirstErr = 0;
+  for (int A = 0; A < StatsExporter::NumArtifacts; ++A) {
+    char Final[PrefixMax + 32];
+    std::snprintf(Final, sizeof(Final), "%s%s", Pfx, artifactSuffix(A));
+    char Tmp[sizeof(Final) + 4];
+    std::snprintf(Tmp, sizeof(Tmp), "%s.tmp", Final);
+    const int Fd = ::open(Tmp, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (Fd < 0) {
+      if (FirstErr == 0)
+        FirstErr = errno != 0 ? errno : EIO;
+      continue;
+    }
+    const int RC = E(Ctx, A, Fd);
+    ::close(Fd);
+    if (RC == 0) {
+      if (::rename(Tmp, Final) != 0 && FirstErr == 0)
+        FirstErr = errno != 0 ? errno : EIO;
+    } else {
+      ::unlink(Tmp); // Artifact skipped this cycle (e.g. profiler off).
+    }
+  }
+  return FirstErr;
+}
+
+void *exporterMain(void *) {
+  detail::OnExporterThread = true;
+  pthread_mutex_lock(&Mu);
+  while (!StopRequested) {
+    timespec Deadline;
+    clock_gettime(CLOCK_MONOTONIC, &Deadline);
+    Deadline.tv_sec += static_cast<time_t>(IntervalMs / 1000);
+    Deadline.tv_nsec += static_cast<long>((IntervalMs % 1000) * 1'000'000);
+    if (Deadline.tv_nsec >= 1'000'000'000) {
+      Deadline.tv_sec += 1;
+      Deadline.tv_nsec -= 1'000'000'000;
+    }
+    int RC = 0;
+    while (!StopRequested && RC != ETIMEDOUT)
+      RC = pthread_cond_timedwait(&Cv, &Mu, &Deadline);
+    if (StopRequested)
+      break;
+    char Pfx[PrefixMax];
+    std::memcpy(Pfx, Prefix, PrefixMax);
+    const StatsExporter::EmitFn E = Emit;
+    void *Ctx = EmitCtx;
+    pthread_mutex_unlock(&Mu);
+    exportCycle(Pfx, E, Ctx);
+    CycleCount.fetch_add(1, std::memory_order_release);
+    pthread_mutex_lock(&Mu);
+  }
+  pthread_mutex_unlock(&Mu);
+  return nullptr;
+}
+
+void stopAtExit() { StatsExporter::stop(); }
+
+// fork() integration: take Mu across the fork so the child never inherits
+// it mid-critical-section, then rebuild the child's state from scratch —
+// the exporter thread does not exist in the child.
+void atforkPrepare() { pthread_mutex_lock(&Mu); }
+void atforkParent() { pthread_mutex_unlock(&Mu); }
+void atforkChild() {
+  pthread_mutex_init(&Mu, nullptr);
+  CvInitialized = false;
+  Running = false;
+  StopRequested = false;
+  CycleCount.store(0, std::memory_order_relaxed);
+  detail::OnExporterThread = false;
+}
+
+void ensureCv() {
+  if (CvInitialized)
+    return;
+  pthread_condattr_t Attr;
+  pthread_condattr_init(&Attr);
+  pthread_condattr_setclock(&Attr, CLOCK_MONOTONIC);
+  pthread_cond_init(&Cv, &Attr);
+  pthread_condattr_destroy(&Attr);
+  CvInitialized = true;
+}
+
+} // namespace
+
+int StatsExporter::start(std::uint64_t Interval, const char *Pfx, EmitFn E,
+                         void *Ctx) {
+  if (Interval == 0 || E == nullptr)
+    return EINVAL;
+  pthread_mutex_lock(&Mu);
+  if (Running) {
+    pthread_mutex_unlock(&Mu);
+    return EALREADY;
+  }
+  ensureCv();
+  if (Pfx != nullptr && *Pfx != '\0') {
+    Prefix[0] = '\0';
+    appendStr(Prefix, sizeof(Prefix), Pfx);
+  }
+  IntervalMs = Interval;
+  Emit = E;
+  EmitCtx = Ctx;
+  StopRequested = false;
+  const int RC = pthread_create(&Thread, nullptr, exporterMain, nullptr);
+  if (RC != 0) {
+    pthread_mutex_unlock(&Mu);
+    return RC;
+  }
+  Running = true;
+  if (!HandlersInstalled) {
+    HandlersInstalled = true;
+    pthread_atfork(atforkPrepare, atforkParent, atforkChild);
+    std::atexit(stopAtExit);
+  }
+  pthread_mutex_unlock(&Mu);
+  return 0;
+}
+
+int StatsExporter::stop() {
+  pthread_mutex_lock(&Mu);
+  if (!Running) {
+    pthread_mutex_unlock(&Mu);
+    return 0;
+  }
+  StopRequested = true;
+  pthread_cond_broadcast(&Cv);
+  pthread_mutex_unlock(&Mu);
+  pthread_join(Thread, nullptr);
+  pthread_mutex_lock(&Mu);
+  Running = false;
+  StopRequested = false;
+  pthread_mutex_unlock(&Mu);
+  return 0;
+}
+
+bool StatsExporter::running() {
+  pthread_mutex_lock(&Mu);
+  const bool R = Running;
+  pthread_mutex_unlock(&Mu);
+  return R;
+}
+
+std::uint64_t StatsExporter::cycles() {
+  return CycleCount.load(std::memory_order_acquire);
+}
+
+int StatsExporter::runCycleNow(const char *Pfx, EmitFn E, void *Ctx) {
+  if (E == nullptr)
+    return EINVAL;
+  char Local[PrefixMax];
+  Local[0] = '\0';
+  appendStr(Local, sizeof(Local),
+            (Pfx != nullptr && *Pfx != '\0') ? Pfx : "lfm-stats");
+  const bool Was = detail::OnExporterThread;
+  detail::OnExporterThread = true;
+  const int RC = exportCycle(Local, E, Ctx);
+  detail::OnExporterThread = Was;
+  CycleCount.fetch_add(1, std::memory_order_release);
+  return RC;
+}
+
+bool StatsExporter::waitForCycles(std::uint64_t MinCycles,
+                                  std::uint64_t TimeoutMs) {
+  timespec Deadline;
+  clock_gettime(CLOCK_MONOTONIC, &Deadline);
+  Deadline.tv_sec += static_cast<time_t>(TimeoutMs / 1000);
+  Deadline.tv_nsec += static_cast<long>((TimeoutMs % 1000) * 1'000'000);
+  if (Deadline.tv_nsec >= 1'000'000'000) {
+    Deadline.tv_sec += 1;
+    Deadline.tv_nsec -= 1'000'000'000;
+  }
+  for (;;) {
+    if (cycles() >= MinCycles)
+      return true;
+    timespec Now;
+    clock_gettime(CLOCK_MONOTONIC, &Now);
+    if (Now.tv_sec > Deadline.tv_sec ||
+        (Now.tv_sec == Deadline.tv_sec && Now.tv_nsec >= Deadline.tv_nsec))
+      return cycles() >= MinCycles;
+    const timespec Nap = {0, 1'000'000}; // 1 ms
+    nanosleep(&Nap, nullptr);
+  }
+}
+
+} // namespace telemetry
+} // namespace lfm

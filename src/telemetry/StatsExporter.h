@@ -1,0 +1,94 @@
+//===- telemetry/StatsExporter.h - Background stats exporter -----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in background thread (jemalloc's background_thread idiom) that
+/// periodically snapshots the allocator into files: metrics JSON,
+/// Prometheus text, and — when the heap profiler is live — a heap profile.
+/// Each artifact is written to "<prefix>.<suffix>.tmp" and atomically
+/// rename(2)d over "<prefix>.<suffix>", so scrapers never observe a torn
+/// file.
+///
+/// The exporter lives in the telemetry library but knows nothing about the
+/// allocator: the facade hands it an emit callback that writes one artifact
+/// to a file descriptor. Those callbacks must be allocation-free — the
+/// exporter thread calling back into the instrumented malloc would be
+/// self-observation. The latency recorder polices this: any sample recorded
+/// while onExporterThread() is true lands in the exporterSamples() watchdog
+/// counter, and the lifecycle test runs at sampling period 1 so a single
+/// stray allocation fails it.
+///
+/// Process-wide singleton (one exporter, like one SIGUSR2 handler). A
+/// fork() leaves the child with no exporter thread; pthread_atfork handlers
+/// keep the child's state consistent so it can start its own. Process exit
+/// stops the thread via atexit before static destructors run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_STATSEXPORTER_H
+#define LFMALLOC_TELEMETRY_STATSEXPORTER_H
+
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+namespace detail {
+/// True on the exporter thread (and inside runCycleNow()) — the latency
+/// recorder's reentrancy watchdog reads this.
+extern thread_local bool OnExporterThread;
+} // namespace detail
+
+inline bool onExporterThread() { return detail::OnExporterThread; }
+
+class StatsExporter {
+public:
+  /// The artifacts one export cycle produces, in emission order.
+  enum Artifact : int {
+    MetricsJson = 0, ///< "<prefix>.metrics.json"
+    Prometheus = 1,  ///< "<prefix>.prom"
+    HeapProfile = 2, ///< "<prefix>.heap"
+    NumArtifacts = 3
+  };
+
+  /// Writes artifact \p A to \p Fd. \returns 0 on success, negative to
+  /// skip this artifact this cycle (its .tmp is discarded and any previous
+  /// snapshot file is left in place). MUST NOT allocate from the
+  /// instrumented allocator.
+  using EmitFn = int (*)(void *Ctx, int A, int Fd);
+
+  /// Starts the exporter: one snapshot every \p IntervalMs milliseconds
+  /// into files named from \p Prefix (may include directories; truncated
+  /// to 255 bytes). \returns 0, or EINVAL for a zero interval / null
+  /// emitter, EALREADY if running, or the pthread_create error.
+  static int start(std::uint64_t IntervalMs, const char *Prefix, EmitFn Emit,
+                   void *Ctx);
+
+  /// Stops and joins the exporter thread. Idempotent; \returns 0 always.
+  static int stop();
+
+  static bool running();
+
+  /// Completed export cycles since process start (monotone across
+  /// start/stop pairs; reset only by fork into the child).
+  static std::uint64_t cycles();
+
+  /// Runs one export cycle synchronously on the calling thread, with
+  /// onExporterThread() raised, using the given emitter. Works whether or
+  /// not the background thread is running — tests and the exporter.flush
+  /// ctl key use this to get a deterministic snapshot without sleeping.
+  /// \returns 0 or the first artifact's errno.
+  static int runCycleNow(const char *Prefix, EmitFn Emit, void *Ctx);
+
+  /// Blocks (sleep-polling) until cycles() >= \p MinCycles or \p TimeoutMs
+  /// elapses. \returns true if the count was reached.
+  static bool waitForCycles(std::uint64_t MinCycles, std::uint64_t TimeoutMs);
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_STATSEXPORTER_H

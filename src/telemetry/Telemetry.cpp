@@ -6,6 +6,7 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "profiling/FdWriter.h"
 #include "support/Timing.h"
 #include "telemetry/JsonWriter.h"
 #include "telemetry/MetricsSnapshot.h"
@@ -84,6 +85,10 @@ const char *lfm::telemetry::counterName(Counter C) {
     return "oom_rescues";
   case Counter::TraceDrops:
     return "trace_drops";
+  case Counter::LatencySamples:
+    return "latency_samples";
+  case Counter::ExporterAllocs:
+    return "exporter_allocs";
   case Counter::CounterCount:
     break;
   }
@@ -134,7 +139,13 @@ std::uint32_t roundUpPow2(std::uint32_t V) {
 
 Telemetry::Telemetry(const Options &Opts)
     : TraceOn(Opts.Trace),
-      RingCapacity(roundUpPow2(Opts.TraceEventsPerThread)) {}
+      RingCapacity(roundUpPow2(Opts.TraceEventsPerThread))
+#if LFM_TELEMETRY
+      ,
+      Lat(LatencyRecorder::Options{Opts.LatencySamplePeriod, Opts.LatencySeed})
+#endif
+{
+}
 
 Telemetry::~Telemetry() {
   for (std::atomic<TraceRing *> &SlotRef : Rings) {
@@ -253,11 +264,106 @@ void Telemetry::writeTraceJson(std::FILE *Out) const {
   }
 }
 
-void lfm::telemetry::writeMetricsJson(const MetricsSnapshot &Snap,
-                                      std::FILE *Out) {
-  JsonWriter W(Out);
+namespace {
+
+/// JsonWriter's comma/structure discipline over an async-signal-safe
+/// FdWriter, so the exporter and signal paths can emit the same metrics
+/// document without stdio or heap allocation. Strings here are fixed
+/// identifiers from our own tables — no escaping required.
+class FdJsonWriter {
+public:
+  explicit FdJsonWriter(int Fd) : W(Fd) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  void key(const char *K) {
+    comma();
+    string(K);
+    W.ch(':');
+    JustWroteKey = true;
+  }
+
+  void value(std::uint64_t V) {
+    comma();
+    W.dec(V);
+  }
+  void value(std::int64_t V) {
+    comma();
+    if (V < 0) {
+      W.ch('-');
+      W.dec(static_cast<std::uint64_t>(-(V + 1)) + 1);
+    } else {
+      W.dec(static_cast<std::uint64_t>(V));
+    }
+  }
+  void value(bool V) {
+    comma();
+    W.str(V ? "true" : "false");
+  }
+  void value(const char *V) {
+    comma();
+    string(V);
+  }
+
+  void field(const char *K, std::uint64_t V) {
+    key(K);
+    value(V);
+  }
+  void field(const char *K, std::int64_t V) {
+    key(K);
+    value(V);
+  }
+  void field(const char *K, bool V) {
+    key(K);
+    value(V);
+  }
+  void field(const char *K, const char *V) {
+    key(K);
+    value(V);
+  }
+
+  void newline() { W.ch('\n'); }
+
+private:
+  void open(char C) {
+    comma();
+    W.ch(C);
+    NeedComma = false;
+  }
+  void close(char C) {
+    W.ch(C);
+    NeedComma = true;
+    JustWroteKey = false;
+  }
+  void comma() {
+    if (JustWroteKey) {
+      JustWroteKey = false;
+      return;
+    }
+    if (NeedComma)
+      W.ch(',');
+    NeedComma = true;
+  }
+  void string(const char *S) {
+    W.ch('"');
+    W.str(S);
+    W.ch('"');
+  }
+
+  profiling::FdWriter W;
+  bool NeedComma = false;
+  bool JustWroteKey = false;
+};
+
+/// The one definition of the metrics document, emitted through either
+/// writer so the stdio and fd forms can never drift apart.
+template <class Writer>
+void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.beginObject();
-  W.field("schema", "lfm-metrics-v1");
+  W.field("schema", "lfm-metrics-v2");
 
   W.key("config");
   W.beginObject();
@@ -305,6 +411,62 @@ void lfm::telemetry::writeMetricsJson(const MetricsSnapshot &Snap,
   W.field("retain_decay_ms", Snap.RetainDecayMs);
   W.endObject();
 
+  // The v2 addition. Per-path quantiles are exact bucket upper bounds
+  // (see LatencyPathStats); full bucket detail goes through the
+  // Prometheus exposition instead of bloating this document.
+  W.key("latency");
+  W.beginObject();
+  W.field("enabled", Snap.LatencyEnabled);
+  W.field("sample_period", Snap.LatencySamplePeriod);
+  W.field("samples", Snap.counter(Counter::LatencySamples));
+  W.field("exporter_allocs", Snap.counter(Counter::ExporterAllocs));
+  W.key("paths");
+  W.beginObject();
+  for (unsigned P = 0; P < NumLatencyPaths; ++P) {
+    const LatencyPathStats &S = Snap.Latency[P];
+    W.key(latencyPathName(static_cast<LatencyPath>(P)));
+    W.beginObject();
+    W.field("count", S.Count);
+    W.field("sum_ns", S.SumNs);
+    W.field("max_ns", S.MaxNs);
+    W.field("p50_upper_ns", S.P50UpperNs);
+    W.field("p99_upper_ns", S.P99UpperNs);
+    W.field("p999_upper_ns", S.P999UpperNs);
+    W.endObject();
+  }
   W.endObject();
+  W.key("classes");
+  W.beginArray();
+  for (unsigned C = 0; C <= NumSizeClasses; ++C) {
+    const LatencyClassStats &S = Snap.LatencyClasses[C];
+    if (S.Count == 0)
+      continue; // Sparse: silent classes carry no information.
+    W.beginObject();
+    W.field("class", static_cast<std::uint64_t>(C));
+    W.field("count", S.Count);
+    W.field("sum_ns", S.SumNs);
+    W.field("max_ns", S.MaxNs);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.endObject();
+}
+
+} // namespace
+
+void lfm::telemetry::writeMetricsJson(const MetricsSnapshot &Snap,
+                                      std::FILE *Out) {
+  JsonWriter W(Out);
+  emitMetricsDoc(W, Snap);
   std::fputc('\n', Out);
+}
+
+void lfm::telemetry::writeMetricsJsonFd(const MetricsSnapshot &Snap, int Fd) {
+  if (Fd < 0)
+    return;
+  FdJsonWriter W(Fd);
+  emitMetricsDoc(W, Snap);
+  W.newline();
 }

@@ -26,8 +26,13 @@
 #include "os/PageAllocator.h"
 #include "support/ThreadRegistry.h"
 #include "telemetry/Counters.h"
+#include "telemetry/LatencyPath.h"
 #include "telemetry/TelemetryConfig.h"
 #include "telemetry/TraceRing.h"
+
+#if LFM_TELEMETRY
+#include "telemetry/LatencyRecorder.h"
+#endif
 
 #include <atomic>
 #include <cstdint>
@@ -49,6 +54,11 @@ public:
   struct Options {
     bool Trace = false; ///< Record events into per-thread rings.
     std::uint32_t TraceEventsPerThread = 4096; ///< Ring capacity (pow2'd up).
+    /// Mean operations between latency samples (0 = latency recording off,
+    /// 1 = time every operation).
+    std::uint64_t LatencySamplePeriod = 0;
+    /// Seed for the latency sampler's per-thread gap RNGs (0 = default).
+    std::uint64_t LatencySeed = 0;
   };
 
   explicit Telemetry(const Options &Opts);
@@ -81,6 +91,18 @@ public:
   /// JSON ({"traceEvents":[...]}; load via chrome://tracing or Perfetto).
   void writeTraceJson(std::FILE *Out) const;
 
+#if LFM_TELEMETRY
+  /// Latency sampling gate (see LatencyRecorder::begin). Callers reach
+  /// these through the LFM_LAT_* macros in LFAllocator.cpp, which compile
+  /// to nothing under LFM_TELEMETRY=0 — hence the gate here.
+  std::uint64_t latencyBegin() { return Lat.begin(); }
+  void latencyEnd(std::uint64_t Start, LatencyPath P, unsigned Class) {
+    Lat.end(Start, P, Class);
+  }
+  LatencyRecorder &latency() { return Lat; }
+  const LatencyRecorder &latency() const { return Lat; }
+#endif
+
 private:
   TraceRing *myRing();
 
@@ -93,6 +115,9 @@ private:
   /// Private page source for ring storage; keeps the allocator's own
   /// space meter free of telemetry overhead.
   PageAllocator RingPages;
+#if LFM_TELEMETRY
+  LatencyRecorder Lat;
+#endif
 };
 
 } // namespace telemetry

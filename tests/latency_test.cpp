@@ -1,0 +1,373 @@
+//===- tests/latency_test.cpp - Sampled latency observability -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Covers the tail-latency layer bottom-up: the shared log-linear bucket
+// math, the sharded histogram's quantile-within-bucket-bounds contract,
+// the deterministic sampler (seeded from LFM_TEST_SEED), and the
+// allocator's per-path / per-class attribution as seen through
+// metricsSnapshot().
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/SizeClasses.h"
+#include "support/LogBuckets.h"
+#include "telemetry/LatencyHistogram.h"
+#include "telemetry/LatencyRecorder.h"
+#include "telemetry/MetricsSnapshot.h"
+#include "telemetry/TelemetryConfig.h"
+
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using namespace lfm;
+using telemetry::LatencyHistogramSnapshot;
+using telemetry::LatencyPath;
+
+//===----------------------------------------------------------------------===//
+// LogBuckets: the shared bucket math
+//===----------------------------------------------------------------------===//
+
+TEST(LogBuckets, BoundsBracketEveryValue) {
+  // Deterministic xorshift walk over the 64-bit domain.
+  std::uint64_t X = test::baseSeed() | 1;
+  for (unsigned I = 0; I < 100000; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    const unsigned B = logbuckets::bucketIndex(X);
+    ASSERT_LT(B, logbuckets::NumBuckets);
+    ASSERT_LE(logbuckets::bucketLower(B), X);
+    if (B < logbuckets::NumBuckets - 1)
+      ASSERT_LT(X, logbuckets::bucketUpper(B));
+    else
+      ASSERT_LE(X, logbuckets::bucketUpper(B));
+  }
+}
+
+TEST(LogBuckets, IndexIsMonotoneAndBoundsTile) {
+  // Buckets tile the domain: each upper bound is the next lower bound,
+  // and the index is order-preserving across bucket boundaries.
+  for (unsigned I = 0; I + 1 < logbuckets::NumBuckets; ++I) {
+    ASSERT_EQ(logbuckets::bucketUpper(I), logbuckets::bucketLower(I + 1))
+        << "gap or overlap at bucket " << I;
+    ASSERT_EQ(logbuckets::bucketIndex(logbuckets::bucketLower(I)), I);
+    ASSERT_EQ(logbuckets::bucketIndex(logbuckets::bucketUpper(I) - 1), I);
+  }
+  ASSERT_EQ(logbuckets::bucketIndex(~std::uint64_t{0}),
+            logbuckets::NumBuckets - 1);
+}
+
+TEST(LogBuckets, RelativeResolutionIsBounded) {
+  // The layout's contract: bucket width / lower bound <= 1/NumMinor for
+  // every non-singleton bucket (12.5% with 8 minor buckets).
+  for (unsigned I = logbuckets::NumMinor; I < logbuckets::NumBuckets - 1;
+       ++I) {
+    const double Lo = static_cast<double>(logbuckets::bucketLower(I));
+    const double Width =
+        static_cast<double>(logbuckets::bucketUpper(I) -
+                            logbuckets::bucketLower(I));
+    ASSERT_LE(Width / Lo, 1.0 / logbuckets::NumMinor + 1e-12)
+        << "bucket " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram: quantiles are exact bucket bounds
+//===----------------------------------------------------------------------===//
+
+#if LFM_TELEMETRY
+
+TEST(LatencyHistogram, CountsSumAndMaxAreExactAtQuiescence) {
+  telemetry::LatencyHistogram H;
+  std::uint64_t Sum = 0, Max = 0;
+  for (std::uint64_t V : {7ull, 100ull, 100ull, 5000ull, 123456789ull}) {
+    H.record(V);
+    Sum += V;
+    Max = std::max(Max, V);
+  }
+  LatencyHistogramSnapshot Snap;
+  H.snapshot(Snap);
+  EXPECT_EQ(Snap.Count, 5u);
+  EXPECT_EQ(Snap.SumNs, Sum);
+  EXPECT_EQ(Snap.MaxNs, Max);
+}
+
+TEST(LatencyHistogram, QuantileBoundsBracketTheExactQuantile) {
+  // Feed a deterministic heavy-tailed sample set, compute every exact
+  // rank from the sorted data, and require [quantileLowerNs,
+  // quantileUpperNs] to bracket it at each probed quantile.
+  telemetry::LatencyHistogram H;
+  std::vector<std::uint64_t> Values;
+  std::uint64_t X = test::baseSeed() ^ 0xABCDEF12345ull;
+  for (unsigned I = 0; I < 20000; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    // Mix of a tight mode (~100 ns) and a 1-in-16 heavy tail.
+    const std::uint64_t V =
+        (X & 0xF) == 0 ? 10000 + (X % 3000000) : 60 + (X % 90);
+    Values.push_back(V);
+    H.record(V);
+  }
+  LatencyHistogramSnapshot Snap;
+  H.snapshot(Snap);
+  ASSERT_EQ(Snap.Count, Values.size());
+  std::sort(Values.begin(), Values.end());
+  for (double Q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t Exact =
+        Values[static_cast<std::size_t>(Q * (Values.size() - 1))];
+    EXPECT_LE(Snap.quantileLowerNs(Q), Exact) << "Q=" << Q;
+    EXPECT_GE(Snap.quantileUpperNs(Q), Exact) << "Q=" << Q;
+    // The bracket is one bucket wide: within the layout's 12.5% relative
+    // resolution (plus 1 for the singleton rounding).
+    EXPECT_LE(Snap.quantileUpperNs(Q) - Snap.quantileLowerNs(Q),
+              Snap.quantileLowerNs(Q) / logbuckets::NumMinor + 1)
+        << "Q=" << Q;
+  }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  telemetry::LatencyHistogram H;
+  LatencyHistogramSnapshot Snap;
+  H.snapshot(Snap);
+  EXPECT_EQ(Snap.Count, 0u);
+  EXPECT_EQ(Snap.quantileUpperNs(0.5), 0u);
+  EXPECT_EQ(Snap.quantileLowerNs(0.99), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyRecorder: deterministic sampling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives \p N begin() probes on a fresh recorder and returns the index
+/// of every probe that was sampled (single-threaded, so the gap sequence
+/// is exactly the thread slot's seeded xorshift draw).
+std::vector<unsigned> sampledIndices(std::uint64_t Period, std::uint64_t Seed,
+                                     unsigned N) {
+  telemetry::LatencyRecorder Rec({Period, Seed});
+  std::vector<unsigned> Out;
+  for (unsigned I = 0; I < N; ++I) {
+    const std::uint64_t Start = Rec.begin();
+    if (Start != 0) {
+      Out.push_back(I);
+      Rec.end(Start, LatencyPath::MallocActive, 0);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(LatencyRecorder, SameSeedSameSchedule) {
+  const std::uint64_t Seed = test::baseSeed();
+  const auto A = sampledIndices(8, Seed, 4000);
+  const auto B = sampledIndices(8, Seed, 4000);
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B) << "sampling schedule must be a pure function of the seed";
+  // Mean gap ~8: the sample count lands within a loose 3x band.
+  EXPECT_GT(A.size(), 4000u / 24);
+  EXPECT_LT(A.size(), 4000u * 3 / 8);
+}
+
+TEST(LatencyRecorder, DifferentSeedsDiverge) {
+  const std::uint64_t Seed = test::baseSeed();
+  const auto A = sampledIndices(8, Seed, 4000);
+  const auto B = sampledIndices(8, Seed + 1, 4000);
+  EXPECT_NE(A, B);
+}
+
+TEST(LatencyRecorder, PeriodOneSamplesEveryOperation) {
+  const auto A = sampledIndices(1, test::baseSeed(), 500);
+  ASSERT_EQ(A.size(), 500u);
+  telemetry::LatencyRecorder Rec({1, 0});
+  for (unsigned I = 0; I < 100; ++I)
+    Rec.recordNs(LatencyPath::FreeSmall, 0, 42);
+  EXPECT_EQ(Rec.samples(), 100u);
+  EXPECT_EQ(Rec.exporterSamples(), 0u);
+}
+
+TEST(LatencyRecorder, PeriodZeroDisablesEverything) {
+  telemetry::LatencyRecorder Rec({0, 0});
+  EXPECT_FALSE(Rec.enabled());
+  EXPECT_EQ(Rec.begin(), 0u);
+  EXPECT_EQ(Rec.rareBegin(), 0u);
+  LatencyHistogramSnapshot Snap;
+  Rec.snapshotPath(LatencyPath::MallocActive, Snap);
+  EXPECT_EQ(Snap.Count, 0u);
+}
+
+TEST(LatencyRecorder, ClassSummariesAttributeByClass) {
+  telemetry::LatencyRecorder Rec({1, 0});
+  Rec.recordNs(LatencyPath::MallocActive, 3, 100);
+  Rec.recordNs(LatencyPath::MallocActive, 3, 300);
+  Rec.recordNs(LatencyPath::MallocLarge, NumSizeClasses, 9000);
+  Rec.recordNs(LatencyPath::Trim, telemetry::LatencyRecorder::NoClass, 50);
+  std::uint64_t Count = 0, Sum = 0, Max = 0;
+  Rec.classSummary(3, Count, Sum, Max);
+  EXPECT_EQ(Count, 2u);
+  EXPECT_EQ(Sum, 400u);
+  EXPECT_EQ(Max, 300u);
+  Rec.classSummary(NumSizeClasses, Count, Sum, Max);
+  EXPECT_EQ(Count, 1u);
+  EXPECT_EQ(Sum, 9000u);
+  // NoClass must not have leaked into any class slot.
+  std::uint64_t Total = 0;
+  for (unsigned C = 0; C < telemetry::NumLatencyClasses; ++C) {
+    Rec.classSummary(C, Count, Sum, Max);
+    Total += Count;
+  }
+  EXPECT_EQ(Total, 3u);
+}
+
+#endif // LFM_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// Allocator integration: per-path attribution through metricsSnapshot()
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+AllocatorOptions timedOptions() {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.LatencySamplePeriod = 1; // Every operation: exact attribution.
+  Opts.LatencySampleSeed = test::baseSeed();
+  return Opts;
+}
+
+std::uint64_t pathCount(const telemetry::MetricsSnapshot &Snap,
+                        LatencyPath P) {
+  return Snap.Latency[static_cast<unsigned>(P)].Count;
+}
+
+} // namespace
+
+TEST(AllocatorLatency, EveryMallocAndFreeLandsOnExactlyOnePath) {
+  LFAllocator Alloc(timedOptions());
+  constexpr unsigned N = 2000;
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(64));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+#if LFM_TELEMETRY
+  ASSERT_TRUE(Snap.LatencyEnabled);
+  EXPECT_EQ(Snap.LatencySamplePeriod, 1u);
+  // Every sampled malloc is attributed to exactly one serving path.
+  const std::uint64_t MallocTotal =
+      pathCount(Snap, LatencyPath::MallocActive) +
+      pathCount(Snap, LatencyPath::MallocPartial) +
+      pathCount(Snap, LatencyPath::MallocNewSb) +
+      pathCount(Snap, LatencyPath::MallocLarge);
+  EXPECT_EQ(MallocTotal, N);
+  const std::uint64_t FreeTotal =
+      pathCount(Snap, LatencyPath::FreeSmall) +
+      pathCount(Snap, LatencyPath::FreeSbRelease) +
+      pathCount(Snap, LatencyPath::FreeLarge);
+  EXPECT_EQ(FreeTotal, N);
+  // The common case dominates: most mallocs served from the Active word,
+  // at least one paid the new-superblock path.
+  EXPECT_GT(pathCount(Snap, LatencyPath::MallocActive),
+            pathCount(Snap, LatencyPath::MallocNewSb));
+  EXPECT_GT(pathCount(Snap, LatencyPath::MallocNewSb), 0u);
+  EXPECT_EQ(pathCount(Snap, LatencyPath::MallocLarge), 0u);
+  EXPECT_EQ(Snap.counter(telemetry::Counter::LatencySamples),
+            MallocTotal + FreeTotal);
+  EXPECT_EQ(Snap.counter(telemetry::Counter::ExporterAllocs), 0u);
+#else
+  EXPECT_FALSE(Snap.LatencyEnabled);
+  EXPECT_EQ(pathCount(Snap, LatencyPath::MallocActive), 0u);
+#endif
+}
+
+TEST(AllocatorLatency, LargeOperationsUseTheLargePaths) {
+  LFAllocator Alloc(timedOptions());
+  void *P = Alloc.allocate(2 * 1024 * 1024);
+  ASSERT_NE(P, nullptr);
+  Alloc.deallocate(P);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  (void)Snap; // Only inspected in telemetry builds.
+#if LFM_TELEMETRY
+  EXPECT_EQ(pathCount(Snap, LatencyPath::MallocLarge), 1u);
+  EXPECT_EQ(pathCount(Snap, LatencyPath::FreeLarge), 1u);
+  // Large operations attribute to the shared beyond-class slot.
+  EXPECT_EQ(Snap.LatencyClasses[NumSizeClasses].Count, 2u);
+#endif
+}
+
+TEST(AllocatorLatency, ClassAttributionFollowsSizeToClass) {
+  LFAllocator Alloc(timedOptions());
+  constexpr std::size_t Size = 128;
+  void *P = Alloc.allocate(Size);
+  ASSERT_NE(P, nullptr);
+  Alloc.deallocate(P);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  (void)Snap; // Only inspected in telemetry builds.
+#if LFM_TELEMETRY
+  const unsigned Class = sizeToClass(Size);
+  ASSERT_LT(Class, NumSizeClasses);
+  // One sampled malloc + one sampled free for this class.
+  EXPECT_EQ(Snap.LatencyClasses[Class].Count, 2u);
+  EXPECT_GT(Snap.LatencyClasses[Class].MaxNs, 0u);
+#endif
+}
+
+TEST(AllocatorLatency, QuantileUpperBoundsAreMonotoneAcrossRanks) {
+  LFAllocator Alloc(timedOptions());
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 4000; ++I)
+    Ptrs.push_back(Alloc.allocate(48));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  (void)Snap; // Only inspected in telemetry builds.
+#if LFM_TELEMETRY
+  const telemetry::LatencyPathStats &S =
+      Snap.Latency[static_cast<unsigned>(LatencyPath::MallocActive)];
+  ASSERT_GT(S.Count, 0u);
+  EXPECT_LE(S.P50UpperNs, S.P99UpperNs);
+  EXPECT_LE(S.P99UpperNs, S.P999UpperNs);
+  EXPECT_LE(S.P999UpperNs, logbuckets::bucketUpper(logbuckets::bucketIndex(
+                               S.MaxNs)));
+  EXPECT_GT(S.SumNs, 0u);
+#endif
+}
+
+TEST(AllocatorLatency, StatsOffMeansNoRecorder) {
+  AllocatorOptions Opts;
+  Opts.EnableStats = false;
+  Opts.LatencySamplePeriod = 1; // Ignored without stats.
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(64);
+  Alloc.deallocate(P);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_FALSE(Snap.LatencyEnabled);
+  EXPECT_EQ(Snap.LatencySamplePeriod, 0u);
+  EXPECT_EQ(Snap.counter(telemetry::Counter::LatencySamples), 0u);
+}
+
+TEST(AllocatorLatency, PeriodZeroWithStatsKeepsCountersButNoLatency) {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.LatencySamplePeriod = 0;
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(64);
+  Alloc.deallocate(P);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_FALSE(Snap.LatencyEnabled);
+#if LFM_TELEMETRY
+  EXPECT_EQ(Snap.counter(telemetry::Counter::Mallocs), 1u);
+#endif
+  EXPECT_EQ(Snap.counter(telemetry::Counter::LatencySamples), 0u);
+}

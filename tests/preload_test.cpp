@@ -154,7 +154,80 @@ TEST(Preload, AtexitLeakReportAppearsOnStderr) {
 #endif
 }
 
+TEST(Preload, BackgroundExporterPublishesArtifacts) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // LFM_STATS_INTERVAL_MS starts the exporter thread inside the shim; the
+  // probe's wait mode simply polls for the atomically-renamed .prom
+  // artifact, so no signalling is involved. Works in every build: the
+  // counter families exist with or without telemetry.
+  std::system("rm -f ./preload-exp.prom ./preload-exp.metrics.json "
+              "./preload-exp.*.prom");
+  ASSERT_EQ(runPreloaded("env LFM_STATS_INTERVAL_MS=20 LFM_LATENCY_SAMPLE=8 "
+                         "LFM_STATS_PREFIX=./preload-exp " +
+                         std::string(probePath()) +
+                         " wait-usr2 ./preload-exp.prom > /dev/null"),
+            0);
+  const std::string Prom = slurp("./preload-exp.prom");
+  EXPECT_EQ(Prom.rfind("# HELP ", 0), 0u) << Prom.substr(0, 120);
+  EXPECT_NE(Prom.find("lf_malloc_mallocs_total"), std::string::npos);
+  const std::string Json = slurp("./preload-exp.metrics.json");
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v2\""), std::string::npos)
+      << Json.substr(0, 120);
+  std::system("rm -f ./preload-exp.prom ./preload-exp.metrics.json "
+              "./preload-exp.*.prom");
+}
+
 #if LFM_TELEMETRY
+TEST(Preload, AtexitLatencyDumpRidesOnLeakReport) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // LFM_LEAK_REPORT registers the atexit hook; with latency sampling live
+  // the exit path also writes the sequenced Prometheus exposition.
+  std::system("rm -f ./preload-exit.*.prom");
+  ASSERT_EQ(runPreloaded("env LFM_LEAK_REPORT=1 LFM_LATENCY_SAMPLE=1 "
+                         "LFM_STATS_PREFIX=./preload-exit " +
+                         std::string(probePath()) + " churn 2> /dev/null"),
+            0);
+  const std::string Prom = slurp("./preload-exit.0000.prom");
+  std::system("rm -f ./preload-exit.*.prom");
+  ASSERT_FALSE(Prom.empty()) << "atexit path wrote no .prom dump";
+  EXPECT_EQ(Prom.rfind("# HELP ", 0), 0u) << Prom.substr(0, 120);
+  EXPECT_NE(Prom.find("lf_malloc_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(Prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Preload, Sigusr2DumpsParseablePrometheus) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  const char *Lib = std::getenv("LFM_PRELOAD_LIB");
+  // Latency sampling alone (no profiler) must install the SIGUSR2 handler
+  // and the dump must be a parseable exposition with histogram series.
+  const std::string Script =
+      "rm -f ./preload-lat.*.prom ./preload_lat.out; "
+      "LD_PRELOAD=" + std::string(Lib) +
+      " LFM_LATENCY_SAMPLE=1"
+      " LFM_STATS_PREFIX=./preload-lat " +
+      probePath() +
+      " wait-usr2 ./preload-lat.0000.prom > ./preload_lat.out & "
+      "pid=$!; "
+      "n=0; while [ $n -lt 100 ]; do "
+      "grep -q ready ./preload_lat.out 2>/dev/null && break; "
+      "sleep 0.05; n=$((n+1)); done; "
+      "kill -USR2 $pid; wait $pid";
+  ASSERT_EQ(std::system(("/bin/sh -c '" + Script + "'").c_str()), 0);
+  const std::string Dump = slurp("./preload-lat.0000.prom");
+  std::remove("./preload-lat.0000.prom");
+  std::remove("./preload_lat.out");
+  EXPECT_EQ(Dump.rfind("# HELP ", 0), 0u) << Dump.substr(0, 120);
+  EXPECT_NE(Dump.find("# TYPE lf_malloc_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("lf_malloc_latency_ns_bucket{path=\"malloc_"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("lf_malloc_latency_ns_count{path=\"free_small\"}"),
+            std::string::npos);
+}
+
 TEST(Preload, Sigusr2DumpsParseableHeapProfile) {
   if (!shimAvailable() || !probePath())
     GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";

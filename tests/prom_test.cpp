@@ -1,0 +1,306 @@
+//===- tests/prom_test.cpp - Prometheus exposition contract ---------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// A strict parser over LFAllocator::prometheusText() and the
+// lf_malloc_ctl("dump.prometheus") key: every line must be a well-formed
+// HELP/TYPE comment or a sample, every sample's family must be declared,
+// counter families must end in _total, histogram bucket series must be
+// cumulative and monotone in le with +Inf equal to _count, and no series
+// may appear twice. This is the contract a real scraper depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/LFMalloc.h"
+#include "telemetry/TelemetryConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+struct Sample {
+  std::string Family; ///< Metric name with labels stripped.
+  std::string Labels; ///< Raw label block, "" when none.
+  double Value = 0;
+};
+
+/// Minimal exposition-format 0.0.4 parser; fails the test on any
+/// malformed line instead of guessing.
+struct Exposition {
+  std::map<std::string, std::string> Types; ///< family -> counter|gauge|...
+  std::set<std::string> Helped;
+  std::vector<Sample> Samples;
+  std::set<std::string> SeriesSeen; ///< full "name{labels}" for dup check.
+  std::vector<std::string> Errors;
+
+  explicit Exposition(const std::string &Text) {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (Line.empty()) {
+        Errors.push_back("blank line");
+        continue;
+      }
+      if (Line.rfind("# HELP ", 0) == 0) {
+        const std::string Rest = Line.substr(7);
+        const std::size_t Sp = Rest.find(' ');
+        if (Sp == std::string::npos || Sp + 1 >= Rest.size())
+          Errors.push_back("HELP without text: " + Line);
+        else
+          Helped.insert(Rest.substr(0, Sp));
+        continue;
+      }
+      if (Line.rfind("# TYPE ", 0) == 0) {
+        const std::string Rest = Line.substr(7);
+        const std::size_t Sp = Rest.find(' ');
+        if (Sp == std::string::npos) {
+          Errors.push_back("TYPE without type: " + Line);
+          continue;
+        }
+        const std::string Family = Rest.substr(0, Sp);
+        const std::string Type = Rest.substr(Sp + 1);
+        if (Type != "counter" && Type != "gauge" && Type != "histogram")
+          Errors.push_back("unknown type: " + Line);
+        if (!Types.emplace(Family, Type).second)
+          Errors.push_back("duplicate TYPE for " + Family);
+        continue;
+      }
+      if (Line[0] == '#') {
+        Errors.push_back("unknown comment: " + Line);
+        continue;
+      }
+      parseSample(Line);
+    }
+  }
+
+  void parseSample(const std::string &Line) {
+    const std::size_t Sp = Line.rfind(' ');
+    if (Sp == std::string::npos || Sp + 1 >= Line.size()) {
+      Errors.push_back("sample without value: " + Line);
+      return;
+    }
+    const std::string Series = Line.substr(0, Sp);
+    const std::string ValueText = Line.substr(Sp + 1);
+    Sample S;
+    char *End = nullptr;
+    S.Value = std::strtod(ValueText.c_str(), &End);
+    if (End == ValueText.c_str() || *End != '\0') {
+      Errors.push_back("bad value: " + Line);
+      return;
+    }
+    const std::size_t Brace = Series.find('{');
+    if (Brace == std::string::npos) {
+      S.Family = Series;
+    } else {
+      if (Series.back() != '}') {
+        Errors.push_back("unterminated labels: " + Line);
+        return;
+      }
+      S.Family = Series.substr(0, Brace);
+      S.Labels = Series.substr(Brace + 1, Series.size() - Brace - 2);
+    }
+    if (!SeriesSeen.insert(Series).second)
+      Errors.push_back("duplicate series: " + Series);
+    Samples.push_back(S);
+  }
+
+  /// The family a sample belongs to for TYPE purposes: histogram samples
+  /// use the base name without _bucket/_sum/_count.
+  static std::string typeFamily(const std::string &Name) {
+    for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string S(Suffix);
+      if (Name.size() > S.size() &&
+          Name.compare(Name.size() - S.size(), S.size(), S) == 0) {
+        const std::string Base = Name.substr(0, Name.size() - S.size());
+        return Base;
+      }
+    }
+    return Name;
+  }
+};
+
+std::string prometheusText(LFAllocator &Alloc) {
+  char Path[] = "/tmp/lfm_prom_test_XXXXXX";
+  const int Fd = ::mkstemp(Path);
+  EXPECT_GE(Fd, 0);
+  EXPECT_EQ(Alloc.prometheusText(Fd), 0);
+  ::close(Fd);
+  std::string Text;
+  std::FILE *F = std::fopen(Path, "r");
+  EXPECT_NE(F, nullptr);
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path);
+  return Text;
+}
+
+AllocatorOptions timedOptions() {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.LatencySamplePeriod = 1;
+  return Opts;
+}
+
+} // namespace
+
+TEST(Prometheus, ExpositionParsesStrictly) {
+  LFAllocator Alloc(timedOptions());
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 500; ++I)
+    Ptrs.push_back(Alloc.allocate(64));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const Exposition E(prometheusText(Alloc));
+  ASSERT_TRUE(E.Errors.empty()) << E.Errors.front();
+  ASSERT_FALSE(E.Samples.empty());
+
+  for (const Sample &S : E.Samples) {
+    const std::string Family = Exposition::typeFamily(S.Family);
+    // Histogram component names resolve to the declared base family;
+    // plain counters/gauges must be declared under their own name.
+    const auto It = E.Types.count(Family) ? E.Types.find(Family)
+                                          : E.Types.find(S.Family);
+    ASSERT_NE(It, E.Types.end()) << "undeclared family for " << S.Family;
+    if (It->second == "counter") {
+      EXPECT_TRUE(S.Family.size() > 6 &&
+                  S.Family.compare(S.Family.size() - 6, 6, "_total") == 0)
+          << "counter without _total: " << S.Family;
+      EXPECT_GE(S.Value, 0.0);
+    }
+    EXPECT_TRUE(E.Helped.count(It->first)) << "TYPE without HELP: "
+                                           << It->first;
+  }
+
+  // The core families a scraper would alert on must be present.
+  for (const char *Must :
+       {"lf_malloc_mallocs_total", "lf_malloc_frees_total",
+        "lf_malloc_space_bytes_in_use", "lf_malloc_heaps",
+        "lf_malloc_latency_sample_period"})
+    EXPECT_TRUE(E.SeriesSeen.count(Must)) << Must << " missing";
+}
+
+TEST(Prometheus, LatencyHistogramIsCumulativeAndConsistent) {
+  LFAllocator Alloc(timedOptions());
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 2000; ++I)
+    Ptrs.push_back(Alloc.allocate(96));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const Exposition E(prometheusText(Alloc));
+  ASSERT_TRUE(E.Errors.empty()) << E.Errors.front();
+
+#if LFM_TELEMETRY
+  ASSERT_EQ(E.Types.count("lf_malloc_latency_ns"), 1u);
+  ASSERT_EQ(E.Types.at("lf_malloc_latency_ns"), "histogram");
+
+  // Group bucket samples by path label and check the histogram laws.
+  std::map<std::string, std::vector<std::pair<double, double>>> Buckets;
+  std::map<std::string, double> Counts, Infs;
+  for (const Sample &S : E.Samples) {
+    if (S.Family == "lf_malloc_latency_ns_count") {
+      Counts[S.Labels] = S.Value;
+      continue;
+    }
+    if (S.Family != "lf_malloc_latency_ns_bucket")
+      continue;
+    const std::size_t LePos = S.Labels.find("le=\"");
+    ASSERT_NE(LePos, std::string::npos) << S.Labels;
+    const std::string Le =
+        S.Labels.substr(LePos + 4, S.Labels.size() - LePos - 5);
+    const std::string Path = S.Labels.substr(0, LePos - 1);
+    if (Le == "+Inf") {
+      Infs[Path] = S.Value;
+      continue;
+    }
+    Buckets[Path].emplace_back(std::stod(Le), S.Value);
+  }
+  ASSERT_FALSE(Infs.empty()) << "no latency histogram series";
+  std::uint64_t TotalCount = 0;
+  for (const auto &[Path, Series] : Buckets) {
+    double LastLe = -1, LastCum = -1;
+    for (const auto &[Le, Cum] : Series) {
+      EXPECT_GT(Le, LastLe) << Path << ": le not increasing";
+      EXPECT_GE(Cum, LastCum) << Path << ": buckets not cumulative";
+      LastLe = Le;
+      LastCum = Cum;
+    }
+    ASSERT_TRUE(Infs.count(Path)) << Path << ": missing +Inf";
+    EXPECT_GE(Infs[Path], LastCum) << Path;
+  }
+  for (const auto &[Path, Inf] : Infs) {
+    // _count carries the same path label block the buckets do.
+    ASSERT_TRUE(Counts.count(Path)) << Path << ": missing _count";
+    EXPECT_EQ(Inf, Counts[Path]) << Path << ": +Inf != _count";
+    TotalCount += static_cast<std::uint64_t>(Inf);
+  }
+  // Period 1: every one of the 2000+2000 operations was sampled.
+  EXPECT_GE(TotalCount, 4000u);
+#endif // LFM_TELEMETRY
+}
+
+TEST(Prometheus, CtlDumpKeyWritesTheSameExposition) {
+  // Through the default allocator: dump.prometheus to a file must parse
+  // with the same strict parser (counters may be zero without LFM_STATS).
+  const std::string Path = "./ctl_prom_dump.prom";
+  ASSERT_EQ(lf_malloc_ctl("dump.prometheus", nullptr, nullptr, Path.c_str(),
+                          Path.size() + 1),
+            0);
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Text;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  const Exposition E(Text);
+  EXPECT_TRUE(E.Errors.empty()) << E.Errors.front();
+  EXPECT_TRUE(E.SeriesSeen.count("lf_malloc_mallocs_total"));
+  EXPECT_TRUE(E.Types.count("lf_malloc_telemetry_compiled"));
+}
+
+TEST(Prometheus, SequencedDumpProducesDistinctParseableFiles) {
+  // dump.prometheus_seq writes "<prefix>.<seq>.prom" using the cached
+  // stats prefix (default "lfm-stats", sequence starts at 0000).
+  std::remove("./lfm-stats.0000.prom");
+  std::remove("./lfm-stats.0001.prom");
+  ASSERT_EQ(lf_malloc_ctl("dump.prometheus_seq", nullptr, nullptr, nullptr,
+                          0),
+            0);
+  ASSERT_EQ(lf_malloc_ctl("dump.prometheus_seq", nullptr, nullptr, nullptr,
+                          0),
+            0);
+  for (const char *P : {"./lfm-stats.0000.prom", "./lfm-stats.0001.prom"}) {
+    std::FILE *F = std::fopen(P, "r");
+    ASSERT_NE(F, nullptr) << P;
+    std::string Text;
+    char Buf[4096];
+    std::size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Text.append(Buf, N);
+    std::fclose(F);
+    std::remove(P);
+    const Exposition E(Text);
+    EXPECT_TRUE(E.Errors.empty()) << P << ": " << E.Errors.front();
+    EXPECT_TRUE(E.SeriesSeen.count("lf_malloc_mallocs_total")) << P;
+  }
+}

@@ -444,10 +444,38 @@ TEST(Telemetry, MetricsJsonIsWellFormed) {
 
   const std::string Json = capture(Alloc, &LFAllocator::metricsJson);
   EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v2\""), std::string::npos);
   EXPECT_NE(Json.find("\"counters\""), std::string::npos);
   EXPECT_NE(Json.find("\"mallocs\""), std::string::npos);
   EXPECT_NE(Json.find("\"space\""), std::string::npos);
+}
+
+TEST(Telemetry, MetricsV2IsSupersetOfV1) {
+  // The v2 schema bump adds the "latency" section; every v1 field keeps
+  // its exact name so existing consumers only have to accept the new
+  // schema string.
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(128);
+  Alloc.deallocate(P);
+
+  const std::string Json = capture(Alloc, &LFAllocator::metricsJson);
+  for (const char *V1Field :
+       {"\"config\"", "\"superblock_bytes\"", "\"counters\"", "\"space\"",
+        "\"bytes_in_use\"", "\"peak_bytes\"", "\"gauges\"",
+        "\"cached_superblocks\"", "\"descriptors_minted\"",
+        "\"hazard_retired\"", "\"trace_events_emitted\"",
+        "\"retained_bytes\""})
+    EXPECT_NE(Json.find(V1Field), std::string::npos) << V1Field;
+  EXPECT_NE(Json.find("\"latency\""), std::string::npos);
+#if LFM_TELEMETRY
+  // Stats imply the default sampling period, so the section reports
+  // enabled with per-path stats under their snake_case path names.
+  EXPECT_NE(Json.find("\"sample_period\""), std::string::npos);
+  EXPECT_NE(Json.find("\"malloc_active\""), std::string::npos);
+  EXPECT_NE(Json.find("\"free_small\""), std::string::npos);
+#endif
 }
 
 TEST(Telemetry, TraceJsonIsWellFormedAndChromeShaped) {
