@@ -1,0 +1,76 @@
+//===- bench_replay.cpp - Recorded-trace replay benchmark -----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Replays an lfm-alloctrace-v1 recording (captured from any preloaded
+// binary with LFM_TRACE_RECORD=<path>, see docs/OBSERVABILITY.md) against
+// every allocator, reproducing the recorded thread count, per-thread op
+// order, and cross-thread-free topology. Where bench_traces runs
+// synthetic application classes, this runs the real thing.
+//
+// Usage: bench_replay <trace-file> [--no-latency]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ReplayWorkload.h"
+#include "trace/TraceReader.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace lfm;
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  unsigned SampleEvery = 16;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--no-latency") == 0)
+      SampleEvery = 0;
+    else if (argv[I][0] != '-')
+      Path = argv[I];
+  }
+  if (Path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_replay <trace-file> [--no-latency]\n"
+                 "  record one with: LD_PRELOAD=liblfmalloc_preload.so "
+                 "LFM_TRACE_RECORD=app.trace <cmd>\n");
+    return 2;
+  }
+
+  const trace::TraceFile File = trace::readTraceFile(Path);
+  if (File.Status == trace::ReadStatus::Corrupt) {
+    std::fprintf(stderr, "bench_replay: %s: %s\n", Path, File.Error.c_str());
+    return 1;
+  }
+  if (File.Status == trace::ReadStatus::Truncated)
+    std::fprintf(stderr, "note: %s (replaying the clean prefix)\n",
+                 File.Error.c_str());
+
+  const trace::ReplayPlan Plan = trace::buildReplayPlan(File);
+  std::printf("Trace %s: %llu ops on %zu threads (%llu allocs, %llu frees, "
+              "%llu cross-thread frees, %llu recorded drops)\n",
+              Path, static_cast<unsigned long long>(File.TotalOps),
+              File.Threads.size(),
+              static_cast<unsigned long long>(Plan.TotalAllocs),
+              static_cast<unsigned long long>(Plan.TotalFrees),
+              static_cast<unsigned long long>(Plan.CrossThreadFrees),
+              static_cast<unsigned long long>(File.TotalDropped));
+
+  const auto Threads = static_cast<unsigned>(File.Threads.size());
+  std::printf("%-10s %12s %10s %28s\n", "", "Mops/s", "peak MB",
+              "latency ns");
+  for (AllocatorKind K :
+       {AllocatorKind::LockFree, AllocatorKind::Hoard,
+        AllocatorKind::Ptmalloc, AllocatorKind::SerialLock}) {
+    auto Alloc = makeAllocator(K, Threads);
+    const RecordedReplayResult R = replayRecorded(*Alloc, Plan, SampleEvery);
+    std::printf("%-10s %12.2f %10.2f %28s\n", allocatorKindName(K),
+                R.throughput() / 1e6,
+                static_cast<double>(R.PeakBytes) / 1048576,
+                SampleEvery != 0 ? R.LatencyNs.summary().c_str() : "-");
+    if (R.FailedAllocs != 0)
+      std::printf("  !! %llu replay-time allocation failures\n",
+                  static_cast<unsigned long long>(R.FailedAllocs));
+  }
+  return 0;
+}

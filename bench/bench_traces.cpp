@@ -11,13 +11,52 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/Driver.h"
+#include "harness/ReplayWorkload.h"
 #include "harness/TraceWorkload.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace lfm;
 
-int main() {
+namespace {
+
+// --trace-file=<path>: run a recorded lfm-alloctrace-v1 file through the
+// same allocator table instead of the synthetic profiles, so recorded and
+// synthetic traces share one driver (bench_replay adds latency/RSS
+// detail and plan diagnostics on top of this).
+int runRecorded(const char *Path) {
+  const trace::TraceFile File = trace::readTraceFile(Path);
+  if (File.Status == trace::ReadStatus::Corrupt) {
+    std::fprintf(stderr, "bench_traces: %s: %s\n", Path, File.Error.c_str());
+    return 1;
+  }
+  const trace::ReplayPlan Plan = trace::buildReplayPlan(File);
+  std::printf("\nRecorded trace %s — %llu ops, %zu threads, %llu "
+              "cross-thread frees\n",
+              Path, static_cast<unsigned long long>(File.TotalOps),
+              File.Threads.size(),
+              static_cast<unsigned long long>(Plan.CrossThreadFrees));
+  std::printf("%-10s %16s %12s\n", "", "Mops/s", "peak MB");
+  for (AllocatorKind K :
+       {AllocatorKind::LockFree, AllocatorKind::Hoard,
+        AllocatorKind::Ptmalloc, AllocatorKind::SerialLock}) {
+    auto Alloc = makeAllocator(K, static_cast<unsigned>(File.Threads.size()));
+    const RecordedReplayResult R = replayRecorded(*Alloc, Plan, 0);
+    std::printf("%-10s %16.2f %12.2f\n", allocatorKindName(K),
+                R.throughput() / 1e6,
+                static_cast<double>(R.PeakBytes) / 1048576);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--trace-file=", 13) == 0)
+      return runRecorded(argv[I] + 13);
+
   const BenchScale &Scale = benchScale();
   const auto NumOps =
       static_cast<std::uint32_t>(Scale.scaled(200'000));

@@ -1,0 +1,131 @@
+//===- harness/ReplayWorkload.cpp - Recorded-trace replay -----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ReplayWorkload.h"
+
+#include "support/Barrier.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+using namespace lfm::trace;
+
+namespace {
+
+/// Slot value while the allocation either failed at replay time or was
+/// suppressed; the freeing thread skips the free instead of spinning on a
+/// pointer that will never arrive.
+void *const FailedAlloc = reinterpret_cast<void *>(1);
+
+void touchBlock(void *P, std::uint64_t Bytes) {
+  auto *B = static_cast<unsigned char *>(P);
+  for (std::uint64_t Off = 0; Off < Bytes; Off += 4096)
+    B[Off] = static_cast<unsigned char>(Off | 1);
+  if (Bytes != 0)
+    B[Bytes - 1] = 0x5a;
+}
+
+} // namespace
+
+RecordedReplayResult lfm::replayRecorded(MallocInterface &Alloc,
+                                         const ReplayPlan &Plan,
+                                         unsigned LatencySampleEvery) {
+  const std::size_t NumThreads = Plan.PerThread.size();
+  RecordedReplayResult Total;
+  if (NumThreads == 0)
+    return Total;
+
+  // One handoff slot per token: the allocating thread publishes the
+  // pointer, the freeing thread (possibly another) consumes it.
+  const std::size_t NumSlots = static_cast<std::size_t>(Plan.MaxToken) + 1;
+  std::unique_ptr<std::atomic<void *>[]> Slots(
+      new std::atomic<void *>[NumSlots]);
+  for (std::size_t I = 0; I < NumSlots; ++I)
+    Slots[I].store(nullptr, std::memory_order_relaxed);
+
+  Alloc.resetPeak();
+
+  SpinBarrier Start(static_cast<unsigned>(NumThreads) + 1);
+  std::vector<std::uint64_t> Begin(NumThreads), End(NumThreads);
+  std::vector<RecordedReplayResult> Partial(NumThreads);
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumThreads);
+
+  for (std::size_t W = 0; W < NumThreads; ++W)
+    Workers.emplace_back([&, W] {
+      RecordedReplayResult &R = Partial[W];
+      const std::vector<ReplayOp> &Ops = Plan.PerThread[W];
+      std::uint64_t OpIdx = 0;
+      Start.arriveAndWait();
+      Begin[W] = monotonicNanos();
+      for (const ReplayOp &Op : Ops) {
+        const bool Sample =
+            LatencySampleEvery != 0 && (OpIdx++ % LatencySampleEvery) == 0;
+        const std::uint64_t T0 = Sample ? monotonicNanos() : 0;
+        if (Op.IsAlloc) {
+          void *P = Alloc.malloc(static_cast<std::size_t>(Op.Size));
+          if (Sample)
+            R.LatencyNs.add(monotonicNanos() - T0);
+          if (P != nullptr) {
+            touchBlock(P, Op.Size);
+            ++R.Allocs;
+          } else {
+            ++R.FailedAllocs;
+          }
+          Slots[Op.Token].store(P != nullptr ? P : FailedAlloc,
+                                std::memory_order_release);
+        } else {
+          // The plan guarantees some thread eventually publishes this
+          // token, so a bounded-progress spin (not a lock) suffices —
+          // this wait IS the recorded cross-thread-free dependency.
+          void *P = Slots[Op.Token].load(std::memory_order_acquire);
+          unsigned Spins = 0;
+          while (P == nullptr) {
+            if (++Spins >= 64) {
+              std::this_thread::yield();
+              Spins = 0;
+            }
+            P = Slots[Op.Token].load(std::memory_order_acquire);
+          }
+          if (P != FailedAlloc) {
+            Alloc.free(P);
+            if (Sample)
+              R.LatencyNs.add(monotonicNanos() - T0);
+            ++R.Frees;
+          }
+        }
+      }
+      End[W] = monotonicNanos();
+      // Teardown (untimed): release blocks the trace never freed.
+      for (const std::uint64_t Tok : Plan.Leftover[W]) {
+        void *P = Slots[Tok].load(std::memory_order_acquire);
+        if (P != nullptr && P != FailedAlloc)
+          Alloc.free(P);
+      }
+    });
+
+  Start.arriveAndWait();
+  for (auto &T : Workers)
+    T.join();
+
+  std::uint64_t First = Begin[0], Last = End[0];
+  for (std::size_t W = 0; W < NumThreads; ++W) {
+    First = First < Begin[W] ? First : Begin[W];
+    Last = Last > End[W] ? Last : End[W];
+    Total.Allocs += Partial[W].Allocs;
+    Total.Frees += Partial[W].Frees;
+    Total.FailedAllocs += Partial[W].FailedAllocs;
+    Total.LatencyNs.merge(Partial[W].LatencyNs);
+  }
+  Total.Seconds = static_cast<double>(Last - First) * 1e-9;
+  Total.CrossThreadFrees = Plan.CrossThreadFrees;
+  Total.PeakBytes = Alloc.pageStats().PeakBytes;
+  return Total;
+}

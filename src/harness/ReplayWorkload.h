@@ -1,0 +1,61 @@
+//===- harness/ReplayWorkload.h - Recorded-trace replay ----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays an `lfm-alloctrace-v1` recording (trace/TraceReader.h) against
+/// any MallocInterface contender, faithfully reproducing the recorded
+/// thread structure: one replay thread per recorded thread, ops in
+/// recorded per-thread order, and — the part synthetic workloads cannot
+/// fake — the exact cross-thread-free topology. A block the application
+/// allocated on thread A and freed on thread B is allocated by replay
+/// thread A and freed by replay thread B, handed across through a
+/// per-token pointer slot (the remote-free path is precisely what the
+/// paper's §3 Anchor/partial-list machinery exists for, so preserving
+/// these edges is what makes a replayed number trustworthy).
+///
+/// Fidelity limits (also in docs/OBSERVABILITY.md): calloc and aligned
+/// allocations replay as plain allocations of the recorded size, realloc
+/// as allocate-then-free, and recorded inter-op delays are not reenacted
+/// (replay runs at full speed; DtNs is available to future pacing modes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_HARNESS_REPLAYWORKLOAD_H
+#define LFMALLOC_HARNESS_REPLAYWORKLOAD_H
+
+#include "baselines/AllocatorInterface.h"
+#include "support/Histogram.h"
+#include "trace/TraceReader.h"
+
+#include <cstdint>
+
+namespace lfm {
+
+struct RecordedReplayResult {
+  double Seconds = 0;
+  std::uint64_t Allocs = 0; ///< Allocations performed (excl. teardown-frees).
+  std::uint64_t Frees = 0;
+  std::uint64_t CrossThreadFrees = 0; ///< Frees satisfied via token handoff.
+  std::uint64_t FailedAllocs = 0;     ///< Replay-time OOMs (frees skipped).
+  std::uint64_t PeakBytes = 0;        ///< Allocator page-level high water.
+  LogHistogram LatencyNs;             ///< Sampled per-op latency.
+
+  double throughput() const {
+    return Seconds > 0 ? static_cast<double>(Allocs + Frees) / Seconds : 0;
+  }
+};
+
+/// Replays \p Plan against \p Alloc. \p LatencySampleEvery samples one op
+/// latency out of every N per thread (0 disables sampling entirely; 1
+/// times every op). Blocks still live at end-of-plan are freed by their
+/// allocating thread after the timed region.
+RecordedReplayResult replayRecorded(MallocInterface &Alloc,
+                                    const trace::ReplayPlan &Plan,
+                                    unsigned LatencySampleEvery = 16);
+
+} // namespace lfm
+
+#endif // LFMALLOC_HARNESS_REPLAYWORKLOAD_H

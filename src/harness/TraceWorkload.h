@@ -23,6 +23,14 @@
 /// The same trace (seed + profile + length) drives tests (determinism,
 /// conservation) and `bench_traces` (throughput per allocator).
 ///
+/// Naming note: this is one of three unrelated "trace" mechanisms in the
+/// tree. These workloads are *synthetic* op streams invented from a seed;
+/// telemetry/TraceRing.h records *allocator-internal* events for
+/// Chrome-trace export; and trace/AllocTrace.h is the allocation flight
+/// recorder, which captures a *real program's* malloc/free stream for
+/// replay (harness/ReplayWorkload.h runs those recordings through the
+/// same allocator table). See the disambiguation in docs/OBSERVABILITY.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LFMALLOC_HARNESS_TRACEWORKLOAD_H

@@ -51,6 +51,18 @@ extern std::atomic<std::uint64_t> StatsIntervalMs;
 /// countdown belongs to the PageAllocator.
 extern std::atomic<std::int64_t> LastFailMapArm;
 
+inline constexpr std::size_t TraceRecordPathCap = 4096;
+
+/// Destination of the last successful `trace.start` (empty: never
+/// started); `trace.path` echoes it. Lives here — not in the recorder —
+/// so the echo keys resolve even in LFMALLOC_TRACE=OFF builds, keeping
+/// the env↔ctl registry invariant configuration-independent.
+extern char TraceRecordPath[TraceRecordPathCap];
+
+/// Flight-recorder buffer budget in KiB for the next `trace.start`
+/// (0: resolve LFM_TRACE_BUF_KB, falling back to the recorder default).
+extern std::atomic<std::uint64_t> TraceBufferKb;
+
 } // namespace detail
 } // namespace lfm
 

@@ -18,6 +18,7 @@
 #include "support/ThreadRegistry.h"
 #include "telemetry/PromWriter.h"
 #include "telemetry/Telemetry.h"
+#include "trace/AllocTrace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -1088,6 +1089,14 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
   Snap.HazardRetired = Domain.retiredCount();
   Snap.HazardScans = Domain.scanCount();
   Snap.HazardReclaims = Domain.reclaimCount();
+  {
+    // Flight-recorder health (process-wide, not per-instance; all zero
+    // under LFM_ALLOC_TRACE=0).
+    const trace::RecorderStats TS = trace::recorderStats();
+    Snap.AllocTraceRecording = TS.Recording;
+    Snap.AllocTraceOps = TS.Ops;
+    Snap.AllocTraceDropped = TS.Dropped;
+  }
   Snap.Heaps = HeapCount;
   Snap.Classes = ClassCount;
   Snap.SuperblockBytes = Opts.SuperblockSize;

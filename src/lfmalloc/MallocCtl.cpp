@@ -31,8 +31,10 @@
 #include "lfmalloc/FacadeState.h"
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
+#include "support/RuntimeConfig.h"
 #include "telemetry/MetricsSnapshot.h"
 #include "telemetry/StatsExporter.h"
+#include "trace/AllocTrace.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -48,6 +50,8 @@ std::atomic<bool> lfm::detail::LeakReportRequested{false};
 std::atomic<std::int64_t> lfm::detail::LastFailMapArm{-1};
 char lfm::detail::StatsPrefix[lfm::detail::StatsPrefixCap] = "lfm-stats";
 std::atomic<std::uint64_t> lfm::detail::StatsIntervalMs{0};
+char lfm::detail::TraceRecordPath[lfm::detail::TraceRecordPathCap] = "";
+std::atomic<std::uint64_t> lfm::detail::TraceBufferKb{0};
 
 namespace {
 
@@ -180,6 +184,9 @@ int statsGet(const char *Name, void *Out, size_t *OutLen) {
       {"hazard_reclaims", Snap.HazardReclaims},
       {"trace_events_emitted", Snap.TraceEventsEmitted},
       {"trace_events_overwritten", Snap.TraceEventsOverwritten},
+      {"alloctrace_recording", Snap.AllocTraceRecording ? 1u : 0u},
+      {"alloctrace_ops", Snap.AllocTraceOps},
+      {"alloctrace_dropped", Snap.AllocTraceDropped},
   };
   for (const auto &Row : Rows)
     if (std::strcmp(Name, Row.Name) == 0)
@@ -261,6 +268,71 @@ int exporterEmit(void * /*Ctx*/, int Artifact, int Fd) {
     return Alloc.heapProfileText(Fd) == 0 ? 0 : -1;
   }
   return -1;
+}
+
+/// Effective flight-recorder buffer budget in KiB: the last value written
+/// through `trace.buffer_kb`, else LFM_TRACE_BUF_KB, else 0 — which the
+/// recorder maps to its built-in default.
+std::uint64_t traceBufferKb() {
+  std::uint64_t Kb = detail::TraceBufferKb.load(std::memory_order_relaxed);
+  if (Kb == 0)
+    config::varU64(config::Var::TraceBufKb, Kb);
+  return Kb;
+}
+
+/// trace.<name>: the allocation flight recorder (trace/AllocTrace.h).
+/// Echo/status keys resolve in every build configuration; the action keys
+/// return ENOENT under LFMALLOC_TRACE=OFF (the recorder stubs).
+int traceCtl(const char *Name, void *Out, size_t *OutLen, const void *In,
+             size_t InLen) {
+  if (std::strcmp(Name, "start") == 0) {
+    // In: NUL-terminated destination path (required).
+    char Path[detail::TraceRecordPathCap];
+    if (const int Rc = takePath(In, InLen, Path, sizeof(Path)))
+      return Rc;
+    if (Path[0] == '\0')
+      return EINVAL;
+    const int Rc = trace::startRecording(Path, traceBufferKb());
+    if (Rc == 0)
+      std::memcpy(detail::TraceRecordPath, Path, std::strlen(Path) + 1);
+    return Rc;
+  }
+  if (std::strcmp(Name, "stop") == 0) {
+    if (In != nullptr)
+      return EINVAL;
+    return trace::stopRecording();
+  }
+  if (std::strcmp(Name, "flush") == 0) {
+    if (In != nullptr)
+      return EINVAL;
+    return trace::flushNow();
+  }
+  if (std::strcmp(Name, "buffer_kb") == 0) {
+    // Read/write: the written value takes effect at the next trace.start.
+    if (In != nullptr) {
+      std::uint64_t Kb = 0;
+      if (const int Rc = takeU64(In, InLen, Kb))
+        return Rc;
+      detail::TraceBufferKb.store(Kb, std::memory_order_relaxed);
+      return 0;
+    }
+    return readU64(Out, OutLen, traceBufferKb());
+  }
+  if (In != nullptr)
+    return EPERM; // Everything below is a read-only echo/status key.
+  if (std::strcmp(Name, "status") == 0)
+    return readU64(Out, OutLen, trace::recorderStats().Recording ? 1 : 0);
+  if (std::strcmp(Name, "ops") == 0)
+    return readU64(Out, OutLen, trace::recorderStats().Ops);
+  if (std::strcmp(Name, "dropped") == 0)
+    return readU64(Out, OutLen, trace::recorderStats().Dropped);
+  if (std::strcmp(Name, "bytes_written") == 0)
+    return readU64(Out, OutLen, trace::recorderStats().BytesWritten);
+  if (std::strcmp(Name, "flushes") == 0)
+    return readU64(Out, OutLen, trace::recorderStats().Flushes);
+  if (std::strcmp(Name, "path") == 0)
+    return readStr(Out, OutLen, detail::TraceRecordPath);
+  return ENOENT;
 }
 
 /// Builds "<prefix>.<NNNN><suffix>" into \p Path using only
@@ -430,6 +502,9 @@ int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
       return EINVAL;
     return lf_malloc_latency_dump() == 0 ? 0 : EIO;
   }
+
+  if (std::strncmp(Key, "trace.", 6) == 0)
+    return traceCtl(Key + 6, Out, OutLen, In, InLen);
 
   return ENOENT;
 }

@@ -20,6 +20,7 @@
 #include "lfmalloc/LFMalloc.h"
 #include "profiling/HeapTopology.h"
 #include "support/RuntimeConfig.h"
+#include "trace/AllocTrace.h"
 
 #include <cerrno>
 #include <cstddef>
@@ -32,16 +33,34 @@ using namespace lfm;
 
 extern "C" {
 
-void *malloc(size_t Bytes) { return defaultAllocator().allocate(Bytes); }
+// The trace::on* hooks cost one predicted-false branch when no flight
+// recording is active (trace/AllocTrace.h) and compile to nothing under
+// LFM_ALLOC_TRACE=0. Ordering contract: alloc hooks run AFTER the
+// operation (the result is part of the record), free/realloc hooks erase
+// the address→token mapping BEFORE the block can be recycled.
 
-void free(void *Ptr) { defaultAllocator().deallocate(Ptr); }
+void *malloc(size_t Bytes) {
+  void *Ptr = defaultAllocator().allocate(Bytes);
+  trace::onMalloc(Ptr, Bytes);
+  return Ptr;
+}
+
+void free(void *Ptr) {
+  trace::onFree(Ptr);
+  defaultAllocator().deallocate(Ptr);
+}
 
 void *calloc(size_t Num, size_t Size) {
-  return defaultAllocator().allocateZeroed(Num, Size);
+  void *Ptr = defaultAllocator().allocateZeroed(Num, Size);
+  trace::onCalloc(Ptr, Num, Size);
+  return Ptr;
 }
 
 void *realloc(void *Ptr, size_t Bytes) {
-  return defaultAllocator().reallocate(Ptr, Bytes);
+  const std::uint64_t OldTok = trace::beforeRealloc(Ptr);
+  void *NewPtr = defaultAllocator().reallocate(Ptr, Bytes);
+  trace::afterRealloc(Ptr, OldTok, NewPtr, Bytes);
+  return NewPtr;
 }
 
 void *reallocarray(void *Ptr, size_t Num, size_t Size) {
@@ -49,7 +68,10 @@ void *reallocarray(void *Ptr, size_t Num, size_t Size) {
     errno = ENOMEM;
     return nullptr;
   }
-  return defaultAllocator().reallocate(Ptr, Num * Size);
+  const std::uint64_t OldTok = trace::beforeRealloc(Ptr);
+  void *NewPtr = defaultAllocator().reallocate(Ptr, Num * Size);
+  trace::afterRealloc(Ptr, OldTok, NewPtr, Num * Size);
+  return NewPtr;
 }
 
 void *aligned_alloc(size_t Alignment, size_t Bytes) {
@@ -57,13 +79,16 @@ void *aligned_alloc(size_t Alignment, size_t Bytes) {
     errno = EINVAL;
     return nullptr;
   }
-  return defaultAllocator().allocateAligned(Alignment, Bytes);
+  void *Ptr = defaultAllocator().allocateAligned(Alignment, Bytes);
+  trace::onAlignedAlloc(Ptr, Alignment, Bytes);
+  return Ptr;
 }
 
 int posix_memalign(void **Out, size_t Alignment, size_t Bytes) {
   if (!isPowerOf2(Alignment) || Alignment % sizeof(void *) != 0)
     return EINVAL;
   void *Ptr = defaultAllocator().allocateAligned(Alignment, Bytes);
+  trace::onAlignedAlloc(Ptr, Alignment, Bytes);
   if (!Ptr)
     return ENOMEM;
   *Out = Ptr;
@@ -75,16 +100,22 @@ void *memalign(size_t Alignment, size_t Bytes) {
     errno = EINVAL;
     return nullptr;
   }
-  return defaultAllocator().allocateAligned(Alignment, Bytes);
+  void *Ptr = defaultAllocator().allocateAligned(Alignment, Bytes);
+  trace::onAlignedAlloc(Ptr, Alignment, Bytes);
+  return Ptr;
 }
 
 void *valloc(size_t Bytes) {
-  return defaultAllocator().allocateAligned(OsPageSize, Bytes);
+  void *Ptr = defaultAllocator().allocateAligned(OsPageSize, Bytes);
+  trace::onAlignedAlloc(Ptr, OsPageSize, Bytes);
+  return Ptr;
 }
 
 void *pvalloc(size_t Bytes) {
-  return defaultAllocator().allocateAligned(
-      OsPageSize, alignUp(Bytes, OsPageSize));
+  const size_t Rounded = alignUp(Bytes, OsPageSize);
+  void *Ptr = defaultAllocator().allocateAligned(OsPageSize, Rounded);
+  trace::onAlignedAlloc(Ptr, OsPageSize, Rounded);
+  return Ptr;
 }
 
 size_t malloc_usable_size(void *Ptr) {
@@ -162,6 +193,9 @@ void sigusr2Handler(int) {
     lf_malloc_heap_profile_dump();
   if (DumpLatencyOnSignal)
     lf_malloc_latency_dump();
+  // One atomic store; a no-op unless a flight recording is active. The
+  // writer thread flushes on its next wakeup (~25 ms).
+  trace::requestAsyncFlush();
   errno = Saved;
 }
 
@@ -183,7 +217,17 @@ __attribute__((constructor)) void shimInit() {
   LFAllocator &Alloc = defaultAllocator();
   DumpProfileOnSignal = Alloc.profilerEnabled();
   DumpLatencyOnSignal = Alloc.latencyEnabled();
-  if (DumpProfileOnSignal || DumpLatencyOnSignal) {
+  // LFM_TRACE_RECORD=<path>: flight-record the whole process lifetime.
+  // Routed through lf_malloc_ctl so the env path and the programmatic
+  // path ("trace.start") are one code path; the atexit hook installed by
+  // the recorder flushes and publishes the file at process exit.
+  const char *TracePath = config::varRaw(config::Var::TraceRecord);
+  bool TraceStarted = false;
+  if (TracePath != nullptr && *TracePath != '\0')
+    TraceStarted = lf_malloc_ctl("trace.start", nullptr, nullptr,
+                                 const_cast<char *>(TracePath),
+                                 std::strlen(TracePath) + 1) == 0;
+  if (DumpProfileOnSignal || DumpLatencyOnSignal || TraceStarted) {
     struct sigaction SA;
     std::memset(&SA, 0, sizeof(SA));
     SA.sa_handler = sigusr2Handler;

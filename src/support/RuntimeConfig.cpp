@@ -42,6 +42,10 @@ const VarSpec Table[NumVars] = {
      "background stats-exporter period in ms; 0 disables"},
     {"LFM_STATS_PREFIX", "opt.stats_prefix", "lfm-stats",
      "path prefix for background exporter / signal-dump artifacts"},
+    {"LFM_TRACE_RECORD", "trace.path", "unset",
+     "record an lfm-alloctrace-v1 allocation trace to this path (shim)"},
+    {"LFM_TRACE_BUF_KB", "trace.buffer_kb", "8192",
+     "flight-recorder append-buffer budget in KiB"},
     {"LFM_RETAIN_MAX_BYTES", "retain.max_bytes", "unset",
      "superblock-cache retention watermark in bytes (~0: keep all)"},
     {"LFM_RETAIN_DECAY_MS", "retain.decay_ms", "-1",

@@ -45,6 +45,10 @@ enum class Var : unsigned {
   StatsIntervalMs, ///< LFM_STATS_INTERVAL_MS: background exporter period.
   StatsPrefix,     ///< LFM_STATS_PREFIX: exporter artifact path prefix.
 
+  // Allocation flight recorder (shim; trace/AllocTrace.h).
+  TraceRecord, ///< LFM_TRACE_RECORD: record an lfm-alloctrace-v1 file here.
+  TraceBufKb,  ///< LFM_TRACE_BUF_KB: recorder append-buffer budget in KiB.
+
   // Memory-return policy (read at first use, adjustable via ctl).
   RetainMaxBytes, ///< LFM_RETAIN_MAX_BYTES: superblock-cache watermark.
   RetainDecayMs,  ///< LFM_RETAIN_DECAY_MS: decay period; <0 disables.

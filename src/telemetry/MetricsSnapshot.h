@@ -78,6 +78,12 @@ struct MetricsSnapshot {
   std::uint64_t TraceEventsEmitted = 0;
   std::uint64_t TraceEventsOverwritten = 0;
 
+  // Allocation flight recorder health (trace/AllocTrace.h; all zero when
+  // LFM_ALLOC_TRACE=0 or no recording has run).
+  bool AllocTraceRecording = false;
+  std::uint64_t AllocTraceOps = 0;
+  std::uint64_t AllocTraceDropped = 0;
+
   // Sampled-latency observability (lfm-metrics-v2; all zero when latency
   // recording is off or LFM_TELEMETRY=0).
   bool LatencyEnabled = false;

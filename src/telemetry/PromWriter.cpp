@@ -106,6 +106,13 @@ void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
         Snap.TraceEventsEmitted);
   gauge(W, "trace_events_overwritten", "Trace events lost to wraparound.",
         Snap.TraceEventsOverwritten);
+  gauge(W, "alloctrace_recording", "1 while a flight recording is active.",
+        Snap.AllocTraceRecording ? 1 : 0);
+  counter(W, "alloctrace_ops", "Flight-recorder ops durably encoded.",
+          Snap.AllocTraceOps);
+  counter(W, "alloctrace_dropped",
+          "Flight-recorder ops lost to buffer exhaustion.",
+          Snap.AllocTraceDropped);
   gauge(W, "retained_bytes", "Bytes idle in the superblock cache.",
         Snap.RetainedBytes);
   gauge(W, "decommitted_superblocks", "Cached superblocks decommitted.",

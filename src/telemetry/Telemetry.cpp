@@ -404,6 +404,9 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.field("hazard_reclaims", Snap.HazardReclaims);
   W.field("trace_events_emitted", Snap.TraceEventsEmitted);
   W.field("trace_events_overwritten", Snap.TraceEventsOverwritten);
+  W.field("alloctrace_recording", Snap.AllocTraceRecording);
+  W.field("alloctrace_ops", Snap.AllocTraceOps);
+  W.field("alloctrace_dropped", Snap.AllocTraceDropped);
   W.field("retained_bytes", Snap.RetainedBytes);
   W.field("decommitted_superblocks", Snap.DecommittedSuperblocks);
   W.field("parked_hyperblocks", Snap.ParkedHyperblocks);

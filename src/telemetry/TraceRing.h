@@ -25,6 +25,14 @@
 /// All payload fields are relaxed atomics rather than plain fields so the
 /// torn-read race window is defined behavior and ThreadSanitizer-clean.
 ///
+/// Naming note: this is one of three unrelated "trace" mechanisms in the
+/// tree. These rings record *allocator-internal* events (superblock
+/// lifecycle, OS maps) for Chrome-trace export; harness/TraceWorkload.h
+/// generates *synthetic* application op streams for benchmarking; and
+/// trace/AllocTrace.h is the allocation flight recorder, which captures a
+/// *real program's* malloc/free stream for replay. See the disambiguation
+/// in docs/OBSERVABILITY.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LFMALLOC_TELEMETRY_TRACERING_H

@@ -1,0 +1,667 @@
+//===- trace/AllocTrace.cpp - Allocation flight recorder ------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// See AllocTrace.h for the design. Invariants the code below maintains:
+//
+//  - Appending is per-thread single-writer: a thread owns exactly one
+//    chunk at a time, writes payload bytes plainly, and publishes them
+//    with one release store of the chunk's Used counter. The background
+//    writer reads Used with acquire and flushes only the published prefix,
+//    so it never observes a torn record.
+//  - Records never straddle chunks (a chunk is sealed when fewer than
+//    MaxRecordBytes remain), so every flushed segment parses standalone.
+//  - Chunks circulate through tagged-index Treiber stacks (free list,
+//    full queue); the 32-bit tag in the packed head makes pop ABA-safe.
+//  - All writer-side work (drain + sweep) is serialized by IoMu, so the
+//    file sees one writer even when `trace.flush` runs a pass inline.
+//  - The address→token map is erased *before* the underlying free and
+//    inserted *after* the underlying alloc (shim hook ordering), so a
+//    recycled address can never alias a stale token.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/AllocTrace.h"
+
+#if LFM_ALLOC_TRACE
+
+#include "support/CycleClock.h"
+#include "support/ThreadRegistry.h"
+#include "support/Timing.h"
+#include "trace/TraceFormat.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace lfm;
+using namespace lfm::trace;
+
+namespace {
+
+constexpr std::uint32_t InvalidIdx = ~0u;
+constexpr std::uint32_t ChunkPayloadBytes = 64 * 1024;
+constexpr unsigned MaxTraceThreads = 1024;
+constexpr std::uint64_t DefaultBufferKb = 8192;
+constexpr std::uint64_t MinBufferKb = 128;      // two chunks
+constexpr std::uint64_t MaxBufferKb = 1u << 20; // 1 GiB
+constexpr std::size_t TokenMapCapacity = std::size_t{1} << 18;
+constexpr unsigned TokenMaxProbes = 128;
+constexpr std::size_t PathCap = 4096;
+constexpr std::uint64_t WriterTickMs = 25;
+constexpr std::uint64_t WriterPassMs = 200;
+
+/// One append buffer. The payload follows the header in the pool mapping;
+/// Used is the single-writer/multi-reader publication point, Flushed is
+/// private to the (IoMu-serialized) writer side.
+struct Chunk {
+  std::atomic<std::uint32_t> Used{0};
+  std::uint32_t Flushed = 0;
+  std::uint32_t Tid = 0;
+  std::uint32_t Seq = 0;
+  std::uint32_t NextLink = InvalidIdx; ///< Free-/full-list link (index).
+};
+constexpr std::size_t ChunkStride =
+    (sizeof(Chunk) + 63 + ChunkPayloadBytes) & ~std::size_t{63};
+
+struct TokenEntry {
+  std::atomic<std::uintptr_t> Key{0};
+  std::atomic<std::uint64_t> Tok{0};
+};
+constexpr std::uintptr_t EmptyKey = 0;
+constexpr std::uintptr_t TombKey = 1;
+
+// --- process-wide recorder state -----------------------------------------
+
+pthread_mutex_t Mu = PTHREAD_MUTEX_INITIALIZER;   // control/lifecycle
+pthread_mutex_t IoMu = PTHREAD_MUTEX_INITIALIZER; // writer passes
+pthread_cond_t Cv;
+bool CvInitialized = false;
+bool Running = false;
+bool StopRequested = false;
+bool HandlersInstalled = false;
+bool EverStarted = false;
+pthread_t Writer;
+int Fd = -1;
+char FinalPath[PathCap];
+char TmpPath[PathCap + 8];
+
+std::uint8_t *Pool = nullptr;
+std::size_t PoolBytes = 0;
+std::uint32_t ChunkCount = 0;
+TokenEntry *TokenMap = nullptr;
+
+std::atomic<std::uint64_t> FreeHead{~std::uint64_t{0}};
+std::atomic<std::uint64_t> FullHead{~std::uint64_t{0}};
+std::atomic<std::uint32_t> ActiveChunk[MaxTraceThreads];
+
+std::atomic<std::uint64_t> SessionEpoch{0};
+std::atomic<std::uint64_t> SessionStartTicks{0};
+std::atomic<std::uint64_t> NextToken{1};
+std::atomic<std::uint64_t> RecordedOps{0};
+std::atomic<std::uint64_t> DroppedTotal{0};
+std::atomic<std::uint64_t> BytesWritten{0};
+std::atomic<std::uint64_t> FlushPasses{0};
+std::atomic<bool> FlushRequested{false};
+
+struct ThreadState {
+  std::uint64_t Epoch = 0;
+  std::uint64_t LastTicks = 0;
+  std::uint32_t CurIdx = InvalidIdx;
+  std::uint32_t NextSeq = 0;
+  std::uint32_t PendingDrops = 0;
+};
+thread_local ThreadState TLS;
+
+// --- chunk pool ----------------------------------------------------------
+
+Chunk *chunkAt(std::uint32_t Idx) {
+  return reinterpret_cast<Chunk *>(Pool + std::size_t{Idx} * ChunkStride);
+}
+std::uint8_t *payloadOf(Chunk *C) {
+  return reinterpret_cast<std::uint8_t *>(C) + (ChunkStride - ChunkPayloadBytes);
+}
+
+std::uint64_t packHead(std::uint32_t Idx, std::uint32_t Tag) {
+  return (std::uint64_t{Tag} << 32) | Idx;
+}
+std::uint32_t headIdx(std::uint64_t H) { return static_cast<std::uint32_t>(H); }
+std::uint32_t headTag(std::uint64_t H) {
+  return static_cast<std::uint32_t>(H >> 32);
+}
+
+void stackPush(std::atomic<std::uint64_t> &Head, std::uint32_t Idx) {
+  std::uint64_t H = Head.load(std::memory_order_relaxed);
+  for (;;) {
+    chunkAt(Idx)->NextLink = headIdx(H);
+    if (Head.compare_exchange_weak(H, packHead(Idx, headTag(H) + 1),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+std::uint32_t stackPop(std::atomic<std::uint64_t> &Head) {
+  std::uint64_t H = Head.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint32_t Idx = headIdx(H);
+    if (Idx == InvalidIdx)
+      return InvalidIdx;
+    const std::uint32_t Next = chunkAt(Idx)->NextLink;
+    if (Head.compare_exchange_weak(H, packHead(Next, headTag(H) + 1),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+      return Idx;
+  }
+}
+
+/// (Re)maps the chunk pool for a \p BudgetKb payload budget. Only called
+/// with Mu held and no recording running.
+int ensurePool(std::uint64_t BudgetKb) {
+  const auto Want =
+      static_cast<std::uint32_t>(BudgetKb * 1024 / ChunkPayloadBytes);
+  const std::uint32_t Count = Want < 2 ? 2 : Want;
+  if (Pool != nullptr && Count == ChunkCount)
+    return 0;
+  if (Pool != nullptr) {
+    ::munmap(Pool, PoolBytes);
+    Pool = nullptr;
+  }
+  const std::size_t Bytes = std::size_t{Count} * ChunkStride;
+  void *M = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (M == MAP_FAILED)
+    return ENOMEM;
+  Pool = static_cast<std::uint8_t *>(M);
+  PoolBytes = Bytes;
+  ChunkCount = Count;
+  return 0;
+}
+
+/// Rebuilds the free list from scratch and clears all publication slots.
+/// Only called with Mu held while Active is false.
+void resetPool() {
+  FreeHead.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  FullHead.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  for (auto &Slot : ActiveChunk)
+    Slot.store(InvalidIdx, std::memory_order_relaxed);
+  for (std::uint32_t I = 0; I < ChunkCount; ++I) {
+    Chunk *C = new (chunkAt(I)) Chunk();
+    C->Used.store(0, std::memory_order_relaxed);
+    stackPush(FreeHead, I);
+  }
+}
+
+int ensureTokenMap() {
+  if (TokenMap != nullptr)
+    return 0;
+  void *M = ::mmap(nullptr, TokenMapCapacity * sizeof(TokenEntry),
+                   PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (M == MAP_FAILED)
+    return ENOMEM;
+  TokenMap = new (M) TokenEntry[TokenMapCapacity];
+  return 0;
+}
+
+void clearTokenMap() {
+  for (std::size_t I = 0; I < TokenMapCapacity; ++I) {
+    TokenMap[I].Key.store(EmptyKey, std::memory_order_relaxed);
+    TokenMap[I].Tok.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- address→token map ---------------------------------------------------
+
+std::size_t hashPtr(std::uintptr_t Key) {
+  return static_cast<std::size_t>(((Key >> 4) * 0x9E3779B97F4A7C15ull) >> 24) &
+         (TokenMapCapacity - 1);
+}
+
+bool tokenInsertWith(void *P, std::uint64_t Tok) {
+  const auto Key = reinterpret_cast<std::uintptr_t>(P);
+  const std::size_t H = hashPtr(Key);
+  for (unsigned Probe = 0; Probe < TokenMaxProbes; ++Probe) {
+    TokenEntry &E = TokenMap[(H + Probe) & (TokenMapCapacity - 1)];
+    std::uintptr_t K = E.Key.load(std::memory_order_relaxed);
+    if (K == Key) {
+      // Stale slot for the same address (its free record was lost);
+      // reusing it keeps the map consistent going forward.
+      E.Tok.store(Tok, std::memory_order_release);
+      return true;
+    }
+    if (K == EmptyKey || K == TombKey) {
+      if (E.Key.compare_exchange_strong(K, Key, std::memory_order_acq_rel)) {
+        E.Tok.store(Tok, std::memory_order_release);
+        return true;
+      }
+      if (K == Key) {
+        E.Tok.store(Tok, std::memory_order_release);
+        return true;
+      }
+      // Lost the slot to a different key; keep probing.
+    }
+  }
+  return false;
+}
+
+std::uint64_t tokenAssign(void *P) {
+  const std::uint64_t Tok = NextToken.fetch_add(1, std::memory_order_relaxed);
+  if (tokenInsertWith(P, Tok))
+    return Tok;
+  // Table overflow: the op is still recorded but its alloc/free edge is
+  // lost (token 0). Accounted — replay will treat the block as untracked.
+  DroppedTotal.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+std::uint64_t tokenErase(void *P) {
+  const auto Key = reinterpret_cast<std::uintptr_t>(P);
+  const std::size_t H = hashPtr(Key);
+  for (unsigned Probe = 0; Probe < TokenMaxProbes; ++Probe) {
+    TokenEntry &E = TokenMap[(H + Probe) & (TokenMapCapacity - 1)];
+    const std::uintptr_t K = E.Key.load(std::memory_order_acquire);
+    if (K == EmptyKey)
+      return 0; // Not present (allocated before recording, or overflowed).
+    if (K == Key) {
+      const std::uint64_t Tok = E.Tok.load(std::memory_order_acquire);
+      E.Key.store(TombKey, std::memory_order_release);
+      return Tok;
+    }
+  }
+  return 0;
+}
+
+// --- appending -----------------------------------------------------------
+
+Chunk *rotateChunk(ThreadState &TS, std::uint32_t Tid) {
+  const std::uint32_t NewIdx = stackPop(FreeHead);
+  if (NewIdx == InvalidIdx)
+    return nullptr;
+  Chunk *N = chunkAt(NewIdx);
+  N->Tid = Tid;
+  N->Seq = TS.NextSeq++;
+  const std::uint32_t OldIdx = TS.CurIdx;
+  TS.CurIdx = NewIdx;
+  // Publish the fresh chunk before queueing the sealed one so the writer
+  // never drains-and-recycles a chunk that is still the published slot.
+  ActiveChunk[Tid].store(NewIdx, std::memory_order_release);
+  if (OldIdx != InvalidIdx)
+    stackPush(FullHead, OldIdx);
+  return N;
+}
+
+void emit(OpKind K, const std::uint64_t *Vals, unsigned NVals) {
+  const std::uint32_t Tid = threadIndex();
+  ThreadState &TS = TLS;
+  const std::uint64_t E = SessionEpoch.load(std::memory_order_relaxed);
+  if (TS.Epoch != E) {
+    TS.Epoch = E;
+    TS.CurIdx = InvalidIdx;
+    TS.NextSeq = 0;
+    TS.PendingDrops = 0;
+    TS.LastTicks = SessionStartTicks.load(std::memory_order_relaxed);
+  }
+  if (Tid >= MaxTraceThreads) {
+    DroppedTotal.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Chunk *C = TS.CurIdx != InvalidIdx ? chunkAt(TS.CurIdx) : nullptr;
+  std::uint32_t Used = C ? C->Used.load(std::memory_order_relaxed) : 0;
+  if (C == nullptr || ChunkPayloadBytes - Used < MaxRecordBytes) {
+    C = rotateChunk(TS, Tid);
+    Used = 0;
+    if (C == nullptr) {
+      // Pool exhausted: the writer has not recycled fast enough. Count
+      // the loss here and in-stream once space returns.
+      ++TS.PendingDrops;
+      DroppedTotal.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const std::uint64_t NowT = cycleclock::now();
+  const std::uint64_t Dt = NowT > TS.LastTicks
+                               ? cycleclock::ticksToNanos(NowT - TS.LastTicks)
+                               : 0;
+  if (NowT > TS.LastTicks)
+    TS.LastTicks = NowT;
+  std::uint8_t *P = payloadOf(C) + Used;
+  std::size_t N = 0;
+  if (TS.PendingDrops != 0) {
+    P[N++] = static_cast<std::uint8_t>(OpKind::Dropped);
+    N += putVarint(P + N, TS.PendingDrops);
+    TS.PendingDrops = 0;
+  }
+  P[N++] = static_cast<std::uint8_t>(K);
+  N += putVarint(P + N, Dt);
+  for (unsigned I = 0; I < NVals; ++I)
+    N += putVarint(P + N, Vals[I]);
+  C->Used.store(Used + static_cast<std::uint32_t>(N),
+                std::memory_order_release);
+  RecordedOps.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- writer side ---------------------------------------------------------
+
+bool writeAll(int F, const void *Buf, std::size_t Len) {
+  const char *P = static_cast<const char *>(Buf);
+  while (Len > 0) {
+    const ssize_t W = ::write(F, P, Len);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    Len -= static_cast<std::size_t>(W);
+  }
+  return true;
+}
+
+/// Writes the unflushed published prefix of \p C as one framed segment.
+/// Writer-side only (IoMu held).
+void flushChunk(Chunk *C) {
+  std::uint32_t Used = C->Used.load(std::memory_order_acquire);
+  if (Used > ChunkPayloadBytes)
+    Used = ChunkPayloadBytes; // Straggler clobber; clamp, reader tolerates.
+  if (Used <= C->Flushed)
+    return;
+  std::uint8_t Hdr[3 * MaxVarintBytes];
+  std::size_t N = putVarint(Hdr, C->Tid);
+  N += putVarint(Hdr + N, C->Seq);
+  N += putVarint(Hdr + N, Used - C->Flushed);
+  if (!writeAll(Fd, Hdr, N) ||
+      !writeAll(Fd, payloadOf(C) + C->Flushed, Used - C->Flushed))
+    return; // Disk trouble: leave Flushed so a later pass retries.
+  BytesWritten.fetch_add(N + (Used - C->Flushed), std::memory_order_relaxed);
+  C->Flushed = Used;
+}
+
+/// One writer pass: drain sealed chunks (recycling them), then sweep the
+/// published prefix of every live thread's current chunk. IoMu held.
+void drainPass() {
+  for (;;) {
+    const std::uint32_t Idx = stackPop(FullHead);
+    if (Idx == InvalidIdx)
+      break;
+    Chunk *C = chunkAt(Idx);
+    flushChunk(C);
+    C->Flushed = 0;
+    C->Used.store(0, std::memory_order_relaxed);
+    stackPush(FreeHead, Idx);
+  }
+  const std::uint32_t Live = threadIndexWatermark();
+  const std::uint32_t Lim = Live < MaxTraceThreads ? Live : MaxTraceThreads;
+  for (std::uint32_t T = 0; T < Lim; ++T) {
+    const std::uint32_t Idx = ActiveChunk[T].load(std::memory_order_acquire);
+    if (Idx != InvalidIdx)
+      flushChunk(chunkAt(Idx));
+  }
+  FlushPasses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ensureCv() {
+  if (CvInitialized)
+    return;
+  pthread_condattr_t Attr;
+  pthread_condattr_init(&Attr);
+  pthread_condattr_setclock(&Attr, CLOCK_MONOTONIC);
+  pthread_cond_init(&Cv, &Attr);
+  pthread_condattr_destroy(&Attr);
+  CvInitialized = true;
+}
+
+void *writerMain(void *) {
+  pthread_mutex_lock(&Mu);
+  std::uint64_t LastPass = monotonicNanos();
+  while (!StopRequested) {
+    timespec Deadline;
+    clock_gettime(CLOCK_MONOTONIC, &Deadline);
+    Deadline.tv_nsec += static_cast<long>(WriterTickMs * 1'000'000);
+    if (Deadline.tv_nsec >= 1'000'000'000) {
+      Deadline.tv_sec += 1;
+      Deadline.tv_nsec -= 1'000'000'000;
+    }
+    int RC = 0;
+    while (!StopRequested && RC != ETIMEDOUT)
+      RC = pthread_cond_timedwait(&Cv, &Mu, &Deadline);
+    if (StopRequested)
+      break;
+    const bool Flush = FlushRequested.exchange(false);
+    const std::uint64_t Now = monotonicNanos();
+    if (!Flush && Now - LastPass < WriterPassMs * 1'000'000)
+      continue;
+    LastPass = Now;
+    pthread_mutex_unlock(&Mu);
+    pthread_mutex_lock(&IoMu);
+    drainPass();
+    pthread_mutex_unlock(&IoMu);
+    pthread_mutex_lock(&Mu);
+  }
+  pthread_mutex_unlock(&Mu);
+  // Final catch-up so stopRecording() joins a writer whose last pass saw
+  // the stop-side quiesce.
+  pthread_mutex_lock(&IoMu);
+  drainPass();
+  pthread_mutex_unlock(&IoMu);
+  return nullptr;
+}
+
+void stopAtExit() { trace::stopRecording(); }
+
+// fork() integration, StatsExporter-style: hold both locks across the
+// fork; the child has no writer thread and must never write into the
+// parent's trace file, so it resets to "not recording".
+void atforkPrepare() {
+  pthread_mutex_lock(&Mu);
+  pthread_mutex_lock(&IoMu);
+}
+void atforkParent() {
+  pthread_mutex_unlock(&IoMu);
+  pthread_mutex_unlock(&Mu);
+}
+void atforkChild() {
+  pthread_mutex_init(&Mu, nullptr);
+  pthread_mutex_init(&IoMu, nullptr);
+  CvInitialized = false;
+  trace::detail::Active.store(false, std::memory_order_relaxed);
+  Running = false;
+  StopRequested = false;
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+} // namespace
+
+// --- public surface ------------------------------------------------------
+
+namespace lfm {
+namespace trace {
+
+namespace detail {
+
+std::atomic<bool> Active{false};
+
+void recordAlloc(OpKind K, void *Ptr, std::uint64_t SizeA,
+                 std::uint64_t SizeB) {
+  const std::uint64_t Tok = Ptr != nullptr ? tokenAssign(Ptr) : 0;
+  if (K == OpKind::AlignedAlloc) {
+    const std::uint64_t V[3] = {SizeA, SizeB, Tok};
+    emit(K, V, 3);
+  } else {
+    const std::uint64_t V[2] = {SizeA, Tok};
+    emit(K, V, 2);
+  }
+}
+
+void recordFree(void *Ptr) {
+  const std::uint64_t V[1] = {tokenErase(Ptr)};
+  emit(OpKind::Free, V, 1);
+}
+
+std::uint64_t reallocErase(void *OldPtr) { return tokenErase(OldPtr); }
+
+void reallocRecord(void *OldPtr, std::uint64_t OldTok, void *NewPtr,
+                   std::uint64_t Bytes) {
+  std::uint64_t NewTok = 0;
+  if (NewPtr != nullptr) {
+    NewTok = tokenAssign(NewPtr);
+  } else if (Bytes != 0 && OldPtr != nullptr && OldTok != 0) {
+    // Failed grow: the old block is still live; restore its mapping under
+    // the same token. (realloc(p, 0) frees and returns null — the reader
+    // distinguishes that by Bytes == 0 and treats it as a free.)
+    tokenInsertWith(OldPtr, OldTok);
+  }
+  const std::uint64_t V[3] = {OldTok, Bytes, NewTok};
+  emit(OpKind::Realloc, V, 3);
+}
+
+} // namespace detail
+
+int startRecording(const char *Path, std::uint64_t BufferKb) {
+  if (Path == nullptr || *Path == '\0')
+    return EINVAL;
+  const std::size_t PLen = std::strlen(Path);
+  if (PLen >= PathCap - 1)
+    return EINVAL;
+  pthread_mutex_lock(&Mu);
+  if (Running) {
+    pthread_mutex_unlock(&Mu);
+    return EALREADY;
+  }
+  cycleclock::calibrate();
+  std::uint64_t Kb = BufferKb != 0 ? BufferKb : DefaultBufferKb;
+  if (Kb < MinBufferKb)
+    Kb = MinBufferKb;
+  if (Kb > MaxBufferKb)
+    Kb = MaxBufferKb;
+  int Rc = ensurePool(Kb);
+  if (Rc == 0)
+    Rc = ensureTokenMap();
+  if (Rc != 0) {
+    pthread_mutex_unlock(&Mu);
+    return Rc;
+  }
+  std::memcpy(FinalPath, Path, PLen + 1);
+  std::snprintf(TmpPath, sizeof(TmpPath), "%s.tmp", FinalPath);
+  Fd = ::open(TmpPath, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    pthread_mutex_unlock(&Mu);
+    return EIO;
+  }
+  // New session: bump the epoch (stale thread-local chunk state resets on
+  // the next hook), give stragglers from a prior session a beat to leave
+  // the append path, then rebuild the pool and the token map.
+  SessionEpoch.fetch_add(1, std::memory_order_relaxed);
+  if (EverStarted) {
+    const timespec Grace = {0, 2'000'000}; // 2 ms
+    nanosleep(&Grace, nullptr);
+  }
+  EverStarted = true;
+  resetPool();
+  clearTokenMap();
+  NextToken.store(1, std::memory_order_relaxed);
+  RecordedOps.store(0, std::memory_order_relaxed);
+  DroppedTotal.store(0, std::memory_order_relaxed);
+  BytesWritten.store(0, std::memory_order_relaxed);
+  FlushPasses.store(0, std::memory_order_relaxed);
+  FlushRequested.store(false, std::memory_order_relaxed);
+  SessionStartTicks.store(cycleclock::now(), std::memory_order_relaxed);
+
+  std::uint8_t Hdr[sizeof(FormatMagic) + 3 * MaxVarintBytes];
+  std::memcpy(Hdr, FormatMagic, sizeof(FormatMagic));
+  std::size_t N = sizeof(FormatMagic);
+  N += putVarint(Hdr + N, FormatVersion);
+  N += putVarint(Hdr + N, 0); // flags
+  N += putVarint(Hdr + N, monotonicNanos());
+  if (!writeAll(Fd, Hdr, N)) {
+    ::close(Fd);
+    Fd = -1;
+    pthread_mutex_unlock(&Mu);
+    return EIO;
+  }
+  BytesWritten.store(N, std::memory_order_relaxed);
+
+  StopRequested = false;
+  ensureCv();
+  Rc = pthread_create(&Writer, nullptr, writerMain, nullptr);
+  if (Rc != 0) {
+    ::close(Fd);
+    Fd = -1;
+    pthread_mutex_unlock(&Mu);
+    return Rc;
+  }
+  Running = true;
+  if (!HandlersInstalled) {
+    HandlersInstalled = true;
+    pthread_atfork(atforkPrepare, atforkParent, atforkChild);
+    std::atexit(stopAtExit);
+  }
+  detail::Active.store(true, std::memory_order_release);
+  pthread_mutex_unlock(&Mu);
+  return 0;
+}
+
+int stopRecording() {
+  pthread_mutex_lock(&Mu);
+  if (!Running) {
+    pthread_mutex_unlock(&Mu);
+    return EALREADY;
+  }
+  detail::Active.store(false, std::memory_order_release);
+  StopRequested = true;
+  pthread_cond_broadcast(&Cv);
+  pthread_mutex_unlock(&Mu);
+  pthread_join(Writer, nullptr);
+  pthread_mutex_lock(&Mu);
+  // One more pass after the join: catches records published between the
+  // writer's final pass and Active going false.
+  pthread_mutex_lock(&IoMu);
+  drainPass();
+  pthread_mutex_unlock(&IoMu);
+  ::close(Fd);
+  Fd = -1;
+  ::rename(TmpPath, FinalPath); // Atomic publication, exporter-style.
+  Running = false;
+  StopRequested = false;
+  pthread_mutex_unlock(&Mu);
+  return 0;
+}
+
+int flushNow() {
+  pthread_mutex_lock(&Mu);
+  if (!Running) {
+    pthread_mutex_unlock(&Mu);
+    return EALREADY;
+  }
+  pthread_mutex_lock(&IoMu);
+  drainPass();
+  pthread_mutex_unlock(&IoMu);
+  pthread_mutex_unlock(&Mu);
+  return 0;
+}
+
+void requestAsyncFlush() {
+  FlushRequested.store(true, std::memory_order_relaxed);
+}
+
+RecorderStats recorderStats() {
+  RecorderStats S;
+  S.Recording = detail::Active.load(std::memory_order_relaxed);
+  S.Ops = RecordedOps.load(std::memory_order_relaxed);
+  S.Dropped = DroppedTotal.load(std::memory_order_relaxed);
+  S.BytesWritten = BytesWritten.load(std::memory_order_relaxed);
+  S.Flushes = FlushPasses.load(std::memory_order_relaxed);
+  return S;
+}
+
+} // namespace trace
+} // namespace lfm
+
+#endif // LFM_ALLOC_TRACE

@@ -1,0 +1,174 @@
+//===- trace/AllocTrace.h - Allocation flight recorder -----------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation flight recorder: captures every malloc / free / calloc /
+/// realloc / aligned operation the LD_PRELOAD shim sees into lock-free
+/// per-thread append buffers and streams them to an `lfm-alloctrace-v1`
+/// file (trace/TraceFormat.h), so any preloaded workload becomes a
+/// reproducible benchmark (bench_replay, docs/OBSERVABILITY.md).
+///
+/// Design, mirroring the PR 5 StatsExporter discipline:
+///  - The hot hooks are a single relaxed load + predicted-false branch
+///    when idle, and when recording they append to a buffer only this
+///    thread writes — no locks, no allocation, no syscalls. Buffers come
+///    from a bounded mmap'd pool; when the pool is exhausted ops are
+///    *dropped and accounted* (per-thread counters folded into in-stream
+///    Dropped records plus a global total), never silently lost.
+///  - A background writer thread drains full buffers and sweeps partial
+///    ones every ~50 ms, writing to `<path>.tmp`; stopRecording() (or the
+///    atexit hook) flushes everything and atomically renames to `<path>`.
+///  - pthread_atfork: the child resets to "not recording" — it has no
+///    writer thread and must not interleave writes into the parent's file.
+///  - requestAsyncFlush() is a bare atomic store, safe from signal
+///    handlers (the shim's SIGUSR2 handler uses it); the writer honours
+///    it on its next wakeup.
+///
+/// The address→token remap lives in a lock-free fixed-capacity hash table
+/// updated *before* the underlying free and *after* the underlying alloc,
+/// so a block's address can never be recycled to another thread while the
+/// map still holds its old token.
+///
+/// Restart caveat: stopRecording() cannot wait for hooks already past the
+/// `recording()` check on other threads; a start() immediately after a
+/// stop() under heavy traffic may let a handful of stragglers from the old
+/// session into the new file. The reader is tolerant by construction and
+/// start() inserts a short grace period; quiesce threads for exact traces.
+///
+/// Compiled out entirely by LFM_ALLOC_TRACE=0 (trace/TraceConfig.h): every
+/// function below becomes an empty inline stub and AllocTrace.cpp defines
+/// zero symbols.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TRACE_ALLOCTRACE_H
+#define LFMALLOC_TRACE_ALLOCTRACE_H
+
+#include "trace/TraceConfig.h"
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+#if LFM_ALLOC_TRACE
+#include "support/Platform.h"
+#include "trace/TraceFormat.h"
+
+#include <atomic>
+#endif
+
+namespace lfm {
+namespace trace {
+
+/// Point-in-time recorder health, for `trace.*` ctl keys and the
+/// lfm-metrics-v2 exposition. Ops/Dropped reset at each startRecording().
+struct RecorderStats {
+  bool Recording = false;
+  std::uint64_t Ops = 0;          ///< Records durably encoded.
+  std::uint64_t Dropped = 0;      ///< Ops lost (buffers full / token table).
+  std::uint64_t BytesWritten = 0; ///< Payload + framing bytes on disk.
+  std::uint64_t Flushes = 0;      ///< Writer passes completed.
+};
+
+#if LFM_ALLOC_TRACE
+
+namespace detail {
+extern std::atomic<bool> Active;
+void recordAlloc(OpKind K, void *Ptr, std::uint64_t SizeA, std::uint64_t SizeB);
+void recordFree(void *Ptr);
+std::uint64_t reallocErase(void *OldPtr);
+void reallocRecord(void *OldPtr, std::uint64_t OldTok, void *NewPtr,
+                   std::uint64_t Bytes);
+} // namespace detail
+
+/// True while a recording session is active (one relaxed load).
+inline bool recording() {
+  return detail::Active.load(std::memory_order_relaxed);
+}
+
+/// Shim hooks. Call the alloc-side hooks *after* the underlying operation
+/// (the result pointer is part of the record) and onFree / beforeRealloc
+/// *before* it (the address→token mapping must be erased before the
+/// allocator can hand the address to another thread).
+inline void onMalloc(void *Ptr, std::size_t Bytes) {
+  if (LFM_UNLIKELY(recording()))
+    detail::recordAlloc(OpKind::Malloc, Ptr, Bytes, 0);
+}
+inline void onCalloc(void *Ptr, std::size_t Num, std::size_t Size) {
+  if (LFM_UNLIKELY(recording())) {
+    const std::uint64_t Total =
+        (Size != 0 && Num > ~std::uint64_t{0} / Size)
+            ? ~std::uint64_t{0}
+            : static_cast<std::uint64_t>(Num) * Size;
+    detail::recordAlloc(OpKind::Calloc, Ptr, Total, 0);
+  }
+}
+inline void onAlignedAlloc(void *Ptr, std::size_t Alignment,
+                           std::size_t Bytes) {
+  if (LFM_UNLIKELY(recording()))
+    detail::recordAlloc(OpKind::AlignedAlloc, Ptr, Alignment, Bytes);
+}
+inline void onFree(void *Ptr) {
+  if (LFM_UNLIKELY(recording() && Ptr != nullptr))
+    detail::recordFree(Ptr);
+}
+/// \returns the old block's token (0 when unknown/null), erased from the
+/// map so the allocator may recycle the address.
+inline std::uint64_t beforeRealloc(void *OldPtr) {
+  if (LFM_UNLIKELY(recording() && OldPtr != nullptr))
+    return detail::reallocErase(OldPtr);
+  return 0;
+}
+/// Records the realloc. On failure (NewPtr null) the old block is still
+/// live: its mapping is restored under the same token.
+inline void afterRealloc(void *OldPtr, std::uint64_t OldTok, void *NewPtr,
+                         std::size_t Bytes) {
+  if (LFM_UNLIKELY(recording()))
+    detail::reallocRecord(OldPtr, OldTok, NewPtr, Bytes);
+}
+
+/// Starts recording to \p Path (written as `<Path>.tmp` until stop).
+/// \p BufferKb bounds the append-buffer pool (0: keep the current/default
+/// budget). \returns 0 or an errno value (EALREADY when recording, EINVAL
+/// on a bad path, EIO when the file cannot be created).
+int startRecording(const char *Path, std::uint64_t BufferKb);
+
+/// Flushes everything reachable and atomically publishes `<Path>`.
+/// \returns 0, or EALREADY when no recording is active.
+int stopRecording();
+
+/// Runs one synchronous writer pass (drain + sweep) on the caller's
+/// thread. \returns 0, or EALREADY when no recording is active.
+int flushNow();
+
+/// Asks the writer thread to flush on its next wakeup. Async-signal-safe:
+/// one atomic store, no locks.
+void requestAsyncFlush();
+
+/// \returns a racy-but-consistent-enough snapshot of recorder health.
+RecorderStats recorderStats();
+
+#else // !LFM_ALLOC_TRACE
+
+inline bool recording() { return false; }
+inline void onMalloc(void *, std::size_t) {}
+inline void onCalloc(void *, std::size_t, std::size_t) {}
+inline void onAlignedAlloc(void *, std::size_t, std::size_t) {}
+inline void onFree(void *) {}
+inline std::uint64_t beforeRealloc(void *) { return 0; }
+inline void afterRealloc(void *, std::uint64_t, void *, std::size_t) {}
+inline int startRecording(const char *, std::uint64_t) { return ENOENT; }
+inline int stopRecording() { return ENOENT; }
+inline int flushNow() { return ENOENT; }
+inline void requestAsyncFlush() {}
+inline RecorderStats recorderStats() { return {}; }
+
+#endif // LFM_ALLOC_TRACE
+
+} // namespace trace
+} // namespace lfm
+
+#endif // LFMALLOC_TRACE_ALLOCTRACE_H

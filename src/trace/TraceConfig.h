@@ -1,0 +1,36 @@
+//===- trace/TraceConfig.h - Compile-time flight-recorder gate ---*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one compile-time switch for the allocation flight recorder.
+///
+/// LFM_ALLOC_TRACE == 1 (the default): the shim can capture every
+/// malloc/free/calloc/realloc/aligned operation into lock-free per-thread
+/// append buffers and stream them to an `lfm-alloctrace-v1` file
+/// (trace/AllocTrace.h). When no recording is active the cost is one
+/// predicted-false branch on a cached atomic per shim entry point.
+///
+/// LFM_ALLOC_TRACE == 0: the recorder translation unit compiles to nothing
+/// (CI checks AllocTrace.cpp.o defines zero symbols), every hook in the
+/// shim is an empty inline, and the `trace.start/stop/flush` ctl keys
+/// report ENOENT. The read-only echo keys (`trace.path`, `trace.status`,
+/// ...) keep resolving so the env↔ctl registry invariant holds in every
+/// configuration.
+///
+/// Build with -DLFM_ALLOC_TRACE=0 (CMake: -DLFMALLOC_TRACE=OFF) to select
+/// the recorder-free configuration. The trace *reader* and the replay
+/// machinery are consumer-side tools and are not gated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TRACE_TRACECONFIG_H
+#define LFMALLOC_TRACE_TRACECONFIG_H
+
+#ifndef LFM_ALLOC_TRACE
+#define LFM_ALLOC_TRACE 1
+#endif
+
+#endif // LFMALLOC_TRACE_TRACECONFIG_H

@@ -1,0 +1,115 @@
+//===- trace/TraceFormat.h - lfm-alloctrace-v1 wire format -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `lfm-alloctrace-v1` binary trace format, shared by the recorder
+/// (trace/AllocTrace.cpp) and the reader (trace/TraceReader.cpp).
+///
+/// File layout (all integers are unsigned LEB128 varints unless noted):
+///
+///   magic     8 raw bytes "LFMATRC1"
+///   version   varint (1)
+///   flags     varint (0; reserved)
+///   start_ns  varint (CLOCK_MONOTONIC at recording start, informational)
+///   chunk*    until EOF
+///
+/// Each chunk is one flushed segment of one thread's append buffer:
+///
+///   tid       varint  dense thread index (support/ThreadRegistry.h)
+///   seq       varint  per-thread buffer sequence number
+///   len       varint  payload byte count
+///   payload   len raw bytes: whole op records, never split
+///
+/// Chunks of different threads interleave freely and chunks of one thread
+/// may appear out of seq order (the background writer flushes partially
+/// filled buffers); a reader groups payload bytes by tid, orders groups by
+/// seq, and concatenates. Within that per-thread stream each record is:
+///
+///   opcode    1 raw byte (OpKind)
+///   Malloc / Calloc:   dt_ns, size, token
+///   AlignedAlloc:      dt_ns, align, size, token
+///   Realloc:           dt_ns, old_token, size, new_token
+///   Free:              dt_ns, token
+///   Dropped:           count          (no timestamp)
+///
+/// dt_ns is the nanosecond delta since the thread's previous record
+/// (support/CycleClock.h ticks, converted at record time). Tokens are a
+/// dense remap of block addresses: every successful allocation draws the
+/// next value from a process-wide counter starting at 1, and a free names
+/// the token its pointer mapped to. Token 0 means "no block": a failed
+/// allocation, or a pointer the recorder never saw (allocated before
+/// recording started, or lost to token-table overflow). Traces therefore
+/// contain no raw pointers and replay independently of address-space
+/// layout. Dropped records make buffer exhaustion visible in-stream: the
+/// recorder never loses ops silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TRACE_TRACEFORMAT_H
+#define LFMALLOC_TRACE_TRACEFORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lfm {
+namespace trace {
+
+inline constexpr char FormatMagic[8] = {'L', 'F', 'M', 'A', 'T', 'R', 'C', '1'};
+inline constexpr std::uint64_t FormatVersion = 1;
+
+/// Record opcodes. The value is the raw opcode byte.
+enum class OpKind : std::uint8_t {
+  Malloc = 0,       ///< malloc(size) -> token
+  Calloc = 1,       ///< calloc(n, s) recorded as one size = n*s -> token
+  Realloc = 2,      ///< realloc(old_token, size) -> new_token
+  AlignedAlloc = 3, ///< aligned_alloc/posix_memalign/memalign/valloc/pvalloc
+  Free = 4,         ///< free(token)
+  Dropped = 5,      ///< `count` ops were lost to buffer exhaustion here
+};
+inline constexpr unsigned NumOpKinds = 6;
+
+/// Longest LEB128 encoding of a uint64_t.
+inline constexpr std::size_t MaxVarintBytes = 10;
+
+/// Upper bound on one encoded record (opcode + four varints) plus a
+/// preceding Dropped record; the appender seals a buffer when less than
+/// this remains so records never straddle chunks.
+inline constexpr std::size_t MaxRecordBytes =
+    (1 + 4 * MaxVarintBytes) + (1 + MaxVarintBytes);
+
+/// Encodes \p V as LEB128 into \p P (capacity >= MaxVarintBytes).
+/// \returns bytes written.
+inline std::size_t putVarint(std::uint8_t *P, std::uint64_t V) {
+  std::size_t N = 0;
+  while (V >= 0x80) {
+    P[N++] = static_cast<std::uint8_t>(V) | 0x80;
+    V >>= 7;
+  }
+  P[N++] = static_cast<std::uint8_t>(V);
+  return N;
+}
+
+/// Bounds-checked LEB128 decode. \returns bytes consumed, or 0 when the
+/// input is truncated or overlong (never reads past \p Avail).
+inline std::size_t getVarint(const std::uint8_t *P, std::size_t Avail,
+                             std::uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  const std::size_t Lim = Avail < MaxVarintBytes ? Avail : MaxVarintBytes;
+  for (std::size_t N = 0; N < Lim; ++N) {
+    const std::uint8_t B = P[N];
+    V |= static_cast<std::uint64_t>(B & 0x7f) << Shift;
+    if ((B & 0x80) == 0)
+      return N + 1;
+    Shift += 7;
+  }
+  return 0;
+}
+
+} // namespace trace
+} // namespace lfm
+
+#endif // LFMALLOC_TRACE_TRACEFORMAT_H

@@ -1,0 +1,299 @@
+//===- trace/TraceReader.cpp - lfm-alloctrace-v1 reader -------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceReader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lfm {
+namespace trace {
+
+namespace {
+
+/// Raw payload segments of one thread, keyed by buffer sequence number.
+/// The writer may flush one buffer in several prefix increments; segments
+/// of the same seq concatenate in file order (offsets only grow).
+using SegmentMap = std::map<std::uint64_t, std::vector<std::uint8_t>>;
+
+/// Decodes the concatenated per-thread byte stream into records. A clean
+/// cut at a record boundary is normal (partial-buffer sweeps); a cut
+/// inside a record marks the stream — and the file — Truncated.
+bool decodeStream(const std::vector<std::uint8_t> &Bytes, ThreadStream &Out) {
+  std::size_t Pos = 0;
+  const std::size_t Len = Bytes.size();
+  while (Pos < Len) {
+    const std::size_t RecStart = Pos;
+    const std::uint8_t Op = Bytes[Pos++];
+    if (Op >= NumOpKinds)
+      return false; // Garbage opcode: stop decoding this stream.
+    TraceOpRec Rec;
+    Rec.Kind = static_cast<OpKind>(Op);
+    unsigned NVals = 0;
+    std::uint64_t Vals[4] = {};
+    switch (Rec.Kind) {
+    case OpKind::Malloc:
+    case OpKind::Calloc:
+      NVals = 3; // dt, size, token
+      break;
+    case OpKind::AlignedAlloc:
+      NVals = 4; // dt, align, size, token
+      break;
+    case OpKind::Realloc:
+      NVals = 4; // dt, old_token, size, new_token
+      break;
+    case OpKind::Free:
+      NVals = 2; // dt, token
+      break;
+    case OpKind::Dropped:
+      NVals = 1; // count
+      break;
+    }
+    bool Cut = false;
+    for (unsigned I = 0; I < NVals; ++I) {
+      const std::size_t N = getVarint(Bytes.data() + Pos, Len - Pos, Vals[I]);
+      if (N == 0) {
+        Cut = true;
+        break;
+      }
+      Pos += N;
+    }
+    if (Cut) {
+      (void)RecStart;
+      return false;
+    }
+    switch (Rec.Kind) {
+    case OpKind::Malloc:
+    case OpKind::Calloc:
+      Rec.DtNs = Vals[0];
+      Rec.Size = Vals[1];
+      Rec.Token = Vals[2];
+      break;
+    case OpKind::AlignedAlloc:
+      Rec.DtNs = Vals[0];
+      Rec.Align = Vals[1];
+      Rec.Size = Vals[2];
+      Rec.Token = Vals[3];
+      break;
+    case OpKind::Realloc:
+      Rec.DtNs = Vals[0];
+      Rec.OldToken = Vals[1];
+      Rec.Size = Vals[2];
+      Rec.Token = Vals[3];
+      break;
+    case OpKind::Free:
+      Rec.DtNs = Vals[0];
+      Rec.Token = Vals[1];
+      break;
+    case OpKind::Dropped:
+      Rec.Count = Vals[0];
+      Out.DroppedInStream += Vals[0];
+      break;
+    }
+    Out.Ops.push_back(Rec);
+  }
+  return true;
+}
+
+TraceFile parse(const std::uint8_t *Data, std::size_t Len) {
+  TraceFile F;
+  if (Len < sizeof(FormatMagic) ||
+      std::memcmp(Data, FormatMagic, sizeof(FormatMagic)) != 0) {
+    F.Error = "bad magic (not an lfm-alloctrace file)";
+    return F;
+  }
+  std::size_t Pos = sizeof(FormatMagic);
+  std::uint64_t Hdr[3];
+  for (auto &V : Hdr) {
+    const std::size_t N = getVarint(Data + Pos, Len - Pos, V);
+    if (N == 0) {
+      F.Error = "truncated header";
+      return F;
+    }
+    Pos += N;
+  }
+  F.Version = Hdr[0];
+  F.Flags = Hdr[1];
+  F.StartNs = Hdr[2];
+  if (F.Version != FormatVersion) {
+    F.Error = "unsupported version";
+    return F;
+  }
+
+  std::map<std::uint32_t, SegmentMap> ByTid;
+  bool Cut = false;
+  while (Pos < Len) {
+    std::uint64_t Tid, Seq, PLen;
+    std::size_t N = getVarint(Data + Pos, Len - Pos, Tid);
+    if (N == 0) {
+      Cut = true;
+      break;
+    }
+    std::size_t Peek = Pos + N;
+    N = getVarint(Data + Peek, Len - Peek, Seq);
+    if (N == 0) {
+      Cut = true;
+      break;
+    }
+    Peek += N;
+    N = getVarint(Data + Peek, Len - Peek, PLen);
+    if (N == 0) {
+      Cut = true;
+      break;
+    }
+    Peek += N;
+    if (Tid > 0xFFFFFF || PLen > (std::uint64_t{1} << 31)) {
+      F.Status = ReadStatus::Corrupt;
+      F.Error = "implausible chunk header";
+      return F;
+    }
+    if (PLen > Len - Peek) {
+      Cut = true; // Chunk body ran past EOF: truncated recording.
+      break;
+    }
+    auto &Seg = ByTid[static_cast<std::uint32_t>(Tid)][Seq];
+    Seg.insert(Seg.end(), Data + Peek, Data + Peek + PLen);
+    Pos = Peek + static_cast<std::size_t>(PLen);
+  }
+
+  F.Status = Cut ? ReadStatus::Truncated : ReadStatus::Ok;
+  if (Cut)
+    F.Error = "file ends mid-chunk; decoded the clean prefix";
+  for (auto &[Tid, Segs] : ByTid) {
+    ThreadStream TS;
+    TS.Tid = Tid;
+    std::vector<std::uint8_t> Bytes;
+    for (auto &[Seq, Seg] : Segs)
+      Bytes.insert(Bytes.end(), Seg.begin(), Seg.end());
+    if (!decodeStream(Bytes, TS) && F.Status == ReadStatus::Ok) {
+      F.Status = ReadStatus::Truncated;
+      F.Error = "record stream cut mid-record; decoded the clean prefix";
+    }
+    F.TotalOps += TS.Ops.size();
+    // Dropped markers are bookkeeping, not ops.
+    for (const auto &R : TS.Ops)
+      if (R.Kind == OpKind::Dropped)
+        --F.TotalOps;
+    F.TotalDropped += TS.DroppedInStream;
+    F.Threads.push_back(std::move(TS));
+  }
+  return F;
+}
+
+} // namespace
+
+TraceFile readTraceImage(const std::uint8_t *Data, std::size_t Len) {
+  return parse(Data, Len);
+}
+
+TraceFile readTraceFile(const char *Path) {
+  TraceFile F;
+  std::FILE *Fp = std::fopen(Path, "rb");
+  if (Fp == nullptr) {
+    F.Error = "cannot open file";
+    return F;
+  }
+  std::vector<std::uint8_t> Buf;
+  std::uint8_t Tmp[64 * 1024];
+  std::size_t N;
+  while ((N = std::fread(Tmp, 1, sizeof(Tmp), Fp)) > 0)
+    Buf.insert(Buf.end(), Tmp, Tmp + N);
+  std::fclose(Fp);
+  return parse(Buf.data(), Buf.size());
+}
+
+ReplayPlan buildReplayPlan(const TraceFile &File) {
+  ReplayPlan Plan;
+  Plan.PerThread.resize(File.Threads.size());
+  Plan.Leftover.resize(File.Threads.size());
+  for (const auto &TS : File.Threads)
+    Plan.Tids.push_back(TS.Tid);
+
+  // Pass 1: which slot allocates each token. Needed to suppress frees of
+  // never-allocated tokens (their pointer would never be produced) and to
+  // count cross-thread edges.
+  std::unordered_map<std::uint64_t, std::uint32_t> AllocSlot;
+  for (std::size_t Slot = 0; Slot < File.Threads.size(); ++Slot) {
+    for (const auto &R : File.Threads[Slot].Ops) {
+      std::uint64_t Tok = 0;
+      switch (R.Kind) {
+      case OpKind::Malloc:
+      case OpKind::Calloc:
+      case OpKind::AlignedAlloc:
+      case OpKind::Realloc:
+        Tok = R.Token;
+        break;
+      default:
+        break;
+      }
+      if (Tok != 0) {
+        AllocSlot.emplace(Tok, static_cast<std::uint32_t>(Slot));
+        if (Tok > Plan.MaxToken)
+          Plan.MaxToken = Tok;
+      }
+    }
+  }
+
+  // Pass 2: lower records to primitive ops, suppressing unsatisfiable
+  // frees (unknown token) and double frees.
+  std::unordered_set<std::uint64_t> Freed;
+  auto addFree = [&](std::size_t Slot, std::uint64_t Tok) {
+    if (Tok == 0 || AllocSlot.find(Tok) == AllocSlot.end() ||
+        !Freed.insert(Tok).second) {
+      ++Plan.SuppressedFrees;
+      return;
+    }
+    Plan.PerThread[Slot].push_back({Tok, 0, false});
+    ++Plan.TotalFrees;
+    if (AllocSlot[Tok] != Slot)
+      ++Plan.CrossThreadFrees;
+  };
+  auto addAlloc = [&](std::size_t Slot, std::uint64_t Tok, std::uint64_t Sz) {
+    if (Tok == 0)
+      return; // Failed or untracked allocation: nothing to replay.
+    Plan.PerThread[Slot].push_back({Tok, Sz, true});
+    ++Plan.TotalAllocs;
+  };
+  for (std::size_t Slot = 0; Slot < File.Threads.size(); ++Slot) {
+    for (const auto &R : File.Threads[Slot].Ops) {
+      switch (R.Kind) {
+      case OpKind::Malloc:
+      case OpKind::Calloc:
+      case OpKind::AlignedAlloc:
+        addAlloc(Slot, R.Token, R.Size);
+        break;
+      case OpKind::Realloc:
+        // allocate-copy-release order; realloc(p, 0) records Token == 0
+        // and Size == 0 and lowers to the free alone.
+        addAlloc(Slot, R.Token, R.Size);
+        if (R.Token != 0 || R.Size == 0)
+          addFree(Slot, R.OldToken);
+        break;
+      case OpKind::Free:
+        addFree(Slot, R.Token);
+        break;
+      case OpKind::Dropped:
+        break;
+      }
+    }
+  }
+
+  // Leftovers: allocated, never freed — released at teardown by the
+  // allocating slot.
+  for (const auto &[Tok, Slot] : AllocSlot)
+    if (Freed.find(Tok) == Freed.end())
+      Plan.Leftover[Slot].push_back(Tok);
+  for (auto &L : Plan.Leftover)
+    std::sort(L.begin(), L.end());
+  return Plan;
+}
+
+} // namespace trace
+} // namespace lfm

@@ -1,0 +1,116 @@
+//===- trace/TraceReader.h - lfm-alloctrace-v1 reader ------------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consumer-side decoder for `lfm-alloctrace-v1` files (trace/TraceFormat.h)
+/// and the replay planner used by bench_replay and the harness.
+///
+/// The reader regroups interleaved chunks into one ordered op stream per
+/// recorded thread (chunks of one thread may hit the file out of sequence
+/// order because the background writer also flushes partially filled
+/// buffers). It is deliberately tolerant: a truncated tail — the normal
+/// shape of a crash-interrupted recording — yields every record up to the
+/// cut with Status == Truncated rather than an error.
+///
+/// Unlike the recorder, this code is ordinary tool code: it allocates,
+/// it is not async-signal-safe, and it is not gated by LFM_ALLOC_TRACE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TRACE_TRACEREADER_H
+#define LFMALLOC_TRACE_TRACEREADER_H
+
+#include "trace/TraceFormat.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfm {
+namespace trace {
+
+enum class ReadStatus {
+  Ok,        ///< Whole file parsed.
+  Truncated, ///< Clean prefix parsed; the tail was cut mid-chunk/record.
+  Corrupt,   ///< Bad magic/version or structurally invalid content.
+};
+
+/// One decoded record. Fields beyond Kind are meaningful per-opcode (see
+/// TraceFormat.h); unused fields read 0.
+struct TraceOpRec {
+  OpKind Kind = OpKind::Malloc;
+  std::uint64_t DtNs = 0;     ///< Nanoseconds since this thread's previous op.
+  std::uint64_t Size = 0;     ///< Request bytes (calloc: n*s; realloc: new).
+  std::uint64_t Align = 0;    ///< AlignedAlloc only.
+  std::uint64_t Token = 0;    ///< Block produced (alloc) or released (free).
+  std::uint64_t OldToken = 0; ///< Realloc only: block consumed.
+  std::uint64_t Count = 0;    ///< Dropped only: ops lost at this point.
+};
+
+/// All records of one recorded thread, in program order.
+struct ThreadStream {
+  std::uint32_t Tid = 0;
+  std::vector<TraceOpRec> Ops;
+  std::uint64_t DroppedInStream = 0; ///< Sum of Dropped record counts.
+};
+
+struct TraceFile {
+  ReadStatus Status = ReadStatus::Corrupt;
+  std::string Error; ///< Human-readable detail when Status != Ok.
+  std::uint64_t Version = 0;
+  std::uint64_t Flags = 0;
+  std::uint64_t StartNs = 0;
+  std::vector<ThreadStream> Threads; ///< Sorted by Tid.
+  std::uint64_t TotalOps = 0;        ///< Non-Dropped records across threads.
+  std::uint64_t TotalDropped = 0;    ///< Sum of all Dropped counts.
+};
+
+/// Parses \p Path. Always returns a TraceFile; check Status. Truncated
+/// results still carry every cleanly decoded record.
+TraceFile readTraceFile(const char *Path);
+
+/// Parses an in-memory image (testing convenience; same semantics).
+TraceFile readTraceImage(const std::uint8_t *Data, std::size_t Len);
+
+/// One primitive replay action. Reallocs are lowered to Alloc(new token)
+/// followed by Free(old token) — the allocate-copy-release order a real
+/// realloc performs; aligned allocations and callocs replay as plain
+/// allocations of the recorded size (the baseline MallocInterface has no
+/// aligned entry point — docs/OBSERVABILITY.md notes the fidelity limits).
+struct ReplayOp {
+  std::uint64_t Token = 0;
+  std::uint64_t Size = 0; ///< Alloc only.
+  bool IsAlloc = false;
+};
+
+/// A deadlock-free multithreaded replay schedule derived from a trace.
+///
+/// Cross-thread-free structure is preserved through the tokens: a block
+/// allocated on thread A and freed on thread B appears as Alloc on A's
+/// list and Free on B's list, and the replayer hands the pointer across
+/// via a per-token slot. Frees of tokens with no alloc in the trace
+/// (token 0, pre-recording blocks, drop-lost allocs, double frees) are
+/// suppressed — counted, never replayed — so no replay thread can wait
+/// on a pointer that will never be produced.
+struct ReplayPlan {
+  std::vector<std::vector<ReplayOp>> PerThread; ///< Indexed by dense tid slot.
+  std::vector<std::uint32_t> Tids;              ///< Recorded tid per slot.
+  /// Tokens still live at end-of-trace, per allocating slot; the replayer
+  /// frees them at teardown so leaked traces don't leak the harness.
+  std::vector<std::vector<std::uint64_t>> Leftover;
+  std::uint64_t MaxToken = 0;
+  std::uint64_t TotalAllocs = 0;
+  std::uint64_t TotalFrees = 0;      ///< Frees scheduled (incl. realloc-old).
+  std::uint64_t CrossThreadFrees = 0;
+  std::uint64_t SuppressedFrees = 0;
+};
+
+ReplayPlan buildReplayPlan(const TraceFile &File);
+
+} // namespace trace
+} // namespace lfm
+
+#endif // LFMALLOC_TRACE_TRACEREADER_H

@@ -1,0 +1,466 @@
+//===- tests/alloctrace_test.cpp - Allocation flight recorder tests -------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The recorder (trace/AllocTrace.h) is driven directly through its shim
+// hooks with synthetic, deterministic pointers — the recorder never
+// dereferences them, so a test can replay an exact op sequence without
+// preloading anything. Covered here:
+//   - varint encode/decode including truncation edges,
+//   - single-thread round-trip: op counts, token wiring, live-byte curve,
+//   - multithread round-trip with a known cross-thread-free topology,
+//     replayed against a real allocator via the replay plan,
+//   - drop accounting (Ops + Dropped == issued; nothing silent),
+//   - truncated / corrupt file tolerance in the reader,
+//   - the trace.* lf_malloc_ctl surface in both build configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ReplayWorkload.h"
+#include "lfmalloc/LFMalloc.h"
+#include "support/Random.h"
+#include "TestSeed.h"
+#include "trace/AllocTrace.h"
+#include "trace/TraceFormat.h"
+#include "trace/TraceReader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace lfm;
+using namespace lfm::trace;
+
+namespace {
+
+std::string tmpTracePath(const char *Tag) {
+  return "./alloctrace_test_" + std::string(Tag) + "_" +
+         std::to_string(::getpid()) + ".trace";
+}
+
+/// A deterministic fake heap pointer. 16-aligned like real blocks; never
+/// dereferenced by the recorder. (Unused, like slurp, when the recorder
+/// is compiled out.)
+[[maybe_unused]] void *fakePtr(std::uint64_t N) {
+  return reinterpret_cast<void *>((N + 1) << 4);
+}
+
+[[maybe_unused]] std::vector<std::uint8_t> slurp(const std::string &Path) {
+  std::vector<std::uint8_t> Bytes;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (F == nullptr)
+    return Bytes;
+  std::uint8_t Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  return Bytes;
+}
+
+} // namespace
+
+TEST(TraceFormat, VarintRoundTrip) {
+  const std::uint64_t Cases[] = {0,       1,          0x7f,       0x80,
+                                 0x3fff,  0x4000,     1u << 20,   ~0ull >> 1,
+                                 ~0ull,   0x12345678, 0xdeadbeefcafeull};
+  for (const std::uint64_t V : Cases) {
+    std::uint8_t Buf[MaxVarintBytes];
+    const std::size_t N = putVarint(Buf, V);
+    ASSERT_GE(N, 1u);
+    ASSERT_LE(N, MaxVarintBytes);
+    std::uint64_t Out = ~V;
+    EXPECT_EQ(getVarint(Buf, N, Out), N) << V;
+    EXPECT_EQ(Out, V);
+    // Every strict prefix must report truncation, not a wrong value.
+    for (std::size_t Cut = 0; Cut + 1 < N; ++Cut)
+      EXPECT_EQ(getVarint(Buf, Cut, Out), 0u) << V << " cut at " << Cut;
+  }
+}
+
+TEST(TraceReader, RejectsGarbage) {
+  const std::uint8_t Junk[] = {'n', 'o', 't', 'a', 't', 'r', 'c', '!', 0, 0};
+  EXPECT_EQ(readTraceImage(Junk, sizeof(Junk)).Status, ReadStatus::Corrupt);
+  EXPECT_EQ(readTraceImage(Junk, 3).Status, ReadStatus::Corrupt);
+  EXPECT_EQ(readTraceFile("/nonexistent/alloctrace").Status,
+            ReadStatus::Corrupt);
+  // Valid magic, truncated header.
+  std::uint8_t Short[9];
+  std::memcpy(Short, FormatMagic, 8);
+  Short[8] = 0x80; // Unterminated varint.
+  const TraceFile F = readTraceImage(Short, sizeof(Short));
+  EXPECT_EQ(F.Status, ReadStatus::Corrupt);
+  EXPECT_FALSE(F.Error.empty());
+}
+
+TEST(TraceReader, GarbageOpcodeStopsStreamNotReader) {
+  // Hand-build: header + one chunk whose payload starts with opcode 99.
+  std::vector<std::uint8_t> Img(FormatMagic, FormatMagic + 8);
+  std::uint8_t Tmp[MaxVarintBytes];
+  auto PutV = [&](std::uint64_t V) {
+    Img.insert(Img.end(), Tmp, Tmp + putVarint(Tmp, V));
+  };
+  PutV(FormatVersion);
+  PutV(0);
+  PutV(12345);
+  PutV(0); // tid
+  PutV(0); // seq
+  PutV(1); // len
+  Img.push_back(99);
+  const TraceFile F = readTraceImage(Img.data(), Img.size());
+  EXPECT_EQ(F.Status, ReadStatus::Truncated);
+  EXPECT_EQ(F.TotalOps, 0u);
+}
+
+#if LFM_ALLOC_TRACE
+
+TEST(AllocTrace, StartStopLifecycle) {
+  const std::string Path = tmpTracePath("lifecycle");
+  EXPECT_EQ(trace::stopRecording(), EALREADY);
+  EXPECT_EQ(trace::flushNow(), EALREADY);
+  EXPECT_EQ(trace::startRecording("", 0), EINVAL);
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 0), 0);
+  EXPECT_TRUE(trace::recording());
+  EXPECT_EQ(trace::startRecording(Path.c_str(), 0), EALREADY);
+  EXPECT_EQ(trace::flushNow(), 0);
+  ASSERT_EQ(trace::stopRecording(), 0);
+  EXPECT_FALSE(trace::recording());
+  // tmp was renamed into place at stop.
+  const TraceFile F = readTraceFile(Path.c_str());
+  EXPECT_EQ(F.Status, ReadStatus::Ok);
+  EXPECT_EQ(F.Version, FormatVersion);
+  std::remove(Path.c_str());
+  std::remove((Path + ".tmp").c_str());
+}
+
+TEST(AllocTrace, SingleThreadRoundTripAndLiveByteCurve) {
+  const std::string Path = tmpTracePath("roundtrip");
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 0), 0);
+
+  // Issue a deterministic mixed sequence, tracking the expected live-byte
+  // curve as the recorder should reconstruct it.
+  XorShift128 Rng(test::baseSeed() ^ 0xa110c7);
+  std::map<std::uint64_t, std::uint64_t> LiveBytes; // fake ptr id -> size
+  std::vector<std::uint64_t> IssuedCurve;
+  std::uint64_t Cur = 0, NextPtr = 0, IssuedOps = 0;
+  for (unsigned I = 0; I < 5000; ++I) {
+    const bool DoFree = !LiveBytes.empty() && Rng.nextBounded(3) == 0;
+    if (DoFree) {
+      auto It = LiveBytes.begin();
+      std::advance(It, static_cast<long>(Rng.nextBounded(LiveBytes.size())));
+      trace::onFree(fakePtr(It->first));
+      Cur -= It->second;
+      LiveBytes.erase(It);
+    } else {
+      const std::uint64_t Id = NextPtr++;
+      const std::uint64_t Sz = 16 + Rng.nextBounded(4096);
+      switch (Rng.nextBounded(3)) {
+      case 0:
+        trace::onMalloc(fakePtr(Id), Sz);
+        break;
+      case 1:
+        trace::onCalloc(fakePtr(Id), 1, Sz);
+        break;
+      default:
+        trace::onAlignedAlloc(fakePtr(Id), 64, Sz);
+        break;
+      }
+      LiveBytes[Id] = Sz;
+      Cur += Sz;
+    }
+    ++IssuedOps;
+    IssuedCurve.push_back(Cur);
+  }
+  ASSERT_EQ(trace::stopRecording(), 0);
+
+  const trace::RecorderStats St = trace::recorderStats();
+  EXPECT_EQ(St.Dropped, 0u) << "default buffer must absorb 5k ops";
+  EXPECT_EQ(St.Ops, IssuedOps);
+
+  const TraceFile F = readTraceFile(Path.c_str());
+  ASSERT_EQ(F.Status, ReadStatus::Ok) << F.Error;
+  ASSERT_EQ(F.Threads.size(), 1u);
+  EXPECT_EQ(F.TotalOps, IssuedOps);
+  EXPECT_EQ(F.TotalDropped, 0u);
+
+  // Reconstruct the live-byte curve from the decoded stream: tokens must
+  // wire frees back to the right allocations.
+  std::map<std::uint64_t, std::uint64_t> TokBytes;
+  std::vector<std::uint64_t> DecodedCurve;
+  std::uint64_t DCur = 0;
+  for (const TraceOpRec &R : F.Threads[0].Ops) {
+    switch (R.Kind) {
+    case OpKind::Malloc:
+    case OpKind::Calloc:
+    case OpKind::AlignedAlloc:
+      ASSERT_NE(R.Token, 0u);
+      ASSERT_EQ(TokBytes.count(R.Token), 0u) << "token reused";
+      TokBytes[R.Token] = R.Size;
+      DCur += R.Size;
+      break;
+    case OpKind::Free: {
+      auto It = TokBytes.find(R.Token);
+      ASSERT_NE(It, TokBytes.end()) << "free of unknown token";
+      DCur -= It->second;
+      TokBytes.erase(It);
+      break;
+    }
+    default:
+      FAIL() << "unexpected record kind";
+    }
+    DecodedCurve.push_back(DCur);
+  }
+  EXPECT_EQ(DecodedCurve, IssuedCurve);
+  std::remove(Path.c_str());
+}
+
+TEST(AllocTrace, ReallocTokenWiring) {
+  const std::string Path = tmpTracePath("realloc");
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 0), 0);
+
+  // grow: p0 -> p1; failed grow: p1 stays; realloc-to-zero frees p1.
+  trace::onMalloc(fakePtr(0), 100);
+  std::uint64_t Tok = trace::beforeRealloc(fakePtr(0));
+  trace::afterRealloc(fakePtr(0), Tok, fakePtr(1), 200);
+  Tok = trace::beforeRealloc(fakePtr(1));
+  trace::afterRealloc(fakePtr(1), Tok, nullptr, 300); // failed grow
+  Tok = trace::beforeRealloc(fakePtr(1));
+  trace::afterRealloc(fakePtr(1), Tok, nullptr, 0); // realloc(p, 0)
+  ASSERT_EQ(trace::stopRecording(), 0);
+
+  const TraceFile F = readTraceFile(Path.c_str());
+  ASSERT_EQ(F.Status, ReadStatus::Ok) << F.Error;
+  ASSERT_EQ(F.Threads.size(), 1u);
+  const auto &Ops = F.Threads[0].Ops;
+  ASSERT_EQ(Ops.size(), 4u);
+  ASSERT_EQ(Ops[0].Kind, OpKind::Malloc);
+  const std::uint64_t T0 = Ops[0].Token;
+  ASSERT_EQ(Ops[1].Kind, OpKind::Realloc);
+  EXPECT_EQ(Ops[1].OldToken, T0);
+  EXPECT_NE(Ops[1].Token, 0u);
+  ASSERT_EQ(Ops[2].Kind, OpKind::Realloc);
+  EXPECT_EQ(Ops[2].OldToken, Ops[1].Token) << "failed grow keeps old block";
+  EXPECT_EQ(Ops[2].Token, 0u);
+  EXPECT_EQ(Ops[2].Size, 300u);
+  ASSERT_EQ(Ops[3].Kind, OpKind::Realloc);
+  EXPECT_EQ(Ops[3].OldToken, Ops[1].Token)
+      << "failed grow must restore the mapping under the same token";
+  EXPECT_EQ(Ops[3].Token, 0u);
+  EXPECT_EQ(Ops[3].Size, 0u);
+
+  // The plan lowers these to: alloc T0, alloc T1+free T0, (failed: no-op),
+  // free T1.
+  const ReplayPlan Plan = buildReplayPlan(F);
+  EXPECT_EQ(Plan.TotalAllocs, 2u);
+  EXPECT_EQ(Plan.TotalFrees, 2u);
+  EXPECT_EQ(Plan.SuppressedFrees, 0u);
+  EXPECT_EQ(Plan.Leftover[0].size(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(AllocTrace, MultithreadCrossThreadFreeRoundTrip) {
+  const std::string Path = tmpTracePath("crossthread");
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned BlocksPer = 500;
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 0), 0);
+
+  // Phase 1: each thread allocates its own section of the fake heap.
+  // Phase 2: each thread frees the *next* thread's section — every free
+  // is a cross-thread free, BlocksPer * NumThreads edges in total.
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < NumThreads; ++W)
+      Ts.emplace_back([W] {
+        for (unsigned B = 0; B < BlocksPer; ++B)
+          trace::onMalloc(fakePtr(W * BlocksPer + B), 32 + W * 8 + B % 64);
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < NumThreads; ++W)
+      Ts.emplace_back([W] {
+        const unsigned Victim = (W + 1) % NumThreads;
+        for (unsigned B = 0; B < BlocksPer; ++B)
+          trace::onFree(fakePtr(Victim * BlocksPer + B));
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  ASSERT_EQ(trace::stopRecording(), 0);
+  EXPECT_EQ(trace::recorderStats().Dropped, 0u);
+
+  const TraceFile F = readTraceFile(Path.c_str());
+  ASSERT_EQ(F.Status, ReadStatus::Ok) << F.Error;
+  EXPECT_EQ(F.TotalOps, 2ull * NumThreads * BlocksPer);
+
+  const ReplayPlan Plan = buildReplayPlan(F);
+  EXPECT_EQ(Plan.TotalAllocs, std::uint64_t{NumThreads} * BlocksPer);
+  EXPECT_EQ(Plan.TotalFrees, std::uint64_t{NumThreads} * BlocksPer);
+  EXPECT_EQ(Plan.CrossThreadFrees, std::uint64_t{NumThreads} * BlocksPer)
+      << "every free must be a preserved cross-thread edge";
+  EXPECT_EQ(Plan.SuppressedFrees, 0u);
+
+  // And the plan must actually replay, deadlock-free, with identical op
+  // counts, against a real allocator.
+  auto Alloc = makeAllocator(AllocatorKind::LockFree, NumThreads);
+  const RecordedReplayResult R = replayRecorded(*Alloc, Plan, 4);
+  EXPECT_EQ(R.Allocs, Plan.TotalAllocs);
+  EXPECT_EQ(R.Frees, Plan.TotalFrees);
+  EXPECT_EQ(R.FailedAllocs, 0u);
+  EXPECT_EQ(R.CrossThreadFrees, Plan.CrossThreadFrees);
+  EXPECT_GT(R.LatencyNs.count(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(AllocTrace, DropAccountingIsNeverSilent) {
+  const std::string Path = tmpTracePath("drops");
+  // Smallest legal pool (two 64 KiB chunks) and a tight loop: the writer
+  // (200 ms pass period) cannot keep up, so the pool must exhaust.
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 1), 0);
+  std::uint64_t Issued = 0;
+  for (std::uint64_t I = 0; I < 400'000; I += 2, Issued += 2) {
+    trace::onMalloc(fakePtr(7), 64);
+    trace::onFree(fakePtr(7));
+  }
+  // Drain the pool, then record a little more: the first op after space
+  // returns carries the accumulated in-stream Dropped marker (a trailing
+  // pending batch with no subsequent record would never flush).
+  ASSERT_EQ(trace::flushNow(), 0);
+  for (unsigned I = 0; I < 10; ++I, Issued += 2) {
+    trace::onMalloc(fakePtr(7), 64);
+    trace::onFree(fakePtr(7));
+  }
+  ASSERT_EQ(trace::stopRecording(), 0);
+
+  const trace::RecorderStats St = trace::recorderStats();
+  EXPECT_EQ(St.Ops + St.Dropped, Issued)
+      << "every issued op is either recorded or accounted as dropped";
+  EXPECT_GT(St.Dropped, 0u) << "a 128 KiB pool cannot absorb 400k ops";
+
+  const TraceFile F = readTraceFile(Path.c_str());
+  ASSERT_NE(F.Status, ReadStatus::Corrupt) << F.Error;
+  EXPECT_EQ(F.TotalOps, St.Ops) << "file and recorder must agree";
+  // In-stream Dropped markers cover at most the global count (a trailing
+  // pending-drop batch with no subsequent record never flushes).
+  EXPECT_LE(F.TotalDropped, St.Dropped);
+  EXPECT_GT(F.TotalDropped, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(AllocTrace, TruncatedFileYieldsCleanPrefix) {
+  const std::string Path = tmpTracePath("truncate");
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 0), 0);
+  for (unsigned I = 0; I < 2000; ++I)
+    trace::onMalloc(fakePtr(I), 128);
+  ASSERT_EQ(trace::stopRecording(), 0);
+  const std::vector<std::uint8_t> Full = slurp(Path);
+  ASSERT_GT(Full.size(), 64u);
+
+  const TraceFile Whole = readTraceImage(Full.data(), Full.size());
+  ASSERT_EQ(Whole.Status, ReadStatus::Ok);
+  ASSERT_EQ(Whole.TotalOps, 2000u);
+
+  // Every truncation point must parse without error to a prefix no larger
+  // than the full trace — never crash, never invent records.
+  for (const double Frac : {0.2, 0.5, 0.9, 0.99}) {
+    const auto Cut = static_cast<std::size_t>(Full.size() * Frac);
+    const TraceFile F = readTraceImage(Full.data(), Cut);
+    EXPECT_NE(F.Status, ReadStatus::Corrupt) << "cut at " << Cut;
+    EXPECT_LE(F.TotalOps, Whole.TotalOps);
+    const ReplayPlan Plan = buildReplayPlan(F); // must not throw/hang
+    EXPECT_LE(Plan.TotalAllocs, 2000u);
+  }
+  std::remove(Path.c_str());
+}
+
+#endif // LFM_ALLOC_TRACE
+
+TEST(TraceCtl, KeysResolveInEveryConfiguration) {
+  // Echo/status keys must resolve regardless of LFM_ALLOC_TRACE, so the
+  // env↔ctl registry invariant is configuration-independent.
+  std::uint64_t V = ~0ull;
+  std::size_t Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("trace.status", &V, &Len, nullptr, 0), 0);
+  EXPECT_EQ(V, 0u);
+  Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("trace.dropped", &V, &Len, nullptr, 0), 0);
+  Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("trace.ops", &V, &Len, nullptr, 0), 0);
+  Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("trace.buffer_kb", &V, &Len, nullptr, 0), 0);
+  char Path[64];
+  Len = sizeof(Path);
+  EXPECT_EQ(lf_malloc_ctl("trace.path", Path, &Len, nullptr, 0), 0);
+  EXPECT_EQ(lf_malloc_ctl("trace.nonsense", &V, &Len, nullptr, 0), ENOENT);
+  // Write to a read-only echo key.
+  EXPECT_EQ(lf_malloc_ctl("trace.status", nullptr, nullptr, &V, sizeof(V)),
+            EPERM);
+}
+
+TEST(TraceCtl, StartStopThroughCtl) {
+  const std::string Path = tmpTracePath("ctl");
+  const int Rc = lf_malloc_ctl("trace.start", nullptr, nullptr, Path.c_str(),
+                               Path.size() + 1);
+#if LFM_ALLOC_TRACE
+  ASSERT_EQ(Rc, 0);
+  std::uint64_t V = 0;
+  std::size_t Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("trace.status", &V, &Len, nullptr, 0), 0);
+  EXPECT_EQ(V, 1u);
+  // The started path is echoed.
+  char Echo[256];
+  Len = sizeof(Echo);
+  EXPECT_EQ(lf_malloc_ctl("trace.path", Echo, &Len, nullptr, 0), 0);
+  EXPECT_STREQ(Echo, Path.c_str());
+  trace::onMalloc(fakePtr(1), 64);
+  trace::onFree(fakePtr(1));
+  EXPECT_EQ(lf_malloc_ctl("trace.flush", nullptr, nullptr, nullptr, 0), 0);
+  EXPECT_EQ(lf_malloc_ctl("trace.stop", nullptr, nullptr, nullptr, 0), 0);
+  Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("trace.ops", &V, &Len, nullptr, 0), 0);
+  EXPECT_EQ(V, 2u);
+  const TraceFile F = readTraceFile(Path.c_str());
+  EXPECT_EQ(F.Status, ReadStatus::Ok) << F.Error;
+  EXPECT_EQ(F.TotalOps, 2u);
+  // lfm-metrics-v2 surfaces the recorder health under stats.*.
+  Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("stats.alloctrace_ops", &V, &Len, nullptr, 0), 0);
+  EXPECT_EQ(V, 2u);
+  Len = sizeof(V);
+  EXPECT_EQ(lf_malloc_ctl("stats.alloctrace_recording", &V, &Len, nullptr, 0),
+            0);
+  EXPECT_EQ(V, 0u);
+#else
+  // Recorder compiled out: action keys report ENOENT, echoes still work.
+  EXPECT_EQ(Rc, ENOENT);
+  EXPECT_EQ(lf_malloc_ctl("trace.stop", nullptr, nullptr, nullptr, 0),
+            ENOENT);
+  EXPECT_EQ(lf_malloc_ctl("trace.flush", nullptr, nullptr, nullptr, 0),
+            ENOENT);
+#endif
+  std::remove(Path.c_str());
+  std::remove((Path + ".tmp").c_str());
+}
+
+TEST(TraceCtl, BufferKbIsReadWrite) {
+  std::uint64_t Kb = 512;
+  ASSERT_EQ(lf_malloc_ctl("trace.buffer_kb", nullptr, nullptr, &Kb,
+                          sizeof(Kb)),
+            0);
+  std::uint64_t Echo = 0;
+  std::size_t Len = sizeof(Echo);
+  ASSERT_EQ(lf_malloc_ctl("trace.buffer_kb", &Echo, &Len, nullptr, 0), 0);
+  EXPECT_EQ(Echo, 512u);
+  Kb = 0; // Back to "resolve the environment / default".
+  ASSERT_EQ(lf_malloc_ctl("trace.buffer_kb", nullptr, nullptr, &Kb,
+                          sizeof(Kb)),
+            0);
+}

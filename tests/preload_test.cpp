@@ -9,7 +9,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "harness/ReplayWorkload.h"
 #include "telemetry/TelemetryConfig.h"
+#include "trace/TraceConfig.h"
+#include "trace/TraceReader.h"
 
 #include <gtest/gtest.h>
 
@@ -177,6 +180,38 @@ TEST(Preload, BackgroundExporterPublishesArtifacts) {
   std::system("rm -f ./preload-exp.prom ./preload-exp.metrics.json "
               "./preload-exp.*.prom");
 }
+
+#if LFM_ALLOC_TRACE
+TEST(Preload, FlightRecorderCapturesRealBinaryAndReplays) {
+  if (!shimAvailable() || !probePath())
+    GTEST_SKIP() << "LFM_PRELOAD_LIB / LFM_PRELOAD_PROBE not set";
+  // LFM_TRACE_RECORD makes the shim flight-record the probe's entire
+  // lifetime; the recorder's atexit hook publishes the file at exit. The
+  // churn mode mallocs/frees tens of thousands of blocks, so the artifact
+  // must decode to a substantial trace — and replay cleanly against the
+  // lock-free allocator with the recorded op counts.
+  const std::string Path = "./preload-rec.trace";
+  std::remove(Path.c_str());
+  std::remove((Path + ".tmp").c_str());
+  ASSERT_EQ(runPreloaded("env LFM_TRACE_RECORD=" + Path + " " +
+                         std::string(probePath()) + " churn > /dev/null"),
+            0);
+  const lfm::trace::TraceFile F = lfm::trace::readTraceFile(Path.c_str());
+  ASSERT_EQ(F.Status, lfm::trace::ReadStatus::Ok) << F.Error;
+  EXPECT_GT(F.TotalOps, 10'000u) << "churn records tens of thousands of ops";
+  ASSERT_FALSE(F.Threads.empty());
+
+  const lfm::trace::ReplayPlan Plan = lfm::trace::buildReplayPlan(F);
+  EXPECT_GT(Plan.TotalAllocs, 0u);
+  auto Alloc = lfm::makeAllocator(lfm::AllocatorKind::LockFree,
+                                  static_cast<unsigned>(F.Threads.size()));
+  const lfm::RecordedReplayResult R = lfm::replayRecorded(*Alloc, Plan, 0);
+  EXPECT_EQ(R.Allocs, Plan.TotalAllocs);
+  EXPECT_EQ(R.Frees, Plan.TotalFrees);
+  EXPECT_EQ(R.FailedAllocs, 0u);
+  std::remove(Path.c_str());
+}
+#endif // LFM_ALLOC_TRACE
 
 #if LFM_TELEMETRY
 TEST(Preload, AtexitLatencyDumpRidesOnLeakReport) {
