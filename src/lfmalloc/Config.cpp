@@ -89,6 +89,7 @@ bool AllocatorOptions::validate(Diagnostic *Diag) {
   clampUnsigned(PartialSlotsPerHeap, 1, MaxPartialSlots,
                 "PartialSlotsPerHeap");
   clampUnsigned(CreditsLimit, 1, MaxCredits, "CreditsLimit");
+  clampUnsigned(ThreadCacheMagSize, 2, 1024, "ThreadCacheMagSize");
   clampUnsigned(TraceEventsPerThread, 2, 1u << 24, "TraceEventsPerThread");
 
   if (ProfileRateBytes == 0) {

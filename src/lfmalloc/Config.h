@@ -118,6 +118,19 @@ struct AllocatorOptions {
   /// lists. Null selects the process-wide immortal domain.
   HazardDomain *Domain = nullptr;
 
+  /// Thread-local magazine cache in front of the lock-free core: the
+  /// small-block hit path becomes plain loads/stores into a per-thread
+  /// array, with batch refill/flush through the Active/Anchor CAS
+  /// machinery (see ThreadCache.h and docs/DESIGN.md). Off by default so
+  /// locally-constructed instances measure the paper's algorithm
+  /// unchanged; the default allocator turns it on unless LFM_TCACHE=0.
+  bool EnableThreadCache = false;
+
+  /// Upper bound on one magazine's capacity, in blocks, clamped to
+  /// [2, 1024]. The effective per-class capacity also caps the bytes a
+  /// magazine can retain, so coarse classes get fewer slots.
+  unsigned ThreadCacheMagSize = 64;
+
   /// Maintain operation counters. Off by default: the latency benches
   /// measure the paper's fence-count argument and must not carry extra
   /// shared-counter traffic. In telemetry builds (LFM_TELEMETRY=1) this

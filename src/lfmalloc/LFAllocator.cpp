@@ -331,9 +331,44 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
   if (Opts.EnableStats)
     Stats = new (Base + StatsOffset) AtomicOpStats();
 #endif
+
+  if (Opts.EnableThreadCache) {
+    // Per-class magazine capacities: the configured slot cap, further
+    // bounded so one magazine retains at most ~16 KB of any class (coarse
+    // classes get fewer slots; every class keeps at least 2 so flush-half
+    // still makes room).
+    for (unsigned C = 0; C < ClassCount; ++C) {
+      std::uint32_t Cap = static_cast<std::uint32_t>(
+          (std::size_t{16} * 1024) / classBlockSize(C));
+      if (Cap < 2)
+        Cap = 2;
+      if (Cap > Opts.ThreadCacheMagSize)
+        Cap = Opts.ThreadCacheMagSize;
+      TcCaps[C] = Cap;
+    }
+    TcEpoch = tcache::registerInstance(this);
+    if (TcEpoch == 0)
+      Opts.EnableThreadCache = false; // Live table full; run uncached.
+  }
 }
 
 LFAllocator::~LFAllocator() {
+  if (TcEpoch != 0) {
+    // Unregister first: a thread exiting concurrently with destruction is
+    // already outside the contract, but the live-table miss makes its exit
+    // drain a no-op instead of a use-after-unmap. Then drain the depot and
+    // every minted cache back through the anchors so the superblock sweep
+    // below sees the true occupancy, and return the cache slabs.
+    tcache::unregisterInstance(TcEpoch);
+    tcacheDrainDepot();
+    tcache::ThreadCache *TC = TcAll.load(std::memory_order_acquire);
+    while (TC != nullptr) {
+      tcache::ThreadCache *Next = TC->AllNext;
+      tcacheFlushCache(TC);
+      Pages.unmap(TC, TC->SlabBytes);
+      TC = Next;
+    }
+  }
   // Sweep superblocks still referenced by heap structures so direct mode
   // returns them to the OS (EMPTY descriptors already released theirs in
   // free(), Fig. 6 line 20 — do not release twice).
@@ -378,6 +413,15 @@ ProcHeap *LFAllocator::findHeap(unsigned Class) {
 
 void *LFAllocator::allocate(std::size_t Bytes) {
   PROF_ASSERT_NO_REENTRY();
+  // Magazine fast path. Deliberately ahead of CTR(Mallocs): the hit path
+  // must execute zero lock-prefixed RMWs, so it tallies into the cache's
+  // plain HitMallocs cell instead and snapshots fold the two together.
+  if (TcEpoch != 0) {
+    const unsigned Class = sizeToClass(Bytes);
+    if (LFM_LIKELY(Class < ClassCount))
+      if (void *Addr = tcacheAllocate(Class, Bytes))
+        return Addr;
+  }
   CTR(Mallocs);
   const std::uint64_t LatStart = LAT_BEGIN();
   const unsigned Class = sizeToClass(Bytes);
@@ -737,6 +781,12 @@ void LFAllocator::deallocate(void *Ptr) {
   // aligned-marker redirect this probe misses benignly; the recursive call
   // with the real block start does the accounting.)
   PROF_FREE(Ptr);
+  // Magazine fast path: small blocks are absorbed into the calling
+  // thread's magazine with plain stores (counted in the cache's HitFrees
+  // cell, so CTR(Frees) below stays untouched on this path). Large and
+  // aligned-marker prefixes fall through to the dispatch below.
+  if (TcEpoch != 0 && tcacheDeallocate(Ptr))
+    return;
   const std::uint64_t LatStart = LAT_BEGIN();
   void *Block = static_cast<char *>(Ptr) - BlockPrefixSize; // Line 2.
   const std::uint64_t Prefix = loadBlockWord(Block);        // Line 3.
@@ -896,6 +946,631 @@ bool LFAllocator::oomRescue() {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Thread-local magazine layer (docs/DESIGN.md "Thread cache").
+//
+// The protocol in one paragraph: a magazine hit/absorb is plain loads and
+// stores on thread-private state — zero lock-prefixed instructions. A miss
+// batch-refills by generalizing Fig. 4: one Active-word CAS reserves R
+// credits (ActiveRef{D,c} grants c+1 pops, so R <= c+1), then ONE tagged
+// anchor CAS pops all R blocks by walking the freelist R links deep. An
+// overflow batch-flushes half the magazine, preferring a single Treiber
+// chain-push into the shared per-class depot; when the depot is full the
+// blocks go back to their anchors, one tagged CAS per same-descriptor run,
+// mirroring Fig. 6 including the hazard-pinned EMPTY transition. Refills
+// steal the WHOLE depot chain with one exchange — ABA-free by construction,
+// since no stealer ever CASes against a previously-read head.
+//===----------------------------------------------------------------------===//
+
+void *LFAllocator::tcacheAllocate(unsigned Class, std::size_t Bytes) {
+  (void)Bytes; // Consumed by PROF_ALLOC in profiler builds only.
+  tcache::TlsState &T = tcache::tls();
+  if (LFM_UNLIKELY(T.Busy != 0))
+    return nullptr; // Reentered from a signal handler: take the backend.
+  // Busy brackets the whole operation (plain stores): magazine Count
+  // updates are not signal-atomic, so a handler's malloc must not see a
+  // magazine mid-update.
+  T.Busy = 1;
+  void *Addr = nullptr;
+  tcache::ThreadCache *TC = tcache::find(T, TcEpoch);
+  if (LFM_UNLIKELY(TC == nullptr))
+    TC = tcacheGetOrAttach(T);
+  if (LFM_LIKELY(TC != nullptr)) {
+    tcache::Magazine &M = TC->Mags[Class];
+    const std::uint64_t LatStart = LAT_BEGIN();
+    if (LFM_LIKELY(M.Count != 0)) {
+      // The RMW-free hit: one indexed load, two plain stores.
+      Addr = M.Slots[--M.Count];
+      ++TC->HitMallocs;
+      PROF_ALLOC(Addr, Bytes);
+      LAT_END(LatStart, MallocTcache, Class);
+    } else if (tcacheRefill(Class, M) != 0) {
+      Addr = M.Slots[--M.Count];
+      ++TC->HitMallocs;
+      PROF_ALLOC(Addr, Bytes);
+      // Refills file under the same path: malloc_tcache's p50 is the pure
+      // hit, its tail carries the batch refill cost.
+      LAT_END(LatStart, MallocTcache, Class);
+    }
+    // Addr == nullptr here means the backend is exhausted; returning null
+    // sends the caller down the classic path, which reports ENOMEM with
+    // full accounting.
+  }
+  T.Busy = 0;
+  return Addr;
+}
+
+bool LFAllocator::tcacheDeallocate(void *Ptr) {
+  tcache::TlsState &T = tcache::tls();
+  if (LFM_UNLIKELY(T.Busy != 0))
+    return false; // Signal-handler reentry: signal-safe backend free.
+  void *Block = static_cast<char *>(Ptr) - BlockPrefixSize;
+  const std::uint64_t Prefix = loadBlockWord(Block);
+  if (LFM_UNLIKELY(Prefix & LargePrefixBit))
+    return false; // Large block or aligned marker: classic dispatch.
+  const auto *Desc = reinterpret_cast<const Descriptor *>(Prefix);
+  const unsigned Class = sizeToClass(Desc->BlockSize - BlockPrefixSize);
+  if (LFM_UNLIKELY(Class >= ClassCount))
+    return false;
+  T.Busy = 1;
+  bool Took = false;
+  tcache::ThreadCache *TC = tcache::find(T, TcEpoch);
+  if (LFM_UNLIKELY(TC == nullptr))
+    TC = tcacheGetOrAttach(T);
+  if (LFM_LIKELY(TC != nullptr)) {
+    tcache::Magazine &M = TC->Mags[Class];
+    const std::uint64_t LatStart = LAT_BEGIN();
+    if (LFM_UNLIKELY(M.Count == M.Capacity))
+      // Overflow: flush the older half so bursts amortize; free_tcache's
+      // tail carries this flush.
+      tcacheFlushMagazine(Class, M, M.Capacity / 2, /*AllowDepot=*/true);
+    M.Slots[M.Count++] = Ptr;
+    ++TC->HitFrees;
+    LAT_END(LatStart, FreeTcache, Class);
+    Took = true;
+  }
+  T.Busy = 0;
+  return Took;
+}
+
+tcache::ThreadCache *LFAllocator::tcacheGetOrAttach(tcache::TlsState &T) {
+  // Adopt a parked cache from an exited thread before minting a new slab,
+  // so thread churn recycles a handful of caches instead of growing one
+  // per thread ever seen.
+  tcache::ThreadCache *TC = TcFree.pop();
+  if (TC != nullptr) {
+    XCTR(TcacheAdopts);
+    TcParked.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    TC = tcacheMint();
+    if (TC == nullptr)
+      return nullptr;
+  }
+  if (!tcache::attachTls(T, TcEpoch, TC)) {
+    // No TLS slot free or no exit key: this thread runs uncached (the
+    // shell parks for some future thread; it holds no blocks).
+    TcParked.fetch_add(1, std::memory_order_relaxed);
+    TcFree.push(TC);
+    return nullptr;
+  }
+  return TC;
+}
+
+tcache::ThreadCache *LFAllocator::tcacheMint() {
+  const std::size_t Bytes = tcache::slabBytes(ClassCount, TcCaps);
+  void *Slab = Pages.map(Bytes, OsPageSize);
+  if (Slab == nullptr)
+    return nullptr; // Run uncached under memory pressure.
+  tcache::ThreadCache *TC =
+      tcache::formatSlab(Slab, Bytes, ClassCount, TcCaps);
+  TC->Owner = this;
+  TC->Epoch = TcEpoch;
+  // Push-only registry walk list; slabs are type-stable until the
+  // allocator's destructor, as the adoption free-stack requires.
+  TC->AllNext = TcAll.load(std::memory_order_relaxed);
+  while (!TcAll.compare_exchange_weak(TC->AllNext, TC,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
+  TcMinted.fetch_add(1, std::memory_order_relaxed);
+  return TC;
+}
+
+unsigned LFAllocator::tcacheRefill(unsigned Class, tcache::Magazine &M) {
+  XCTR(TcacheRefills);
+  // Half a magazine per refill: enough to amortize, small enough that one
+  // anchor CAS still pops it all (and the index scratch stays bounded).
+  unsigned Want = M.Capacity / 2;
+  if (Want == 0)
+    Want = 1;
+  if (Want > MaxCredits)
+    Want = MaxCredits;
+  unsigned Got = tcacheStealFromDepot(Class, M, Want);
+  if (Got != 0) {
+    CTR_N(TcacheRefillBlocks, Got);
+    return Got;
+  }
+  ProcHeap *Heap = findHeap(Class);
+  for (;;) {
+    if ((Got = mallocBatchFromActive(Heap, M, Want)) != 0)
+      break;
+    if ((Got = mallocBatchFromPartial(Heap, M, Want)) != 0)
+      break;
+    bool OutOfMemory = false;
+    if (void *Addr = mallocFromNewSb(Heap, OutOfMemory)) {
+      // The install already reserved fresh Active credits; take the one
+      // block and let the next miss batch from the new Active word.
+      M.Slots[M.Count++] = Addr;
+      Got = 1;
+      break;
+    }
+    if (OutOfMemory)
+      return 0;
+  }
+  CTR_N(TcacheRefillBlocks, Got);
+  return Got;
+}
+
+unsigned LFAllocator::mallocBatchFromActive(ProcHeap *Heap,
+                                            tcache::Magazine &M,
+                                            unsigned Want) {
+  // Fig. 4 MallocFromActive generalized to R blocks. Step one: reserve R
+  // credits in a single Active-word CAS; ActiveRef{D, c} grants c+1 pops,
+  // so R <= c+1, and taking all of them clears the word exactly as the
+  // single-block path's last-credit case does.
+  ActiveRef OldActive = Heap->Active.load();
+  ActiveRef NewActive;
+  unsigned R;
+  do {
+    LFM_SCHED_POINT(TcacheRefill);
+    if (!OldActive.Desc)
+      return 0;
+    R = std::min(static_cast<unsigned>(OldActive.Credits) + 1, Want);
+    if (R == OldActive.Credits + 1)
+      NewActive = ActiveRef{};
+    else
+      NewActive = ActiveRef{OldActive.Desc, OldActive.Credits - R};
+  } while (LFM_SCHED_CAS_FAIL(TcacheRefill) ||
+           !Heap->Active.compareExchange(OldActive, NewActive));
+  const bool TookAll = R == OldActive.Credits + 1;
+  Descriptor *Desc = OldActive.Desc;
+  // Same freeze window the single-block path exposes: R credits reserved,
+  // nothing popped yet. A thread frozen here must not block anyone.
+  if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+    Opts.ChaosHook(ChaosSite::AfterCreditReserve, Opts.ChaosCtx);
+
+  // Step two: pop all R reserved blocks with ONE tagged anchor CAS by
+  // walking the freelist R links deep. Intermediate links may be stale
+  // garbage if the anchor moved under us — those are detected by a bounds
+  // check and the walk restarts from a fresh anchor; if the anchor did
+  // NOT move, the tag guarantees the whole walked chain was stable. The
+  // final link (the new Avail) is masked but unchecked, exactly like the
+  // single-pop path: it is garbage only when the chain held exactly R
+  // blocks, in which case Count reaches 0 and no one follows it.
+  Anchor OldAnchor = Desc->AnchorWord.load();
+  Anchor NewAnchor;
+  std::uint32_t MoreCredits = 0;
+  std::uint32_t Index[MaxCredits];
+  for (;;) {
+    LFM_SCHED_POINT(TcacheRefill);
+    if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+      Opts.ChaosHook(ChaosSite::BeforePopCas, Opts.ChaosCtx);
+    assert(OldAnchor.State != SbState::Empty &&
+           "reserved superblock cannot be EMPTY");
+    NewAnchor = OldAnchor;
+    MoreCredits = 0;
+    std::uint32_t Idx = OldAnchor.Avail;
+    bool Stale = false;
+    for (unsigned I = 0; I < R; ++I) {
+      if (Idx >= Desc->MaxCount) {
+        Stale = true;
+        break;
+      }
+      Index[I] = Idx;
+      const void *Blk = static_cast<const char *>(Desc->Sb) +
+                        static_cast<std::size_t>(Idx) * Desc->BlockSize;
+      Idx = static_cast<std::uint32_t>(loadBlockWord(Blk)) &
+            ((1u << AnchorAvailBits) - 1);
+    }
+    if (Stale) {
+      OldAnchor = Desc->AnchorWord.load();
+      continue;
+    }
+    NewAnchor.Avail = Idx;
+    NewAnchor.Tag = OldAnchor.Tag + 1;
+    if (TookAll) {
+      if (OldAnchor.Count == 0) {
+        NewAnchor.State = SbState::Full;
+      } else {
+        MoreCredits = std::min(OldAnchor.Count, Opts.CreditsLimit);
+        NewAnchor.Count -= MoreCredits;
+      }
+    }
+    // Walked-chain-goes-stale window: the schedule tests preempt here.
+    LFM_SCHED_POINT(TcacheRefill);
+    if (!LFM_SCHED_CAS_FAIL(TcacheRefill) &&
+        Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor))
+      break;
+    // compareExchange refreshed OldAnchor on failure; loop re-walks.
+  }
+  if (TookAll && OldAnchor.Count == 0)
+    EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb), Desc->BlockSize);
+
+  for (unsigned I = 0; I < R; ++I) {
+    void *Blk = static_cast<char *>(Desc->Sb) +
+                static_cast<std::size_t>(Index[I]) * Desc->BlockSize;
+    storeBlockWord(Blk, reinterpret_cast<std::uint64_t>(Desc));
+    M.Slots[M.Count++] = static_cast<char *>(Blk) + BlockPrefixSize;
+  }
+  if (TookAll && OldAnchor.Count > 0)
+    updateActive(Heap, Desc, MoreCredits);
+  return R;
+}
+
+unsigned LFAllocator::mallocBatchFromPartial(ProcHeap *Heap,
+                                             tcache::Magazine &M,
+                                             unsigned Want) {
+  for (;;) {
+    Descriptor *Desc = heapGetPartial(Heap);
+    if (!Desc)
+      return 0;
+    Desc->Heap.store(Heap, std::memory_order_relaxed);
+
+    // Reserve R blocks for the magazine plus up to CreditsLimit extra for
+    // the Active word, in a single anchor CAS (Fig. 4 MallocFromPartial
+    // lines 4-10 generalized).
+    Anchor OldAnchor = Desc->AnchorWord.load();
+    Anchor NewAnchor;
+    unsigned R = 0;
+    std::uint32_t MoreCredits = 0;
+    bool Retired = false;
+    do {
+      LFM_SCHED_POINT(TcacheRefill);
+      if (OldAnchor.State == SbState::Empty) {
+        // Raced with the last free (the refill-vs-EMPTY window the
+        // schedule tests drive): the superblock is already gone; recycle
+        // the descriptor and try another.
+        Descs.retire(Desc);
+        Retired = true;
+        break;
+      }
+      assert(OldAnchor.State == SbState::Partial && OldAnchor.Count > 0 &&
+             "partial-list descriptor in impossible state");
+      NewAnchor = OldAnchor;
+      R = std::min(OldAnchor.Count, Want);
+      MoreCredits = std::min(OldAnchor.Count - R, Opts.CreditsLimit);
+      NewAnchor.Count = OldAnchor.Count - R - MoreCredits;
+      NewAnchor.State =
+          MoreCredits > 0 ? SbState::Active : SbState::Full;
+    } while (LFM_SCHED_CAS_FAIL(TcacheRefill) ||
+             !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+    if (Retired)
+      continue;
+    if (NewAnchor.State == SbState::Full)
+      EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb),
+          Desc->BlockSize);
+    else
+      EVT(SbActive, reinterpret_cast<std::uintptr_t>(Desc->Sb),
+          Desc->BlockSize);
+
+    // Pop the R reserved blocks with one tagged CAS (same walk-and-
+    // validate as mallocBatchFromActive; no credit bookkeeping here, the
+    // reserve CAS above already moved Count).
+    OldAnchor = Desc->AnchorWord.load();
+    std::uint32_t Index[MaxCredits];
+    for (;;) {
+      LFM_SCHED_POINT(TcacheRefill);
+      NewAnchor = OldAnchor;
+      std::uint32_t Idx = OldAnchor.Avail;
+      bool Stale = false;
+      for (unsigned I = 0; I < R; ++I) {
+        if (Idx >= Desc->MaxCount) {
+          Stale = true;
+          break;
+        }
+        Index[I] = Idx;
+        const void *Blk = static_cast<const char *>(Desc->Sb) +
+                          static_cast<std::size_t>(Idx) * Desc->BlockSize;
+        Idx = static_cast<std::uint32_t>(loadBlockWord(Blk)) &
+              ((1u << AnchorAvailBits) - 1);
+      }
+      if (Stale) {
+        OldAnchor = Desc->AnchorWord.load();
+        continue;
+      }
+      NewAnchor.Avail = Idx;
+      NewAnchor.Tag = OldAnchor.Tag + 1;
+      LFM_SCHED_POINT(TcacheRefill);
+      if (!LFM_SCHED_CAS_FAIL(TcacheRefill) &&
+          Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor))
+        break;
+    }
+    for (unsigned I = 0; I < R; ++I) {
+      void *Blk = static_cast<char *>(Desc->Sb) +
+                  static_cast<std::size_t>(Index[I]) * Desc->BlockSize;
+      storeBlockWord(Blk, reinterpret_cast<std::uint64_t>(Desc));
+      M.Slots[M.Count++] = static_cast<char *>(Blk) + BlockPrefixSize;
+    }
+    if (MoreCredits > 0)
+      updateActive(Heap, Desc, MoreCredits);
+    return R;
+  }
+}
+
+unsigned LFAllocator::tcacheStealFromDepot(unsigned Class,
+                                           tcache::Magazine &M,
+                                           unsigned Want) {
+  tcache::Depot &D = TcDepot[Class];
+  if (D.Head.load(std::memory_order_relaxed) == nullptr)
+    return 0;
+  LFM_SCHED_POINT(TcacheSteal);
+  // Take the WHOLE chain in one exchange. No CAS against a read head ever
+  // happens on this side, so the classic Treiber-pop ABA (head recycled
+  // between read and CAS) cannot occur by construction.
+  void *Chain = D.Head.exchange(nullptr, std::memory_order_acquire);
+  if (Chain == nullptr)
+    return 0; // Another stealer won the race.
+  XCTR(TcacheSteals);
+  unsigned Got = 0;
+  while (Chain != nullptr && Got < Want && M.Count < M.Capacity) {
+    void *Next = tcache::chainNext(Chain);
+    M.Slots[M.Count++] = Chain;
+    Chain = Next;
+    ++Got;
+  }
+  if (Chain != nullptr) {
+    // Re-push what the magazine did not take (its count is already in
+    // D.Blocks; only the taken blocks are subtracted below).
+    void *Tail = Chain;
+    while (void *Next = tcache::chainNext(Tail))
+      Tail = Next;
+    tcacheDepotPush(Class, Chain, Tail, 0);
+  }
+  D.Blocks.fetch_sub(Got, std::memory_order_relaxed);
+  CTR_N(TcacheStealBlocks, Got);
+  return Got;
+}
+
+void LFAllocator::tcacheDepotPush(unsigned Class, void *ChainHead,
+                                  void *ChainTail, std::uint32_t N) {
+  tcache::Depot &D = TcDepot[Class];
+  void *OldHead = D.Head.load(std::memory_order_relaxed);
+  do {
+    LFM_SCHED_POINT(TcacheFlush);
+    tcache::setChainNext(ChainTail, OldHead);
+    // Chain-push ABA is harmless: whatever chain the head points at when
+    // the CAS lands is exactly the chain we link behind.
+  } while (LFM_SCHED_CAS_FAIL(TcacheFlush) ||
+           !D.Head.compare_exchange_weak(OldHead, ChainHead,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  if (N != 0)
+    D.Blocks.fetch_add(N, std::memory_order_relaxed);
+}
+
+void LFAllocator::tcacheFlushMagazine(unsigned Class, tcache::Magazine &M,
+                                      std::uint32_t Target,
+                                      bool AllowDepot) {
+  if (M.Count <= Target)
+    return;
+  const std::uint32_t N = M.Count - Target;
+  XCTR(TcacheFlushes);
+  CTR_N(TcacheFlushBlocks, N);
+  tcache::Depot &D = TcDepot[Class];
+  if (AllowDepot &&
+      D.Blocks.load(std::memory_order_relaxed) + N <= 2 * M.Capacity) {
+    // Depot path: chain the flushed blocks through their payload words
+    // and hand the whole chain over with a single CAS. The 2x-capacity
+    // bound keeps the depot from absorbing unbounded producer-consumer
+    // skew; beyond it blocks go back to their anchors below.
+    void *Head = M.Slots[M.Count - 1];
+    void *Cur = Head;
+    for (std::uint32_t I = 1; I < N; ++I) {
+      void *Next = M.Slots[M.Count - 1 - I];
+      tcache::setChainNext(Cur, Next);
+      Cur = Next;
+    }
+    M.Count -= N;
+    tcacheDepotPush(Class, Head, Cur, N);
+    return;
+  }
+  // Anchor path: group consecutive same-descriptor runs from the top of
+  // the magazine so each run costs one anchor CAS.
+  while (M.Count > Target) {
+    void *Top = M.Slots[M.Count - 1];
+    auto *Desc = reinterpret_cast<Descriptor *>(
+        loadBlockWord(static_cast<char *>(Top) - BlockPrefixSize));
+    std::uint32_t Run = 1;
+    const std::uint32_t Max = M.Count - Target;
+    while (Run < Max) {
+      void *P = M.Slots[M.Count - 1 - Run];
+      if (reinterpret_cast<Descriptor *>(loadBlockWord(
+              static_cast<char *>(P) - BlockPrefixSize)) != Desc)
+        break;
+      ++Run;
+    }
+    M.Count -= Run;
+    tcacheFreeChain(Desc, &M.Slots[M.Count], Run);
+  }
+}
+
+void LFAllocator::tcacheFreeChain(Descriptor *Desc, void *const *Payloads,
+                                  unsigned N) {
+  assert(N >= 1 && "empty chain flush");
+  void *Sb = Desc->Sb;
+  const auto indexOf = [&](const void *Payload) {
+    return static_cast<std::uint32_t>(
+        (static_cast<const char *>(Payload) - BlockPrefixSize -
+         static_cast<const char *>(Sb)) /
+        Desc->BlockSize);
+  };
+  // Fig. 6 generalized to an N-block chain push. Interior links do not
+  // depend on the anchor snapshot, so they are written once up front; only
+  // the tail's link (to the current Avail) is redone per CAS attempt.
+  for (unsigned I = 0; I + 1 < N; ++I)
+    storeBlockWord(static_cast<char *>(Payloads[I]) - BlockPrefixSize,
+                   indexOf(Payloads[I + 1]));
+  void *TailBlock = static_cast<char *>(Payloads[N - 1]) - BlockPrefixSize;
+  const std::uint32_t HeadIndex = indexOf(Payloads[0]);
+
+  Anchor OldAnchor = Desc->AnchorWord.load();
+  Anchor NewAnchor;
+  ProcHeap *Heap = nullptr;
+  bool Pinned = false;
+  RetryCounter Push;
+  do {
+    LFM_SCHED_POINT(TcacheFlush);
+    if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+      Opts.ChaosHook(ChaosSite::BeforeFreeCas, Opts.ChaosCtx);
+    NewAnchor = OldAnchor;
+    storeBlockWord(TailBlock, OldAnchor.Avail);
+    NewAnchor.Avail = HeadIndex;
+    if (OldAnchor.State == SbState::Full)
+      NewAnchor.State = SbState::Partial;
+    if (OldAnchor.Count + N == Desc->MaxCount) {
+      // Flushing the last outstanding blocks empties the superblock: pin
+      // the descriptor before the CAS exactly as free() does (Fig. 6
+      // lines 12-15), and keep the single-free Count convention (EMPTY
+      // shows MaxCount-1 — the emptying block is never counted).
+      if (!Pinned) {
+        Domain.publish(HpSlotDesc, Desc);
+        Pinned = true;
+      }
+      Heap = Desc->Heap.load(std::memory_order_acquire);
+      NewAnchor.State = SbState::Empty;
+      NewAnchor.Count = OldAnchor.Count + N - 1;
+    } else {
+      NewAnchor.Count = OldAnchor.Count + N;
+    }
+    LFM_SCHED_POINT(TcacheFlush); // Links written but not yet published.
+    Push.attempt();
+  } while (LFM_SCHED_CAS_FAIL(TcacheFlush) ||
+           !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
+  CTR_N(FreePushRetries, Push.retries());
+
+  // No CTR(Frees) anywhere on this path: each block was already counted
+  // (HitFrees) when its thread pushed it into a magazine.
+  if (NewAnchor.State == SbState::Empty) {
+    if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
+      Opts.ChaosHook(ChaosSite::AfterEmptyTransition, Opts.ChaosCtx);
+    CTR(SbFreed);
+    EVT(SbEmpty, reinterpret_cast<std::uintptr_t>(Sb), Desc->BlockSize);
+    SbCache.release(Sb);
+    removeEmptyDesc(Heap, Desc);
+  } else if (OldAnchor.State == SbState::Full) {
+    EVT(SbPartial, reinterpret_cast<std::uintptr_t>(Sb), Desc->BlockSize);
+    heapPutPartial(Desc);
+  }
+  if (Pinned)
+    Domain.clear(HpSlotDesc);
+}
+
+void LFAllocator::tcacheFlushCache(tcache::ThreadCache *Cache) {
+  for (unsigned C = 0; C < Cache->ClassCount; ++C)
+    tcacheFlushMagazine(C, Cache->Mags[C], 0, /*AllowDepot=*/false);
+}
+
+std::size_t LFAllocator::tcacheDrainDepot() {
+  if (TcEpoch == 0)
+    return 0;
+  std::size_t Drained = 0;
+  for (unsigned Class = 0; Class < ClassCount; ++Class) {
+    tcache::Depot &D = TcDepot[Class];
+    if (D.Head.load(std::memory_order_relaxed) == nullptr)
+      continue;
+    LFM_SCHED_POINT(TcacheSteal);
+    void *Chain = D.Head.exchange(nullptr, std::memory_order_acquire);
+    std::uint32_t Taken = 0;
+    while (Chain != nullptr) {
+      // Free same-descriptor runs together. The chain link of every block
+      // in a run is read BEFORE the run is flushed — once flushed, a block
+      // can be re-allocated and its payload overwritten at any moment.
+      void *Run[MaxCredits];
+      auto *Desc = reinterpret_cast<Descriptor *>(loadBlockWord(
+          static_cast<char *>(Chain) - BlockPrefixSize));
+      unsigned K = 0;
+      while (Chain != nullptr && K < MaxCredits &&
+             reinterpret_cast<Descriptor *>(loadBlockWord(
+                 static_cast<char *>(Chain) - BlockPrefixSize)) == Desc) {
+        Run[K++] = Chain;
+        Chain = tcache::chainNext(Chain);
+      }
+      tcacheFreeChain(Desc, Run, K);
+      Taken += K;
+    }
+    D.Blocks.fetch_sub(Taken, std::memory_order_relaxed);
+    Drained += Taken;
+  }
+  return Drained;
+}
+
+void LFAllocator::tcacheThreadExit(tcache::ThreadCache *Cache) {
+  if (Cache == nullptr || Cache->Epoch != TcEpoch)
+    return;
+  XCTR(TcacheExitDrains);
+  // Drain to the ANCHORS, not the depot: an exiting thread must leave zero
+  // blocks stranded in thread-cache structures (the churn tests assert
+  // this), and anchor frees can release whole superblocks to the OS.
+  tcacheFlushCache(Cache);
+  TcParked.fetch_add(1, std::memory_order_relaxed);
+  TcFree.push(Cache);
+}
+
+std::size_t LFAllocator::flushThreadCache() {
+  if (TcEpoch == 0)
+    return 0;
+  tcache::TlsState &T = tcache::tls();
+  if (T.Busy != 0)
+    return 0; // Reached from inside a magazine op (e.g. OOM rescue).
+  tcache::ThreadCache *TC = tcache::find(T, TcEpoch);
+  if (TC == nullptr)
+    return 0;
+  T.Busy = 1;
+  std::size_t Flushed = 0;
+  for (unsigned C = 0; C < TC->ClassCount; ++C) {
+    Flushed += TC->Mags[C].Count;
+    tcacheFlushMagazine(C, TC->Mags[C], 0, /*AllowDepot=*/false);
+  }
+  T.Busy = 0;
+  return Flushed;
+}
+
+std::size_t LFAllocator::releaseMemory(std::size_t KeepBytes) {
+  // Memory-return entry point (malloc_ctl "trim"): push thread-cached
+  // blocks back through the anchors first so newly-emptied superblocks are
+  // part of what the trim below can return to the OS.
+  if (TcEpoch != 0) {
+    flushThreadCache();
+    tcacheDrainDepot();
+  }
+  return SbCache.trimRetained(KeepBytes);
+}
+
+std::uint32_t LFAllocator::debugTcacheMagazineCount(unsigned Class) {
+  if (TcEpoch == 0 || Class >= ClassCount)
+    return 0;
+  tcache::ThreadCache *TC = tcache::find(tcache::tls(), TcEpoch);
+  return TC != nullptr ? TC->Mags[Class].Count : 0;
+}
+
+std::uint32_t LFAllocator::debugTcacheMagazineCapacity(unsigned Class) const {
+  return (TcEpoch != 0 && Class < ClassCount) ? TcCaps[Class] : 0;
+}
+
+std::uint32_t LFAllocator::debugTcacheDepotBlocks(unsigned Class) const {
+  return (TcEpoch != 0 && Class < ClassCount)
+             ? TcDepot[Class].Blocks.load(std::memory_order_relaxed)
+             : 0;
+}
+
+std::uint64_t LFAllocator::debugTcacheCachesMinted() const {
+  return TcMinted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LFAllocator::debugTcacheCachesParked() const {
+  return TcParked.load(std::memory_order_relaxed);
+}
+
 void *LFAllocator::allocateAligned(std::size_t Alignment,
                                    std::size_t Bytes) {
   assert(isPowerOf2(Alignment) && "alignment must be a power of two");
@@ -1020,6 +1695,15 @@ OpStats LFAllocator::opStats() const {
   Out.LargeFrees = Stats->LargeFrees.load(std::memory_order_relaxed);
   Out.SbFreed = Stats->SbFreed.load(std::memory_order_relaxed);
 #endif
+  // Magazine-served operations never touch the shared counters (the fast
+  // path is RMW-free); fold the per-cache tallies in so Mallocs/Frees
+  // remain "every call", whichever path served it.
+  if (TcEpoch != 0) {
+    std::uint64_t HitMallocs = 0, HitFrees = 0;
+    tcacheAccumulate(HitMallocs, HitFrees, nullptr, nullptr);
+    Out.Mallocs += HitMallocs;
+    Out.Frees += HitFrees;
+  }
   return Out;
 }
 
@@ -1103,6 +1787,40 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
   Snap.HyperblockBytes = Opts.HyperblockSize;
   Snap.PartialPolicyFifo = Opts.PartialPolicy == PartialListPolicy::Fifo;
   Snap.StatsEnabled = Opts.EnableStats;
+  Snap.TcacheEnabled = TcEpoch != 0;
+  Snap.TcacheMagSize = Opts.ThreadCacheMagSize;
+  if (TcEpoch != 0) {
+    std::uint64_t HitMallocs = 0, HitFrees = 0, MagBlocks = 0;
+    tcacheAccumulate(HitMallocs, HitFrees, &MagBlocks, nullptr);
+    std::uint64_t DepotBlocks = 0;
+    for (unsigned C = 0; C < ClassCount; ++C)
+      DepotBlocks += TcDepot[C].Blocks.load(std::memory_order_relaxed);
+    Snap.TcacheCachesMinted = TcMinted.load(std::memory_order_relaxed);
+    Snap.TcacheCachesParked = TcParked.load(std::memory_order_relaxed);
+    Snap.TcacheMagazineBlocks = MagBlocks;
+    Snap.TcacheDepotBlocks = DepotBlocks;
+    // Counter folding mirrors the latency-recorder idiom above: the
+    // RMW-free hit path tallies into plain per-cache cells, and the
+    // snapshot is where they join the shared counter schema.
+    using telemetry::Counter;
+    auto Slot = [&Snap](Counter C) -> std::uint64_t & {
+      return Snap.Counters[static_cast<unsigned>(C)];
+    };
+#if LFM_TELEMETRY
+    if (Tel != nullptr) {
+      Slot(Counter::TcacheHitMallocs) = HitMallocs;
+      Slot(Counter::TcacheHitFrees) = HitFrees;
+      Slot(Counter::Mallocs) += HitMallocs;
+      Slot(Counter::Frees) += HitFrees;
+    }
+#else
+    // Mallocs/Frees came from opStats(), which already folds the hits.
+    if (Stats != nullptr) {
+      Slot(Counter::TcacheHitMallocs) = HitMallocs;
+      Slot(Counter::TcacheHitFrees) = HitFrees;
+    }
+#endif
+  }
   return Snap;
 }
 
@@ -1210,6 +1928,32 @@ template <typename T> T topoLoad(const T &Field) {
 }
 
 } // namespace
+
+void LFAllocator::tcacheAccumulate(std::uint64_t &HitMallocs,
+                                   std::uint64_t &HitFrees,
+                                   std::uint64_t *MagazineBlocks,
+                                   std::uint64_t *PerClassBlocks) const {
+  // Racy-by-design walk of the push-only cache registry (same contract as
+  // the topology walk: monotonic counters may lag, block counts are exact
+  // only at quiescence). Covers attached AND parked caches; parked ones
+  // hold no blocks but their historical hit tallies still count.
+  HitMallocs = 0;
+  HitFrees = 0;
+  for (const tcache::ThreadCache *TC =
+           TcAll.load(std::memory_order_acquire);
+       TC != nullptr; TC = TC->AllNext) {
+    HitMallocs += topoLoad(TC->HitMallocs);
+    HitFrees += topoLoad(TC->HitFrees);
+    if (MagazineBlocks != nullptr || PerClassBlocks != nullptr)
+      for (unsigned C = 0; C < TC->ClassCount; ++C) {
+        const std::uint64_t N = topoLoad(TC->Mags[C].Count);
+        if (MagazineBlocks != nullptr)
+          *MagazineBlocks += N;
+        if (PerClassBlocks != nullptr)
+          PerClassBlocks[C] += N;
+      }
+  }
+}
 
 void LFAllocator::collectTopology(profiling::TopologySnapshot &Out,
                                   profiling::SbMapEntry *Map,
@@ -1319,6 +2063,25 @@ void LFAllocator::collectTopology(profiling::TopologySnapshot &Out,
   });
   if (CreditRecs != nullptr)
     Scratch.unmap(CreditRecs, CreditBytes);
+
+  // Magazine/depot-resident blocks are "allocated" from the anchors' point
+  // of view but are not live application memory: report them separately
+  // and keep UsedBlocks meaning "blocks the application actually holds",
+  // so cached blocks never read as heap leaks.
+  if (TcEpoch != 0) {
+    std::uint64_t HitMallocs = 0, HitFrees = 0;
+    std::uint64_t PerClass[NumSizeClasses] = {};
+    tcacheAccumulate(HitMallocs, HitFrees, nullptr, PerClass);
+    for (unsigned C = 0; C < ClassCount; ++C) {
+      std::uint64_t Cached =
+          PerClass[C] + TcDepot[C].Blocks.load(std::memory_order_relaxed);
+      if (Cached > Out.Classes[C].UsedBlocks)
+        Cached = Out.Classes[C].UsedBlocks; // Cross-word race skew; clamp.
+      Out.Classes[C].CachedBlocks = Cached;
+      Out.Classes[C].UsedBlocks -= Cached;
+      Out.TcacheCachedBlocks += Cached;
+    }
+  }
 
   for (unsigned C = 0; C < ClassCount; ++C) {
     Out.TotalSuperblocks += Out.Classes[C].Superblocks;
@@ -1457,6 +2220,24 @@ void LFAllocator::dumpState(std::FILE *Out) const {
                  static_cast<unsigned long long>(St.LargeMallocs),
                  static_cast<unsigned long long>(St.LargeFrees),
                  static_cast<unsigned long long>(St.SbFreed));
+  if (TcEpoch != 0) {
+    std::uint64_t HitMallocs = 0, HitFrees = 0, MagBlocks = 0;
+    tcacheAccumulate(HitMallocs, HitFrees, &MagBlocks, nullptr);
+    std::uint64_t DepotBlocks = 0;
+    for (unsigned C = 0; C < ClassCount; ++C)
+      DepotBlocks += TcDepot[C].Blocks.load(std::memory_order_relaxed);
+    std::fprintf(Out,
+                 "  tcache: caches=%llu parked=%llu magBlocks=%llu "
+                 "depotBlocks=%llu hitMallocs=%llu hitFrees=%llu\n",
+                 static_cast<unsigned long long>(
+                     TcMinted.load(std::memory_order_relaxed)),
+                 static_cast<unsigned long long>(
+                     TcParked.load(std::memory_order_relaxed)),
+                 static_cast<unsigned long long>(MagBlocks),
+                 static_cast<unsigned long long>(DepotBlocks),
+                 static_cast<unsigned long long>(HitMallocs),
+                 static_cast<unsigned long long>(HitFrees));
+  }
 #if LFM_TELEMETRY
   if (Tel) {
     using telemetry::Counter;
@@ -1583,6 +2364,15 @@ bool LFAllocator::debugValidate(std::string *Msg) {
                             Reachable[J].Desc, Aj);
     }
 
+  // Walked freelist membership per reachable descriptor, kept for the
+  // magazine/depot cross-checks below.
+  struct WalkedChain {
+    Descriptor *Desc;
+    std::uint64_t ChainLen;
+    std::vector<bool> OnChain;
+  };
+  std::vector<WalkedChain> Chains;
+
   for (const Found &F : Reachable) {
     Descriptor *Desc = F.Desc;
     const Anchor A = Desc->AnchorWord.load();
@@ -1642,6 +2432,99 @@ bool LFAllocator::debugValidate(std::string *Msg) {
                           static_cast<std::size_t>(Index) * Desc->BlockSize;
       Index = static_cast<std::uint32_t>(loadBlockWord(Block)) &
               ((1u << AnchorAvailBits) - 1);
+    }
+    Chains.push_back({Desc, ExpectChain, std::move(Seen)});
+  }
+
+  // Thread-cache oracle: every block resident in a magazine or the depot
+  // is "allocated" from the anchors' point of view. Each must name a sane
+  // descriptor, appear at most once across all caches, never ALSO sit on
+  // its superblock's freelist, and per descriptor the freelist chain plus
+  // cached blocks must still fit in MaxCount.
+  if (TcEpoch != 0) {
+    struct CachedRef {
+      void *Payload;
+      Descriptor *Desc;
+      std::uint32_t Index;
+    };
+    std::vector<CachedRef> Cached;
+    Descriptor *BadDesc = nullptr;
+    auto addCached = [&](void *Payload) -> bool {
+      void *Block = static_cast<char *>(Payload) - BlockPrefixSize;
+      const std::uint64_t Prefix = loadBlockWord(Block);
+      if (Prefix & LargePrefixBit)
+        return false; // Large/marker prefix cannot be magazine-resident.
+      auto *Desc = reinterpret_cast<Descriptor *>(Prefix);
+      BadDesc = Desc;
+      if (Desc == nullptr)
+        return false;
+      const std::uint32_t MaxCount = Desc->MaxCount;
+      if (MaxCount < 2 || MaxCount > MaxBlocksPerSuperblock ||
+          Desc->BlockSize == 0 || Desc->Sb == nullptr)
+        return false;
+      if (Desc->AnchorWord.load().State == SbState::Empty)
+        return false; // Its superblock is gone yet the block is cached?
+      const std::ptrdiff_t Off =
+          static_cast<char *>(Block) - static_cast<char *>(Desc->Sb);
+      if (Off < 0 || Off % Desc->BlockSize != 0 ||
+          static_cast<std::uint64_t>(Off / Desc->BlockSize) >= MaxCount)
+        return false;
+      Cached.push_back(
+          {Payload, Desc, static_cast<std::uint32_t>(Off / Desc->BlockSize)});
+      return true;
+    };
+    for (tcache::ThreadCache *TC = TcAll.load(std::memory_order_acquire);
+         TC != nullptr; TC = TC->AllNext)
+      for (unsigned C = 0; C < TC->ClassCount; ++C)
+        for (std::uint32_t S = 0; S < TC->Mags[C].Count; ++S)
+          if (!addCached(TC->Mags[C].Slots[S]))
+            return validateFail(Msg, "magazine holds an invalid block",
+                                BadDesc,
+                                BadDesc ? BadDesc->AnchorWord.load()
+                                        : Anchor{});
+    for (unsigned C = 0; C < ClassCount; ++C)
+      for (void *P = TcDepot[C].Head.load(std::memory_order_acquire);
+           P != nullptr; P = tcache::chainNext(P))
+        if (!addCached(P))
+          return validateFail(Msg, "depot holds an invalid block", BadDesc,
+                              BadDesc ? BadDesc->AnchorWord.load()
+                                      : Anchor{});
+
+    std::sort(Cached.begin(), Cached.end(),
+              [](const CachedRef &L, const CachedRef &R) {
+                return L.Payload < R.Payload;
+              });
+    for (std::size_t I = 1; I < Cached.size(); ++I)
+      if (Cached[I].Payload == Cached[I - 1].Payload)
+        return validateFail(Msg, "block cached twice (magazines/depot)",
+                            Cached[I].Desc,
+                            Cached[I].Desc->AnchorWord.load());
+
+    for (const CachedRef &R : Cached)
+      for (const WalkedChain &W : Chains)
+        if (W.Desc == R.Desc && W.OnChain[R.Index])
+          return validateFail(Msg, "cached block also on its freelist",
+                              R.Desc, R.Desc->AnchorWord.load());
+
+    // Per-descriptor balance: chain + cached <= MaxCount.
+    std::sort(Cached.begin(), Cached.end(),
+              [](const CachedRef &L, const CachedRef &R) {
+                return L.Desc < R.Desc;
+              });
+    for (std::size_t I = 0; I < Cached.size();) {
+      Descriptor *Desc = Cached[I].Desc;
+      std::size_t J = I;
+      while (J < Cached.size() && Cached[J].Desc == Desc)
+        ++J;
+      std::uint64_t ChainLen = 0;
+      for (const WalkedChain &W : Chains)
+        if (W.Desc == Desc)
+          ChainLen = W.ChainLen;
+      if (ChainLen + (J - I) > Desc->MaxCount)
+        return validateFail(Msg,
+                            "freelist chain + cached blocks exceed capacity",
+                            Desc, Desc->AnchorWord.load());
+      I = J;
     }
   }
   return true;

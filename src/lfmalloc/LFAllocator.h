@@ -29,6 +29,8 @@
 #include "lfmalloc/PartialList.h"
 #include "lfmalloc/SizeClasses.h"
 #include "lfmalloc/SuperblockCache.h"
+#include "lfmalloc/ThreadCache.h"
+#include "lockfree/TreiberStack.h"
 #include "os/PageAllocator.h"
 #include "telemetry/MetricsSnapshot.h"
 #include "telemetry/TelemetryConfig.h"
@@ -212,13 +214,41 @@ public:
 
   /// Returns retained physical memory to the OS while other threads keep
   /// allocating (lock-free; concurrent callers race through a try-lock and
-  /// losers return 0). Keeps roughly \p KeepBytes of the superblock cache
-  /// resident. Only RSS drops — address space stays mapped, and descriptor
-  /// chunks are untouched (reclaiming those requires quiescence, see
+  /// losers return 0). Drains the thread-cache depot and the calling
+  /// thread's own magazines back to the superblock anchors first, then
+  /// keeps roughly \p KeepBytes of the superblock cache resident. Only RSS
+  /// drops — address space stays mapped, and descriptor chunks are
+  /// untouched (reclaiming those requires quiescence, see
   /// trimQuiescent()). \returns physical bytes returned.
-  std::size_t releaseMemory(std::size_t KeepBytes = 0) {
-    return SbCache.trimRetained(KeepBytes);
-  }
+  std::size_t releaseMemory(std::size_t KeepBytes = 0);
+
+  /// True when this instance runs the thread-local magazine layer.
+  bool threadCacheEnabled() const { return TcEpoch != 0; }
+
+  /// Flushes the calling thread's magazines for this instance back to the
+  /// superblock anchors (blocks go through the same hazard-protected
+  /// EMPTY-transition path as free()). \returns blocks flushed. No-op
+  /// without a thread cache; lock-free.
+  std::size_t flushThreadCache();
+
+  /// Drains \p Cache and parks it for adoption — the pthread-key exit
+  /// destructor's entry point (ThreadCache.cpp). Also callable from tests
+  /// to run an "exit drain" inline on a live thread (the TLS entry must
+  /// be cleared separately via tcache::drainThreadTls). Internal.
+  void tcacheThreadExit(tcache::ThreadCache *Cache);
+
+  /// Test hooks into the tcache internals (stable under quiescence).
+  /// Blocks resident in the calling thread's magazine for \p Class.
+  std::uint32_t debugTcacheMagazineCount(unsigned Class);
+  /// Magazine capacity for \p Class (0 without a thread cache).
+  std::uint32_t debugTcacheMagazineCapacity(unsigned Class) const;
+  /// Blocks resident in the shared depot for \p Class.
+  std::uint32_t debugTcacheDepotBlocks(unsigned Class) const;
+  /// Caches ever minted / currently parked for adoption.
+  std::uint64_t debugTcacheCachesMinted() const;
+  std::uint64_t debugTcacheCachesParked() const;
+  /// 16-bit ABA tag on the parked-cache free-stack head.
+  std::uint16_t debugTcacheFreeStackTag() const { return TcFree.headTag(); }
 
   /// Retention watermark for the superblock cache (see
   /// AllocatorOptions::RetainMaxBytes). Adjustable at runtime.
@@ -274,6 +304,34 @@ private:
   void *mallocFromActive(ProcHeap *Heap);
   void *mallocFromPartial(ProcHeap *Heap);
   void *mallocFromNewSb(ProcHeap *Heap, bool &OutOfMemory);
+
+  // Thread-local magazine layer (ThreadCache.h; protocol in
+  // docs/DESIGN.md). The hit paths are RMW-free; everything below the
+  // first two methods is slow-path batch machinery over the same anchor
+  // CASes the figures use.
+  void *tcacheAllocate(unsigned Class, std::size_t Bytes);
+  bool tcacheDeallocate(void *Ptr);
+  tcache::ThreadCache *tcacheGetOrAttach(tcache::TlsState &T);
+  tcache::ThreadCache *tcacheMint();
+  unsigned tcacheRefill(unsigned Class, tcache::Magazine &M);
+  unsigned tcacheStealFromDepot(unsigned Class, tcache::Magazine &M,
+                                unsigned Want);
+  unsigned mallocBatchFromActive(ProcHeap *Heap, tcache::Magazine &M,
+                                 unsigned Want);
+  unsigned mallocBatchFromPartial(ProcHeap *Heap, tcache::Magazine &M,
+                                  unsigned Want);
+  void tcacheFlushMagazine(unsigned Class, tcache::Magazine &M,
+                           std::uint32_t Target, bool AllowDepot);
+  void tcacheFreeChain(Descriptor *Desc, void *const *Payloads, unsigned N);
+  void tcacheDepotPush(unsigned Class, void *ChainHead, void *ChainTail,
+                       std::uint32_t N);
+  void tcacheFlushCache(tcache::ThreadCache *Cache);
+  std::size_t tcacheDrainDepot();
+  /// Sums hit counters (and optionally resident-block gauges) over every
+  /// cache ever minted. Racy snapshot; exact at quiescence.
+  void tcacheAccumulate(std::uint64_t &HitMallocs, std::uint64_t &HitFrees,
+                        std::uint64_t *MagazineBlocks,
+                        std::uint64_t *PerClassBlocks) const;
   void updateActive(ProcHeap *Heap, Descriptor *Desc,
                     std::uint32_t MoreCredits);
   Descriptor *heapGetPartial(ProcHeap *Heap);
@@ -308,6 +366,19 @@ private:
   ProcHeap *Heaps = nullptr;   ///< [ClassCount * HeapCount].
   void *ControlRegion = nullptr; ///< Backing mapping for the two arrays.
   std::size_t ControlBytes = 0;
+
+  /// Thread-cache state. TcEpoch is this instance's never-reused id in
+  /// the tcache live-instance table; 0 means the layer is off and every
+  /// tcache probe is one predicted-false plain load.
+  std::uint64_t TcEpoch = 0;
+  std::uint32_t TcCaps[NumSizeClasses] = {}; ///< Magazine capacity per class.
+  std::atomic<tcache::ThreadCache *> TcAll{nullptr}; ///< Push-only registry.
+  std::atomic<std::uint64_t> TcMinted{0}; ///< Caches ever minted.
+  std::atomic<std::uint64_t> TcParked{0}; ///< Caches currently adoptable.
+  /// Parked caches for adoption. Tagged Treiber stack: cache slabs are
+  /// type-stable until the allocator dies, exactly the contract it needs.
+  TreiberStack<tcache::ThreadCache, &tcache::ThreadCache::FreeNext> TcFree;
+  tcache::Depot TcDepot[NumSizeClasses]; ///< Shared per-class chains.
 #if LFM_TELEMETRY
   /// Sharded counters + trace rings, placement-constructed in the control
   /// region. Non-null when EnableStats or EnableTrace.

@@ -62,6 +62,13 @@ AllocatorOptions defaultOptions() {
     if (std::strlen(Prefix) < detail::StatsPrefixCap)
       std::strcpy(detail::StatsPrefix, Prefix);
   }
+  // Thread cache defaults ON for the process-wide default allocator (the
+  // registry default "1"); LFM_TCACHE=0 turns it off. Explicitly-optioned
+  // local instances keep the AllocatorOptions default (off).
+  Opts.EnableThreadCache =
+      config::varRaw(Var::Tcache) ? config::varFlag(Var::Tcache) : true;
+  if (config::varU64(Var::TcacheMagSize, U) && U > 0)
+    Opts.ThreadCacheMagSize = static_cast<unsigned>(U);
   return Opts;
 }
 

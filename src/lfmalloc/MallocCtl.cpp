@@ -187,6 +187,10 @@ int statsGet(const char *Name, void *Out, size_t *OutLen) {
       {"alloctrace_recording", Snap.AllocTraceRecording ? 1u : 0u},
       {"alloctrace_ops", Snap.AllocTraceOps},
       {"alloctrace_dropped", Snap.AllocTraceDropped},
+      {"tcache_caches_minted", Snap.TcacheCachesMinted},
+      {"tcache_caches_parked", Snap.TcacheCachesParked},
+      {"tcache_magazine_blocks", Snap.TcacheMagazineBlocks},
+      {"tcache_depot_blocks", Snap.TcacheDepotBlocks},
   };
   for (const auto &Row : Rows)
     if (std::strcmp(Name, Row.Name) == 0)
@@ -233,6 +237,13 @@ int optGet(const char *Name, void *Out, size_t *OutLen) {
                    detail::StatsIntervalMs.load(std::memory_order_relaxed));
   if (std::strcmp(Name, "stats_prefix") == 0)
     return readStr(Out, OutLen, detail::StatsPrefix);
+  if (std::strcmp(Name, "tcache") == 0)
+    // Echo the effective state (registration can refuse), not just the
+    // requested option.
+    return readU64(Out, OutLen,
+                   lfm::defaultAllocator().threadCacheEnabled() ? 1 : 0);
+  if (std::strcmp(Name, "tcache_mag_size") == 0)
+    return readU64(Out, OutLen, O.ThreadCacheMagSize);
   return ENOENT;
 }
 

@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <new>
 
+#include <pthread.h>
+
 using namespace lfm;
 
 namespace {
@@ -67,8 +69,19 @@ private:
 
 namespace lfm {
 
-/// Per-thread map from domain to acquired record. Destroyed at thread exit,
-/// releasing the records (see the lifetime contract in the header).
+/// Per-thread map from domain to acquired record. Trivially destructible
+/// by design: records are released through a pthread key destructor, NOT
+/// a C++ TLS destructor. The distinction matters because other pthread
+/// key destructors (the allocator's thread-cache exit drain) legitimately
+/// run hazard-protected operations during thread teardown — after
+/// __call_tls_dtors has already run. A C++ destructor here would mean
+/// such late use either touches a destroyed object or, on a thread whose
+/// first hazard use IS the teardown path, registers with
+/// __cxa_thread_atexit too late to ever run (leaking the registration
+/// and abandoning the record). The key-destructor protocol handles both:
+/// every insert re-arms the key, and pthreads re-runs destructors while
+/// any key value is non-null, so a record acquired during another key's
+/// destructor is released one iteration later.
 struct HazardThreadCache {
   struct Entry {
     HazardDomain *Domain;
@@ -80,7 +93,7 @@ struct HazardThreadCache {
   Entry Entries[Capacity] = {};
   unsigned Count = 0;
 
-  ~HazardThreadCache();
+  void releaseAll();
 
   void *lookup(const HazardDomain *Domain, std::uint64_t Id) const {
     for (unsigned I = 0; I < Count; ++I)
@@ -106,7 +119,10 @@ struct HazardThreadCache {
       std::abort();
     }
     Entries[Count++] = Entry{Domain, Id, Record};
+    armExitRelease(this);
   }
+
+  static void armExitRelease(HazardThreadCache *Cache);
 };
 
 } // namespace lfm
@@ -115,9 +131,32 @@ namespace {
 
 thread_local HazardThreadCache TlsHazardCache;
 
+pthread_key_t HazardExitKey;
+pthread_once_t HazardExitKeyOnce = PTHREAD_ONCE_INIT;
+
+extern "C" void lfmHazardExitRelease(void *Arg) {
+  static_cast<HazardThreadCache *>(Arg)->releaseAll();
+}
+
+void makeHazardExitKey() {
+  if (pthread_key_create(&HazardExitKey, lfmHazardExitRelease) != 0) {
+    // Without the key, exiting threads abandon their records (bounded by
+    // MaxRecords); keep running rather than aborting at first use.
+    std::fprintf(stderr, "lfmalloc: cannot create hazard exit key\n");
+  }
+}
+
 } // namespace
 
-HazardThreadCache::~HazardThreadCache() {
+void HazardThreadCache::armExitRelease(HazardThreadCache *Cache) {
+  pthread_once(&HazardExitKeyOnce, makeHazardExitKey);
+  // Re-armed on EVERY insert: pthreads nulls the value before each
+  // destructor pass, so a record acquired inside another key's destructor
+  // re-sets it and earns one more pass.
+  pthread_setspecific(HazardExitKey, Cache);
+}
+
+void HazardThreadCache::releaseAll() {
   for (unsigned I = 0; I < Count; ++I) {
     // Domains this thread outlived are gone along with their records;
     // releasing into them would be a use-after-free. The registry check

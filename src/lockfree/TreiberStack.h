@@ -49,7 +49,12 @@ public:
         this->Head.load(std::memory_order_relaxed);
     for (;;) {
       LFM_SCHED_POINT(TreiberPush);
-      Node->*NextField = Head.Ptr;
+      // Relaxed atomic store: a concurrent pop may read this link through
+      // a stale head (benign — its CAS then fails on the tag), and the
+      // release CAS below is what publishes the value to the pop that
+      // wins. atomic_ref keeps the node type a plain struct.
+      std::atomic_ref<NodeT *>(Node->*NextField)
+          .store(Head.Ptr, std::memory_order_relaxed);
       // Release so the Next write above is visible to the popper that
       // acquires the new head (paper Fig. 7, DescRetire memory fence).
       if (!LFM_SCHED_CAS_FAIL(TreiberPush) &&
@@ -65,8 +70,11 @@ public:
     for (;;) {
       if (!Head.Ptr)
         return nullptr;
-      // Reading the link is safe only under the type-stability contract.
-      NodeT *Next = Head.Ptr->*NextField;
+      // Reading the link is safe only under the type-stability contract;
+      // relaxed is enough because the tagged CAS below validates that the
+      // head (and with it this link) did not change under us.
+      NodeT *Next = std::atomic_ref<NodeT *>(Head.Ptr->*NextField)
+                        .load(std::memory_order_relaxed);
       // The window between the link read above and the CAS below is THE
       // tagged-ABA window (§3.2.5); the schedule tests preempt here.
       LFM_SCHED_POINT(TreiberPop);

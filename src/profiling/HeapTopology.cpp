@@ -56,6 +56,7 @@ void lfm::profiling::writeTopologyJson(const TopologySnapshot &T,
   W.field("superblocks", T.TotalSuperblocks);
   W.field("blocks", T.TotalBlocks);
   W.field("used_blocks", T.TotalUsedBlocks);
+  W.field("tcache_cached_blocks", T.TcacheCachedBlocks);
   W.field("cached_superblocks", T.CachedSuperblocks);
   W.field("retained_bytes", T.RetainedBytes);
   W.field("decommitted_superblocks", T.DecommittedSuperblocks);
@@ -82,6 +83,7 @@ void lfm::profiling::writeTopologyJson(const TopologySnapshot &T,
     W.endObject();
     W.field("blocks", Cl.TotalBlocks);
     W.field("used_blocks", Cl.UsedBlocks);
+    W.field("cached_blocks", Cl.CachedBlocks);
     W.field("free_blocks", Cl.freeBlocks());
     W.fieldDouble("ext_frag", Cl.externalFragRatio(T.SuperblockBytes));
     if (T.ProfilerAttached && Cl.LiveEstBlockBytes != 0) {

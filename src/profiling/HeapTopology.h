@@ -53,6 +53,11 @@ struct ClassTopology {
   std::uint64_t PartialSbs = 0;
   std::uint64_t TotalBlocks = 0;
   std::uint64_t UsedBlocks = 0;
+  /// Blocks parked in thread-cache magazines or the per-class depot:
+  /// "allocated" from the anchors' view but not live application memory.
+  /// Already subtracted from UsedBlocks, so cached blocks never read as
+  /// heap leaks.
+  std::uint64_t CachedBlocks = 0;
   std::uint64_t OccHist[TopoOccBuckets] = {};
   /// Estimated live requested/block bytes from the sampling profiler; zero
   /// when no profiler is attached.
@@ -90,6 +95,8 @@ struct TopologySnapshot {
   std::uint64_t TotalSuperblocks = 0;
   std::uint64_t TotalBlocks = 0;
   std::uint64_t TotalUsedBlocks = 0;
+  /// Total magazine+depot-resident blocks (see ClassTopology::CachedBlocks).
+  std::uint64_t TcacheCachedBlocks = 0;
   std::uint64_t CachedSuperblocks = 0; ///< Empty, parked in SuperblockCache.
   std::uint64_t RetainedBytes = 0; ///< Bytes of cached (retained) superblocks.
   /// Cached superblocks whose pages were returned to the OS (madvise) but

@@ -34,6 +34,10 @@
 #define LFM_SCHED_TEST 0
 #endif
 
+#if LFM_SCHED_TEST
+#include <cstdint>
+#endif
+
 namespace lfm {
 namespace sched {
 
@@ -64,6 +68,10 @@ enum class Site : unsigned {
   SbAcquire, ///< SuperblockCache::acquire pop/mint window.
   SbRelease, ///< SuperblockCache::release push window.
   SbTrim,    ///< SuperblockCache::trimRetained drain window.
+  // Thread-local magazine cache (ThreadCache.cpp / LFAllocator tcache).
+  TcacheRefill, ///< Batch refill reserve/pop anchor CAS windows.
+  TcacheFlush,  ///< Batch flush anchor push + depot push CAS windows.
+  TcacheSteal,  ///< Depot steal-all exchange + leftover re-push window.
   NumSites
 };
 
@@ -81,6 +89,16 @@ extern thread_local ScheduleController *TlsController;
 void schedYield(Site S);
 bool schedShouldFailCas(Site S);
 
+#if LFM_SCHED_TEST
+/// Per-thread count of instrumented-site visits (every LFM_SCHED_POINT /
+/// LFM_SCHED_CAS_FAIL evaluation, controlled or not). Every site marks a
+/// lock-prefixed RMW's linearization window, so this doubles as a
+/// deterministic proxy for "lock-prefixed instructions executed" that
+/// bench_fastpath reads to prove the magazine-hit path performs zero —
+/// robust to containers where hardware perf counters are unavailable.
+extern thread_local std::uint64_t TlsSiteVisits;
+#endif
+
 } // namespace sched
 } // namespace lfm
 
@@ -92,6 +110,7 @@ bool schedShouldFailCas(Site S);
 /// the CAS attempt.
 #define LFM_SCHED_POINT(SiteId)                                              \
   do {                                                                       \
+    ++::lfm::sched::TlsSiteVisits;                                           \
     if (__builtin_expect(::lfm::sched::TlsController != nullptr, 0))         \
       ::lfm::sched::schedYield(::lfm::sched::Site::SiteId);                  \
   } while (0)
@@ -101,7 +120,8 @@ bool schedShouldFailCas(Site S);
 /// exactly as if the CAS lost a race (skip it and retry the loop).
 /// Use as `while (LFM_SCHED_CAS_FAIL(Site) || !word.compareExchange(...))`.
 #define LFM_SCHED_CAS_FAIL(SiteId)                                           \
-  (__builtin_expect(::lfm::sched::TlsController != nullptr, 0) &&            \
+  (++::lfm::sched::TlsSiteVisits,                                            \
+   __builtin_expect(::lfm::sched::TlsController != nullptr, 0) &&            \
    ::lfm::sched::schedShouldFailCas(::lfm::sched::Site::SiteId))
 
 #else

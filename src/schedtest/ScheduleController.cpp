@@ -19,6 +19,10 @@ namespace sched {
 
 thread_local ScheduleController *TlsController = nullptr;
 
+#if LFM_SCHED_TEST
+thread_local std::uint64_t TlsSiteVisits = 0;
+#endif
+
 const char *siteName(Site S) {
   switch (S) {
   case Site::ActiveReserve:
@@ -57,6 +61,12 @@ const char *siteName(Site S) {
     return "SbRelease";
   case Site::SbTrim:
     return "SbTrim";
+  case Site::TcacheRefill:
+    return "TcacheRefill";
+  case Site::TcacheFlush:
+    return "TcacheFlush";
+  case Site::TcacheSteal:
+    return "TcacheSteal";
   case Site::NumSites:
     break;
   }

@@ -50,6 +50,10 @@ const VarSpec Table[NumVars] = {
      "superblock-cache retention watermark in bytes (~0: keep all)"},
     {"LFM_RETAIN_DECAY_MS", "retain.decay_ms", "-1",
      "decay period for background cache trimming; <0 disables"},
+    {"LFM_TCACHE", "opt.tcache", "1",
+     "thread-local magazine cache on the default allocator (0 disables)"},
+    {"LFM_TCACHE_MAG_SIZE", "opt.tcache_mag_size", "64",
+     "magazine slot cap per size class (clamped to [2, 1024])"},
     {"LFM_FAIL_MAP", "debug.fail_map", "unset",
      "fault injection: fail OS map calls after N successes"},
     {"LFM_BENCH_SCALE", nullptr, "1.0",

@@ -53,6 +53,10 @@ enum class Var : unsigned {
   RetainMaxBytes, ///< LFM_RETAIN_MAX_BYTES: superblock-cache watermark.
   RetainDecayMs,  ///< LFM_RETAIN_DECAY_MS: decay period; <0 disables.
 
+  // Thread-local magazine cache (read at first use).
+  Tcache,        ///< LFM_TCACHE: thread-cache layer on the default allocator.
+  TcacheMagSize, ///< LFM_TCACHE_MAG_SIZE: magazine slot cap per size class.
+
   // Fault injection (test/debug only).
   FailMap, ///< LFM_FAIL_MAP: fail OS maps after N successes.
 

@@ -98,6 +98,21 @@ enum class Counter : unsigned {
                   ///< background stats exporter thread — nonzero means the
                   ///< exporter allocated through the instrumented path.
 
+  // Thread-local magazine cache (ThreadCache.h). The two hit counters are
+  // filled at snapshot time from plain per-cache cells (the hit path must
+  // stay RMW-free, so it cannot touch this sharded set); the rest are
+  // normal slow-path counters.
+  TcacheHitMallocs, ///< Mallocs served from a magazine (plain-store path).
+  TcacheHitFrees,   ///< Frees absorbed by a magazine (plain-store path).
+  TcacheRefills,    ///< Magazine refill passes (depot steal + batch pops).
+  TcacheRefillBlocks, ///< Blocks brought into magazines by refills.
+  TcacheFlushes,    ///< Magazine flush passes (overflow, drain, trim).
+  TcacheFlushBlocks, ///< Blocks pushed out of magazines by flushes.
+  TcacheSteals,     ///< Depot steal-all exchanges that found blocks.
+  TcacheStealBlocks, ///< Blocks obtained from the shared depot.
+  TcacheAdopts,     ///< Parked caches adopted by new threads.
+  TcacheExitDrains, ///< Thread-exit drains through the pthread-key hook.
+
   CounterCount
 };
 

@@ -32,6 +32,10 @@ enum class LatencyPath : unsigned {
   FreeSbRelease, ///< Small free that emptied its superblock and released it.
   Trim,          ///< trimRetained() pass returning memory to the OS.
   OomRescue,     ///< Map failure recovered by trimming the retained cache.
+  MallocTcache,  ///< Served by the thread-local magazine (p50 is the pure
+                 ///< plain-load hit; the tail carries batch refills).
+  FreeTcache,    ///< Absorbed by the thread-local magazine (tail carries
+                 ///< overflow flushes).
   PathCount
 };
 
@@ -59,6 +63,10 @@ constexpr const char *latencyPathName(LatencyPath P) {
     return "trim";
   case LatencyPath::OomRescue:
     return "oom_rescue";
+  case LatencyPath::MallocTcache:
+    return "malloc_tcache";
+  case LatencyPath::FreeTcache:
+    return "free_tcache";
   case LatencyPath::PathCount:
     break;
   }

@@ -29,7 +29,9 @@ LatencyRecorder::LatencyRecorder(const Options &O)
   // from "off" anyway).
   if (Period > (std::uint64_t{1} << 30))
     Period = std::uint64_t{1} << 30;
-  void *Mem = TablePages.map(sizeof(Tables), CacheLineSize);
+  // Page alignment (the provider's minimum) subsumes the cache-line
+  // alignment the sharded tables need.
+  void *Mem = TablePages.map(sizeof(Tables), OsPageSize);
   if (Mem == nullptr)
     return; // Recording stays disabled; the allocator itself is unaffected.
   // Placement-new onto zero-filled pages: every atomic starts at zero, every

@@ -98,6 +98,15 @@ struct MetricsSnapshot {
   std::uint64_t HyperblockBytes = 0;
   bool PartialPolicyFifo = false;
   bool StatsEnabled = false;
+  /// Thread-cache (magazine layer) gauges; all zero when the feature is
+  /// off. Hit counters live in the Counters array (folded in at snapshot
+  /// time from the RMW-free per-cache cells).
+  bool TcacheEnabled = false;
+  std::uint64_t TcacheMagSize = 0;        ///< Configured slot cap echo.
+  std::uint64_t TcacheCachesMinted = 0;   ///< Cache slabs ever mapped.
+  std::uint64_t TcacheCachesParked = 0;   ///< Caches awaiting adoption.
+  std::uint64_t TcacheMagazineBlocks = 0; ///< Blocks in magazines now.
+  std::uint64_t TcacheDepotBlocks = 0;    ///< Blocks in depots now.
   bool TraceEnabled = false;
   /// False when the library was built with LFM_TELEMETRY=0 (counters
   /// beyond the legacy eight are then structurally zero).

@@ -121,6 +121,16 @@ void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
         Snap.ParkedHyperblocks);
   gauge(W, "retain_max_bytes", "Retention watermark in force.",
         Snap.RetainMaxBytes);
+  gauge(W, "tcache_enabled", "1 while the thread-cache layer is active.",
+        Snap.TcacheEnabled ? 1 : 0);
+  gauge(W, "tcache_caches_minted", "Thread-cache slabs ever mapped.",
+        Snap.TcacheCachesMinted);
+  gauge(W, "tcache_caches_parked", "Thread caches awaiting adoption.",
+        Snap.TcacheCachesParked);
+  gauge(W, "tcache_magazine_blocks", "Blocks resident in magazines.",
+        Snap.TcacheMagazineBlocks);
+  gauge(W, "tcache_depot_blocks", "Blocks resident in class depots.",
+        Snap.TcacheDepotBlocks);
 
   // Configuration echo.
   gauge(W, "heaps", "Processor heaps per size class.", Snap.Heaps);

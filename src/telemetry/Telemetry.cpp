@@ -89,6 +89,26 @@ const char *lfm::telemetry::counterName(Counter C) {
     return "latency_samples";
   case Counter::ExporterAllocs:
     return "exporter_allocs";
+  case Counter::TcacheHitMallocs:
+    return "tcache_hit_mallocs";
+  case Counter::TcacheHitFrees:
+    return "tcache_hit_frees";
+  case Counter::TcacheRefills:
+    return "tcache_refills";
+  case Counter::TcacheRefillBlocks:
+    return "tcache_refill_blocks";
+  case Counter::TcacheFlushes:
+    return "tcache_flushes";
+  case Counter::TcacheFlushBlocks:
+    return "tcache_flush_blocks";
+  case Counter::TcacheSteals:
+    return "tcache_steals";
+  case Counter::TcacheStealBlocks:
+    return "tcache_steal_blocks";
+  case Counter::TcacheAdopts:
+    return "tcache_adopts";
+  case Counter::TcacheExitDrains:
+    return "tcache_exit_drains";
   case Counter::CounterCount:
     break;
   }
@@ -373,6 +393,8 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.field("hyperblock_bytes", Snap.HyperblockBytes);
   W.field("partial_policy", Snap.PartialPolicyFifo ? "fifo" : "lifo");
   W.field("stats_enabled", Snap.StatsEnabled);
+  W.field("tcache_enabled", Snap.TcacheEnabled);
+  W.field("tcache_mag_size", Snap.TcacheMagSize);
   W.field("trace_enabled", Snap.TraceEnabled);
   W.field("telemetry_compiled", Snap.TelemetryCompiled);
   W.endObject();
@@ -412,6 +434,10 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.field("parked_hyperblocks", Snap.ParkedHyperblocks);
   W.field("retain_max_bytes", Snap.RetainMaxBytes);
   W.field("retain_decay_ms", Snap.RetainDecayMs);
+  W.field("tcache_caches_minted", Snap.TcacheCachesMinted);
+  W.field("tcache_caches_parked", Snap.TcacheCachesParked);
+  W.field("tcache_magazine_blocks", Snap.TcacheMagazineBlocks);
+  W.field("tcache_depot_blocks", Snap.TcacheDepotBlocks);
   W.endObject();
 
   // The v2 addition. Per-path quantiles are exact bucket upper bounds

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/ReplayWorkload.h"
+#include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
 #include "support/Random.h"
 #include "TestSeed.h"
@@ -317,6 +318,57 @@ TEST(AllocTrace, MultithreadCrossThreadFreeRoundTrip) {
   EXPECT_EQ(R.FailedAllocs, 0u);
   EXPECT_EQ(R.CrossThreadFrees, Plan.CrossThreadFrees);
   EXPECT_GT(R.LatencyNs.count(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(AllocTrace, CrossThreadRoundTripReplaysThroughMagazines) {
+  // Same record/replay round trip, but the replay target runs the
+  // thread-local magazine cache: every preserved cross-thread edge now
+  // lands in the freeing worker's magazine and flows back through depot
+  // flushes and batch refills. The op accounting must be identical to the
+  // classic allocator's.
+  const std::string Path = tmpTracePath("crossthread-tcache");
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned BlocksPer = 500;
+  ASSERT_EQ(trace::startRecording(Path.c_str(), 0), 0);
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < NumThreads; ++W)
+      Ts.emplace_back([W] {
+        for (unsigned B = 0; B < BlocksPer; ++B)
+          trace::onMalloc(fakePtr(W * BlocksPer + B), 16 + B % 240);
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < NumThreads; ++W)
+      Ts.emplace_back([W] {
+        const unsigned Victim = (W + 1) % NumThreads;
+        for (unsigned B = 0; B < BlocksPer; ++B)
+          trace::onFree(fakePtr(Victim * BlocksPer + B));
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  ASSERT_EQ(trace::stopRecording(), 0);
+
+  const TraceFile F = readTraceFile(Path.c_str());
+  ASSERT_EQ(F.Status, ReadStatus::Ok) << F.Error;
+  const ReplayPlan Plan = buildReplayPlan(F);
+
+  AllocatorOptions Opts;
+  Opts.NumHeaps = NumThreads;
+  Opts.EnableStats = true;
+  Opts.EnableThreadCache = true;
+  Opts.ThreadCacheMagSize = 16;
+  auto Alloc = makeLockFreeAllocator(Opts, "lockfree-tcache");
+  const RecordedReplayResult R = replayRecorded(*Alloc, Plan, 4);
+  EXPECT_EQ(R.Allocs, Plan.TotalAllocs);
+  EXPECT_EQ(R.Frees, Plan.TotalFrees);
+  EXPECT_EQ(R.FailedAllocs, 0u);
+  EXPECT_EQ(R.CrossThreadFrees, Plan.CrossThreadFrees);
   std::remove(Path.c_str());
 }
 

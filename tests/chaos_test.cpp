@@ -71,8 +71,11 @@ struct Freezer {
 };
 
 /// Runs the scenario: freeze one victim at \p Site, verify N workers
-/// complete their full workload while the victim stays frozen.
-void runFrozenVictimScenario(ChaosSite Site) {
+/// complete their full workload while the victim stays frozen. With
+/// \p WithTcache the same chaos sites live inside the magazine layer's
+/// batch refill / chain flush, so the victim freezes mid-batch while the
+/// workers' own magazines keep refilling around it.
+void runFrozenVictimScenario(ChaosSite Site, bool WithTcache = false) {
   Freezer Freeze(Site);
   AllocatorOptions Opts;
   Opts.NumHeaps = 1; // One heap: victim and workers share EVERYTHING.
@@ -80,6 +83,10 @@ void runFrozenVictimScenario(ChaosSite Site) {
   Opts.EnableStats = true;
   Opts.ChaosHook = Freezer::hook;
   Opts.ChaosCtx = &Freeze;
+  Opts.EnableThreadCache = WithTcache;
+  // Tiny magazines: the fill-then-drain victim cycle overflows them, so
+  // both batch directions (refill and chain flush) run every cycle.
+  Opts.ThreadCacheMagSize = 4;
   LFAllocator Alloc(Opts);
 
   // The victim cycles fill-then-drain, which visits every chaos site:
@@ -154,6 +161,29 @@ TEST(Chaos, ProgressWithThreadFrozenMidFree) {
 
 TEST(Chaos, ProgressWithThreadFrozenAfterEmptyTransition) {
   runFrozenVictimScenario(ChaosSite::AfterEmptyTransition);
+}
+
+// The same four freeze points with the magazine layer on: the victim now
+// freezes inside a batch refill (credits reserved, R blocks unpopped) or
+// mid chain-flush, and the workers — whose fast path is plain loads and
+// stores into their own magazines — must be entirely unaffected.
+
+TEST(Chaos, TcacheProgressWithThreadFrozenHoldingBatchReservation) {
+  runFrozenVictimScenario(ChaosSite::AfterCreditReserve,
+                          /*WithTcache=*/true);
+}
+
+TEST(Chaos, TcacheProgressWithThreadFrozenMidBatchPop) {
+  runFrozenVictimScenario(ChaosSite::BeforePopCas, /*WithTcache=*/true);
+}
+
+TEST(Chaos, TcacheProgressWithThreadFrozenMidChainFlush) {
+  runFrozenVictimScenario(ChaosSite::BeforeFreeCas, /*WithTcache=*/true);
+}
+
+TEST(Chaos, TcacheProgressWithThreadFrozenAfterEmptyTransition) {
+  runFrozenVictimScenario(ChaosSite::AfterEmptyTransition,
+                          /*WithTcache=*/true);
 }
 
 TEST(Chaos, RepeatedFreezeThawCyclesStayCoherent) {

@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -35,12 +37,14 @@ namespace {
 using ConfigTuple =
     std::tuple<unsigned /*Heaps*/, std::size_t /*SbSize*/,
                PartialListPolicy, unsigned /*CreditsLimit*/,
-               std::size_t /*HyperSize*/, unsigned /*PartialSlots*/>;
+               std::size_t /*HyperSize*/, unsigned /*PartialSlots*/,
+               bool /*Tcache*/>;
 
 class LFAllocConfigSweep : public ::testing::TestWithParam<ConfigTuple> {
 protected:
   AllocatorOptions options() const {
-    const auto [Heaps, SbSize, Policy, Credits, Hyper, Slots] = GetParam();
+    const auto [Heaps, SbSize, Policy, Credits, Hyper, Slots, Tcache] =
+        GetParam();
     AllocatorOptions Opts;
     Opts.NumHeaps = Heaps;
     Opts.SuperblockSize = SbSize;
@@ -49,16 +53,22 @@ protected:
     Opts.HyperblockSize = Hyper;
     Opts.PartialSlotsPerHeap = Slots;
     Opts.EnableStats = true;
+    // Half the matrix runs with the magazine layer in front of the same
+    // configuration: every invariant must hold identically either way.
+    Opts.EnableThreadCache = Tcache;
+    Opts.ThreadCacheMagSize = 8;
     return Opts;
   }
 };
 
 std::string configName(const ::testing::TestParamInfo<ConfigTuple> &Info) {
-  const auto [Heaps, SbSize, Policy, Credits, Hyper, Slots] = Info.param;
+  const auto [Heaps, SbSize, Policy, Credits, Hyper, Slots, Tcache] =
+      Info.param;
   char Buf[96];
-  std::snprintf(Buf, sizeof(Buf), "h%u_sb%zu_%s_c%u_%s_p%u", Heaps, SbSize,
-                Policy == PartialListPolicy::Fifo ? "fifo" : "lifo",
-                Credits, Hyper ? "hyper" : "direct", Slots);
+  std::snprintf(Buf, sizeof(Buf), "h%u_sb%zu_%s_c%u_%s_p%u_%s", Heaps,
+                SbSize, Policy == PartialListPolicy::Fifo ? "fifo" : "lifo",
+                Credits, Hyper ? "hyper" : "direct", Slots,
+                Tcache ? "tc" : "notc");
   return Buf;
 }
 
@@ -173,12 +183,14 @@ std::size_t drawSize(XorShift128 &Rng) {
   return 64 * 1024 + Rng.nextBounded(1 << 20); // Large path.
 }
 
-void replayTrace(std::uint64_t Seed, int Ops) {
+void replayTrace(std::uint64_t Seed, int Ops, bool WithTcache = false) {
   SCOPED_TRACE(::testing::Message()
                << "replay with: LFM_TEST_SEED=" << Seed
-               << " ctest -R lfalloc_property");
+               << " ctest -R lfalloc_property"
+               << (WithTcache ? " (tcache on)" : ""));
   AllocatorOptions Opts;
   Opts.EnableStats = true;
+  Opts.EnableThreadCache = WithTcache;
   LFAllocator Alloc(Opts);
   XorShift128 Rng(Seed);
 
@@ -278,9 +290,79 @@ void replayTrace(std::uint64_t Seed, int Ops) {
 
 TEST(LFAllocTraceFuzz, SeededTraceReplays) {
   // Several independent streams off the one base seed; a CI failure names
-  // the exact seed, so LFM_TEST_SEED=<seed> replays it bit-for-bit.
+  // the exact seed, so LFM_TEST_SEED=<seed> replays it bit-for-bit. Odd
+  // streams run the identical trace with the magazine layer on: recycled
+  // addresses now come out of the magazine, and the shadow oracle must
+  // not notice any difference.
   for (std::uint64_t Stream = 0; Stream < 4; ++Stream)
-    replayTrace(test::baseSeed() + Stream * 0x9e3779b9u, 6000);
+    replayTrace(test::baseSeed() + Stream * 0x9e3779b9u, 6000,
+                /*WithTcache=*/(Stream & 1) != 0);
+}
+
+TEST(LFAllocTraceFuzz, SkewedCrossThreadFreesThroughMagazines) {
+  // Producer/consumer skew, the magazine layer's worst case: every block
+  // is allocated on one thread (draining its magazine via batch refills)
+  // and freed on others (overflowing theirs via flushes into the depot,
+  // which the producer's refills then steal from). The shadow pattern
+  // check rides on each block across the thread handoff.
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.EnableThreadCache = true;
+  Opts.ThreadCacheMagSize = 8;
+  LFAllocator Alloc(Opts);
+
+  constexpr int Consumers = 3, PerConsumer = 4000;
+  struct Slot {
+    std::atomic<unsigned char *> P{nullptr};
+    std::size_t N = 0;
+    unsigned char V = 0;
+  };
+  std::vector<std::array<Slot, 8>> Mail(Consumers);
+  std::atomic<int> Bad{0};
+
+  std::vector<std::thread> Ts;
+  Ts.emplace_back([&] {
+    XorShift128 Rng(test::baseSeed() ^ 0x70DD);
+    for (int C = 0; C < Consumers; ++C)
+      for (int I = 0; I < PerConsumer; ++I) {
+        Slot &S = Mail[C][I % 8];
+        const std::size_t N = 1 + Rng.nextBounded(200); // Small classes.
+        auto *P = static_cast<unsigned char *>(Alloc.allocate(N));
+        if (!P) {
+          Bad.fetch_add(1);
+          continue;
+        }
+        const auto V = static_cast<unsigned char>(Rng.next() | 1);
+        std::memset(P, V, N);
+        while (S.P.load(std::memory_order_acquire) != nullptr)
+          std::this_thread::yield();
+        S.N = N;
+        S.V = V;
+        S.P.store(P, std::memory_order_release);
+      }
+  });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&, C] {
+      for (int I = 0; I < PerConsumer; ++I) {
+        Slot &S = Mail[C][I % 8];
+        unsigned char *P = nullptr;
+        while ((P = S.P.load(std::memory_order_acquire)) == nullptr)
+          std::this_thread::yield();
+        for (std::size_t K = 0; K < S.N; K += 13)
+          if (P[K] != S.V)
+            Bad.fetch_add(1);
+        S.P.store(nullptr, std::memory_order_release);
+        Alloc.deallocate(P);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+
+  ASSERT_EQ(Bad.load(), 0);
+  const OpStats St = Alloc.opStats();
+  EXPECT_EQ(St.Mallocs, St.Frees);
+  std::string Msg;
+  EXPECT_TRUE(Alloc.debugValidate(&Msg)) << Msg;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -294,5 +376,6 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(1u, 64u),                        // CreditsLimit.
         ::testing::Values(std::size_t{0},
                           std::size_t{262144}),            // Hyperblock.
-        ::testing::Values(1u, 4u)),                        // Partial slots.
+        ::testing::Values(1u, 4u),                         // Partial slots.
+        ::testing::Bool()),                                // Thread cache.
     configName);

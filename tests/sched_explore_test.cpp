@@ -30,6 +30,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace lfm;
@@ -367,6 +368,242 @@ TEST(SchedExplore, AnchorTagAbaRecipe) {
   reportExplore(explore(Opts, [&](const SchedOptions &O) {
     return runAllocatorSchedule(O, MakeBodies, /*ExpectAllFreed=*/false,
                                 /*CreditsLimit=*/2);
+  }));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-local magazine cache scenarios. Same harness, but the allocator
+// runs with the magazine layer on and deliberately tiny magazines (4
+// slots), so refill, overflow flush, and depot traffic all fire within a
+// handful of operations. The quiescent oracle (debugValidate) counts
+// magazine- and depot-resident blocks against superblock freelists, so a
+// block simultaneously cached and on a freelist — the double-pop shape —
+// fails the schedule even when no payload is clobbered.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// runAllocatorSchedule with the magazine layer enabled.
+ScheduleOutcome
+runTcacheSchedule(const SchedOptions &O,
+                  const std::function<std::vector<std::function<void()>>(
+                      LFAllocator &, BlockOracle &)> &MakeBodies,
+                  bool ExpectAllFreed = true, unsigned CreditsLimit = 2) {
+  ScheduleOutcome Out;
+  HazardDomain Domain;
+  AllocatorOptions Opts = tinyOptions(Domain, CreditsLimit);
+  Opts.EnableThreadCache = true;
+  Opts.ThreadCacheMagSize = 4;
+  LFAllocator Alloc(Opts);
+  BlockOracle Oracle;
+  ScheduleController Ctl(O);
+  Ctl.run(MakeBodies(Alloc, Oracle));
+
+  std::string Err = Oracle.firstError();
+  if (Err.empty() && ExpectAllFreed && Oracle.liveCount() != 0)
+    Err = "blocks leaked by the schedule";
+  std::string Msg;
+  if (Err.empty() && !Alloc.debugValidate(&Msg))
+    Err = Msg;
+  if (Err.empty() && Ctl.runawayDetected())
+    Err = "schedule exceeded MaxSteps (livelock-shaped)";
+  if (!Err.empty()) {
+    Out.Ok = false;
+    Out.Message = Err;
+  }
+  return Out;
+}
+
+} // namespace
+
+/// Scenario 5 — magazine flush vs depot steal: free-heavy threads
+/// overflow their 4-slot magazines, pushing chains into the shared depot
+/// (TcacheFlush), while alloc-heavy threads refill by exchanging the
+/// whole depot head (TcacheSteal) and re-pushing the leftover chain. The
+/// forced-failure mask keeps the depot head CAS and the batch anchor
+/// pushes failing mid-recipe, so chains are repeatedly re-linked against
+/// moved heads.
+TEST(SchedExplore, TcacheFlushVsSteal) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    for (unsigned T = 0; T < 2; ++T)
+      Bodies.push_back([&Alloc, &Oracle, Free, T] {
+        // Free-heavy: burst-allocate, then free everything at once so the
+        // magazine overflows and flushes half its slots per burst.
+        void *Mine[6] = {};
+        for (unsigned I = 0; I < 6; ++I) {
+          Mine[I] = Alloc.allocate(PayloadBytes);
+          Oracle.onAlloc(Mine[I], 500 + T * 50 + I);
+        }
+        for (void *P : Mine)
+          Oracle.checkAndFree(P, Free);
+      });
+    Bodies.push_back([&Alloc, &Oracle, Free] {
+      // Alloc-heavy: misses steal from the depot the others are filling.
+      for (unsigned I = 0; I < 8; ++I) {
+        void *P = Alloc.allocate(PayloadBytes);
+        Oracle.onAlloc(P, 560 + I);
+        Oracle.checkAndFree(P, Free);
+      }
+    });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(4ull << 20, 400);
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::TcacheFlush)) |
+      (1ull << static_cast<unsigned>(Site::TcacheSteal)) |
+      (1ull << static_cast<unsigned>(Site::FreePush));
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runTcacheSchedule(O, MakeBodies);
+  }));
+}
+
+/// Scenario 6 — batch refill vs the EMPTY transition: one thread frees
+/// the final outstanding blocks of a PARTIAL superblock (driving EMPTY,
+/// superblock release, RemoveEmptyDesc) while another's magazine refill
+/// pulls that same descriptor from the partial list and must observe
+/// EMPTY and retire it instead of popping from a reclaimed superblock.
+/// The tcache analogue of RetireAllVsMallocFromPartial, with the added
+/// twist that the refill wants several blocks in one tagged anchor CAS.
+TEST(SchedExplore, TcacheRefillVsEmptyTransition) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    // Deterministic prefill on the main thread: a superblock near the
+    // all-free boundary, displaced from Active. Main's own magazine is
+    // bypassed by going through enough blocks to force anchor traffic.
+    void *Hold[6] = {};
+    for (void *&P : Hold)
+      P = Alloc.allocate(PayloadBytes);
+    for (unsigned I = 2; I < 6; ++I)
+      Alloc.deallocate(Hold[I]);
+    Alloc.flushThreadCache(); // Main's cached blocks back to anchors.
+    void *Last[2] = {Hold[0], Hold[1]};
+    Oracle.onAlloc(Last[0], 600);
+    Oracle.onAlloc(Last[1], 601);
+
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    Bodies.push_back([&Alloc, &Oracle, Free, Last] {
+      // Retiring thread: frees the last outstanding blocks; in schedules
+      // where the superblock left Active these frees drive the EMPTY
+      // transition against the other thread's batch refill.
+      for (void *P : Last)
+        Oracle.checkAndFree(P, Free);
+    });
+    Bodies.push_back([&Alloc, &Oracle, Free] {
+      // Refilling thread: every first allocation of a class misses and
+      // batch-refills through heapGetPartial — possibly pulling the very
+      // descriptor being emptied.
+      void *Mine[4] = {};
+      for (unsigned I = 0; I < 4; ++I) {
+        Mine[I] = Alloc.allocate(PayloadBytes);
+        Oracle.onAlloc(Mine[I], 610 + I);
+      }
+      for (void *P : Mine)
+        Oracle.checkAndFree(P, Free);
+    });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(5ull << 20, 400);
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::TcacheRefill)) |
+      (1ull << static_cast<unsigned>(Site::PartialReserve)) |
+      (1ull << static_cast<unsigned>(Site::FreePush)) |
+      (1ull << static_cast<unsigned>(Site::HeapPartialSlot));
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runTcacheSchedule(O, MakeBodies);
+  }));
+}
+
+/// Scenario 7 — exit drain vs concurrent free: one thread fills its
+/// magazine and then drains it to the anchors through the same
+/// batch-chain path the pthread-key exit hook uses (flushThreadCache with
+/// depot bypass), while another thread concurrently frees blocks of the
+/// same class into the same superblocks. The N-block chain push
+/// (tcacheFreeChain) and the single-block Fig. 6 push race on one anchor
+/// word; a lost update either leaks blocks (caught by the leak oracle) or
+/// corrupts the freelist (caught by debugValidate's chain walk).
+TEST(SchedExplore, TcacheExitDrainVsConcurrentFree) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    // Blocks main hands to the freeing thread, same class as the drain.
+    void *Remote[4] = {};
+    for (unsigned I = 0; I < 4; ++I) {
+      Remote[I] = Alloc.allocate(PayloadBytes);
+      Oracle.onAlloc(Remote[I], 700 + I);
+    }
+    Alloc.flushThreadCache();
+
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    Bodies.push_back([&Alloc, &Oracle, Free] {
+      // Draining thread: fill the magazine with frees, then drain it in
+      // descriptor-grouped chains exactly as the exit hook would.
+      void *Mine[4] = {};
+      for (unsigned I = 0; I < 4; ++I) {
+        Mine[I] = Alloc.allocate(PayloadBytes);
+        Oracle.onAlloc(Mine[I], 710 + I);
+      }
+      for (void *P : Mine)
+        Oracle.checkAndFree(P, Free);
+      Alloc.flushThreadCache();
+    });
+    Bodies.push_back([&Alloc, &Oracle, Free, Remote] {
+      // Concurrent freer: pushes single blocks into the same anchors the
+      // drain is chain-pushing into.
+      for (void *P : Remote)
+        Oracle.checkAndFree(P, Free);
+    });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(6ull << 20, 400);
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::TcacheFlush)) |
+      (1ull << static_cast<unsigned>(Site::FreePush)) |
+      (1ull << static_cast<unsigned>(Site::UpdateActive));
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runTcacheSchedule(O, MakeBodies);
+  }));
+}
+
+/// Scenario 8 — the cache-adoption ABA recipe: parked ThreadCache shells
+/// live on a tagged Treiber stack (TcFree); every controlled thread's
+/// first allocation pops it. Three fresh threads adopt concurrently out
+/// of a two-deep parked stack (prefilled by real short-lived threads)
+/// with forced failures on the stack CASes, so a preempted adopter's pop
+/// can straddle park/adopt cycles that restore the head pointer — only
+/// the tag tells the restored head from the stale snapshot. Two threads
+/// adopting the SAME shell would interleave plain stores into one
+/// magazine and surface as double-handouts or freelist corruption.
+TEST(SchedExplore, TcacheAdoptAbaRecipe) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    // Park two cache shells deterministically: two short-lived threads
+    // touch the allocator and exit before the controlled region starts.
+    for (int I = 0; I < 2; ++I)
+      std::thread([&Alloc] { Alloc.deallocate(Alloc.allocate(16)); }).join();
+
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    for (unsigned T = 0; T < 3; ++T)
+      Bodies.push_back([&Alloc, &Oracle, Free, T] {
+        // First allocation adopts (pops TcFree); the rest hammer the
+        // adopted magazine so shared-shell corruption becomes visible.
+        void *Mine[3] = {};
+        for (unsigned I = 0; I < 3; ++I) {
+          Mine[I] = Alloc.allocate(PayloadBytes);
+          Oracle.onAlloc(Mine[I], 750 + T * 10 + I);
+        }
+        for (void *P : Mine)
+          Oracle.checkAndFree(P, Free);
+      });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(7ull << 20, 400);
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::TreiberPop)) |
+      (1ull << static_cast<unsigned>(Site::TreiberPush)) |
+      (1ull << static_cast<unsigned>(Site::TcacheRefill));
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runTcacheSchedule(O, MakeBodies);
   }));
 }
 
