@@ -34,6 +34,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -84,10 +85,50 @@ struct Policy {
   bool ExplicitTrim;
 };
 
+/// One measured policy row, kept so the optional --json report can be
+/// written in one shot after the table prints.
+struct PolicyResult {
+  const char *Name;
+  std::size_t Start, Peak, Freed, Idle, Respike;
+  double Returned;
+};
+
+/// Writes the machine-readable counterpart of the printed table. The CI
+/// baseline gate (tools/check_bench_baseline.py) compares the
+/// returned_fraction and respike/peak ratios against checked-in bands;
+/// absolute byte counts are reported for humans but never gated on.
+void writeJsonReport(const char *Path, std::size_t SpikeMb,
+                     const std::vector<PolicyResult> &Rows) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_memory_return: cannot write %s\n", Path);
+    std::exit(1);
+  }
+  std::fprintf(F, "{\"schema\":\"lfm-bench-memret-v1\",\"spike_mb\":%zu,"
+                  "\"policies\":[",
+               SpikeMb);
+  bool First = true;
+  for (const PolicyResult &R : Rows) {
+    std::fprintf(F,
+                 "%s{\"name\":\"%s\",\"start_bytes\":%zu,\"peak_bytes\":%zu,"
+                 "\"freed_bytes\":%zu,\"idle_bytes\":%zu,"
+                 "\"respike_bytes\":%zu,\"returned_fraction\":%.6f}",
+                 First ? "" : ",", R.Name, R.Start, R.Peak, R.Freed, R.Idle,
+                 R.Respike, R.Returned);
+    First = false;
+  }
+  std::fprintf(F, "]}\n");
+  std::fclose(F);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   benchInit(Argc, Argv);
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
   const BenchScale &Scale = benchScale();
   // ~128 MB spike at scale 1; floor of 16 MB keeps the signal above page
   // cache noise even under aggressive scaling.
@@ -103,6 +144,7 @@ int main(int Argc, char **Argv) {
       {"decay-100ms", ~std::size_t{0}, 100, false},
   };
 
+  std::vector<PolicyResult> Rows;
   std::printf("Memory return over a spike-idle-spike cycle (%zu MB spike)\n",
               SpikeBlocks * BlockBytes / (1024 * 1024));
   std::printf("%-15s %10s %10s %10s %10s %9s %10s\n", "", "start-MB",
@@ -150,10 +192,13 @@ int main(int Argc, char **Argv) {
                 Pol.Name, Start / 1048576.0, Peak / 1048576.0,
                 Freed / 1048576.0, Idle / 1048576.0, Returned * 100,
                 Respike / 1048576.0);
+    Rows.push_back({Pol.Name, Start, Peak, Freed, Idle, Respike, Returned});
   }
 
   std::printf("\nShape to reproduce: retain-all ~0%% returned; "
               "explicit-trim and decay >= 80%%; watermark bounds the cache "
               "(lower %% is by design).\n");
+  if (JsonPath)
+    writeJsonReport(JsonPath, SpikeBlocks * BlockBytes / (1024 * 1024), Rows);
   return 0;
 }

@@ -107,5 +107,20 @@ bool AllocatorOptions::validate(Diagnostic *Diag) {
     ProfileLiveCapacity = 1;
     Valid = false;
   }
+  // The recorder itself re-clamps (it must — tests construct it directly),
+  // but clamping here too keeps the diagnostic visible at bootstrap.
+  if (ContentionHeatCapacity != 0 &&
+      (ContentionHeatCapacity < 64 || ContentionHeatCapacity > (1u << 20))) {
+    const std::uint32_t Want =
+        ContentionHeatCapacity < 64 ? 64u : (1u << 20);
+    note(Diag, Used, "ContentionHeatCapacity", ContentionHeatCapacity, Want);
+    ContentionHeatCapacity = Want;
+    Valid = false;
+  }
+  if (ContentionStormRetries == 0) {
+    note(Diag, Used, "ContentionStormRetries", 0, 1);
+    ContentionStormRetries = 1;
+    Valid = false;
+  }
   return Valid;
 }

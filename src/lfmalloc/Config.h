@@ -183,6 +183,39 @@ struct AllocatorOptions {
   /// sequences reproducible for tests.
   std::uint64_t LatencySampleSeed = 0;
 
+  /// Mean retry-loop executions between contention samples when
+  /// EnableStats is on (per-CAS-site retries-per-op and time-in-loop
+  /// histograms; see telemetry/ContentionRecorder.h). 0 disables
+  /// contention sampling — the default, so the hot-path cost of the
+  /// instrumented loops is one predicted branch per loop entry. Like
+  /// latency sampling, only effective in telemetry builds with
+  /// EnableStats.
+  std::uint64_t ContentionSamplePeriod = 0;
+
+  /// Seed for the contention sampler's per-thread gap RNGs; 0 keeps the
+  /// built-in default (fixed seeds make sampling reproducible).
+  std::uint64_t ContentionSampleSeed = 0;
+
+  /// Contention heat-table capacity in superblock entries (rounded up to
+  /// a power of two, clamped to [64, 1 << 20]; overflow increments a
+  /// dropped counter, never blocks or silently lies).
+  std::uint32_t ContentionHeatCapacity = 512;
+
+  /// Arm the progress watchdog: the stats-exporter thread scans per-thread
+  /// progress slots for stalled operations and retry storms (see
+  /// ContentionRecorder::watchdogScan). Works even with
+  /// ContentionSamplePeriod 0 — the recorder then maps tables for the
+  /// progress slots but samples nothing.
+  bool ContentionWatchdog = false;
+
+  /// Watchdog: a retry loop busy longer than this is reported (as a storm
+  /// while its attempt count still advances, a stall once it froze).
+  std::uint64_t ContentionStallMs = 100;
+
+  /// Watchdog: attempts within one loop at/beyond this count as a retry
+  /// storm regardless of age.
+  std::uint64_t ContentionStormRetries = 1u << 20;
+
   /// Points inside malloc/free where a thread can be delayed arbitrarily.
   /// The paper's progress argument is precisely that a thread stalled (or
   /// killed) at ANY such point never blocks others; the chaos tests prove

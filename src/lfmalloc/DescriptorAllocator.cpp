@@ -7,6 +7,7 @@
 #include "lfmalloc/DescriptorAllocator.h"
 
 #include "schedtest/SchedPoint.h"
+#include "telemetry/ContentionHook.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -35,7 +36,9 @@ DescriptorAllocator::~DescriptorAllocator() {
 }
 
 Descriptor *DescriptorAllocator::alloc() {
+  LFM_CONT_LOOP(DescPop);
   for (;;) {
+    LFM_CONT_ATTEMPT(DescPop);
     // Fig. 7 lines 1-4: hazard-protected pop. protect() revalidates that
     // the published pointer is still the head, so reading Next below sees
     // the link of a descriptor that is currently first in the list.
@@ -115,8 +118,10 @@ void DescriptorAllocator::reclaimDescriptor(HazardErasable *Obj, void *Ctx) {
 void DescriptorAllocator::pushFree(Descriptor *Desc) {
   // Fig. 7 DescRetire: the classic freelist push. The release on success
   // is the paper's line-3 memory fence (publishes Desc->Next).
+  LFM_CONT_LOOP(DescPush);
   Descriptor *Head = DescAvail.load(std::memory_order_relaxed);
   do {
+    LFM_CONT_ATTEMPT(DescPush);
     LFM_SCHED_POINT(DescPush);
     Desc->Next.store(Head, std::memory_order_relaxed);
   } while (LFM_SCHED_CAS_FAIL(DescPush) ||

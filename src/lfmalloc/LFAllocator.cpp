@@ -16,6 +16,7 @@
 #include "schedtest/SchedPoint.h"
 #include "support/CycleClock.h"
 #include "support/ThreadRegistry.h"
+#include "telemetry/ContentionHook.h"
 #include "telemetry/PromWriter.h"
 #include "telemetry/Telemetry.h"
 #include "trace/AllocTrace.h"
@@ -304,6 +305,15 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
     TelOpts.LatencySamplePeriod =
         Opts.EnableStats ? Opts.LatencySamplePeriod : 0;
     TelOpts.LatencySeed = Opts.LatencySampleSeed;
+    // Contention sampling rides on EnableStats the same way. The watchdog
+    // follows: progress slots are part of the contention surface.
+    TelOpts.ContentionSamplePeriod =
+        Opts.EnableStats ? Opts.ContentionSamplePeriod : 0;
+    TelOpts.ContentionSeed = Opts.ContentionSampleSeed;
+    TelOpts.ContentionHeatCapacity = Opts.ContentionHeatCapacity;
+    TelOpts.ContentionWatchdog = Opts.EnableStats && Opts.ContentionWatchdog;
+    TelOpts.ContentionStallMs = Opts.ContentionStallMs;
+    TelOpts.ContentionStormRetries = Opts.ContentionStormRetries;
     if (TelOpts.LatencySamplePeriod != 0)
       cycleclock::calibrate();
     Tel = new (Base + StatsOffset) telemetry::Telemetry(TelOpts);
@@ -475,12 +485,14 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   ActiveRef OldActive = Heap->Active.load();
   ActiveRef NewActive;
   RetryCounter Reserve;
+  LFM_CONT_LOOP(ActiveReserve);
   do {
+    LFM_CONT_ATTEMPT(ActiveReserve);
     LFM_SCHED_POINT(ActiveReserve);
     if (!OldActive.Desc) { // Line 2: no active superblock.
       XCTR(ActiveNullMisses);
       CTR_N(ActiveReserveRetries, Reserve.attempts());
-      return nullptr;
+      return nullptr; // Scope dtor closes out the contention sample.
     }
     if (OldActive.Credits == 0)
       NewActive = ActiveRef{}; // Line 4: taking the last credit.
@@ -490,6 +502,9 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   } while (LFM_SCHED_CAS_FAIL(ActiveReserve) ||
            !Heap->Active.compareExchange(OldActive, NewActive));
   CTR_N(ActiveReserveRetries, Reserve.retries());
+  LFM_CONT_DONE_ATTR(ActiveReserve,
+                     static_cast<unsigned>(Heap->Sc - Classes),
+                     OldActive.Desc->Sb);
 
   // After the CAS succeeds we own one reservation in this specific
   // superblock: it cannot go EMPTY under us, so its descriptor fields and
@@ -504,7 +519,9 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   void *Addr;
   std::uint32_t MoreCredits = 0;
   RetryCounter Pop;
+  LFM_CONT_LOOP(ActivePop);
   do {
+    LFM_CONT_ATTEMPT(ActivePop);
     LFM_SCHED_POINT(ActivePop);
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforePopCas, Opts.ChaosCtx);
@@ -538,6 +555,8 @@ void *LFAllocator::mallocFromActive(ProcHeap *Heap) {
   } while (LFM_SCHED_CAS_FAIL(ActivePop) ||
            !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(ActivePopRetries, Pop.retries());
+  LFM_CONT_DONE_ATTR(ActivePop, static_cast<unsigned>(Heap->Sc - Classes),
+                     Desc->Sb);
   if (OldActive.Credits == 0 && OldAnchor.Count == 0)
     EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb), Desc->BlockSize);
 
@@ -569,7 +588,9 @@ void LFAllocator::updateActive(ProcHeap *Heap, Descriptor *Desc,
   Anchor OldAnchor = Desc->AnchorWord.load();
   Anchor NewAnchor;
   RetryCounter Ret;
+  LFM_CONT_LOOP(UpdateActive);
   do {
+    LFM_CONT_ATTEMPT(UpdateActive);
     LFM_SCHED_POINT(UpdateActive);
     NewAnchor = OldAnchor;
     NewAnchor.Count += MoreCredits;
@@ -578,6 +599,8 @@ void LFAllocator::updateActive(ProcHeap *Heap, Descriptor *Desc,
   } while (LFM_SCHED_CAS_FAIL(UpdateActive) ||
            !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(UpdateActiveRetries, Ret.retries());
+  LFM_CONT_DONE_ATTR(UpdateActive, static_cast<unsigned>(Heap->Sc - Classes),
+                     Desc->Sb);
   EVT(SbPartial, reinterpret_cast<std::uintptr_t>(Desc->Sb),
       Desc->BlockSize);
   heapPutPartial(Desc);
@@ -598,7 +621,9 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
     std::uint32_t MoreCredits = 0;
     bool Retired = false;
     RetryCounter Reserve;
+    LFM_CONT_LOOP(PartialReserve);
     do {
+      LFM_CONT_ATTEMPT(PartialReserve);
       LFM_SCHED_POINT(PartialReserve);
       if (OldAnchor.State == SbState::Empty) {
         // Line 6: raced with the last free; recycle the descriptor (its
@@ -621,9 +646,11 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
              !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
     if (Retired) {
       CTR_N(PartialReserveRetries, Reserve.attempts());
-      continue;
+      continue; // Scope dtor closes out the contention sample.
     }
     CTR_N(PartialReserveRetries, Reserve.retries());
+    LFM_CONT_DONE_ATTR(PartialReserve,
+                       static_cast<unsigned>(Heap->Sc - Classes), Desc->Sb);
     if (NewAnchor.State == SbState::Full)
       EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb),
           Desc->BlockSize);
@@ -635,7 +662,9 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
     OldAnchor = Desc->AnchorWord.load();
     void *Addr;
     RetryCounter Pop;
+    LFM_CONT_LOOP(PartialPop);
     do {
+      LFM_CONT_ATTEMPT(PartialPop);
       LFM_SCHED_POINT(PartialPop);
       NewAnchor = OldAnchor;
       Addr = static_cast<char *>(Desc->Sb) +
@@ -649,6 +678,8 @@ void *LFAllocator::mallocFromPartial(ProcHeap *Heap) {
     } while (LFM_SCHED_CAS_FAIL(PartialPop) ||
              !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
     CTR_N(PartialPopRetries, Pop.retries());
+    LFM_CONT_DONE_ATTR(PartialPop, static_cast<unsigned>(Heap->Sc - Classes),
+                       Desc->Sb);
 
     if (MoreCredits > 0)
       updateActive(Heap, Desc, MoreCredits); // Lines 16-17.
@@ -823,7 +854,9 @@ void LFAllocator::deallocate(void *Ptr) {
              0 &&
          "pointer does not address a block of its superblock");
   RetryCounter Push;
+  LFM_CONT_LOOP(FreePush);
   do {
+    LFM_CONT_ATTEMPT(FreePush);
     LFM_SCHED_POINT(FreePush);
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforeFreeCas, Opts.ChaosCtx);
@@ -856,6 +889,8 @@ void LFAllocator::deallocate(void *Ptr) {
   } while (LFM_SCHED_CAS_FAIL(FreePush) ||
            !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(FreePushRetries, Push.retries());
+  LFM_CONT_DONE_ATTR(FreePush, sizeToClass(Desc->BlockSize - BlockPrefixSize),
+                     Sb);
 
   // Free-path attribution: the block size was read before the descriptor
   // could be retired, and LAT_END evaluates the class lookup only for
@@ -1121,10 +1156,14 @@ unsigned LFAllocator::mallocBatchFromActive(ProcHeap *Heap,
   ActiveRef OldActive = Heap->Active.load();
   ActiveRef NewActive;
   unsigned R;
+  // Batch refills fight over the same Active word / anchor as the
+  // single-block figures, so they file under the same contention sites.
+  LFM_CONT_LOOP(ActiveReserve);
   do {
+    LFM_CONT_ATTEMPT(ActiveReserve);
     LFM_SCHED_POINT(TcacheRefill);
     if (!OldActive.Desc)
-      return 0;
+      return 0; // Scope dtor closes out the contention sample.
     R = std::min(static_cast<unsigned>(OldActive.Credits) + 1, Want);
     if (R == OldActive.Credits + 1)
       NewActive = ActiveRef{};
@@ -1134,6 +1173,8 @@ unsigned LFAllocator::mallocBatchFromActive(ProcHeap *Heap,
            !Heap->Active.compareExchange(OldActive, NewActive));
   const bool TookAll = R == OldActive.Credits + 1;
   Descriptor *Desc = OldActive.Desc;
+  LFM_CONT_DONE_ATTR(ActiveReserve, static_cast<unsigned>(Heap->Sc - Classes),
+                     Desc->Sb);
   // Same freeze window the single-block path exposes: R credits reserved,
   // nothing popped yet. A thread frozen here must not block anyone.
   if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
@@ -1151,7 +1192,9 @@ unsigned LFAllocator::mallocBatchFromActive(ProcHeap *Heap,
   Anchor NewAnchor;
   std::uint32_t MoreCredits = 0;
   std::uint32_t Index[MaxCredits];
+  LFM_CONT_LOOP(ActivePop);
   for (;;) {
+    LFM_CONT_ATTEMPT(ActivePop);
     LFM_SCHED_POINT(TcacheRefill);
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforePopCas, Opts.ChaosCtx);
@@ -1193,6 +1236,8 @@ unsigned LFAllocator::mallocBatchFromActive(ProcHeap *Heap,
       break;
     // compareExchange refreshed OldAnchor on failure; loop re-walks.
   }
+  LFM_CONT_DONE_ATTR(ActivePop, static_cast<unsigned>(Heap->Sc - Classes),
+                     Desc->Sb);
   if (TookAll && OldAnchor.Count == 0)
     EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb), Desc->BlockSize);
 
@@ -1224,7 +1269,9 @@ unsigned LFAllocator::mallocBatchFromPartial(ProcHeap *Heap,
     unsigned R = 0;
     std::uint32_t MoreCredits = 0;
     bool Retired = false;
+    LFM_CONT_LOOP(PartialReserve);
     do {
+      LFM_CONT_ATTEMPT(PartialReserve);
       LFM_SCHED_POINT(TcacheRefill);
       if (OldAnchor.State == SbState::Empty) {
         // Raced with the last free (the refill-vs-EMPTY window the
@@ -1245,7 +1292,9 @@ unsigned LFAllocator::mallocBatchFromPartial(ProcHeap *Heap,
     } while (LFM_SCHED_CAS_FAIL(TcacheRefill) ||
              !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
     if (Retired)
-      continue;
+      continue; // Scope dtor closes out the contention sample.
+    LFM_CONT_DONE_ATTR(PartialReserve,
+                       static_cast<unsigned>(Heap->Sc - Classes), Desc->Sb);
     if (NewAnchor.State == SbState::Full)
       EVT(SbFull, reinterpret_cast<std::uintptr_t>(Desc->Sb),
           Desc->BlockSize);
@@ -1258,7 +1307,9 @@ unsigned LFAllocator::mallocBatchFromPartial(ProcHeap *Heap,
     // reserve CAS above already moved Count).
     OldAnchor = Desc->AnchorWord.load();
     std::uint32_t Index[MaxCredits];
+    LFM_CONT_LOOP(PartialPop);
     for (;;) {
+      LFM_CONT_ATTEMPT(PartialPop);
       LFM_SCHED_POINT(TcacheRefill);
       NewAnchor = OldAnchor;
       std::uint32_t Idx = OldAnchor.Avail;
@@ -1285,6 +1336,8 @@ unsigned LFAllocator::mallocBatchFromPartial(ProcHeap *Heap,
           Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor))
         break;
     }
+    LFM_CONT_DONE_ATTR(PartialPop, static_cast<unsigned>(Heap->Sc - Classes),
+                       Desc->Sb);
     for (unsigned I = 0; I < R; ++I) {
       void *Blk = static_cast<char *>(Desc->Sb) +
                   static_cast<std::size_t>(Index[I]) * Desc->BlockSize;
@@ -1303,6 +1356,11 @@ unsigned LFAllocator::tcacheStealFromDepot(unsigned Class,
   tcache::Depot &D = TcDepot[Class];
   if (D.Head.load(std::memory_order_relaxed) == nullptr)
     return 0;
+  // The steal is one exchange (never retried), but it still gets a scope:
+  // the sampled time-in-loop covers the chain walk plus any leftover
+  // re-push, and a losing exchange shows up as a 0-retry sample.
+  LFM_CONT_LOOP(TcacheDepotSteal);
+  LFM_CONT_ATTEMPT(TcacheDepotSteal);
   LFM_SCHED_POINT(TcacheSteal);
   // Take the WHOLE chain in one exchange. No CAS against a read head ever
   // happens on this side, so the classic Treiber-pop ABA (head recycled
@@ -1328,6 +1386,7 @@ unsigned LFAllocator::tcacheStealFromDepot(unsigned Class,
   }
   D.Blocks.fetch_sub(Got, std::memory_order_relaxed);
   CTR_N(TcacheStealBlocks, Got);
+  LFM_CONT_DONE_ATTR(TcacheDepotSteal, Class, nullptr);
   return Got;
 }
 
@@ -1335,7 +1394,9 @@ void LFAllocator::tcacheDepotPush(unsigned Class, void *ChainHead,
                                   void *ChainTail, std::uint32_t N) {
   tcache::Depot &D = TcDepot[Class];
   void *OldHead = D.Head.load(std::memory_order_relaxed);
+  LFM_CONT_LOOP(TcacheDepotPush);
   do {
+    LFM_CONT_ATTEMPT(TcacheDepotPush);
     LFM_SCHED_POINT(TcacheFlush);
     tcache::setChainNext(ChainTail, OldHead);
     // Chain-push ABA is harmless: whatever chain the head points at when
@@ -1344,6 +1405,7 @@ void LFAllocator::tcacheDepotPush(unsigned Class, void *ChainHead,
            !D.Head.compare_exchange_weak(OldHead, ChainHead,
                                          std::memory_order_release,
                                          std::memory_order_relaxed));
+  LFM_CONT_DONE_ATTR(TcacheDepotPush, Class, nullptr);
   if (N != 0)
     D.Blocks.fetch_add(N, std::memory_order_relaxed);
 }
@@ -1418,7 +1480,10 @@ void LFAllocator::tcacheFreeChain(Descriptor *Desc, void *const *Payloads,
   ProcHeap *Heap = nullptr;
   bool Pinned = false;
   RetryCounter Push;
+  // Same anchor CAS as free()'s push, so it files under FreePush.
+  LFM_CONT_LOOP(FreePush);
   do {
+    LFM_CONT_ATTEMPT(FreePush);
     LFM_SCHED_POINT(TcacheFlush);
     if (LFM_UNLIKELY(Opts.ChaosHook != nullptr))
       Opts.ChaosHook(ChaosSite::BeforeFreeCas, Opts.ChaosCtx);
@@ -1447,6 +1512,8 @@ void LFAllocator::tcacheFreeChain(Descriptor *Desc, void *const *Payloads,
   } while (LFM_SCHED_CAS_FAIL(TcacheFlush) ||
            !Desc->AnchorWord.compareExchange(OldAnchor, NewAnchor));
   CTR_N(FreePushRetries, Push.retries());
+  LFM_CONT_DONE_ATTR(FreePush, sizeToClass(Desc->BlockSize - BlockPrefixSize),
+                     Sb);
 
   // No CTR(Frees) anywhere on this path: each block was already counted
   // (HitFrees) when its thread pushed it into a magazine.
@@ -1744,6 +1811,40 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
         Lat.classSummary(C, S.Count, S.SumNs, S.MaxNs);
       }
     }
+
+    const telemetry::ContentionRecorder &Cont = Tel->contention();
+    if (Cont.enabled()) {
+      Snap.ContentionEnabled = true;
+      Snap.ContentionSamplePeriod = Cont.samplePeriod();
+      Snap.ContentionSamples = Cont.samples();
+      telemetry::LatencyHistogramSnapshot Hist;
+      for (unsigned S = 0; S < telemetry::NumContentionSites; ++S) {
+        const auto Site = static_cast<telemetry::ContentionSite>(S);
+        telemetry::ContentionSiteStats &C = Snap.Contention[S];
+        Cont.snapshotRetries(Site, Hist);
+        C.Count = Hist.Count;
+        C.RetriesSum = Hist.SumNs; // The retries histogram's "ns" is retries.
+        C.RetriesMax = Hist.MaxNs;
+        C.RetriesP50 = Hist.quantileUpperNs(0.5);
+        C.RetriesP99 = Hist.quantileUpperNs(0.99);
+        Cont.snapshotLoopNs(Site, Hist);
+        C.LoopSumNs = Hist.SumNs;
+        C.LoopMaxNs = Hist.MaxNs;
+        C.LoopP50UpperNs = Hist.quantileUpperNs(0.5);
+        C.LoopP99UpperNs = Hist.quantileUpperNs(0.99);
+      }
+      for (unsigned C = 0; C < telemetry::NumContentionClasses; ++C)
+        Snap.ContentionClassRetries[C] = Cont.classRetries(C);
+      Snap.ContentionHeatCount =
+          Cont.topHeat(Snap.ContentionHeat, telemetry::ContentionTopK);
+      Snap.ContentionHeatEntries = Cont.heatEntries();
+      Snap.ContentionHeatCapacity = Cont.heatCapacity();
+      Snap.ContentionHeatDropped = Cont.heatDropped();
+      Snap.WatchdogArmed = Cont.watchdogArmed();
+      Snap.WatchdogScans = Cont.watchdogScans();
+      Snap.WatchdogStalls = Cont.watchdogStalls();
+      Snap.WatchdogStorms = Cont.watchdogStorms();
+    }
   }
 #else
   // Legacy stats cover only the eight OpStats counters; fold them into
@@ -1887,6 +1988,26 @@ int LFAllocator::prometheusText(int Fd) const {
                                         Hist);
     }
   }
+  if (Tel != nullptr && Tel->contention().enabled()) {
+    // Full per-site bucket detail lives here; the metrics JSON carries
+    // only summaries.
+    const telemetry::ContentionRecorder &Cont = Tel->contention();
+    telemetry::promWriteCasRetriesHelp(W);
+    telemetry::LatencyHistogramSnapshot Hist;
+    for (unsigned S = 0; S < telemetry::NumContentionSites; ++S) {
+      const auto Site = static_cast<telemetry::ContentionSite>(S);
+      Cont.snapshotRetries(Site, Hist);
+      telemetry::promWriteCasRetriesSeries(
+          W, telemetry::contentionSiteName(Site), Hist);
+    }
+    telemetry::promWriteCasLoopNsHelp(W);
+    for (unsigned S = 0; S < telemetry::NumContentionSites; ++S) {
+      const auto Site = static_cast<telemetry::ContentionSite>(S);
+      Cont.snapshotLoopNs(Site, Hist);
+      telemetry::promWriteCasLoopNsSeries(
+          W, telemetry::contentionSiteName(Site), Hist);
+    }
+  }
 #endif
   return 0;
 }
@@ -1897,6 +2018,38 @@ bool LFAllocator::latencyEnabled() const {
 #else
   return false;
 #endif
+}
+
+bool LFAllocator::contentionEnabled() const {
+#if LFM_TELEMETRY
+  return Tel != nullptr && Tel->contention().enabled();
+#else
+  return false;
+#endif
+}
+
+bool LFAllocator::contentionWatchdogArmed() const {
+#if LFM_TELEMETRY
+  return Tel != nullptr && Tel->contention().watchdogArmed();
+#else
+  return false;
+#endif
+}
+
+unsigned LFAllocator::contentionWatchdogScan(int DiagFd) const {
+#if LFM_TELEMETRY
+  if (Tel != nullptr && Tel->contention().enabled()) {
+    // const_cast: the scan mutates only recorder-internal bookkeeping;
+    // the logical allocator state is unchanged.
+    auto &Cont = const_cast<telemetry::ContentionRecorder &>(
+        Tel->contention());
+    const telemetry::WatchdogReport R = Cont.watchdogScan(DiagFd);
+    return R.Stalls + R.Storms;
+  }
+#else
+  (void)DiagFd;
+#endif
+  return 0;
 }
 
 void LFAllocator::leakReport(int Fd) const {

@@ -189,6 +189,22 @@ public:
   /// tables mapped).
   bool latencyEnabled() const;
 
+  /// True when contention recording is active on this instance
+  /// (LFM_TELEMETRY=1, options().EnableStats, ContentionSamplePeriod > 0
+  /// or the watchdog armed, tables mapped).
+  bool contentionEnabled() const;
+
+  /// True when the progress watchdog is armed on this instance (the
+  /// StatsExporter ride scans only then; explicit contention.scan calls
+  /// work whenever contentionEnabled()).
+  bool contentionWatchdogArmed() const;
+
+  /// Runs one progress-watchdog pass over the contention recorder's
+  /// per-thread progress slots, writing a diagnosis of flagged slots to
+  /// \p DiagFd (async-signal-safe; pass -1 to scan silently). No-op
+  /// without an enabled recorder. \returns stalls + storms flagged.
+  unsigned contentionWatchdogScan(int DiagFd = -1) const;
+
   /// Fills \p Out with a lock-free census of every superblock: per-class
   /// occupancy histograms, state counts, fragmentation ratios (internal
   /// fragmentation only when the profiler is attached), the superblock

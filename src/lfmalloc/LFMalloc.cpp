@@ -56,8 +56,27 @@ AllocatorOptions defaultOptions() {
     if (U > 0)
       Opts.EnableStats = true;
   }
-  if (config::varU64(Var::TestSeed, U) && U > 0)
+  // LFM_CONTENTION_SAMPLE / LFM_CONTENTION_WATCHDOG imply stats the same
+  // way: the contention recorder rides on the telemetry block.
+  if (config::varU64(Var::ContentionSample, U)) {
+    Opts.ContentionSamplePeriod = U;
+    if (U > 0)
+      Opts.EnableStats = true;
+  }
+  if (config::varU64(Var::ContentionHeat, U) && U > 0)
+    Opts.ContentionHeatCapacity = static_cast<std::uint32_t>(U);
+  if (config::varFlag(Var::ContentionWatchdog)) {
+    Opts.ContentionWatchdog = true;
+    Opts.EnableStats = true;
+  }
+  if (config::varU64(Var::ContentionStallMs, U) && U > 0)
+    Opts.ContentionStallMs = U;
+  if (config::varU64(Var::ContentionStorm, U) && U > 0)
+    Opts.ContentionStormRetries = U;
+  if (config::varU64(Var::TestSeed, U) && U > 0) {
     Opts.LatencySampleSeed = U;
+    Opts.ContentionSampleSeed = U;
+  }
   if (const char *Prefix = config::varRaw(Var::StatsPrefix)) {
     if (std::strlen(Prefix) < detail::StatsPrefixCap)
       std::strcpy(detail::StatsPrefix, Prefix);

@@ -232,6 +232,14 @@ int optGet(const char *Name, void *Out, size_t *OutLen) {
     // block, so without stats nothing is recorded regardless of the knob.
     return readU64(Out, OutLen,
                    O.EnableStats ? O.LatencySamplePeriod : std::uint64_t{0});
+  if (std::strcmp(Name, "contention_sample") == 0)
+    // Same effective-period discipline as latency_sample.
+    return readU64(Out, OutLen,
+                   O.EnableStats ? O.ContentionSamplePeriod
+                                 : std::uint64_t{0});
+  if (std::strcmp(Name, "contention_watchdog") == 0)
+    return readU64(Out, OutLen,
+                   lfm::defaultAllocator().contentionWatchdogArmed() ? 1 : 0);
   if (std::strcmp(Name, "stats_interval_ms") == 0)
     return readU64(Out, OutLen,
                    detail::StatsIntervalMs.load(std::memory_order_relaxed));
@@ -260,6 +268,63 @@ int prometheusFd(LFAllocator &Alloc, int Fd) {
   return Alloc.prometheusText(Fd);
 }
 
+/// contention.<name>: the contention recorder's health indicators and the
+/// explicit watchdog trigger (docs/OBSERVABILITY.md, "Contention &
+/// progress").
+int contentionCtl(const char *Name, void *Out, size_t *OutLen,
+                  const void *In, size_t InLen) {
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  if (std::strcmp(Name, "scan") == 0) {
+    // Action key: one watchdog pass now, diagnosis to the optional dump
+    // path (stderr default). Works whenever the recorder is enabled, even
+    // with the background watchdog unarmed. Out optionally receives the
+    // flagged-slot count.
+    char Path[4096];
+    if (const int Rc = takePath(In, InLen, Path, sizeof(Path)))
+      return Rc;
+    unsigned Flagged = 0;
+    if (Path[0] == '\0') {
+      Flagged = Alloc.contentionWatchdogScan(STDERR_FILENO);
+    } else {
+      const int Fd = ::open(Path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (Fd < 0)
+        return EIO;
+      Flagged = Alloc.contentionWatchdogScan(Fd);
+      ::close(Fd);
+    }
+    if (Out != nullptr || OutLen != nullptr)
+      return readU64(Out, OutLen, Flagged);
+    return 0;
+  }
+  if (In != nullptr)
+    return EPERM; // Everything below is a read-only status key.
+  const AllocatorOptions &O = Alloc.options();
+  if (std::strcmp(Name, "stall_ms") == 0)
+    return readU64(Out, OutLen, O.ContentionStallMs);
+  if (std::strcmp(Name, "storm_retries") == 0)
+    return readU64(Out, OutLen, O.ContentionStormRetries);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  const struct {
+    const char *Name;
+    std::uint64_t Value;
+  } Rows[] = {
+      {"enabled", Snap.ContentionEnabled ? 1u : 0u},
+      {"sample_period", Snap.ContentionSamplePeriod},
+      {"samples", Snap.ContentionSamples},
+      {"heat_entries", Snap.ContentionHeatEntries},
+      {"heat_capacity", Snap.ContentionHeatCapacity},
+      {"heat_dropped", Snap.ContentionHeatDropped},
+      {"watchdog", Snap.WatchdogArmed ? 1u : 0u},
+      {"scans", Snap.WatchdogScans},
+      {"stalls", Snap.WatchdogStalls},
+      {"storms", Snap.WatchdogStorms},
+  };
+  for (const auto &Row : Rows)
+    if (std::strcmp(Name, Row.Name) == 0)
+      return readU64(Out, OutLen, Row.Value);
+  return ENOENT;
+}
+
 /// StatsExporter emit callback over the default allocator. Every branch is
 /// allocation-free (snapshots and raw-fd writers only) — the latency
 /// recorder's exporter watchdog counts any violation.
@@ -267,6 +332,11 @@ int exporterEmit(void * /*Ctx*/, int Artifact, int Fd) {
   LFAllocator &Alloc = lfm::defaultAllocator();
   switch (Artifact) {
   case telemetry::StatsExporter::MetricsJson:
+    // The armed progress watchdog rides the exporter cadence: one scan of
+    // the per-thread progress slots per metrics cycle, diagnosing stalls
+    // and retry storms to stderr (raw fd — the exporter never allocates).
+    if (Alloc.contentionWatchdogArmed())
+      Alloc.contentionWatchdogScan(STDERR_FILENO);
     telemetry::writeMetricsJsonFd(Alloc.metricsSnapshot(), Fd);
     return 0;
   case telemetry::StatsExporter::Prometheus:
@@ -516,6 +586,9 @@ int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
 
   if (std::strncmp(Key, "trace.", 6) == 0)
     return traceCtl(Key + 6, Out, OutLen, In, InLen);
+
+  if (std::strncmp(Key, "contention.", 11) == 0)
+    return contentionCtl(Key + 11, Out, OutLen, In, InLen);
 
   return ENOENT;
 }

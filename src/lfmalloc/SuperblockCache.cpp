@@ -8,6 +8,7 @@
 
 #include "schedtest/SchedPoint.h"
 #include "support/Platform.h"
+#include "telemetry/ContentionHook.h"
 #include "support/Timing.h"
 #include "telemetry/Telemetry.h"
 
@@ -55,7 +56,11 @@ void *SuperblockCache::acquire() {
   // still trims on schedule.
   maybeDecay();
 
+  // The pop below opens a nested TreiberPop scope; by design the
+  // innermost active retry loop owns the thread's progress slot.
+  LFM_CONT_LOOP(SbAcquire);
   for (;;) {
+    LFM_CONT_ATTEMPT(SbAcquire);
     LFM_SCHED_POINT(SbAcquire);
     if (FreeSb *Sb = FreeList.pop()) {
       CachedSbs.fetch_sub(1, std::memory_order_relaxed);

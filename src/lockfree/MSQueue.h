@@ -79,7 +79,11 @@ public:
     Node *N = allocNode();
     N->Value = Value;
     N->Next.store(nullptr, std::memory_order_relaxed);
+    // Scoped after allocNode so a pool refill's TreiberPush samples do not
+    // nest inside (and eat the progress slot of) this enqueue's.
+    LFM_CONT_LOOP(MsqEnqueue);
     for (;;) {
+      LFM_CONT_ATTEMPT(MsqEnqueue);
       LFM_SCHED_POINT(MsqEnqueue);
       Node *T1 = Domain.protect(HpSlotTail, Tail);
       Node *Next = T1->Next.load(std::memory_order_acquire);
@@ -101,13 +105,16 @@ public:
         break;
       }
     }
+    LFM_CONT_DONE(MsqEnqueue);
     Domain.clear(HpSlotTail);
     ApproxCount.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Removes the oldest value into \p Out. \returns false if empty.
   bool dequeue(T &Out) {
+    LFM_CONT_LOOP(MsqDequeue);
     for (;;) {
+      LFM_CONT_ATTEMPT(MsqDequeue);
       LFM_SCHED_POINT(MsqDequeue);
       Node *H = Domain.protect(HpSlotHead, Head);
       Node *T1 = Tail.load(std::memory_order_acquire);

@@ -24,6 +24,7 @@
 
 #include "lockfree/Tagged.h"
 #include "schedtest/SchedPoint.h"
+#include "telemetry/ContentionHook.h"
 
 #include <atomic>
 #include <cstdint>
@@ -45,9 +46,11 @@ public:
 
   /// Pushes \p Node. Lock-free; loops only while other pushes/pops succeed.
   void push(NodeT *Node) {
+    LFM_CONT_LOOP(TreiberPush);
     typename TaggedAtomic<NodeT>::Snapshot Head =
         this->Head.load(std::memory_order_relaxed);
     for (;;) {
+      LFM_CONT_ATTEMPT(TreiberPush);
       LFM_SCHED_POINT(TreiberPush);
       // Relaxed atomic store: a concurrent pop may read this link through
       // a stale head (benign — its CAS then fails on the tag), and the
@@ -66,10 +69,12 @@ public:
 
   /// Pops the most recently pushed node. \returns nullptr when empty.
   NodeT *pop() {
+    LFM_CONT_LOOP(TreiberPop);
     typename TaggedAtomic<NodeT>::Snapshot Head = this->Head.load();
     for (;;) {
+      LFM_CONT_ATTEMPT(TreiberPop);
       if (!Head.Ptr)
-        return nullptr;
+        return nullptr; // Scope dtor closes out the contention sample.
       // Reading the link is safe only under the type-stability contract;
       // relaxed is enough because the tagged CAS below validates that the
       // head (and with it this link) did not change under us.

@@ -216,7 +216,10 @@ void leakReportAtExit() {
 __attribute__((constructor)) void shimInit() {
   LFAllocator &Alloc = defaultAllocator();
   DumpProfileOnSignal = Alloc.profilerEnabled();
-  DumpLatencyOnSignal = Alloc.latencyEnabled();
+  // The Prometheus exposition carries both the latency and the contention
+  // histogram families, so either recorder makes the SIGUSR2 dump (and the
+  // exit-time exposition) worth emitting.
+  DumpLatencyOnSignal = Alloc.latencyEnabled() || Alloc.contentionEnabled();
   // LFM_TRACE_RECORD=<path>: flight-record the whole process lifetime.
   // Routed through lf_malloc_ctl so the env path and the programmatic
   // path ("trace.start") are one code path; the atexit hook installed by

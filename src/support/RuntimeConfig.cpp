@@ -42,6 +42,17 @@ const VarSpec Table[NumVars] = {
      "background stats-exporter period in ms; 0 disables"},
     {"LFM_STATS_PREFIX", "opt.stats_prefix", "lfm-stats",
      "path prefix for background exporter / signal-dump artifacts"},
+    {"LFM_CONTENTION_SAMPLE", "opt.contention_sample", "0",
+     "mean retry-loop runs between contention samples (0 off; implies "
+     "stats)"},
+    {"LFM_CONTENTION_HEAT", "contention.heat_capacity", "512",
+     "contention heat-table capacity in superblock entries"},
+    {"LFM_CONTENTION_WATCHDOG", "opt.contention_watchdog", "0",
+     "arm the progress watchdog on the stats exporter (implies stats)"},
+    {"LFM_CONTENTION_STALL_MS", "contention.stall_ms", "100",
+     "watchdog: flag a retry loop busy longer than this many ms"},
+    {"LFM_CONTENTION_STORM", "contention.storm_retries", "1048576",
+     "watchdog: attempts in one loop at/beyond this are a retry storm"},
     {"LFM_TRACE_RECORD", "trace.path", "unset",
      "record an lfm-alloctrace-v1 allocation trace to this path (shim)"},
     {"LFM_TRACE_BUF_KB", "trace.buffer_kb", "8192",

@@ -45,6 +45,15 @@ enum class Var : unsigned {
   StatsIntervalMs, ///< LFM_STATS_INTERVAL_MS: background exporter period.
   StatsPrefix,     ///< LFM_STATS_PREFIX: exporter artifact path prefix.
 
+  // Contention-and-progress observability.
+  ContentionSample,   ///< LFM_CONTENTION_SAMPLE: mean retry-loop executions
+                      ///< between contention samples (implies stats).
+  ContentionHeat,     ///< LFM_CONTENTION_HEAT: heat-table capacity.
+  ContentionWatchdog, ///< LFM_CONTENTION_WATCHDOG: arm the progress
+                      ///< watchdog (implies stats).
+  ContentionStallMs,  ///< LFM_CONTENTION_STALL_MS: watchdog stall age.
+  ContentionStorm,    ///< LFM_CONTENTION_STORM: watchdog storm attempts.
+
   // Allocation flight recorder (shim; trace/AllocTrace.h).
   TraceRecord, ///< LFM_TRACE_RECORD: record an lfm-alloctrace-v1 file here.
   TraceBufKb,  ///< LFM_TRACE_BUF_KB: recorder append-buffer budget in KiB.

@@ -1,0 +1,161 @@
+//===- telemetry/ContentionHook.h - CAS-loop instrumentation -----*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation face of the contention recorder, shaped to be
+/// includable from the lowest layers (lockfree/) in every build
+/// configuration:
+///
+///  - Under LFM_TELEMETRY=0 the macros expand to nothing and this header
+///    contributes zero symbols (the nm check in CI asserts it).
+///
+///  - Under LFM_TELEMETRY=1 a retry loop wraps itself in a ContentionScope.
+///    With no recorder registered the whole scope costs one relaxed load
+///    and a predicted branch at loop entry; with one registered, loop
+///    entry runs the countdown sampling gate, every retry iteration
+///    (attempt >= 2 — already off the fast path) publishes progress for
+///    the watchdog, and loop exit files the sampled retries-per-op and
+///    time-in-loop.
+///
+/// The scope's destructor is the safety net for early-exit paths (a pop
+/// returning empty from mid-loop): recording happens at most once, at the
+/// first of done() / destruction.
+///
+/// Usage (the site name keys the scope variable, so a function with
+/// several consecutive retry loops gives each its own scope):
+/// \code
+///   LFM_CONT_LOOP(TreiberPop);
+///   for (;;) {
+///     LFM_CONT_ATTEMPT(TreiberPop);
+///     ...
+///     if (cas(...)) {
+///       LFM_CONT_DONE(TreiberPop); // or LFM_CONT_DONE_ATTR(site, Class, Sb)
+///       return ...;
+///     }
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_CONTENTIONHOOK_H
+#define LFMALLOC_TELEMETRY_CONTENTIONHOOK_H
+
+#include "telemetry/TelemetryConfig.h"
+
+#if LFM_TELEMETRY
+
+#include "support/Platform.h"
+#include "telemetry/ContentionSite.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+class ContentionRecorder;
+
+/// The process-wide recorder the hooks report to. The owning allocator's
+/// recorder claims this by CAS in its constructor (first one wins — in
+/// practice the default allocator; secondary test allocators observe the
+/// claim failing and simply stay unhooked from the global) and releases it
+/// in its destructor. Inline variable: compiled out entirely with this
+/// block under LFM_TELEMETRY=0.
+inline std::atomic<ContentionRecorder *> GlobalContentionRecorder{nullptr};
+
+namespace contention_detail {
+/// Out-of-line slow paths (ContentionRecorder is incomplete here so the
+/// lockfree headers stay free of telemetry internals).
+std::uint64_t hookLoopBegin(ContentionRecorder &R);
+void hookRetry(ContentionRecorder &R, ContentionSite S, std::uint64_t Attempts,
+               std::uint64_t &FirstRetryTick);
+void hookDone(ContentionRecorder &R, ContentionSite S, std::uint64_t StartTick,
+              std::uint64_t Attempts, unsigned Class, const void *Sb);
+} // namespace contention_detail
+
+/// RAII instrumentation of one retry-loop execution.
+class ContentionScope {
+public:
+  explicit ContentionScope(ContentionSite S) : Site(S) {
+    R = GlobalContentionRecorder.load(std::memory_order_relaxed);
+    if (LFM_UNLIKELY(R != nullptr))
+      StartTick = contention_detail::hookLoopBegin(*R);
+  }
+
+  ContentionScope(const ContentionScope &) = delete;
+  ContentionScope &operator=(const ContentionScope &) = delete;
+
+  ~ContentionScope() { done(); }
+
+  /// Call at the top of every loop iteration. The first iteration is free
+  /// (a loop that succeeds immediately had no contention); from the second
+  /// on, progress is published for the watchdog.
+  void attempt() {
+    if (LFM_LIKELY(R == nullptr))
+      return;
+    ++Attempts;
+    if (LFM_UNLIKELY(Attempts >= 2))
+      contention_detail::hookRetry(*R, Site, Attempts, FirstRetryTick);
+  }
+
+  /// Call at loop exit, optionally attributing the loop to a size class
+  /// and the superblock being fought over. Idempotent; the destructor
+  /// calls it for early-exit paths.
+  void done(unsigned Class = ~0u, const void *Sb = nullptr) {
+    if (LFM_LIKELY(R == nullptr))
+      return;
+    if (Attempts >= 2 || StartTick != 0)
+      contention_detail::hookDone(*R, Site, StartTick, Attempts, Class, Sb);
+    R = nullptr;
+  }
+
+  /// True when a recorder will consume this scope — lets DONE_ATTR call
+  /// sites skip evaluating attribution expressions (a size-class lookup on
+  /// a hot free path) in the common recorder-off case.
+  bool armed() const { return R != nullptr; }
+
+private:
+  ContentionRecorder *R;
+  ContentionSite Site;
+  std::uint64_t StartTick = 0;
+  std::uint64_t Attempts = 0;
+  std::uint64_t FirstRetryTick = 0;
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#define LFM_CONT_LOOP(SiteName)                                                \
+  ::lfm::telemetry::ContentionScope LfmCont_##SiteName {                       \
+    ::lfm::telemetry::ContentionSite::SiteName                                 \
+  }
+#define LFM_CONT_ATTEMPT(SiteName) LfmCont_##SiteName.attempt()
+#define LFM_CONT_DONE(SiteName) LfmCont_##SiteName.done()
+/// Attribution expressions are only evaluated when a recorder is live.
+#define LFM_CONT_DONE_ATTR(SiteName, ClassV, SbV)                              \
+  do {                                                                         \
+    if (LFM_UNLIKELY(LfmCont_##SiteName.armed()))                              \
+      LfmCont_##SiteName.done((ClassV), (SbV));                                \
+  } while (0)
+
+#else // !LFM_TELEMETRY
+
+#define LFM_CONT_LOOP(SiteName)                                                \
+  do {                                                                         \
+  } while (0)
+#define LFM_CONT_ATTEMPT(SiteName)                                             \
+  do {                                                                         \
+  } while (0)
+#define LFM_CONT_DONE(SiteName)                                                \
+  do {                                                                         \
+  } while (0)
+#define LFM_CONT_DONE_ATTR(SiteName, ClassV, SbV)                              \
+  do {                                                                         \
+  } while (0)
+
+#endif // LFM_TELEMETRY
+
+#endif // LFMALLOC_TELEMETRY_CONTENTIONHOOK_H

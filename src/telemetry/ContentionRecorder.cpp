@@ -1,0 +1,378 @@
+//===- telemetry/ContentionRecorder.cpp - CAS contention sampling ---------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TelemetryConfig.h"
+
+// The whole translation unit is compiled out under LFMALLOC_TELEMETRY=OFF:
+// the CI zero-symbol check asserts this object file defines nothing there.
+#if LFM_TELEMETRY
+
+#include "telemetry/ContentionRecorder.h"
+
+#include "profiling/FdWriter.h"
+#include "telemetry/ContentionHook.h"
+
+#include <limits>
+#include <new>
+
+namespace lfm {
+namespace telemetry {
+
+namespace {
+
+/// Pointer-key mix (the heap profiler's site-table hash): splitmix64
+/// finalizer, so superblock addresses sharing aligned low bits still
+/// spread over the table.
+std::uint64_t hashPtr(std::uint64_t Key) {
+  Key ^= Key >> 30;
+  Key *= 0xBF58476D1CE4E5B9ull;
+  Key ^= Key >> 27;
+  Key *= 0x94D049BB133111EBull;
+  Key ^= Key >> 31;
+  return Key;
+}
+
+/// Bounded linear-probe window, as in the profiler site table: long probe
+/// chains under a full table would put a scan on the recording path, so
+/// past this the sample is dropped (and counted).
+constexpr unsigned HeatProbeLimit = 16;
+
+std::uint32_t roundUpPow2(std::uint32_t V) {
+  std::uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+ContentionRecorder::ContentionRecorder(const Options &O)
+    : Period(O.SamplePeriod),
+      Seed(O.Seed != 0 ? O.Seed : 0x9E3779B97F4A7C15ull),
+      WatchdogOn(O.Watchdog), StallNs(O.StallMs * 1'000'000ull),
+      StormLimit(O.StormRetries != 0 ? O.StormRetries : 1) {
+  if (Period == 0 && !WatchdogOn)
+    return;
+  // Bound the period so nextGap's 31-bit multiply-shift range reduction
+  // cannot overflow (and a gap beyond a billion loops is indistinguishable
+  // from "off" anyway).
+  if (Period > (std::uint64_t{1} << 30))
+    Period = std::uint64_t{1} << 30;
+  HeatCap = roundUpPow2(O.HeatCapacity < 64 ? 64
+                        : O.HeatCapacity > (1u << 20) ? (1u << 20)
+                                                      : O.HeatCapacity);
+  // Time-in-loop and watchdog ages need the tick clock; calibrate here,
+  // in cold setup, exactly once per process (calibrate is idempotent).
+  cycleclock::calibrate();
+  MappedBytes = sizeof(Tables) + (HeatCap - 1) * sizeof(HeatSlot);
+  // Page alignment (the provider's minimum) subsumes the cache-line
+  // alignment the sharded tables need.
+  void *Mem = TablePages.map(MappedBytes, OsPageSize);
+  if (Mem == nullptr)
+    return; // Recording stays disabled; the allocator itself is unaffected.
+  // Placement-new onto zero-filled pages: every atomic starts at zero,
+  // every countdown at 0 so each thread's first loop is sampled (making
+  // single-threaded tests deterministic from the first loop).
+  Tabs = ::new (Mem) Tables();
+  // Tables declares Heat[1]; the remaining HeatCap - 1 slots live in the
+  // tail of the same mapping.
+  for (std::uint32_t I = 1; I < HeatCap; ++I)
+    ::new (&Tabs->Heat[I]) HeatSlot();
+  // Claim the process-wide hook target; first recorder wins. A secondary
+  // allocator's recorder still serves direct recordSample()/snapshot use,
+  // it just is not fed by the global hooks.
+  ContentionRecorder *Expected = nullptr;
+  GlobalContentionRecorder.compare_exchange_strong(Expected, this,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed);
+}
+
+ContentionRecorder::~ContentionRecorder() {
+  ContentionRecorder *Self = this;
+  GlobalContentionRecorder.compare_exchange_strong(Self, nullptr,
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_relaxed);
+  Tables *T = Tabs;
+  Tabs = nullptr;
+  if (T != nullptr) {
+    for (std::uint32_t I = 1; I < HeatCap; ++I)
+      T->Heat[I].~HeatSlot();
+    T->~Tables();
+    TablePages.unmap(T, MappedBytes);
+  }
+}
+
+std::int64_t ContentionRecorder::nextGap(ThreadState &S) {
+  if (Period == 0) // Watchdog-only: park the countdown, never sample.
+    return std::numeric_limits<std::int64_t>::max();
+  if (Period <= 1)
+    return 1;
+  std::uint64_t X = S.Rng.load(std::memory_order_relaxed);
+  if (X == 0) {
+    // First draw on this slot: mix the slot number into the base seed so
+    // threads do not sample in lockstep, while a fixed LFM_TEST_SEED still
+    // pins every slot's whole gap sequence.
+    const std::uint64_t Slot = threadIndex() & (MaxContentionThreads - 1);
+    X = Seed ^ (Slot * 0xBF58476D1CE4E5B9ull);
+    if (X == 0)
+      X = 1;
+  }
+  // xorshift64*; the high bits of the multiply are the well-mixed ones.
+  X ^= X >> 12;
+  X ^= X << 25;
+  X ^= X >> 27;
+  S.Rng.store(X, std::memory_order_relaxed);
+  const std::uint64_t R = (X * 0x2545F4914F6CDD1Dull) >> 33; // 31 bits.
+  // Uniform on [1, 2*Period - 1]: mean Period, never zero, and bounded so
+  // a sampling period of N can never go 2N loops without a sample
+  // (Lemire multiply-shift range reduction, as in LatencyRecorder).
+  const std::uint64_t Range = 2 * Period - 1;
+  return 1 + static_cast<std::int64_t>((R * Range) >> 31);
+}
+
+void ContentionRecorder::retryTick(ContentionSite S, std::uint64_t Attempts,
+                                   std::uint64_t FirstRetryTick) {
+  Tables *T = Tabs;
+  if (T == nullptr)
+    return;
+  // Owner-thread plain relaxed stores on a thread-private line — the
+  // countdown discipline; this runs on every retry iteration, so a
+  // lock-prefixed RMW here would tax the very contention being measured.
+  ProgressSlot &P = T->Progress[threadIndex() & (MaxContentionThreads - 1)];
+  P.SitePlus1.store(static_cast<std::uint32_t>(S) + 1,
+                    std::memory_order_relaxed);
+  P.StartTick.store(FirstRetryTick, std::memory_order_relaxed);
+  P.Attempts.store(Attempts, std::memory_order_relaxed);
+  P.Epoch.store(P.Epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+void ContentionRecorder::retryDone() {
+  Tables *T = Tabs;
+  if (T == nullptr)
+    return;
+  ProgressSlot &P = T->Progress[threadIndex() & (MaxContentionThreads - 1)];
+  P.SitePlus1.store(0, std::memory_order_relaxed);
+  P.Epoch.store(P.Epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+void ContentionRecorder::loopEnd(ContentionSite S, std::uint64_t StartTick,
+                                 std::uint64_t Attempts, unsigned Class,
+                                 const void *Sb) {
+  if (StartTick == 0)
+    return;
+  const std::uint64_t Retries = Attempts > 0 ? Attempts - 1 : 0;
+  recordSample(S, Retries,
+               cycleclock::ticksToNanos(cycleclock::now() - StartTick), Class,
+               Sb);
+}
+
+void ContentionRecorder::recordSample(ContentionSite S, std::uint64_t Retries,
+                                      std::uint64_t LoopNs, unsigned Class,
+                                      const void *Sb) {
+  Tables *T = Tabs;
+  if (T == nullptr || static_cast<unsigned>(S) >= NumContentionSites)
+    return;
+  const unsigned SI = static_cast<unsigned>(S);
+  // Retries == 0 lands in the LogBuckets singleton bucket 0, so the
+  // distribution keeps the uncontended mass too (the retries-per-op p99 is
+  // meaningless without it).
+  T->Retries[SI].record(Retries);
+  T->LoopNs[SI].record(LoopNs);
+  T->Samples.fetch_add(1, std::memory_order_relaxed);
+  if (Retries == 0)
+    return;
+  const unsigned C = Class < NumSizeClasses ? Class : NumSizeClasses;
+  T->ClassRetries[C].fetch_add(Retries, std::memory_order_relaxed);
+  if (Sb != nullptr)
+    heatAdd(Sb, Class, Retries);
+}
+
+void ContentionRecorder::heatAdd(const void *Sb, unsigned Class,
+                                 std::uint64_t Retries) {
+  Tables *T = Tabs;
+  const std::uint64_t Key = reinterpret_cast<std::uintptr_t>(Sb);
+  const std::uint64_t H = hashPtr(Key);
+  const std::uint32_t Mask = HeatCap - 1;
+  for (unsigned I = 0; I < HeatProbeLimit; ++I) {
+    HeatSlot &Slot = T->Heat[(H + I) & Mask];
+    std::uint64_t K = Slot.Sb.load(std::memory_order_relaxed);
+    if (K == 0) {
+      // CAS-claim from empty (profiler site-table discipline); on failure
+      // K holds the winner — which may be us-by-proxy (same superblock
+      // claimed by a racing thread).
+      if (Slot.Sb.compare_exchange_strong(K, Key, std::memory_order_relaxed))
+        K = Key;
+      if (K == Key)
+        T->HeatEntries.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (K != Key)
+      continue;
+    Slot.Retries.fetch_add(Retries, std::memory_order_relaxed);
+    // Last writer wins: a superblock belongs to one size class for its
+    // lifetime, so disagreement only happens across reuse.
+    Slot.Class.store((Class < NumSizeClasses ? Class : NumSizeClasses) + 1,
+                     std::memory_order_relaxed);
+    return;
+  }
+  // Every probe in the window is taken by someone else: account the drop —
+  // a silent drop would make a cool-looking heat table out of a hot run.
+  T->HeatDropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned ContentionRecorder::topHeat(ContentionHeatEntry *Out,
+                                     unsigned K) const {
+  const Tables *T = Tabs;
+  if (T == nullptr || K == 0)
+    return 0;
+  unsigned N = 0;
+  for (std::uint32_t I = 0; I < HeatCap; ++I) {
+    const HeatSlot &Slot = T->Heat[I];
+    const std::uint64_t Sb = Slot.Sb.load(std::memory_order_relaxed);
+    if (Sb == 0)
+      continue;
+    ContentionHeatEntry E;
+    E.Sb = Sb;
+    E.Retries = Slot.Retries.load(std::memory_order_relaxed);
+    const std::uint32_t CPlus1 = Slot.Class.load(std::memory_order_relaxed);
+    E.Class = CPlus1 > 0 ? CPlus1 - 1 : NumSizeClasses;
+    // Insertion into the descending top-K prefix; K is tiny (<= 8 in the
+    // snapshot path), so O(N*K) over the table is fine off the hot path.
+    unsigned Pos = N < K ? N : K;
+    while (Pos > 0 && Out[Pos - 1].Retries < E.Retries)
+      --Pos;
+    if (Pos >= K)
+      continue;
+    for (unsigned J = (N < K ? N : K - 1); J > Pos; --J)
+      Out[J] = Out[J - 1];
+    Out[Pos] = E;
+    if (N < K)
+      ++N;
+  }
+  return N;
+}
+
+WatchdogReport ContentionRecorder::watchdogScan(int DiagFd) {
+  WatchdogReport Rep;
+  Tables *T = Tabs;
+  if (T == nullptr)
+    return Rep;
+  const std::uint64_t Now = cycleclock::now();
+  // Fd < 0 = silent scan: nothing is ever buffered, so the dtor flush is a
+  // no-op and no write(2) hits a bogus descriptor.
+  profiling::FdWriter W(DiagFd);
+  for (unsigned I = 0; I < MaxContentionThreads; ++I) {
+    ProgressSlot &P = T->Progress[I];
+    // Racy read of another thread's plain stores: a torn view can mis-age
+    // one slot for one scan, which the verdict below tolerates (the next
+    // scan sees it settled).
+    const std::uint32_t SitePlus1 = P.SitePlus1.load(std::memory_order_relaxed);
+    const std::uint64_t Epoch = P.Epoch.load(std::memory_order_relaxed);
+    const std::uint64_t Attempts = P.Attempts.load(std::memory_order_relaxed);
+    if (SitePlus1 == 0) {
+      T->LastEpoch[I] = Epoch;
+      T->LastAttempts[I] = Attempts;
+      continue;
+    }
+    ++Rep.BusySlots;
+    const std::uint64_t Start = P.StartTick.load(std::memory_order_relaxed);
+    const std::uint64_t AgeNs =
+        Now > Start ? cycleclock::ticksToNanos(Now - Start) : 0;
+    const bool Advanced =
+        Epoch != T->LastEpoch[I] || Attempts != T->LastAttempts[I];
+    T->LastEpoch[I] = Epoch;
+    T->LastAttempts[I] = Attempts;
+    bool IsStorm = false;
+    bool Flagged = false;
+    if (Attempts >= StormLimit) {
+      // Pathological retry count, regardless of age.
+      Flagged = IsStorm = true;
+    } else if (AgeNs > StallNs) {
+      // Old enough to care: still accumulating attempts means threads are
+      // running but nobody (here) is succeeding — a retry storm. A frozen
+      // count means the thread stopped mid-loop (descheduled, or killed) —
+      // which, by the paper's lock-free guarantee, must not have wedged
+      // anyone else; this verdict is how that claim gets checked at
+      // runtime. A thread parked *between* retries looks idle instead:
+      // storms are the primary signal, stalls best-effort.
+      Flagged = true;
+      IsStorm = Advanced;
+    }
+    if (!Flagged)
+      continue;
+    if (IsStorm)
+      ++Rep.Storms;
+    else
+      ++Rep.Stalls;
+    if (DiagFd >= 0) {
+      const ContentionSite S = static_cast<ContentionSite>(SitePlus1 - 1);
+      W.str("lf_malloc watchdog: ");
+      W.str(IsStorm ? "storm" : "stall");
+      W.str(" slot=");
+      W.dec(I);
+      W.str(" site=");
+      W.str(contentionSiteName(S));
+      W.str(" attempts=");
+      W.dec(Attempts);
+      W.str(" age_ns=");
+      W.dec(AgeNs);
+      W.ch('\n');
+    }
+  }
+  if (DiagFd >= 0)
+    W.flush();
+  T->WatchdogScans.fetch_add(1, std::memory_order_relaxed);
+  T->WatchdogStalls.fetch_add(Rep.Stalls, std::memory_order_relaxed);
+  T->WatchdogStorms.fetch_add(Rep.Storms, std::memory_order_relaxed);
+  return Rep;
+}
+
+void ContentionRecorder::snapshotRetries(ContentionSite S,
+                                         LatencyHistogramSnapshot &Out) const {
+  Out = LatencyHistogramSnapshot();
+  const Tables *T = Tabs;
+  if (T == nullptr || static_cast<unsigned>(S) >= NumContentionSites)
+    return;
+  T->Retries[static_cast<unsigned>(S)].snapshot(Out);
+}
+
+void ContentionRecorder::snapshotLoopNs(ContentionSite S,
+                                        LatencyHistogramSnapshot &Out) const {
+  Out = LatencyHistogramSnapshot();
+  const Tables *T = Tabs;
+  if (T == nullptr || static_cast<unsigned>(S) >= NumContentionSites)
+    return;
+  T->LoopNs[static_cast<unsigned>(S)].snapshot(Out);
+}
+
+namespace contention_detail {
+
+std::uint64_t hookLoopBegin(ContentionRecorder &R) { return R.loopBegin(); }
+
+void hookRetry(ContentionRecorder &R, ContentionSite S, std::uint64_t Attempts,
+               std::uint64_t &FirstRetryTick) {
+  if (FirstRetryTick == 0) {
+    FirstRetryTick = cycleclock::now();
+    if (FirstRetryTick == 0)
+      FirstRetryTick = 1;
+  }
+  R.retryTick(S, Attempts, FirstRetryTick);
+}
+
+void hookDone(ContentionRecorder &R, ContentionSite S, std::uint64_t StartTick,
+              std::uint64_t Attempts, unsigned Class, const void *Sb) {
+  if (Attempts >= 2)
+    R.retryDone();
+  R.loopEnd(S, StartTick, Attempts, Class, Sb);
+}
+
+} // namespace contention_detail
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFM_TELEMETRY

@@ -1,0 +1,278 @@
+//===- telemetry/ContentionRecorder.h - CAS contention sampling --*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampled per-site CAS-contention recording plus a progress watchdog.
+/// Three cooperating pieces, all storage in one page mapping from a
+/// private PageAllocator (the instrumented allocator's §4.2.5 space meter
+/// stays honest, and the recorder object's own cache line carries only the
+/// fields every gate reads):
+///
+///  - Per-site distributions: roughly one loop execution in SamplePeriod
+///    records its retries-per-op and wall time-in-loop into two sharded
+///    log-linear histograms per ContentionSite (the LatencyRecorder
+///    countdown discipline — a relaxed load/decrement/store on the
+///    thread's cache-line-private slot, never an atomic RMW).
+///
+///  - A contention heat table: a CAS-claimed open-addressed table (the
+///    heap profiler's site-table discipline) attributing sampled retry
+///    mass to individual superblocks and size classes, with overflow
+///    accounted in a dropped counter — never silent.
+///
+///  - Progress slots for the watchdog: a thread *inside a retry iteration*
+///    (attempt >= 2 — already off the fast path) plain-stores its site,
+///    attempt count, and loop-entry tick into its own slot and clears it
+///    at loop exit. The watchdog (riding the StatsExporter thread) scans
+///    the slots: a slot busy longer than StallNs whose attempt count still
+///    advances is a retry storm (threads running but not succeeding); one
+///    whose count froze is a stalled operation (a thread descheduled or
+///    killed mid-loop — which, per the paper's progress guarantee, must
+///    not have blocked anyone else). A thread delayed *between* retries is
+///    indistinguishable from an idle one; storms are the primary signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_CONTENTIONRECORDER_H
+#define LFMALLOC_TELEMETRY_CONTENTIONRECORDER_H
+
+#include "lfmalloc/SizeClasses.h"
+#include "os/PageAllocator.h"
+#include "support/CycleClock.h"
+#include "support/Platform.h"
+#include "support/ThreadRegistry.h"
+#include "telemetry/ContentionSite.h"
+#include "telemetry/LatencyHistogram.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+/// Per-size-class retry attribution slots: one per small class plus one
+/// shared bucket for loops with no class (descriptor/list machinery).
+inline constexpr unsigned NumContentionClasses = NumSizeClasses + 1;
+
+/// Thread slots for sampling countdowns and progress epochs (power of
+/// two). Indices beyond this share slots; a shared countdown only perturbs
+/// a gap draw, and a shared progress slot can only under-report a stall.
+inline constexpr unsigned MaxContentionThreads = 256;
+
+/// What one watchdog scan concluded (also the unit of the Stalls/Storms
+/// counters).
+struct WatchdogReport {
+  unsigned BusySlots = 0; ///< Slots inside a retry loop at scan time.
+  unsigned Stalls = 0;    ///< Busy past StallNs with a frozen attempt count.
+  unsigned Storms = 0;    ///< Attempt count past StormRetries, or busy past
+                          ///< StallNs and still retrying.
+};
+
+class ContentionRecorder {
+public:
+  /// Sentinel class for loops with no size-class attribution.
+  static constexpr unsigned NoClass = ~0u;
+
+  struct Options {
+    /// Mean instrumented-loop executions between samples. 0 disables
+    /// sampling (and, unless Watchdog is set, the whole recorder — no
+    /// tables mapped, every hook one predicted branch); 1 samples every
+    /// loop.
+    std::uint64_t SamplePeriod = 0;
+    /// Base seed for the per-thread gap RNGs; 0 keeps the default.
+    std::uint64_t Seed = 0;
+    /// Heat-table capacity in superblock entries (rounded up to a power
+    /// of two, clamped to [64, 1 << 20]).
+    std::uint32_t HeatCapacity = 512;
+    /// Arm the progress watchdog (scanned from the StatsExporter thread
+    /// or via contention.scan).
+    bool Watchdog = false;
+    /// A progress slot busy longer than this is flagged.
+    std::uint64_t StallMs = 100;
+    /// An attempt count past this is a retry storm regardless of age.
+    std::uint64_t StormRetries = 1u << 20;
+  };
+
+  explicit ContentionRecorder(const Options &O);
+  ~ContentionRecorder();
+  ContentionRecorder(const ContentionRecorder &) = delete;
+  ContentionRecorder &operator=(const ContentionRecorder &) = delete;
+
+  /// False when sampling is off (period 0) or the tables could not be
+  /// mapped — every hook is then a single predicted branch.
+  bool enabled() const { return Tabs != nullptr; }
+
+  std::uint64_t samplePeriod() const { return Period; }
+  bool watchdogArmed() const { return WatchdogOn && Tabs != nullptr; }
+  std::uint64_t stallMs() const { return StallNs / 1'000'000; }
+  std::uint64_t stormRetries() const { return StormLimit; }
+
+  /// Sampling gate at loop entry. \returns 0 for the common unsampled
+  /// case, or a nonzero start tick to pass to loopEnd().
+  std::uint64_t loopBegin() {
+    Tables *T = Tabs;
+    if (LFM_UNLIKELY(T == nullptr))
+      return 0;
+    ThreadState &S = T->Threads[threadIndex() & (MaxContentionThreads - 1)];
+    const std::int64_t C = S.Countdown.load(std::memory_order_relaxed);
+    if (LFM_LIKELY(C > 1)) {
+      S.Countdown.store(C - 1, std::memory_order_relaxed);
+      return 0;
+    }
+    S.Countdown.store(nextGap(S), std::memory_order_relaxed);
+    // Watchdog-only mode (period 0, tables mapped for the progress slots):
+    // nextGap parked the countdown at INT64_MAX, so this branch runs once
+    // per thread and sampling stays off.
+    if (LFM_UNLIKELY(Period == 0))
+      return 0;
+    const std::uint64_t Tick = cycleclock::now();
+    return Tick != 0 ? Tick : 1; // 0 is the "not sampled" sentinel.
+  }
+
+  /// Publishes "this thread is retrying \p S" into its progress slot
+  /// (plain relaxed stores on a thread-private line; called on attempt
+  /// counts >= 2 only, i.e. already off the fast path). \p FirstRetryTick
+  /// is the caller-kept tick of its first retry, so a slot reclaimed by an
+  /// inner nested loop and re-taken by the outer one keeps the outer
+  /// loop's true age.
+  void retryTick(ContentionSite S, std::uint64_t Attempts,
+                 std::uint64_t FirstRetryTick);
+
+  /// Clears the calling thread's progress slot (loop exit).
+  void retryDone();
+
+  /// Completes a sampled loop: files Attempts - 1 retries and the elapsed
+  /// time since \p StartTick under \p S, and attributes nonzero retries to
+  /// \p Class / superblock \p Sb in the heat table.
+  void loopEnd(ContentionSite S, std::uint64_t StartTick,
+               std::uint64_t Attempts, unsigned Class, const void *Sb);
+
+  /// Files one pre-measured sample directly (export/test entry — the unit
+  /// tests pin the bucket math without racing real loops).
+  void recordSample(ContentionSite S, std::uint64_t Retries,
+                    std::uint64_t LoopNs, unsigned Class, const void *Sb);
+
+  /// One watchdog pass over the progress slots. Diagnoses flagged slots
+  /// to \p DiagFd (async-signal-safe FdWriter text; pass -1 to scan
+  /// silently) and bumps the scan/stall/storm counters. Runs regardless
+  /// of the Watchdog option so tests and the contention.scan ctl key can
+  /// drive it explicitly; the StatsExporter ride checks watchdogArmed().
+  WatchdogReport watchdogScan(int DiagFd);
+
+  /// Merges site \p S's retries-per-op histogram shards into \p Out.
+  void snapshotRetries(ContentionSite S, LatencyHistogramSnapshot &Out) const;
+  /// Merges site \p S's time-in-loop histogram shards into \p Out.
+  void snapshotLoopNs(ContentionSite S, LatencyHistogramSnapshot &Out) const;
+
+  /// Total sampled loop executions.
+  std::uint64_t samples() const {
+    const Tables *T = Tabs;
+    return T ? T->Samples.load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Sampled retry mass attributed to \p Class (NumSizeClasses = no
+  /// class).
+  std::uint64_t classRetries(unsigned Class) const {
+    const Tables *T = Tabs;
+    return (T && Class < NumContentionClasses)
+               ? T->ClassRetries[Class].load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  /// Heat-table samples dropped because every probe in the window was
+  /// taken (overflow is accounted, never silent).
+  std::uint64_t heatDropped() const {
+    const Tables *T = Tabs;
+    return T ? T->HeatDropped.load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Distinct superblocks currently claimed in the heat table.
+  std::uint64_t heatEntries() const {
+    const Tables *T = Tabs;
+    return T ? T->HeatEntries.load(std::memory_order_relaxed) : 0;
+  }
+
+  std::uint32_t heatCapacity() const { return HeatCap; }
+
+  /// Extracts the \p K hottest superblocks by sampled retry mass into
+  /// \p Out (descending). \returns entries written.
+  unsigned topHeat(ContentionHeatEntry *Out, unsigned K) const;
+
+  std::uint64_t watchdogScans() const {
+    const Tables *T = Tabs;
+    return T ? T->WatchdogScans.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t watchdogStalls() const {
+    const Tables *T = Tabs;
+    return T ? T->WatchdogStalls.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t watchdogStorms() const {
+    const Tables *T = Tabs;
+    return T ? T->WatchdogStorms.load(std::memory_order_relaxed) : 0;
+  }
+
+private:
+  struct alignas(CacheLineSize) ThreadState {
+    std::atomic<std::int64_t> Countdown{0};
+    std::atomic<std::uint64_t> Rng{0};
+  };
+
+  /// Watchdog progress slot. Written with owner-thread plain relaxed
+  /// stores only (the countdown discipline — a lock-prefixed RMW inside a
+  /// retry loop would add contention to the very thing being measured);
+  /// the watchdog reads racily, which can only mis-age one slot by one
+  /// transition. SitePlus1 == 0 means idle.
+  struct alignas(CacheLineSize) ProgressSlot {
+    std::atomic<std::uint32_t> SitePlus1{0};
+    std::atomic<std::uint64_t> Attempts{0};
+    std::atomic<std::uint64_t> StartTick{0};
+    std::atomic<std::uint64_t> Epoch{0}; ///< Bumped on every take/release.
+  };
+
+  /// One heat-table row. Sb claimed by CAS from 0; Retries accumulates
+  /// with fetch-add; Class is a last-writer-wins annotation.
+  struct HeatSlot {
+    std::atomic<std::uint64_t> Sb{0};
+    std::atomic<std::uint64_t> Retries{0};
+    std::atomic<std::uint32_t> Class{0};
+  };
+
+  struct Tables {
+    LatencyHistogram Retries[NumContentionSites];
+    LatencyHistogram LoopNs[NumContentionSites];
+    std::atomic<std::uint64_t> ClassRetries[NumContentionClasses];
+    ThreadState Threads[MaxContentionThreads];
+    ProgressSlot Progress[MaxContentionThreads];
+    alignas(CacheLineSize) std::atomic<std::uint64_t> Samples;
+    std::atomic<std::uint64_t> HeatDropped;
+    std::atomic<std::uint64_t> HeatEntries;
+    std::atomic<std::uint64_t> WatchdogScans;
+    std::atomic<std::uint64_t> WatchdogStalls;
+    std::atomic<std::uint64_t> WatchdogStorms;
+    /// Watchdog-private last-seen state per slot (exporter thread only).
+    std::uint64_t LastEpoch[MaxContentionThreads];
+    std::uint64_t LastAttempts[MaxContentionThreads];
+    /// The heat table follows in the same mapping ([HeatCap]).
+    HeatSlot Heat[1];
+  };
+
+  std::int64_t nextGap(ThreadState &S);
+  void heatAdd(const void *Sb, unsigned Class, std::uint64_t Retries);
+
+  std::uint64_t Period = 0;
+  std::uint64_t Seed = 0;
+  std::uint32_t HeatCap = 0;   ///< Power of two.
+  bool WatchdogOn = false;
+  std::uint64_t StallNs = 0;
+  std::uint64_t StormLimit = 0;
+  Tables *Tabs = nullptr;
+  std::size_t MappedBytes = 0;
+  PageAllocator TablePages; ///< Private: keeps the space meter honest.
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_CONTENTIONRECORDER_H

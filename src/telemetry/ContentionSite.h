@@ -1,0 +1,113 @@
+//===- telemetry/ContentionSite.h - CAS retry-loop taxonomy ------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CAS retry loops contention samples are attributed to. One id per
+/// bounded-retry loop in the lock-free core — every loop whose iteration
+/// count is the paper's "retries against successful progress by others"
+/// gets its own distributions, so no retry loop is invisible to the
+/// contention recorder (docs/OBSERVABILITY.md, "Contention & progress").
+///
+/// The ids deliberately mirror sched::Site (schedtest/SchedPoint.h) where
+/// both exist: the schedule explorer forces a loop to retry, the
+/// contention recorder measures how often production loops actually do.
+///
+/// This header is plain enum + names with no storage, so it is safe to
+/// include from every build configuration including LFM_TELEMETRY=0 and
+/// from the lowest layers (lockfree/).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_CONTENTIONSITE_H
+#define LFMALLOC_TELEMETRY_CONTENTIONSITE_H
+
+#include <cstdint>
+
+namespace lfm {
+namespace telemetry {
+
+enum class ContentionSite : unsigned {
+  // LFAllocator anchor loops (paper Figs. 4 and 6).
+  ActiveReserve,  ///< Fig. 4 MallocFromActive credit-reserve CAS loop.
+  ActivePop,      ///< Fig. 4 MallocFromActive anchor pop CAS loop.
+  PartialReserve, ///< Fig. 4 MallocFromPartial reserve CAS loop.
+  PartialPop,     ///< Fig. 4 MallocFromPartial pop CAS loop.
+  FreePush,       ///< Fig. 6 free() anchor push CAS loop.
+  UpdateActive,   ///< Fig. 4 UpdateActive credit-return anchor CAS loop.
+  // DescriptorAllocator (paper Fig. 7).
+  DescPop,  ///< DescAlloc hazard-protected freelist pop loop.
+  DescPush, ///< DescRetire / pushFree freelist push loop.
+  // Superblock cache.
+  SbAcquire, ///< SuperblockCache::acquire pop/unpark/mint loop.
+  // Generic lock-free substrate.
+  TreiberPush, ///< TreiberStack::push head CAS loop.
+  TreiberPop,  ///< TreiberStack::pop head CAS loop (tagged ABA window).
+  MsqEnqueue,  ///< MSQueue::enqueue link CAS loop.
+  MsqDequeue,  ///< MSQueue::dequeue head CAS loop.
+  // Thread-local magazine cache depot.
+  TcacheDepotPush,  ///< Depot chain-push CAS loop.
+  TcacheDepotSteal, ///< Depot steal-all exchange + leftover re-push loop.
+  SiteCount
+};
+
+inline constexpr unsigned NumContentionSites =
+    static_cast<unsigned>(ContentionSite::SiteCount);
+
+/// Stable snake_case name used in metrics JSON and Prometheus labels.
+constexpr const char *contentionSiteName(ContentionSite S) {
+  switch (S) {
+  case ContentionSite::ActiveReserve:
+    return "active_reserve";
+  case ContentionSite::ActivePop:
+    return "active_pop";
+  case ContentionSite::PartialReserve:
+    return "partial_reserve";
+  case ContentionSite::PartialPop:
+    return "partial_pop";
+  case ContentionSite::FreePush:
+    return "free_push";
+  case ContentionSite::UpdateActive:
+    return "update_active";
+  case ContentionSite::DescPop:
+    return "desc_pop";
+  case ContentionSite::DescPush:
+    return "desc_push";
+  case ContentionSite::SbAcquire:
+    return "sb_acquire";
+  case ContentionSite::TreiberPush:
+    return "treiber_push";
+  case ContentionSite::TreiberPop:
+    return "treiber_pop";
+  case ContentionSite::MsqEnqueue:
+    return "msq_enqueue";
+  case ContentionSite::MsqDequeue:
+    return "msq_dequeue";
+  case ContentionSite::TcacheDepotPush:
+    return "tcache_depot_push";
+  case ContentionSite::TcacheDepotSteal:
+    return "tcache_depot_steal";
+  case ContentionSite::SiteCount:
+    break;
+  }
+  return "unknown";
+}
+
+/// Hottest-superblock entries surfaced in MetricsSnapshot.
+inline constexpr unsigned ContentionTopK = 8;
+
+/// One hot-superblock row of the heat table's top-K extraction. Lives here
+/// (not in ContentionRecorder.h) so MetricsSnapshot stays a plain struct
+/// with no recorder dependency in any build configuration.
+struct ContentionHeatEntry {
+  std::uint64_t Sb = 0;      ///< Superblock address.
+  std::uint64_t Retries = 0; ///< Sampled retry mass attributed to it.
+  std::uint32_t Class = 0;   ///< Size-class index (last writer wins).
+};
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_CONTENTIONSITE_H

@@ -18,6 +18,7 @@
 
 #include "lfmalloc/SizeClasses.h"
 #include "os/PageAllocator.h"
+#include "telemetry/ContentionSite.h"
 #include "telemetry/Counters.h"
 #include "telemetry/LatencyPath.h"
 
@@ -46,6 +47,23 @@ struct LatencyClassStats {
   std::uint64_t Count = 0;
   std::uint64_t SumNs = 0;
   std::uint64_t MaxNs = 0;
+};
+
+/// Compact contention summary for one CAS retry site (lfm-metrics-v3).
+/// Quantiles follow the latency convention: inclusive bucket upper bounds,
+/// never interpolated. Full bucket detail goes through the Prometheus
+/// lf_malloc_cas_retries exposition instead of this document.
+struct ContentionSiteStats {
+  std::uint64_t Count = 0;        ///< Sampled loop executions.
+  std::uint64_t RetriesSum = 0;   ///< Total sampled retries at this site.
+  std::uint64_t RetriesMax = 0;
+  std::uint64_t RetriesP50 = 0;   ///< Exact for retries <= 7 (LogBuckets
+                                  ///< singletons), bucket upper above.
+  std::uint64_t RetriesP99 = 0;
+  std::uint64_t LoopSumNs = 0;    ///< Total sampled time-in-loop.
+  std::uint64_t LoopMaxNs = 0;
+  std::uint64_t LoopP50UpperNs = 0;
+  std::uint64_t LoopP99UpperNs = 0;
 };
 
 /// Point-in-time metrics for one allocator instance. Counter values are
@@ -91,6 +109,27 @@ struct MetricsSnapshot {
   LatencyPathStats Latency[NumLatencyPaths] = {};
   LatencyClassStats LatencyClasses[NumSizeClasses + 1] = {};
 
+  // Contention-and-progress observability (lfm-metrics-v3; all zero when
+  // contention recording is off or LFM_TELEMETRY=0).
+  bool ContentionEnabled = false;
+  std::uint64_t ContentionSamplePeriod = 0;
+  std::uint64_t ContentionSamples = 0;
+  ContentionSiteStats Contention[NumContentionSites] = {};
+  /// Sampled retry mass per size class; index NumSizeClasses is the
+  /// no-class bucket (descriptor/list machinery).
+  std::uint64_t ContentionClassRetries[NumSizeClasses + 1] = {};
+  /// Hottest superblocks by sampled retry mass, descending;
+  /// ContentionHeatCount entries are valid.
+  ContentionHeatEntry ContentionHeat[ContentionTopK] = {};
+  std::uint32_t ContentionHeatCount = 0;
+  std::uint64_t ContentionHeatEntries = 0; ///< Distinct sbs in the table.
+  std::uint64_t ContentionHeatCapacity = 0;
+  std::uint64_t ContentionHeatDropped = 0; ///< Overflow, never silent.
+  bool WatchdogArmed = false;
+  std::uint64_t WatchdogScans = 0;
+  std::uint64_t WatchdogStalls = 0;
+  std::uint64_t WatchdogStorms = 0;
+
   // Configuration echo, so a JSON consumer can interpret the numbers.
   std::uint64_t Heaps = 0;
   std::uint64_t Classes = 0;
@@ -117,10 +156,11 @@ struct MetricsSnapshot {
   }
 };
 
-/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v2",
+/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v3",
 /// "config":{...},"space":{...},"counters":{...},"gauges":{...},
-/// "latency":{...}}. v2 is a strict superset of v1: every v1 field keeps
-/// its name and position, so v1 consumers keep parsing.
+/// "latency":{...},"contention":{...}}. Each version is a strict superset
+/// of the previous: every v1/v2 field keeps its name and position, so
+/// older consumers keep parsing.
 void writeMetricsJson(const MetricsSnapshot &Snap, std::FILE *Out);
 
 /// Same document, written to a raw fd with no stdio and no heap

@@ -142,6 +142,32 @@ void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
   gauge(W, "latency_sample_period",
         "Mean operations between latency samples (0 = off).",
         Snap.LatencySamplePeriod);
+
+  // Contention-and-progress observability (lfm-metrics-v3). The per-site
+  // histograms are a separate family (promWriteCasRetriesSeries); these
+  // are the scalar health indicators.
+  gauge(W, "contention_sample_period",
+        "Mean retry-loop executions between contention samples (0 = off).",
+        Snap.ContentionSamplePeriod);
+  counter(W, "contention_samples", "Retry-loop executions sampled.",
+          Snap.ContentionSamples);
+  gauge(W, "contention_heat_entries",
+        "Distinct superblocks claimed in the contention heat table.",
+        Snap.ContentionHeatEntries);
+  counter(W, "contention_heat_dropped",
+          "Heat-table attributions dropped to probe-window overflow.",
+          Snap.ContentionHeatDropped);
+  gauge(W, "contention_watchdog_armed",
+        "1 while the progress watchdog rides the stats exporter.",
+        Snap.WatchdogArmed ? 1 : 0);
+  counter(W, "contention_watchdog_scans", "Progress-watchdog passes run.",
+          Snap.WatchdogScans);
+  counter(W, "contention_watchdog_stalls",
+          "Slots flagged as stalled operations (frozen mid-loop).",
+          Snap.WatchdogStalls);
+  counter(W, "contention_watchdog_storms",
+          "Slots flagged as retry storms (retrying without succeeding).",
+          Snap.WatchdogStorms);
 }
 
 void lfm::telemetry::promWriteLatencyHelp(profiling::FdWriter &W) {
@@ -150,17 +176,24 @@ void lfm::telemetry::promWriteLatencyHelp(profiling::FdWriter &W) {
        "histogram");
 }
 
-void lfm::telemetry::promWriteLatencySeries(profiling::FdWriter &W,
-                                            const char *PathName,
-                                            const LatencyHistogramSnapshot &H) {
+namespace {
+
+/// Shared body of every labeled histogram family: sparse cumulative
+/// buckets (only non-empty, always +Inf), _sum, _count.
+void labeledHistogram(profiling::FdWriter &W, const char *Family,
+                      const char *Label, const char *LabelValue,
+                      const LatencyHistogramSnapshot &H) {
   std::uint64_t Cumulative = 0;
   for (unsigned I = 0; I < logbuckets::NumBuckets; ++I) {
     if (H.Buckets[I] == 0)
       continue; // Sparse exposition: empty buckets carry no information.
     Cumulative += H.Buckets[I];
     W.str(Ns);
-    W.str("latency_ns_bucket{path=\"");
-    W.str(PathName);
+    W.str(Family);
+    W.str("_bucket{");
+    W.str(Label);
+    W.str("=\"");
+    W.str(LabelValue);
     W.str("\",le=\"");
     // Inclusive integer bound: our buckets are [lower, upper), le is <=.
     W.dec(logbuckets::bucketUpper(I) - 1);
@@ -169,21 +202,61 @@ void lfm::telemetry::promWriteLatencySeries(profiling::FdWriter &W,
     W.ch('\n');
   }
   W.str(Ns);
-  W.str("latency_ns_bucket{path=\"");
-  W.str(PathName);
+  W.str(Family);
+  W.str("_bucket{");
+  W.str(Label);
+  W.str("=\"");
+  W.str(LabelValue);
   W.str("\",le=\"+Inf\"} ");
   W.dec(H.Count);
   W.ch('\n');
   W.str(Ns);
-  W.str("latency_ns_sum{path=\"");
-  W.str(PathName);
+  W.str(Family);
+  W.str("_sum{");
+  W.str(Label);
+  W.str("=\"");
+  W.str(LabelValue);
   W.str("\"} ");
   W.dec(H.SumNs);
   W.ch('\n');
   W.str(Ns);
-  W.str("latency_ns_count{path=\"");
-  W.str(PathName);
+  W.str(Family);
+  W.str("_count{");
+  W.str(Label);
+  W.str("=\"");
+  W.str(LabelValue);
   W.str("\"} ");
   W.dec(H.Count);
   W.ch('\n');
+}
+
+} // namespace
+
+void lfm::telemetry::promWriteLatencySeries(profiling::FdWriter &W,
+                                            const char *PathName,
+                                            const LatencyHistogramSnapshot &H) {
+  labeledHistogram(W, "latency_ns", "path", PathName, H);
+}
+
+void lfm::telemetry::promWriteCasRetriesHelp(profiling::FdWriter &W) {
+  help(W, "cas_retries",
+       "Sampled CAS retries per retry-loop execution, by site.",
+       "histogram");
+}
+
+void lfm::telemetry::promWriteCasRetriesSeries(
+    profiling::FdWriter &W, const char *SiteName,
+    const LatencyHistogramSnapshot &H) {
+  labeledHistogram(W, "cas_retries", "site", SiteName, H);
+}
+
+void lfm::telemetry::promWriteCasLoopNsHelp(profiling::FdWriter &W) {
+  help(W, "cas_loop_ns",
+       "Sampled wall time inside a CAS retry loop, by site.", "histogram");
+}
+
+void lfm::telemetry::promWriteCasLoopNsSeries(
+    profiling::FdWriter &W, const char *SiteName,
+    const LatencyHistogramSnapshot &H) {
+  labeledHistogram(W, "cas_loop_ns", "site", SiteName, H);
 }

@@ -50,6 +50,26 @@ void promWriteLatencyHelp(profiling::FdWriter &W);
 void promWriteLatencySeries(profiling::FdWriter &W, const char *PathName,
                             const LatencyHistogramSnapshot &H);
 
+/// Header of the lf_malloc_cas_retries histogram family (sampled retries
+/// per retry-loop execution, by CAS site). Same contiguity rule as the
+/// latency family.
+void promWriteCasRetriesHelp(profiling::FdWriter &W);
+
+/// One site's retries-per-op series labelled {site="<SiteName>"}.
+/// \p SiteName must come from the contentionSiteName() table. The "ns" in
+/// the snapshot type is retries here; `le` bounds are retry counts (exact
+/// for retries <= 7, the LogBuckets singleton range).
+void promWriteCasRetriesSeries(profiling::FdWriter &W, const char *SiteName,
+                               const LatencyHistogramSnapshot &H);
+
+/// Header of the lf_malloc_cas_loop_ns histogram family (sampled wall time
+/// inside a retry loop, by CAS site).
+void promWriteCasLoopNsHelp(profiling::FdWriter &W);
+
+/// One site's time-in-loop series labelled {site="<SiteName>"}.
+void promWriteCasLoopNsSeries(profiling::FdWriter &W, const char *SiteName,
+                              const LatencyHistogramSnapshot &H);
+
 } // namespace telemetry
 } // namespace lfm
 

@@ -162,7 +162,13 @@ Telemetry::Telemetry(const Options &Opts)
       RingCapacity(roundUpPow2(Opts.TraceEventsPerThread))
 #if LFM_TELEMETRY
       ,
-      Lat(LatencyRecorder::Options{Opts.LatencySamplePeriod, Opts.LatencySeed})
+      Lat(LatencyRecorder::Options{Opts.LatencySamplePeriod, Opts.LatencySeed}),
+      Cont(ContentionRecorder::Options{
+          Opts.ContentionSamplePeriod, Opts.ContentionSeed,
+          static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(Opts.ContentionHeatCapacity, 1u << 20)),
+          Opts.ContentionWatchdog, Opts.ContentionStallMs,
+          Opts.ContentionStormRetries})
 #endif
 {
 }
@@ -383,7 +389,7 @@ private:
 template <class Writer>
 void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.beginObject();
-  W.field("schema", "lfm-metrics-v2");
+  W.field("schema", "lfm-metrics-v3");
 
   W.key("config");
   W.beginObject();
@@ -478,6 +484,70 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
     W.endObject();
   }
   W.endArray();
+  W.endObject();
+
+  // The v3 addition: per-CAS-site retry/time-in-loop distributions,
+  // superblock heat attribution, and watchdog verdicts. Quantiles are
+  // bucket upper bounds like the latency section; retries <= 7 land in
+  // the LogBuckets singleton buckets and are exact.
+  W.key("contention");
+  W.beginObject();
+  W.field("enabled", Snap.ContentionEnabled);
+  W.field("sample_period", Snap.ContentionSamplePeriod);
+  W.field("samples", Snap.ContentionSamples);
+  W.key("sites");
+  W.beginObject();
+  for (unsigned S = 0; S < NumContentionSites; ++S) {
+    const ContentionSiteStats &C = Snap.Contention[S];
+    W.key(contentionSiteName(static_cast<ContentionSite>(S)));
+    W.beginObject();
+    W.field("count", C.Count);
+    W.field("retries_sum", C.RetriesSum);
+    W.field("retries_max", C.RetriesMax);
+    W.field("retries_p50", C.RetriesP50);
+    W.field("retries_p99", C.RetriesP99);
+    W.field("loop_sum_ns", C.LoopSumNs);
+    W.field("loop_max_ns", C.LoopMaxNs);
+    W.field("loop_p50_upper_ns", C.LoopP50UpperNs);
+    W.field("loop_p99_upper_ns", C.LoopP99UpperNs);
+    W.endObject();
+  }
+  W.endObject();
+  W.key("classes");
+  W.beginArray();
+  for (unsigned C = 0; C <= NumSizeClasses; ++C) {
+    if (Snap.ContentionClassRetries[C] == 0)
+      continue; // Sparse: silent classes carry no information.
+    W.beginObject();
+    W.field("class", static_cast<std::uint64_t>(C));
+    W.field("retries", Snap.ContentionClassRetries[C]);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("heat");
+  W.beginObject();
+  W.field("entries", Snap.ContentionHeatEntries);
+  W.field("capacity", Snap.ContentionHeatCapacity);
+  W.field("dropped", Snap.ContentionHeatDropped);
+  W.key("top");
+  W.beginArray();
+  for (std::uint32_t I = 0; I < Snap.ContentionHeatCount; ++I) {
+    const ContentionHeatEntry &H = Snap.ContentionHeat[I];
+    W.beginObject();
+    W.field("sb", H.Sb);
+    W.field("class", static_cast<std::uint64_t>(H.Class));
+    W.field("retries", H.Retries);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  W.key("watchdog");
+  W.beginObject();
+  W.field("armed", Snap.WatchdogArmed);
+  W.field("scans", Snap.WatchdogScans);
+  W.field("stalls", Snap.WatchdogStalls);
+  W.field("storms", Snap.WatchdogStorms);
+  W.endObject();
   W.endObject();
 
   W.endObject();

@@ -31,6 +31,7 @@
 #include "telemetry/TraceRing.h"
 
 #if LFM_TELEMETRY
+#include "telemetry/ContentionRecorder.h"
 #include "telemetry/LatencyRecorder.h"
 #endif
 
@@ -59,6 +60,21 @@ public:
     std::uint64_t LatencySamplePeriod = 0;
     /// Seed for the latency sampler's per-thread gap RNGs (0 = default).
     std::uint64_t LatencySeed = 0;
+    /// Mean retry-loop entries between contention samples (0 = contention
+    /// recording off unless the watchdog is armed, 1 = sample every loop).
+    std::uint64_t ContentionSamplePeriod = 0;
+    /// Seed for the contention sampler's per-thread gap RNGs (0 = default).
+    std::uint64_t ContentionSeed = 0;
+    /// Superblock heat-table capacity (clamped and rounded up to a power
+    /// of two by the recorder).
+    std::uint64_t ContentionHeatCapacity = 512;
+    /// Arm the progress watchdog (scanned from the stats-exporter thread).
+    bool ContentionWatchdog = false;
+    /// Watchdog: a busy retry loop older than this is reported as a stall
+    /// (or a storm, if it is still making attempts).
+    std::uint64_t ContentionStallMs = 100;
+    /// Watchdog: attempts in one loop at/beyond this count as a storm.
+    std::uint64_t ContentionStormRetries = 1u << 20;
   };
 
   explicit Telemetry(const Options &Opts);
@@ -101,6 +117,12 @@ public:
   }
   LatencyRecorder &latency() { return Lat; }
   const LatencyRecorder &latency() const { return Lat; }
+
+  /// Contention recorder (per-CAS-site retry distributions, superblock
+  /// heat, progress watchdog). Hot-path calls reach it through the global
+  /// hook in ContentionHook.h, not through this accessor.
+  ContentionRecorder &contention() { return Cont; }
+  const ContentionRecorder &contention() const { return Cont; }
 #endif
 
 private:
@@ -117,6 +139,7 @@ private:
   PageAllocator RingPages;
 #if LFM_TELEMETRY
   LatencyRecorder Lat;
+  ContentionRecorder Cont;
 #endif
 };
 

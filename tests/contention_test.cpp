@@ -1,0 +1,600 @@
+//===- tests/contention_test.cpp - CAS contention observability -----------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Covers the contention-and-progress layer bottom-up: the deterministic
+// countdown sampler (seeded from LFM_TEST_SEED), per-site retry and
+// time-in-loop filing, the CAS-claimed heat table's exact overflow
+// accounting (dropped counters, never silent), the progress watchdog's
+// storm/stall verdicts, and the allocator-level wiring seen through
+// metricsSnapshot(), metricsJson() and the contention.* ctl keys. A
+// sched-gated scenario forces a real retry storm in free()'s anchor-push
+// loop and requires the watchdog to catch the thread in the act.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LFAllocator.h"
+#include "lfmalloc/LFMalloc.h"
+#include "lfmalloc/SizeClasses.h"
+#include "telemetry/ContentionSite.h"
+#include "telemetry/MetricsSnapshot.h"
+#include "telemetry/TelemetryConfig.h"
+#if LFM_TELEMETRY
+#include "telemetry/ContentionRecorder.h"
+#endif
+#if LFM_SCHED_TEST
+#include "schedtest/ScheduleController.h"
+#endif
+
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace lfm;
+using telemetry::ContentionSite;
+
+namespace {
+
+/// Slurps one of the allocator's FILE* dump methods into a string.
+std::string capture(LFAllocator &Alloc,
+                    void (LFAllocator::*Dump)(std::FILE *) const) {
+  std::FILE *F = std::tmpfile();
+  EXPECT_NE(F, nullptr);
+  (Alloc.*Dump)(F);
+  std::rewind(F);
+  std::string Out;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ContentionRecorder: deterministic sampling
+//===----------------------------------------------------------------------===//
+
+#if LFM_TELEMETRY
+
+using telemetry::ContentionRecorder;
+
+namespace {
+
+/// Drives \p N loopBegin() gates on a fresh recorder and returns the
+/// index of every gate that sampled (single-threaded, so the gap sequence
+/// is exactly the thread slot's seeded xorshift draw).
+std::vector<unsigned> sampledLoops(std::uint64_t Period, std::uint64_t Seed,
+                                   unsigned N) {
+  ContentionRecorder Rec({Period, Seed});
+  std::vector<unsigned> Out;
+  for (unsigned I = 0; I < N; ++I) {
+    const std::uint64_t Start = Rec.loopBegin();
+    if (Start != 0) {
+      Out.push_back(I);
+      Rec.loopEnd(ContentionSite::ActiveReserve, Start, 1,
+                  ContentionRecorder::NoClass, nullptr);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ContentionRecorder, SameSeedSameSchedule) {
+  const std::uint64_t Seed = test::baseSeed();
+  const auto A = sampledLoops(8, Seed, 4000);
+  const auto B = sampledLoops(8, Seed, 4000);
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B) << "sampling schedule must be a pure function of the seed";
+  // Mean gap ~8: the sample count lands within a loose 3x band.
+  EXPECT_GT(A.size(), 4000u / 24);
+  EXPECT_LT(A.size(), 4000u * 3 / 8);
+}
+
+TEST(ContentionRecorder, DifferentSeedsDiverge) {
+  const std::uint64_t Seed = test::baseSeed();
+  EXPECT_NE(sampledLoops(8, Seed, 4000), sampledLoops(8, Seed + 1, 4000));
+}
+
+TEST(ContentionRecorder, PeriodOneSamplesEveryLoop) {
+  ContentionRecorder Rec({1, test::baseSeed()});
+  ASSERT_TRUE(Rec.enabled());
+  for (unsigned I = 0; I < 300; ++I) {
+    const std::uint64_t Start = Rec.loopBegin();
+    ASSERT_NE(Start, 0u) << "period 1 must sample every loop";
+    Rec.loopEnd(ContentionSite::FreePush, Start, 1, 2, nullptr);
+  }
+  EXPECT_EQ(Rec.samples(), 300u);
+  telemetry::LatencyHistogramSnapshot Snap;
+  Rec.snapshotRetries(ContentionSite::FreePush, Snap);
+  EXPECT_EQ(Snap.Count, 300u);
+  EXPECT_EQ(Snap.SumNs, 0u) << "attempts 1 = zero retries";
+}
+
+TEST(ContentionRecorder, PeriodZeroWithoutWatchdogIsFullyDisabled) {
+  ContentionRecorder Rec({0, 0});
+  EXPECT_FALSE(Rec.enabled());
+  EXPECT_FALSE(Rec.watchdogArmed());
+  EXPECT_EQ(Rec.loopBegin(), 0u);
+  EXPECT_EQ(Rec.samples(), 0u);
+  EXPECT_EQ(Rec.heatEntries(), 0u);
+  const telemetry::WatchdogReport Rep = Rec.watchdogScan(-1);
+  EXPECT_EQ(Rep.BusySlots, 0u);
+  EXPECT_EQ(Rec.watchdogScans(), 0u);
+}
+
+TEST(ContentionRecorder, WatchdogOnlyModeNeverSamples) {
+  ContentionRecorder::Options O;
+  O.SamplePeriod = 0;
+  O.Watchdog = true;
+  ContentionRecorder Rec(O);
+  ASSERT_TRUE(Rec.enabled()) << "watchdog-only mode maps the tables";
+  EXPECT_TRUE(Rec.watchdogArmed());
+  for (unsigned I = 0; I < 10000; ++I)
+    ASSERT_EQ(Rec.loopBegin(), 0u);
+  EXPECT_EQ(Rec.samples(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-site filing and class attribution
+//===----------------------------------------------------------------------===//
+
+TEST(ContentionRecorder, RecordSampleFilesRetriesLoopNsAndClass) {
+  ContentionRecorder Rec({1, 0});
+  Rec.recordSample(ContentionSite::ActivePop, 3, 500, 4, nullptr);
+  Rec.recordSample(ContentionSite::ActivePop, 0, 40, 4, nullptr);
+  Rec.recordSample(ContentionSite::DescPop, 2, 900,
+                   ContentionRecorder::NoClass, nullptr);
+
+  telemetry::LatencyHistogramSnapshot Retries, LoopNs;
+  Rec.snapshotRetries(ContentionSite::ActivePop, Retries);
+  Rec.snapshotLoopNs(ContentionSite::ActivePop, LoopNs);
+  EXPECT_EQ(Retries.Count, 2u);
+  EXPECT_EQ(Retries.SumNs, 3u); // The "ns" of this histogram is retries.
+  EXPECT_EQ(Retries.MaxNs, 3u);
+  EXPECT_EQ(LoopNs.Count, 2u);
+  EXPECT_EQ(LoopNs.SumNs, 540u);
+  EXPECT_EQ(LoopNs.MaxNs, 500u);
+
+  // Retry mass lands on the size class; NoClass (and anything out of
+  // range) shares the beyond-class bucket. Zero-retry samples attribute
+  // nothing.
+  EXPECT_EQ(Rec.classRetries(4), 3u);
+  EXPECT_EQ(Rec.classRetries(NumSizeClasses), 2u);
+  std::uint64_t Total = 0;
+  for (unsigned C = 0; C < telemetry::NumContentionClasses; ++C)
+    Total += Rec.classRetries(C);
+  EXPECT_EQ(Total, 5u);
+  EXPECT_EQ(Rec.samples(), 3u);
+}
+
+TEST(ContentionRecorder, RetriesUpToSevenAreExactSingletonBuckets) {
+  // LogBuckets keeps 0..7 as exact singletons, so small retry counts — the
+  // overwhelmingly common case — report exact p50/p99 bounds.
+  ContentionRecorder Rec({1, 0});
+  for (std::uint64_t R = 0; R <= 7; ++R)
+    Rec.recordSample(ContentionSite::UpdateActive, R, 10, 0, nullptr);
+  telemetry::LatencyHistogramSnapshot Snap;
+  Rec.snapshotRetries(ContentionSite::UpdateActive, Snap);
+  ASSERT_EQ(Snap.Count, 8u);
+  // Singleton buckets: the [lower, upper) bracket pins each count to one
+  // exact retry value.
+  EXPECT_EQ(Snap.quantileLowerNs(0.0), 0u);
+  EXPECT_EQ(Snap.quantileUpperNs(0.0), 1u);
+  EXPECT_EQ(Snap.quantileLowerNs(1.0), 7u);
+  EXPECT_EQ(Snap.quantileUpperNs(1.0), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Heat table: attribution and exact overflow accounting
+//===----------------------------------------------------------------------===//
+
+TEST(ContentionHeat, TopKOrdersByRetryMass) {
+  ContentionRecorder Rec({1, 0});
+  // Three fabricated superblock addresses with distinct retry mass.
+  const char *Base = reinterpret_cast<const char *>(std::uintptr_t{1} << 20);
+  Rec.recordSample(ContentionSite::FreePush, 10, 50, 3, Base);
+  Rec.recordSample(ContentionSite::FreePush, 200, 50, 5, Base + 64);
+  Rec.recordSample(ContentionSite::FreePush, 40, 50, 3, Base + 128);
+  Rec.recordSample(ContentionSite::FreePush, 5, 50, 3, Base); // accumulate
+
+  EXPECT_EQ(Rec.heatEntries(), 3u);
+  EXPECT_EQ(Rec.heatDropped(), 0u);
+  telemetry::ContentionHeatEntry Top[telemetry::ContentionTopK];
+  const unsigned N = Rec.topHeat(Top, telemetry::ContentionTopK);
+  ASSERT_EQ(N, 3u);
+  EXPECT_EQ(Top[0].Sb, reinterpret_cast<std::uint64_t>(Base + 64));
+  EXPECT_EQ(Top[0].Retries, 200u);
+  EXPECT_EQ(Top[0].Class, 5u);
+  EXPECT_EQ(Top[1].Sb, reinterpret_cast<std::uint64_t>(Base + 128));
+  EXPECT_EQ(Top[2].Sb, reinterpret_cast<std::uint64_t>(Base));
+  EXPECT_EQ(Top[2].Retries, 15u) << "same-superblock mass must accumulate";
+}
+
+TEST(ContentionHeat, OverflowIsAccountedNeverSilent) {
+  ContentionRecorder::Options O;
+  O.SamplePeriod = 1;
+  O.HeatCapacity = 1; // Clamped up to the 64-slot floor.
+  ContentionRecorder Rec(O);
+  ASSERT_EQ(Rec.heatCapacity(), 64u);
+
+  // Distinct keys never accumulate, so every attribution either claims a
+  // fresh slot or drops: entries + dropped must equal inserts exactly.
+  constexpr unsigned Inserts = 4096;
+  const char *Base = reinterpret_cast<const char *>(std::uintptr_t{1} << 24);
+  for (unsigned I = 0; I < Inserts; ++I)
+    Rec.recordSample(ContentionSite::FreePush, 1, 10, 0, Base + 64 * I);
+  EXPECT_LE(Rec.heatEntries(), 64u);
+  EXPECT_GT(Rec.heatDropped(), 0u);
+  EXPECT_EQ(Rec.heatEntries() + Rec.heatDropped(), Inserts)
+      << "heat-table overflow must be accounted one-for-one";
+  // topHeat caps at K even with a full table.
+  telemetry::ContentionHeatEntry Top[telemetry::ContentionTopK];
+  EXPECT_EQ(Rec.topHeat(Top, telemetry::ContentionTopK),
+            telemetry::ContentionTopK);
+}
+
+//===----------------------------------------------------------------------===//
+// Progress watchdog: storm and stall verdicts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A cooperating "stuck" thread the watchdog tests catch in the act: runs
+/// \p Action under a simple step handshake so the main thread scans while
+/// the slot is provably published.
+class SlotHolder {
+public:
+  explicit SlotHolder(ContentionRecorder &Rec) : Rec(Rec) {
+    Worker = std::thread([this] { run(); });
+  }
+  ~SlotHolder() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Quit = true;
+      Pending = nullptr;
+    }
+    Cv.notify_all();
+    Worker.join();
+  }
+
+  /// Runs \p F on the worker thread and waits for it to finish.
+  template <typename Fn> void exec(Fn &&F) {
+    std::unique_lock<std::mutex> Lock(M);
+    Fn Local = std::forward<Fn>(F);
+    Pending = [&Local] { Local(); };
+    Cv.notify_all();
+    Cv.wait(Lock, [this] { return Pending == nullptr; });
+  }
+
+  ContentionRecorder &Rec;
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> Lock(M);
+    for (;;) {
+      Cv.wait(Lock, [this] { return Pending != nullptr || Quit; });
+      if (Quit)
+        return;
+      Pending();
+      Pending = nullptr;
+      Cv.notify_all();
+    }
+  }
+
+  std::thread Worker;
+  std::mutex M;
+  std::condition_variable Cv;
+  std::function<void()> Pending;
+  bool Quit = false;
+};
+
+ContentionRecorder::Options watchdogOptions() {
+  ContentionRecorder::Options O;
+  O.SamplePeriod = 0;
+  O.Watchdog = true;
+  O.StallMs = 1;        // Tick 1 is ancient: age checks pass immediately.
+  O.StormRetries = 8;   // Low bar so tests reach it deterministically.
+  return O;
+}
+
+} // namespace
+
+TEST(ContentionWatchdog, StormFlagsPathologicalAttemptCounts) {
+  ContentionRecorder Rec(watchdogOptions());
+  SlotHolder Holder(Rec);
+  Holder.exec([&] { Rec.retryTick(ContentionSite::FreePush, 20, 1); });
+
+  const telemetry::WatchdogReport Rep = Rec.watchdogScan(-1);
+  EXPECT_EQ(Rep.BusySlots, 1u);
+  EXPECT_EQ(Rep.Storms, 1u) << "attempts past the limit is a storm, "
+                               "regardless of age";
+  EXPECT_EQ(Rep.Stalls, 0u);
+  EXPECT_EQ(Rec.watchdogStorms(), 1u);
+  EXPECT_EQ(Rec.watchdogScans(), 1u);
+
+  Holder.exec([&] { Rec.retryDone(); });
+  const telemetry::WatchdogReport After = Rec.watchdogScan(-1);
+  EXPECT_EQ(After.BusySlots, 0u);
+  EXPECT_EQ(After.Storms, 0u);
+}
+
+TEST(ContentionWatchdog, StallNeedsTwoScansToProveTheCountFroze) {
+  ContentionRecorder Rec(watchdogOptions());
+  SlotHolder Holder(Rec);
+  // Below the storm limit, tick 1 = older than StallNs immediately.
+  Holder.exec([&] { Rec.retryTick(ContentionSite::ActiveReserve, 2, 1); });
+
+  // First scan: the attempt count moved since the (empty) last scan, so
+  // the slot reads as a storm — threads running but not succeeding.
+  const telemetry::WatchdogReport First = Rec.watchdogScan(-1);
+  EXPECT_EQ(First.BusySlots, 1u);
+  EXPECT_EQ(First.Storms, 1u);
+  // Second scan with no progress in between: the count froze mid-loop —
+  // a stalled operation (descheduled or killed; per the paper's progress
+  // guarantee it must not have wedged anyone else).
+  const telemetry::WatchdogReport Second = Rec.watchdogScan(-1);
+  EXPECT_EQ(Second.BusySlots, 1u);
+  EXPECT_EQ(Second.Stalls, 1u);
+  EXPECT_EQ(Second.Storms, 0u);
+  EXPECT_EQ(Rec.watchdogStalls(), 1u);
+
+  Holder.exec([&] { Rec.retryDone(); });
+}
+
+TEST(ContentionWatchdog, DiagnosisWritesSiteAndVerdict) {
+  ContentionRecorder Rec(watchdogOptions());
+  SlotHolder Holder(Rec);
+  Holder.exec([&] { Rec.retryTick(ContentionSite::MsqDequeue, 50, 1); });
+
+  char Path[] = "/tmp/lfm_watchdog_diag_XXXXXX";
+  const int Fd = ::mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  Rec.watchdogScan(Fd);
+  ::lseek(Fd, 0, SEEK_SET);
+  char Buf[512] = {};
+  const ssize_t N = ::read(Fd, Buf, sizeof(Buf) - 1);
+  ::close(Fd);
+  std::remove(Path);
+  ASSERT_GT(N, 0);
+  const std::string Diag(Buf);
+  EXPECT_NE(Diag.find("lf_malloc watchdog: storm"), std::string::npos)
+      << Diag;
+  EXPECT_NE(Diag.find("site=msq_dequeue"), std::string::npos) << Diag;
+  EXPECT_NE(Diag.find("attempts=50"), std::string::npos) << Diag;
+
+  Holder.exec([&] { Rec.retryDone(); });
+}
+
+TEST(ContentionWatchdog, QuiescentLoopsAreNeverFlagged) {
+  ContentionRecorder::Options O = watchdogOptions();
+  O.SamplePeriod = 1;
+  ContentionRecorder Rec(O);
+  for (unsigned I = 0; I < 100; ++I) {
+    const std::uint64_t Start = Rec.loopBegin();
+    ASSERT_NE(Start, 0u);
+    Rec.loopEnd(ContentionSite::TreiberPush, Start, 1, 0, nullptr);
+  }
+  const telemetry::WatchdogReport Rep = Rec.watchdogScan(-1);
+  EXPECT_EQ(Rep.BusySlots, 0u);
+  EXPECT_EQ(Rep.Stalls + Rep.Storms, 0u);
+}
+
+#endif // LFM_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// Allocator integration: metricsSnapshot() and the export surface
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+AllocatorOptions contentionOptions() {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.ContentionSamplePeriod = 1; // Every loop: exact attribution.
+  Opts.ContentionSampleSeed = test::baseSeed();
+  return Opts;
+}
+
+} // namespace
+
+TEST(AllocatorContention, EveryLoopLandsOnExactlyOneSite) {
+  LFAllocator Alloc(contentionOptions());
+  constexpr unsigned N = 2000;
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < N; ++I)
+    Ptrs.push_back(Alloc.allocate(64));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+#if LFM_TELEMETRY
+  ASSERT_TRUE(Snap.ContentionEnabled);
+  EXPECT_EQ(Snap.ContentionSamplePeriod, 1u);
+  // Every sampled loop execution filed under exactly one site.
+  std::uint64_t SiteTotal = 0;
+  for (unsigned S = 0; S < telemetry::NumContentionSites; ++S)
+    SiteTotal += Snap.Contention[S].Count;
+  EXPECT_EQ(SiteTotal, Snap.ContentionSamples);
+  // free() runs the anchor push loop once per small free.
+  const telemetry::ContentionSiteStats &FreePush =
+      Snap.Contention[static_cast<unsigned>(ContentionSite::FreePush)];
+  EXPECT_GE(FreePush.Count, N);
+  EXPECT_GT(FreePush.LoopSumNs, 0u);
+  // Every malloc reserved a credit somewhere: the Active word or the
+  // partial/new-superblock machinery.
+  const std::uint64_t MallocLoops =
+      Snap.Contention[static_cast<unsigned>(ContentionSite::ActiveReserve)]
+          .Count +
+      Snap.Contention[static_cast<unsigned>(ContentionSite::PartialReserve)]
+          .Count +
+      Snap.Contention[static_cast<unsigned>(ContentionSite::SbAcquire)].Count;
+  EXPECT_GE(MallocLoops, N);
+  EXPECT_FALSE(Snap.WatchdogArmed);
+  EXPECT_EQ(Snap.ContentionHeatCapacity, 512u);
+#else
+  EXPECT_FALSE(Snap.ContentionEnabled);
+  EXPECT_EQ(Snap.ContentionSamples, 0u);
+#endif
+}
+
+TEST(AllocatorContention, StatsOffMeansNoRecorder) {
+  AllocatorOptions Opts;
+  Opts.EnableStats = false;
+  Opts.ContentionSamplePeriod = 1; // Ignored without stats.
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(64);
+  Alloc.deallocate(P);
+  EXPECT_FALSE(Alloc.contentionEnabled());
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_FALSE(Snap.ContentionEnabled);
+  EXPECT_EQ(Snap.ContentionSamplePeriod, 0u);
+  EXPECT_EQ(Snap.ContentionSamples, 0u);
+}
+
+TEST(AllocatorContention, WatchdogArmsWithoutSampling) {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.ContentionWatchdog = true; // Period stays 0: watchdog-only mode.
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(64);
+  Alloc.deallocate(P);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  (void)Snap; // Only inspected in telemetry builds.
+#if LFM_TELEMETRY
+  EXPECT_TRUE(Alloc.contentionWatchdogArmed());
+  EXPECT_TRUE(Snap.WatchdogArmed);
+  EXPECT_EQ(Snap.ContentionSamples, 0u) << "watchdog-only mode never samples";
+  // An explicit scan over a quiescent allocator flags nothing but counts.
+  EXPECT_EQ(Alloc.contentionWatchdogScan(-1), 0u);
+  EXPECT_EQ(Alloc.metricsSnapshot().WatchdogScans, 1u);
+#else
+  EXPECT_FALSE(Alloc.contentionWatchdogArmed());
+  EXPECT_EQ(Alloc.contentionWatchdogScan(-1), 0u);
+#endif
+}
+
+TEST(AllocatorContention, MetricsJsonCarriesTheContentionSection) {
+  LFAllocator Alloc(contentionOptions());
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 500; ++I)
+    Ptrs.push_back(Alloc.allocate(128));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const std::string Json = capture(Alloc, &LFAllocator::metricsJson);
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v3\""), std::string::npos);
+  EXPECT_NE(Json.find("\"contention\""), std::string::npos);
+  EXPECT_NE(Json.find("\"heat\""), std::string::npos);
+  EXPECT_NE(Json.find("\"watchdog\""), std::string::npos);
+#if LFM_TELEMETRY
+  EXPECT_NE(Json.find("\"enabled\":true"), std::string::npos);
+  // Per-site summaries under snake_case site names, sampled or not.
+  for (const char *Site :
+       {"\"active_reserve\"", "\"active_pop\"", "\"partial_reserve\"",
+        "\"partial_pop\"", "\"free_push\"", "\"update_active\"",
+        "\"desc_pop\"", "\"desc_push\"", "\"sb_acquire\"",
+        "\"treiber_push\"", "\"treiber_pop\"", "\"msq_enqueue\"",
+        "\"msq_dequeue\"", "\"tcache_depot_push\"",
+        "\"tcache_depot_steal\""})
+    EXPECT_NE(Json.find(Site), std::string::npos) << Site;
+  EXPECT_NE(Json.find("\"retries_p99\""), std::string::npos);
+  EXPECT_NE(Json.find("\"loop_p99_upper_ns\""), std::string::npos);
+#endif
+}
+
+TEST(AllocatorContention, CtlKeysEchoConfigurationAndScan) {
+  // Through the process-default allocator: the keys must resolve with the
+  // documented read conventions whatever the environment selected.
+  std::uint64_t V = ~std::uint64_t{0};
+  size_t Len = sizeof(V);
+  ASSERT_EQ(lf_malloc_ctl("contention.enabled", &V, &Len, nullptr, 0), 0);
+  EXPECT_LE(V, 1u);
+  ASSERT_EQ(lf_malloc_ctl("contention.stall_ms", &V, &Len, nullptr, 0), 0);
+  EXPECT_GT(V, 0u) << "default stall threshold must be nonzero";
+  ASSERT_EQ(lf_malloc_ctl("contention.storm_retries", &V, &Len, nullptr, 0),
+            0);
+  EXPECT_GT(V, 0u);
+  ASSERT_EQ(lf_malloc_ctl("contention.heat_capacity", &V, &Len, nullptr, 0),
+            0);
+  // Read-only keys refuse writes with EPERM (the ctl convention).
+  std::uint64_t In = 7;
+  EXPECT_EQ(lf_malloc_ctl("contention.enabled", nullptr, nullptr, &In,
+                          sizeof(In)),
+            EPERM);
+  EXPECT_EQ(lf_malloc_ctl("contention.nonsense", &V, &Len, nullptr, 0),
+            ENOENT);
+  // The scan action is always accepted; it reports flagged slots (zero on
+  // a quiescent process or when the recorder is disabled).
+  V = ~std::uint64_t{0};
+  Len = sizeof(V);
+  ASSERT_EQ(lf_malloc_ctl("contention.scan", &V, &Len, nullptr, 0), 0);
+  EXPECT_EQ(V, 0u);
+  // opt.* echoes the effective configuration.
+  ASSERT_EQ(lf_malloc_ctl("opt.contention_sample", &V, &Len, nullptr, 0), 0);
+  ASSERT_EQ(lf_malloc_ctl("opt.contention_watchdog", &V, &Len, nullptr, 0),
+            0);
+}
+
+//===----------------------------------------------------------------------===//
+// Sched-gated scenario: a forced retry storm, caught in the act
+//===----------------------------------------------------------------------===//
+
+#if LFM_SCHED_TEST && LFM_TELEMETRY
+
+TEST(ContentionWatchdogSched, ForcedRetryStormIsFlaggedMidLoop) {
+  AllocatorOptions Opts = contentionOptions();
+  Opts.ContentionWatchdog = true;
+  Opts.ContentionStormRetries = 4; // Reachable under the injection budget.
+  Opts.ContentionStallMs = 1u << 20; // Storms only: no age-based flags.
+  LFAllocator Alloc(Opts);
+  void *P = Alloc.allocate(64);
+  ASSERT_NE(P, nullptr);
+
+  // Force every FreePush CAS to fail (budgeted), so free() climbs its
+  // retry loop with no other thread involved — a deterministic storm.
+  sched::SchedOptions SOpts;
+  SOpts.Seed = test::baseSeed();
+  SOpts.CasFailPercent = 100;
+  SOpts.CasFailBudget = 64;
+  SOpts.CasFailSiteMask = std::uint64_t{1}
+                          << static_cast<unsigned>(sched::Site::FreePush);
+  sched::ScheduleController Ctl(SOpts);
+  Ctl.start({[&] { Alloc.deallocate(P); }});
+
+  // Play the exporter thread: step the victim one schedule point at a
+  // time and scan between steps. The watchdog must catch it mid-loop once
+  // the attempt count passes the storm limit.
+  bool StormSeen = false;
+  while (Ctl.step(0, 1))
+    if (Alloc.contentionWatchdogScan(-1) > 0) {
+      StormSeen = true;
+      break;
+    }
+  Ctl.finish();
+
+  EXPECT_TRUE(StormSeen) << "watchdog missed a forced retry storm";
+  // The loop publishes its attempt count before the attempt's CAS fires,
+  // so when the scan flags attempt StormRetries, one fewer injected
+  // failure has been tallied — the storm verdict leads the failure count.
+  EXPECT_GE(Ctl.forcedFailures(), 3u);
+  const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+  EXPECT_GT(Snap.WatchdogStorms, 0u);
+  EXPECT_EQ(Snap.WatchdogStalls, 0u);
+}
+
+#endif // LFM_SCHED_TEST && LFM_TELEMETRY

@@ -290,6 +290,6 @@ TEST(MallocCtl, EnvRegistryMapsOneToOneOntoCtlKeys) {
     EXPECT_GT(Need, 0u) << Spec.CtlKey;
     ++Mapped;
   }
-  EXPECT_EQ(Mapped, 20u) << "allocator-facing variable count changed; "
+  EXPECT_EQ(Mapped, 25u) << "allocator-facing variable count changed; "
                             "update docs/API.md and this test";
 }

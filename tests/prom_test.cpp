@@ -13,6 +13,7 @@
 
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
+#include "telemetry/ContentionSite.h"
 #include "telemetry/TelemetryConfig.h"
 
 #include <gtest/gtest.h>
@@ -254,6 +255,57 @@ TEST(Prometheus, LatencyHistogramIsCumulativeAndConsistent) {
   // Period 1: every one of the 2000+2000 operations was sampled.
   EXPECT_GE(TotalCount, 4000u);
 #endif // LFM_TELEMETRY
+}
+
+TEST(Prometheus, ContentionFamiliesExposePerSiteHistograms) {
+  AllocatorOptions Opts;
+  Opts.EnableStats = true;
+  Opts.ContentionSamplePeriod = 1;
+  LFAllocator Alloc(Opts);
+  std::vector<void *> Ptrs;
+  for (unsigned I = 0; I < 1000; ++I)
+    Ptrs.push_back(Alloc.allocate(64));
+  for (void *P : Ptrs)
+    Alloc.deallocate(P);
+
+  const Exposition E(prometheusText(Alloc));
+  ASSERT_TRUE(E.Errors.empty()) << E.Errors.front();
+#if LFM_TELEMETRY
+  ASSERT_EQ(E.Types.count("lf_malloc_cas_retries"), 1u);
+  EXPECT_EQ(E.Types.at("lf_malloc_cas_retries"), "histogram");
+  ASSERT_EQ(E.Types.count("lf_malloc_cas_loop_ns"), 1u);
+  EXPECT_EQ(E.Types.at("lf_malloc_cas_loop_ns"), "histogram");
+
+  // Every instrumented site gets its own labelled series on both
+  // families, sampled or not — scrapers need stable series sets.
+  std::set<std::string> RetrySites, LoopSites;
+  double FreePushCount = -1;
+  for (const Sample &S : E.Samples) {
+    if (S.Family == "lf_malloc_cas_retries_count") {
+      RetrySites.insert(S.Labels);
+      if (S.Labels.find("site=\"free_push\"") != std::string::npos)
+        FreePushCount = S.Value;
+    }
+    if (S.Family == "lf_malloc_cas_loop_ns_count")
+      LoopSites.insert(S.Labels);
+  }
+  EXPECT_EQ(RetrySites.size(),
+            static_cast<std::size_t>(telemetry::NumContentionSites));
+  EXPECT_EQ(LoopSites.size(),
+            static_cast<std::size_t>(telemetry::NumContentionSites));
+  // Period 1: every free() filed one free_push loop sample.
+  EXPECT_GE(FreePushCount, 1000.0);
+#else
+  EXPECT_EQ(E.Types.count("lf_malloc_cas_retries"), 0u);
+#endif
+  // The scalar health series are part of the core exposition in every
+  // build (zeros when sampling is off).
+  for (const char *Must :
+       {"lf_malloc_contention_samples_total",
+        "lf_malloc_contention_heat_dropped_total",
+        "lf_malloc_contention_watchdog_armed",
+        "lf_malloc_contention_watchdog_storms_total"})
+    EXPECT_TRUE(E.SeriesSeen.count(Must)) << Must << " missing";
 }
 
 TEST(Prometheus, CtlDumpKeyWritesTheSameExposition) {

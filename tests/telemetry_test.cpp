@@ -444,16 +444,16 @@ TEST(Telemetry, MetricsJsonIsWellFormed) {
 
   const std::string Json = capture(Alloc, &LFAllocator::metricsJson);
   EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v2\""), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v3\""), std::string::npos);
   EXPECT_NE(Json.find("\"counters\""), std::string::npos);
   EXPECT_NE(Json.find("\"mallocs\""), std::string::npos);
   EXPECT_NE(Json.find("\"space\""), std::string::npos);
 }
 
-TEST(Telemetry, MetricsV2IsSupersetOfV1) {
-  // The v2 schema bump adds the "latency" section; every v1 field keeps
-  // its exact name so existing consumers only have to accept the new
-  // schema string.
+TEST(Telemetry, MetricsV3IsSupersetOfV2) {
+  // Each schema bump only ever adds sections: v2 added "latency", v3 adds
+  // "contention". Every earlier field keeps its exact name so existing
+  // consumers only have to accept the new schema string.
   AllocatorOptions Opts;
   Opts.EnableStats = true;
   LFAllocator Alloc(Opts);
@@ -469,12 +469,22 @@ TEST(Telemetry, MetricsV2IsSupersetOfV1) {
         "\"retained_bytes\""})
     EXPECT_NE(Json.find(V1Field), std::string::npos) << V1Field;
   EXPECT_NE(Json.find("\"latency\""), std::string::npos);
+  // The v3 "contention" section is emitted in every build (all-zero when
+  // sampling is off) so consumers see a stable document shape.
+  EXPECT_NE(Json.find("\"contention\""), std::string::npos);
+  EXPECT_NE(Json.find("\"watchdog\""), std::string::npos);
+  EXPECT_NE(Json.find("\"heat\""), std::string::npos);
 #if LFM_TELEMETRY
   // Stats imply the default sampling period, so the section reports
   // enabled with per-path stats under their snake_case path names.
   EXPECT_NE(Json.find("\"sample_period\""), std::string::npos);
   EXPECT_NE(Json.find("\"malloc_active\""), std::string::npos);
   EXPECT_NE(Json.find("\"free_small\""), std::string::npos);
+  // Per-site contention distributions keep their snake_case site names
+  // even when no sampling ran.
+  EXPECT_NE(Json.find("\"active_reserve\""), std::string::npos);
+  EXPECT_NE(Json.find("\"free_push\""), std::string::npos);
+  EXPECT_NE(Json.find("\"tcache_depot_steal\""), std::string::npos);
 #endif
 }
 

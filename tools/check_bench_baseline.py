@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a checked-in baseline band file.
+
+Usage: check_bench_baseline.py <baseline.json> <result.json>
+
+Baselines live in bench/baselines/ and express *machine-independent*
+shape bounds, never absolute times: CI runners differ wildly in clock
+speed and co-tenancy, but the returned-RSS fraction of a retention
+policy and the ratio between two benchmarks measured in the same
+process are stable properties of the allocator. A regression that
+matters (a lock sneaking into the malloc path, a retention policy that
+stops returning memory) moves these by integer factors; the bands leave
+2-3x headroom above the observed values so runner noise cannot trip
+them.
+
+Two baseline formats, selected by the "format" key:
+
+  memret  -- rows from bench_memory_return --json=<path>
+             (schema lfm-bench-memret-v1). Checks select a policy row
+             by name and bound a metric; "respike_over_peak" is
+             computed as respike_bytes / peak_bytes.
+  gbench  -- google-benchmark --benchmark_format=json output. Checks
+             bound the ratio of one benchmark's cpu_time to another's.
+
+Exit status: 0 when every check is inside its band, 1 otherwise (with
+one line per check on stdout so the CI log shows the whole table).
+"""
+
+import json
+import sys
+
+
+def memret_value(result, policy, metric):
+    if result.get("schema") != "lfm-bench-memret-v1":
+        raise SystemExit(f"unexpected memret schema: {result.get('schema')}")
+    for row in result["policies"]:
+        if row["name"] == policy:
+            if metric == "respike_over_peak":
+                return row["respike_bytes"] / max(row["peak_bytes"], 1)
+            return row[metric]
+    raise SystemExit(f"policy not in report: {policy}")
+
+
+def gbench_value(result, name, metric):
+    for bench in result.get("benchmarks", []):
+        if bench["name"] == name:
+            return bench[metric]
+    raise SystemExit(f"benchmark not in report: {name}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        result = json.load(f)
+    if baseline.get("schema") != "lfm-bench-baseline-v1":
+        raise SystemExit(f"unexpected baseline schema: {baseline.get('schema')}")
+
+    fmt = baseline["format"]
+    failures = 0
+    for chk in baseline["checks"]:
+        metric = chk.get("metric", "cpu_time")
+        if fmt == "memret":
+            value = memret_value(result, chk["policy"], metric)
+            label = f"{chk['policy']}.{metric}"
+        elif fmt == "gbench":
+            num = gbench_value(result, chk["ratio"][0], metric)
+            den = gbench_value(result, chk["ratio"][1], metric)
+            value = num / den
+            label = f"{chk['ratio'][0]} / {chk['ratio'][1]}"
+        else:
+            raise SystemExit(f"unknown baseline format: {fmt}")
+        lo = chk.get("min")
+        hi = chk.get("max")
+        ok = (lo is None or value >= lo) and (hi is None or value <= hi)
+        band = f"[{'-inf' if lo is None else lo}, {'inf' if hi is None else hi}]"
+        print(f"{'ok  ' if ok else 'FAIL'} {label} = {value:.4f}  band {band}")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"{failures} baseline check(s) out of band", file=sys.stderr)
+        return 1
+    print(f"all {len(baseline['checks'])} baseline checks within bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
