@@ -1,0 +1,238 @@
+//===- bench_large.cpp - Large-object backend comparison ------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// Measures what the buddy large backend buys over the paper's
+// per-operation mmap/munmap round trip. The workload is the large-object
+// pattern the os-direct path handles worst: bursts of mixed 8 KiB - 8 MiB
+// allocations (log-uniform, so small orders dominate counts and big
+// orders dominate bytes) with cross-thread frees — thread T frees what
+// thread T+1 allocated, as a router/pipeline would.
+//
+// Two rows, each a fresh allocator on the identical seeded workload:
+//   os-direct   LFM_LARGE_BACKEND=os behavior: one map per malloc, one
+//               unmap per free (baseline)
+//   buddy       the lock-free buddy spans: syscalls only to reserve a
+//               span, commit fresh pages, and decommit past the watermark
+//
+// Columns are throughput, total OS calls for the run (map + unmap +
+// reserve + decommit), and RSS at the peak and after lf_malloc_trim. The
+// headline shape: the buddy row makes >= 10x fewer OS calls (steady state
+// makes none at all) and trims back to the same idle RSS — address space
+// stays reserved, physical pages go back.
+//
+// The CI baseline gate (bench/baselines/large.json) bounds the
+// buddy-row ratio metrics, which are precomputed here so the checker
+// (tools/check_bench_baseline.py, memret format) needs no new logic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Driver.h"
+#include "lfmalloc/Config.h"
+#include "lfmalloc/LFAllocator.h"
+#include "support/Barrier.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace lfm;
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+constexpr std::size_t MinBytes = 8 * 1024;
+constexpr std::size_t MaxBytes = 8 * 1024 * 1024;
+
+/// Current resident set in bytes (statm field 2, in pages).
+std::size_t currentRssBytes() {
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long SizePages = 0, RssPages = 0;
+  const int Got = std::fscanf(F, "%llu %llu", &SizePages, &RssPages);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  return static_cast<std::size_t>(RssPages) * OsPageSize;
+}
+
+/// Log-uniform size in [MinBytes, MaxBytes]: pick an octave, then a point
+/// inside it. Counts concentrate in the small orders, bytes in the large.
+std::size_t drawSize(XorShift128 &Rng) {
+  constexpr unsigned Octaves = 10; // 8 KiB << 10 == 8 MiB
+  const unsigned Oct = static_cast<unsigned>(Rng.nextBounded(Octaves));
+  const std::size_t Lo = MinBytes << Oct;
+  return Rng.nextInRange(Lo, Lo * 2 - 1);
+}
+
+struct RowResult {
+  const char *Name;
+  std::uint64_t Ops;
+  double Seconds;
+  std::uint64_t Syscalls;
+  std::size_t PeakRss;
+  std::size_t IdleRss;
+};
+
+/// Runs the burst/cross-free workload on \p Alloc and fills a row.
+RowResult runRow(const char *Name, LFAllocator &Alloc, unsigned Rounds,
+                 unsigned BlocksPerThread) {
+  // Burst slots: Slots[T] holds thread T's allocations of the current
+  // round; in the free phase thread T drains Slots[(T+1) % NumThreads].
+  std::vector<std::vector<void *>> Slots(NumThreads);
+  for (auto &S : Slots)
+    S.resize(BlocksPerThread);
+
+  const PageStats Before = Alloc.pageStats();
+  SpinBarrier Barrier(NumThreads);
+  std::size_t PeakRss = 0;
+  const std::uint64_t StartNs = monotonicNanos();
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      XorShift128 Rng(0x1afe1afeULL * (T + 1) + 17);
+      for (unsigned Round = 0; Round < Rounds; ++Round) {
+        for (unsigned I = 0; I < BlocksPerThread; ++I) {
+          const std::size_t Bytes = drawSize(Rng);
+          void *P = Alloc.allocate(Bytes);
+          if (P) // Touch one page per 64 KiB: realistic partial writes.
+            for (std::size_t Off = 0; Off < Bytes; Off += 64 * 1024)
+              static_cast<char *>(P)[Off] = static_cast<char>(Round);
+          Slots[T][I] = P;
+        }
+        Barrier.arriveAndWait();
+        if (T == 0 && Round == Rounds / 2) {
+          const std::size_t Rss = currentRssBytes();
+          if (Rss > PeakRss)
+            PeakRss = Rss;
+        }
+        // Cross-thread frees, newest-first so sibling pairs reform under
+        // contention rather than in allocation order.
+        std::vector<void *> &Victim = Slots[(T + 1) % NumThreads];
+        for (unsigned I = BlocksPerThread; I-- > 0;)
+          if (Victim[I]) {
+            Alloc.deallocate(Victim[I]);
+            Victim[I] = nullptr;
+          }
+        Barrier.arriveAndWait();
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  const double Seconds = (monotonicNanos() - StartNs) / 1e9;
+  {
+    const std::size_t Rss = currentRssBytes();
+    if (Rss > PeakRss)
+      PeakRss = Rss;
+  }
+  Alloc.releaseMemory(0);
+  const std::size_t IdleRss = currentRssBytes();
+  const PageStats After = Alloc.pageStats();
+
+  RowResult Row;
+  Row.Name = Name;
+  Row.Ops = std::uint64_t{NumThreads} * Rounds * BlocksPerThread;
+  Row.Seconds = Seconds;
+  Row.Syscalls = (After.MapCalls - Before.MapCalls) +
+                 (After.UnmapCalls - Before.UnmapCalls) +
+                 (After.ReserveCalls - Before.ReserveCalls) +
+                 (After.DecommitCalls - Before.DecommitCalls);
+  Row.PeakRss = PeakRss;
+  Row.IdleRss = IdleRss;
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchInit(Argc, Argv);
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+  const BenchScale &Scale = benchScale();
+  unsigned Rounds = static_cast<unsigned>(Scale.scaled(24));
+  if (Rounds < 4)
+    Rounds = 4;
+  constexpr unsigned BlocksPerThread = 24; // ~70 MB live per burst.
+
+  std::printf("Large-object backends: %u threads, %u rounds x %u blocks, "
+              "%zu KiB - %zu MiB log-uniform, cross-thread frees\n",
+              NumThreads, Rounds, BlocksPerThread, MinBytes / 1024,
+              MaxBytes / (1024 * 1024));
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "", "ops/s", "os-calls",
+              "calls/op", "peak-MB", "idle-MB");
+
+  std::vector<RowResult> Rows;
+  for (const bool Buddy : {false, true}) {
+    AllocatorOptions Opts;
+    Opts.LargeBackend =
+        Buddy ? LargeBackendKind::Buddy : LargeBackendKind::OsDirect;
+    LFAllocator Alloc(Opts);
+    const RowResult Row = runRow(Buddy ? "buddy" : "os-direct", Alloc,
+                                 Rounds, BlocksPerThread);
+    std::printf("%-10s %10.0f %10llu %10.3f %10.1f %10.1f\n", Row.Name,
+                Row.Ops / Row.Seconds,
+                static_cast<unsigned long long>(Row.Syscalls),
+                static_cast<double>(Row.Syscalls) / Row.Ops,
+                Row.PeakRss / 1048576.0, Row.IdleRss / 1048576.0);
+    Rows.push_back(Row);
+  }
+
+  const RowResult &Os = Rows[0], &Bd = Rows[1];
+  const double SyscallReduction =
+      static_cast<double>(Os.Syscalls) / (Bd.Syscalls ? Bd.Syscalls : 1);
+  const double ThroughputOverOs =
+      (Bd.Ops / Bd.Seconds) / (Os.Ops / Os.Seconds);
+  const double PeakRssOverOs =
+      static_cast<double>(Bd.PeakRss) / (Os.PeakRss ? Os.PeakRss : 1);
+  const double IdleRssOverOs =
+      static_cast<double>(Bd.IdleRss) / (Os.IdleRss ? Os.IdleRss : 1);
+  std::printf("\nbuddy vs os-direct: %.1fx fewer OS calls, %.2fx throughput, "
+              "%.2fx peak RSS, %.2fx idle RSS after trim\n",
+              SyscallReduction, ThroughputOverOs, PeakRssOverOs,
+              IdleRssOverOs);
+  std::printf("Shape to reproduce: >= 10x fewer OS calls; peak and idle RSS "
+              "within noise of os-direct (reserved space is not resident).\n");
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "bench_large: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    // memret-shaped report so tools/check_bench_baseline.py gates the
+    // ratio metrics (precomputed on the buddy row) with no new logic.
+    std::fprintf(F, "{\"schema\":\"lfm-bench-memret-v1\",\"policies\":[");
+    bool First = true;
+    for (const RowResult &R : Rows) {
+      std::fprintf(F,
+                   "%s{\"name\":\"%s\",\"ops\":%llu,\"seconds\":%.6f,"
+                   "\"ops_per_sec\":%.1f,\"os_calls\":%llu,"
+                   "\"peak_rss_bytes\":%zu,\"idle_rss_bytes\":%zu",
+                   First ? "" : ",", R.Name,
+                   static_cast<unsigned long long>(R.Ops), R.Seconds,
+                   R.Ops / R.Seconds,
+                   static_cast<unsigned long long>(R.Syscalls), R.PeakRss,
+                   R.IdleRss);
+      if (&R == &Bd)
+        std::fprintf(F,
+                     ",\"syscall_reduction\":%.4f,"
+                     "\"throughput_over_os\":%.4f,"
+                     "\"peak_rss_over_os\":%.4f,\"idle_rss_over_os\":%.4f",
+                     SyscallReduction, ThroughputOverOs, PeakRssOverOs,
+                     IdleRssOverOs);
+      std::fprintf(F, "}");
+      First = false;
+    }
+    std::fprintf(F, "]}\n");
+    std::fclose(F);
+  }
+  return 0;
+}

@@ -92,6 +92,11 @@ bool AllocatorOptions::validate(Diagnostic *Diag) {
   clampUnsigned(ThreadCacheMagSize, 2, 1024, "ThreadCacheMagSize");
   clampUnsigned(TraceEventsPerThread, 2, 1u << 24, "TraceEventsPerThread");
 
+  // A span must hold at least one max-order block; cap at 64 GiB so the
+  // 31-bit per-node subtree counters can never be approached.
+  clampSize(BuddySpanBytes, std::size_t{1} << 23, std::size_t{1} << 36,
+            /*Pow2=*/true, "BuddySpanBytes");
+
   if (ProfileRateBytes == 0) {
     note(Diag, Used, "ProfileRateBytes", 0, 1);
     ProfileRateBytes = 1;

@@ -67,6 +67,13 @@ enum class PartialListPolicy : std::uint8_t {
         ///< first. Kept for the ablation bench.
 };
 
+/// Which backend serves the large path (payloads beyond the largest size
+/// class). OsDirect is the paper's behaviour — one mmap per largeMalloc,
+/// one munmap per largeFree. Buddy routes requests up to
+/// BuddyBackend::MaxOrderBytes through the lock-free buddy system over
+/// reserved spans (BuddyBackend.h); larger requests still go to the OS.
+enum class LargeBackendKind : std::uint8_t { OsDirect, Buddy };
+
 /// Per-instance configuration. Default-constructed options reproduce the
 /// paper's allocator.
 struct AllocatorOptions {
@@ -130,6 +137,16 @@ struct AllocatorOptions {
   /// [2, 1024]. The effective per-class capacity also caps the bytes a
   /// magazine can retain, so coarse classes get fewer slots.
   unsigned ThreadCacheMagSize = 64;
+
+  /// Large-object backend. OsDirect by default so locally-constructed
+  /// instances keep the paper's per-operation mmap behaviour unchanged;
+  /// the default allocator selects Buddy unless LFM_LARGE_BACKEND=os.
+  LargeBackendKind LargeBackend = LargeBackendKind::OsDirect;
+
+  /// Reserved bytes per buddy span (power of two, clamped to
+  /// [8 MiB, 64 GiB]; multiples of BuddyBackend::MaxOrderBytes). Address
+  /// space only — physical pages are committed on first hand-out.
+  std::size_t BuddySpanBytes = std::size_t{1} << 30;
 
   /// Maintain operation counters. Off by default: the latency benches
   /// measure the paper's fence-count argument and must not carry extra

@@ -226,7 +226,8 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
     : Opts(validatedOptions(O)),
       Domain(O.Domain ? *O.Domain : HazardDomain::global()),
       Descs(Domain, Pages),
-      SbCache(Pages, Opts.SuperblockSize, Opts.HyperblockSize) {
+      SbCache(Pages, Opts.SuperblockSize, Opts.HyperblockSize),
+      OsLarge(Pages), BuddyLarge(Pages) {
   assert(isPowerOf2(Opts.SuperblockSize) &&
          Opts.SuperblockSize >= OsPageSize &&
          Opts.SuperblockSize / 16 <= MaxBlocksPerSuperblock &&
@@ -234,6 +235,13 @@ LFAllocator::LFAllocator(const AllocatorOptions &O)
 
   SbCache.setRetainMaxBytes(Opts.RetainMaxBytes);
   SbCache.setRetainDecayMs(Opts.RetainDecayMs);
+  // The buddy tier shares the retention watermark with the superblock
+  // cache; both are configured even though only the selected one serves
+  // (the other reserves nothing until its first allocation, i.e. never).
+  BuddyLarge.configure(Opts.BuddySpanBytes, Opts.RetainMaxBytes);
+  LargeB = Opts.LargeBackend == LargeBackendKind::Buddy
+               ? static_cast<LargeBackend *>(&BuddyLarge)
+               : static_cast<LargeBackend *>(&OsLarge);
   PartialSlots = Opts.PartialSlotsPerHeap;
 
   HeapCount = Opts.NumHeaps;
@@ -436,9 +444,10 @@ void *LFAllocator::allocate(std::size_t Bytes) {
   const std::uint64_t LatStart = LAT_BEGIN();
   const unsigned Class = sizeToClass(Bytes);
   if (Class >= ClassCount) { // Fig. 4 malloc lines 2-3: large block.
-    void *Addr = largeMalloc(Bytes);
+    // largeMalloc owns the LAT_END: only it knows whether the backend
+    // served from a buddy span (MallocLargeBuddy) or the OS (MallocLarge).
+    void *Addr = largeMalloc(Bytes, LatStart);
     PROF_ALLOC(Addr, Bytes);
-    LAT_END(LatStart, MallocLarge, NumSizeClasses);
     return Addr;
   }
 
@@ -940,40 +949,55 @@ void LFAllocator::removeEmptyDesc(ProcHeap *Heap, Descriptor *Desc) {
   Heap->Sc->Partial.removeEmpty(Descs); // ListRemoveEmptyDesc.
 }
 
-void *LFAllocator::largeMalloc(std::size_t Bytes) {
+void *LFAllocator::largeMalloc(std::size_t Bytes, std::uint64_t LatStart) {
   // Fig. 4 malloc line 3: "Allocate block from OS and return its address";
-  // the prefix records size|1 so free() can route it back (Fig. 6 line 4:
-  // "desc holds sz+1").
+  // the prefix records the backend's rounded total|1 so free() can route
+  // it back (Fig. 6 line 4: "desc holds sz+1"). The backend decides where
+  // the bytes come from — a buddy span or a direct OS map — and its
+  // rounded total is what deallocate() later hands back.
   CTR(LargeMallocs);
   if (Bytes > ~std::uint64_t{0} - OsPageSize - BlockPrefixSize) {
     errno = ENOMEM;
+    LAT_END(LatStart, MallocLarge, NumSizeClasses);
     return nullptr;
   }
-  const std::size_t Total = alignUp(Bytes + BlockPrefixSize, OsPageSize);
-  void *Block = Pages.map(Total);
-  if (LFM_UNLIKELY(!Block) && oomRescue())
-    Block = Pages.map(Total);
-  if (!Block) {
+  const std::size_t Total = Bytes + BlockPrefixSize;
+  LargeBackend::Allocation A;
+  bool Ok = LargeB->allocate(Total, OsPageSize, A);
+  if (LFM_UNLIKELY(!Ok) && oomRescue())
+    Ok = LargeB->allocate(Total, OsPageSize, A);
+  if (!Ok) {
     errno = ENOMEM;
+    LAT_END(LatStart, MallocLarge, NumSizeClasses);
     return nullptr;
   }
-  EVT(OsMap, Total, 0);
-  storeBlockWord(Block, Total | LargePrefixBit);
-  return static_cast<char *>(Block) + BlockPrefixSize;
+  if (A.OsMapped) {
+    EVT(OsMap, A.Total, 0);
+    LAT_END(LatStart, MallocLarge, NumSizeClasses);
+  } else {
+    LAT_END(LatStart, MallocLargeBuddy, NumSizeClasses);
+  }
+  storeBlockWord(A.Block, A.Total | LargePrefixBit);
+  return static_cast<char *>(A.Block) + BlockPrefixSize;
 }
 
 void LFAllocator::largeFree(void *Block, std::uint64_t Prefix) {
   CTR(LargeFrees);
-  EVT(OsUnmap, Prefix & ~LargePrefixBit, 0);
-  Pages.unmap(Block, Prefix & ~LargePrefixBit); // Fig. 6 line 5.
+  const std::size_t Total = Prefix & ~LargePrefixBit;
+  // Fig. 6 line 5, routed through the backend: only a real OS unmap (the
+  // os backend always, the buddy backend's above-max-order fallbacks)
+  // registers in the os_unmap event stream.
+  if (LargeB->deallocate(Block, Total))
+    EVT(OsUnmap, Total, 0);
 }
 
 bool LFAllocator::oomRescue() {
   // Rescues are rare and tail-defining, so every one is timed (not
   // sampled) — including failed rescues, whose cost the caller still paid
-  // before returning ENOMEM.
+  // before returning ENOMEM. Both retention tiers are drained: the
+  // superblock cache and the large backend's free committed pages.
   const std::uint64_t LatStart = LAT_RARE_BEGIN();
-  const std::size_t Freed = SbCache.trimRetained(0);
+  const std::size_t Freed = SbCache.trimRetained(0) + LargeB->trim(0);
   LAT_RARE_END(LatStart, OomRescue);
   if (Freed == 0)
     return false;
@@ -1610,7 +1634,10 @@ std::size_t LFAllocator::releaseMemory(std::size_t KeepBytes) {
     flushThreadCache();
     tcacheDrainDepot();
   }
-  return SbCache.trimRetained(KeepBytes);
+  // Two trim tiers share the KeepBytes budget independently: the
+  // superblock cache keeps up to KeepBytes of free superblocks resident,
+  // and the large backend keeps up to KeepBytes of free buddy blocks.
+  return SbCache.trimRetained(KeepBytes) + LargeB->trim(KeepBytes);
 }
 
 std::uint32_t LFAllocator::debugTcacheMagazineCount(unsigned Class) {
@@ -1689,18 +1716,21 @@ void *LFAllocator::reallocate(void *Ptr, std::size_t Bytes) {
   if (Bytes <= OldUsable)
     return Ptr; // Block already fits; shrink in place for free.
 
-  // Large->large growth: let the kernel move the pages (mremap) instead
-  // of copying them. Only for plain large blocks (not aligned-marker
-  // redirects, whose offset would not survive a move).
+  // Large->large growth: let the backend resize in place — the buddy
+  // backend within a block's own order, the os backend via mremap (the
+  // kernel moves the pages instead of copying them). Only for plain large
+  // blocks (not aligned-marker redirects, whose offset would not survive
+  // a move).
   void *Block = static_cast<char *>(Ptr) - BlockPrefixSize;
   const std::uint64_t Prefix = loadBlockWord(Block);
   if ((Prefix & LargePrefixBit) &&
       (Prefix & AlignedMarkerBits) != AlignedMarkerBits &&
       sizeToClass(Bytes) == LargeSizeClass) {
     const std::size_t OldTotal = Prefix & ~LargePrefixBit;
-    const std::size_t NewTotal =
-        alignUp(Bytes + BlockPrefixSize, OsPageSize);
-    if (void *Fresh = Pages.remap(Block, OldTotal, NewTotal)) {
+    std::size_t NewTotal = 0;
+    if (void *Fresh =
+            LargeB->remap(Block, OldTotal, Bytes + BlockPrefixSize,
+                          NewTotal)) {
       storeBlockWord(Fresh, NewTotal | LargePrefixBit);
       void *NewPtr = static_cast<char *>(Fresh) + BlockPrefixSize;
       // mremap bypasses deallocate/allocate, so retarget the profiler's
@@ -1864,6 +1894,37 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
   Put(Counter::SbFreed, St.SbFreed);
 #endif
   Snap.Space = Pages.stats();
+  {
+    // Large-backend gauges + counter folding. The backend maintains plain
+    // relaxed cells in every build (its translation unit carries no
+    // telemetry symbols); the snapshot is where they join the counter
+    // schema, mirroring the tcache hit-counter idiom below.
+    LargeBackendSnapshot LB;
+    LargeB->snapshot(LB);
+    Snap.LargeBackendBuddy = LB.Buddy;
+    Snap.BuddySpansReserved = LB.SpansReserved;
+    Snap.BuddySpanBytes = LB.SpanBytes;
+    Snap.BuddyBytesReserved = LB.BytesReserved;
+    Snap.BuddyBytesCommitted = LB.BytesCommitted;
+    Snap.BuddyBytesAllocated = LB.BytesAllocated;
+    Snap.BuddyFreeCommittedBytes = LB.FreeCommittedBytes;
+#if LFM_TELEMETRY
+    if (Tel != nullptr) {
+      using telemetry::Counter;
+      auto Put = [&Snap](Counter C, std::uint64_t V) {
+        Snap.Counters[static_cast<unsigned>(C)] = V;
+      };
+      Put(Counter::BuddyAllocs, LB.Allocs);
+      Put(Counter::BuddyFrees, LB.Frees);
+      Put(Counter::BuddySplits, LB.Splits);
+      Put(Counter::BuddyCoalesces, LB.Coalesces);
+      Put(Counter::BuddyOsFallbacks, LB.OsFallbacks);
+      Put(Counter::BuddyRollbacks, LB.Rollbacks);
+      Put(Counter::BuddyDecommits, LB.Decommits);
+      Put(Counter::BuddySpanReserves, LB.SpanReserves);
+    }
+#endif
+  }
   Snap.CachedSuperblocks = SbCache.cachedCount();
   Snap.RetainedBytes = SbCache.cachedCount() * Opts.SuperblockSize;
   Snap.DecommittedSuperblocks = SbCache.decommittedCount();
@@ -2249,6 +2310,7 @@ void LFAllocator::collectTopology(profiling::TopologySnapshot &Out,
   Out.RetainDecayMs = SbCache.retainDecayMs();
   Out.DescriptorsMinted = Descs.mintedCount();
   Out.Space = Pages.stats();
+  LargeB->snapshot(Out.LargeBackendState);
 
 #if LFM_TELEMETRY
   if (Prof != nullptr) {
@@ -2678,6 +2740,18 @@ bool LFAllocator::debugValidate(std::string *Msg) {
                             "freelist chain + cached blocks exceed capacity",
                             Desc, Desc->AnchorWord.load());
       I = J;
+    }
+  }
+
+  // Buddy-backend structural invariants (status-tree counts, byte meters,
+  // residency accounting). Checked regardless of selection: an unselected
+  // buddy backend has no spans and passes trivially.
+  {
+    const char *What = nullptr;
+    if (!BuddyLarge.debugValidate(&What)) {
+      if (Msg)
+        *Msg = std::string("buddy backend: ") + (What ? What : "?");
+      return false;
     }
   }
   return true;

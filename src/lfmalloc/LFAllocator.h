@@ -23,9 +23,11 @@
 #ifndef LFMALLOC_LFMALLOC_LFALLOCATOR_H
 #define LFMALLOC_LFMALLOC_LFALLOCATOR_H
 
+#include "lfmalloc/BuddyBackend.h"
 #include "lfmalloc/Config.h"
 #include "lfmalloc/Descriptor.h"
 #include "lfmalloc/DescriptorAllocator.h"
+#include "lfmalloc/LargeBackend.h"
 #include "lfmalloc/PartialList.h"
 #include "lfmalloc/SizeClasses.h"
 #include "lfmalloc/SuperblockCache.h"
@@ -266,10 +268,12 @@ public:
   /// 16-bit ABA tag on the parked-cache free-stack head.
   std::uint16_t debugTcacheFreeStackTag() const { return TcFree.headTag(); }
 
-  /// Retention watermark for the superblock cache (see
+  /// Retention watermark shared by both memory-return tiers — the
+  /// superblock cache and the buddy large backend (see
   /// AllocatorOptions::RetainMaxBytes). Adjustable at runtime.
   void setRetainMaxBytes(std::size_t Bytes) {
     SbCache.setRetainMaxBytes(Bytes);
+    BuddyLarge.setRetainMaxBytes(Bytes);
   }
   std::size_t retainMaxBytes() const { return SbCache.retainMaxBytes(); }
 
@@ -277,6 +281,29 @@ public:
   /// AllocatorOptions::RetainDecayMs). Adjustable at runtime.
   void setRetainDecayMs(std::int64_t Ms) { SbCache.setRetainDecayMs(Ms); }
   std::int64_t retainDecayMs() const { return SbCache.retainDecayMs(); }
+
+  /// True when the buddy backend serves the large path (see
+  /// AllocatorOptions::LargeBackend / LFM_LARGE_BACKEND).
+  bool largeBackendIsBuddy() const { return LargeB == &BuddyLarge; }
+
+  /// Racy-but-consistent snapshot of the selected large backend's meters
+  /// (all-zero with Buddy=false for the os-direct backend).
+  void largeBackendSnapshot(LargeBackendSnapshot &Out) const {
+    LargeB->snapshot(Out);
+  }
+
+  /// Trims only the large backend down to \p KeepBytes of free committed
+  /// memory (releaseMemory() runs both tiers). \returns bytes decommitted.
+  std::size_t trimLargeBackend(std::size_t KeepBytes = 0) {
+    return LargeB->trim(KeepBytes);
+  }
+
+  /// Quiescent structural check of the buddy backend's status trees (see
+  /// BuddyBackend::debugValidate). True for the os backend.
+  bool debugValidateLargeBackend(const char **What = nullptr) const {
+    const char *Unused;
+    return BuddyLarge.debugValidate(What != nullptr ? What : &Unused);
+  }
 
   /// Failure injection for tests: after \p Count further OS mappings,
   /// every mapping request fails. Negative re-arms to "never fail".
@@ -353,7 +380,7 @@ private:
   Descriptor *heapGetPartial(ProcHeap *Heap);
   void heapPutPartial(Descriptor *Desc);
   void removeEmptyDesc(ProcHeap *Heap, Descriptor *Desc);
-  void *largeMalloc(std::size_t Bytes);
+  void *largeMalloc(std::size_t Bytes, std::uint64_t LatStart);
   void largeFree(void *Block, std::uint64_t Prefix);
   ProcHeap *findHeap(unsigned Class);
 
@@ -378,6 +405,12 @@ private:
   HazardDomain &Domain;
   DescriptorAllocator Descs;
   SuperblockCache SbCache;
+  /// Large-object backends (must follow Pages: both hold a reference and
+  /// the buddy's destructor unmaps through it). LargeB points at the one
+  /// options().LargeBackend selected; the other stays idle.
+  OsDirectBackend OsLarge;
+  BuddyBackend BuddyLarge;
+  LargeBackend *LargeB = nullptr;
   SizeClassRuntime *Classes = nullptr; ///< [ClassCount], placement-new'd.
   ProcHeap *Heaps = nullptr;   ///< [ClassCount * HeapCount].
   void *ControlRegion = nullptr; ///< Backing mapping for the two arrays.

@@ -88,6 +88,16 @@ AllocatorOptions defaultOptions() {
       config::varRaw(Var::Tcache) ? config::varFlag(Var::Tcache) : true;
   if (config::varU64(Var::TcacheMagSize, U) && U > 0)
     Opts.ThreadCacheMagSize = static_cast<unsigned>(U);
+  // The buddy large backend defaults ON for the default allocator (the
+  // registry default "buddy"); LFM_LARGE_BACKEND=os (or =0) restores the
+  // paper's per-operation mmap path byte for byte. Explicitly-optioned
+  // local instances keep the AllocatorOptions default (OsDirect).
+  Opts.LargeBackend = LargeBackendKind::Buddy;
+  if (const char *Backend = config::varRaw(Var::LargeBackend))
+    if (std::strcmp(Backend, "os") == 0 || std::strcmp(Backend, "0") == 0)
+      Opts.LargeBackend = LargeBackendKind::OsDirect;
+  if (config::varU64(Var::BuddySpanBytes, U) && U > 0)
+    Opts.BuddySpanBytes = static_cast<std::size_t>(U);
   return Opts;
 }
 

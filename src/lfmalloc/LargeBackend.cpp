@@ -1,0 +1,45 @@
+//===- lfmalloc/LargeBackend.cpp - os-direct large backend ----------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lfmalloc/LargeBackend.h"
+
+using namespace lfm;
+
+bool OsDirectBackend::allocate(std::size_t Total, std::size_t Align,
+                               Allocation &Out) {
+  const std::size_t Rounded = alignUp(Total, OsPageSize);
+  void *Block = Pages.map(Rounded, Align);
+  if (Block == nullptr)
+    return false;
+  Out.Block = Block;
+  Out.Total = Rounded;
+  Out.OsMapped = true;
+  return true;
+}
+
+bool OsDirectBackend::deallocate(void *Block, std::size_t Total) {
+  Pages.unmap(Block, Total);
+  return true;
+}
+
+void *OsDirectBackend::remap(void *Block, std::size_t OldTotal,
+                             std::size_t NewTotal, std::size_t &RoundedTotal) {
+  const std::size_t Rounded = alignUp(NewTotal, OsPageSize);
+  void *Fresh = Pages.remap(Block, OldTotal, Rounded);
+  if (Fresh == nullptr)
+    return nullptr;
+  RoundedTotal = Rounded;
+  return Fresh;
+}
+
+std::size_t OsDirectBackend::trim(std::size_t) {
+  // Nothing retained: every free already went straight back to the kernel.
+  return 0;
+}
+
+void OsDirectBackend::snapshot(LargeBackendSnapshot &Out) const {
+  Out = LargeBackendSnapshot{};
+}

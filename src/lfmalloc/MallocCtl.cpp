@@ -173,6 +173,15 @@ int statsGet(const char *Name, void *Out, size_t *OutLen) {
       {"bytes_decommitted", Snap.Space.BytesDecommitted},
       {"map_retries", Snap.Space.MapRetries},
       {"map_failures", Snap.Space.MapFailures},
+      {"bytes_reserved", Snap.Space.BytesReserved},
+      {"reserve_calls", Snap.Space.ReserveCalls},
+      {"large_backend_buddy", Snap.LargeBackendBuddy ? 1u : 0u},
+      {"buddy_spans_reserved", Snap.BuddySpansReserved},
+      {"buddy_span_bytes", Snap.BuddySpanBytes},
+      {"buddy_bytes_reserved", Snap.BuddyBytesReserved},
+      {"buddy_bytes_committed", Snap.BuddyBytesCommitted},
+      {"buddy_bytes_allocated", Snap.BuddyBytesAllocated},
+      {"buddy_free_committed_bytes", Snap.BuddyFreeCommittedBytes},
       {"cached_superblocks", Snap.CachedSuperblocks},
       {"retained_bytes", Snap.RetainedBytes},
       {"decommitted_superblocks", Snap.DecommittedSuperblocks},
@@ -252,6 +261,72 @@ int optGet(const char *Name, void *Out, size_t *OutLen) {
                    lfm::defaultAllocator().threadCacheEnabled() ? 1 : 0);
   if (std::strcmp(Name, "tcache_mag_size") == 0)
     return readU64(Out, OutLen, O.ThreadCacheMagSize);
+  if (std::strcmp(Name, "large_backend") == 0)
+    return readStr(Out, OutLen,
+                   O.LargeBackend == LargeBackendKind::Buddy ? "buddy"
+                                                             : "os");
+  if (std::strcmp(Name, "buddy_span_bytes") == 0)
+    return readU64(Out, OutLen, O.BuddySpanBytes);
+  return ENOENT;
+}
+
+/// largebackend.<name>: the selected large-object backend — kind echo,
+/// byte meters, operation counters, per-order free census, and the trim
+/// action (docs/API.md "Large-object backend").
+int largeBackendCtl(const char *Name, void *Out, size_t *OutLen,
+                    const void *In, size_t InLen) {
+  LFAllocator &Alloc = lfm::defaultAllocator();
+  if (std::strcmp(Name, "trim") == 0) {
+    // Action key: trims only this backend's free committed pages down to
+    // an optional u64 keep-bytes budget (default 0; `trim` runs both
+    // tiers). Out optionally receives the bytes decommitted.
+    std::uint64_t Keep = 0;
+    if (In != nullptr) {
+      if (const int Rc = takeU64(In, InLen, Keep))
+        return Rc;
+    } else if (InLen != 0) {
+      return EINVAL;
+    }
+    const std::uint64_t Freed =
+        Alloc.trimLargeBackend(static_cast<size_t>(Keep));
+    if (Out != nullptr || OutLen != nullptr)
+      return readU64(Out, OutLen, Freed);
+    return 0;
+  }
+  if (In != nullptr)
+    return EPERM; // Everything below is a read-only status key.
+  if (std::strcmp(Name, "kind") == 0)
+    return readStr(Out, OutLen, Alloc.largeBackendIsBuddy() ? "buddy" : "os");
+  LargeBackendSnapshot LB;
+  Alloc.largeBackendSnapshot(LB);
+  if (std::strcmp(Name, "free_bytes_by_order") == 0)
+    return readBytes(Out, OutLen, LB.FreeBytesByOrder,
+                     sizeof(std::uint64_t) * LB.NumOrders);
+  const struct {
+    const char *Name;
+    std::uint64_t Value;
+  } Rows[] = {
+      {"spans_reserved", LB.SpansReserved},
+      {"span_bytes", LB.SpanBytes},
+      {"bytes_reserved", LB.BytesReserved},
+      {"bytes_committed", LB.BytesCommitted},
+      {"bytes_allocated", LB.BytesAllocated},
+      {"free_committed_bytes", LB.FreeCommittedBytes},
+      {"num_orders", LB.NumOrders},
+      {"min_order_bytes", LB.MinOrderBytes},
+      {"max_order_bytes", LB.MaxOrderBytes},
+      {"allocs", LB.Allocs},
+      {"frees", LB.Frees},
+      {"splits", LB.Splits},
+      {"coalesces", LB.Coalesces},
+      {"os_fallbacks", LB.OsFallbacks},
+      {"rollbacks", LB.Rollbacks},
+      {"decommits", LB.Decommits},
+      {"span_reserves", LB.SpanReserves},
+  };
+  for (const auto &Row : Rows)
+    if (std::strcmp(Name, Row.Name) == 0)
+      return readU64(Out, OutLen, Row.Value);
   return ENOENT;
 }
 
@@ -589,6 +664,9 @@ int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
 
   if (std::strncmp(Key, "contention.", 11) == 0)
     return contentionCtl(Key + 11, Out, OutLen, In, InLen);
+
+  if (std::strncmp(Key, "largebackend.", 13) == 0)
+    return largeBackendCtl(Key + 13, Out, OutLen, In, InLen);
 
   return ENOENT;
 }

@@ -120,6 +120,64 @@ void *PageAllocator::remap(void *Ptr, std::size_t OldBytes,
   return Fresh;
 }
 
+void *PageAllocator::reserve(std::size_t Bytes, std::size_t Alignment) {
+  assert(isPowerOf2(Alignment) && Alignment >= OsPageSize &&
+         "alignment must be a power of two >= the OS page size");
+  const std::size_t Size = alignUp(Bytes, OsPageSize);
+  if (LFM_UNLIKELY(shouldFailInjected())) {
+    MapFailures.fetch_add(1, std::memory_order_relaxed);
+    errno = ENOMEM;
+    return nullptr;
+  }
+  // MAP_NORESERVE: no swap accounting up front, pages materialize on first
+  // touch. Alignment by over-map-and-trim, as in mapOnce — trimming an
+  // untouched reservation is free.
+  const std::size_t Padded = Alignment > OsPageSize ? Size + Alignment : Size;
+  void *Raw = ::mmap(nullptr, Padded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Raw == MAP_FAILED) {
+    MapFailures.fetch_add(1, std::memory_order_relaxed);
+    errno = ENOMEM;
+    return nullptr;
+  }
+  std::uintptr_t Base = reinterpret_cast<std::uintptr_t>(Raw);
+  if (Alignment > OsPageSize) {
+    const std::uintptr_t Aligned = alignUp(Base, Alignment);
+    const std::size_t HeadSlack = Aligned - Base;
+    const std::size_t TailSlack = Padded - HeadSlack - Size;
+    if (HeadSlack)
+      ::munmap(Raw, HeadSlack);
+    if (TailSlack)
+      ::munmap(reinterpret_cast<void *>(Aligned + Size), TailSlack);
+    Base = Aligned;
+  }
+  ReserveCalls.fetch_add(1, std::memory_order_relaxed);
+  BytesReservedCtr.fetch_add(Size, std::memory_order_relaxed);
+  return reinterpret_cast<void *>(Base);
+}
+
+void PageAllocator::unreserve(void *Ptr, std::size_t Bytes) {
+  assert(Ptr && "unreserve of null");
+  const std::size_t Size = alignUp(Bytes, OsPageSize);
+  [[maybe_unused]] const int Rc = ::munmap(Ptr, Size);
+  assert(Rc == 0 && "munmap failed: bad pointer or size");
+  BytesReservedCtr.fetch_sub(Size, std::memory_order_relaxed);
+}
+
+void PageAllocator::recordCommit(std::size_t Bytes) {
+  const std::uint64_t Now =
+      BytesInUse.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  std::uint64_t Peak = PeakBytes.load(std::memory_order_relaxed);
+  while (Now > Peak &&
+         !PeakBytes.compare_exchange_weak(Peak, Now,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void PageAllocator::recordUncommit(std::size_t Bytes) {
+  BytesInUse.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
 PageStats PageAllocator::stats() const {
   return PageStats{BytesInUse.load(std::memory_order_relaxed),
                    PeakBytes.load(std::memory_order_relaxed),
@@ -128,7 +186,9 @@ PageStats PageAllocator::stats() const {
                    DecommitCalls.load(std::memory_order_relaxed),
                    BytesDecommittedCtr.load(std::memory_order_relaxed),
                    MapRetries.load(std::memory_order_relaxed),
-                   MapFailures.load(std::memory_order_relaxed)};
+                   MapFailures.load(std::memory_order_relaxed),
+                   BytesReservedCtr.load(std::memory_order_relaxed),
+                   ReserveCalls.load(std::memory_order_relaxed)};
 }
 
 void PageAllocator::resetPeak() {

@@ -37,6 +37,8 @@ struct PageStats {
   std::uint64_t BytesDecommitted; ///< Total bytes ever decommitted.
   std::uint64_t MapRetries;   ///< map() attempts retried after a failure.
   std::uint64_t MapFailures;  ///< map() calls that failed after all retries.
+  std::uint64_t BytesReserved; ///< Address space reserved via reserve().
+  std::uint64_t ReserveCalls;  ///< Number of successful reserve() calls.
 };
 
 /// mmap/munmap wrapper with atomic space accounting.
@@ -69,6 +71,32 @@ public:
   /// rather than faulting (TreiberStack type-stability contract).
   /// \returns true when the pages were released.
   bool decommit(void *Ptr, std::size_t Bytes);
+
+  /// Reserves \p Bytes of address space aligned to \p Alignment without
+  /// committing physical memory (mmap with MAP_NORESERVE): the scalloc-style
+  /// span strategy — reserve large, commit lazily on first touch. Reserved
+  /// bytes are metered separately (PageStats::BytesReserved), NOT in
+  /// BytesInUse/PeakBytes: until touched they cost nothing physical, and
+  /// folding a multi-GiB reservation into the §4.2.5 space meter would
+  /// drown the signal it exists to measure. Callers account committed pages
+  /// through recordCommit()/recordUncommit() as they touch and decommit.
+  /// Fail-injectable like map(). \returns the reservation, or nullptr with
+  /// errno = ENOMEM.
+  void *reserve(std::size_t Bytes, std::size_t Alignment = OsPageSize);
+
+  /// Releases a reservation previously returned by reserve() with the same
+  /// size. The caller must have recordUncommit()ed whatever it had
+  /// recordCommit()ed inside the span first.
+  void unreserve(void *Ptr, std::size_t Bytes);
+
+  /// Folds \p Bytes of lazily-committed reserved memory into the
+  /// BytesInUse/PeakBytes meter — called by span owners when they hand out
+  /// previously-untouched pages. No map call is counted (none happened).
+  void recordCommit(std::size_t Bytes);
+
+  /// Reverse of recordCommit(): the span owner decommitted \p Bytes (the
+  /// madvise itself goes through decommit()).
+  void recordUncommit(std::size_t Bytes);
 
   /// Grows or shrinks a mapping in place or by moving it (Linux mremap).
   /// \returns the (possibly relocated) region, or nullptr on failure —
@@ -135,6 +163,8 @@ private:
   std::atomic<std::uint64_t> BytesDecommittedCtr{0};
   std::atomic<std::uint64_t> MapRetries{0};
   std::atomic<std::uint64_t> MapFailures{0};
+  std::atomic<std::uint64_t> BytesReservedCtr{0};
+  std::atomic<std::uint64_t> ReserveCalls{0};
   std::atomic<std::int64_t> FailAfter{-1};
   std::atomic<std::int64_t> FailBudget{-1};
 };

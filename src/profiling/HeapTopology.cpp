@@ -51,6 +51,25 @@ void lfm::profiling::writeTopologyJson(const TopologySnapshot &T,
   W.field("unmap_calls", T.Space.UnmapCalls);
   W.endObject();
 
+  // The large-object backend's spans sit outside the superblock
+  // topology below; this section is their whole footprint story.
+  W.key("large_backend");
+  W.beginObject();
+  W.field("kind", T.LargeBackendState.Buddy ? "buddy" : "os");
+  W.field("spans_reserved", T.LargeBackendState.SpansReserved);
+  W.field("span_bytes", T.LargeBackendState.SpanBytes);
+  W.field("bytes_reserved", T.LargeBackendState.BytesReserved);
+  W.field("bytes_committed", T.LargeBackendState.BytesCommitted);
+  W.field("bytes_allocated", T.LargeBackendState.BytesAllocated);
+  W.field("free_committed_bytes", T.LargeBackendState.FreeCommittedBytes);
+  W.field("min_order_bytes", T.LargeBackendState.MinOrderBytes);
+  W.key("free_bytes_by_order");
+  W.beginArray();
+  for (std::uint64_t O = 0; O < T.LargeBackendState.NumOrders; ++O)
+    W.value(T.LargeBackendState.FreeBytesByOrder[O]);
+  W.endArray();
+  W.endObject();
+
   W.key("totals");
   W.beginObject();
   W.field("superblocks", T.TotalSuperblocks);

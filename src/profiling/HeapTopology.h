@@ -31,6 +31,7 @@
 #ifndef LFMALLOC_PROFILING_HEAPTOPOLOGY_H
 #define LFMALLOC_PROFILING_HEAPTOPOLOGY_H
 
+#include "lfmalloc/LargeBackend.h"
 #include "lfmalloc/SizeClasses.h"
 #include "os/PageAllocator.h"
 
@@ -107,6 +108,10 @@ struct TopologySnapshot {
   std::int64_t RetainDecayMs = -1;     ///< Decay config (<0: disabled).
   std::uint64_t DescriptorsMinted = 0;
   PageStats Space = {}; ///< The instance's bytes-from-OS accounting.
+  /// Large-backend census (the "large_backend" JSON section): selection
+  /// flag, span/byte meters, and free-block counts by order. All-zero
+  /// with Buddy=false under the os-direct backend.
+  LargeBackendSnapshot LargeBackendState = {};
   bool ProfilerAttached = false;
   /// Large-path live estimates (profiler), outside the class array.
   std::uint64_t LargeLiveEstReqBytes = 0;

@@ -72,6 +72,9 @@ enum class Site : unsigned {
   TcacheRefill, ///< Batch refill reserve/pop anchor CAS windows.
   TcacheFlush,  ///< Batch flush anchor push + depot push CAS windows.
   TcacheSteal,  ///< Depot steal-all exchange + leftover re-push window.
+  // Buddy large-object backend (BuddyBackend.cpp).
+  BuddyAlloc,    ///< Status-tree claim CAS + ancestor up-mark window.
+  BuddyCoalesce, ///< Trim-walk claim CAS before a free-block decommit.
   NumSites
 };
 

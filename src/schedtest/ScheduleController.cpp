@@ -67,6 +67,10 @@ const char *siteName(Site S) {
     return "TcacheFlush";
   case Site::TcacheSteal:
     return "TcacheSteal";
+  case Site::BuddyAlloc:
+    return "BuddyAlloc";
+  case Site::BuddyCoalesce:
+    return "BuddyCoalesce";
   case Site::NumSites:
     break;
   }

@@ -65,6 +65,11 @@ const VarSpec Table[NumVars] = {
      "thread-local magazine cache on the default allocator (0 disables)"},
     {"LFM_TCACHE_MAG_SIZE", "opt.tcache_mag_size", "64",
      "magazine slot cap per size class (clamped to [2, 1024])"},
+    {"LFM_LARGE_BACKEND", "opt.large_backend", "buddy",
+     "large-object backend: \"buddy\" (lock-free buddy spans) or \"os\" "
+     "(per-operation mmap)"},
+    {"LFM_BUDDY_SPAN_BYTES", "opt.buddy_span_bytes", "1073741824",
+     "reserved address space per buddy span (power of two)"},
     {"LFM_FAIL_MAP", "debug.fail_map", "unset",
      "fault injection: fail OS map calls after N successes"},
     {"LFM_BENCH_SCALE", nullptr, "1.0",

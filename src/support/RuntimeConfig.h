@@ -66,6 +66,10 @@ enum class Var : unsigned {
   Tcache,        ///< LFM_TCACHE: thread-cache layer on the default allocator.
   TcacheMagSize, ///< LFM_TCACHE_MAG_SIZE: magazine slot cap per size class.
 
+  // Large-object backend (read at first use).
+  LargeBackend,   ///< LFM_LARGE_BACKEND: "buddy" (default) or "os".
+  BuddySpanBytes, ///< LFM_BUDDY_SPAN_BYTES: reserved bytes per buddy span.
+
   // Fault injection (test/debug only).
   FailMap, ///< LFM_FAIL_MAP: fail OS maps after N successes.
 

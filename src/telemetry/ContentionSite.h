@@ -50,6 +50,9 @@ enum class ContentionSite : unsigned {
   // Thread-local magazine cache depot.
   TcacheDepotPush,  ///< Depot chain-push CAS loop.
   TcacheDepotSteal, ///< Depot steal-all exchange + leftover re-push loop.
+  // Buddy large-object backend (BuddyBackend.cpp).
+  BuddyAlloc,    ///< Status-tree claim scan: CAS(0 -> BUSY) + ancestor marks.
+  BuddyCoalesce, ///< Trim walk claiming maximal free blocks for decommit.
   SiteCount
 };
 
@@ -89,6 +92,10 @@ constexpr const char *contentionSiteName(ContentionSite S) {
     return "tcache_depot_push";
   case ContentionSite::TcacheDepotSteal:
     return "tcache_depot_steal";
+  case ContentionSite::BuddyAlloc:
+    return "buddy_alloc";
+  case ContentionSite::BuddyCoalesce:
+    return "buddy_coalesce";
   case ContentionSite::SiteCount:
     break;
   }

@@ -113,6 +113,19 @@ enum class Counter : unsigned {
   TcacheAdopts,     ///< Parked caches adopted by new threads.
   TcacheExitDrains, ///< Thread-exit drains through the pthread-key hook.
 
+  // Buddy large-object backend (BuddyBackend.cpp). The backend keeps its
+  // own always-on relaxed atomics (it must work in every build config and
+  // its object file must stay telemetry-symbol-free); these slots are
+  // filled from that set at snapshot time, like the tcache hit counters.
+  BuddyAllocs,       ///< Large blocks served from buddy spans.
+  BuddyFrees,        ///< Large blocks returned to buddy spans.
+  BuddySplits,       ///< Free blocks first carved into by an allocation.
+  BuddyCoalesces,    ///< Blocks whose subtree drained back to fully free.
+  BuddyOsFallbacks,  ///< Large requests the buddy punted to a direct OS map.
+  BuddyRollbacks,    ///< Claims undone after losing to an enclosing block.
+  BuddyDecommits,    ///< Free-block decommits (watermark or trim).
+  BuddySpanReserves, ///< Address-space spans reserved.
+
   CounterCount
 };
 

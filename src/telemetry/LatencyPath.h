@@ -36,6 +36,9 @@ enum class LatencyPath : unsigned {
                  ///< plain-load hit; the tail carries batch refills).
   FreeTcache,    ///< Absorbed by the thread-local magazine (tail carries
                  ///< overflow flushes).
+  MallocLargeBuddy, ///< Large request served from a buddy span (no syscall
+                    ///< on the steady-state path; MallocLarge keeps meaning
+                    ///< a direct OS map, i.e. os backend or buddy fallback).
   PathCount
 };
 
@@ -67,6 +70,8 @@ constexpr const char *latencyPathName(LatencyPath P) {
     return "malloc_tcache";
   case LatencyPath::FreeTcache:
     return "free_tcache";
+  case LatencyPath::MallocLargeBuddy:
+    return "malloc_large_buddy";
   case LatencyPath::PathCount:
     break;
   }

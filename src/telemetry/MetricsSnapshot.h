@@ -92,6 +92,18 @@ struct MetricsSnapshot {
   std::uint64_t RetainMaxBytes = 0;       ///< Retention watermark in force.
   std::int64_t RetainDecayMs = -1;        ///< Decay period; -1 = off.
 
+  // Large-backend gauges (lfm-metrics-v4). LargeBackendBuddy echoes the
+  // selection; the byte gauges are all zero for the os-direct backend and
+  // the buddy_* operation counters live in the Counters array (folded in
+  // at snapshot time from the backend's own relaxed cells).
+  bool LargeBackendBuddy = false;
+  std::uint64_t BuddySpansReserved = 0;
+  std::uint64_t BuddySpanBytes = 0;          ///< Configured span size echo.
+  std::uint64_t BuddyBytesReserved = 0;      ///< Address space reserved.
+  std::uint64_t BuddyBytesCommitted = 0;     ///< Physical pages promised.
+  std::uint64_t BuddyBytesAllocated = 0;     ///< Live large-block bytes.
+  std::uint64_t BuddyFreeCommittedBytes = 0; ///< Trimmable residue.
+
   // Trace-ring accounting (zero when tracing is off).
   std::uint64_t TraceEventsEmitted = 0;
   std::uint64_t TraceEventsOverwritten = 0;
@@ -156,7 +168,7 @@ struct MetricsSnapshot {
   }
 };
 
-/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v3",
+/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v4",
 /// "config":{...},"space":{...},"counters":{...},"gauges":{...},
 /// "latency":{...},"contention":{...}}. Each version is a strict superset
 /// of the previous: every v1/v2 field keeps its name and position, so

@@ -91,6 +91,10 @@ void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
           Snap.Space.MapRetries);
   counter(W, "space_map_failures", "Map calls failed after all retries.",
           Snap.Space.MapFailures);
+  gauge(W, "space_bytes_reserved", "Address space reserved but uncommitted.",
+        Snap.Space.BytesReserved);
+  counter(W, "space_reserve_calls", "Successful OS reserve calls.",
+          Snap.Space.ReserveCalls);
 
   // Subsystem gauges.
   gauge(W, "cached_superblocks", "Superblocks idle in the cache.",
@@ -131,6 +135,22 @@ void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
         Snap.TcacheMagazineBlocks);
   gauge(W, "tcache_depot_blocks", "Blocks resident in class depots.",
         Snap.TcacheDepotBlocks);
+  gauge(W, "large_backend_buddy",
+        "1 while the buddy large-object backend is selected.",
+        Snap.LargeBackendBuddy ? 1 : 0);
+  gauge(W, "buddy_spans_reserved", "Buddy spans currently reserved.",
+        Snap.BuddySpansReserved);
+  gauge(W, "buddy_span_bytes", "Reserved address space per buddy span.",
+        Snap.BuddySpanBytes);
+  gauge(W, "buddy_bytes_reserved", "Address space held by buddy spans.",
+        Snap.BuddyBytesReserved);
+  gauge(W, "buddy_bytes_committed", "Resident bytes inside buddy spans.",
+        Snap.BuddyBytesCommitted);
+  gauge(W, "buddy_bytes_allocated", "Bytes handed out by the buddy backend.",
+        Snap.BuddyBytesAllocated);
+  gauge(W, "buddy_free_committed_bytes",
+        "Committed bytes idle in the buddy free forest.",
+        Snap.BuddyFreeCommittedBytes);
 
   // Configuration echo.
   gauge(W, "heaps", "Processor heaps per size class.", Snap.Heaps);

@@ -109,6 +109,22 @@ const char *lfm::telemetry::counterName(Counter C) {
     return "tcache_adopts";
   case Counter::TcacheExitDrains:
     return "tcache_exit_drains";
+  case Counter::BuddyAllocs:
+    return "buddy_allocs";
+  case Counter::BuddyFrees:
+    return "buddy_frees";
+  case Counter::BuddySplits:
+    return "buddy_splits";
+  case Counter::BuddyCoalesces:
+    return "buddy_coalesces";
+  case Counter::BuddyOsFallbacks:
+    return "buddy_os_fallbacks";
+  case Counter::BuddyRollbacks:
+    return "buddy_rollbacks";
+  case Counter::BuddyDecommits:
+    return "buddy_decommits";
+  case Counter::BuddySpanReserves:
+    return "buddy_span_reserves";
   case Counter::CounterCount:
     break;
   }
@@ -389,7 +405,7 @@ private:
 template <class Writer>
 void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.beginObject();
-  W.field("schema", "lfm-metrics-v3");
+  W.field("schema", "lfm-metrics-v4");
 
   W.key("config");
   W.beginObject();
@@ -415,6 +431,8 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.field("bytes_decommitted", Snap.Space.BytesDecommitted);
   W.field("map_retries", Snap.Space.MapRetries);
   W.field("map_failures", Snap.Space.MapFailures);
+  W.field("bytes_reserved", Snap.Space.BytesReserved);
+  W.field("reserve_calls", Snap.Space.ReserveCalls);
   W.endObject();
 
   W.key("counters");
@@ -444,6 +462,13 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.field("tcache_caches_parked", Snap.TcacheCachesParked);
   W.field("tcache_magazine_blocks", Snap.TcacheMagazineBlocks);
   W.field("tcache_depot_blocks", Snap.TcacheDepotBlocks);
+  W.field("large_backend_buddy", Snap.LargeBackendBuddy);
+  W.field("buddy_spans_reserved", Snap.BuddySpansReserved);
+  W.field("buddy_span_bytes", Snap.BuddySpanBytes);
+  W.field("buddy_bytes_reserved", Snap.BuddyBytesReserved);
+  W.field("buddy_bytes_committed", Snap.BuddyBytesCommitted);
+  W.field("buddy_bytes_allocated", Snap.BuddyBytesAllocated);
+  W.field("buddy_free_committed_bytes", Snap.BuddyFreeCommittedBytes);
   W.endObject();
 
   // The v2 addition. Per-path quantiles are exact bucket upper bounds

@@ -107,9 +107,15 @@ TEST(Preload, MallocReturnsEnomemUnderFailMap) {
   // LFM_FAIL_MAP=48 arms the shim's allocator to refuse OS maps after 48
   // more succeed. The probe then allocates 1 MB blocks until malloc fails
   // and exits 0 only if the failure surfaced as null + errno == ENOMEM
-  // (exit 3: never failed, 4: wrong errno).
-  EXPECT_EQ(runPreloaded("env LFM_FAIL_MAP=48 " + std::string(probePath()) +
-                         " oom-enomem > /dev/null"),
+  // (exit 3: never failed, 4: wrong errno). The buddy leg pins the span
+  // size to the 8 MiB minimum so the probe's 256 MB of demand actually
+  // exhausts spans and hits the injected reserve/map failures; the os leg
+  // maps per block and trips the injection directly.
+  EXPECT_EQ(runPreloaded("env LFM_FAIL_MAP=48 LFM_BUDDY_SPAN_BYTES=8388608 " +
+                         std::string(probePath()) + " oom-enomem > /dev/null"),
+            0);
+  EXPECT_EQ(runPreloaded("env LFM_FAIL_MAP=48 LFM_LARGE_BACKEND=os " +
+                         std::string(probePath()) + " oom-enomem > /dev/null"),
             0);
 }
 
@@ -175,7 +181,7 @@ TEST(Preload, BackgroundExporterPublishesArtifacts) {
   EXPECT_EQ(Prom.rfind("# HELP ", 0), 0u) << Prom.substr(0, 120);
   EXPECT_NE(Prom.find("lf_malloc_mallocs_total"), std::string::npos);
   const std::string Json = slurp("./preload-exp.metrics.json");
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v3\""), std::string::npos)
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v4\""), std::string::npos)
       << Json.substr(0, 120);
   std::system("rm -f ./preload-exp.prom ./preload-exp.metrics.json "
               "./preload-exp.*.prom");

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "lfmalloc/BuddyBackend.h"
 #include "lfmalloc/DescriptorAllocator.h"
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/SizeClasses.h"
@@ -604,6 +605,141 @@ TEST(SchedExplore, TcacheAdoptAbaRecipe) {
       (1ull << static_cast<unsigned>(Site::TcacheRefill));
   reportExplore(explore(Opts, [&](const SchedOptions &O) {
     return runTcacheSchedule(O, MakeBodies);
+  }));
+}
+
+//===----------------------------------------------------------------------===//
+// Buddy large-backend scenarios. The allocator runs with the buddy
+// backend on its smallest legal span (8 MiB = one status tree), so every
+// large operation contends on one counting tree. The quiescent oracle
+// (debugValidate, which includes BuddyBackend::debugValidate) recomputes
+// every node's count from its children, so a lost up-mark, a leaked
+// claim, or a meter drift fails the schedule even when no payload is
+// clobbered.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Payload that rounds to the smallest large-path buddy order (16 KiB):
+/// its total exceeds the last 8 KiB size class.
+constexpr std::size_t BuddyPayloadBytes = 12 * 1024;
+
+/// runAllocatorSchedule with the buddy large backend enabled.
+ScheduleOutcome
+runBuddySchedule(const SchedOptions &O,
+                 const std::function<std::vector<std::function<void()>>(
+                     LFAllocator &, BlockOracle &)> &MakeBodies) {
+  ScheduleOutcome Out;
+  HazardDomain Domain;
+  AllocatorOptions Opts = tinyOptions(Domain, 1);
+  Opts.LargeBackend = LargeBackendKind::Buddy;
+  Opts.BuddySpanBytes = BuddyBackend::MaxOrderBytes;
+  LFAllocator Alloc(Opts);
+  BlockOracle Oracle;
+  ScheduleController Ctl(O);
+  Ctl.run(MakeBodies(Alloc, Oracle));
+
+  std::string Err = Oracle.firstError();
+  if (Err.empty() && Oracle.liveCount() != 0)
+    Err = "blocks leaked by the schedule";
+  std::string Msg;
+  if (Err.empty() && !Alloc.debugValidate(&Msg))
+    Err = Msg;
+  if (Err.empty() && Ctl.runawayDetected())
+    Err = "schedule exceeded MaxSteps (livelock-shaped)";
+  if (!Err.empty()) {
+    Out.Ok = false;
+    Out.Message = Err;
+  }
+  return Out;
+}
+
+} // namespace
+
+/// Scenario 9 — concurrent sibling frees vs the parent-order claim: two
+/// threads free the two halves of a carved buddy pair (wait-free down-
+/// marks draining the shared ancestors toward 0) while a third repeatedly
+/// claims at the PARENT order — its CAS(0 -> BUSY|1) may only fire once
+/// BOTH siblings have fully drained, and a success while either sibling's
+/// count is still in flight hands out overlapping memory (the oracle's
+/// clobber check) or strands a count (debugValidate). Forced failures on
+/// the claim CAS keep the scanner re-reading mid-drain words.
+TEST(SchedExplore, BuddySiblingFreesVsParentClaim) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    // Deterministic prefill: two 16 KiB siblings carved from one 32 KiB
+    // parent (first two same-order claims in a fresh span are adjacent).
+    void *Left = Alloc.allocate(BuddyPayloadBytes);
+    void *Right = Alloc.allocate(BuddyPayloadBytes);
+    Oracle.onAlloc(Left, 950);
+    Oracle.onAlloc(Right, 951);
+
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    Bodies.push_back([&Oracle, Free, Left] {
+      Oracle.checkAndFree(Left, Free);
+    });
+    Bodies.push_back([&Oracle, Free, Right] {
+      Oracle.checkAndFree(Right, Free);
+    });
+    Bodies.push_back([&Alloc, &Oracle, Free] {
+      // Parent-order claimer: wants the 32 KiB whole the frees reform.
+      for (unsigned I = 0; I < 3; ++I) {
+        void *P = Alloc.allocate(2 * BuddyPayloadBytes);
+        Oracle.onAlloc(P, 960 + I);
+        Oracle.checkAndFree(P, Free);
+      }
+    });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(8ull << 20, 400);
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::BuddyAlloc)) |
+      (1ull << static_cast<unsigned>(Site::BuddyCoalesce));
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runBuddySchedule(O, MakeBodies);
+  }));
+}
+
+/// Scenario 10 — the claim-CAS ABA shape plus trim interference: a victim
+/// scanner reads a node word as 0 and is preempted before its CAS while
+/// an attacker allocates that very block, touches it, and frees it back —
+/// restoring the word to exactly 0. The victim's stale CAS then fires,
+/// which the counting protocol must treat as BENIGN (0 always means
+/// genuinely free; the attacker's claim is long gone). Meanwhile a
+/// trimmer claims free wholes through the BuddyCoalesce site and
+/// decommits them, so the victim's claim also races obstruction-free trim
+/// claims. A protocol that peeked at stale sibling state instead would
+/// hand the same block to victim and attacker — the double-handout /
+/// clobber oracles.
+TEST(SchedExplore, BuddyClaimAbaVsTrim) {
+  const auto MakeBodies = [](LFAllocator &Alloc, BlockOracle &Oracle) {
+    std::vector<std::function<void()>> Bodies;
+    const auto Free = [&Alloc](void *Q) { Alloc.deallocate(Q); };
+    for (unsigned T = 0; T < 2; ++T)
+      Bodies.push_back([&Alloc, &Oracle, Free, T] {
+        // Victim/attacker pair: both scan the same level of the same
+        // tree; each allocate-touch-free cycles node words 0 -> BUSY -> 0
+        // under the other's nose.
+        for (unsigned I = 0; I < 3; ++I) {
+          void *P = Alloc.allocate(BuddyPayloadBytes);
+          Oracle.onAlloc(P, 970 + T * 10 + I);
+          Oracle.checkAndFree(P, Free);
+        }
+      });
+    Bodies.push_back([&Alloc] {
+      // Trimmer: claims maximal free blocks via the BuddyCoalesce CAS and
+      // decommits them; must yield to (not corrupt) concurrent claims.
+      for (unsigned I = 0; I < 2; ++I)
+        Alloc.trimLargeBackend(0);
+    });
+    return Bodies;
+  };
+  ExploreOptions Opts = exploreOptions(9ull << 20, 400);
+  Opts.Proto.CasFailSiteMask =
+      (1ull << static_cast<unsigned>(Site::BuddyAlloc)) |
+      (1ull << static_cast<unsigned>(Site::BuddyCoalesce));
+  reportExplore(explore(Opts, [&](const SchedOptions &O) {
+    return runBuddySchedule(O, MakeBodies);
   }));
 }
 
