@@ -22,6 +22,7 @@
 #include "lfmalloc/BuddyBackend.h"
 
 #include "schedtest/SchedPoint.h"
+#include "support/Usdt.h"
 #include "telemetry/ContentionHook.h"
 
 #include <cassert>
@@ -110,6 +111,7 @@ BuddyBackend::Span *BuddyBackend::spanAt(unsigned Slot) {
     return Expected;
   }
   StSpanReserves.fetch_add(1, std::memory_order_relaxed);
+  LFM_PROBE2(buddy_span_reserve, Base, Bytes);
   return Fresh;
 }
 

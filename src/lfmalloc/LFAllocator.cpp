@@ -16,8 +16,10 @@
 #include "schedtest/SchedPoint.h"
 #include "support/CycleClock.h"
 #include "support/ThreadRegistry.h"
+#include "support/Usdt.h"
 #include "telemetry/ContentionHook.h"
 #include "telemetry/PromWriter.h"
+#include "telemetry/ShmStats.h"
 #include "telemetry/Telemetry.h"
 #include "trace/AllocTrace.h"
 
@@ -999,6 +1001,7 @@ bool LFAllocator::oomRescue() {
   const std::uint64_t LatStart = LAT_RARE_BEGIN();
   const std::size_t Freed = SbCache.trimRetained(0) + LargeB->trim(0);
   LAT_RARE_END(LatStart, OomRescue);
+  LFM_PROBE1(oom_rescue, Freed);
   if (Freed == 0)
     return false;
   XCTR(OomRescues);
@@ -1942,6 +1945,15 @@ telemetry::MetricsSnapshot LFAllocator::metricsSnapshot() const {
     Snap.AllocTraceRecording = TS.Recording;
     Snap.AllocTraceOps = TS.Ops;
     Snap.AllocTraceDropped = TS.Dropped;
+  }
+  {
+    // Shared-memory segment health (process-wide singleton, like the
+    // flight recorder above; the stubs report inactive under
+    // LFM_TELEMETRY=0).
+    Snap.ShmStatsActive = telemetry::ShmStats::active();
+    Snap.ShmStatsEpoch = telemetry::ShmStats::epoch();
+    Snap.ShmStatsPublishes = telemetry::ShmStats::publishes();
+    Snap.ShmStatsBytes = telemetry::ShmStats::bytes();
   }
   Snap.Heaps = HeapCount;
   Snap.Classes = ClassCount;

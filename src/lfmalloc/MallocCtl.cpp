@@ -32,7 +32,9 @@
 #include "lfmalloc/LFAllocator.h"
 #include "lfmalloc/LFMalloc.h"
 #include "support/RuntimeConfig.h"
+#include "support/Usdt.h"
 #include "telemetry/MetricsSnapshot.h"
+#include "telemetry/ShmStats.h"
 #include "telemetry/StatsExporter.h"
 #include "trace/AllocTrace.h"
 
@@ -267,6 +269,70 @@ int optGet(const char *Name, void *Out, size_t *OutLen) {
                                                              : "os");
   if (std::strcmp(Name, "buddy_span_bytes") == 0)
     return readU64(Out, OutLen, O.BuddySpanBytes);
+  if (std::strcmp(Name, "shm_stats") == 0) {
+    // Echo the effective backing: the active segment's path once open
+    // (which resolves "1"/"auto"/"memfd" to "memfd:<fd>"), else the raw
+    // LFM_SHM_STATS value, else empty.
+    const char *Path = telemetry::ShmStats::path();
+    if (Path[0] == '\0') {
+      const char *Raw = config::varRaw(config::Var::ShmStats);
+      Path = Raw != nullptr ? Raw : "";
+    }
+    return readStr(Out, OutLen, Path);
+  }
+  if (std::strcmp(Name, "usdt") == 0) {
+#if LFM_USDT
+    return readU64(Out, OutLen, usdt::enabled() ? 1 : 0);
+#else
+    return readU64(Out, OutLen, 0);
+#endif
+  }
+  return ENOENT;
+}
+
+/// shmstats.<name>: the lfm-shmstats-v1 shared-memory segment — status
+/// reads plus the explicit publish action (docs/OBSERVABILITY.md, "Live
+/// out-of-process inspection"). All keys resolve in telemetry-OFF builds
+/// too (the ShmStats stubs report an inactive segment).
+int shmstatsCtl(const char *Name, void *Out, size_t *OutLen, const void *In,
+                size_t InLen) {
+  if (std::strcmp(Name, "open") == 0) {
+    // Action key: In carries the NUL-terminated backing spec (a path, or
+    // "1"/"auto"/"memfd"). EALREADY when a segment is already mapped.
+    char Spec[4096];
+    if (const int Rc = takePath(In, InLen, Spec, sizeof(Spec)))
+      return Rc;
+    if (Spec[0] == '\0')
+      return EINVAL;
+#if !LFM_TELEMETRY
+    return ENOENT; // No publisher compiled in.
+#else
+    return telemetry::ShmStats::open(Spec);
+#endif
+  }
+  if (std::strcmp(Name, "publish") == 0) {
+    // Action key: seqlock-publish a fresh snapshot frame right now.
+    if (In != nullptr)
+      return EINVAL;
+    if (!telemetry::ShmStats::active())
+      return ENXIO;
+    telemetry::ShmStats::publish(lfm::defaultAllocator().metricsSnapshot());
+    if (Out != nullptr || OutLen != nullptr)
+      return readU64(Out, OutLen, telemetry::ShmStats::epoch());
+    return 0;
+  }
+  if (In != nullptr)
+    return EPERM; // Everything below is a read-only status key.
+  if (std::strcmp(Name, "active") == 0)
+    return readU64(Out, OutLen, telemetry::ShmStats::active() ? 1 : 0);
+  if (std::strcmp(Name, "path") == 0)
+    return readStr(Out, OutLen, telemetry::ShmStats::path());
+  if (std::strcmp(Name, "epoch") == 0)
+    return readU64(Out, OutLen, telemetry::ShmStats::epoch());
+  if (std::strcmp(Name, "publishes") == 0)
+    return readU64(Out, OutLen, telemetry::ShmStats::publishes());
+  if (std::strcmp(Name, "bytes") == 0)
+    return readU64(Out, OutLen, telemetry::ShmStats::bytes());
   return ENOENT;
 }
 
@@ -406,14 +472,19 @@ int contentionCtl(const char *Name, void *Out, size_t *OutLen,
 int exporterEmit(void * /*Ctx*/, int Artifact, int Fd) {
   LFAllocator &Alloc = lfm::defaultAllocator();
   switch (Artifact) {
-  case telemetry::StatsExporter::MetricsJson:
+  case telemetry::StatsExporter::MetricsJson: {
     // The armed progress watchdog rides the exporter cadence: one scan of
     // the per-thread progress slots per metrics cycle, diagnosing stalls
     // and retry storms to stderr (raw fd — the exporter never allocates).
     if (Alloc.contentionWatchdogArmed())
       Alloc.contentionWatchdogScan(STDERR_FILENO);
-    telemetry::writeMetricsJsonFd(Alloc.metricsSnapshot(), Fd);
+    const telemetry::MetricsSnapshot Snap = Alloc.metricsSnapshot();
+    // The shared-memory segment publishes on the same cadence from the
+    // same snapshot, so lfm-top and the JSON artifact agree per epoch.
+    telemetry::ShmStats::publish(Snap);
+    telemetry::writeMetricsJsonFd(Snap, Fd);
     return 0;
+  }
   case telemetry::StatsExporter::Prometheus:
     return Alloc.prometheusText(Fd) == 0 ? 0 : -1;
   case telemetry::StatsExporter::HeapProfile:
@@ -667,6 +738,9 @@ int lf_malloc_ctl(const char *Key, void *Out, size_t *OutLen, const void *In,
 
   if (std::strncmp(Key, "largebackend.", 13) == 0)
     return largeBackendCtl(Key + 13, Out, OutLen, In, InLen);
+
+  if (std::strncmp(Key, "shmstats.", 9) == 0)
+    return shmstatsCtl(Key + 9, Out, OutLen, In, InLen);
 
   return ENOENT;
 }

@@ -8,6 +8,7 @@
 
 #include "schedtest/SchedPoint.h"
 #include "support/Platform.h"
+#include "support/Usdt.h"
 #include "telemetry/ContentionHook.h"
 #include "support/Timing.h"
 #include "telemetry/Telemetry.h"
@@ -47,6 +48,7 @@ void *SuperblockCache::acquire() {
     if (Sb) {
       LFM_TEL_CTR(Tel, SbAcquires);
       LFM_TEL_EVT(Tel, OsMap, SbSize, 0);
+      LFM_PROBE2(sb_acquire, Sb, SbSize);
     }
     return Sb;
   }
@@ -73,6 +75,7 @@ void *SuperblockCache::acquire() {
         LFM_TEL_CTR(Tel, SbRecommits);
       }
       LFM_TEL_CTR(Tel, SbAcquires);
+      LFM_PROBE2(sb_acquire, Sb, SbSize);
       return Sb;
     }
     if (unparkHyperblock())
@@ -85,6 +88,7 @@ void *SuperblockCache::acquire() {
 void SuperblockCache::release(void *Sb) {
   assert(Sb && "releasing null superblock");
   LFM_TEL_CTR(Tel, SbReleases);
+  LFM_PROBE2(sb_release, Sb, SbSize);
   if (HyperSize == 0) {
     Pages.unmap(Sb, SbSize);
     LFM_TEL_EVT(Tel, OsUnmap, SbSize, 0);
@@ -167,6 +171,7 @@ bool SuperblockCache::unparkHyperblock() {
   Hyper->TrimCollected.store(0, std::memory_order_relaxed);
   ParkedHypers.fetch_sub(1, std::memory_order_relaxed);
   LFM_TEL_CTR(Tel, HyperblockUnparks);
+  LFM_PROBE2(hyperblock_unpark, Hyper, HyperSize);
   char *Base = reinterpret_cast<char *>(Hyper);
   CachedSbs.fetch_add(SbsPerHyper, std::memory_order_relaxed);
   DecommittedSbs.fetch_add(SbsPerHyper, std::memory_order_relaxed);
@@ -277,6 +282,7 @@ std::size_t SuperblockCache::trimRetained(std::size_t KeepBytes) {
     Hyper->Parked.store(true, std::memory_order_relaxed);
     ParkedHypers.fetch_add(1, std::memory_order_relaxed);
     LFM_TEL_CTR(Tel, HyperblockParks);
+    LFM_PROBE2(hyperblock_park, Hyper, HyperSize);
     LFM_TEL_EVT(Tel, OsDecommit, HyperSize - OsPageSize, 0);
     Released += HyperSize - OsPageSize;
     Parked.push(Hyper);
@@ -292,6 +298,7 @@ std::size_t SuperblockCache::trimRetained(std::size_t KeepBytes) {
       Hyper->TrimCollected.store(0, std::memory_order_relaxed);
 
   LFM_TEL_EVT(Tel, Trim, Released, Drained);
+  LFM_PROBE2(trim_pass, Released, Drained);
 #if LFM_TELEMETRY
   if (LatStart != 0)
     Tel->latency().rareEnd(LatStart, telemetry::LatencyPath::Trim);

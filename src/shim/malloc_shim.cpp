@@ -20,6 +20,8 @@
 #include "lfmalloc/LFMalloc.h"
 #include "profiling/HeapTopology.h"
 #include "support/RuntimeConfig.h"
+#include "telemetry/DumpSignal.h"
+#include "telemetry/ShmStats.h"
 #include "trace/AllocTrace.h"
 
 #include <cerrno>
@@ -27,7 +29,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <csignal>
 
 using namespace lfm;
 
@@ -177,35 +178,42 @@ int malloc_info(int Options, FILE *Stream) {
 
 namespace {
 
-// Which SIGUSR2/atexit artifacts apply, decided once at init so the signal
-// handler itself stays branch-on-cached-bool simple (no getenv, no
-// allocator queries from signal context).
-bool DumpProfileOnSignal = false;
-bool DumpLatencyOnSignal = false;
+// Whether the Prometheus latency/metrics exposition has data worth
+// emitting at exit, decided once at init (no allocator queries from the
+// atexit path).
+bool DumpLatencyArmed = false;
 
-// SIGUSR2 → async-signal-safe dumps: the heap profile (profiler builds)
-// and the Prometheus latency/metrics exposition (stats builds). Everything
-// on both paths is raw-fd I/O over pre-cached state, so running it from a
-// handler is sound; errno is preserved for the interrupted code.
-void sigusr2Handler(int) {
-  const int Saved = errno;
-  if (DumpProfileOnSignal)
-    lf_malloc_heap_profile_dump();
-  if (DumpLatencyOnSignal)
-    lf_malloc_latency_dump();
-  // One atomic store; a no-op unless a flight recording is active. The
-  // writer thread flushes on its next wakeup (~25 ms).
-  trace::requestAsyncFlush();
-  errno = Saved;
+// SIGUSR2 dump callbacks, registered with the telemetry::dumpSignal
+// registrar (which owns the actual sigaction; anything else in the
+// process — tests, embedders — can chain its own dump through the same
+// registrar without clobbering ours). Each callback is async-signal-safe:
+// raw-fd I/O over pre-cached state, or plain stores.
+
+void dumpProfileCb() { lf_malloc_heap_profile_dump(); }
+
+void dumpLatencyCb() { lf_malloc_latency_dump(); }
+
+// One atomic store; a no-op unless a flight recording is active. The
+// writer thread flushes on its next wakeup (~25 ms).
+void traceFlushCb() { trace::requestAsyncFlush(); }
+
+// Seqlock-publish a fresh frame so an inspector (or the core dump a
+// crashing signal handler is about to produce) sees current numbers.
+void shmPublishCb() {
+  telemetry::ShmStats::publish(defaultAllocator().metricsSnapshot());
 }
 
 void leakReportAtExit() {
   lf_malloc_leak_report();
   // A leak report at exit is a post-mortem; the latency exposition is the
   // other half of that story, so emit it alongside when it has data.
-  if (DumpLatencyOnSignal)
+  if (DumpLatencyArmed)
     lf_malloc_latency_dump();
 }
+
+// Final frame at orderly exit: whatever reads the segment (or the core)
+// afterwards sees the process's last numbers, not the last exporter tick.
+void shmPublishAtExit() { shmPublishCb(); }
 
 // Shim initialization beyond the allocator itself: signal-dump handler,
 // the atexit leak report, and the background stats exporter. This runs as
@@ -215,28 +223,36 @@ void leakReportAtExit() {
 // pthread_create's own allocations could deadlock.
 __attribute__((constructor)) void shimInit() {
   LFAllocator &Alloc = defaultAllocator();
-  DumpProfileOnSignal = Alloc.profilerEnabled();
+  if (Alloc.profilerEnabled())
+    telemetry::dumpSignalRegister(dumpProfileCb);
   // The Prometheus exposition carries both the latency and the contention
   // histogram families, so either recorder makes the SIGUSR2 dump (and the
   // exit-time exposition) worth emitting.
-  DumpLatencyOnSignal = Alloc.latencyEnabled() || Alloc.contentionEnabled();
+  DumpLatencyArmed = Alloc.latencyEnabled() || Alloc.contentionEnabled();
+  if (DumpLatencyArmed)
+    telemetry::dumpSignalRegister(dumpLatencyCb);
   // LFM_TRACE_RECORD=<path>: flight-record the whole process lifetime.
   // Routed through lf_malloc_ctl so the env path and the programmatic
   // path ("trace.start") are one code path; the atexit hook installed by
   // the recorder flushes and publishes the file at process exit.
   const char *TracePath = config::varRaw(config::Var::TraceRecord);
-  bool TraceStarted = false;
-  if (TracePath != nullptr && *TracePath != '\0')
-    TraceStarted = lf_malloc_ctl("trace.start", nullptr, nullptr,
-                                 const_cast<char *>(TracePath),
-                                 std::strlen(TracePath) + 1) == 0;
-  if (DumpProfileOnSignal || DumpLatencyOnSignal || TraceStarted) {
-    struct sigaction SA;
-    std::memset(&SA, 0, sizeof(SA));
-    SA.sa_handler = sigusr2Handler;
-    sigemptyset(&SA.sa_mask);
-    SA.sa_flags = SA_RESTART;
-    sigaction(SIGUSR2, &SA, nullptr);
+  if (TracePath != nullptr && *TracePath != '\0' &&
+      lf_malloc_ctl("trace.start", nullptr, nullptr,
+                    const_cast<char *>(TracePath),
+                    std::strlen(TracePath) + 1) == 0)
+    telemetry::dumpSignalRegister(traceFlushCb);
+  // LFM_SHM_STATS: map the lfm-shmstats-v1 segment, publish the first
+  // frame immediately (an inspector attaching before the first exporter
+  // tick still sees valid numbers), keep it fresh on SIGUSR2, and stamp a
+  // final frame at exit.
+  const char *ShmSpec = config::varRaw(config::Var::ShmStats);
+  if (ShmSpec != nullptr && *ShmSpec != '\0' &&
+      lf_malloc_ctl("shmstats.open", nullptr, nullptr,
+                    const_cast<char *>(ShmSpec),
+                    std::strlen(ShmSpec) + 1) == 0) {
+    shmPublishCb();
+    telemetry::dumpSignalRegister(shmPublishCb);
+    std::atexit(shmPublishAtExit);
   }
   if (config::varFlag(config::Var::LeakReport)) {
     detail::LeakReportRequested.store(true, std::memory_order_relaxed);

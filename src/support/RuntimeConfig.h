@@ -45,6 +45,12 @@ enum class Var : unsigned {
   StatsIntervalMs, ///< LFM_STATS_INTERVAL_MS: background exporter period.
   StatsPrefix,     ///< LFM_STATS_PREFIX: exporter artifact path prefix.
 
+  // Out-of-process live inspection.
+  ShmStats, ///< LFM_SHM_STATS: lfm-shmstats-v1 segment backing
+            ///< (filesystem path, or "1"/"auto"/"memfd" for an anonymous
+            ///< memfd); unset disables.
+  Usdt,     ///< LFM_USDT: fire USDT tracepoints at runtime (default 1).
+
   // Contention-and-progress observability.
   ContentionSample,   ///< LFM_CONTENTION_SAMPLE: mean retry-loop executions
                       ///< between contention samples (implies stats).

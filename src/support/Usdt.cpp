@@ -1,0 +1,22 @@
+//===- support/Usdt.cpp - USDT runtime gate -------------------------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Usdt.h"
+
+#if LFM_USDT
+
+#include "support/RuntimeConfig.h"
+
+bool lfm::usdt::enabledSlow() {
+  // Probes default on: their cost is one nop behind this cached bool, and
+  // consumers expect an LD_PRELOAD'd binary to be traceable without extra
+  // configuration. LFM_USDT=0 opts a process out.
+  std::uint64_t V = 1;
+  lfm::config::varU64(lfm::config::Var::Usdt, V);
+  return V != 0;
+}
+
+#endif // LFM_USDT

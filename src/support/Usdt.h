@@ -1,0 +1,164 @@
+//===- support/Usdt.h - SystemTap/USDT static tracepoints -------*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// USDT (user statically-defined tracing) probes for the allocator's
+/// rare-event edges: superblock acquire/release, hyperblock park/unpark,
+/// buddy span reserve, OOM rescue, trim passes, watchdog verdicts. Each
+/// probe is a single nop plus an ELF .note.stapsdt record, consumable
+/// from bpftrace/perf/systemtap without rebuilding:
+///
+///   bpftrace -e 'usdt:./liblfmalloc_preload.so:lfmalloc:oom_rescue
+///                { printf("oom rescue, %d bytes\n", arg0); }' -p <pid>
+///
+/// <sys/sdt.h> is used when present; otherwise a minimal built-in
+/// emitter produces the same note format (64-bit integer args only —
+/// everything our probes pass). Probes live on rare paths only, never on
+/// malloc/free hot paths.
+///
+/// Gates:
+///  - compile: CMake option LFMALLOC_USDT (default ON) — OFF defines
+///    LFM_USDT=0 and every macro compiles to nothing (readelf -n shows
+///    zero stapsdt notes).
+///  - runtime: LFM_USDT environment variable (default 1) — 0 skips the
+///    probe block entirely (one cached-bool branch per rare event), for
+///    processes that must not execute even the nop sleds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_SUPPORT_USDT_H
+#define LFMALLOC_SUPPORT_USDT_H
+
+#ifndef LFM_USDT
+#define LFM_USDT 1
+#endif
+
+#if LFM_USDT
+
+namespace lfm {
+namespace usdt {
+/// Resolves LFM_USDT once (strict parse, default enabled). Defined in
+/// Usdt.cpp so the policy lives next to the RuntimeConfig registry.
+bool enabledSlow();
+inline bool enabled() {
+  static const bool E = enabledSlow();
+  return E;
+}
+} // namespace usdt
+} // namespace lfm
+
+#if defined(__has_include)
+#if __has_include(<sys/sdt.h>)
+#define LFM_USDT_HAVE_SYS_SDT 1
+#endif
+#endif
+
+#ifdef LFM_USDT_HAVE_SYS_SDT
+
+#include <sys/sdt.h>
+
+#define LFM_USDT_EMIT0(name) DTRACE_PROBE(lfmalloc, name)
+#define LFM_USDT_EMIT1(name, a) DTRACE_PROBE1(lfmalloc, name, a)
+#define LFM_USDT_EMIT2(name, a, b) DTRACE_PROBE2(lfmalloc, name, a, b)
+
+#elif defined(__x86_64__) || defined(__aarch64__)
+
+// Built-in stapsdt note emitter for 64-bit targets: the exact section
+// layout systemtap's <sys/sdt.h> produces (note type 3, name "stapsdt",
+// desc = probe PC, link-time base, semaphore (0 = none), provider, name,
+// arg template), restricted to u64 arguments. The .stapsdt.base comdat
+// anchor lets consumers undo prelink-style address shifts.
+#define LFM_USDT_BASE_ASM                                                    \
+  ".ifndef _.stapsdt.base\n"                                                 \
+  ".pushsection .stapsdt.base,\"aG\",\"progbits\",.stapsdt.base,comdat\n"    \
+  ".weak _.stapsdt.base\n"                                                   \
+  ".hidden _.stapsdt.base\n"                                                 \
+  "_.stapsdt.base: .space 1\n"                                               \
+  ".size _.stapsdt.base, 1\n"                                                \
+  ".popsection\n"                                                            \
+  ".endif\n"
+
+#define LFM_USDT_NOTE(name, argtemplate)                                     \
+  "990: nop\n"                                                               \
+  ".pushsection .note.stapsdt,\"?\",\"note\"\n"                              \
+  ".balign 4\n"                                                              \
+  ".4byte 992f-991f, 994f-993f, 3\n"                                         \
+  "991: .asciz \"stapsdt\"\n"                                                \
+  "992: .balign 4\n"                                                         \
+  "993: .8byte 990b\n"                                                       \
+  ".8byte _.stapsdt.base\n"                                                  \
+  ".8byte 0\n"                                                               \
+  ".asciz \"lfmalloc\"\n"                                                    \
+  ".asciz \"" name "\"\n"                                                    \
+  ".asciz " argtemplate "\n"                                                 \
+  "994: .balign 4\n"                                                         \
+  ".popsection\n" LFM_USDT_BASE_ASM
+
+#define LFM_USDT_EMIT0(name)                                                 \
+  __asm__ __volatile__(LFM_USDT_NOTE(#name, "\"\"") ::: "memory")
+#define LFM_USDT_EMIT1(name, a)                                              \
+  __asm__ __volatile__(LFM_USDT_NOTE(#name, "\"8@%0\"") ::"nor"(             \
+                           (unsigned long)(a))                    \
+                       : "memory")
+#define LFM_USDT_EMIT2(name, a, b)                                           \
+  __asm__ __volatile__(LFM_USDT_NOTE(#name, "\"8@%0 8@%1\"") ::"nor"(        \
+                           (unsigned long)(a)),                   \
+                       "nor"((unsigned long)(b))                  \
+                       : "memory")
+
+#else // Unknown target: keep the build working, emit nothing.
+
+#define LFM_USDT_EMIT0(name)                                                 \
+  do {                                                                       \
+  } while (0)
+#define LFM_USDT_EMIT1(name, a)                                              \
+  do {                                                                       \
+    (void)(a);                                                               \
+  } while (0)
+#define LFM_USDT_EMIT2(name, a, b)                                           \
+  do {                                                                       \
+    (void)(a);                                                               \
+    (void)(b);                                                               \
+  } while (0)
+
+#endif // LFM_USDT_HAVE_SYS_SDT
+
+/// Probe-site macros: cached-bool gate (LFM_USDT env) around the nop-sled
+/// note. Rare paths only — never place one on the malloc/free fast path.
+#define LFM_PROBE(name)                                                      \
+  do {                                                                       \
+    if (lfm::usdt::enabled())                                                \
+      LFM_USDT_EMIT0(name);                                                  \
+  } while (0)
+#define LFM_PROBE1(name, a)                                                  \
+  do {                                                                       \
+    if (lfm::usdt::enabled())                                                \
+      LFM_USDT_EMIT1(name, a);                                               \
+  } while (0)
+#define LFM_PROBE2(name, a, b)                                               \
+  do {                                                                       \
+    if (lfm::usdt::enabled())                                                \
+      LFM_USDT_EMIT2(name, a, b);                                            \
+  } while (0)
+
+#else // !LFM_USDT
+
+#define LFM_PROBE(name)                                                      \
+  do {                                                                       \
+  } while (0)
+#define LFM_PROBE1(name, a)                                                  \
+  do {                                                                       \
+    (void)sizeof(a);                                                         \
+  } while (0)
+#define LFM_PROBE2(name, a, b)                                               \
+  do {                                                                       \
+    (void)sizeof(a);                                                         \
+    (void)sizeof(b);                                                         \
+  } while (0)
+
+#endif // LFM_USDT
+
+#endif // LFMALLOC_SUPPORT_USDT_H

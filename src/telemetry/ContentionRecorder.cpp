@@ -13,6 +13,7 @@
 #include "telemetry/ContentionRecorder.h"
 
 #include "profiling/FdWriter.h"
+#include "support/Usdt.h"
 #include "telemetry/ContentionHook.h"
 
 #include <limits>
@@ -304,10 +305,13 @@ WatchdogReport ContentionRecorder::watchdogScan(int DiagFd) {
     }
     if (!Flagged)
       continue;
-    if (IsStorm)
+    if (IsStorm) {
       ++Rep.Storms;
-    else
+      LFM_PROBE2(watchdog_storm, SitePlus1 - 1, Attempts);
+    } else {
       ++Rep.Stalls;
+      LFM_PROBE2(watchdog_stall, SitePlus1 - 1, AgeNs);
+    }
     if (DiagFd >= 0) {
       const ContentionSite S = static_cast<ContentionSite>(SitePlus1 - 1);
       W.str("lf_malloc watchdog: ");

@@ -1,0 +1,99 @@
+//===- telemetry/DumpSignal.cpp - Consolidated SIGUSR2 dump arming --------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/DumpSignal.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+using namespace lfm;
+using namespace lfm::telemetry;
+
+namespace {
+
+// Fixed CAS-claimed slot table. A slot holds null (free), a live
+// callback, or Tombstone after unregistration; the handler walks all
+// claimed slots in registration order. Tombstoned slots are not reused —
+// capacity is sized for subsystems, not churn.
+void tombstoneFn() {}
+constexpr DumpCallback Tombstone = &tombstoneFn;
+
+std::atomic<DumpCallback> Slots[DumpSignalCapacity] = {};
+std::atomic<bool> HandlerInstalled{false};
+
+void sigusr2Chain(int) {
+  const int Saved = errno;
+  dumpSignalFire();
+  errno = Saved;
+}
+
+} // namespace
+
+int lfm::telemetry::dumpSignalRegister(DumpCallback Cb) {
+  if (Cb == nullptr || Cb == Tombstone)
+    return EINVAL;
+  for (unsigned I = 0; I < DumpSignalCapacity; ++I) {
+    DumpCallback Cur = Slots[I].load(std::memory_order_acquire);
+    if (Cur == Cb)
+      return 0; // Idempotent: already armed.
+    if (Cur != nullptr)
+      continue;
+    DumpCallback Expected = nullptr;
+    if (Slots[I].compare_exchange_strong(Expected, Cb,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      if (!HandlerInstalled.exchange(true, std::memory_order_acq_rel)) {
+        struct sigaction SA;
+        std::memset(&SA, 0, sizeof(SA));
+        SA.sa_handler = sigusr2Chain;
+        sigemptyset(&SA.sa_mask);
+        SA.sa_flags = SA_RESTART;
+        sigaction(SIGUSR2, &SA, nullptr);
+      }
+      return 0;
+    }
+    if (Expected == Cb)
+      return 0; // Lost the race to a concurrent identical registration.
+  }
+  return ENOSPC;
+}
+
+int lfm::telemetry::dumpSignalUnregister(DumpCallback Cb) {
+  if (Cb == nullptr)
+    return EINVAL;
+  for (unsigned I = 0; I < DumpSignalCapacity; ++I) {
+    DumpCallback Expected = Cb;
+    if (Slots[I].compare_exchange_strong(Expected, Tombstone,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+      return 0;
+  }
+  return ENOENT;
+}
+
+unsigned lfm::telemetry::dumpSignalCount() {
+  unsigned N = 0;
+  for (unsigned I = 0; I < DumpSignalCapacity; ++I) {
+    const DumpCallback Cb = Slots[I].load(std::memory_order_acquire);
+    if (Cb != nullptr && Cb != Tombstone)
+      ++N;
+  }
+  return N;
+}
+
+bool lfm::telemetry::dumpSignalInstalled() {
+  return HandlerInstalled.load(std::memory_order_acquire);
+}
+
+void lfm::telemetry::dumpSignalFire() {
+  for (unsigned I = 0; I < DumpSignalCapacity; ++I) {
+    const DumpCallback Cb = Slots[I].load(std::memory_order_acquire);
+    if (Cb != nullptr && Cb != Tombstone)
+      Cb();
+  }
+}

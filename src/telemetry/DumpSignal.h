@@ -1,0 +1,59 @@
+//===- telemetry/DumpSignal.h - Consolidated SIGUSR2 dump arming -*- C++ -*-=//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One registrar for every SIGUSR2-triggered dump. Historically the heap
+/// profiler, latency exposition, flight-recorder flush, and shm publish
+/// would each have armed the handler themselves — whichever ran last won,
+/// and init order decided which dumps fired. Instead, subsystems register
+/// an async-signal-safe callback here; the single process-wide handler
+/// (installed on first registration, SA_RESTART, errno-preserving) chains
+/// every registered callback in registration order.
+///
+/// Registration is lock-free (CAS-claimed fixed slots) and callbacks are
+/// never unregistered implicitly; the capacity is a compile-time constant
+/// far above the number of subsystems. Not gated on LFM_TELEMETRY: this
+/// is signal plumbing, not telemetry state, and the shim arms it in every
+/// build configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFMALLOC_TELEMETRY_DUMPSIGNAL_H
+#define LFMALLOC_TELEMETRY_DUMPSIGNAL_H
+
+namespace lfm {
+namespace telemetry {
+
+/// A dump hook. Must be async-signal-safe: raw-fd I/O over pre-cached
+/// state only, no allocation, no locks.
+using DumpCallback = void (*)();
+
+inline constexpr unsigned DumpSignalCapacity = 8;
+
+/// Registers \p Cb and installs the SIGUSR2 handler if this is the first
+/// registration. Duplicate registrations are idempotent. \returns 0,
+/// EINVAL for a null callback, or ENOSPC when the slot table is full.
+int dumpSignalRegister(DumpCallback Cb);
+
+/// Removes \p Cb (slot is tombstoned, not reused). The handler stays
+/// installed. \returns 0 or ENOENT. Test lifecycle hook.
+int dumpSignalUnregister(DumpCallback Cb);
+
+/// Number of currently registered callbacks.
+unsigned dumpSignalCount();
+
+/// True once the SIGUSR2 handler has been installed.
+bool dumpSignalInstalled();
+
+/// Runs every registered callback, exactly as the signal handler would
+/// (errno preserved). The handler itself calls this; tests call it to
+/// exercise the chain without signal delivery.
+void dumpSignalFire();
+
+} // namespace telemetry
+} // namespace lfm
+
+#endif // LFMALLOC_TELEMETRY_DUMPSIGNAL_H

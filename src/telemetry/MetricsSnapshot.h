@@ -142,6 +142,13 @@ struct MetricsSnapshot {
   std::uint64_t WatchdogStalls = 0;
   std::uint64_t WatchdogStorms = 0;
 
+  // Shared-memory stats segment (lfm-metrics-v5; telemetry/ShmStats.h).
+  // All zero when no segment is mapped or LFM_TELEMETRY=0.
+  bool ShmStatsActive = false;
+  std::uint64_t ShmStatsEpoch = 0;     ///< Epoch of the last frame.
+  std::uint64_t ShmStatsPublishes = 0; ///< Frames published so far.
+  std::uint64_t ShmStatsBytes = 0;     ///< Mapped segment size.
+
   // Configuration echo, so a JSON consumer can interpret the numbers.
   std::uint64_t Heaps = 0;
   std::uint64_t Classes = 0;
@@ -168,7 +175,7 @@ struct MetricsSnapshot {
   }
 };
 
-/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v4",
+/// Writes \p Snap as a single JSON object: {"schema":"lfm-metrics-v5",
 /// "config":{...},"space":{...},"counters":{...},"gauges":{...},
 /// "latency":{...},"contention":{...}}. Each version is a strict superset
 /// of the previous: every v1/v2 field keeps its name and position, so

@@ -188,6 +188,19 @@ void lfm::telemetry::promWriteMetrics(profiling::FdWriter &W,
   counter(W, "contention_watchdog_storms",
           "Slots flagged as retry storms (retrying without succeeding).",
           Snap.WatchdogStorms);
+
+  // Shared-memory stats segment (lfm-metrics-v5).
+  gauge(W, "shmstats_active",
+        "1 while an lfm-shmstats-v1 segment is mapped.",
+        Snap.ShmStatsActive ? 1 : 0);
+  counter(W, "shmstats_epoch",
+          "Epoch of the last frame published to the shared segment.",
+          Snap.ShmStatsEpoch);
+  counter(W, "shmstats_publishes",
+          "Frames published to the shared segment.",
+          Snap.ShmStatsPublishes);
+  gauge(W, "shmstats_segment_bytes",
+        "Mapped size of the shared stats segment.", Snap.ShmStatsBytes);
 }
 
 void lfm::telemetry::promWriteLatencyHelp(profiling::FdWriter &W) {

@@ -405,7 +405,7 @@ private:
 template <class Writer>
 void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.beginObject();
-  W.field("schema", "lfm-metrics-v4");
+  W.field("schema", "lfm-metrics-v5");
 
   W.key("config");
   W.beginObject();
@@ -573,6 +573,17 @@ void emitMetricsDoc(Writer &W, const MetricsSnapshot &Snap) {
   W.field("stalls", Snap.WatchdogStalls);
   W.field("storms", Snap.WatchdogStorms);
   W.endObject();
+  W.endObject();
+
+  // The v5 addition: the shared-memory stats segment's own health, so a
+  // JSON consumer can correlate this document with the lfm-shmstats-v1
+  // frame an out-of-process inspector read (equal epoch = same numbers).
+  W.key("shmstats");
+  W.beginObject();
+  W.field("active", Snap.ShmStatsActive);
+  W.field("epoch", Snap.ShmStatsEpoch);
+  W.field("publishes", Snap.ShmStatsPublishes);
+  W.field("segment_bytes", Snap.ShmStatsBytes);
   W.endObject();
 
   W.endObject();

@@ -497,7 +497,7 @@ TEST(AllocatorContention, MetricsJsonCarriesTheContentionSection) {
     Alloc.deallocate(P);
 
   const std::string Json = capture(Alloc, &LFAllocator::metricsJson);
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v4\""), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v5\""), std::string::npos);
   EXPECT_NE(Json.find("\"contention\""), std::string::npos);
   EXPECT_NE(Json.find("\"heat\""), std::string::npos);
   EXPECT_NE(Json.find("\"watchdog\""), std::string::npos);

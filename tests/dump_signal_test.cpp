@@ -1,0 +1,115 @@
+//===- tests/dump_signal_test.cpp - Consolidated SIGUSR2 registrar --------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+// The DumpSignal registrar replaced per-subsystem sigaction calls, where
+// whichever subsystem initialized last won the handler and init order
+// decided which dumps fired. These tests pin the consolidated contract:
+// every registered callback fires from one trigger regardless of the
+// order subsystems armed themselves, both via dumpSignalFire() and via a
+// real SIGUSR2 delivery.
+//
+// The slot table is process-wide and tombstoned slots are never reused,
+// so the tests share one budget of DumpSignalCapacity slots; they are
+// written to consume exactly that budget, ending on the ENOSPC check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/DumpSignal.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <vector>
+
+using namespace lfm;
+using namespace lfm::telemetry;
+
+namespace {
+
+// Call journal. The raise() test runs on a quiesced single-threaded
+// process, so the handler touching these plain globals is safe.
+std::vector<int> Journal;
+volatile std::sig_atomic_t SignalCalls[4] = {};
+
+// Distinct function pointers standing in for the subsystems (profiler,
+// latency, trace flush, shm publish). Each records its identity.
+template <int N> void subsystem() {
+  Journal.push_back(N);
+  if (N < 4)
+    SignalCalls[N] = SignalCalls[N] + 1;
+}
+
+} // namespace
+
+// One binary-wide fixture-less sequence: gtest runs these in definition
+// order, and the comments track the slot budget (capacity 8).
+TEST(DumpSignal, AllRegistrantsFireRegardlessOfArmingOrder) {
+  Journal.reserve(16); // No allocation later, even inside the handler.
+  ASSERT_EQ(dumpSignalCount(), 0u);
+  EXPECT_FALSE(dumpSignalInstalled());
+  EXPECT_EQ(dumpSignalRegister(nullptr), EINVAL);
+
+  // "Init order" deliberately scrambled: the latency dump arms before the
+  // profiler, the shm publisher last. Slots consumed: 3.
+  ASSERT_EQ(dumpSignalRegister(&subsystem<2>), 0);
+  ASSERT_EQ(dumpSignalRegister(&subsystem<0>), 0);
+  ASSERT_EQ(dumpSignalRegister(&subsystem<1>), 0);
+  EXPECT_TRUE(dumpSignalInstalled())
+      << "first registration must install the handler";
+  EXPECT_EQ(dumpSignalCount(), 3u);
+
+  // Re-arming is idempotent — the historical failure mode was the second
+  // subsystem silently replacing the first.
+  EXPECT_EQ(dumpSignalRegister(&subsystem<0>), 0);
+  EXPECT_EQ(dumpSignalCount(), 3u);
+
+  Journal.clear();
+  dumpSignalFire();
+  EXPECT_EQ(Journal, (std::vector<int>{2, 0, 1}))
+      << "every registrant fires exactly once, in registration order";
+}
+
+TEST(DumpSignal, RealSignalDeliveryRunsTheWholeChain) {
+  ASSERT_EQ(dumpSignalCount(), 3u) << "expects the prior test's registrants";
+  SignalCalls[0] = 0;
+  SignalCalls[1] = 0;
+  SignalCalls[2] = 0;
+  Journal.clear();
+  ASSERT_EQ(std::raise(SIGUSR2), 0);
+  EXPECT_EQ(SignalCalls[0], 1);
+  EXPECT_EQ(SignalCalls[1], 1);
+  EXPECT_EQ(SignalCalls[2], 1);
+}
+
+TEST(DumpSignal, UnregisterTombstonesWithoutDisturbingOthers) {
+  ASSERT_EQ(dumpSignalUnregister(&subsystem<0>), 0);
+  EXPECT_EQ(dumpSignalUnregister(&subsystem<0>), ENOENT) << "already gone";
+  EXPECT_EQ(dumpSignalUnregister(nullptr), EINVAL);
+  EXPECT_EQ(dumpSignalCount(), 2u);
+
+  Journal.clear();
+  dumpSignalFire();
+  EXPECT_EQ(Journal, (std::vector<int>{2, 1}))
+      << "survivors keep firing in their original order";
+
+  // A late registration lands behind the survivors (slot 4 of 8; the
+  // tombstone is not reused).
+  ASSERT_EQ(dumpSignalRegister(&subsystem<3>), 0);
+  Journal.clear();
+  dumpSignalFire();
+  EXPECT_EQ(Journal, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(DumpSignal, CapacityExhaustionReportsEnospc) {
+  // 4 slots consumed so far (3 live + 1 tombstone). Fill the remaining 4.
+  ASSERT_EQ(dumpSignalRegister(&subsystem<4>), 0);
+  ASSERT_EQ(dumpSignalRegister(&subsystem<5>), 0);
+  ASSERT_EQ(dumpSignalRegister(&subsystem<6>), 0);
+  ASSERT_EQ(dumpSignalRegister(&subsystem<7>), 0);
+  EXPECT_EQ(dumpSignalCount(), 7u);
+  EXPECT_EQ(dumpSignalRegister(&subsystem<8>), ENOSPC);
+  // Idempotent re-registration still succeeds at capacity.
+  EXPECT_EQ(dumpSignalRegister(&subsystem<7>), 0);
+}

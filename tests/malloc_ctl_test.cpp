@@ -290,7 +290,7 @@ TEST(MallocCtl, EnvRegistryMapsOneToOneOntoCtlKeys) {
     EXPECT_GT(Need, 0u) << Spec.CtlKey;
     ++Mapped;
   }
-  EXPECT_EQ(Mapped, 27u) << "allocator-facing variable count changed; "
+  EXPECT_EQ(Mapped, 29u) << "allocator-facing variable count changed; "
                             "update docs/API.md and this test";
 }
 

@@ -181,7 +181,7 @@ TEST(Preload, BackgroundExporterPublishesArtifacts) {
   EXPECT_EQ(Prom.rfind("# HELP ", 0), 0u) << Prom.substr(0, 120);
   EXPECT_NE(Prom.find("lf_malloc_mallocs_total"), std::string::npos);
   const std::string Json = slurp("./preload-exp.metrics.json");
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v4\""), std::string::npos)
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v5\""), std::string::npos)
       << Json.substr(0, 120);
   std::system("rm -f ./preload-exp.prom ./preload-exp.metrics.json "
               "./preload-exp.*.prom");

@@ -90,7 +90,7 @@ TEST(StatsExporter, FlushPublishesAtomicArtifacts) {
   const std::string Json = slurp("./lfm-exporter-test.metrics.json");
   ASSERT_FALSE(Json.empty());
   EXPECT_EQ(Json.front(), '{');
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v4\""), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v5\""), std::string::npos);
   EXPECT_NE(Json.find("\"latency\""), std::string::npos);
 
   const std::string Prom = slurp("./lfm-exporter-test.prom");

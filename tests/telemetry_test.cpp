@@ -444,7 +444,7 @@ TEST(Telemetry, MetricsJsonIsWellFormed) {
 
   const std::string Json = capture(Alloc, &LFAllocator::metricsJson);
   EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v4\""), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"lfm-metrics-v5\""), std::string::npos);
   EXPECT_NE(Json.find("\"counters\""), std::string::npos);
   EXPECT_NE(Json.find("\"mallocs\""), std::string::npos);
   EXPECT_NE(Json.find("\"space\""), std::string::npos);

@@ -1,0 +1,531 @@
+//===- tools/lfm-top.cpp - Out-of-process allocator inspector -------------===//
+//
+// Part of lfmalloc. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Attaches to a live (or dead) lfmalloc process through its
+// lfm-shmstats-v1 shared-memory segment and renders the allocator's
+// telemetry without any cooperation from the target: no ctl call, no
+// signal, no exporter thread — the segment is parsed with seqlock'd
+// copies that stay consistent even while the target spins in a retry
+// storm. Deliberately not linked against the allocator; the wire format
+// header is the only shared code.
+//
+//   lfm-top --pid <pid>            attach via /proc/<pid>/fd (memfd segment)
+//   lfm-top --segment <path>       attach to a file-backed segment
+//   lfm-top --core <corefile>      extract the final frame from a core dump
+//   lfm-top --once [--json]        one snapshot (JSON for scripting)
+//   lfm-top --interval <ms>        watch mode refresh period (default 1000)
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/ShmStatsFormat.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <elf.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+using namespace lfm;
+
+namespace {
+
+struct Options {
+  long Pid = -1;
+  const char *SegmentPath = nullptr;
+  const char *CorePath = nullptr;
+  bool Once = false;
+  bool Json = false;
+  std::uint64_t IntervalMs = 1000;
+};
+
+[[noreturn]] void usage(int Rc) {
+  std::fprintf(
+      Rc == 0 ? stdout : stderr,
+      "usage: lfm-top (--pid <pid> | --segment <path> | --core <file>)\n"
+      "               [--once] [--json] [--interval <ms>]\n"
+      "\n"
+      "Attaches to an lfmalloc process via its lfm-shmstats-v1 segment\n"
+      "(LFM_SHM_STATS=1 or =<path> in the target's environment) and shows\n"
+      "live op rates, latency quantiles, CAS retry distributions,\n"
+      "superblock heat, and watchdog verdicts. --core extracts the final\n"
+      "published frame from a core dump. --once --json emits one\n"
+      "machine-readable snapshot.\n");
+  std::exit(Rc);
+}
+
+[[noreturn]] void die(const char *Fmt, const char *Arg = nullptr) {
+  std::fprintf(stderr, "lfm-top: ");
+  std::fprintf(stderr, Fmt, Arg);
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+std::uint64_t nowWallNs() {
+  timespec Ts{};
+  clock_gettime(CLOCK_REALTIME, &Ts);
+  return static_cast<std::uint64_t>(Ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(Ts.tv_nsec);
+}
+
+/// A mapped (or loaded) segment plus how it may be read.
+struct Attachment {
+  const void *Buf = nullptr;
+  std::size_t Len = 0;
+  bool Live = false; ///< Concurrently written: use the retry loop.
+  long Pid = -1;     ///< Target pid when known (for /proc RSS).
+};
+
+/// --segment / --pid attach: mmap the backing read-only and read it live.
+Attachment attachFile(const char *Path, long Pid) {
+  const int Fd = ::open(Path, O_RDONLY);
+  if (Fd < 0)
+    die("cannot open %s", Path);
+  struct stat St{};
+  if (::fstat(Fd, &St) != 0 || St.st_size <= 0)
+    die("cannot stat %s", Path);
+  void *Map = ::mmap(nullptr, static_cast<std::size_t>(St.st_size), PROT_READ,
+                     MAP_SHARED, Fd, 0);
+  ::close(Fd); // The mapping keeps the segment alive.
+  if (Map == MAP_FAILED)
+    die("cannot map %s", Path);
+  Attachment A;
+  A.Buf = Map;
+  A.Len = static_cast<std::size_t>(St.st_size);
+  A.Live = true;
+  A.Pid = Pid;
+  return A;
+}
+
+/// --pid attach: find the memfd named lfm-shmstats among the target's
+/// open descriptors and map it through /proc. Requires the same access a
+/// debugger needs (same user or CAP_SYS_PTRACE).
+Attachment attachPid(long Pid) {
+  char Dir[64];
+  std::snprintf(Dir, sizeof(Dir), "/proc/%ld/fd", Pid);
+  DIR *D = ::opendir(Dir);
+  if (D == nullptr)
+    die("cannot read %s (is the pid right, and yours?)", Dir);
+  char Found[320] = "";
+  while (dirent *E = ::readdir(D)) {
+    if (E->d_name[0] == '.')
+      continue;
+    char LinkPath[320], Target[256];
+    std::snprintf(LinkPath, sizeof(LinkPath), "/proc/%ld/fd/%s", Pid,
+                  E->d_name);
+    const ssize_t N = ::readlink(LinkPath, Target, sizeof(Target) - 1);
+    if (N <= 0)
+      continue;
+    Target[N] = '\0';
+    if (std::strstr(Target, "memfd:lfm-shmstats") != nullptr) {
+      std::memcpy(Found, LinkPath, std::strlen(LinkPath) + 1);
+      break;
+    }
+  }
+  ::closedir(D);
+  if (Found[0] == '\0')
+    die("pid %s has no lfm-shmstats memfd (target needs LFM_SHM_STATS=1; "
+        "file-backed segments attach with --segment <path>)",
+        Dir + 6); // Skip "/proc/" for the message.
+  return attachFile(Found, Pid);
+}
+
+/// --core attach: scan every PT_LOAD segment's file bytes for the magic
+/// and keep the candidate whose stable frame has the highest epoch. The
+/// segment is a shared mapping, which default coredump_filter settings
+/// (bits 0x3) include in full.
+Attachment attachCore(const char *Path) {
+  const int Fd = ::open(Path, O_RDONLY);
+  if (Fd < 0)
+    die("cannot open %s", Path);
+  struct stat St{};
+  if (::fstat(Fd, &St) != 0 || St.st_size < (off_t)sizeof(Elf64_Ehdr))
+    die("cannot stat %s (or not a core file)", Path);
+  const std::size_t Len = static_cast<std::size_t>(St.st_size);
+  const void *Map = ::mmap(nullptr, Len, PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd);
+  if (Map == MAP_FAILED)
+    die("cannot map %s", Path);
+  const auto *Bytes = static_cast<const unsigned char *>(Map);
+  const auto *Eh = reinterpret_cast<const Elf64_Ehdr *>(Bytes);
+  if (std::memcmp(Eh->e_ident, ELFMAG, SELFMAG) != 0 ||
+      Eh->e_ident[EI_CLASS] != ELFCLASS64 || Eh->e_type != ET_CORE)
+    die("%s is not an ELF64 core file", Path);
+  const unsigned char *Best = nullptr;
+  std::uint64_t BestEpoch = 0;
+  std::size_t BestLen = 0;
+  for (unsigned I = 0; I < Eh->e_phnum; ++I) {
+    const auto *Ph = reinterpret_cast<const Elf64_Phdr *>(
+        Bytes + Eh->e_phoff + static_cast<std::size_t>(I) * Eh->e_phentsize);
+    if (Ph->p_type != PT_LOAD || Ph->p_filesz == 0)
+      continue;
+    if (Ph->p_offset + Ph->p_filesz > Len)
+      continue; // Clipped core; skip rather than read past the file.
+    const unsigned char *Seg = Bytes + Ph->p_offset;
+    const std::size_t SegLen = static_cast<std::size_t>(Ph->p_filesz);
+    for (std::size_t Off = 0; Off + sizeof(std::uint64_t) <= SegLen;
+         Off += 4096) {
+      std::uint64_t Word;
+      std::memcpy(&Word, Seg + Off, sizeof(Word));
+      if (Word != shmstats::Magic)
+        continue;
+      shmstats::Frame F;
+      const shmstats::ReadStatus S =
+          shmstats::readLatestFrame(Seg + Off, SegLen - Off, F, false);
+      if (S == shmstats::ReadStatus::Ok && F.Epoch >= BestEpoch) {
+        Best = Seg + Off;
+        BestEpoch = F.Epoch;
+        BestLen = SegLen - Off;
+      }
+    }
+  }
+  if (Best == nullptr)
+    die("no stable lfm-shmstats-v1 segment found in %s (was the target "
+        "running with LFM_SHM_STATS, and did it ever publish?)",
+        Path);
+  Attachment A;
+  A.Buf = Best;
+  A.Len = BestLen;
+  A.Live = false;
+  return A;
+}
+
+/// Target resident set in bytes via /proc (0 when unknown/not attached by
+/// pid) — the one gauge the segment cannot carry itself.
+std::uint64_t targetRssBytes(long Pid) {
+  if (Pid < 0)
+    return 0;
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/proc/%ld/statm", Pid);
+  std::FILE *F = std::fopen(Path, "r");
+  if (F == nullptr)
+    return 0;
+  unsigned long long Size = 0, Rss = 0;
+  const int N = std::fscanf(F, "%llu %llu", &Size, &Rss);
+  std::fclose(F);
+  if (N != 2)
+    return 0;
+  return Rss * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+const shmstats::Segment *segment(const Attachment &A) {
+  return static_cast<const shmstats::Segment *>(A.Buf);
+}
+
+/// Looks a counter up by its wire name (the tool has no compiled-in enum
+/// knowledge; the segment is self-describing). \returns ~0u when absent.
+unsigned counterIndex(const shmstats::Segment *S, const char *Name) {
+  for (unsigned C = 0; C < S->H.NumCounters; ++C)
+    if (std::strncmp(S->N.CounterNames[C], Name, shmstats::NameCap) == 0)
+      return C;
+  return ~0u;
+}
+
+std::uint64_t counterOr0(const shmstats::Segment *S, const shmstats::Frame &F,
+                         const char *Name) {
+  const unsigned I = counterIndex(S, Name);
+  return I == ~0u ? 0 : F.P.Counters[I];
+}
+
+// ---------------------------------------------------------------- JSON --
+
+void jsonEscape(const char *S) {
+  for (; *S; ++S) {
+    if (*S == '"' || *S == '\\')
+      std::printf("\\%c", *S);
+    else if (static_cast<unsigned char>(*S) < 0x20)
+      std::printf("\\u%04x", *S);
+    else
+      std::putchar(*S);
+  }
+}
+
+void emitJson(const Attachment &A, const shmstats::Frame &F) {
+  const shmstats::Segment *S = segment(A);
+  const shmstats::Payload &P = F.P;
+  std::printf("{\"schema\":\"lfm-top-v1\",\"source\":\"%s\"",
+              A.Live ? "live" : "static");
+  std::printf(",\"segment\":{\"pid\":%u,\"start_wall_ns\":%" PRIu64
+              ",\"publishes\":%" PRIu64 ",\"bytes\":%zu}",
+              S->H.Pid, S->H.StartWallNs, F.Epoch, shmstats::SegmentBytes);
+  std::printf(",\"frame\":{\"epoch\":%" PRIu64 ",\"wall_ns\":%" PRIu64
+              ",\"mono_ns\":%" PRIu64 "}",
+              F.Epoch, F.WallNs, F.MonoNs);
+  const std::uint64_t Rss = targetRssBytes(A.Pid);
+  std::printf(",\"rss_bytes\":%" PRIu64, Rss);
+
+  std::printf(",\"counters\":{");
+  for (unsigned C = 0; C < S->H.NumCounters; ++C) {
+    std::printf("%s\"", C ? "," : "");
+    jsonEscape(S->N.CounterNames[C]);
+    std::printf("\":%" PRIu64, P.Counters[C]);
+  }
+  std::printf("}");
+
+  std::printf(",\"space\":{\"bytes_in_use\":%" PRIu64 ",\"peak_bytes\":%" PRIu64
+              ",\"map_calls\":%" PRIu64 ",\"unmap_calls\":%" PRIu64
+              ",\"decommit_calls\":%" PRIu64 ",\"bytes_decommitted\":%" PRIu64
+              ",\"map_retries\":%" PRIu64 ",\"map_failures\":%" PRIu64
+              ",\"bytes_reserved\":%" PRIu64 ",\"reserve_calls\":%" PRIu64 "}",
+              P.SpaceBytesInUse, P.SpacePeakBytes, P.SpaceMapCalls,
+              P.SpaceUnmapCalls, P.SpaceDecommitCalls, P.SpaceBytesDecommitted,
+              P.SpaceMapRetries, P.SpaceMapFailures, P.SpaceBytesReserved,
+              P.SpaceReserveCalls);
+
+  std::printf(",\"gauges\":{\"cached_superblocks\":%" PRIu64
+              ",\"retained_bytes\":%" PRIu64
+              ",\"decommitted_superblocks\":%" PRIu64
+              ",\"parked_hyperblocks\":%" PRIu64 ",\"retain_max_bytes\":%" PRIu64
+              ",\"descriptors_minted\":%" PRIu64 ",\"hazard_retired\":%" PRIu64
+              ",\"tcache_enabled\":%" PRIu64 ",\"tcache_magazine_blocks\":%" PRIu64
+              ",\"tcache_depot_blocks\":%" PRIu64
+              ",\"large_backend_buddy\":%" PRIu64
+              ",\"buddy_bytes_reserved\":%" PRIu64
+              ",\"buddy_bytes_committed\":%" PRIu64
+              ",\"buddy_bytes_allocated\":%" PRIu64 "}",
+              P.CachedSuperblocks, P.RetainedBytes, P.DecommittedSuperblocks,
+              P.ParkedHyperblocks, P.RetainMaxBytes, P.DescriptorsMinted,
+              P.HazardRetired, P.TcacheEnabled, P.TcacheMagazineBlocks,
+              P.TcacheDepotBlocks, P.LargeBackendBuddy, P.BuddyBytesReserved,
+              P.BuddyBytesCommitted, P.BuddyBytesAllocated);
+
+  std::printf(",\"latency\":{\"enabled\":%s,\"sample_period\":%" PRIu64
+              ",\"paths\":{",
+              P.LatencyEnabled ? "true" : "false", P.LatencySamplePeriod);
+  for (unsigned I = 0; I < S->H.NumLatencyPaths; ++I) {
+    const shmstats::PathStats &L = P.Latency[I];
+    std::printf("%s\"", I ? "," : "");
+    jsonEscape(S->N.LatencyPathNames[I]);
+    std::printf("\":{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
+                ",\"max_ns\":%" PRIu64 ",\"p50_upper_ns\":%" PRIu64
+                ",\"p99_upper_ns\":%" PRIu64 ",\"p999_upper_ns\":%" PRIu64 "}",
+                L.Count, L.SumNs, L.MaxNs, L.P50UpperNs, L.P99UpperNs,
+                L.P999UpperNs);
+  }
+  std::printf("}}");
+
+  std::printf(",\"contention\":{\"enabled\":%s,\"sample_period\":%" PRIu64
+              ",\"samples\":%" PRIu64 ",\"sites\":{",
+              P.ContentionEnabled ? "true" : "false", P.ContentionSamplePeriod,
+              P.ContentionSamples);
+  for (unsigned I = 0; I < S->H.NumContentionSites; ++I) {
+    const shmstats::SiteStats &C = P.Contention[I];
+    std::printf("%s\"", I ? "," : "");
+    jsonEscape(S->N.ContentionSiteNames[I]);
+    std::printf("\":{\"count\":%" PRIu64 ",\"retries_sum\":%" PRIu64
+                ",\"retries_max\":%" PRIu64 ",\"retries_p50\":%" PRIu64
+                ",\"retries_p99\":%" PRIu64 ",\"loop_p99_upper_ns\":%" PRIu64
+                "}",
+                C.Count, C.RetriesSum, C.RetriesMax, C.RetriesP50, C.RetriesP99,
+                C.LoopP99UpperNs);
+  }
+  std::printf("},\"heat\":[");
+  for (std::uint64_t I = 0; I < P.ContentionHeatCount; ++I) {
+    const shmstats::HeatEntry &H = P.ContentionHeat[I];
+    std::printf("%s{\"sb\":%" PRIu64 ",\"class\":%" PRIu64
+                ",\"retries\":%" PRIu64 "}",
+                I ? "," : "", H.Sb, H.Class, H.Retries);
+  }
+  std::printf("],\"watchdog\":{\"armed\":%s,\"scans\":%" PRIu64
+              ",\"stalls\":%" PRIu64 ",\"storms\":%" PRIu64 "}}",
+              P.WatchdogArmed ? "true" : "false", P.WatchdogScans,
+              P.WatchdogStalls, P.WatchdogStorms);
+
+  std::printf(",\"config\":{\"heaps\":%" PRIu64 ",\"size_classes\":%" PRIu64
+              ",\"superblock_bytes\":%" PRIu64 ",\"hyperblock_bytes\":%" PRIu64
+              ",\"stats_enabled\":%s,\"telemetry_compiled\":%s}",
+              P.Heaps, P.Classes, P.SuperblockBytes, P.HyperblockBytes,
+              P.StatsEnabled ? "true" : "false",
+              P.TelemetryCompiled ? "true" : "false");
+  std::printf("}\n");
+}
+
+// ---------------------------------------------------------------- text --
+
+void fmtBytes(std::uint64_t B, char *Out, std::size_t Cap) {
+  const char *Units[] = {"B", "K", "M", "G", "T"};
+  double V = static_cast<double>(B);
+  unsigned U = 0;
+  while (V >= 1024.0 && U < 4) {
+    V /= 1024.0;
+    ++U;
+  }
+  std::snprintf(Out, Cap, U == 0 ? "%.0f%s" : "%.1f%s", V, Units[U]);
+}
+
+void fmtCount(double V, char *Out, std::size_t Cap) {
+  if (V >= 1e9)
+    std::snprintf(Out, Cap, "%.2fG", V / 1e9);
+  else if (V >= 1e6)
+    std::snprintf(Out, Cap, "%.2fM", V / 1e6);
+  else if (V >= 1e3)
+    std::snprintf(Out, Cap, "%.1fk", V / 1e3);
+  else
+    std::snprintf(Out, Cap, "%.0f", V);
+}
+
+/// One human-readable refresh. \p Prev (epoch > 0) enables rate columns.
+void emitText(const Attachment &A, const shmstats::Frame &F,
+              const shmstats::Frame &Prev) {
+  const shmstats::Segment *S = segment(A);
+  const shmstats::Payload &P = F.P;
+  const bool HaveRates = Prev.Epoch > 0 && F.MonoNs > Prev.MonoNs;
+  const double Dt =
+      HaveRates ? static_cast<double>(F.MonoNs - Prev.MonoNs) / 1e9 : 0.0;
+
+  const std::uint64_t AgeNs =
+      nowWallNs() > F.WallNs ? nowWallNs() - F.WallNs : 0;
+  std::printf("lfm-top  pid %u  epoch %" PRIu64 "  published %.1fs ago  "
+              "segment %zu bytes%s\n",
+              S->H.Pid, F.Epoch, static_cast<double>(AgeNs) / 1e9,
+              shmstats::SegmentBytes, A.Live ? "" : "  [post-mortem]");
+
+  const std::uint64_t Mallocs = counterOr0(S, F, "mallocs");
+  const std::uint64_t Frees = counterOr0(S, F, "frees");
+  char B1[32], B2[32], B3[32], B4[32];
+  fmtCount(static_cast<double>(Mallocs), B1, sizeof(B1));
+  fmtCount(static_cast<double>(Frees), B2, sizeof(B2));
+  std::printf("ops      mallocs %-10s frees %-10s", B1, B2);
+  if (HaveRates) {
+    const shmstats::Segment *SP = S;
+    const std::uint64_t PM = counterOr0(SP, Prev, "mallocs");
+    const std::uint64_t PF = counterOr0(SP, Prev, "frees");
+    fmtCount((static_cast<double>(Mallocs - PM)) / Dt, B3, sizeof(B3));
+    fmtCount((static_cast<double>(Frees - PF)) / Dt, B4, sizeof(B4));
+    std::printf("  rate %s/s malloc, %s/s free", B3, B4);
+  }
+  std::printf("\n");
+
+  fmtBytes(P.SpaceBytesInUse, B1, sizeof(B1));
+  fmtBytes(P.SpacePeakBytes, B2, sizeof(B2));
+  fmtBytes(P.SpaceBytesReserved, B3, sizeof(B3));
+  fmtBytes(targetRssBytes(A.Pid), B4, sizeof(B4));
+  std::printf("space    in-use %-8s peak %-8s reserved %-8s rss %s\n", B1, B2,
+              B3, A.Pid >= 0 ? B4 : "-");
+
+  fmtBytes(P.RetainedBytes, B1, sizeof(B1));
+  fmtBytes(P.BuddyBytesCommitted, B2, sizeof(B2));
+  std::printf("retain   cached-sbs %" PRIu64 "  retained %-8s parked %" PRIu64
+              "  buddy-committed %s\n",
+              P.CachedSuperblocks, B1, P.ParkedHyperblocks, B2);
+
+  if (P.LatencyEnabled) {
+    std::printf("latency  %-22s %10s %9s %9s %9s\n", "path", "count", "p50ns",
+                "p99ns", "p999ns");
+    for (unsigned I = 0; I < S->H.NumLatencyPaths; ++I) {
+      const shmstats::PathStats &L = P.Latency[I];
+      if (L.Count == 0)
+        continue;
+      std::printf("         %-22s %10" PRIu64 " %9" PRIu64 " %9" PRIu64
+                  " %9" PRIu64 "\n",
+                  S->N.LatencyPathNames[I], L.Count, L.P50UpperNs, L.P99UpperNs,
+                  L.P999UpperNs);
+    }
+  }
+
+  if (P.ContentionEnabled) {
+    std::printf("cas      %-22s %10s %9s %12s\n", "site", "count", "ret-p99",
+                "loop-p99ns");
+    for (unsigned I = 0; I < S->H.NumContentionSites; ++I) {
+      const shmstats::SiteStats &C = P.Contention[I];
+      if (C.Count == 0)
+        continue;
+      std::printf("         %-22s %10" PRIu64 " %9" PRIu64 " %12" PRIu64 "\n",
+                  S->N.ContentionSiteNames[I], C.Count, C.RetriesP99,
+                  C.LoopP99UpperNs);
+    }
+    for (std::uint64_t I = 0; I < P.ContentionHeatCount; ++I) {
+      const shmstats::HeatEntry &H = P.ContentionHeat[I];
+      std::printf("heat     sb 0x%-14" PRIx64 " class %-3" PRIu64
+                  " retries %" PRIu64 "\n",
+                  H.Sb, H.Class, H.Retries);
+    }
+    std::printf("watchdog %s  scans %" PRIu64 "  stalls %" PRIu64
+                "  storms %" PRIu64 "\n",
+                P.WatchdogArmed ? "armed" : "unarmed", P.WatchdogScans,
+                P.WatchdogStalls, P.WatchdogStorms);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(1);
+      return Argv[++I];
+    };
+    if (std::strcmp(A, "--pid") == 0 || std::strcmp(A, "-p") == 0)
+      Opt.Pid = std::strtol(Next(), nullptr, 10);
+    else if (std::strcmp(A, "--segment") == 0 || std::strcmp(A, "-s") == 0)
+      Opt.SegmentPath = Next();
+    else if (std::strcmp(A, "--core") == 0 || std::strcmp(A, "-c") == 0)
+      Opt.CorePath = Next();
+    else if (std::strcmp(A, "--once") == 0 || std::strcmp(A, "-1") == 0)
+      Opt.Once = true;
+    else if (std::strcmp(A, "--json") == 0 || std::strcmp(A, "-j") == 0)
+      Opt.Json = true;
+    else if (std::strcmp(A, "--interval") == 0 || std::strcmp(A, "-i") == 0)
+      Opt.IntervalMs = std::strtoull(Next(), nullptr, 10);
+    else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0)
+      usage(0);
+    else
+      usage(1);
+  }
+  const int Sources = (Opt.Pid >= 0) + (Opt.SegmentPath != nullptr) +
+                      (Opt.CorePath != nullptr);
+  if (Sources != 1)
+    usage(1);
+  if (Opt.Json)
+    Opt.Once = true; // JSON is a scripting snapshot, not a watch UI.
+  if (Opt.CorePath != nullptr)
+    Opt.Once = true; // A core has exactly one final frame.
+  if (Opt.IntervalMs == 0)
+    Opt.IntervalMs = 1000;
+
+  Attachment A;
+  if (Opt.Pid >= 0)
+    A = attachPid(Opt.Pid);
+  else if (Opt.SegmentPath != nullptr)
+    A = attachFile(Opt.SegmentPath, -1);
+  else
+    A = attachCore(Opt.CorePath);
+
+  shmstats::Frame Prev{};
+  for (;;) {
+    shmstats::Frame F;
+    const shmstats::ReadStatus S =
+        shmstats::readLatestFrame(A.Buf, A.Len, F, A.Live);
+    if (S != shmstats::ReadStatus::Ok)
+      die("cannot read segment: %s", shmstats::readStatusName(S));
+    if (Opt.Json) {
+      emitJson(A, F);
+    } else {
+      if (!Opt.Once)
+        std::printf("\033[H\033[2J"); // Clear like top(1).
+      emitText(A, F, Prev);
+      std::fflush(stdout);
+    }
+    if (Opt.Once)
+      break;
+    Prev = F;
+    timespec Ts{};
+    Ts.tv_sec = static_cast<time_t>(Opt.IntervalMs / 1000);
+    Ts.tv_nsec = static_cast<long>((Opt.IntervalMs % 1000) * 1000000ull);
+    nanosleep(&Ts, nullptr);
+  }
+  return 0;
+}
